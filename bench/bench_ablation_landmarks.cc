@@ -1,0 +1,61 @@
+// Ablation: ALT landmark count (the Lower Bounding Module's only knob).
+// More landmarks tighten the lower bounds, shrinking kappa (candidates
+// extracted per query, Section 5.1) and network distance computations, at
+// a linear memory cost. Section 3 notes the module can combine "more or
+// fewer lower-bound heuristics" — this quantifies the trade-off.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "FL" : args.dataset);
+
+  ContractionHierarchy ch(dataset.graph);
+  ChOracle oracle(ch);
+  KeywordIndexOptions ki;
+  ki.nvd.rho = 5;
+  KeywordIndex keyword_index(dataset.graph, dataset.store,
+                             *dataset.inverted, ki);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+  std::vector<SpatialKeywordQuery> queries(
+      workload.QueriesForLength(2).begin(),
+      workload.QueriesForLength(2).end());
+
+  PrintHeader("Ablation: ALT landmarks vs candidate efficiency", dataset,
+              {"alt_mb", "bknn_ms", "topk_ms", "kappa_per_k",
+               "ndist_per_query"});
+  for (std::uint32_t landmarks : {2u, 4u, 8u, 16u, 32u}) {
+    AltIndex alt(dataset.graph, landmarks);
+    QueryProcessor processor(dataset.store, *dataset.inverted,
+                             *dataset.relevance, keyword_index, alt,
+                             oracle);
+    QueryStats stats;
+    const Measurement bknn = MeasureQueries(
+        queries, args.quick ? 30 : 150, args.quick ? 0.5 : 1.5,
+        [&](const SpatialKeywordQuery& q) {
+          processor.BooleanKnn(q.vertex, 10, q.keywords,
+                               BooleanOp::kDisjunctive, &stats);
+        });
+    const Measurement topk = MeasureQueries(
+        queries, args.quick ? 30 : 150, args.quick ? 0.5 : 1.5,
+        [&](const SpatialKeywordQuery& q) {
+          processor.TopK(q.vertex, 10, q.keywords);
+        });
+    PrintRow("landmarks=" + std::to_string(landmarks),
+             {ToMb(alt.MemoryBytes()), bknn.avg_ms, topk.avg_ms,
+              static_cast<double>(stats.candidates_extracted) /
+                  (static_cast<double>(bknn.queries) * 10.0),
+              static_cast<double>(stats.network_distance_computations) /
+                  static_cast<double>(bknn.queries)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Ablation: pseudo lower-bound scores (Algorithm 2) versus the valid
+// lower bound ST_all on all unseen objects (Section 4.2). Both are exact;
+// the pseudo bound should extract fewer candidates and compute fewer
+// network distances, translating into lower latency — the design choice
+// DESIGN.md calls out.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "FL" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_ch = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  PrintHeader("Ablation: pseudo vs valid lower-bound scores (top-k)",
+              dataset,
+              {"terms", "pseudo_ms", "valid_ms", "pseudo_ndist",
+               "valid_ndist", "pseudo_kappa", "valid_kappa"});
+  for (std::uint32_t terms = 2; terms <= 6; terms += 2) {
+    std::vector<SpatialKeywordQuery> queries(
+        workload.QueriesForLength(terms).begin(),
+        workload.QueriesForLength(terms).end());
+    const std::size_t max_queries = args.quick ? 30 : 150;
+    const double budget = args.quick ? 0.5 : 1.5;
+
+    QueryStats pseudo_stats;
+    engines.KsCh()->SetUsePseudoLowerBounds(true);
+    const Measurement pseudo = MeasureQueries(
+        queries, max_queries, budget, [&](const SpatialKeywordQuery& q) {
+          engines.KsCh()->TopK(q.vertex, 10, q.keywords, &pseudo_stats);
+        });
+    QueryStats valid_stats;
+    engines.KsCh()->SetUsePseudoLowerBounds(false);
+    const Measurement valid = MeasureQueries(
+        queries, max_queries, budget, [&](const SpatialKeywordQuery& q) {
+          engines.KsCh()->TopK(q.vertex, 10, q.keywords, &valid_stats);
+        });
+    engines.KsCh()->SetUsePseudoLowerBounds(true);
+
+    PrintRow("terms=" + std::to_string(terms),
+             {static_cast<double>(terms), pseudo.avg_ms, valid.avg_ms,
+              static_cast<double>(pseudo_stats.network_distance_computations) /
+                  pseudo.queries,
+              static_cast<double>(valid_stats.network_distance_computations) /
+                  valid.queries,
+              static_cast<double>(pseudo_stats.candidates_extracted) /
+                  pseudo.queries,
+              static_cast<double>(valid_stats.candidates_extracted) /
+                  valid.queries});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

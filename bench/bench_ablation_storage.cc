@@ -1,0 +1,64 @@
+// Ablation: APX-NVD storage backend. Quadtrees guarantee at most rho 1NN
+// candidates per point location; R-trees guarantee O(sites) space but may
+// return more candidates where MBRs overlap (Section 6.1's trade-off).
+// This measures the query-side consequence.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "FL" : args.dataset);
+
+  ContractionHierarchy ch(dataset.graph);
+  ChOracle oracle(ch);
+  AltIndex alt(dataset.graph, 16);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+  std::vector<SpatialKeywordQuery> queries(
+      workload.QueriesForLength(2).begin(),
+      workload.QueriesForLength(2).end());
+
+  PrintHeader("Ablation: quadtree vs R-tree APX-NVD storage", dataset,
+              {"index_mb", "build_s", "bknn_ms", "topk_ms",
+               "lb_per_query"});
+  for (ApxNvdStorage storage :
+       {ApxNvdStorage::kQuadtree, ApxNvdStorage::kRTree}) {
+    Timer timer;
+    KeywordIndexOptions ki;
+    ki.nvd.rho = 5;
+    ki.nvd.storage = storage;
+    KeywordIndex keyword_index(dataset.graph, dataset.store,
+                               *dataset.inverted, ki);
+    const double build_s = timer.ElapsedSeconds();
+    QueryProcessor processor(dataset.store, *dataset.inverted,
+                             *dataset.relevance, keyword_index, alt,
+                             oracle);
+    QueryStats stats;
+    const Measurement bknn = MeasureQueries(
+        queries, args.quick ? 30 : 150, args.quick ? 0.5 : 1.5,
+        [&](const SpatialKeywordQuery& q) {
+          processor.BooleanKnn(q.vertex, 10, q.keywords,
+                               BooleanOp::kDisjunctive, &stats);
+        });
+    const Measurement topk = MeasureQueries(
+        queries, args.quick ? 30 : 150, args.quick ? 0.5 : 1.5,
+        [&](const SpatialKeywordQuery& q) {
+          processor.TopK(q.vertex, 10, q.keywords);
+        });
+    PrintRow(storage == ApxNvdStorage::kQuadtree ? "quadtree" : "rtree",
+             {ToMb(keyword_index.MemoryBytes()), build_s, bknn.avg_ms,
+              topk.avg_ms,
+              static_cast<double>(stats.lower_bounds_computed) /
+                  static_cast<double>(bknn.queries)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

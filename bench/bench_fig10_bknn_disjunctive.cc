@@ -1,0 +1,54 @@
+// Figure 10: disjunctive Boolean kNN query time on the largest dataset,
+// varying (a) k and (b) the number of query keywords.
+// Methods: KS-CH, KS-HL, keyword-aggregated G-tree, FS-FBS (absent when
+// its index exceeds the memory budget, as on the paper's US dataset).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_ch = selection.ks_hl = true;
+  selection.gtree_sk = true;
+  selection.fs_fbs = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  std::vector<NamedMethod> methods = {
+      {"KS-CH",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       }},
+      {"KS-HL",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       }},
+      {"G-tree",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       }},
+  };
+  if (engines.FsFbsEngine() != nullptr) {
+    methods.push_back(
+        {"FS-FBS",
+         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+           engines.FsFbsEngine()->BooleanKnn(v, k, kw,
+                                             BooleanOp::kDisjunctive);
+         }});
+  } else {
+    std::printf("FS-FBS: %s\n", engines.FsFbsFailure().c_str());
+  }
+  RunParameterSweep("Figure 10", dataset, workload, methods, args.quick);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,54 @@
+// Figure 11: conjunctive Boolean kNN query time on the largest dataset,
+// varying (a) k and (b) the number of query keywords. Aggregation is at
+// its weakest here: a group's pseudo-document can contain all query
+// keywords while no single object does.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_ch = selection.ks_hl = true;
+  selection.gtree_sk = true;
+  selection.fs_fbs = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  std::vector<NamedMethod> methods = {
+      {"KS-CH",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       }},
+      {"KS-HL",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       }},
+      {"G-tree",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       }},
+  };
+  if (engines.FsFbsEngine() != nullptr) {
+    methods.push_back(
+        {"FS-FBS",
+         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+           engines.FsFbsEngine()->BooleanKnn(v, k, kw,
+                                             BooleanOp::kConjunctive);
+         }});
+  } else {
+    std::printf("FS-FBS: %s\n", engines.FsFbsFailure().c_str());
+  }
+  RunParameterSweep("Figure 11", dataset, workload, methods, args.quick);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

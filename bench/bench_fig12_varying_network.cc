@@ -1,0 +1,84 @@
+// Figure 12: query time versus road network size (the five-dataset
+// ladder), for (a) top-k and (b) disjunctive BkNN at default parameters
+// (k=10, 2 terms). The K-SPIN advantage should grow with network size as
+// aggregation hierarchies dilute.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+constexpr std::uint32_t kK = 10;
+constexpr std::uint32_t kTerms = 2;
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  std::vector<std::string> names = {"DE", "ME", "FL", "E", "US"};
+  if (args.quick) names = {"DE", "ME", "FL"};
+
+  std::printf(
+      "=== Figure 12: query time vs network size (k=%u, %u terms) ===\n",
+      kK, kTerms);
+  std::printf("%-8s\t%10s", "region", "|V|");
+  for (const char* m :
+       {"KSCH_topk", "KSHL_topk", "Gtree_topk", "ROAD_topk", "KSCH_bknn",
+        "KSHL_bknn", "Gtree_bknn"}) {
+    std::printf("\t%s_ms", m);
+  }
+  std::printf("\n");
+
+  for (const std::string& name : names) {
+    Dataset dataset = Dataset::Load(name);
+    EngineSelection selection;
+    selection.ks_ch = selection.ks_hl = true;
+    selection.gtree_sk = selection.road = true;
+    EngineSet engines(dataset, selection);
+    QueryWorkload workload = MakeWorkload(dataset, /*quick=*/true);
+    std::vector<SpatialKeywordQuery> queries(
+        workload.QueriesForLength(kTerms).begin(),
+        workload.QueriesForLength(kTerms).end());
+    const std::size_t max_queries = args.quick ? 30 : 150;
+    const double budget = args.quick ? 0.5 : 1.5;
+    auto ms = [&](auto&& fn) {
+      return MeasureQueries(queries, max_queries, budget,
+                            [&](const SpatialKeywordQuery& q) { fn(q); })
+          .avg_ms;
+    };
+    const double ksch_topk = ms([&](const SpatialKeywordQuery& q) {
+      engines.KsCh()->TopK(q.vertex, kK, q.keywords);
+    });
+    const double kshl_topk = ms([&](const SpatialKeywordQuery& q) {
+      engines.KsHl()->TopK(q.vertex, kK, q.keywords);
+    });
+    const double gtree_topk = ms([&](const SpatialKeywordQuery& q) {
+      engines.GtreeSk()->TopK(q.vertex, kK, q.keywords);
+    });
+    const double road_topk = ms([&](const SpatialKeywordQuery& q) {
+      engines.Road()->TopK(q.vertex, kK, q.keywords);
+    });
+    const double ksch_bknn = ms([&](const SpatialKeywordQuery& q) {
+      engines.KsCh()->BooleanKnn(q.vertex, kK, q.keywords,
+                                 BooleanOp::kDisjunctive);
+    });
+    const double kshl_bknn = ms([&](const SpatialKeywordQuery& q) {
+      engines.KsHl()->BooleanKnn(q.vertex, kK, q.keywords,
+                                 BooleanOp::kDisjunctive);
+    });
+    const double gtree_bknn = ms([&](const SpatialKeywordQuery& q) {
+      engines.GtreeSk()->BooleanKnn(q.vertex, kK, q.keywords,
+                                    BooleanOp::kDisjunctive);
+    });
+    std::printf("%-8s\t%10zu\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+                name.c_str(), dataset.graph.NumVertices(), ksch_topk,
+                kshl_topk, gtree_topk, road_topk, ksch_bknn, kshl_bknn,
+                gtree_bknn);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

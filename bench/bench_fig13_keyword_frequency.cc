@@ -1,0 +1,78 @@
+// Figure 13: single-keyword BkNN query time versus keyword frequency,
+// bucketed by object density |inv(t)| / |V|. Single keywords isolate the
+// frequency effect from multi-keyword aggregation artefacts.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_ch = selection.ks_hl = true;
+  selection.gtree_sk = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, /*quick=*/true);
+
+  struct Bucket {
+    double lo, hi;
+    const char* label;
+  };
+  const std::vector<Bucket> buckets = {
+      {1e-5, 1e-4, "1e-5"},
+      {1e-4, 1e-3, "1e-4"},
+      {1e-3, 1e-2, "1e-3"},
+      {1e-2, 1.0, "1e-2"},
+  };
+
+  PrintHeader("Figure 13: single-keyword B10NN vs keyword density",
+              dataset, {"KSCH_ms", "KSHL_ms", "Gtree_ms", "num_queries"});
+  for (const Bucket& bucket : buckets) {
+    std::vector<SpatialKeywordQuery> queries =
+        workload.SingleKeywordDensityBucket(bucket.lo, bucket.hi,
+                                            args.quick ? 4 : 10,
+                                            args.quick ? 3 : 10);
+    if (queries.empty()) {
+      PrintRow(std::string("density>=") + bucket.label, {0, 0, 0, 0});
+      continue;
+    }
+    const std::size_t max_queries = args.quick ? 20 : 120;
+    const double budget = args.quick ? 0.5 : 1.5;
+    const double ksch =
+        MeasureQueries(queries, max_queries, budget,
+                       [&](const SpatialKeywordQuery& q) {
+                         engines.KsCh()->BooleanKnn(
+                             q.vertex, 10, q.keywords,
+                             BooleanOp::kDisjunctive);
+                       })
+            .avg_ms;
+    const double kshl =
+        MeasureQueries(queries, max_queries, budget,
+                       [&](const SpatialKeywordQuery& q) {
+                         engines.KsHl()->BooleanKnn(
+                             q.vertex, 10, q.keywords,
+                             BooleanOp::kDisjunctive);
+                       })
+            .avg_ms;
+    const double gtree =
+        MeasureQueries(queries, max_queries, budget,
+                       [&](const SpatialKeywordQuery& q) {
+                         engines.GtreeSk()->BooleanKnn(
+                             q.vertex, 10, q.keywords,
+                             BooleanOp::kDisjunctive);
+                       })
+            .avg_ms;
+    PrintRow(std::string("density>=") + bucket.label,
+             {ksch, kshl, gtree, static_cast<double>(queries.size())});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,60 @@
+// Figure 14: (a) index size and (b) construction time of every technique
+// across the dataset ladder. "Input" is the raw graph + keyword dataset.
+// K-SPIN's keyword side (APX-NVDs + ALT + inverted lists) is reported
+// separately from the pluggable distance modules, as in the paper.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  std::vector<std::string> names = {"DE", "ME", "FL", "E", "US"};
+  if (args.quick) names = {"DE", "ME", "FL"};
+
+  std::printf("=== Figure 14a: index size (MB) ===\n");
+  std::printf("%-8s\t%10s\t%10s\t%10s\t%10s\t%10s\t%10s\n", "region",
+              "input", "kspin", "ch", "hl", "gtree", "fsfbs");
+  std::vector<std::string> time_rows;
+  for (const std::string& name : names) {
+    Dataset dataset = Dataset::Load(name);
+    EngineSelection selection;
+    selection.ks_ch = selection.ks_hl = true;
+    selection.gtree_sk = true;
+    selection.fs_fbs = true;
+    EngineSet engines(dataset, selection);
+    const double input_mb =
+        ToMb(dataset.graph.MemoryBytes() + dataset.inverted->MemoryBytes());
+    std::printf("%-8s\t%10.2f\t%10.2f\t%10.2f\t%10.2f\t%10.2f\t", name.c_str(),
+                input_mb, ToMb(engines.KspinMemory()),
+                ToMb(engines.ChMemory()), ToMb(engines.HlMemory()),
+                ToMb(engines.GtreeMemory()));
+    if (engines.FsFbsEngine() != nullptr) {
+      std::printf("%10.2f\n",
+                  ToMb(engines.HlMemory() + engines.FsFbsMemory()));
+    } else {
+      std::printf("%10s\n", "too-large");
+    }
+    std::fflush(stdout);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%-8s\t%10.2f\t%10.2f\t%10.2f\t%10.2f", name.c_str(),
+                  engines.KspinBuildSeconds(), engines.ChBuildSeconds(),
+                  engines.HlBuildSeconds(), engines.GtreeBuildSeconds());
+    time_rows.push_back(row);
+  }
+  std::printf("\n=== Figure 14b: construction time (s) ===\n");
+  std::printf("%-8s\t%10s\t%10s\t%10s\t%10s\n", "region", "kspin", "ch",
+              "hl", "gtree");
+  for (const std::string& row : time_rows) {
+    std::printf("%s\n", row.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,42 @@
+// Figure 15: the apples-to-apples false-positive comparison — top-k query
+// time of KS-GT (K-SPIN using the G-tree as its Network Distance Module),
+// Gtree-Opt (per-keyword occurrence lists) and the original keyword-
+// aggregated G-tree, all over the SAME G-tree matrices.
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_gt = true;
+  selection.gtree_sk = selection.gtree_opt = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  std::vector<NamedMethod> methods = {
+      {"KS-GT",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsGt()->TopK(v, k, kw);
+       }},
+      {"Gtree-Opt",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.GtreeOpt()->TopK(v, k, kw);
+       }},
+      {"G-tree",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.GtreeSk()->TopK(v, k, kw);
+       }},
+  };
+  RunParameterSweep("Figure 15 (top-k on shared G-tree)", dataset, workload,
+                    methods, args.quick);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

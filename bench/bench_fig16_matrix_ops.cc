@@ -1,0 +1,66 @@
+// Figure 16: machine-independent cost — G-tree *matrix operations* (one
+// distance-matrix lookup + add) per top-k query, for KS-GT vs Gtree-Opt vs
+// original G-tree over the same shared G-tree index. Fewer matrix ops ==
+// fewer false positives; the paper's central evidence for keyword
+// separation.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_gt = true;
+  selection.gtree_sk = selection.gtree_opt = true;
+  EngineSet engines(dataset, selection);
+  GTree* gtree = engines.GetGTree();
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  struct Method {
+    const char* name;
+    std::function<void(const SpatialKeywordQuery&, std::uint32_t)> run;
+  };
+  const std::vector<Method> methods = {
+      {"KS-GT",
+       [&](const SpatialKeywordQuery& q, std::uint32_t k) {
+         engines.KsGt()->TopK(q.vertex, k, q.keywords);
+       }},
+      {"Gtree-Opt",
+       [&](const SpatialKeywordQuery& q, std::uint32_t k) {
+         engines.GtreeOpt()->TopK(q.vertex, k, q.keywords);
+       }},
+      {"G-tree",
+       [&](const SpatialKeywordQuery& q, std::uint32_t k) {
+         engines.GtreeSk()->TopK(q.vertex, k, q.keywords);
+       }},
+  };
+
+  PrintHeader("Figure 16: matrix operations per top-k query (2 terms)",
+              dataset, {"k1", "k5", "k10", "k25", "k50"});
+  const auto queries = workload.QueriesForLength(2);
+  const std::size_t sample =
+      std::min<std::size_t>(queries.size(), args.quick ? 10 : 60);
+  for (const Method& method : methods) {
+    std::vector<double> cells;
+    for (std::uint32_t k : {1u, 5u, 10u, 25u, 50u}) {
+      gtree->ResetMatrixOps();
+      for (std::size_t i = 0; i < sample; ++i) {
+        method.run(queries[i], k);
+      }
+      cells.push_back(static_cast<double>(gtree->MatrixOps()) /
+                      static_cast<double>(sample));
+    }
+    PrintRow(method.name, cells);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,115 @@
+// Figure 6: rho-Approximate NVD performance.
+//  (a) index size (MB) and construction time (s) versus rho;
+//  (b) query time versus rho (BkNN and top-k; k=10, 2 terms);
+//  (c) quadtree versus R-tree index size across datasets;
+//  (d) parallel NVD construction speedup and efficiency.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "kspin/keyword_index.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "FL" : args.dataset);
+
+  // --- (a) + (b): rho sweep -------------------------------------------
+  ContractionHierarchy ch(dataset.graph);
+  ChOracle oracle(ch);
+  AltIndex alt(dataset.graph, 16);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+  std::vector<SpatialKeywordQuery> queries(
+      workload.QueriesForLength(2).begin(),
+      workload.QueriesForLength(2).end());
+  const std::size_t max_queries = args.quick ? 30 : 200;
+  const double budget = args.quick ? 0.5 : 2.0;
+
+  PrintHeader("Figure 6a+6b: rho sweep", dataset,
+              {"index_mb", "build_s", "bknn_ms", "topk_ms"});
+  for (std::uint32_t rho : {1u, 3u, 5u, 7u, 9u, 11u}) {
+    Timer timer;
+    KeywordIndexOptions ki;
+    ki.nvd.rho = rho;
+    KeywordIndex index(dataset.graph, dataset.store, *dataset.inverted, ki);
+    const double build_s = timer.ElapsedSeconds();
+    QueryProcessor processor(dataset.store, *dataset.inverted,
+                             *dataset.relevance, index, alt, oracle);
+    const double bknn_ms =
+        MeasureQueries(queries, max_queries, budget,
+                       [&](const SpatialKeywordQuery& q) {
+                         processor.BooleanKnn(q.vertex, 10, q.keywords,
+                                              BooleanOp::kDisjunctive);
+                       })
+            .avg_ms;
+    const double topk_ms =
+        MeasureQueries(queries, max_queries, budget,
+                       [&](const SpatialKeywordQuery& q) {
+                         processor.TopK(q.vertex, 10, q.keywords);
+                       })
+            .avg_ms;
+    PrintRow("rho=" + std::to_string(rho),
+             {ToMb(index.MemoryBytes()), build_s, bknn_ms, topk_ms});
+  }
+
+  // --- (c): quadtree vs R-tree size across datasets ---------------------
+  {
+    std::printf(
+        "\n=== Figure 6c: quadtree vs R-tree keyword index size (rho=5) "
+        "===\n");
+    std::printf("%-8s\t%12s\t%12s\t%12s\n", "region", "occurrences",
+                "quadtree_mb", "rtree_mb");
+    std::vector<std::string> names = {"DE", "ME", "FL"};
+    if (args.full) names = {"DE", "ME", "FL", "E", "US"};
+    for (const std::string& name : names) {
+      Dataset d = Dataset::Load(name);
+      KeywordIndexOptions quad;
+      quad.nvd.rho = 5;
+      quad.nvd.storage = ApxNvdStorage::kQuadtree;
+      KeywordIndex quad_index(d.graph, d.store, *d.inverted, quad);
+      KeywordIndexOptions rtree;
+      rtree.nvd.rho = 5;
+      rtree.nvd.storage = ApxNvdStorage::kRTree;
+      KeywordIndex rtree_index(d.graph, d.store, *d.inverted, rtree);
+      std::printf("%-8s\t%12zu\t%12.3f\t%12.3f\n", name.c_str(),
+                  d.store.TotalKeywordSlots(),
+                  ToMb(quad_index.MemoryBytes()),
+                  ToMb(rtree_index.MemoryBytes()));
+      std::fflush(stdout);
+    }
+  }
+
+  // --- (d): parallel construction speedup -------------------------------
+  {
+    std::printf("\n=== Figure 6d: parallel NVD construction ===\n");
+    std::printf("%-8s\t%10s\t%10s\t%10s\n", "threads", "build_s", "speedup",
+                "efficiency");
+    double t1 = 0.0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      Timer timer;
+      KeywordIndexOptions ki;
+      ki.nvd.rho = 5;
+      ki.num_threads = threads;
+      KeywordIndex index(dataset.graph, dataset.store, *dataset.inverted,
+                         ki);
+      const double t = timer.ElapsedSeconds();
+      if (threads == 1) t1 = t;
+      std::printf("%-8u\t%10.2f\t%10.2f\t%10.2f\n", threads, t,
+                  t1 > 0 ? t1 / t : 0.0, t1 > 0 ? t1 / (threads * t) : 0.0);
+      std::fflush(stdout);
+    }
+    std::printf(
+        "(hardware_concurrency=%u; speedup saturates at the physical core "
+        "count)\n",
+        std::thread::hardware_concurrency());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

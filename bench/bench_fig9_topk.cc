@@ -1,0 +1,45 @@
+// Figure 9: top-k spatial keyword query time on the largest dataset,
+// varying (a) k and (b) the number of query keywords.
+// Methods: KS-CH, KS-HL (the paper's KS-PHL), keyword-aggregated G-tree,
+// and ROAD.
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "US" : args.dataset);
+
+  EngineSelection selection;
+  selection.ks_ch = selection.ks_hl = true;
+  selection.gtree_sk = selection.road = true;
+  EngineSet engines(dataset, selection);
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+
+  std::vector<NamedMethod> methods = {
+      {"KS-CH",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsCh()->TopK(v, k, kw);
+       }},
+      {"KS-HL",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.KsHl()->TopK(v, k, kw);
+       }},
+      {"G-tree",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.GtreeSk()->TopK(v, k, kw);
+       }},
+      {"ROAD",
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         engines.Road()->TopK(v, k, kw);
+       }},
+  };
+  RunParameterSweep("Figure 9", dataset, workload, methods, args.quick);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

@@ -1,0 +1,29 @@
+// Table 2: road network graphs and keyword dataset statistics for the
+// five-dataset ladder (scaled stand-ins for the DIMACS DE/ME/FL/E/US
+// datasets; see DESIGN.md section 3).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int, char**) {
+  std::printf("=== Table 2: road network graphs and keyword datasets ===\n");
+  std::printf("%-8s\t%10s\t%10s\t%8s\t%10s\t%8s\n", "region", "|V|", "|E|",
+              "|O|", "|doc(V)|", "|W|");
+  for (const DatasetSpec& spec : BenchmarkDatasetLadder()) {
+    Dataset dataset = Dataset::Load(spec.name);
+    std::printf("%-8s\t%10zu\t%10zu\t%8zu\t%10zu\t%8u\n", spec.name.c_str(),
+                dataset.graph.NumVertices(), dataset.graph.NumEdges(),
+                dataset.store.NumLiveObjects(),
+                dataset.store.TotalKeywordSlots(), spec.num_keywords);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

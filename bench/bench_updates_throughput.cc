@@ -1,0 +1,94 @@
+// Mixed read/write workload: sustained query throughput while objects are
+// inserted and deleted, with periodic maintenance (Section 6.2's "lazy
+// updates allow the system to continue processing incoming queries").
+// Reports throughput per phase and the maintenance cost.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace kspin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  Dataset dataset = Dataset::Load(args.dataset.empty() ? "FL" : args.dataset);
+
+  ContractionHierarchy ch(dataset.graph);
+  ChOracle oracle(ch);
+  KSpinOptions options;
+  options.rho = 5;
+  options.lazy_insert_threshold = 12;
+  KSpin engine(dataset.graph, dataset.store, oracle, options);
+
+  QueryWorkload workload = MakeWorkload(dataset, args.quick);
+  std::vector<SpatialKeywordQuery> queries(
+      workload.QueriesForLength(2).begin(),
+      workload.QueriesForLength(2).end());
+  Rng rng(31337);
+
+  PrintHeader("Mixed workload: queries under continuous updates", dataset,
+              {"updates", "update_ms_avg", "bknn_qps", "topk_qps"});
+
+  const int phases = 5;
+  const std::size_t updates_per_phase = args.quick ? 50 : 200;
+  std::size_t total_updates = 0;
+  std::vector<ObjectId> inserted;
+  for (int phase = 0; phase < phases; ++phase) {
+    Timer update_timer;
+    for (std::size_t i = 0; i < updates_per_phase; ++i) {
+      if (!inserted.empty() && rng.Bernoulli(0.3)) {
+        engine.DeleteObject(inserted.back());
+        inserted.pop_back();
+      } else {
+        const KeywordId t =
+            static_cast<KeywordId>(rng.UniformInt(0, 30));
+        inserted.push_back(engine.InsertObject(
+            static_cast<VertexId>(
+                rng.UniformInt(0, dataset.graph.NumVertices() - 1)),
+            {{t, 1},
+             {static_cast<KeywordId>(rng.UniformInt(0, 200)), 1}}));
+      }
+      ++total_updates;
+    }
+    const double update_ms =
+        update_timer.ElapsedMillis() / updates_per_phase;
+    const double bknn_qps =
+        MeasureQueries(queries, args.quick ? 30 : 150,
+                       args.quick ? 0.4 : 1.0,
+                       [&](const SpatialKeywordQuery& q) {
+                         engine.BooleanKnn(q.vertex, 10, q.keywords,
+                                           BooleanOp::kDisjunctive);
+                       })
+            .qps;
+    const double topk_qps =
+        MeasureQueries(queries, args.quick ? 30 : 150,
+                       args.quick ? 0.4 : 1.0,
+                       [&](const SpatialKeywordQuery& q) {
+                         engine.TopK(q.vertex, 10, q.keywords);
+                       })
+            .qps;
+    PrintRow("phase " + std::to_string(phase + 1),
+             {static_cast<double>(total_updates), update_ms, bknn_qps,
+              topk_qps});
+  }
+  Timer maintain_timer;
+  const std::size_t rebuilt = engine.MaintainIndexes();
+  std::printf("maintenance: rebuilt %zu indexes in %.1f ms\n", rebuilt,
+              maintain_timer.ElapsedMillis());
+  const double after_qps =
+      MeasureQueries(queries, args.quick ? 30 : 150, args.quick ? 0.4 : 1.0,
+                     [&](const SpatialKeywordQuery& q) {
+                       engine.BooleanKnn(q.vertex, 10, q.keywords,
+                                         BooleanOp::kDisjunctive);
+                     })
+          .qps;
+  std::printf("post-maintenance bknn qps: %.1f\n", after_qps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Run(argc, argv); }

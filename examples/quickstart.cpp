@@ -1,0 +1,93 @@
+// Quickstart: the paper's running example (Figure 1) in ~80 lines.
+//
+// Build a small road network, place eight points of interest with keyword
+// documents, and answer the two motivating queries:
+//   1. Boolean 1NN: the closest POI containing "thai" AND "restaurant".
+//   2. Top-1: the best POI for {"italian", "restaurant", "takeaway"} by
+//      weighted network distance.
+//
+// Run: ./example_quickstart
+#include <cstdio>
+
+#include "graph/road_network_generator.h"
+#include "kspin/kspin.h"
+#include "routing/contraction_hierarchy.h"
+#include "text/vocabulary.h"
+
+int main() {
+  using namespace kspin;
+
+  // 1. A small synthetic road network (travel-time weights).
+  RoadNetworkOptions road;
+  road.grid_width = 24;
+  road.grid_height = 24;
+  road.seed = 2026;
+  const Graph graph = GenerateRoadNetwork(road);
+  std::printf("road network: %zu vertices, %zu edges\n",
+              graph.NumVertices(), graph.NumEdges());
+
+  // 2. Eight POIs in the spirit of the paper's Figure 1.
+  Vocabulary vocab;
+  const KeywordId italian = vocab.AddOrGet("italian");
+  const KeywordId restaurant = vocab.AddOrGet("restaurant");
+  const KeywordId takeaway = vocab.AddOrGet("takeaway");
+  const KeywordId thai = vocab.AddOrGet("thai");
+  const KeywordId grocer = vocab.AddOrGet("grocer");
+  const KeywordId petrol = vocab.AddOrGet("petrol");
+
+  DocumentStore store;
+  store.AddObject(10, {{italian, 1}, {restaurant, 1}});            // o1
+  store.AddObject(55, {{takeaway, 1}, {thai, 1}});                 // o2
+  store.AddObject(120, {{grocer, 1}});                             // o3
+  store.AddObject(180, {{petrol, 1}});                             // o4
+  store.AddObject(240, {{thai, 1}, {restaurant, 1}, {takeaway, 1}});  // o5
+  store.AddObject(300, {{thai, 1}, {restaurant, 1}});              // o6
+  store.AddObject(410, {{thai, 1}, {grocer, 1}});                  // o7
+  store.AddObject(500, {{restaurant, 1}, {takeaway, 1}});          // o8
+
+  // 3. Pick a Network Distance Module (any DistanceOracle works) and
+  //    build the K-SPIN engine.
+  ContractionHierarchy ch(graph);
+  ChOracle oracle(ch);
+  KSpin engine(graph, std::move(store), oracle);
+
+  const VertexId q = 150;
+
+  // 4. Boolean 1NN, conjunctive: "thai" AND "restaurant".
+  {
+    const std::vector<KeywordId> keywords = {thai, restaurant};
+    const auto results =
+        engine.BooleanKnn(q, 1, keywords, BooleanOp::kConjunctive);
+    for (const BkNNResult& r : results) {
+      std::printf("closest thai restaurant: object o%u at travel time %llu\n",
+                  r.object + 1,
+                  static_cast<unsigned long long>(r.distance));
+    }
+  }
+
+  // 5. Top-1 spatial keyword query (weighted network distance).
+  {
+    const std::vector<KeywordId> keywords = {italian, restaurant, takeaway};
+    const auto results = engine.TopK(q, 1, keywords);
+    for (const TopKResult& r : results) {
+      std::printf(
+          "best {italian,restaurant,takeaway}: o%u score %.1f "
+          "(distance %llu, relevance %.3f)\n",
+          r.object + 1, r.score,
+          static_cast<unsigned long long>(r.distance), r.relevance);
+    }
+  }
+
+  // 6. The mixed-operator extension: thai AND (takeaway OR restaurant).
+  {
+    const std::vector<std::vector<KeywordId>> clauses = {
+        {thai}, {takeaway, restaurant}};
+    const auto results = engine.BooleanKnnCnf(q, 2, clauses);
+    std::printf("thai AND (takeaway OR restaurant), 2NN:\n");
+    for (const BkNNResult& r : results) {
+      std::printf("  o%u at travel time %llu\n", r.object + 1,
+                  static_cast<unsigned long long>(r.distance));
+    }
+  }
+  return 0;
+}

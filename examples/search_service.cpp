@@ -1,0 +1,86 @@
+// Search service: the string-level facade end-to-end — named POIs,
+// free-text boolean queries with AND/OR and parentheses, ranked search,
+// live catalogue changes, and route retrieval to the winning POI.
+//
+// Run: ./example_search_service
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/road_network_generator.h"
+#include "routing/contraction_hierarchy.h"
+#include "service/poi_service.h"
+
+int main() {
+  using namespace kspin;
+
+  RoadNetworkOptions road;
+  road.grid_width = 60;
+  road.grid_height = 60;
+  road.seed = 12;
+  const Graph graph = GenerateRoadNetwork(road);
+  ContractionHierarchy ch(graph);
+  ChOracle oracle(ch);
+  PoiService service(graph, oracle);
+
+  // Build a small catalogue.
+  struct Entry {
+    const char* name;
+    VertexId vertex;
+    std::vector<std::string> tags;
+  };
+  const std::vector<Entry> catalogue = {
+      {"Bangkok Palace", 120, {"thai", "restaurant"}},
+      {"Wok To Go", 950, {"thai", "takeaway"}},
+      {"Luigi's", 300, {"italian", "restaurant", "pizza"}},
+      {"Slice Shack", 1500, {"pizza", "takeaway"}},
+      {"Beans & Co", 210, {"cafe", "bakery"}},
+      {"Corner Bakery", 2000, {"bakery", "takeaway"}},
+      {"Night Owl", 1800, {"bar", "restaurant"}},
+  };
+  for (const Entry& e : catalogue) {
+    service.AddPoi(e.name, e.vertex, e.tags);
+  }
+  std::printf("catalogue: %zu POIs over a %zu-vertex city\n",
+              service.NumLivePois(), graph.NumVertices());
+
+  const VertexId here = 400;
+  auto show = [&service](const char* query,
+                         const std::vector<PoiResult>& hits) {
+    std::printf("\n> %s\n", query);
+    if (hits.empty()) std::printf("  (no results)\n");
+    for (const PoiResult& hit : hits) {
+      std::printf("  %-16s travel %6llu", hit.name.c_str(),
+                  static_cast<unsigned long long>(hit.travel_time));
+      if (hit.score > 0) std::printf("  score %.1f", hit.score);
+      std::printf("\n");
+    }
+  };
+
+  show("thai and (takeaway or restaurant)",
+       service.Search("thai and (takeaway or restaurant)", here, 3));
+  show("pizza or bakery", service.Search("pizza or bakery", here, 3));
+  show("ranked: pizza takeaway",
+       service.SearchRanked("pizza takeaway", here, 3));
+  show("sushi (unknown keyword)", service.Search("sushi", here, 3));
+
+  // The catalogue changes: Luigi's closes, the bakery starts selling pizza.
+  service.ClosePoi(2);  // Luigi's.
+  service.TagPoi(5, "pizza");
+  show("pizza (after updates)", service.Search("pizza", here, 3));
+
+  // Route to the best pizza place.
+  const auto best = service.Search("pizza", here, 1);
+  if (!best.empty()) {
+    const VertexId target =
+        service.Engine().Store().ObjectVertex(best[0].id);
+    const auto path = ch.PathQuery(here, target);
+    std::printf("\nroute to %s: %zu road segments, first hops:",
+                best[0].name.c_str(), path.size() - 1);
+    for (std::size_t i = 0; i < path.size() && i < 6; ++i) {
+      std::printf(" %u", path[i]);
+    }
+    std::printf(" ...\n");
+  }
+  return 0;
+}

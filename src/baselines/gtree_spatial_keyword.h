@@ -1,0 +1,121 @@
+// Keyword-aggregated G-tree spatial keyword baseline (Zhong et al.'s
+// algorithms adapted as in the paper's Sections 1.1 and 7.4).
+//
+// Every tree node aggregates its subtree's keywords into a pseudo-document
+// (keyword -> summed frequency) plus occurrence lists that say which
+// children contain objects. Queries traverse the hierarchy best-first:
+// nodes are ranked by an optimistic score combining the minimum network
+// distance to the node's borders (computed with G-tree matrix operations)
+// and the best textual relevance its pseudo-document allows; when a leaf
+// is reached, network distances are computed to all matching objects in
+// it. False positives — nodes and objects that look promising only because
+// of aggregation — are exactly the cost K-SPIN removes.
+//
+// Two variants share the implementation (Section 7.4.1):
+//  - original: one occurrence list per node (children containing any
+//    object at all);
+//  - Gtree-Opt: per-keyword occurrence lists (children containing an
+//    object with that keyword), the "keyword separation principles applied
+//    to G-tree" refinement the paper shows is not enough.
+#ifndef KSPIN_BASELINES_GTREE_SPATIAL_KEYWORD_H_
+#define KSPIN_BASELINES_GTREE_SPATIAL_KEYWORD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/query_processor.h"
+#include "routing/gtree.h"
+#include "text/document_store.h"
+#include "text/inverted_index.h"
+#include "text/relevance.h"
+
+namespace kspin {
+
+/// Per-tree-node keyword aggregation shared by the G-tree and ROAD
+/// baselines.
+class NodeKeywordAggregates {
+ public:
+  /// Aggregates the live objects of `store` up the G-tree hierarchy.
+  NodeKeywordAggregates(const GTree& gtree, const DocumentStore& store);
+
+  /// True if keyword t occurs anywhere in the subtree of `node`.
+  bool NodeContains(GTree::NodeId node, KeywordId t) const;
+
+  /// Aggregated frequency of t in the subtree (0 when absent).
+  std::uint32_t NodeFrequency(GTree::NodeId node, KeywordId t) const;
+
+  /// Bitmask over Children(node): which children contain any object.
+  std::uint32_t OccupancyMask(GTree::NodeId node) const {
+    return occupancy_[node];
+  }
+
+  /// Bitmask over Children(node): which children contain an object with
+  /// keyword t (the per-keyword occurrence list of Gtree-Opt).
+  std::uint32_t KeywordOccupancyMask(GTree::NodeId node, KeywordId t) const;
+
+  /// Live objects in a leaf node.
+  const std::vector<ObjectId>& LeafObjects(GTree::NodeId leaf) const {
+    return leaf_objects_[leaf];
+  }
+
+  /// Approximate memory in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct PseudoDoc {
+    // Sorted by keyword; parallel arrays keep it compact.
+    std::vector<KeywordId> keywords;
+    std::vector<std::uint32_t> frequencies;
+    std::vector<std::uint8_t> child_masks;  // Per-keyword occurrence bits.
+  };
+
+  const PseudoDoc& Doc(GTree::NodeId node) const { return docs_[node]; }
+
+  std::vector<PseudoDoc> docs_;
+  std::vector<std::uint32_t> occupancy_;
+  std::vector<std::vector<ObjectId>> leaf_objects_;
+};
+
+/// The baseline query engine.
+class GTreeSpatialKeyword {
+ public:
+  /// `use_per_keyword_occurrence` selects Gtree-Opt.
+  GTreeSpatialKeyword(const Graph& graph, const GTree& gtree,
+                      const DocumentStore& store,
+                      const InvertedIndex& inverted,
+                      const RelevanceModel& relevance,
+                      bool use_per_keyword_occurrence);
+
+  /// Keyword-aggregated top-k (exact results, aggregation costs only).
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               QueryStats* stats = nullptr);
+
+  /// Keyword-aggregated Boolean kNN.
+  std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
+                                     std::span<const KeywordId> keywords,
+                                     BooleanOp op,
+                                     QueryStats* stats = nullptr);
+
+  const NodeKeywordAggregates& Aggregates() const { return aggregates_; }
+
+  /// Baseline-side index memory (pseudo-documents + occurrence lists),
+  /// excluding the shared G-tree matrices.
+  std::size_t MemoryBytes() const { return aggregates_.MemoryBytes(); }
+
+ private:
+  const Graph& graph_;
+  const GTree& gtree_;
+  const DocumentStore& store_;
+  const InvertedIndex& inverted_;
+  const RelevanceModel& relevance_;
+  NodeKeywordAggregates aggregates_;
+  bool per_keyword_occurrence_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_BASELINES_GTREE_SPATIAL_KEYWORD_H_

@@ -1,0 +1,87 @@
+// IR-tree style Euclidean spatial keyword baseline (Cong, Jensen & Wu,
+// PVLDB'09): an R-tree over object locations whose nodes aggregate their
+// subtree's keywords, queried by best-first browsing with *Euclidean*
+// distance.
+//
+// This is the class of technique the paper's introduction contrasts K-SPIN
+// against: in Euclidean space keyword aggregation is cheap (a false
+// positive costs one arithmetic distance), but the metric itself is wrong
+// for road networks — "as-the-crow-flies" neighbours can be far by travel
+// time. The motivation bench quantifies both effects.
+//
+// All distances returned by this engine are Euclidean (in coordinate
+// units); converting or comparing to network distances is the caller's
+// business.
+#ifndef KSPIN_BASELINES_IR_TREE_H_
+#define KSPIN_BASELINES_IR_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/query_processor.h"
+#include "text/document_store.h"
+#include "text/relevance.h"
+
+namespace kspin {
+
+/// One Euclidean result: object + squared-root Euclidean distance.
+struct EuclideanResult {
+  ObjectId object = kInvalidObject;
+  double distance = 0.0;
+};
+
+/// Euclidean spatial keyword engine with keyword-aggregated R-tree nodes.
+class IrTree {
+ public:
+  /// Builds over the live objects of `store` (coordinates from their
+  /// vertices). Requires graph coordinates.
+  IrTree(const Graph& graph, const DocumentStore& store,
+         const RelevanceModel& relevance, std::uint32_t node_capacity = 16);
+
+  /// Boolean kNN by Euclidean distance.
+  std::vector<EuclideanResult> BooleanKnn(const Coordinate& q,
+                                          std::uint32_t k,
+                                          std::span<const KeywordId> keywords,
+                                          BooleanOp op) const;
+
+  /// Top-k by Euclidean weighted distance (euclid / TR).
+  std::vector<EuclideanResult> TopK(const Coordinate& q, std::uint32_t k,
+                                    std::span<const KeywordId> keywords) const;
+
+  std::size_t NumObjects() const { return num_objects_; }
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Rect {
+    std::int32_t min_x, min_y, max_x, max_y;
+  };
+  struct Node {
+    Rect rect;
+    ObjectId object = kInvalidObject;  // Leaf entries only.
+    std::uint32_t child_begin = 0;     // Into children_.
+    std::uint32_t num_children = 0;    // 0 marks a leaf entry.
+    std::uint32_t doc_begin = 0;       // Into node_keywords_.
+    std::uint32_t doc_size = 0;
+  };
+
+  static double MinDistance(const Rect& rect, const Coordinate& q);
+  bool NodeAdmissible(const Node& node, std::span<const KeywordId> keywords,
+                      BooleanOp op) const;
+  bool NodeHasKeyword(const Node& node, KeywordId t) const;
+
+  const Graph& graph_;
+  const DocumentStore& store_;
+  const RelevanceModel& relevance_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> children_;
+  std::vector<KeywordId> node_keywords_;  // Sorted per node.
+  std::uint32_t root_ = 0;
+  std::size_t num_objects_ = 0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_BASELINES_IR_TREE_H_

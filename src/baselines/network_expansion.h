@@ -1,0 +1,64 @@
+// Network-expansion baseline: plain incremental Dijkstra from the query
+// vertex, checking every settled vertex's objects against the keyword
+// criteria. No index beyond a vertex -> objects map. The paper excludes
+// expansion methods from its main charts because they are orders of
+// magnitude slower; we include one as the sanity floor and as an exactness
+// oracle for the spatial keyword semantics.
+#ifndef KSPIN_BASELINES_NETWORK_EXPANSION_H_
+#define KSPIN_BASELINES_NETWORK_EXPANSION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/query_processor.h"
+#include "routing/dijkstra.h"
+#include "text/document_store.h"
+#include "text/inverted_index.h"
+#include "text/relevance.h"
+
+namespace kspin {
+
+/// Dijkstra-based spatial keyword baseline (exact).
+class NetworkExpansionBaseline {
+ public:
+  /// Snapshot of the store at construction time (mutations afterwards are
+  /// not reflected; rebuild to pick them up).
+  NetworkExpansionBaseline(const Graph& graph, const DocumentStore& store,
+                           const InvertedIndex& inverted,
+                           const RelevanceModel& relevance);
+
+  /// Boolean kNN by expanding until k satisfying objects settle.
+  std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
+                                     std::span<const KeywordId> keywords,
+                                     BooleanOp op,
+                                     QueryStats* stats = nullptr);
+
+  /// Top-k by expansion with the d / TR_max termination bound.
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               QueryStats* stats = nullptr) {
+    return TopK(q, k, keywords, ScoringFunction{}, stats);
+  }
+
+  /// Top-k under an explicit scoring function; the expansion bound uses
+  /// Score(d, TR_max), valid for any score monotone in distance and
+  /// relevance.
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               const ScoringFunction& scoring,
+                               QueryStats* stats = nullptr);
+
+ private:
+  const Graph& graph_;
+  const DocumentStore& store_;
+  const InvertedIndex& inverted_;
+  const RelevanceModel& relevance_;
+  std::unordered_map<VertexId, std::vector<ObjectId>> objects_at_;
+  DijkstraWorkspace workspace_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_BASELINES_NETWORK_EXPANSION_H_

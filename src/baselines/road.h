@@ -1,0 +1,83 @@
+// ROAD-style baseline (Lee et al., TKDE'12, applied to spatial keyword
+// queries as in Rocha-Junior & Norvag, EDBT'12).
+//
+// ROAD organizes the network as a hierarchy of regional sub-networks
+// (Rnets) with border-to-border "shortcuts"; a query expands Dijkstra from
+// the query vertex, and whenever the search enters an Rnet whose
+// aggregated keyword information rules out relevant objects, it bypasses
+// the entire region by jumping across its shortcuts. Keyword aggregation
+// makes the bypass decision — and inherits the same false-positive
+// problems the paper describes (an Rnet that "looks" relevant is expanded
+// vertex by vertex).
+//
+// This implementation reuses the partition hierarchy and the exact border
+// distance matrices of the shared GTree as the Rnet hierarchy / shortcut
+// source (the two systems differ mainly in traversal strategy, which is
+// what we reproduce; see DESIGN.md).
+#ifndef KSPIN_BASELINES_ROAD_H_
+#define KSPIN_BASELINES_ROAD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/gtree_spatial_keyword.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/query_processor.h"
+#include "routing/gtree.h"
+#include "text/document_store.h"
+#include "text/relevance.h"
+
+namespace kspin {
+
+/// Route-overlay expansion baseline.
+class RoadBaseline {
+ public:
+  RoadBaseline(const Graph& graph, const GTree& gtree,
+               const DocumentStore& store, const RelevanceModel& relevance,
+               const NodeKeywordAggregates& aggregates);
+
+  /// Top-k spatial keyword query by guided expansion (exact).
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               QueryStats* stats = nullptr);
+
+  /// Boolean kNN by guided expansion (exact).
+  std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
+                                     std::span<const KeywordId> keywords,
+                                     BooleanOp op,
+                                     QueryStats* stats = nullptr);
+
+  /// Overlay memory: border shortcut lists (on top of the shared G-tree).
+  std::size_t MemoryBytes() const;
+
+ private:
+  // Expansion core: settles vertices in distance order; `relevant(node)`
+  // says whether an Rnet may contain useful objects; `visit(v, d)` returns
+  // false to stop.
+  void Expand(VertexId q,
+              const std::function<bool(GTree::NodeId)>& relevant,
+              const std::function<bool(VertexId, Distance)>& visit,
+              QueryStats* stats);
+
+  // Largest ancestor Rnet of `v` that excludes `q` and is irrelevant; or
+  // kInvalidNode.
+  GTree::NodeId BypassRnet(
+      VertexId v, VertexId q,
+      const std::function<bool(GTree::NodeId)>& relevant) const;
+
+  const Graph& graph_;
+  const GTree& gtree_;
+  const DocumentStore& store_;
+  const RelevanceModel& relevance_;
+  const NodeKeywordAggregates& aggregates_;
+  std::unordered_map<VertexId, std::vector<ObjectId>> objects_at_;
+  // Shortcuts: for each tree node, exact pairwise distances between its
+  // borders (extracted once from the parent matrices).
+  mutable std::unordered_map<GTree::NodeId, std::vector<Distance>>
+      shortcut_cache_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_BASELINES_ROAD_H_

@@ -1,0 +1,39 @@
+#include "common/morton.h"
+
+namespace kspin {
+namespace {
+
+// Spreads the low 32 bits of v so bit i lands at position 2i.
+std::uint64_t Part1By1(std::uint64_t v) {
+  v &= 0x00000000FFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+// Inverse of Part1By1: collects bits at even positions.
+std::uint32_t Compact1By1(std::uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t MortonEncode(std::uint32_t x, std::uint32_t y) {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void MortonDecode(std::uint64_t code, std::uint32_t* x, std::uint32_t* y) {
+  *x = Compact1By1(code);
+  *y = Compact1By1(code >> 1);
+}
+
+}  // namespace kspin

@@ -1,0 +1,21 @@
+// Morton (Z-order) encoding for 2-D coordinates. The rho-Approximate NVD
+// quadtree is serialized as a Morton-ordered list of leaf cells (Samet,
+// "Foundations of Multidimensional and Metric Data Structures"), which gives
+// better locality of reference than a pointer-based tree.
+#ifndef KSPIN_COMMON_MORTON_H_
+#define KSPIN_COMMON_MORTON_H_
+
+#include <cstdint>
+
+namespace kspin {
+
+/// Interleaves the low 32 bits of x (even positions) and y (odd positions)
+/// into a 64-bit Morton code.
+std::uint64_t MortonEncode(std::uint32_t x, std::uint32_t y);
+
+/// Inverse of MortonEncode.
+void MortonDecode(std::uint64_t code, std::uint32_t* x, std::uint32_t* y);
+
+}  // namespace kspin
+
+#endif  // KSPIN_COMMON_MORTON_H_

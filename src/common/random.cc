@@ -1,0 +1,48 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace kspin {
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::UniformInt: lo > hi");
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+double Rng::UniformDouble() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::vector<std::uint32_t> Rng::SampleWithoutReplacement(std::uint32_t n,
+                                                         std::uint32_t count) {
+  if (count > n) {
+    throw std::invalid_argument(
+        "Rng::SampleWithoutReplacement: count exceeds population");
+  }
+  // For dense samples a shuffle is cheaper; for sparse ones rejection
+  // sampling avoids materializing the population.
+  if (count * 3 >= n) {
+    std::vector<std::uint32_t> population(n);
+    for (std::uint32_t i = 0; i < n; ++i) population[i] = i;
+    std::shuffle(population.begin(), population.end(), engine_);
+    population.resize(count);
+    return population;
+  }
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(count * 2);
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  while (result.size() < count) {
+    auto v = static_cast<std::uint32_t>(UniformInt(0, n - 1));
+    if (chosen.insert(v).second) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace kspin

@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Header-only in practice; this translation unit pins the vtable-free types
+// into the library so IWYU-style consumers can link against kspin alone.

@@ -1,0 +1,52 @@
+// Lightweight wall-clock timer used by index builders and benchmark
+// harnesses.
+#ifndef KSPIN_COMMON_TIMER_H_
+#define KSPIN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kspin {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to "now".
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple Start/Stop intervals; used to
+/// report per-phase costs (e.g. heap maintenance vs. distance computation).
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  void Reset() { total_seconds_ = 0.0; }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_COMMON_TIMER_H_

@@ -1,0 +1,54 @@
+// Core scalar types shared by every module in the K-SPIN reproduction.
+#ifndef KSPIN_COMMON_TYPES_H_
+#define KSPIN_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace kspin {
+
+/// Identifier of a road-network vertex. Vertices are dense 0..|V|-1.
+using VertexId = std::uint32_t;
+
+/// Identifier of an object (point of interest). Objects are dense 0..|O|-1
+/// within a DocumentStore; each object sits on exactly one vertex.
+using ObjectId = std::uint32_t;
+
+/// Identifier of a keyword (term) in a Vocabulary. Dense 0..|W|-1.
+using KeywordId = std::uint32_t;
+
+/// Weight of a single edge (e.g. travel time in deciseconds). Strictly
+/// positive for all valid edges.
+using Weight = std::uint32_t;
+
+/// A network (shortest-path) distance: a sum of edge weights. 64-bit so that
+/// paths over billions of weight units cannot overflow.
+using Distance = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+/// Sentinel for "no keyword".
+inline constexpr KeywordId kInvalidKeyword =
+    std::numeric_limits<KeywordId>::max();
+
+/// Sentinel for "unreachable" / "unknown" distance.
+inline constexpr Distance kInfDistance = std::numeric_limits<Distance>::max();
+
+/// Planar coordinate of a vertex. Synthetic generators emit non-negative
+/// integer coordinates; DIMACS .co files use (longitude, latitude) * 1e6.
+struct Coordinate {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const Coordinate&, const Coordinate&) = default;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_COMMON_TYPES_H_

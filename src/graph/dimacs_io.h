@@ -1,0 +1,34 @@
+// Reader/writer for the 9th DIMACS Implementation Challenge road-network
+// formats: ".gr" distance graphs and ".co" coordinate files. The paper's
+// datasets (DE, ME, FL, E, US) ship in this format; our synthetic networks
+// can be exported the same way for interoperability.
+#ifndef KSPIN_GRAPH_DIMACS_IO_H_
+#define KSPIN_GRAPH_DIMACS_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Parses a DIMACS ".gr" stream (directed arc list; we fold arcs into
+/// undirected edges keeping the minimum weight) and an optional ".co"
+/// coordinate stream. Throws std::runtime_error with line context on
+/// malformed input.
+Graph ReadDimacsGraph(std::istream& gr_stream, std::istream* co_stream);
+
+/// Convenience overload reading from file paths. `co_path` may be empty.
+Graph ReadDimacsGraphFromFiles(const std::string& gr_path,
+                               const std::string& co_path);
+
+/// Writes `graph` in DIMACS ".gr" form (each undirected edge emitted as two
+/// arcs, matching the challenge files).
+void WriteDimacsGraph(const Graph& graph, std::ostream& gr_stream);
+
+/// Writes coordinates in DIMACS ".co" form. Requires HasCoordinates().
+void WriteDimacsCoordinates(const Graph& graph, std::ostream& co_stream);
+
+}  // namespace kspin
+
+#endif  // KSPIN_GRAPH_DIMACS_IO_H_

@@ -1,0 +1,17 @@
+#include "graph/graph.h"
+
+namespace kspin {
+
+Distance Graph::EdgeWeight(VertexId u, VertexId v) const {
+  for (const Arc& arc : Neighbors(u)) {
+    if (arc.head == v) return arc.weight;
+  }
+  return kInfDistance;
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(std::size_t) + arcs_.size() * sizeof(Arc) +
+         coordinates_.size() * sizeof(Coordinate);
+}
+
+}  // namespace kspin

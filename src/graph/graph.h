@@ -1,0 +1,82 @@
+// Immutable road-network graph in compressed-sparse-row (CSR) form.
+//
+// Following the paper's preliminaries (Section 2) the graph is a connected,
+// undirected, positively weighted graph G = (V, E); queries and objects occur
+// on vertices. Undirected edges are stored in both directions so all search
+// algorithms traverse a single forward adjacency structure.
+#ifndef KSPIN_GRAPH_GRAPH_H_
+#define KSPIN_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// One directed arc in the CSR arrays.
+struct Arc {
+  VertexId head = kInvalidVertex;  ///< Target vertex of the arc.
+  Weight weight = 0;               ///< Positive edge weight.
+};
+
+/// Immutable CSR graph. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices |V|.
+  std::size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of *undirected* edges |E| (each stored as two arcs).
+  std::size_t NumEdges() const { return arcs_.size() / 2; }
+
+  /// Number of directed arcs (2|E|).
+  std::size_t NumArcs() const { return arcs_.size(); }
+
+  /// Outgoing arcs of vertex v.
+  std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// Degree of vertex v.
+  std::size_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Planar coordinate of vertex v (for quadtrees / R-trees / generators).
+  const Coordinate& VertexCoordinate(VertexId v) const {
+    return coordinates_[v];
+  }
+
+  /// All coordinates, indexed by vertex id.
+  const std::vector<Coordinate>& Coordinates() const { return coordinates_; }
+
+  /// True if coordinates were provided at build time.
+  bool HasCoordinates() const { return !coordinates_.empty(); }
+
+  /// Returns the weight of edge (u, v) or kInfDistance if absent. Linear in
+  /// Degree(u); intended for tests and small-scale checks.
+  Distance EdgeWeight(VertexId u, VertexId v) const;
+
+  /// Approximate resident memory of the CSR arrays in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+  friend void SaveGraph(const Graph&, std::ostream&);
+  friend Graph LoadGraph(std::istream&);
+
+  std::vector<std::size_t> offsets_;  // |V|+1 entries.
+  std::vector<Arc> arcs_;             // 2|E| entries.
+  std::vector<Coordinate> coordinates_;
+};
+
+void SaveGraph(const Graph& graph, std::ostream& out);
+Graph LoadGraph(std::istream& in);
+
+}  // namespace kspin
+
+#endif  // KSPIN_GRAPH_GRAPH_H_

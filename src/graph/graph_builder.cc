@@ -1,0 +1,157 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace kspin {
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices)
+    : num_vertices_(num_vertices) {}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v, Weight w) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::invalid_argument("GraphBuilder::AddEdge: vertex " +
+                                std::to_string(u >= num_vertices_ ? u : v) +
+                                " out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("GraphBuilder::AddEdge: self-loop at vertex " +
+                                std::to_string(u));
+  }
+  if (w == 0) {
+    throw std::invalid_argument(
+        "GraphBuilder::AddEdge: zero weight not allowed");
+  }
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::SetCoordinates(std::vector<Coordinate> coordinates) {
+  if (!coordinates.empty() && coordinates.size() != num_vertices_) {
+    throw std::invalid_argument(
+        "GraphBuilder::SetCoordinates: size mismatch (" +
+        std::to_string(coordinates.size()) + " vs " +
+        std::to_string(num_vertices_) + " vertices)");
+  }
+  coordinates_ = std::move(coordinates);
+}
+
+Graph GraphBuilder::Build() {
+  // Normalize to directed arcs, dedup keeping minimum weight.
+  struct DirArc {
+    VertexId tail, head;
+    Weight w;
+  };
+  std::vector<DirArc> arcs;
+  arcs.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    arcs.push_back({e.u, e.v, e.w});
+    arcs.push_back({e.v, e.u, e.w});
+  }
+  std::sort(arcs.begin(), arcs.end(), [](const DirArc& a, const DirArc& b) {
+    if (a.tail != b.tail) return a.tail < b.tail;
+    if (a.head != b.head) return a.head < b.head;
+    return a.w < b.w;
+  });
+  // Keep first (minimum-weight) arc per (tail, head).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (i == 0 || arcs[i].tail != arcs[out - 1].tail ||
+        arcs[i].head != arcs[out - 1].head) {
+      arcs[out++] = arcs[i];
+    }
+  }
+  arcs.resize(out);
+
+  Graph graph;
+  graph.offsets_.assign(num_vertices_ + 1, 0);
+  for (const DirArc& a : arcs) ++graph.offsets_[a.tail + 1];
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    graph.offsets_[v + 1] += graph.offsets_[v];
+  }
+  graph.arcs_.resize(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    graph.arcs_[i] = Arc{arcs[i].head, arcs[i].w};
+  }
+  graph.coordinates_ = std::move(coordinates_);
+
+  edges_.clear();
+  coordinates_.clear();
+  return graph;
+}
+
+bool IsConnected(const Graph& graph) {
+  std::size_t num_components = 0;
+  ConnectedComponents(graph, &num_components);
+  return num_components <= 1;
+}
+
+std::vector<std::uint32_t> ConnectedComponents(const Graph& graph,
+                                               std::size_t* num_components) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<std::uint32_t> component(n, UINT32_MAX);
+  std::uint32_t next_component = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[start] != UINT32_MAX) continue;
+    component[start] = next_component;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (const Arc& arc : graph.Neighbors(v)) {
+        if (component[arc.head] == UINT32_MAX) {
+          component[arc.head] = next_component;
+          stack.push_back(arc.head);
+        }
+      }
+    }
+    ++next_component;
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+Graph LargestConnectedComponent(const Graph& graph,
+                                std::vector<VertexId>* old_to_new) {
+  std::size_t num_components = 0;
+  std::vector<std::uint32_t> component =
+      ConnectedComponents(graph, &num_components);
+  const std::size_t n = graph.NumVertices();
+
+  std::vector<std::size_t> sizes(num_components, 0);
+  for (std::size_t v = 0; v < n; ++v) ++sizes[component[v]];
+  std::uint32_t best =
+      static_cast<std::uint32_t>(std::distance(
+          sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+
+  std::vector<VertexId> mapping(n, kInvalidVertex);
+  VertexId next_id = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (component[v] == best) mapping[v] = next_id++;
+  }
+
+  GraphBuilder builder(next_id);
+  for (VertexId u = 0; u < n; ++u) {
+    if (mapping[u] == kInvalidVertex) continue;
+    for (const Arc& arc : graph.Neighbors(u)) {
+      if (u < arc.head && mapping[arc.head] != kInvalidVertex) {
+        builder.AddEdge(mapping[u], mapping[arc.head], arc.weight);
+      }
+    }
+  }
+  if (graph.HasCoordinates()) {
+    std::vector<Coordinate> coords(next_id);
+    for (VertexId u = 0; u < n; ++u) {
+      if (mapping[u] != kInvalidVertex) {
+        coords[mapping[u]] = graph.VertexCoordinate(u);
+      }
+    }
+    builder.SetCoordinates(std::move(coords));
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return builder.Build();
+}
+
+}  // namespace kspin

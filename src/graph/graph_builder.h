@@ -1,0 +1,66 @@
+// Mutable edge-list builder that validates input and produces an immutable
+// CSR Graph.
+#ifndef KSPIN_GRAPH_GRAPH_BUILDER_H_
+#define KSPIN_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Collects undirected edges, then Build() sorts them into CSR form.
+///
+/// Duplicate edges between the same vertex pair are collapsed to the minimum
+/// weight (road datasets commonly contain parallel road segments; only the
+/// fastest matters for shortest paths). Self-loops are rejected.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_vertices` vertices.
+  explicit GraphBuilder(std::size_t num_vertices);
+
+  /// Adds the undirected edge {u, v} with positive weight w.
+  /// Throws std::invalid_argument on out-of-range vertices, u == v, or w == 0.
+  void AddEdge(VertexId u, VertexId v, Weight w);
+
+  /// Assigns planar coordinates (one per vertex). Optional; pass an empty
+  /// vector to omit. Throws if the size mismatches num_vertices.
+  void SetCoordinates(std::vector<Coordinate> coordinates);
+
+  /// Number of undirected edges added so far (before dedup).
+  std::size_t NumPendingEdges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  struct Edge {
+    VertexId u, v;
+    Weight w;
+  };
+
+  std::size_t num_vertices_;
+  std::vector<Edge> edges_;
+  std::vector<Coordinate> coordinates_;
+};
+
+/// Returns true if `graph` is connected (BFS from vertex 0 reaches all).
+/// An empty graph is considered connected.
+bool IsConnected(const Graph& graph);
+
+/// Returns, for each vertex, the id of its connected component (components
+/// numbered by discovery order), plus the number of components via
+/// *num_components if non-null.
+std::vector<std::uint32_t> ConnectedComponents(const Graph& graph,
+                                               std::size_t* num_components);
+
+/// Extracts the largest connected component as a standalone graph.
+/// `old_to_new` (optional) receives the vertex mapping, with kInvalidVertex
+/// for dropped vertices.
+Graph LargestConnectedComponent(const Graph& graph,
+                                std::vector<VertexId>* old_to_new);
+
+}  // namespace kspin
+
+#endif  // KSPIN_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,154 @@
+#include "graph/road_network_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace kspin {
+namespace {
+
+void ValidateOptions(const RoadNetworkOptions& options) {
+  if (options.grid_width < 2 || options.grid_height < 2) {
+    throw std::invalid_argument("GenerateRoadNetwork: grid must be >= 2x2");
+  }
+  if (options.edge_keep_probability < 0.0 ||
+      options.edge_keep_probability > 1.0) {
+    throw std::invalid_argument(
+        "GenerateRoadNetwork: edge_keep_probability outside [0,1]");
+  }
+  if (options.diagonal_fraction < 0.0 || options.diagonal_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateRoadNetwork: diagonal_fraction outside [0,1]");
+  }
+  if (options.min_speed_factor <= 0.0 ||
+      options.max_speed_factor < options.min_speed_factor) {
+    throw std::invalid_argument("GenerateRoadNetwork: bad speed factors");
+  }
+  if (options.cell_size == 0) {
+    throw std::invalid_argument("GenerateRoadNetwork: cell_size must be > 0");
+  }
+}
+
+Weight TravelTime(const Coordinate& a, const Coordinate& b, double speed) {
+  const double dx = static_cast<double>(a.x) - b.x;
+  const double dy = static_cast<double>(a.y) - b.y;
+  const double length = std::sqrt(dx * dx + dy * dy);
+  const double w = std::max(1.0, std::round(length * speed));
+  return static_cast<Weight>(w);
+}
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  ValidateOptions(options);
+  Rng rng(options.seed);
+
+  const std::uint32_t w = options.grid_width;
+  const std::uint32_t h = options.grid_height;
+  const std::size_t n = static_cast<std::size_t>(w) * h;
+  auto vertex_of = [w](std::uint32_t col, std::uint32_t row) -> VertexId {
+    return static_cast<VertexId>(row) * w + col;
+  };
+
+  std::vector<Coordinate> coords(n);
+  for (std::uint32_t row = 0; row < h; ++row) {
+    for (std::uint32_t col = 0; col < w; ++col) {
+      const std::int32_t jitter_x =
+          options.coordinate_jitter == 0
+              ? 0
+              : static_cast<std::int32_t>(rng.UniformInt(
+                    0, 2 * options.coordinate_jitter)) -
+                    static_cast<std::int32_t>(options.coordinate_jitter);
+      const std::int32_t jitter_y =
+          options.coordinate_jitter == 0
+              ? 0
+              : static_cast<std::int32_t>(rng.UniformInt(
+                    0, 2 * options.coordinate_jitter)) -
+                    static_cast<std::int32_t>(options.coordinate_jitter);
+      coords[vertex_of(col, row)] = Coordinate{
+          static_cast<std::int32_t>(col * options.cell_size) + jitter_x,
+          static_cast<std::int32_t>(row * options.cell_size) + jitter_y};
+    }
+  }
+
+  GraphBuilder builder(n);
+  // Road-class multiplier of the lane along a fixed row (for horizontal
+  // edges) or column (for vertical edges): highways beat arterials beat
+  // local streets.
+  auto lane_multiplier = [&options](std::uint32_t index) {
+    if (options.highway_spacing != 0 &&
+        index % options.highway_spacing == 0) {
+      return options.highway_speed_multiplier;
+    }
+    if (options.arterial_spacing != 0 &&
+        index % options.arterial_spacing == 0) {
+      return options.arterial_speed_multiplier;
+    }
+    return 1.0;
+  };
+  auto speed = [&rng, &options](double multiplier) {
+    const double base =
+        options.min_speed_factor +
+        rng.UniformDouble() *
+            (options.max_speed_factor - options.min_speed_factor);
+    return base * multiplier;
+  };
+  for (std::uint32_t row = 0; row < h; ++row) {
+    for (std::uint32_t col = 0; col < w; ++col) {
+      const VertexId v = vertex_of(col, row);
+      // Hierarchy roads are never deleted: arterials and highways are
+      // continuous in real networks.
+      const bool on_row_artery = lane_multiplier(row) < 1.0;
+      const bool on_col_artery = lane_multiplier(col) < 1.0;
+      if (col + 1 < w &&
+          (on_row_artery || rng.Bernoulli(options.edge_keep_probability))) {
+        const VertexId u = vertex_of(col + 1, row);
+        builder.AddEdge(
+            v, u,
+            TravelTime(coords[v], coords[u], speed(lane_multiplier(row))));
+      }
+      if (row + 1 < h &&
+          (on_col_artery || rng.Bernoulli(options.edge_keep_probability))) {
+        const VertexId u = vertex_of(col, row + 1);
+        builder.AddEdge(
+            v, u,
+            TravelTime(coords[v], coords[u], speed(lane_multiplier(col))));
+      }
+      if (col + 1 < w && row + 1 < h &&
+          rng.Bernoulli(options.diagonal_fraction)) {
+        const VertexId u = vertex_of(col + 1, row + 1);
+        builder.AddEdge(v, u,
+                        TravelTime(coords[v], coords[u], speed(1.0)));
+      }
+    }
+  }
+  builder.SetCoordinates(std::move(coords));
+  Graph full = builder.Build();
+  return LargestConnectedComponent(full, nullptr);
+}
+
+std::vector<DatasetSpec> BenchmarkDatasetLadder() {
+  // Vertex counts scale ~3x per step like the paper's DE (49k) -> ME (187k)
+  // -> FL (1.07M) -> E (3.6M) -> US (24M), compressed to sizes that build
+  // and query in reasonable time on a single core in this environment.
+  // Keyword vocabulary sizes scale sub-linearly like Table 2
+  // (|W| ~ |V|^0.6).
+  return {
+      {"DE", 60, 60, 101, 0.05, 450},
+      {"ME", 100, 100, 102, 0.042, 900},
+      {"FL", 170, 170, 103, 0.045, 1900},
+      {"E", 280, 280, 104, 0.031, 3300},
+      {"US", 400, 400, 105, 0.029, 5200},
+  };
+}
+
+DatasetSpec DatasetSpecByName(const std::string& name) {
+  for (const DatasetSpec& spec : BenchmarkDatasetLadder()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace kspin

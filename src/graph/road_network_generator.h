@@ -1,0 +1,82 @@
+// Synthetic road-network generator.
+//
+// The paper evaluates on the 9th DIMACS Challenge datasets (DE, ME, FL, E,
+// US), which are not available offline. This generator produces connected,
+// road-like networks with matching structural statistics: average vertex
+// degree ~2.4 (|E|/|V| ~ 1.2 per direction on DIMACS graphs is actually
+// ~2.4 arcs/vertex), long-ish chains, local planarity, and travel-time
+// weights proportional to geometric edge length with per-road speed jitter.
+//
+// Construction: a w x h grid of intersections with jittered coordinates;
+// each grid edge survives with probability `edge_keep_probability`; a small
+// fraction of diagonal shortcuts model highways; the largest connected
+// component is returned. Degree-2 chain contraction is intentionally *not*
+// applied: DIMACS road graphs keep shape points, and so do we.
+#ifndef KSPIN_GRAPH_ROAD_NETWORK_GENERATOR_H_
+#define KSPIN_GRAPH_ROAD_NETWORK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Parameters for the synthetic road-network generator.
+struct RoadNetworkOptions {
+  std::uint32_t grid_width = 100;   ///< Grid columns (>= 2).
+  std::uint32_t grid_height = 100;  ///< Grid rows (>= 2).
+  /// Probability that each grid edge is kept. Values near 0.8 yield average
+  /// degree ~2.4 like DIMACS road networks after the largest component is
+  /// extracted.
+  double edge_keep_probability = 0.82;
+  /// Fraction of vertices receiving one diagonal "highway" shortcut.
+  double diagonal_fraction = 0.02;
+  /// Coordinate spacing between adjacent grid points.
+  std::uint32_t cell_size = 1000;
+  /// Max +/- jitter applied to each coordinate (models curved roads).
+  std::uint32_t coordinate_jitter = 300;
+  /// Edge weight = round(euclidean_length * speed_factor), speed_factor
+  /// drawn uniformly from [min_speed_factor, max_speed_factor]. Models
+  /// travel time differences between local road classes.
+  double min_speed_factor = 0.6;
+  double max_speed_factor = 1.4;
+  /// Road-class hierarchy: every `arterial_spacing`-th grid row/column is
+  /// an arterial (travel time scaled by `arterial_speed_multiplier`), and
+  /// every `highway_spacing`-th is a highway (`highway_speed_multiplier`).
+  /// This is what gives real road networks their low highway dimension —
+  /// hierarchical techniques (CH, hub labels) depend on it. Set spacings
+  /// to 0 to disable a tier.
+  std::uint32_t arterial_spacing = 8;
+  double arterial_speed_multiplier = 0.30;
+  std::uint32_t highway_spacing = 48;
+  double highway_speed_multiplier = 0.10;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected synthetic road network. Throws on degenerate
+/// options (grid smaller than 2x2, probabilities outside [0,1], ...).
+Graph GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+/// A named dataset in the benchmark ladder mirroring the paper's Table 2
+/// (scaled to laptop-class sizes; see DESIGN.md section 3).
+struct DatasetSpec {
+  std::string name;             ///< "DE", "ME", "FL", "E", "US".
+  std::uint32_t grid_width;     ///< Generator grid width.
+  std::uint32_t grid_height;    ///< Generator grid height.
+  std::uint64_t seed;           ///< Generator seed.
+  double object_fraction;       ///< |O| / |V| (Table 2: ~0.03..0.05).
+  std::uint32_t num_keywords;   ///< |W| scaled like Table 2.
+};
+
+/// The five-dataset ladder used by the benchmark harnesses. Vertex counts
+/// grow roughly 4x per step like DE -> ME -> FL -> E -> US in the paper.
+std::vector<DatasetSpec> BenchmarkDatasetLadder();
+
+/// Looks up a ladder entry by name; throws std::invalid_argument if unknown.
+DatasetSpec DatasetSpecByName(const std::string& name);
+
+}  // namespace kspin
+
+#endif  // KSPIN_GRAPH_ROAD_NETWORK_GENERATOR_H_

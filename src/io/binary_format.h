@@ -1,0 +1,86 @@
+// Low-level helpers for the versioned binary index format.
+//
+// Every artifact starts with an 8-byte magic tag and a uint32 version so a
+// stale or foreign file fails fast with a clear error instead of producing
+// a corrupt index. All integers are written in the host's native byte
+// order (the format is a cache, not an interchange format).
+#ifndef KSPIN_IO_BINARY_FORMAT_H_
+#define KSPIN_IO_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kspin::io {
+
+/// Thrown on magic/version mismatches and truncated streams.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw SerializationError("truncated stream reading scalar");
+  return value;
+}
+
+template <typename T>
+void WritePodVector(std::ostream& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<std::uint64_t>(out, values.size());
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> ReadPodVector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto size = ReadPod<std::uint64_t>(in);
+  std::vector<T> values(size);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) throw SerializationError("truncated stream reading vector");
+  return values;
+}
+
+/// Writes the artifact header.
+inline void WriteHeader(std::ostream& out, const char magic[8],
+                        std::uint32_t version) {
+  out.write(magic, 8);
+  WritePod(out, version);
+}
+
+/// Validates the artifact header; throws SerializationError on mismatch.
+inline void CheckHeader(std::istream& in, const char magic[8],
+                        std::uint32_t expected_version) {
+  char read_magic[8] = {};
+  in.read(read_magic, 8);
+  if (!in || std::memcmp(read_magic, magic, 8) != 0) {
+    throw SerializationError(std::string("bad magic; expected '") +
+                             std::string(magic, 8) + "'");
+  }
+  const auto version = ReadPod<std::uint32_t>(in);
+  if (version != expected_version) {
+    throw SerializationError("unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(expected_version) + ")");
+  }
+}
+
+}  // namespace kspin::io
+
+#endif  // KSPIN_IO_BINARY_FORMAT_H_

@@ -1,0 +1,158 @@
+#include "io/serialization.h"
+
+#include <istream>
+#include <ostream>
+
+#include "io/binary_format.h"
+
+namespace kspin {
+namespace {
+
+constexpr char kGraphMagic[8] = {'K', 'S', 'P', 'G', 'R', 'P', 'H', '1'};
+constexpr char kStoreMagic[8] = {'K', 'S', 'P', 'D', 'O', 'C', 'S', '1'};
+constexpr char kAltMagic[8] = {'K', 'S', 'P', 'A', 'L', 'T', 'I', '1'};
+constexpr char kChMagic[8] = {'K', 'S', 'P', 'C', 'H', 'I', 'X', '1'};
+constexpr char kHlMagic[8] = {'K', 'S', 'P', 'H', 'L', 'B', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void SaveGraph(const Graph& graph, std::ostream& out) {
+  io::WriteHeader(out, kGraphMagic, kVersion);
+  io::WritePodVector(out, graph.offsets_);
+  io::WritePodVector(out, graph.arcs_);
+  io::WritePodVector(out, graph.coordinates_);
+}
+
+Graph LoadGraph(std::istream& in) {
+  io::CheckHeader(in, kGraphMagic, kVersion);
+  Graph graph;
+  graph.offsets_ = io::ReadPodVector<std::size_t>(in);
+  graph.arcs_ = io::ReadPodVector<Arc>(in);
+  graph.coordinates_ = io::ReadPodVector<Coordinate>(in);
+  if (graph.offsets_.empty() ||
+      graph.offsets_.back() != graph.arcs_.size() ||
+      (!graph.coordinates_.empty() &&
+       graph.coordinates_.size() != graph.offsets_.size() - 1)) {
+    throw io::SerializationError("inconsistent graph arrays");
+  }
+  for (const Arc& arc : graph.arcs_) {
+    if (arc.head >= graph.offsets_.size() - 1) {
+      throw io::SerializationError("arc head out of range");
+    }
+  }
+  return graph;
+}
+
+void SaveDocumentStore(const DocumentStore& store, std::ostream& out) {
+  io::WriteHeader(out, kStoreMagic, kVersion);
+  io::WritePod<std::uint64_t>(out, store.NumSlots());
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    const bool live = store.IsLive(o);
+    io::WritePod<std::uint8_t>(out, live ? 1 : 0);
+    io::WritePod<std::uint32_t>(out, live ? store.ObjectVertex(o) : 0);
+    const auto doc = store.Document(o);
+    io::WritePod<std::uint64_t>(out, doc.size());
+    for (const DocEntry& e : doc) {
+      io::WritePod(out, e.keyword);
+      io::WritePod(out, e.frequency);
+    }
+  }
+}
+
+DocumentStore LoadDocumentStore(std::istream& in) {
+  io::CheckHeader(in, kStoreMagic, kVersion);
+  DocumentStore store;
+  const auto num_slots = io::ReadPod<std::uint64_t>(in);
+  for (std::uint64_t o = 0; o < num_slots; ++o) {
+    const bool live = io::ReadPod<std::uint8_t>(in) != 0;
+    const auto vertex = io::ReadPod<std::uint32_t>(in);
+    const auto doc_size = io::ReadPod<std::uint64_t>(in);
+    std::vector<DocEntry> document;
+    document.reserve(doc_size);
+    for (std::uint64_t i = 0; i < doc_size; ++i) {
+      DocEntry entry;
+      entry.keyword = io::ReadPod<KeywordId>(in);
+      entry.frequency = io::ReadPod<std::uint32_t>(in);
+      document.push_back(entry);
+    }
+    // Tombstoned slots keep their ids: add then delete. Their documents
+    // were cleared at deletion, so a placeholder entry is enough.
+    const ObjectId id = store.AddObject(vertex, std::move(document));
+    if (!live) store.DeleteObject(id);
+  }
+  return store;
+}
+
+void SaveAltIndex(const AltIndex& alt, std::ostream& out) {
+  io::WriteHeader(out, kAltMagic, kVersion);
+  io::WritePod<std::uint64_t>(out, alt.num_vertices_);
+  io::WritePodVector(out, alt.landmarks_);
+  io::WritePodVector(out, alt.distances_);
+}
+
+AltIndex LoadAltIndex(std::istream& in) {
+  io::CheckHeader(in, kAltMagic, kVersion);
+  AltIndex alt;
+  alt.num_vertices_ = io::ReadPod<std::uint64_t>(in);
+  alt.landmarks_ = io::ReadPodVector<VertexId>(in);
+  alt.distances_ = io::ReadPodVector<Distance>(in);
+  if (alt.distances_.size() != alt.landmarks_.size() * alt.num_vertices_) {
+    throw io::SerializationError("inconsistent ALT arrays");
+  }
+  return alt;
+}
+
+void SaveContractionHierarchy(const ContractionHierarchy& ch,
+                              std::ostream& out) {
+  io::WriteHeader(out, kChMagic, kVersion);
+  io::WritePodVector(out, ch.rank_);
+  io::WritePodVector(out, ch.up_offsets_);
+  io::WritePodVector(out, ch.up_arcs_);
+  io::WritePodVector(out, ch.up_mids_);
+  io::WritePod<std::uint64_t>(out, ch.num_shortcuts_);
+}
+
+ContractionHierarchy LoadContractionHierarchy(std::istream& in) {
+  io::CheckHeader(in, kChMagic, kVersion);
+  ContractionHierarchy ch;
+  ch.rank_ = io::ReadPodVector<std::uint32_t>(in);
+  ch.up_offsets_ = io::ReadPodVector<std::size_t>(in);
+  ch.up_arcs_ = io::ReadPodVector<Arc>(in);
+  ch.up_mids_ = io::ReadPodVector<VertexId>(in);
+  ch.num_shortcuts_ = io::ReadPod<std::uint64_t>(in);
+  if (ch.up_offsets_.size() != ch.rank_.size() + 1 ||
+      ch.up_offsets_.back() != ch.up_arcs_.size() ||
+      ch.up_mids_.size() != ch.up_arcs_.size()) {
+    throw io::SerializationError("inconsistent CH arrays");
+  }
+  const std::size_t n = ch.rank_.size();
+  ch.fwd_dist_.assign(n, kInfDistance);
+  ch.bwd_dist_.assign(n, kInfDistance);
+  ch.fwd_parent_.assign(n, kInvalidVertex);
+  ch.bwd_parent_.assign(n, kInvalidVertex);
+  ch.fwd_stamp_.assign(n, 0);
+  ch.bwd_stamp_.assign(n, 0);
+  ch.query_version_ = 0;
+  return ch;
+}
+
+void SaveHubLabeling(const HubLabeling& labels, std::ostream& out) {
+  io::WriteHeader(out, kHlMagic, kVersion);
+  io::WritePodVector(out, labels.offsets_);
+  io::WritePodVector(out, labels.entries_);
+}
+
+HubLabeling LoadHubLabeling(std::istream& in) {
+  io::CheckHeader(in, kHlMagic, kVersion);
+  HubLabeling labels;
+  labels.offsets_ = io::ReadPodVector<std::size_t>(in);
+  labels.entries_ = io::ReadPodVector<LabelEntry>(in);
+  if (labels.offsets_.empty() ||
+      labels.offsets_.back() != labels.entries_.size()) {
+    throw io::SerializationError("inconsistent hub label arrays");
+  }
+  return labels;
+}
+
+}  // namespace kspin

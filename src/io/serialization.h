@@ -1,0 +1,38 @@
+// Binary save/load for the expensive artifacts: graphs, document stores,
+// and the pre-processed distance indexes. Building a hub labeling for a
+// continental graph takes minutes; loading it back takes a disk read.
+//
+// All Load* functions throw io::SerializationError on malformed input.
+#ifndef KSPIN_IO_SERIALIZATION_H_
+#define KSPIN_IO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "routing/alt.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/hub_labeling.h"
+#include "text/document_store.h"
+
+namespace kspin {
+
+void SaveGraph(const Graph& graph, std::ostream& out);
+Graph LoadGraph(std::istream& in);
+
+void SaveDocumentStore(const DocumentStore& store, std::ostream& out);
+DocumentStore LoadDocumentStore(std::istream& in);
+
+void SaveAltIndex(const AltIndex& alt, std::ostream& out);
+AltIndex LoadAltIndex(std::istream& in);
+
+void SaveContractionHierarchy(const ContractionHierarchy& ch,
+                              std::ostream& out);
+ContractionHierarchy LoadContractionHierarchy(std::istream& in);
+
+void SaveHubLabeling(const HubLabeling& labels, std::ostream& out);
+HubLabeling LoadHubLabeling(std::istream& in);
+
+}  // namespace kspin
+
+#endif  // KSPIN_IO_SERIALIZATION_H_

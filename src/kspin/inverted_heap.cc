@@ -1,0 +1,47 @@
+#include "kspin/inverted_heap.h"
+
+namespace kspin {
+
+void InvertedHeap::InsertNew(const SiteObject& site) {
+  if (!inserted_.insert(site.object).second) return;  // Already inserted.
+  const Distance lb = lower_bounds_->LowerBound(query_, site.vertex);
+  ++stats_.lower_bounds_computed;
+  ++stats_.insertions;
+  queue_.push({lb, site.object, site.vertex});
+}
+
+InvertedHeap::Candidate InvertedHeap::ExtractMin() {
+  const Entry top = queue_.top();
+  queue_.pop();
+  ++stats_.extractions;
+
+  // LazyReheap (Algorithm 4): inject the adjacent objects of the extracted
+  // candidate so Property 1 keeps holding for the remaining objects.
+  scratch_.clear();
+  nvd_->ExpandCandidates(top.object, &scratch_);
+  for (const SiteObject& site : scratch_) InsertNew(site);
+
+  Candidate candidate;
+  candidate.object = top.object;
+  candidate.vertex = top.vertex;
+  candidate.lower_bound = top.lower_bound;
+  candidate.deleted = nvd_->IsDeleted(top.object);
+  return candidate;
+}
+
+InvertedHeap::InvertedHeap(const ApxNvd* nvd,
+                           const LowerBoundModule* lower_bounds,
+                           VertexId q)
+    : nvd_(nvd), lower_bounds_(lower_bounds), query_(q) {
+  std::vector<SiteObject> initial;
+  nvd_->InitialCandidates(q, &initial);
+  for (const SiteObject& site : initial) InsertNew(site);
+}
+
+InvertedHeap HeapGenerator::Make(KeywordId t, VertexId q) const {
+  const ApxNvd* nvd = keyword_index_.Index(t);
+  if (nvd == nullptr) return {};  // No objects: permanently empty.
+  return InvertedHeap(nvd, &lower_bounds_, q);
+}
+
+}  // namespace kspin

@@ -1,0 +1,110 @@
+// On-demand inverted heaps and the Heap Generator (paper Sections 3 and 5).
+//
+// An inverted heap for keyword t delivers the objects of inv(t) in
+// ascending *lower-bound* network distance from the query vertex
+// (Property 1). It is populated lazily: initialization seeds at most rho
+// candidates from the keyword's ApxNvd (one of which is the 1NN of q,
+// Theorem 1), and each extraction triggers LazyReheap (Algorithm 4), which
+// injects the adjacent objects of the extracted one.
+#ifndef KSPIN_KSPIN_INVERTED_HEAP_H_
+#define KSPIN_KSPIN_INVERTED_HEAP_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "kspin/keyword_index.h"
+#include "routing/lower_bound.h"
+
+namespace kspin {
+
+/// Counters describing heap work (used by ablation benches and tests).
+struct HeapStats {
+  std::uint64_t lower_bounds_computed = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t extractions = 0;
+};
+
+/// One keyword's lazily populated candidate heap.
+class InvertedHeap {
+ public:
+  /// An empty heap (no backing object set).
+  InvertedHeap() = default;
+
+  /// A heap over `nvd`'s object set for query vertex q, seeded with the
+  /// index's initial candidates (Theorem 1). Both pointers must outlive
+  /// the heap. Used directly by the keyword-free KnnEngine; keyword
+  /// queries go through HeapGenerator.
+  InvertedHeap(const ApxNvd* nvd, const LowerBoundModule* lower_bounds, VertexId q);
+
+  /// A candidate delivered by the heap.
+  struct Candidate {
+    ObjectId object = kInvalidObject;
+    VertexId vertex = kInvalidVertex;
+    Distance lower_bound = kInfDistance;
+    bool deleted = false;  ///< Tombstoned in the ApxNvd (skip, still expand).
+  };
+
+  /// True when no candidates remain (every object of inv(t) was
+  /// extracted, or the keyword had none).
+  bool Empty() const { return queue_.empty(); }
+
+  /// Lower-bound distance of the current top (MINKEY); kInfDistance when
+  /// empty. Property 1: every not-yet-extracted object o of the keyword
+  /// has d(q, o) >= MinKey().
+  Distance MinKey() const {
+    return queue_.empty() ? kInfDistance : queue_.top().lower_bound;
+  }
+
+  /// Extracts the top candidate and runs LazyReheap to restore Property 1.
+  /// Requires !Empty().
+  Candidate ExtractMin();
+
+  /// Work counters for this heap.
+  const HeapStats& Stats() const { return stats_; }
+
+ private:
+  friend class HeapGenerator;
+
+  struct Entry {
+    Distance lower_bound;
+    ObjectId object;
+    VertexId vertex;
+    bool operator>(const Entry& o) const {
+      if (lower_bound != o.lower_bound) return lower_bound > o.lower_bound;
+      return object > o.object;
+    }
+  };
+
+  void InsertNew(const SiteObject& site);
+
+  const ApxNvd* nvd_ = nullptr;  // Null for keywords without objects.
+  const LowerBoundModule* lower_bounds_ = nullptr;
+  VertexId query_ = kInvalidVertex;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<ObjectId> inserted_;
+  std::vector<SiteObject> scratch_;
+  HeapStats stats_;
+};
+
+/// Factory wiring keyword indexes and the Lower Bounding Module together.
+class HeapGenerator {
+ public:
+  HeapGenerator(const KeywordIndex& keyword_index,
+                const LowerBoundModule& lower_bounds)
+      : keyword_index_(keyword_index), lower_bounds_(lower_bounds) {}
+
+  /// Creates the on-demand inverted heap for keyword t and query vertex q.
+  /// A keyword without objects yields an empty heap.
+  InvertedHeap Make(KeywordId t, VertexId q) const;
+
+ private:
+  const KeywordIndex& keyword_index_;
+  const LowerBoundModule& lower_bounds_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_INVERTED_HEAP_H_

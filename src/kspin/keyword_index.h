@@ -1,0 +1,80 @@
+// The Keyword Separated Index (paper Section 6): one rho-Approximate NVD
+// per keyword, built in parallel over all cores (Observation 3). Keywords
+// whose inverted lists have at most rho objects get a flat index for free
+// (Observation 1) — in Zipfian corpora that is the vast majority.
+#ifndef KSPIN_KSPIN_KEYWORD_INDEX_H_
+#define KSPIN_KSPIN_KEYWORD_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "nvd/apx_nvd.h"
+#include "routing/distance_oracle.h"
+#include "text/document_store.h"
+#include "text/inverted_index.h"
+
+namespace kspin {
+
+/// Construction parameters for the whole keyword index family.
+struct KeywordIndexOptions {
+  ApxNvdOptions nvd;         ///< rho, storage backend, lazy thresholds.
+  unsigned num_threads = 0;  ///< 0 = hardware concurrency (Observation 3).
+};
+
+/// Per-keyword index collection with update routing.
+class KeywordIndex {
+ public:
+  /// Builds an ApxNvd for every keyword with a non-empty inverted list.
+  KeywordIndex(const Graph& graph, const DocumentStore& store,
+               const InvertedIndex& inverted, KeywordIndexOptions options);
+
+  /// The index of keyword t, or nullptr when t has no objects.
+  const ApxNvd* Index(KeywordId t) const {
+    return t < indexes_.size() ? indexes_[t].get() : nullptr;
+  }
+
+  /// Routes a new object into the indexes of all its keywords (creating
+  /// flat indexes for previously object-less keywords).
+  void OnObjectInserted(ObjectId o, VertexId vertex,
+                        std::span<const KeywordId> keywords,
+                        DistanceOracle& oracle);
+
+  /// Routes a deletion into the indexes of the object's keywords.
+  void OnObjectDeleted(ObjectId o, std::span<const KeywordId> keywords);
+
+  /// A keyword was added to / removed from an existing object.
+  void OnKeywordAdded(ObjectId o, VertexId vertex, KeywordId keyword,
+                      DistanceOracle& oracle);
+  void OnKeywordRemoved(ObjectId o, KeywordId keyword);
+
+  /// Rebuilds every index whose lazy-update budget is exhausted; returns
+  /// how many were rebuilt. Rebuilds run in parallel.
+  std::size_t RebuildPending();
+
+  /// Number of keywords that needed full Voronoi structures (|inv| > rho).
+  std::size_t NumVoronoiIndexes() const;
+
+  /// Total keywords with an index (non-empty inverted list).
+  std::size_t NumIndexes() const;
+
+  /// Total index memory in bytes (the paper's K-SPIN keyword index size).
+  std::size_t MemoryBytes() const;
+
+  /// Wall-clock seconds spent in the parallel construction.
+  double BuildSeconds() const { return build_seconds_; }
+
+ private:
+  ApxNvd* EnsureIndex(KeywordId t);
+
+  const Graph& graph_;
+  KeywordIndexOptions options_;
+  std::vector<std::unique_ptr<ApxNvd>> indexes_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_KEYWORD_INDEX_H_

@@ -1,0 +1,69 @@
+#include "kspin/knn_engine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace kspin {
+
+KnnEngine::KnnEngine(const Graph& graph, std::vector<SiteObject> objects,
+                     const LowerBoundModule& lower_bounds, DistanceOracle& oracle,
+                     ApxNvdOptions options)
+    : lower_bounds_(lower_bounds),
+      oracle_(oracle),
+      nvd_(graph, std::move(objects), options) {}
+
+std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
+                                       QueryStats* stats) {
+  std::vector<BkNNResult> results;
+  if (k == 0) return results;
+  oracle_.BeginSourceBatch(q);
+  InvertedHeap heap(&nvd_, &lower_bounds_, q);
+
+  // Max-heap of the best k distances for the D_k bound.
+  std::priority_queue<std::pair<Distance, ObjectId>> best;
+  auto dk = [&best, k] {
+    return best.size() < k ? kInfDistance : best.top().first;
+  };
+  QueryStats local;
+  ++local.heaps_created;
+  while (!heap.Empty() && heap.MinKey() < dk()) {
+    const InvertedHeap::Candidate c = heap.ExtractMin();
+    ++local.candidates_extracted;
+    if (c.deleted) continue;
+    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    ++local.network_distance_computations;
+    if (d < dk()) {
+      if (best.size() == k) best.pop();
+      best.push({d, c.object});
+    }
+  }
+  local.lower_bounds_computed = heap.Stats().lower_bounds_computed;
+  if (stats != nullptr) {
+    stats->network_distance_computations +=
+        local.network_distance_computations;
+    stats->candidates_extracted += local.candidates_extracted;
+    stats->lower_bounds_computed += local.lower_bounds_computed;
+    stats->heaps_created += local.heaps_created;
+  }
+  results.reserve(best.size());
+  while (!best.empty()) {
+    results.push_back({best.top().second, best.top().first});
+    best.pop();
+  }
+  std::reverse(results.begin(), results.end());
+  return results;
+}
+
+void KnnEngine::Insert(ObjectId o, VertexId vertex) {
+  nvd_.Insert(o, vertex, oracle_);
+}
+
+void KnnEngine::Delete(ObjectId o) { nvd_.Delete(o); }
+
+bool KnnEngine::MaintainIndex() {
+  if (!nvd_.NeedsRebuild()) return false;
+  nvd_.Rebuild();
+  return true;
+}
+
+}  // namespace kspin

@@ -1,0 +1,54 @@
+// Keyword-free k-nearest-neighbour engine over a single object set.
+//
+// The paper closes by noting that rho-Approximate NVDs "are useful
+// techniques on their own": this engine is exactly that — one APX-NVD over
+// a pre-determined POI set (the classic kNN-on-road-networks setting of
+// G-tree/ROAD, no keywords involved), served through the same on-demand
+// heap machinery, with the same lazy update support.
+#ifndef KSPIN_KSPIN_KNN_ENGINE_H_
+#define KSPIN_KSPIN_KNN_ENGINE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/inverted_heap.h"
+#include "kspin/query_processor.h"
+#include "nvd/apx_nvd.h"
+#include "routing/lower_bound.h"
+#include "routing/distance_oracle.h"
+
+namespace kspin {
+
+/// Exact kNN over one object set via an APX-NVD + on-demand heap.
+class KnnEngine {
+ public:
+  /// Builds the engine over `objects`. `lower_bounds` and `oracle` must
+  /// outlive it.
+  KnnEngine(const Graph& graph, std::vector<SiteObject> objects,
+            const LowerBoundModule& lower_bounds, DistanceOracle& oracle,
+            ApxNvdOptions options = {});
+
+  /// The k nearest live objects to q, ascending by network distance.
+  std::vector<BkNNResult> Knn(VertexId q, std::uint32_t k,
+                              QueryStats* stats = nullptr);
+
+  /// Lazy insertion / deletion (Section 6.2 semantics).
+  void Insert(ObjectId o, VertexId vertex);
+  void Delete(ObjectId o);
+
+  /// Rebuilds the NVD if the lazy budget ran out; returns true if rebuilt.
+  bool MaintainIndex();
+
+  std::size_t NumLiveObjects() const { return nvd_.NumLiveObjects(); }
+  std::size_t MemoryBytes() const { return nvd_.MemoryBytes(); }
+
+ private:
+  const LowerBoundModule& lower_bounds_;
+  DistanceOracle& oracle_;
+  ApxNvd nvd_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_KNN_ENGINE_H_

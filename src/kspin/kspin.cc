@@ -1,0 +1,111 @@
+#include "kspin/kspin.h"
+
+#include <algorithm>
+
+namespace kspin {
+namespace {
+
+std::size_t MaxKeywordId(const DocumentStore& store) {
+  std::size_t max_id = 0;
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    if (!store.IsLive(o)) continue;
+    for (const DocEntry& e : store.Document(o)) {
+      max_id = std::max<std::size_t>(max_id, e.keyword);
+    }
+  }
+  return max_id;
+}
+
+}  // namespace
+
+KSpin::KSpin(const Graph& graph, DocumentStore store, DistanceOracle& oracle,
+             KSpinOptions options)
+    : graph_(graph), store_(std::move(store)), oracle_(oracle) {
+  const std::size_t num_keywords =
+      store_.NumLiveObjects() == 0 ? 0 : MaxKeywordId(store_) + 1;
+  inverted_ = std::make_unique<InvertedIndex>(store_, num_keywords);
+  relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+  alt_ = std::make_unique<AltIndex>(graph_, options.num_landmarks,
+                                    LandmarkStrategy::kFarthest,
+                                    options.seed);
+  lower_bounds_ = alt_.get();
+  if (options.use_euclidean_heuristic) {
+    euclidean_ = std::make_unique<EuclideanLowerBound>(graph_);
+    composite_ = std::make_unique<MaxLowerBound>(
+        std::vector<const LowerBoundModule*>{alt_.get(), euclidean_.get()});
+    lower_bounds_ = composite_.get();
+  }
+  KeywordIndexOptions ki_options;
+  ki_options.nvd.rho = options.rho;
+  ki_options.nvd.storage = options.nvd_storage;
+  ki_options.nvd.lazy_insert_threshold = options.lazy_insert_threshold;
+  ki_options.num_threads = options.num_threads;
+  keyword_index_ =
+      std::make_unique<KeywordIndex>(graph_, store_, *inverted_, ki_options);
+  processor_ = std::make_unique<QueryProcessor>(
+      store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
+      oracle_);
+}
+
+ObjectId KSpin::InsertObject(VertexId vertex,
+                             std::vector<DocEntry> document) {
+  const ObjectId o = store_.AddObject(vertex, std::move(document));
+  std::vector<KeywordId> keywords;
+  KeywordId max_keyword = 0;
+  for (const DocEntry& e : store_.Document(o)) {
+    keywords.push_back(e.keyword);
+    max_keyword = std::max(max_keyword, e.keyword);
+  }
+  if (!keywords.empty() && max_keyword >= inverted_->NumKeywords()) {
+    // Grow the keyword universe once, to the document's largest id: the
+    // rebuild scans the whole store (which already holds this object), so
+    // growing per-entry would trip over the document's later keywords.
+    inverted_ = std::make_unique<InvertedIndex>(store_, max_keyword + 1);
+    relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+    processor_ = std::make_unique<QueryProcessor>(
+        store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
+        oracle_);
+  }
+  for (KeywordId t : keywords) inverted_->Add(t, o);
+  relevance_->RefreshObject(o);
+  keyword_index_->OnObjectInserted(o, vertex, keywords, oracle_);
+  return o;
+}
+
+void KSpin::DeleteObject(ObjectId o) {
+  std::vector<KeywordId> keywords;
+  for (const DocEntry& e : store_.Document(o)) keywords.push_back(e.keyword);
+  store_.DeleteObject(o);
+  for (KeywordId t : keywords) inverted_->Remove(t, o);
+  relevance_->RefreshObject(o);
+  keyword_index_->OnObjectDeleted(o, keywords);
+}
+
+void KSpin::AddKeywordToObject(ObjectId o, KeywordId keyword,
+                               std::uint32_t frequency) {
+  const bool had = store_.Contains(o, keyword);
+  store_.AddKeyword(o, keyword, frequency);
+  if (!had) {
+    if (keyword >= inverted_->NumKeywords()) {
+      inverted_ = std::make_unique<InvertedIndex>(store_, keyword + 1);
+      relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+      processor_ = std::make_unique<QueryProcessor>(
+          store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
+      oracle_);
+    } else {
+      inverted_->Add(keyword, o);
+    }
+    keyword_index_->OnKeywordAdded(o, store_.ObjectVertex(o), keyword,
+                                   oracle_);
+  }
+  relevance_->RefreshObject(o);
+}
+
+void KSpin::RemoveKeywordFromObject(ObjectId o, KeywordId keyword) {
+  store_.RemoveKeyword(o, keyword);
+  inverted_->Remove(keyword, o);
+  relevance_->RefreshObject(o);
+  keyword_index_->OnKeywordRemoved(o, keyword);
+}
+
+}  // namespace kspin

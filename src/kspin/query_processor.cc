@@ -1,0 +1,403 @@
+#include "kspin/query_processor.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace kspin {
+namespace {
+
+// Keeps the k best (smallest-key) results seen so far and exposes the
+// current D_k (the k-th best key; +infinity while fewer than k are held).
+template <typename Key, typename Value>
+class BestK {
+ public:
+  explicit BestK(std::uint32_t k) : k_(k) {}
+
+  Key Dk() const {
+    return heap_.size() < k_ ? std::numeric_limits<Key>::max()
+                             : heap_.top().first;
+  }
+
+  void Offer(Key key, const Value& value) {
+    if (heap_.size() < k_) {
+      heap_.push({key, value});
+    } else if (key < heap_.top().first) {
+      heap_.pop();
+      heap_.push({key, value});
+    }
+  }
+
+  // Ascending by key.
+  std::vector<std::pair<Key, Value>> Sorted() {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::uint32_t k_;
+  std::priority_queue<std::pair<Key, Value>> heap_;  // Max-heap on key.
+};
+
+// D_k for doubles needs infinity, not max().
+inline double DoubleDk(double dk) {
+  return dk == std::numeric_limits<double>::max()
+             ? std::numeric_limits<double>::infinity()
+             : dk;
+}
+
+std::vector<KeywordId> Deduplicate(std::span<const KeywordId> keywords) {
+  std::vector<KeywordId> unique(keywords.begin(), keywords.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique;
+}
+
+}  // namespace
+
+std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
+    VertexId q, std::uint32_t k, std::vector<InvertedHeap> heaps,
+    const std::function<bool(ObjectId)>& satisfies, QueryStats* stats) {
+  QueryStats local;
+  BestK<Distance, ObjectId> best(k);
+  oracle_.BeginSourceBatch(q);
+
+  // One priority-queue entry per heap, keyed by its MINKEY (Algorithm 1).
+  using PQEntry = std::pair<Distance, std::size_t>;
+  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
+      pq;
+  for (std::size_t i = 0; i < heaps.size(); ++i) {
+    ++local.heaps_created;
+    if (!heaps[i].Empty()) pq.push({heaps[i].MinKey(), i});
+  }
+
+  std::unordered_set<ObjectId> evaluated;
+  while (!pq.empty() && pq.top().first < best.Dk()) {
+    const std::size_t i = pq.top().second;
+    pq.pop();
+    InvertedHeap::Candidate c = heaps[i].ExtractMin();
+    ++local.candidates_extracted;
+    if (!heaps[i].Empty()) pq.push({heaps[i].MinKey(), i});
+
+    if (c.deleted) continue;
+    if (!evaluated.insert(c.object).second) continue;  // Seen via another
+                                                       // heap.
+    if (!satisfies(c.object)) continue;
+    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    ++local.network_distance_computations;
+    best.Offer(d, c.object);
+  }
+
+  for (const InvertedHeap& heap : heaps) {
+    local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
+  }
+  if (stats != nullptr) {
+    stats->network_distance_computations +=
+        local.network_distance_computations;
+    stats->candidates_extracted += local.candidates_extracted;
+    stats->lower_bounds_computed += local.lower_bounds_computed;
+    stats->heaps_created += local.heaps_created;
+  }
+
+  std::vector<BkNNResult> results;
+  for (const auto& [d, o] : best.Sorted()) results.push_back({o, d});
+  return results;
+}
+
+std::vector<BkNNResult> QueryProcessor::BooleanKnn(
+    VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
+    BooleanOp op, QueryStats* stats) {
+  if (k == 0 || keywords.empty()) return {};
+  const std::vector<KeywordId> unique = Deduplicate(keywords);
+  if (op == BooleanOp::kConjunctive) {
+    return ConjunctiveKnn(q, k, unique, stats);
+  }
+  std::vector<InvertedHeap> heaps;
+  heaps.reserve(unique.size());
+  for (KeywordId t : unique) heaps.push_back(heap_generator_.Make(t, q));
+  // Membership re-check against the live store keeps results exact even
+  // when keyword indexes carry lazy tombstones.
+  auto satisfies = [this, &unique](ObjectId o) {
+    for (KeywordId t : unique) {
+      if (store_.Contains(o, t)) return true;
+    }
+    return false;
+  };
+  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+}
+
+std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
+    VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
+    QueryStats* stats) {
+  // Use only the heap of the least frequent keyword (Section 4.1.2): it
+  // has the fewest candidates and every result must contain it.
+  KeywordId rarest = keywords.front();
+  for (KeywordId t : keywords) {
+    if (inverted_.ListSize(t) < inverted_.ListSize(rarest)) rarest = t;
+  }
+  if (inverted_.ListSize(rarest) == 0) return {};
+
+  std::vector<InvertedHeap> heaps;
+  heaps.push_back(heap_generator_.Make(rarest, q));
+  auto satisfies = [this, &keywords](ObjectId o) {
+    for (KeywordId t : keywords) {
+      if (!store_.Contains(o, t)) return false;
+    }
+    return true;
+  };
+  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+}
+
+std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
+    VertexId q, std::uint32_t k,
+    std::span<const std::vector<KeywordId>> clauses, QueryStats* stats) {
+  if (k == 0 || clauses.empty()) return {};
+  // Drive candidate generation with the clause of smallest total
+  // inverted-list size (every result must satisfy it); filter candidates
+  // against the full CNF.
+  std::size_t driver = 0;
+  std::size_t driver_size = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    std::size_t size = 0;
+    for (KeywordId t : clauses[i]) size += inverted_.ListSize(t);
+    if (size < driver_size) {
+      driver_size = size;
+      driver = i;
+    }
+  }
+  std::vector<InvertedHeap> heaps;
+  for (KeywordId t : Deduplicate(clauses[driver])) {
+    heaps.push_back(heap_generator_.Make(t, q));
+  }
+  auto satisfies = [this, &clauses](ObjectId o) {
+    for (const std::vector<KeywordId>& clause : clauses) {
+      bool any = false;
+      for (KeywordId t : clause) {
+        if (store_.Contains(o, t)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  };
+  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+}
+
+std::vector<TopKResult> QueryProcessor::TopK(
+    VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
+    const ScoringFunction& scoring, QueryStats* stats) {
+  if (k == 0 || keywords.empty()) return {};
+  const std::vector<KeywordId> unique = Deduplicate(keywords);
+  const PreparedQuery prepared = relevance_.PrepareQuery(unique);
+
+  QueryStats local;
+  std::vector<InvertedHeap> heaps;
+  heaps.reserve(unique.size());
+  for (KeywordId t : unique) {
+    heaps.push_back(heap_generator_.Make(t, q));
+    ++local.heaps_created;
+  }
+  oracle_.BeginSourceBatch(q);
+
+  // Pseudo lower-bound score of heap i (Algorithm 2): assume every unseen
+  // object in H_i contains keyword t_j only if MINKEY(H_i) >= MINKEY(H_j);
+  // impact of such a keyword is bounded by lambda_{t_j,max}. With the
+  // ablation switch off, fall back to the valid lower bound ST_all that
+  // credits every keyword to every unseen object.
+  auto pseudo_lb = [this, &prepared, &heaps,
+                    &scoring](std::size_t i) -> double {
+    const Distance min_i = heaps[i].MinKey();
+    if (min_i == kInfDistance) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double tr_p = 0.0;
+    for (std::size_t j = 0; j < heaps.size(); ++j) {
+      if (!use_pseudo_lower_bounds_ || min_i >= heaps[j].MinKey()) {
+        tr_p += prepared.impacts[j] *
+                relevance_.MaxImpact(prepared.keywords[j]);
+      }
+    }
+    return scoring.LowerBoundScore(min_i, tr_p);
+  };
+
+  struct PQEntry {
+    double score;
+    std::size_t heap;
+    bool operator>(const PQEntry& o) const { return score > o.score; }
+  };
+  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
+      pq;
+  for (std::size_t i = 0; i < heaps.size(); ++i) {
+    const double score = pseudo_lb(i);
+    if (score != std::numeric_limits<double>::infinity()) {
+      pq.push({score, i});
+    }
+  }
+
+  BestK<double, std::pair<ObjectId, std::pair<Distance, double>>> best(k);
+  std::unordered_set<ObjectId> processed;
+  while (!pq.empty() && pq.top().score < DoubleDk(best.Dk())) {
+    const std::size_t i = pq.top().heap;
+    pq.pop();
+    if (heaps[i].Empty()) continue;  // Stale entry for a drained heap.
+    InvertedHeap::Candidate c = heaps[i].ExtractMin();
+    ++local.candidates_extracted;
+    const double score = pseudo_lb(i);
+    if (score != std::numeric_limits<double>::infinity()) {
+      pq.push({score, i});
+    }
+
+    if (c.deleted) continue;
+    if (!processed.insert(c.object).second) continue;
+    // Cheap filter: the candidate's *actual* textual relevance with its
+    // lower-bound distance (line 10 of Algorithm 3).
+    const double tr = relevance_.TextualRelevance(prepared, c.object);
+    if (tr <= 0.0) continue;
+    const double lb_score = scoring.LowerBoundScore(c.lower_bound, tr);
+    if (lb_score > DoubleDk(best.Dk())) continue;
+    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    ++local.network_distance_computations;
+    const double st = scoring.Score(d, tr);
+    best.Offer(st, {c.object, {d, tr}});
+  }
+
+  for (const InvertedHeap& heap : heaps) {
+    local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
+  }
+  if (stats != nullptr) {
+    stats->network_distance_computations +=
+        local.network_distance_computations;
+    stats->candidates_extracted += local.candidates_extracted;
+    stats->lower_bounds_computed += local.lower_bounds_computed;
+    stats->heaps_created += local.heaps_created;
+  }
+
+  std::vector<TopKResult> results;
+  for (const auto& [score, payload] : best.Sorted()) {
+    results.push_back(
+        {payload.first, score, payload.second.first, payload.second.second});
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------
+// Incremental top-k stream.
+//
+// Same machinery as TopK, reorganized around an emission rule instead of a
+// D_k cutoff: a fully-scored candidate is released once its score is at
+// most every heap's pseudo lower bound — at that point no unseen object
+// can beat it (Lemma 2's argument, applied per emission). Without a k
+// bound there is no D_k to pre-filter candidates, so every textually
+// relevant extraction pays its network distance; that is the inherent
+// price of "give me more" pagination.
+// ---------------------------------------------------------------------
+
+struct QueryProcessor::TopKStream::State {
+  QueryProcessor* processor;
+  VertexId q;
+  PreparedQuery prepared;
+  ScoringFunction scoring;
+  std::vector<InvertedHeap> heaps;
+
+  struct PQEntry {
+    double score;
+    std::size_t heap;
+    bool operator>(const PQEntry& o) const { return score > o.score; }
+  };
+  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
+      pq;
+  struct Scored {
+    double score;
+    TopKResult result;
+    bool operator>(const Scored& o) const { return score > o.score; }
+  };
+  std::priority_queue<Scored, std::vector<Scored>, std::greater<Scored>>
+      scored;
+  std::unordered_set<ObjectId> processed;
+
+  double PseudoLb(std::size_t i) const {
+    const Distance min_i = heaps[i].MinKey();
+    if (min_i == kInfDistance) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double tr_p = 0.0;
+    for (std::size_t j = 0; j < heaps.size(); ++j) {
+      if (min_i >= heaps[j].MinKey()) {
+        tr_p += prepared.impacts[j] *
+                processor->relevance_.MaxImpact(prepared.keywords[j]);
+      }
+    }
+    return scoring.LowerBoundScore(min_i, tr_p);
+  }
+};
+
+QueryProcessor::TopKStream::TopKStream(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+std::optional<TopKResult> QueryProcessor::TopKStream::Next() {
+  State& s = *state_;
+  for (;;) {
+    const double frontier =
+        s.pq.empty() ? std::numeric_limits<double>::infinity()
+                     : s.pq.top().score;
+    if (!s.scored.empty() && s.scored.top().score <= frontier) {
+      TopKResult result = s.scored.top().result;
+      s.scored.pop();
+      ++produced_;
+      return result;
+    }
+    if (s.pq.empty()) return std::nullopt;  // Everything emitted.
+
+    const std::size_t i = s.pq.top().heap;
+    s.pq.pop();
+    if (s.heaps[i].Empty()) continue;  // Stale entry for a drained heap.
+    const InvertedHeap::Candidate c = s.heaps[i].ExtractMin();
+    const double refreshed = s.PseudoLb(i);
+    if (refreshed != std::numeric_limits<double>::infinity()) {
+      s.pq.push({refreshed, i});
+    }
+    if (c.deleted) continue;
+    if (!s.processed.insert(c.object).second) continue;
+    const double tr =
+        s.processor->relevance_.TextualRelevance(s.prepared, c.object);
+    if (tr <= 0.0) continue;
+    const Distance d = s.processor->oracle_.NetworkDistance(s.q, c.vertex);
+    const double score = s.scoring.Score(d, tr);
+    s.scored.push({score, TopKResult{c.object, score, d, tr}});
+  }
+}
+
+QueryProcessor::TopKStream QueryProcessor::OpenTopKStream(
+    VertexId q, std::span<const KeywordId> keywords,
+    const ScoringFunction& scoring) {
+  auto state = std::make_shared<TopKStream::State>();
+  state->processor = this;
+  state->q = q;
+  state->scoring = scoring;
+  const std::vector<KeywordId> unique = Deduplicate(keywords);
+  state->prepared = relevance_.PrepareQuery(unique);
+  oracle_.BeginSourceBatch(q);
+  state->heaps.reserve(unique.size());
+  for (KeywordId t : unique) {
+    state->heaps.push_back(heap_generator_.Make(t, q));
+  }
+  for (std::size_t i = 0; i < state->heaps.size(); ++i) {
+    const double score = state->PseudoLb(i);
+    if (score != std::numeric_limits<double>::infinity()) {
+      state->pq.push({score, i});
+    }
+  }
+  return TopKStream(std::move(state));
+}
+
+}  // namespace kspin

@@ -1,0 +1,167 @@
+// The K-SPIN Query Processor (paper Section 4): Boolean kNN queries
+// (disjunctive — Algorithm 1 — and conjunctive), top-k spatial keyword
+// queries with pseudo lower-bound scores (Algorithms 2 and 3), and the
+// mixed-operator CNF extension the paper sketches in Section 2.
+//
+// All algorithms return *exact* results; lower bounds from the ALT module
+// and the pseudo lower-bound scores only delay or avoid expensive network
+// distance computations.
+#ifndef KSPIN_KSPIN_QUERY_PROCESSOR_H_
+#define KSPIN_KSPIN_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "kspin/inverted_heap.h"
+#include "kspin/keyword_index.h"
+#include "routing/lower_bound.h"
+#include "routing/distance_oracle.h"
+#include "text/document_store.h"
+#include "text/inverted_index.h"
+#include "text/relevance.h"
+
+namespace kspin {
+
+/// Boolean operator of a BkNN query.
+enum class BooleanOp {
+  kDisjunctive,  ///< Object must contain at least one query keyword.
+  kConjunctive,  ///< Object must contain all query keywords.
+};
+
+/// One BkNN result.
+struct BkNNResult {
+  ObjectId object = kInvalidObject;
+  Distance distance = kInfDistance;
+
+  friend bool operator==(const BkNNResult&, const BkNNResult&) = default;
+};
+
+/// One top-k result (score = weighted distance, Equation 1).
+struct TopKResult {
+  ObjectId object = kInvalidObject;
+  double score = 0.0;
+  Distance distance = kInfDistance;
+  double relevance = 0.0;
+};
+
+/// Per-query work counters (benchmarks and ablations).
+struct QueryStats {
+  std::uint64_t network_distance_computations = 0;
+  std::uint64_t candidates_extracted = 0;  ///< kappa in Section 5.1.
+  std::uint64_t lower_bounds_computed = 0;
+  std::uint64_t heaps_created = 0;
+};
+
+/// Query algorithms over the K-SPIN module stack.
+class QueryProcessor {
+ public:
+  QueryProcessor(const DocumentStore& store, const InvertedIndex& inverted,
+                 const RelevanceModel& relevance,
+                 const KeywordIndex& keyword_index,
+                 const LowerBoundModule& lower_bounds,
+                 DistanceOracle& oracle)
+      : store_(store),
+        inverted_(inverted),
+        relevance_(relevance),
+        keyword_index_(keyword_index),
+        lower_bounds_(lower_bounds),
+        oracle_(oracle),
+        heap_generator_(keyword_index, lower_bounds) {}
+
+  /// Boolean kNN query (q, k, psi, op). Results ascend by distance (ties
+  /// by object id). Fewer than k results are returned when fewer objects
+  /// satisfy the criteria.
+  std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
+                                     std::span<const KeywordId> keywords,
+                                     BooleanOp op,
+                                     QueryStats* stats = nullptr);
+
+  /// Mixed-operator extension: conjunction of disjunctive clauses, e.g.
+  /// {"thai"} AND {"takeaway" OR "restaurant"}. Each clause is a keyword
+  /// set; an object qualifies if it contains a keyword of every clause.
+  std::vector<BkNNResult> BooleanKnnCnf(
+      VertexId q, std::uint32_t k,
+      std::span<const std::vector<KeywordId>> clauses,
+      QueryStats* stats = nullptr);
+
+  /// Top-k spatial keyword query (Algorithm 3 with Algorithm 2's pseudo
+  /// lower-bound scores) under the default weighted-distance scoring
+  /// (Equation 1). Results ascend by score.
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               QueryStats* stats = nullptr) {
+    return TopK(q, k, keywords, ScoringFunction{}, stats);
+  }
+
+  /// Top-k with an explicit scoring function (weighted distance or
+  /// weighted sum — the framework is orthogonal to the combination, paper
+  /// Section 2). The pseudo lower bound generalizes because the score is
+  /// monotone in distance and relevance.
+  std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
+                               std::span<const KeywordId> keywords,
+                               const ScoringFunction& scoring,
+                               QueryStats* stats = nullptr);
+
+  /// Incremental top-k: results are produced one at a time in ascending
+  /// score order, so callers can paginate ("show 10 more") without
+  /// recomputing. Holds references into the processor; do not outlive it
+  /// or mutate the indexes while streaming.
+  class TopKStream {
+   public:
+    /// The next-best result, or std::nullopt when exhausted.
+    std::optional<TopKResult> Next();
+
+    /// Total results produced so far.
+    std::size_t Produced() const { return produced_; }
+
+   private:
+    friend class QueryProcessor;
+    struct State;
+    explicit TopKStream(std::shared_ptr<State> state);
+    std::shared_ptr<State> state_;
+    std::size_t produced_ = 0;
+  };
+
+  /// Opens an incremental top-k stream (default weighted-distance
+  /// scoring). Exact: the i-th Next() is the i-th best object.
+  TopKStream OpenTopKStream(VertexId q,
+                            std::span<const KeywordId> keywords,
+                            const ScoringFunction& scoring = {});
+
+  /// Ablation switch: when disabled, TopK ranks heaps by the *valid*
+  /// lower-bound score ST_all = MINKEY(H_i) / TR_max(psi) instead of the
+  /// pseudo lower bound (Section 4.2 contrasts the two). Results stay
+  /// exact either way; the pseudo bound terminates sooner.
+  void SetUsePseudoLowerBounds(bool enabled) {
+    use_pseudo_lower_bounds_ = enabled;
+  }
+
+ private:
+  // Disjunctive search over an explicit heap set with a candidate filter;
+  // shared by BooleanKnn(disjunctive) and BooleanKnnCnf.
+  std::vector<BkNNResult> DisjunctiveSearch(
+      VertexId q, std::uint32_t k, std::vector<InvertedHeap> heaps,
+      const std::function<bool(ObjectId)>& satisfies, QueryStats* stats);
+
+  std::vector<BkNNResult> ConjunctiveKnn(VertexId q, std::uint32_t k,
+                                         std::span<const KeywordId> keywords,
+                                         QueryStats* stats);
+
+  const DocumentStore& store_;
+  const InvertedIndex& inverted_;
+  const RelevanceModel& relevance_;
+  const KeywordIndex& keyword_index_;
+  const LowerBoundModule& lower_bounds_;
+  DistanceOracle& oracle_;
+  HeapGenerator heap_generator_;
+  bool use_pseudo_lower_bounds_ = true;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_QUERY_PROCESSOR_H_

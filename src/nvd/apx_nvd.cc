@@ -1,0 +1,176 @@
+#include "nvd/apx_nvd.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nvd/nvd.h"
+
+namespace kspin {
+
+ApxNvd::ApxNvd(const Graph& graph, std::vector<SiteObject> sites,
+               ApxNvdOptions options)
+    : graph_(graph), options_(options) {
+  if (options_.rho == 0) {
+    throw std::invalid_argument("ApxNvd: rho must be >= 1");
+  }
+  Build(std::move(sites));
+}
+
+void ApxNvd::Build(std::vector<SiteObject> sites) {
+  site_index_.clear();
+  adjacency_.clear();
+  max_radius_.clear();
+  quadtree_.reset();
+  rtree_.reset();
+  attached_nodes_.clear();
+  deleted_.clear();
+  lazy_inserts_ = 0;
+
+  // Objects sharing a vertex collapse onto one Voronoi site: the first
+  // becomes the site, the rest ride along as attachments of that node (so
+  // they surface whenever the node does; their distances are identical).
+  std::unordered_map<VertexId, std::uint32_t> vertex_site;
+  sites_.clear();
+  std::vector<std::pair<ObjectId, std::uint32_t>> colocated;
+  for (const SiteObject& s : sites) {
+    if (site_index_.contains(s.object)) {
+      throw std::invalid_argument("ApxNvd: duplicate object id");
+    }
+    auto [it, inserted] = vertex_site.try_emplace(
+        s.vertex, static_cast<std::uint32_t>(sites_.size()));
+    if (inserted) {
+      site_index_.emplace(s.object, it->second);
+      sites_.push_back(s);
+    } else {
+      site_index_.emplace(s.object, UINT32_MAX);  // Not a site itself.
+      colocated.emplace_back(s.object, it->second);
+    }
+  }
+  attachments_.assign(sites_.size(), {});
+  for (const auto& [object, node] : colocated) {
+    site_index_.erase(object);
+    attachments_[node].push_back({object, sites_[node].vertex});
+    attached_nodes_.emplace(
+        object, std::vector<std::uint32_t>{node});
+  }
+
+  // Observation 1: tiny inverted lists need no Voronoi machinery at all —
+  // the "index" is the flat list itself.
+  if (sites_.size() <= options_.rho) return;
+
+  if (!graph_.HasCoordinates()) {
+    throw std::invalid_argument(
+        "ApxNvd: graph coordinates required for Voronoi storage");
+  }
+
+  std::vector<VertexId> site_vertices(sites_.size());
+  for (std::uint32_t i = 0; i < sites_.size(); ++i) {
+    site_vertices[i] = sites_[i].vertex;
+  }
+  NetworkVoronoiDiagram nvd = BuildNvd(graph_, site_vertices);
+  adjacency_ = std::move(nvd.adjacency);
+  max_radius_ = std::move(nvd.max_radius);
+
+  // Voronoi storage over every vertex's owner colour; the O(|V|) owner
+  // array itself is discarded (Observation 2a).
+  if (options_.storage == ApxNvdStorage::kQuadtree) {
+    quadtree_ = std::make_unique<ColorQuadtree>(
+        graph_.Coordinates(), nvd.owner, options_.rho,
+        options_.quadtree_max_depth);
+  } else {
+    rtree_ = std::make_unique<VoronoiRTree>(graph_.Coordinates(), nvd.owner);
+  }
+}
+
+void ApxNvd::InitialCandidates(VertexId q,
+                               std::vector<SiteObject>* out) const {
+  if (!HasVoronoi()) {
+    out->insert(out->end(), sites_.begin(), sites_.end());
+    for (const auto& list : attachments_) {
+      out->insert(out->end(), list.begin(), list.end());
+    }
+    return;
+  }
+  const Coordinate& coord = graph_.VertexCoordinate(q);
+  auto emit_node = [this, out](std::uint32_t node) {
+    out->push_back(sites_[node]);
+    out->insert(out->end(), attachments_[node].begin(),
+                attachments_[node].end());
+  };
+  if (quadtree_ != nullptr) {
+    for (std::uint32_t color : quadtree_->Locate(coord)) emit_node(color);
+  } else {
+    rtree_->Locate(coord, &locate_scratch_);
+    for (std::uint32_t color : locate_scratch_) emit_node(color);
+  }
+}
+
+void ApxNvd::ExpandCandidates(ObjectId o,
+                              std::vector<SiteObject>* out) const {
+  if (!HasVoronoi()) return;  // Flat lists are fully emitted at init.
+  auto emit_node = [this, out](std::uint32_t node) {
+    out->push_back(sites_[node]);
+    out->insert(out->end(), attachments_[node].begin(),
+                attachments_[node].end());
+  };
+  auto expand_node = [this, &emit_node](std::uint32_t node) {
+    emit_node(node);  // Covers co-attachments of the node itself.
+    for (std::uint32_t adj : adjacency_[node]) emit_node(adj);
+  };
+  auto site_it = site_index_.find(o);
+  if (site_it != site_index_.end()) {
+    expand_node(site_it->second);
+    return;
+  }
+  auto attached_it = attached_nodes_.find(o);
+  if (attached_it != attached_nodes_.end()) {
+    for (std::uint32_t node : attached_it->second) expand_node(node);
+  }
+}
+
+std::size_t ApxNvd::NumLiveObjects() const {
+  std::size_t live = sites_.size() - 0;
+  for (const SiteObject& s : sites_) {
+    if (deleted_.contains(s.object)) --live;
+  }
+  for (const auto& [o, nodes] : attached_nodes_) {
+    if (!deleted_.contains(o)) ++live;
+  }
+  return live;
+}
+
+std::vector<SiteObject> ApxNvd::LiveObjects() const {
+  std::vector<SiteObject> live;
+  live.reserve(sites_.size());
+  for (const SiteObject& s : sites_) {
+    if (!deleted_.contains(s.object)) live.push_back(s);
+  }
+  for (const auto& [o, nodes] : attached_nodes_) {
+    if (deleted_.contains(o) || nodes.empty()) continue;
+    // Attached objects record their vertex via the first attachment's
+    // stored copy in attachments_.
+    for (const SiteObject& a : attachments_[nodes.front()]) {
+      if (a.object == o) {
+        live.push_back(a);
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+std::size_t ApxNvd::MemoryBytes() const {
+  std::size_t total = sites_.size() * sizeof(SiteObject) +
+                      max_radius_.size() * sizeof(Distance);
+  for (const auto& list : adjacency_) {
+    total += list.size() * sizeof(std::uint32_t) + sizeof(list);
+  }
+  for (const auto& list : attachments_) {
+    total += list.size() * sizeof(SiteObject) + sizeof(list);
+  }
+  if (quadtree_ != nullptr) total += quadtree_->MemoryBytes();
+  if (rtree_ != nullptr) total += rtree_->MemoryBytes();
+  return total;
+}
+
+}  // namespace kspin

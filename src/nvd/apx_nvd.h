@@ -1,0 +1,150 @@
+// rho-Approximate Network Voronoi Diagram (paper Section 6.1, Definition 1):
+// the per-keyword index of the Keyword Separated Index.
+//
+// For every vertex v it can retrieve up to rho candidate objects, one of
+// which is guaranteed to be the 1NN of v — enough to initialize an
+// on-demand inverted heap (Theorem 1) — plus the site adjacency graph and
+// MaxRadius values needed to maintain the heap (Algorithm 4) and to handle
+// updates (Section 6.2, Theorem 2).
+//
+// Space savings relative to an exact NVD come from three observations:
+//  - keywords with |inv(t)| <= rho skip Voronoi construction entirely and
+//    degenerate to the flat inverted list (Observation 1);
+//  - only the O(|inv(t)|) adjacency graph is retained, not the O(|V|)
+//    vertex assignment (Observation 2a);
+//  - the vertex assignment is replaced by a quadtree subdivided only until
+//    cells have <= rho distinct nearest sites (Observation 2b), or by an
+//    R-tree of per-site MBRs for a worst-case space bound.
+//
+// Updates are lazy: deletions tombstone; insertions compute a Theorem-2
+// affected set and attach the new object to those adjacency-graph nodes,
+// deferring reconstruction. Queries remain exact throughout.
+#ifndef KSPIN_NVD_APX_NVD_H_
+#define KSPIN_NVD_APX_NVD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "nvd/quadtree.h"
+#include "nvd/rtree.h"
+#include "routing/distance_oracle.h"
+
+namespace kspin {
+
+/// Storage backend for the approximate Voronoi assignment.
+enum class ApxNvdStorage {
+  kQuadtree,  ///< Morton-list colour quadtree (rho candidate guarantee).
+  kRTree,     ///< Per-site MBR R-tree (O(sites) space guarantee).
+};
+
+/// Construction / update tuning.
+struct ApxNvdOptions {
+  std::uint32_t rho = 5;  ///< Candidate bound (and Observation-1 cutoff).
+  ApxNvdStorage storage = ApxNvdStorage::kQuadtree;
+  std::uint32_t quadtree_max_depth = 16;
+  /// Lazy inserts tolerated before NeedsRebuild() reports true.
+  std::uint32_t lazy_insert_threshold = 64;
+};
+
+/// An object anchored at a vertex — one entry of a keyword's inverted list.
+struct SiteObject {
+  ObjectId object;
+  VertexId vertex;
+};
+
+/// Per-keyword approximate NVD with lazy update support.
+class ApxNvd {
+ public:
+  /// Builds the index for one keyword's object set. Requires graph
+  /// coordinates when Voronoi structures are needed (|sites| > rho).
+  /// Throws on duplicate site vertices or missing coordinates.
+  ApxNvd(const Graph& graph, std::vector<SiteObject> sites,
+         ApxNvdOptions options = {});
+
+  // ----- Candidate generation (consumed by the Heap Generator) ---------
+
+  /// Appends the initial heap candidates for query vertex q: at most rho
+  /// Voronoi colours (one of which owns q) with their lazily attached
+  /// objects — or every object when no Voronoi structure exists. Deleted
+  /// objects are included (the heap suppresses them on extraction).
+  void InitialCandidates(VertexId q, std::vector<SiteObject>* out) const;
+
+  /// Appends the objects to inject when `o` is extracted from a heap
+  /// (Algorithm 4's adjacent-object supply): the sites adjacent to every
+  /// node associated with o, plus all lazily attached objects of those
+  /// nodes.
+  void ExpandCandidates(ObjectId o, std::vector<SiteObject>* out) const;
+
+  /// True once Delete(o) tombstoned the object.
+  bool IsDeleted(ObjectId o) const { return deleted_.contains(o); }
+
+  // ----- Updates (Section 6.2; implementation in nvd_updates.cc) -------
+
+  /// Lazily inserts a new object: computes the Theorem-2 affected set via
+  /// a pruned BFS on the adjacency graph (distances from `oracle`) and
+  /// attaches the object there. Throws if the object id already exists.
+  void Insert(ObjectId o, VertexId vertex, DistanceOracle& oracle);
+
+  /// Tombstones object o. Throws if unknown or already deleted.
+  void Delete(ObjectId o);
+
+  /// True when enough lazy updates accumulated that a Rebuild() would pay
+  /// off (threshold crossed, or the index should flatten/unflatten around
+  /// the rho cutoff).
+  bool NeedsRebuild() const;
+
+  /// Reconstructs the index from the live object set, absorbing all lazy
+  /// updates.
+  void Rebuild();
+
+  // ----- Introspection ---------------------------------------------------
+
+  /// True if Voronoi structures exist (|live sites| was > rho at build).
+  bool HasVoronoi() const { return quadtree_ != nullptr || rtree_ != nullptr; }
+
+  std::size_t NumLiveObjects() const;
+  std::size_t NumLazyInserts() const { return lazy_inserts_; }
+  std::uint32_t Rho() const { return options_.rho; }
+
+  /// Size of the affected set computed by the most recent Insert (0 when
+  /// the index is flat). Exposed for tests and the Figure 8 harness.
+  std::size_t LastAffectedSetSize() const { return last_affected_size_; }
+
+  /// Approximate memory in bytes: Voronoi storage + adjacency + radii.
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class ApxNvdTestPeer;
+
+  void Build(std::vector<SiteObject> sites);
+  std::vector<SiteObject> LiveObjects() const;
+
+  const Graph& graph_;
+  ApxNvdOptions options_;
+
+  // Objects the Voronoi structures were built over; index == colour.
+  std::vector<SiteObject> sites_;
+  std::unordered_map<ObjectId, std::uint32_t> site_index_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<Distance> max_radius_;
+  std::unique_ptr<ColorQuadtree> quadtree_;
+  std::unique_ptr<VoronoiRTree> rtree_;
+
+  // Lazy state.
+  std::vector<std::vector<SiteObject>> attachments_;  // Per site node.
+  std::unordered_map<ObjectId, std::vector<std::uint32_t>> attached_nodes_;
+  std::unordered_set<ObjectId> deleted_;
+  std::size_t lazy_inserts_ = 0;
+  std::size_t last_affected_size_ = 0;
+
+  mutable std::vector<std::uint32_t> locate_scratch_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_NVD_APX_NVD_H_

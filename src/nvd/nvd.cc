@@ -1,0 +1,89 @@
+#include "nvd/nvd.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace kspin {
+
+NetworkVoronoiDiagram BuildNvd(const Graph& graph,
+                               std::span<const VertexId> sites) {
+  if (sites.empty()) {
+    throw std::invalid_argument("BuildNvd: no sites");
+  }
+  {
+    std::unordered_set<VertexId> unique(sites.begin(), sites.end());
+    if (unique.size() != sites.size()) {
+      throw std::invalid_argument("BuildNvd: duplicate site vertices");
+    }
+  }
+
+  const std::size_t n = graph.NumVertices();
+  NetworkVoronoiDiagram nvd;
+  nvd.owner.assign(n, NetworkVoronoiDiagram::kInvalidSite);
+  nvd.owner_distance.assign(n, kInfDistance);
+  nvd.adjacency.assign(sites.size(), {});
+  nvd.max_radius.assign(sites.size(), 0);
+
+  // Multi-source Dijkstra; ties broken towards the lower site index so the
+  // partition is deterministic.
+  struct Entry {
+    Distance dist;
+    std::uint32_t site;
+    VertexId vertex;
+    bool operator>(const Entry& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return site > o.site;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (std::uint32_t s = 0; s < sites.size(); ++s) {
+    const VertexId v = sites[s];
+    if (v >= n) throw std::invalid_argument("BuildNvd: site out of range");
+    nvd.owner[v] = s;
+    nvd.owner_distance[v] = 0;
+    queue.push({0, s, v});
+  }
+  std::vector<std::uint8_t> settled(n, 0);
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.vertex]) continue;
+    settled[top.vertex] = 1;
+    nvd.owner[top.vertex] = top.site;
+    nvd.owner_distance[top.vertex] = top.dist;
+    nvd.max_radius[top.site] = std::max(nvd.max_radius[top.site], top.dist);
+    for (const Arc& arc : graph.Neighbors(top.vertex)) {
+      if (settled[arc.head]) continue;
+      const Distance nd = top.dist + arc.weight;
+      if (nd < nvd.owner_distance[arc.head] ||
+          (nd == nvd.owner_distance[arc.head] &&
+           top.site < nvd.owner[arc.head])) {
+        nvd.owner_distance[arc.head] = nd;
+        nvd.owner[arc.head] = top.site;
+        queue.push({nd, top.site, arc.head});
+      }
+    }
+  }
+
+  // Adjacency: any edge joining two different Voronoi node sets.
+  for (VertexId u = 0; u < n; ++u) {
+    const std::uint32_t a = nvd.owner[u];
+    if (a == NetworkVoronoiDiagram::kInvalidSite) continue;
+    for (const Arc& arc : graph.Neighbors(u)) {
+      if (u >= arc.head) continue;
+      const std::uint32_t b = nvd.owner[arc.head];
+      if (b == NetworkVoronoiDiagram::kInvalidSite || a == b) continue;
+      nvd.adjacency[a].push_back(b);
+      nvd.adjacency[b].push_back(a);
+    }
+  }
+  for (auto& list : nvd.adjacency) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nvd;
+}
+
+}  // namespace kspin

@@ -1,0 +1,46 @@
+// Exact Network Voronoi Diagram (paper Section 5; Erwig & Hagen's graph
+// Voronoi diagram): a disjoint partitioning of road vertices by nearest
+// site, computed with one multi-source Dijkstra in O(|V| log |V|).
+//
+// Alongside the per-vertex owner assignment the construction collects the
+// two artifacts K-SPIN actually retains (Observation 2a):
+//   - the site adjacency graph (sites whose Voronoi node sets touch), and
+//   - MaxRadius per site (Section 6.2, used by Theorem 2 affected sets).
+#ifndef KSPIN_NVD_NVD_H_
+#define KSPIN_NVD_NVD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Result of an exact NVD computation. Site indices are positions in the
+/// `sites` span passed to BuildNvd.
+struct NetworkVoronoiDiagram {
+  /// For each vertex, the index of its nearest site (ties broken towards
+  /// the lower site index). kInvalidSite for unreachable vertices.
+  std::vector<std::uint32_t> owner;
+  /// Distance from each vertex to its owner.
+  std::vector<Distance> owner_distance;
+  /// Adjacency lists over site indices: sites i and j are adjacent iff an
+  /// edge connects their Voronoi node sets. Sorted, no duplicates.
+  std::vector<std::vector<std::uint32_t>> adjacency;
+  /// MaxRadius per site: the maximum distance from the site to a vertex of
+  /// its Voronoi node set.
+  std::vector<Distance> max_radius;
+
+  static constexpr std::uint32_t kInvalidSite = UINT32_MAX;
+};
+
+/// Builds the exact NVD for `sites` (vertex locations, duplicates not
+/// allowed). Throws on an empty site list or duplicate site vertices.
+NetworkVoronoiDiagram BuildNvd(const Graph& graph,
+                               std::span<const VertexId> sites);
+
+}  // namespace kspin
+
+#endif  // KSPIN_NVD_NVD_H_

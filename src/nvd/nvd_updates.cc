@@ -1,0 +1,129 @@
+// Lazy update handling for the rho-Approximate NVD (paper Section 6.2):
+// tombstone deletions, Theorem-2 affected sets for insertions, and
+// threshold-driven rebuilds.
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "nvd/apx_nvd.h"
+
+namespace kspin {
+
+void ApxNvd::Insert(ObjectId o, VertexId vertex, DistanceOracle& oracle) {
+  if (site_index_.contains(o) || attached_nodes_.contains(o)) {
+    // Re-inserting a tombstoned object (e.g. a keyword removed from an
+    // object and later re-added) just revives it; its vertex is immutable.
+    if (deleted_.erase(o) > 0) return;
+    throw std::invalid_argument("ApxNvd::Insert: object already present");
+  }
+
+  if (!HasVoronoi()) {
+    // Flat mode: the inverted list is the index; just append.
+    site_index_.emplace(o, static_cast<std::uint32_t>(sites_.size()));
+    sites_.push_back({o, vertex});
+    attachments_.emplace_back();
+    ++lazy_inserts_;
+    last_affected_size_ = 0;
+    return;
+  }
+
+  // Step 1: find the (stale-NVD) 1NN site p of the new object. The
+  // Voronoi storage yields <= rho candidate colours containing the true
+  // nearest site; the Network Distance Module disambiguates.
+  std::vector<SiteObject> candidates;
+  InitialCandidates(vertex, &candidates);
+  oracle.BeginSourceBatch(vertex);
+  std::uint32_t nearest = UINT32_MAX;
+  Distance nearest_dist = kInfDistance;
+  for (const SiteObject& c : candidates) {
+    auto it = site_index_.find(c.object);
+    if (it == site_index_.end()) continue;  // Skip earlier lazy inserts.
+    const Distance d = oracle.NetworkDistance(vertex, c.vertex);
+    if (d < nearest_dist) {
+      nearest_dist = d;
+      nearest = it->second;
+    }
+  }
+  if (nearest == UINT32_MAX) {
+    throw std::logic_error("ApxNvd::Insert: no nearest site found");
+  }
+
+  // Step 2: affected set via pruned BFS on the adjacency graph. A node e
+  // is attached only when Theorem 2 cannot rule it out, i.e.
+  // d(o, e) < 2 * MaxRadius(e). Pruning the *traversal* with the same
+  // bound is unsafe, however: an affected large region can hide behind an
+  // unaffected small one. Any region e crossed by the path from o to a
+  // vertex it steals from region r satisfies
+  //   d(o, e) <= MaxRadius(r) + MaxRadius(e) <= R* + MaxRadius(e)
+  // (R* = the largest MaxRadius), so expanding under that weaker bound is
+  // guaranteed to reach every affected region. MaxRadius values are from
+  // construction time; lazy inserts only shrink true radii, so the stale
+  // values are conservative.
+  Distance max_radius_star = 0;
+  for (Distance r : max_radius_) {
+    max_radius_star = std::max(max_radius_star, r);
+  }
+  std::vector<std::uint32_t> affected;
+  std::vector<std::uint8_t> visited(sites_.size(), 0);
+  std::queue<std::uint32_t> bfs;
+  bfs.push(nearest);
+  visited[nearest] = 1;
+  affected.push_back(nearest);
+  while (!bfs.empty()) {
+    const std::uint32_t node = bfs.front();
+    bfs.pop();
+    for (std::uint32_t adj : adjacency_[node]) {
+      if (visited[adj]) continue;
+      visited[adj] = 1;
+      const Distance d = oracle.NetworkDistance(vertex, sites_[adj].vertex);
+      if (d < 2 * max_radius_[adj]) {
+        affected.push_back(adj);  // Theorem 2 cannot exclude it.
+      }
+      // Non-strict: the derivation bounds crossed regions by
+      // d(o,e) <= MaxRadius(r) + MaxRadius(e), and equality is achievable
+      // with integer weights.
+      if (d <= max_radius_star + max_radius_[adj]) {
+        bfs.push(adj);  // Affected regions may lie beyond: keep walking.
+      }
+    }
+  }
+  last_affected_size_ = affected.size();
+
+  // Step 3: attach the new object to every affected node.
+  for (std::uint32_t node : affected) {
+    attachments_[node].push_back({o, vertex});
+  }
+  attached_nodes_.emplace(o, std::move(affected));
+  ++lazy_inserts_;
+}
+
+void ApxNvd::Delete(ObjectId o) {
+  if (!site_index_.contains(o) && !attached_nodes_.contains(o)) {
+    throw std::invalid_argument("ApxNvd::Delete: unknown object");
+  }
+  if (!deleted_.insert(o).second) {
+    throw std::invalid_argument("ApxNvd::Delete: already deleted");
+  }
+}
+
+bool ApxNvd::NeedsRebuild() const {
+  const std::size_t live = NumLiveObjects();
+  if (HasVoronoi()) {
+    // Too many lazy inserts, or shrunk under the rho cutoff (flatten).
+    return lazy_inserts_ > options_.lazy_insert_threshold ||
+           live <= options_.rho;
+  }
+  // Flat index: outgrew the cutoff plus the lazy slack.
+  return live > options_.rho + options_.lazy_insert_threshold;
+}
+
+void ApxNvd::Rebuild() {
+  std::vector<SiteObject> live = LiveObjects();
+  std::sort(live.begin(), live.end(),
+            [](const SiteObject& a, const SiteObject& b) {
+              return a.object < b.object;
+            });
+  Build(std::move(live));
+}
+
+}  // namespace kspin

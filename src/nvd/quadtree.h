@@ -1,0 +1,67 @@
+// Colour quadtree: the storage scheme of the rho-Approximate NVD (paper
+// Section 6.1, Figure 5a).
+//
+// Each vertex carries a "colour" (the index of its nearest site). The
+// space is recursively quadrisected until every cell contains at most rho
+// distinct colours. Leaves are serialized as a Morton-ordered list
+// (Samet): point location is a binary search over Z-order intervals, with
+// good locality of reference and no pointer overhead.
+#ifndef KSPIN_NVD_QUADTREE_H_
+#define KSPIN_NVD_QUADTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// Morton-list quadtree over coloured points.
+class ColorQuadtree {
+ public:
+  /// Builds the quadtree. `points[i]` has colour `colors[i]`; both spans
+  /// must be equal-sized and non-empty. `max_colors` is rho; `max_depth`
+  /// caps subdivision (cells at max depth may exceed rho colours when
+  /// distinct-coloured points share a quantized position — queries remain
+  /// correct, only the rho guarantee loosens there).
+  ColorQuadtree(std::span<const Coordinate> points,
+                std::span<const std::uint32_t> colors,
+                std::uint32_t max_colors, std::uint32_t max_depth = 16);
+
+  /// Colours of the leaf cell containing `p` (empty span if `p` falls in
+  /// dead space no input point occupied).
+  std::span<const std::uint32_t> Locate(const Coordinate& p) const;
+
+  std::size_t NumLeaves() const { return leaves_.size(); }
+
+  /// Depth of the deepest leaf.
+  std::uint32_t MaxLeafDepth() const { return max_leaf_depth_; }
+
+  /// Approximate memory in bytes (the paper's index-size metric for
+  /// Figures 6a and 6c).
+  std::size_t MemoryBytes() const {
+    return leaves_.size() * sizeof(Leaf) +
+           color_pool_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  struct Leaf {
+    std::uint64_t z_begin;  // Inclusive.
+    std::uint64_t z_end;    // Exclusive.
+    std::uint32_t color_offset;
+    std::uint32_t color_count;
+  };
+
+  std::uint64_t QuantizedZ(const Coordinate& p) const;
+
+  double origin_x_ = 0, origin_y_ = 0, scale_ = 1;
+  std::uint32_t grid_bits_ = 16;
+  std::vector<Leaf> leaves_;               // Sorted by z_begin.
+  std::vector<std::uint32_t> color_pool_;  // Leaf colour sets, concatenated.
+  std::uint32_t max_leaf_depth_ = 0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_NVD_QUADTREE_H_

@@ -1,0 +1,114 @@
+#include "nvd/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace kspin {
+
+VoronoiRTree::VoronoiRTree(std::span<const Coordinate> points,
+                           std::span<const std::uint32_t> colors,
+                           std::uint32_t node_capacity) {
+  if (points.empty() || points.size() != colors.size()) {
+    throw std::invalid_argument("VoronoiRTree: bad input sizes");
+  }
+  if (node_capacity < 2) {
+    throw std::invalid_argument("VoronoiRTree: node_capacity must be >= 2");
+  }
+
+  // One MBR per colour.
+  std::unordered_map<std::uint32_t, Rect> mbrs;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto [it, inserted] = mbrs.try_emplace(
+        colors[i],
+        Rect{points[i].x, points[i].y, points[i].x, points[i].y});
+    if (!inserted) {
+      Rect& r = it->second;
+      r.min_x = std::min(r.min_x, points[i].x);
+      r.min_y = std::min(r.min_y, points[i].y);
+      r.max_x = std::max(r.max_x, points[i].x);
+      r.max_y = std::max(r.max_y, points[i].y);
+    }
+  }
+  num_colors_ = mbrs.size();
+
+  // Leaf entries.
+  std::vector<std::uint32_t> level;
+  level.reserve(mbrs.size());
+  for (const auto& [color, rect] : mbrs) {
+    nodes_.push_back({rect, color, 0, 0});
+    level.push_back(static_cast<std::uint32_t>(nodes_.size() - 1));
+  }
+
+  auto centre_x = [this](std::uint32_t id) {
+    return nodes_[id].rect.min_x + nodes_[id].rect.max_x;
+  };
+  auto centre_y = [this](std::uint32_t id) {
+    return nodes_[id].rect.min_y + nodes_[id].rect.max_y;
+  };
+
+  // STR bulk load: sort by centre x, slice into sqrt(groups) strips, sort
+  // each strip by centre y, pack runs of `node_capacity`; repeat upward.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return centre_x(a) < centre_x(b);
+              });
+    const std::size_t num_groups =
+        (level.size() + node_capacity - 1) / node_capacity;
+    const std::size_t num_strips = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_groups))));
+    const std::size_t strip_size =
+        (level.size() + num_strips - 1) / num_strips;
+    std::vector<std::uint32_t> next_level;
+    for (std::size_t s = 0; s < num_strips; ++s) {
+      const std::size_t begin = s * strip_size;
+      if (begin >= level.size()) break;
+      const std::size_t end = std::min(level.size(), begin + strip_size);
+      std::sort(level.begin() + begin, level.begin() + end,
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return centre_y(a) < centre_y(b);
+                });
+      for (std::size_t g = begin; g < end; g += node_capacity) {
+        const std::size_t gend = std::min(end, g + node_capacity);
+        const std::uint32_t child_begin =
+            static_cast<std::uint32_t>(children_.size());
+        Rect bounds = nodes_[level[g]].rect;
+        for (std::size_t i = g; i < gend; ++i) {
+          children_.push_back(level[i]);
+          const Rect& r = nodes_[level[i]].rect;
+          bounds.min_x = std::min(bounds.min_x, r.min_x);
+          bounds.min_y = std::min(bounds.min_y, r.min_y);
+          bounds.max_x = std::max(bounds.max_x, r.max_x);
+          bounds.max_y = std::max(bounds.max_y, r.max_y);
+        }
+        nodes_.push_back({bounds, 0, child_begin,
+                          static_cast<std::uint32_t>(gend - g)});
+        next_level.push_back(static_cast<std::uint32_t>(nodes_.size() - 1));
+      }
+    }
+    level = std::move(next_level);
+  }
+  root_ = level.front();
+}
+
+void VoronoiRTree::Locate(const Coordinate& p,
+                          std::vector<std::uint32_t>* out) const {
+  out->clear();
+  std::vector<std::uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.rect.Contains(p)) continue;
+    if (node.num_children == 0) {
+      out->push_back(node.payload);
+      continue;
+    }
+    for (std::uint32_t c = 0; c < node.num_children; ++c) {
+      stack.push_back(children_[node.child_begin + c]);
+    }
+  }
+}
+
+}  // namespace kspin

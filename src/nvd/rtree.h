@@ -1,0 +1,62 @@
+// R-tree storage alternative for the rho-Approximate NVD (paper Section
+// 6.1, "Space Complexity Theory vs. Practice", Figure 6c).
+//
+// One minimum bounding rectangle per Voronoi node set, bulk-loaded with
+// Sort-Tile-Recursive (STR). Space is O(#sites) by construction — the
+// worst-case guarantee the paper contrasts with quadtrees — but a point
+// stabbing query may return more than rho colours (overlapping MBRs), so
+// the rho candidate guarantee is lost.
+#ifndef KSPIN_NVD_RTREE_H_
+#define KSPIN_NVD_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// STR-packed R-tree over per-colour MBRs.
+class VoronoiRTree {
+ public:
+  /// `points[i]` (colour `colors[i]`) contribute to colour MBRs. Spans must
+  /// be equal-sized and non-empty. `node_capacity` is the R-tree fanout.
+  VoronoiRTree(std::span<const Coordinate> points,
+               std::span<const std::uint32_t> colors,
+               std::uint32_t node_capacity = 8);
+
+  /// Appends every colour whose MBR contains `p` to `out` (cleared first).
+  void Locate(const Coordinate& p, std::vector<std::uint32_t>* out) const;
+
+  std::size_t NumColors() const { return num_colors_; }
+
+  /// Approximate memory in bytes.
+  std::size_t MemoryBytes() const {
+    return nodes_.size() * sizeof(Node) +
+           children_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  struct Rect {
+    std::int32_t min_x, min_y, max_x, max_y;
+    bool Contains(const Coordinate& p) const {
+      return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+    }
+  };
+  struct Node {
+    Rect rect;
+    std::uint32_t payload;      // Colour (leaf entries only).
+    std::uint32_t child_begin;  // Offset into children_ (internal only).
+    std::uint32_t num_children;  // 0 marks a leaf entry.
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> children_;
+  std::uint32_t root_ = 0;
+  std::size_t num_colors_ = 0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_NVD_RTREE_H_

@@ -1,0 +1,59 @@
+#include "routing/alt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/random.h"
+#include "routing/dijkstra.h"
+
+namespace kspin {
+
+AltIndex::AltIndex(const Graph& graph, std::uint32_t num_landmarks,
+                   LandmarkStrategy strategy, std::uint64_t seed)
+    : num_vertices_(graph.NumVertices()) {
+  if (num_vertices_ == 0) {
+    throw std::invalid_argument("AltIndex: empty graph");
+  }
+  if (num_landmarks == 0) {
+    throw std::invalid_argument("AltIndex: need at least one landmark");
+  }
+  num_landmarks = static_cast<std::uint32_t>(
+      std::min<std::size_t>(num_landmarks, num_vertices_));
+
+  Rng rng(seed);
+  DijkstraWorkspace workspace(num_vertices_);
+  distances_.reserve(static_cast<std::size_t>(num_landmarks) * num_vertices_);
+
+  if (strategy == LandmarkStrategy::kRandom) {
+    std::vector<std::uint32_t> sample = rng.SampleWithoutReplacement(
+        static_cast<std::uint32_t>(num_vertices_), num_landmarks);
+    for (std::uint32_t v : sample) landmarks_.push_back(v);
+    for (VertexId l : landmarks_) {
+      const std::vector<Distance>& d = workspace.SingleSource(graph, l);
+      distances_.insert(distances_.end(), d.begin(), d.end());
+    }
+    return;
+  }
+
+  // Farthest-point traversal: start from a random vertex, repeatedly pick
+  // the vertex maximizing the minimum distance to chosen landmarks.
+  std::vector<Distance> min_dist(num_vertices_, kInfDistance);
+  VertexId next = static_cast<VertexId>(rng.UniformInt(0, num_vertices_ - 1));
+  for (std::uint32_t i = 0; i < num_landmarks; ++i) {
+    landmarks_.push_back(next);
+    const std::vector<Distance>& d = workspace.SingleSource(graph, next);
+    distances_.insert(distances_.end(), d.begin(), d.end());
+    Distance best = 0;
+    VertexId best_vertex = next;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      min_dist[v] = std::min(min_dist[v], d[v]);
+      if (min_dist[v] != kInfDistance && min_dist[v] > best) {
+        best = min_dist[v];
+        best_vertex = v;
+      }
+    }
+    next = best_vertex;
+  }
+}
+
+}  // namespace kspin

@@ -1,0 +1,82 @@
+// ALT landmark index (Goldberg & Harrelson, SODA'05) used as the K-SPIN
+// *Lower Bounding Module* (paper Section 3, module 1).
+//
+// Pre-computes network distances from m landmark vertices to every vertex;
+// the triangle inequality then yields a lower bound on d(s, t) in O(m):
+//   d(s, t) >= |d(l, s) - d(l, t)| for every landmark l.
+#ifndef KSPIN_ROUTING_ALT_H_
+#define KSPIN_ROUTING_ALT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "routing/lower_bound.h"
+
+namespace kspin {
+
+/// Landmark selection strategy.
+enum class LandmarkStrategy {
+  kRandom,    ///< Uniform random vertices.
+  kFarthest,  ///< Greedy farthest-point traversal (default; best bounds on
+              ///< road networks per Abeywickrama & Cheema, DASFAA'17).
+};
+
+/// Landmark-based lower-bound index (the primary LowerBoundModule).
+class AltIndex : public LowerBoundModule {
+ public:
+  /// Builds an index with `num_landmarks` landmarks (clamped to |V|).
+  /// Costs one Dijkstra per landmark. Throws on num_landmarks == 0 or an
+  /// empty graph.
+  AltIndex(const Graph& graph, std::uint32_t num_landmarks,
+           LandmarkStrategy strategy = LandmarkStrategy::kFarthest,
+           std::uint64_t seed = 7);
+
+  /// Lower bound on the network distance d(s, t). Guaranteed
+  /// LowerBound(s, t) <= d(s, t), with equality when s or t is a landmark.
+  Distance LowerBound(VertexId s, VertexId t) const override {
+    Distance best = 0;
+    const std::size_t n = num_vertices_;
+    for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+      const Distance ds = distances_[l * n + s];
+      const Distance dt = distances_[l * n + t];
+      const Distance diff = ds > dt ? ds - dt : dt - ds;
+      if (diff > best) best = diff;
+    }
+    return best;
+  }
+
+  /// The chosen landmark vertices.
+  const std::vector<VertexId>& Landmarks() const { return landmarks_; }
+
+  /// Distance from landmark index l to vertex v.
+  Distance LandmarkDistance(std::size_t l, VertexId v) const {
+    return distances_[l * num_vertices_ + v];
+  }
+
+  std::string Name() const override { return "alt"; }
+
+  /// Approximate index memory in bytes.
+  std::size_t MemoryBytes() const override {
+    return distances_.size() * sizeof(Distance) +
+           landmarks_.size() * sizeof(VertexId);
+  }
+
+ private:
+  friend void SaveAltIndex(const AltIndex&, std::ostream&);
+  friend AltIndex LoadAltIndex(std::istream&);
+  AltIndex() = default;  // For deserialization only.
+
+  std::size_t num_vertices_ = 0;
+  std::vector<VertexId> landmarks_;
+  std::vector<Distance> distances_;  // Row-major: landmark x vertex.
+};
+
+void SaveAltIndex(const AltIndex& alt, std::ostream& out);
+AltIndex LoadAltIndex(std::istream& in);
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_ALT_H_

@@ -1,0 +1,377 @@
+#include "routing/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+namespace kspin {
+namespace {
+
+struct DynArc {
+  VertexId head;
+  Weight weight;
+  // Contracted vertex this (shortcut) arc goes through; kInvalidVertex for
+  // original edges. Drives path unpacking.
+  VertexId mid = kInvalidVertex;
+};
+
+// Mutable overlay graph used during contraction. Arcs to already-contracted
+// vertices are skipped rather than erased.
+class Overlay {
+ public:
+  explicit Overlay(const Graph& graph)
+      : adjacency_(graph.NumVertices()), contracted_(graph.NumVertices(), 0) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      for (const Arc& arc : graph.Neighbors(v)) {
+        adjacency_[v].push_back({arc.head, arc.weight, kInvalidVertex});
+      }
+    }
+  }
+
+  bool IsContracted(VertexId v) const { return contracted_[v] != 0; }
+  void MarkContracted(VertexId v) { contracted_[v] = 1; }
+
+  // Live neighbours of v (excluding contracted ones), compacting the stored
+  // list as a side effect.
+  std::vector<DynArc>& Compact(VertexId v) {
+    auto& arcs = adjacency_[v];
+    arcs.erase(std::remove_if(arcs.begin(), arcs.end(),
+                              [this](const DynArc& a) {
+                                return contracted_[a.head] != 0;
+                              }),
+               arcs.end());
+    return arcs;
+  }
+
+  // Adds or relaxes the undirected edge {u, v} (a shortcut via `mid`).
+  // Returns true if a brand-new edge was created.
+  bool AddOrImproveEdge(VertexId u, VertexId v, Weight w, VertexId mid) {
+    bool created = !ImproveDirected(u, v, w, mid);
+    if (created) adjacency_[u].push_back({v, w, mid});
+    bool created2 = !ImproveDirected(v, u, w, mid);
+    if (created2) adjacency_[v].push_back({u, w, mid});
+    return created || created2;
+  }
+
+ private:
+  bool ImproveDirected(VertexId u, VertexId v, Weight w, VertexId mid) {
+    for (DynArc& a : adjacency_[u]) {
+      if (a.head == v) {
+        if (w < a.weight) {
+          a.weight = w;
+          a.mid = mid;  // Provenance follows the better weight.
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<DynArc>> adjacency_;
+  std::vector<std::uint8_t> contracted_;
+};
+
+// Budget-limited local Dijkstra from `source` in the overlay, excluding
+// `excluded`, bounded by `bound`. Returns per-target distances via the dist
+// map (only vertices reached within budget appear).
+class WitnessSearch {
+ public:
+  void Run(Overlay& overlay, VertexId source, VertexId excluded,
+           Distance bound, std::uint32_t settle_limit) {
+    dist_.clear();
+    using Entry = std::pair<Distance, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+    dist_[source] = 0;
+    queue.push({0, source});
+    std::uint32_t settled = 0;
+    while (!queue.empty() && settled < settle_limit) {
+      auto [d, v] = queue.top();
+      queue.pop();
+      auto it = dist_.find(v);
+      if (it != dist_.end() && d > it->second) continue;
+      if (d > bound) break;
+      ++settled;
+      for (const DynArc& arc : overlay.Compact(v)) {
+        if (arc.head == excluded) continue;
+        const Distance nd = d + arc.weight;
+        auto [slot, inserted] = dist_.try_emplace(arc.head, nd);
+        if (inserted || nd < slot->second) {
+          slot->second = nd;
+          queue.push({nd, arc.head});
+        }
+      }
+    }
+  }
+
+  Distance DistanceTo(VertexId v) const {
+    auto it = dist_.find(v);
+    return it == dist_.end() ? kInfDistance : it->second;
+  }
+
+ private:
+  std::unordered_map<VertexId, Distance> dist_;
+};
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(
+    const Graph& graph, ContractionHierarchyOptions options) {
+  const std::size_t n = graph.NumVertices();
+  rank_.assign(n, 0);
+
+  Overlay overlay(graph);
+  WitnessSearch witness;
+  std::vector<std::int32_t> contracted_neighbors(n, 0);
+
+  // Simulates contracting v: counts the shortcuts required and (optionally)
+  // materializes them. Returns the number of shortcuts.
+  auto contract = [&](VertexId v, bool simulate) -> std::int32_t {
+    std::vector<DynArc> neighbors = overlay.Compact(v);  // Copy: overlay
+                                                         // mutates below.
+    std::int32_t shortcuts = 0;
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId u = neighbors[i].head;
+      // Witness bound: longest potential shortcut via v from u.
+      Distance max_target = 0;
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        max_target = std::max<Distance>(
+            max_target, static_cast<Distance>(neighbors[i].weight) +
+                            neighbors[j].weight);
+      }
+      if (max_target == 0) continue;
+      witness.Run(overlay, u, v, max_target, options.witness_settle_limit);
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        const VertexId w = neighbors[j].head;
+        if (w == u) continue;
+        const Distance via_v = static_cast<Distance>(neighbors[i].weight) +
+                               neighbors[j].weight;
+        if (witness.DistanceTo(w) <= via_v) continue;  // Witness found.
+        ++shortcuts;
+        if (!simulate) {
+          overlay.AddOrImproveEdge(u, w, static_cast<Weight>(via_v), v);
+        }
+      }
+    }
+    return shortcuts;
+  };
+
+  auto priority = [&](VertexId v) -> std::int64_t {
+    const std::int32_t degree =
+        static_cast<std::int32_t>(overlay.Compact(v).size());
+    const std::int32_t shortcuts = contract(v, /*simulate=*/true);
+    const std::int32_t edge_difference = shortcuts - degree;
+    return static_cast<std::int64_t>(options.edge_difference_factor) *
+               edge_difference +
+           static_cast<std::int64_t>(options.contracted_neighbors_factor) *
+               contracted_neighbors[v];
+  };
+
+  using PQEntry = std::pair<std::int64_t, VertexId>;
+  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
+      queue;
+  for (VertexId v = 0; v < n; ++v) queue.push({priority(v), v});
+
+  struct CapturedArc {
+    VertexId head;
+    Weight weight;
+    VertexId mid;
+  };
+  std::vector<std::vector<CapturedArc>> upward(n);
+  std::uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    auto [prio, v] = queue.top();
+    queue.pop();
+    if (overlay.IsContracted(v)) continue;
+    // Lazy update: recompute; requeue if no longer the minimum.
+    const std::int64_t current = priority(v);
+    if (!queue.empty() && current > queue.top().first) {
+      queue.push({current, v});
+      continue;
+    }
+    num_shortcuts_ += static_cast<std::size_t>(contract(v, false));
+    rank_[v] = next_rank++;
+    // All live neighbours are still uncontracted, i.e. higher-ranked:
+    // capture them as v's upward arcs (originals plus shortcuts, with any
+    // weight improvements applied so far).
+    for (const DynArc& arc : overlay.Compact(v)) {
+      ++contracted_neighbors[arc.head];
+      upward[v].push_back({arc.head, arc.weight, arc.mid});
+    }
+    overlay.MarkContracted(v);
+  }
+
+  up_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    // Keep only the minimal-weight arc per head.
+    auto& arcs = upward[v];
+    std::sort(arcs.begin(), arcs.end(),
+              [](const CapturedArc& a, const CapturedArc& b) {
+                return a.head != b.head ? a.head < b.head
+                                        : a.weight < b.weight;
+              });
+    arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                           [](const CapturedArc& a, const CapturedArc& b) {
+                             return a.head == b.head;
+                           }),
+               arcs.end());
+    up_offsets_[v + 1] = up_offsets_[v] + arcs.size();
+  }
+  up_arcs_.resize(up_offsets_[n]);
+  up_mids_.resize(up_offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < upward[v].size(); ++i) {
+      up_arcs_[up_offsets_[v] + i] =
+          Arc{upward[v][i].head, upward[v][i].weight};
+      up_mids_[up_offsets_[v] + i] = upward[v][i].mid;
+    }
+  }
+
+  fwd_dist_.assign(n, kInfDistance);
+  bwd_dist_.assign(n, kInfDistance);
+  fwd_parent_.assign(n, kInvalidVertex);
+  bwd_parent_.assign(n, kInvalidVertex);
+  fwd_stamp_.assign(n, 0);
+  bwd_stamp_.assign(n, 0);
+}
+
+std::vector<VertexId> ContractionHierarchy::VerticesByDescendingRank() const {
+  std::vector<VertexId> order(rank_.size());
+  for (VertexId v = 0; v < rank_.size(); ++v) {
+    order[rank_.size() - 1 - rank_[v]] = v;
+  }
+  return order;
+}
+
+Distance ContractionHierarchy::RunBidirectional(VertexId s, VertexId t,
+                                                VertexId* meeting) const {
+  *meeting = kInvalidVertex;
+  if (s == t) {
+    *meeting = s;
+    return 0;
+  }
+  ++query_version_;
+  if (query_version_ == 0) {
+    std::fill(fwd_stamp_.begin(), fwd_stamp_.end(), 0);
+    std::fill(bwd_stamp_.begin(), bwd_stamp_.end(), 0);
+    query_version_ = 1;
+  }
+  const std::uint32_t version = query_version_;
+
+  using Entry = std::pair<Distance, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> fwd,
+      bwd;
+  fwd_dist_[s] = 0;
+  fwd_parent_[s] = kInvalidVertex;
+  fwd_stamp_[s] = version;
+  fwd.push({0, s});
+  bwd_dist_[t] = 0;
+  bwd_parent_[t] = kInvalidVertex;
+  bwd_stamp_[t] = version;
+  bwd.push({0, t});
+
+  Distance best = kInfDistance;
+  auto relax = [this, version, meeting](
+                   auto& queue, std::vector<Distance>& dist,
+                   std::vector<VertexId>& parent,
+                   std::vector<std::uint32_t>& stamp,
+                   const std::vector<Distance>& other_dist,
+                   const std::vector<std::uint32_t>& other_stamp,
+                   Distance& best_out) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (stamp[v] == version && d > dist[v]) return;
+    if (other_stamp[v] == version && other_dist[v] != kInfDistance &&
+        d + other_dist[v] < best_out) {
+      best_out = d + other_dist[v];
+      *meeting = v;
+    }
+    for (const Arc& arc : UpwardArcs(v)) {
+      const Distance nd = d + arc.weight;
+      if (stamp[arc.head] != version || nd < dist[arc.head]) {
+        dist[arc.head] = nd;
+        parent[arc.head] = v;
+        stamp[arc.head] = version;
+        queue.push({nd, arc.head});
+      }
+    }
+  };
+
+  while (!fwd.empty() || !bwd.empty()) {
+    const Distance fwd_top = fwd.empty() ? kInfDistance : fwd.top().first;
+    const Distance bwd_top = bwd.empty() ? kInfDistance : bwd.top().first;
+    if (std::min(fwd_top, bwd_top) >= best) break;
+    if (fwd_top <= bwd_top) {
+      relax(fwd, fwd_dist_, fwd_parent_, fwd_stamp_, bwd_dist_, bwd_stamp_,
+            best);
+    } else {
+      relax(bwd, bwd_dist_, bwd_parent_, bwd_stamp_, fwd_dist_, fwd_stamp_,
+            best);
+    }
+  }
+  return best;
+}
+
+Distance ContractionHierarchy::Query(VertexId s, VertexId t) const {
+  VertexId meeting;
+  return RunBidirectional(s, t, &meeting);
+}
+
+std::vector<VertexId> ContractionHierarchy::PathQuery(VertexId s,
+                                                      VertexId t) const {
+  VertexId meeting;
+  const Distance d = RunBidirectional(s, t, &meeting);
+  if (d == kInfDistance) return {};
+  if (s == t) return {s};
+
+  // Upward parent chains: s -> ... -> meeting and t -> ... -> meeting.
+  std::vector<VertexId> up_chain;  // s side, from s to meeting.
+  for (VertexId v = meeting; v != kInvalidVertex; v = fwd_parent_[v]) {
+    up_chain.push_back(v);
+  }
+  std::reverse(up_chain.begin(), up_chain.end());
+  std::vector<VertexId> down_chain;  // t side, from meeting to t.
+  for (VertexId v = meeting; v != kInvalidVertex; v = bwd_parent_[v]) {
+    down_chain.push_back(v);
+  }
+
+  // Expand every (upward) arc of both chains into original edges. Each
+  // chain step (prev -> cur) is an upward arc of `prev` on the s side and
+  // of the *later* vertex on the t side — both are arcs of the
+  // lower-ranked endpoint, which is exactly how they are stored.
+  std::vector<VertexId> path = {s};
+  // Recursive expansion of arc (low, high) in travel direction low->high
+  // or high->low; emits every vertex after the first.
+  const std::function<void(VertexId, VertexId, bool)> expand =
+      [&](VertexId low, VertexId high, bool forward) {
+        const auto arcs = UpwardArcs(low);
+        for (std::size_t i = 0; i < arcs.size(); ++i) {
+          if (arcs[i].head != high) continue;
+          const VertexId mid = UpwardMid(low, i);
+          if (mid == kInvalidVertex) {
+            path.push_back(forward ? high : low);
+          } else if (forward) {  // low -> mid? No: low -> high via mid,
+                                 // mid has lower rank than both.
+            expand(mid, low, false);   // low -> mid (reverse of mid->low).
+            expand(mid, high, true);   // mid -> high.
+          } else {                     // high -> low via mid.
+            expand(mid, high, false);  // high -> mid.
+            expand(mid, low, true);    // mid -> low.
+          }
+          return;
+        }
+      };
+  for (std::size_t i = 1; i < up_chain.size(); ++i) {
+    // Travel direction up_chain[i-1] -> up_chain[i]; the arc is stored at
+    // the lower-ranked tail up_chain[i-1].
+    expand(up_chain[i - 1], up_chain[i], true);
+  }
+  for (std::size_t i = 1; i < down_chain.size(); ++i) {
+    // Travel direction down_chain[i-1] -> down_chain[i]; stored at the
+    // lower-ranked down_chain[i].
+    expand(down_chain[i], down_chain[i - 1], false);
+  }
+  return path;
+}
+
+}  // namespace kspin

@@ -1,0 +1,131 @@
+// Contraction Hierarchies (Geisberger et al., WEA'08): the small-footprint
+// Network Distance Module option in K-SPIN (variant KS-CH in the paper).
+//
+// Vertices are contracted in ascending importance order; each contraction
+// preserves shortest paths among remaining vertices by inserting shortcut
+// edges when a local witness search fails to find a path at most as short.
+// Point-to-point queries run a bidirectional Dijkstra restricted to upward
+// (rank-increasing) edges.
+//
+// The witness search is budget-limited: when inconclusive it conservatively
+// inserts the shortcut, which can only enlarge the hierarchy, never make a
+// query incorrect.
+#ifndef KSPIN_ROUTING_CONTRACTION_HIERARCHY_H_
+#define KSPIN_ROUTING_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "routing/distance_oracle.h"
+
+namespace kspin {
+
+/// Tuning knobs for CH construction.
+struct ContractionHierarchyOptions {
+  /// Max vertices settled by one witness search before giving up (and
+  /// conservatively adding the shortcut).
+  std::uint32_t witness_settle_limit = 64;
+  /// Weight of the edge-difference term in the contraction priority.
+  std::int32_t edge_difference_factor = 4;
+  /// Weight of the contracted-neighbours ("deleted neighbours") term.
+  std::int32_t contracted_neighbors_factor = 1;
+};
+
+/// An immutable contraction hierarchy over a graph.
+class ContractionHierarchy {
+ public:
+  /// Builds the hierarchy. O(|V| log |V|) witness searches in practice.
+  explicit ContractionHierarchy(const Graph& graph,
+                                ContractionHierarchyOptions options = {});
+
+  /// Exact network distance via bidirectional upward search.
+  Distance Query(VertexId s, VertexId t) const;
+
+  /// Exact shortest path s -> t as a vertex sequence in the original
+  /// graph, obtained by recursively unpacking shortcut arcs. Empty when
+  /// disconnected; {s} when s == t.
+  std::vector<VertexId> PathQuery(VertexId s, VertexId t) const;
+
+  /// Contraction rank of vertex v (0 = contracted first / least important).
+  std::uint32_t Rank(VertexId v) const { return rank_[v]; }
+
+  /// Vertices in descending rank order (most important first).
+  std::vector<VertexId> VerticesByDescendingRank() const;
+
+  /// Upward arcs (to strictly higher-ranked vertices) of v, including
+  /// shortcuts.
+  std::span<const Arc> UpwardArcs(VertexId v) const {
+    return {up_arcs_.data() + up_offsets_[v],
+            up_arcs_.data() + up_offsets_[v + 1]};
+  }
+
+  /// The contracted "via" vertex of v's i-th upward arc, or kInvalidVertex
+  /// for an original edge. Drives shortcut unpacking.
+  VertexId UpwardMid(VertexId v, std::size_t i) const {
+    return up_mids_[up_offsets_[v] + i];
+  }
+
+  std::size_t NumVertices() const { return rank_.size(); }
+
+  /// Total number of upward arcs (original edges + shortcuts).
+  std::size_t NumUpwardArcs() const { return up_arcs_.size(); }
+
+  /// Number of shortcut edges added during construction.
+  std::size_t NumShortcuts() const { return num_shortcuts_; }
+
+  /// Approximate index memory in bytes.
+  std::size_t MemoryBytes() const {
+    return up_offsets_.size() * sizeof(std::size_t) +
+           up_arcs_.size() * sizeof(Arc) +
+           up_mids_.size() * sizeof(VertexId) +
+           rank_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  friend void SaveContractionHierarchy(const ContractionHierarchy&,
+                                       std::ostream&);
+  friend ContractionHierarchy LoadContractionHierarchy(std::istream&);
+  ContractionHierarchy() = default;  // For deserialization only.
+
+  // Bidirectional upward search shared by Query and PathQuery; returns
+  // the best meeting vertex via *meeting (kInvalidVertex if disconnected).
+  Distance RunBidirectional(VertexId s, VertexId t,
+                            VertexId* meeting) const;
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::size_t> up_offsets_;
+  std::vector<Arc> up_arcs_;
+  std::vector<VertexId> up_mids_;  // Aligned with up_arcs_.
+  std::size_t num_shortcuts_ = 0;
+
+  // Scratch buffers for Query (version-stamped, mutable so Query is const).
+  mutable std::vector<Distance> fwd_dist_, bwd_dist_;
+  mutable std::vector<VertexId> fwd_parent_, bwd_parent_;
+  mutable std::vector<std::uint32_t> fwd_stamp_, bwd_stamp_;
+  mutable std::uint32_t query_version_ = 0;
+};
+
+void SaveContractionHierarchy(const ContractionHierarchy& ch,
+                              std::ostream& out);
+ContractionHierarchy LoadContractionHierarchy(std::istream& in);
+
+/// DistanceOracle adapter over a ContractionHierarchy.
+class ChOracle : public DistanceOracle {
+ public:
+  explicit ChOracle(const ContractionHierarchy& ch) : ch_(ch) {}
+
+  Distance NetworkDistance(VertexId s, VertexId t) override {
+    return ch_.Query(s, t);
+  }
+  std::string Name() const override { return "ch"; }
+  std::size_t MemoryBytes() const override { return ch_.MemoryBytes(); }
+
+ private:
+  const ContractionHierarchy& ch_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,118 @@
+#include "routing/dijkstra.h"
+
+#include <queue>
+
+namespace kspin {
+
+DijkstraWorkspace::DijkstraWorkspace(std::size_t num_vertices)
+    : dist_(num_vertices, kInfDistance),
+      parent_(num_vertices, kInvalidVertex),
+      stamp_(num_vertices, 0) {}
+
+void DijkstraWorkspace::Reset() {
+  ++version_;
+  if (version_ == 0) {  // Stamp wrap-around: hard reset.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    version_ = 1;
+  }
+  last_settled_ = 0;
+}
+
+void DijkstraWorkspace::Search(
+    const Graph& graph, VertexId source, Distance bound,
+    const std::function<bool(VertexId, Distance)>& on_settled) {
+  Reset();
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist_[source] = 0;
+  parent_[source] = kInvalidVertex;
+  stamp_[source] = version_;
+  queue.push({0, source});
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (stamp_[top.vertex] == version_ && top.dist > dist_[top.vertex]) {
+      continue;  // Stale entry.
+    }
+    if (top.dist > bound) break;
+    ++last_settled_;
+    if (!on_settled(top.vertex, top.dist)) return;
+    for (const Arc& arc : graph.Neighbors(top.vertex)) {
+      const Distance candidate = top.dist + arc.weight;
+      if (stamp_[arc.head] != version_ || candidate < dist_[arc.head]) {
+        dist_[arc.head] = candidate;
+        parent_[arc.head] = top.vertex;
+        stamp_[arc.head] = version_;
+        queue.push({candidate, arc.head});
+      }
+    }
+  }
+}
+
+const std::vector<Distance>& DijkstraWorkspace::SingleSource(
+    const Graph& graph, VertexId source) {
+  Search(graph, source, kInfDistance,
+         [](VertexId, Distance) { return true; });
+  result_.assign(graph.NumVertices(), kInfDistance);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    result_[v] = DistanceTo(v);
+  }
+  return result_;
+}
+
+Distance DijkstraWorkspace::PointToPoint(const Graph& graph, VertexId source,
+                                         VertexId target) {
+  Distance answer = kInfDistance;
+  Search(graph, source, kInfDistance,
+         [target, &answer](VertexId v, Distance d) {
+           if (v == target) {
+             answer = d;
+             return false;
+           }
+           return true;
+         });
+  return answer;
+}
+
+std::vector<VertexId> DijkstraWorkspace::PathTo(VertexId target) const {
+  if (stamp_[target] != version_ || dist_[target] == kInfDistance) {
+    return {};
+  }
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex; v = ParentOf(v)) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Distance> DijkstraSingleSource(const Graph& graph,
+                                           VertexId source) {
+  DijkstraWorkspace workspace(graph.NumVertices());
+  return workspace.SingleSource(graph, source);
+}
+
+Distance DijkstraPointToPoint(const Graph& graph, VertexId source,
+                              VertexId target) {
+  DijkstraWorkspace workspace(graph.NumVertices());
+  return workspace.PointToPoint(graph, source, target);
+}
+
+std::vector<VertexId> DijkstraShortestPath(const Graph& graph,
+                                           VertexId source,
+                                           VertexId target) {
+  DijkstraWorkspace workspace(graph.NumVertices());
+  workspace.PointToPoint(graph, source, target);
+  return workspace.PathTo(target);
+}
+
+DijkstraOracle::DijkstraOracle(const Graph& graph)
+    : graph_(graph), workspace_(graph.NumVertices()) {}
+
+Distance DijkstraOracle::NetworkDistance(VertexId s, VertexId t) {
+  if (s == t) return 0;
+  return workspace_.PointToPoint(graph_, s, t);
+}
+
+}  // namespace kspin

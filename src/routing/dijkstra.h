@@ -1,0 +1,103 @@
+// Dijkstra's algorithm on CSR graphs: the correctness oracle for every other
+// distance technique in the repository, the workhorse of NVD construction,
+// and the index-free Network Distance Module.
+#ifndef KSPIN_ROUTING_DIJKSTRA_H_
+#define KSPIN_ROUTING_DIJKSTRA_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "routing/distance_oracle.h"
+
+namespace kspin {
+
+/// Reusable Dijkstra state. Distance/parent arrays are version-stamped so
+/// repeated searches on the same graph avoid O(|V|) clearing.
+class DijkstraWorkspace {
+ public:
+  explicit DijkstraWorkspace(std::size_t num_vertices);
+
+  /// Single-source shortest-path distances to every vertex. O(|E| log |V|).
+  /// The returned reference is invalidated by the next search on this
+  /// workspace.
+  const std::vector<Distance>& SingleSource(const Graph& graph,
+                                            VertexId source);
+
+  /// Point-to-point distance with early termination once `target` settles.
+  Distance PointToPoint(const Graph& graph, VertexId source, VertexId target);
+
+  /// Runs Dijkstra from `source`, invoking `on_settled(v, dist)` for each
+  /// settled vertex in ascending distance order; stops when the callback
+  /// returns false or the frontier exceeds `bound` (pass kInfDistance for
+  /// unbounded).
+  void Search(const Graph& graph, VertexId source, Distance bound,
+              const std::function<bool(VertexId, Distance)>& on_settled);
+
+  /// Distance label of v from the most recent search (kInfDistance when v
+  /// was not reached).
+  Distance DistanceTo(VertexId v) const {
+    return stamp_[v] == version_ ? dist_[v] : kInfDistance;
+  }
+
+  /// Parent of v in the shortest-path tree of the most recent search
+  /// (kInvalidVertex for the source or unreached vertices).
+  VertexId ParentOf(VertexId v) const {
+    return stamp_[v] == version_ ? parent_[v] : kInvalidVertex;
+  }
+
+  /// Reconstructs the path source -> target from the most recent search.
+  /// Empty when the target was not reached; {target} when it is the
+  /// source.
+  std::vector<VertexId> PathTo(VertexId target) const;
+
+  /// Number of vertices settled by the most recent search.
+  std::size_t LastSettledCount() const { return last_settled_; }
+
+ private:
+  struct QueueEntry {
+    Distance dist;
+    VertexId vertex;
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+
+  void Reset();
+
+  std::vector<Distance> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t version_ = 0;
+  std::size_t last_settled_ = 0;
+  std::vector<Distance> result_;  // Dense copy for SingleSource.
+};
+
+/// Convenience wrappers constructing a transient workspace.
+std::vector<Distance> DijkstraSingleSource(const Graph& graph,
+                                           VertexId source);
+Distance DijkstraPointToPoint(const Graph& graph, VertexId source,
+                              VertexId target);
+
+/// Shortest path source -> target as a vertex sequence (empty when
+/// disconnected; {source} when source == target).
+std::vector<VertexId> DijkstraShortestPath(const Graph& graph,
+                                           VertexId source, VertexId target);
+
+/// Index-free Network Distance Module backed by bidirectional-free plain
+/// Dijkstra. Used as the reference implementation and in tests.
+class DijkstraOracle : public DistanceOracle {
+ public:
+  explicit DijkstraOracle(const Graph& graph);
+
+  Distance NetworkDistance(VertexId s, VertexId t) override;
+  std::string Name() const override { return "dijkstra"; }
+
+ private:
+  const Graph& graph_;
+  DijkstraWorkspace workspace_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_DIJKSTRA_H_

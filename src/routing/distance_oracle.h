@@ -1,0 +1,40 @@
+// Abstract interface of the K-SPIN *Network Distance Module* (paper
+// Section 3, module 2). Any exact point-to-point distance technique can be
+// plugged into the framework behind this interface: the repository provides
+// Dijkstra, Contraction Hierarchies, hub labeling (PHL stand-in) and G-tree
+// implementations.
+#ifndef KSPIN_ROUTING_DISTANCE_ORACLE_H_
+#define KSPIN_ROUTING_DISTANCE_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// Exact network-distance oracle. Implementations must return the true
+/// shortest-path distance (kInfDistance if disconnected, which cannot happen
+/// on the connected graphs used in this repository).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Exact network distance between s and t.
+  virtual Distance NetworkDistance(VertexId s, VertexId t) = 0;
+
+  /// Hints that a batch of queries with the same source vertex follows.
+  /// Implementations may warm per-source caches (e.g. G-tree materializes
+  /// the source-to-border vectors once). Default: no-op.
+  virtual void BeginSourceBatch(VertexId /*source*/) {}
+
+  /// Short human-readable name ("dijkstra", "ch", "hl", "gtree").
+  virtual std::string Name() const = 0;
+
+  /// Approximate index memory in bytes (0 for index-free techniques).
+  virtual std::size_t MemoryBytes() const { return 0; }
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_DISTANCE_ORACLE_H_

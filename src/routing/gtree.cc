@@ -1,0 +1,536 @@
+#include "routing/gtree.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+
+namespace kspin {
+namespace {
+
+using LocalId = std::uint32_t;
+
+struct LocalArc {
+  LocalId head;
+  std::uint32_t weight;
+};
+
+// Dijkstra over a small local adjacency structure.
+void LocalDijkstra(const std::vector<std::vector<LocalArc>>& adjacency,
+                   LocalId source, std::vector<std::uint64_t>* dist) {
+  const std::uint64_t inf = UINT64_MAX;
+  dist->assign(adjacency.size(), inf);
+  using Entry = std::pair<std::uint64_t, LocalId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  (*dist)[source] = 0;
+  queue.push({0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > (*dist)[v]) continue;
+    for (const LocalArc& arc : adjacency[v]) {
+      const std::uint64_t nd = d + arc.weight;
+      if (nd < (*dist)[arc.head]) {
+        (*dist)[arc.head] = nd;
+        queue.push({nd, arc.head});
+      }
+    }
+  }
+}
+
+void ParallelForNodes(const std::vector<std::uint32_t>& node_ids,
+                      unsigned num_threads,
+                      const std::function<void(std::uint32_t)>& body) {
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = 1;
+  num_threads = std::min<unsigned>(
+      num_threads, static_cast<unsigned>(std::max<std::size_t>(
+                       1, node_ids.size())));
+  if (num_threads == 1) {
+    for (std::uint32_t id : node_ids) body(id);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= node_ids.size()) break;
+        body(node_ids[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+GTree::GTree(const Graph& graph, GTreeOptions options) : graph_(&graph) {
+  if (graph.NumVertices() == 0) {
+    throw std::invalid_argument("GTree: empty graph");
+  }
+  if (options.fanout < 2) {
+    throw std::invalid_argument("GTree: fanout must be >= 2");
+  }
+  if (options.leaf_size < 1) {
+    throw std::invalid_argument("GTree: leaf_size must be >= 1");
+  }
+  // Matrices store 32-bit distances. The total edge weight bounds every
+  // shortest path, so reject graphs that could overflow instead of
+  // silently corrupting entries.
+  std::uint64_t total_weight = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const Arc& arc : graph.Neighbors(v)) total_weight += arc.weight;
+  }
+  if (total_weight / 2 >= kUnreachable) {
+    throw std::invalid_argument(
+        "GTree: total edge weight exceeds the 32-bit matrix distance "
+        "range");
+  }
+  BuildTree(graph, options);
+  ComputeBorders(graph);
+  ComputeMatricesBottomUp(graph, options.num_threads);
+  RefineMatricesTopDown(graph, options.num_threads);
+}
+
+void GTree::BuildTree(const Graph& graph, const GTreeOptions& options) {
+  leaf_of_.assign(graph.NumVertices(), kInvalidNode);
+
+  struct Pending {
+    NodeId node;
+    std::vector<VertexId> vertices;
+  };
+  std::vector<Pending> stack;
+  nodes_.emplace_back();  // Root.
+  {
+    std::vector<VertexId> all(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) all[v] = v;
+    stack.push_back({0, std::move(all)});
+  }
+
+  while (!stack.empty()) {
+    Pending item = std::move(stack.back());
+    stack.pop_back();
+    Node& node = nodes_[item.node];
+    if (item.vertices.size() <= options.leaf_size) {
+      node.universe = std::move(item.vertices);
+      std::sort(node.universe.begin(), node.universe.end());
+      for (std::uint32_t i = 0; i < node.universe.size(); ++i) {
+        node.universe_index.emplace(node.universe[i], i);
+        leaf_of_[node.universe[i]] = item.node;
+      }
+      continue;
+    }
+    std::vector<std::vector<VertexId>> parts = PartitionVertices(
+        graph, item.vertices, options.fanout, options.strategy,
+        options.seed + item.node);
+    if (parts.size() < 2) {
+      // Degenerate split (should not happen for |vertices| > leaf_size with
+      // fanout >= 2); force a leaf to guarantee termination.
+      node.universe = std::move(item.vertices);
+      std::sort(node.universe.begin(), node.universe.end());
+      for (std::uint32_t i = 0; i < node.universe.size(); ++i) {
+        node.universe_index.emplace(node.universe[i], i);
+        leaf_of_[node.universe[i]] = item.node;
+      }
+      continue;
+    }
+    for (auto& part : parts) {
+      const NodeId child = static_cast<NodeId>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[child].parent = item.node;
+      nodes_[child].depth = nodes_[item.node].depth + 1;
+      nodes_[item.node].children.push_back(child);
+      stack.push_back({child, std::move(part)});
+    }
+  }
+
+  std::uint32_t max_depth = 0;
+  for (const Node& node : nodes_) max_depth = std::max(max_depth, node.depth);
+  levels_.assign(max_depth + 1, {});
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    levels_[nodes_[n].depth].push_back(n);
+  }
+}
+
+void GTree::ComputeBorders(const Graph& graph) {
+  std::vector<std::vector<VertexId>> borders(nodes_.size());
+  auto mark_up_to_lca = [this, &borders](VertexId u, NodeId lca) {
+    NodeId n = leaf_of_[u];
+    while (n != lca) {
+      borders[n].push_back(u);
+      n = nodes_[n].parent;
+    }
+  };
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const Arc& arc : graph.Neighbors(u)) {
+      if (u >= arc.head) continue;
+      NodeId a = leaf_of_[u];
+      NodeId b = leaf_of_[arc.head];
+      if (a == b) continue;
+      // Find the LCA by depth alignment.
+      while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
+      while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
+      while (a != b) {
+        a = nodes_[a].parent;
+        b = nodes_[b].parent;
+      }
+      mark_up_to_lca(u, a);
+      mark_up_to_lca(arc.head, a);
+    }
+  }
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    auto& list = borders[n];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    nodes_[n].borders = std::move(list);
+  }
+  // Internal universes: concatenation of children borders (disjoint since
+  // children partition the vertex set).
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    Node& node = nodes_[n];
+    if (node.children.empty()) continue;  // Leaf universes set in BuildTree.
+    for (NodeId c : node.children) {
+      for (VertexId b : nodes_[c].borders) {
+        node.universe_index.emplace(b, node.universe.size());
+        node.universe.push_back(b);
+      }
+    }
+  }
+}
+
+Distance GTree::ChildBorderDistance(NodeId c, VertexId a, VertexId b) const {
+  const Node& child = nodes_[c];
+  if (IsLeaf(c)) {
+    const auto row = std::lower_bound(child.borders.begin(),
+                                      child.borders.end(), a) -
+                     child.borders.begin();
+    const std::uint32_t col = child.universe_index.at(b);
+    const MatrixDist d = child.matrix[row * child.Cols() + col];
+    return d == kUnreachable ? kInfDistance : d;
+  }
+  const std::uint32_t row = child.universe_index.at(a);
+  const std::uint32_t col = child.universe_index.at(b);
+  const MatrixDist d = child.matrix[row * child.Cols() + col];
+  return d == kUnreachable ? kInfDistance : d;
+}
+
+void GTree::ComputeNodeMatrix(const Graph& graph, NodeId n, bool refined) {
+  Node& node = nodes_[n];
+  const bool leaf = IsLeaf(n);
+  const std::size_t cols = node.Cols();
+  std::vector<std::vector<LocalArc>> adjacency(cols);
+
+  if (leaf) {
+    // Original arcs restricted to the leaf's vertex set.
+    for (std::uint32_t i = 0; i < node.universe.size(); ++i) {
+      const VertexId u = node.universe[i];
+      for (const Arc& arc : graph.Neighbors(u)) {
+        auto it = node.universe_index.find(arc.head);
+        if (it != node.universe_index.end()) {
+          adjacency[i].push_back({it->second, arc.weight});
+        }
+      }
+    }
+  } else {
+    // Per-child border cliques from the children's current matrices.
+    for (NodeId c : node.children) {
+      const auto& child_borders = nodes_[c].borders;
+      for (std::size_t i = 0; i < child_borders.size(); ++i) {
+        for (std::size_t j = i + 1; j < child_borders.size(); ++j) {
+          const Distance d =
+              ChildBorderDistance(c, child_borders[i], child_borders[j]);
+          if (d == kInfDistance) continue;
+          const LocalId a = node.universe_index.at(child_borders[i]);
+          const LocalId b = node.universe_index.at(child_borders[j]);
+          adjacency[a].push_back({b, static_cast<std::uint32_t>(d)});
+          adjacency[b].push_back({a, static_cast<std::uint32_t>(d)});
+        }
+      }
+    }
+    // Inter-child original edges. Both endpoints of an edge crossing two
+    // children are borders of their children, hence in the universe.
+    for (std::uint32_t i = 0; i < node.universe.size(); ++i) {
+      const VertexId u = node.universe[i];
+      for (const Arc& arc : graph.Neighbors(u)) {
+        auto it = node.universe_index.find(arc.head);
+        if (it == node.universe_index.end()) continue;
+        if (LeafToChild(n, u) != LeafToChild(n, arc.head)) {
+          adjacency[i].push_back({it->second, arc.weight});
+        }
+      }
+    }
+  }
+
+  if (refined && node.parent != kInvalidNode) {
+    // Detour clique: the node's own borders at their exact global
+    // distances, read from the (already refined) parent matrix. This lets
+    // shortest paths leave and re-enter the node's subgraph.
+    const Node& parent = nodes_[node.parent];
+    for (std::size_t i = 0; i < node.borders.size(); ++i) {
+      for (std::size_t j = i + 1; j < node.borders.size(); ++j) {
+        const std::uint32_t pi = parent.universe_index.at(node.borders[i]);
+        const std::uint32_t pj = parent.universe_index.at(node.borders[j]);
+        const MatrixDist d = parent.matrix[pi * parent.Cols() + pj];
+        if (d == kUnreachable) continue;
+        const LocalId a = node.universe_index.at(node.borders[i]);
+        const LocalId b = node.universe_index.at(node.borders[j]);
+        adjacency[a].push_back({b, d});
+        adjacency[b].push_back({a, d});
+      }
+    }
+  }
+
+  const std::size_t rows = node.Rows(leaf);
+  node.matrix.assign(rows * cols, kUnreachable);
+  std::vector<std::uint64_t> dist;
+  for (std::size_t row = 0; row < rows; ++row) {
+    const LocalId source =
+        leaf ? node.universe_index.at(node.borders[row])
+             : static_cast<LocalId>(row);
+    LocalDijkstra(adjacency, source, &dist);
+    for (std::size_t col = 0; col < cols; ++col) {
+      node.matrix[row * cols + col] =
+          dist[col] >= kUnreachable
+              ? kUnreachable
+              : static_cast<MatrixDist>(dist[col]);
+    }
+  }
+}
+
+void GTree::ComputeMatricesBottomUp(const Graph& graph,
+                                    unsigned num_threads) {
+  for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
+    ParallelForNodes(*level, num_threads, [this, &graph](NodeId n) {
+      ComputeNodeMatrix(graph, n, /*refined=*/false);
+    });
+  }
+}
+
+void GTree::RefineMatricesTopDown(const Graph& graph, unsigned num_threads) {
+  // Root is already exact (its subgraph is the whole graph); refine the
+  // rest level by level so each node sees an exact parent.
+  for (std::size_t depth = 1; depth < levels_.size(); ++depth) {
+    ParallelForNodes(levels_[depth], num_threads, [this, &graph](NodeId n) {
+      ComputeNodeMatrix(graph, n, /*refined=*/true);
+    });
+  }
+}
+
+GTree::NodeId GTree::LeafToChild(NodeId node, VertexId v) const {
+  NodeId n = leaf_of_[v];
+  while (nodes_[n].parent != node) n = nodes_[n].parent;
+  return n;
+}
+
+bool GTree::ContainsVertex(NodeId n, VertexId v) const {
+  NodeId walk = leaf_of_[v];
+  while (walk != kInvalidNode) {
+    if (walk == n) return true;
+    walk = nodes_[walk].parent;
+  }
+  return false;
+}
+
+bool GTree::IsInSubtree(NodeId node, NodeId ancestor) const {
+  NodeId walk = node;
+  while (walk != kInvalidNode) {
+    if (walk == ancestor) return true;
+    walk = nodes_[walk].parent;
+  }
+  return false;
+}
+
+const std::vector<VertexId>& GTree::LeafVertices(NodeId n) const {
+  if (!IsLeaf(n)) {
+    throw std::invalid_argument("GTree::LeafVertices: not a leaf");
+  }
+  return nodes_[n].universe;
+}
+
+GTree::SourceCache GTree::MakeSourceCache(VertexId s) const {
+  SourceCache cache;
+  cache.source_ = s;
+  return cache;
+}
+
+const std::vector<Distance>& GTree::BorderDistances(SourceCache& cache,
+                                                    NodeId n) const {
+  auto it = cache.border_distances_.find(n);
+  if (it != cache.border_distances_.end()) return it->second;
+
+  const Node& node = nodes_[n];
+  const VertexId q = cache.source_;
+  std::vector<Distance> result(node.borders.size(), kInfDistance);
+
+  if (IsLeaf(n) && n == leaf_of_[q]) {
+    // Base case: exact border-to-vertex entries of the query leaf.
+    const std::uint32_t col = node.universe_index.at(q);
+    for (std::size_t i = 0; i < node.borders.size(); ++i) {
+      const MatrixDist d = node.matrix[i * node.Cols() + col];
+      result[i] = d == kUnreachable ? kInfDistance : d;
+      ++matrix_ops_;
+    }
+  } else if (ContainsVertex(n, q)) {
+    // Ascend: combine the child-containing-q vector with this node's
+    // matrix over (borders(child) x borders(n)).
+    const NodeId c = LeafToChild(n, q);
+    const std::vector<Distance>& child_vec = BorderDistances(cache, c);
+    const auto& child_borders = nodes_[c].borders;
+    for (std::size_t i = 0; i < node.borders.size(); ++i) {
+      const std::uint32_t bi = node.universe_index.at(node.borders[i]);
+      Distance best = kInfDistance;
+      for (std::size_t j = 0; j < child_borders.size(); ++j) {
+        if (child_vec[j] == kInfDistance) continue;
+        const std::uint32_t bj = node.universe_index.at(child_borders[j]);
+        const MatrixDist d = node.matrix[bj * node.Cols() + bi];
+        ++matrix_ops_;
+        if (d == kUnreachable) continue;
+        best = std::min(best, child_vec[j] + d);
+      }
+      result[i] = best;
+    }
+  } else {
+    // Descend: q lies outside n. Walk through the parent: either the
+    // parent contains q (combine against the sibling subtree containing q)
+    // or recurse on the parent's own border vector.
+    const NodeId p = node.parent;
+    const Node& parent = nodes_[p];
+    const std::vector<VertexId>* through_borders;
+    const std::vector<Distance>* through_vec;
+    if (ContainsVertex(p, q)) {
+      const NodeId cq = LeafToChild(p, q);
+      through_borders = &nodes_[cq].borders;
+      through_vec = &BorderDistances(cache, cq);
+    } else {
+      through_borders = &parent.borders;
+      through_vec = &BorderDistances(cache, p);
+    }
+    for (std::size_t i = 0; i < node.borders.size(); ++i) {
+      const std::uint32_t bi = parent.universe_index.at(node.borders[i]);
+      Distance best = kInfDistance;
+      for (std::size_t j = 0; j < through_borders->size(); ++j) {
+        if ((*through_vec)[j] == kInfDistance) continue;
+        const std::uint32_t bj =
+            parent.universe_index.at((*through_borders)[j]);
+        const MatrixDist d = parent.matrix[bj * parent.Cols() + bi];
+        ++matrix_ops_;
+        if (d == kUnreachable) continue;
+        best = std::min(best, (*through_vec)[j] + d);
+      }
+      result[i] = best;
+    }
+  }
+
+  auto [slot, inserted] =
+      cache.border_distances_.emplace(n, std::move(result));
+  return slot->second;
+}
+
+Distance GTree::MinBorderDistance(SourceCache& cache, NodeId node) const {
+  const std::vector<Distance>& vec = BorderDistances(cache, node);
+  Distance best = kInfDistance;
+  for (Distance d : vec) best = std::min(best, d);
+  return best;
+}
+
+Distance GTree::LeafBorderToVertex(NodeId leaf, VertexId border,
+                                   VertexId v) const {
+  const Node& node = nodes_[leaf];
+  const auto row = std::lower_bound(node.borders.begin(), node.borders.end(),
+                                    border) -
+                   node.borders.begin();
+  const std::uint32_t col = node.universe_index.at(v);
+  ++matrix_ops_;
+  const MatrixDist d = node.matrix[row * node.Cols() + col];
+  return d == kUnreachable ? kInfDistance : d;
+}
+
+Distance GTree::BorderPairDistance(NodeId n, std::size_t i,
+                                   std::size_t j) const {
+  const Node& node = nodes_[n];
+  if (node.parent == kInvalidNode) {
+    throw std::invalid_argument("GTree::BorderPairDistance: root node");
+  }
+  const Node& parent = nodes_[node.parent];
+  const std::uint32_t pi = parent.universe_index.at(node.borders[i]);
+  const std::uint32_t pj = parent.universe_index.at(node.borders[j]);
+  ++matrix_ops_;
+  const MatrixDist d = parent.matrix[pi * parent.Cols() + pj];
+  return d == kUnreachable ? kInfDistance : d;
+}
+
+Distance GTree::SameLeafDistance(NodeId leaf, VertexId s, VertexId t) const {
+  if (s == t) return 0;
+  const Node& node = nodes_[leaf];
+  // Paths staying inside the leaf: a small constrained Dijkstra.
+  std::vector<std::uint64_t> dist;
+  std::vector<std::vector<LocalArc>> adjacency(node.universe.size());
+  for (std::uint32_t i = 0; i < node.universe.size(); ++i) {
+    for (const Arc& arc : graph_->Neighbors(node.universe[i])) {
+      auto it = node.universe_index.find(arc.head);
+      if (it != node.universe_index.end()) {
+        adjacency[i].push_back({it->second, arc.weight});
+      }
+    }
+  }
+  LocalDijkstra(adjacency, node.universe_index.at(s), &dist);
+  Distance best = dist[node.universe_index.at(t)] == UINT64_MAX
+                      ? kInfDistance
+                      : dist[node.universe_index.at(t)];
+  // Paths leaving the leaf pass through a border b on the shortest path:
+  // exact matrix entries give d(b, s) + d(b, t).
+  const std::uint32_t col_s = node.universe_index.at(s);
+  const std::uint32_t col_t = node.universe_index.at(t);
+  for (std::size_t i = 0; i < node.borders.size(); ++i) {
+    const MatrixDist ds = node.matrix[i * node.Cols() + col_s];
+    const MatrixDist dt = node.matrix[i * node.Cols() + col_t];
+    matrix_ops_ += 2;
+    if (ds == kUnreachable || dt == kUnreachable) continue;
+    best = std::min(best, static_cast<Distance>(ds) + dt);
+  }
+  return best;
+}
+
+Distance GTree::Query(SourceCache& cache, VertexId t) const {
+  const VertexId s = cache.source_;
+  if (s == t) return 0;
+  const NodeId leaf_t = leaf_of_[t];
+  if (leaf_t == leaf_of_[s]) return SameLeafDistance(leaf_t, s, t);
+  const std::vector<Distance>& vec = BorderDistances(cache, leaf_t);
+  const Node& node = nodes_[leaf_t];
+  const std::uint32_t col = node.universe_index.at(t);
+  Distance best = kInfDistance;
+  for (std::size_t i = 0; i < node.borders.size(); ++i) {
+    if (vec[i] == kInfDistance) continue;
+    const MatrixDist d = node.matrix[i * node.Cols() + col];
+    ++matrix_ops_;
+    if (d == kUnreachable) continue;
+    best = std::min(best, vec[i] + d);
+  }
+  return best;
+}
+
+Distance GTree::Query(VertexId s, VertexId t) const {
+  SourceCache cache = MakeSourceCache(s);
+  return Query(cache, t);
+}
+
+std::size_t GTree::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const Node& node : nodes_) {
+    total += node.matrix.size() * sizeof(MatrixDist);
+    total += node.universe.size() * (sizeof(VertexId) + 8);
+    total += node.borders.size() * sizeof(VertexId);
+    total += node.children.size() * sizeof(NodeId);
+    total += sizeof(Node);
+  }
+  total += leaf_of_.size() * sizeof(NodeId);
+  return total;
+}
+
+}  // namespace kspin

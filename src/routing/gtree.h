@@ -1,0 +1,193 @@
+// G-tree (Zhong et al., TKDE'15): hierarchical road-network index used both
+// as a Network Distance Module variant (KS-GT) and as the substrate of the
+// keyword-aggregated spatial keyword baseline (Section 7.4).
+//
+// The graph is recursively partitioned into a tree of subgraphs (fanout f,
+// leaf capacity tau). Each leaf stores a border-to-vertex distance matrix;
+// each internal node stores an all-pairs matrix over the union of its
+// children's borders. Matrices are computed in two phases:
+//   1. bottom-up assembly (distances constrained to each node's subgraph),
+//   2. top-down refinement against the parent's exact matrix (adding a
+//      "detour" clique over the node's own borders), after which every
+//      matrix entry is an exact global network distance.
+// Queries assemble distances through the border hierarchy with pure matrix
+// lookup+add steps ("matrix operations", the machine-independent cost metric
+// of the paper's Figure 16), which this implementation counts.
+#ifndef KSPIN_ROUTING_GTREE_H_
+#define KSPIN_ROUTING_GTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "routing/distance_oracle.h"
+#include "routing/partitioner.h"
+
+namespace kspin {
+
+/// G-tree construction parameters.
+struct GTreeOptions {
+  std::uint32_t fanout = 4;      ///< Children per internal node.
+  std::uint32_t leaf_size = 64;  ///< Max vertices per leaf.
+  PartitionStrategy strategy = PartitionStrategy::kKdTree;
+  std::uint64_t seed = 13;
+  unsigned num_threads = 0;  ///< 0 = hardware concurrency.
+};
+
+/// Hierarchical distance index with exact border matrices.
+class GTree {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kInvalidNode = UINT32_MAX;
+
+  GTree(const Graph& graph, GTreeOptions options = {});
+
+  // ----- Distance queries ---------------------------------------------
+
+  /// Per-source materialization cache: the distance vectors from one query
+  /// vertex to the borders of visited tree nodes, reused across targets
+  /// (the "materialization" technique of Zhong et al.).
+  class SourceCache {
+   public:
+    VertexId source() const { return source_; }
+
+   private:
+    friend class GTree;
+    VertexId source_ = kInvalidVertex;
+    std::unordered_map<NodeId, std::vector<Distance>> border_distances_;
+  };
+
+  /// Creates a cache for query source s.
+  SourceCache MakeSourceCache(VertexId s) const;
+
+  /// Exact network distance using (and filling) the source cache.
+  Distance Query(SourceCache& cache, VertexId t) const;
+
+  /// One-shot exact distance (builds a throwaway cache).
+  Distance Query(VertexId s, VertexId t) const;
+
+  /// Exact distances from the cached source to the borders of `node`,
+  /// aligned with Borders(node). Computes ancestors' vectors on demand.
+  const std::vector<Distance>& BorderDistances(SourceCache& cache,
+                                               NodeId node) const;
+
+  /// min over Borders(node) of BorderDistances (kInfDistance for the root,
+  /// which has no borders). Lower-bounds the distance from the cached
+  /// source to every vertex in `node` the source is outside of.
+  Distance MinBorderDistance(SourceCache& cache, NodeId node) const;
+
+  // ----- Tree structure (used by the spatial-keyword baselines) --------
+
+  NodeId RootNode() const { return 0; }
+  bool IsLeaf(NodeId n) const { return nodes_[n].children.empty(); }
+  NodeId Parent(NodeId n) const { return nodes_[n].parent; }
+  const std::vector<NodeId>& Children(NodeId n) const {
+    return nodes_[n].children;
+  }
+  std::size_t NumNodes() const { return nodes_.size(); }
+  NodeId LeafOf(VertexId v) const { return leaf_of_[v]; }
+  /// Vertices of a leaf node. Only leaves retain vertex lists.
+  const std::vector<VertexId>& LeafVertices(NodeId n) const;
+  const std::vector<VertexId>& Borders(NodeId n) const {
+    return nodes_[n].borders;
+  }
+  /// True if `node` is `ancestor` or a descendant of it.
+  bool IsInSubtree(NodeId node, NodeId ancestor) const;
+
+  /// Exact distance between a leaf border and a vertex of the same leaf
+  /// (counted as one matrix operation).
+  Distance LeafBorderToVertex(NodeId leaf, VertexId border,
+                              VertexId v) const;
+
+  /// Exact distance between Borders(n)[i] and Borders(n)[j] for a non-root
+  /// node, read from the parent's refined matrix (one matrix operation).
+  /// Used by the ROAD-style overlay as its shortcut source.
+  Distance BorderPairDistance(NodeId n, std::size_t i, std::size_t j) const;
+
+  // ----- Accounting -----------------------------------------------------
+
+  /// Matrix operations (one lookup + add) since the last reset.
+  std::uint64_t MatrixOps() const { return matrix_ops_; }
+  void ResetMatrixOps() { matrix_ops_ = 0; }
+
+  /// Approximate index memory in bytes (matrices + structure).
+  std::size_t MemoryBytes() const;
+
+ private:
+  // Distances inside matrices are 32-bit; kUnreachable marks disconnected
+  // pairs during the constrained bottom-up phase.
+  using MatrixDist = std::uint32_t;
+  static constexpr MatrixDist kUnreachable = UINT32_MAX;
+
+  struct Node {
+    NodeId parent = kInvalidNode;
+    std::uint32_t depth = 0;
+    std::vector<NodeId> children;
+    std::vector<VertexId> borders;
+    // Matrix column universe. Leaf: all leaf vertices. Internal: the union
+    // of children borders (disjoint across children).
+    std::vector<VertexId> universe;
+    std::unordered_map<VertexId, std::uint32_t> universe_index;
+    // Row set: leaf -> borders; internal -> universe.
+    std::vector<MatrixDist> matrix;
+
+    std::size_t Rows(bool is_leaf) const {
+      return is_leaf ? borders.size() : universe.size();
+    }
+    std::size_t Cols() const { return universe.size(); }
+  };
+
+  void BuildTree(const Graph& graph, const GTreeOptions& options);
+  void ComputeBorders(const Graph& graph);
+  void ComputeMatricesBottomUp(const Graph& graph, unsigned num_threads);
+  void RefineMatricesTopDown(const Graph& graph, unsigned num_threads);
+  void ComputeNodeMatrix(const Graph& graph, NodeId n, bool refined);
+
+  // Border-to-border distance of child c as seen by its own matrix.
+  Distance ChildBorderDistance(NodeId c, VertexId a, VertexId b) const;
+
+  // Dijkstra constrained to one leaf's vertex set.
+  Distance SameLeafDistance(NodeId leaf, VertexId s, VertexId t) const;
+
+  bool ContainsVertex(NodeId n, VertexId v) const;
+  // The child of `node` whose subtree contains vertex v. Requires
+  // ContainsVertex(node, v) and node internal.
+  NodeId LeafToChild(NodeId node, VertexId v) const;
+
+  const Graph* graph_ = nullptr;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaf_of_;
+  std::vector<std::vector<NodeId>> levels_;  // Node ids grouped by depth.
+  mutable std::uint64_t matrix_ops_ = 0;
+};
+
+/// DistanceOracle adapter with per-source materialization.
+class GTreeOracle : public DistanceOracle {
+ public:
+  explicit GTreeOracle(const GTree& gtree) : gtree_(gtree) {}
+
+  Distance NetworkDistance(VertexId s, VertexId t) override {
+    if (cache_ == nullptr || cache_->source() != s) {
+      cache_ = std::make_unique<GTree::SourceCache>(
+          gtree_.MakeSourceCache(s));
+    }
+    return gtree_.Query(*cache_, t);
+  }
+  void BeginSourceBatch(VertexId source) override {
+    cache_ =
+        std::make_unique<GTree::SourceCache>(gtree_.MakeSourceCache(source));
+  }
+  std::string Name() const override { return "gtree"; }
+  std::size_t MemoryBytes() const override { return gtree_.MemoryBytes(); }
+
+ private:
+  const GTree& gtree_;
+  std::unique_ptr<GTree::SourceCache> cache_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_GTREE_H_

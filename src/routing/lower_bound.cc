@@ -1,0 +1,64 @@
+#include "routing/lower_bound.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kspin {
+namespace {
+
+double EuclideanLength(const Coordinate& a, const Coordinate& b) {
+  const double dx = static_cast<double>(a.x) - b.x;
+  const double dy = static_cast<double>(a.y) - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+EuclideanLowerBound::EuclideanLowerBound(const Graph& graph)
+    : graph_(graph) {
+  if (!graph.HasCoordinates()) {
+    throw std::invalid_argument(
+        "EuclideanLowerBound: graph coordinates required");
+  }
+  // r = min over edges of weight / geometric length. Any edge of zero
+  // geometric length (coincident endpoints) forces r = 0, i.e. a vacuous
+  // but still admissible bound.
+  double ratio = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const Arc& arc : graph.Neighbors(u)) {
+      const double length = EuclideanLength(graph.VertexCoordinate(u),
+                                            graph.VertexCoordinate(arc.head));
+      if (length <= 0.0) {
+        ratio = 0.0;
+        break;
+      }
+      ratio = std::min(ratio, static_cast<double>(arc.weight) / length);
+    }
+  }
+  ratio_ = std::isinf(ratio) ? 0.0 : ratio;
+}
+
+Distance EuclideanLowerBound::LowerBound(VertexId s, VertexId t) const {
+  if (s == t) return 0;
+  const double bound = ratio_ * EuclideanLength(graph_.VertexCoordinate(s),
+                                                graph_.VertexCoordinate(t));
+  return static_cast<Distance>(std::floor(bound));
+}
+
+MaxLowerBound::MaxLowerBound(std::vector<const LowerBoundModule*> children)
+    : children_(std::move(children)) {
+  if (children_.empty()) {
+    throw std::invalid_argument("MaxLowerBound: no children");
+  }
+}
+
+std::string MaxLowerBound::Name() const {
+  std::string name = "max(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) name += ",";
+    name += children_[i]->Name();
+  }
+  return name + ")";
+}
+
+}  // namespace kspin

@@ -1,0 +1,86 @@
+// The Lower Bounding Module interface (paper Section 3, module 1).
+//
+// "Multiple heuristics can be considered to allow the module to return the
+// tightest lower-bound network distance overall. Depending on the
+// application and indexes available, the module may use more or fewer
+// lower-bound heuristics." — this header provides the abstraction, an
+// index-free Euclidean heuristic, and a tightest-of composite; the ALT
+// landmark index (alt.h) is the primary implementation.
+#ifndef KSPIN_ROUTING_LOWER_BOUND_H_
+#define KSPIN_ROUTING_LOWER_BOUND_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Admissible lower-bound estimator: LowerBound(s, t) <= d(s, t) always.
+class LowerBoundModule {
+ public:
+  virtual ~LowerBoundModule() = default;
+
+  /// A lower bound on the network distance d(s, t).
+  virtual Distance LowerBound(VertexId s, VertexId t) const = 0;
+
+  /// Short human-readable name.
+  virtual std::string Name() const = 0;
+
+  /// Approximate index memory in bytes.
+  virtual std::size_t MemoryBytes() const { return 0; }
+};
+
+/// Index-free geometric heuristic: d(s, t) >= r * euclid(s, t) where r is
+/// the smallest per-unit-length edge cost in the graph (every path of
+/// geometric length L costs at least r * L, and any s-t path is at least
+/// euclid(s, t) long). Weaker than ALT but free; useful composed with it.
+class EuclideanLowerBound : public LowerBoundModule {
+ public:
+  /// Derives the cost ratio from the graph. Requires coordinates; throws
+  /// std::invalid_argument otherwise.
+  explicit EuclideanLowerBound(const Graph& graph);
+
+  Distance LowerBound(VertexId s, VertexId t) const override;
+  std::string Name() const override { return "euclidean"; }
+
+  /// The derived minimum cost per unit of geometric length.
+  double CostRatio() const { return ratio_; }
+
+ private:
+  const Graph& graph_;
+  double ratio_ = 0.0;
+};
+
+/// Returns the maximum (tightest) of several lower bounds. Does not own
+/// its children; they must outlive the composite.
+class MaxLowerBound : public LowerBoundModule {
+ public:
+  explicit MaxLowerBound(std::vector<const LowerBoundModule*> children);
+
+  Distance LowerBound(VertexId s, VertexId t) const override {
+    Distance best = 0;
+    for (const LowerBoundModule* child : children_) {
+      const Distance lb = child->LowerBound(s, t);
+      if (lb > best) best = lb;
+    }
+    return best;
+  }
+  std::string Name() const override;
+  std::size_t MemoryBytes() const override {
+    std::size_t total = 0;
+    for (const LowerBoundModule* child : children_) {
+      total += child->MemoryBytes();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<const LowerBoundModule*> children_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_LOWER_BOUND_H_

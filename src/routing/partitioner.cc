@@ -1,0 +1,170 @@
+#include "routing/partitioner.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace kspin {
+namespace {
+
+// Recursive alternating-axis median split until the requested number of
+// parts is reached. num_parts need not be a power of two: each split
+// allocates children proportionally.
+void KdSplit(const Graph& graph, std::vector<VertexId>& vertices,
+             std::size_t begin, std::size_t end, std::uint32_t num_parts,
+             bool split_x, std::vector<std::vector<VertexId>>* out) {
+  if (num_parts <= 1 || end - begin <= 1) {
+    out->emplace_back(vertices.begin() + begin, vertices.begin() + end);
+    return;
+  }
+  const std::uint32_t left_parts = num_parts / 2;
+  const std::uint32_t right_parts = num_parts - left_parts;
+  const std::size_t mid =
+      begin + (end - begin) * left_parts / num_parts;
+  std::nth_element(vertices.begin() + begin, vertices.begin() + mid,
+                   vertices.begin() + end,
+                   [&graph, split_x](VertexId a, VertexId b) {
+                     const Coordinate& ca = graph.VertexCoordinate(a);
+                     const Coordinate& cb = graph.VertexCoordinate(b);
+                     return split_x ? ca.x < cb.x : ca.y < cb.y;
+                   });
+  KdSplit(graph, vertices, begin, mid, left_parts, !split_x, out);
+  KdSplit(graph, vertices, mid, end, right_parts, !split_x, out);
+}
+
+std::vector<std::vector<VertexId>> BfsGrowth(
+    const Graph& graph, const std::vector<VertexId>& vertices,
+    std::uint32_t num_parts, std::uint64_t seed) {
+  // Membership test restricted to the subset.
+  std::unordered_map<VertexId, std::uint32_t> assignment;
+  assignment.reserve(vertices.size() * 2);
+  for (VertexId v : vertices) assignment[v] = UINT32_MAX;
+
+  Rng rng(seed);
+  // Seeds: first random, then greedily far (in hops) from chosen seeds.
+  std::vector<VertexId> seeds;
+  std::unordered_map<VertexId, std::uint32_t> hop_dist;
+  hop_dist.reserve(vertices.size() * 2);
+  VertexId first = vertices[rng.UniformInt(0, vertices.size() - 1)];
+  seeds.push_back(first);
+  for (std::uint32_t s = 1; s < num_parts; ++s) {
+    // Multi-source BFS from all seeds within the subset.
+    std::queue<VertexId> queue;
+    hop_dist.clear();
+    for (VertexId sd : seeds) {
+      hop_dist[sd] = 0;
+      queue.push(sd);
+    }
+    VertexId farthest = seeds[0];
+    std::uint32_t far_dist = 0;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      const std::uint32_t d = hop_dist[v];
+      if (d > far_dist) {
+        far_dist = d;
+        farthest = v;
+      }
+      for (const Arc& arc : graph.Neighbors(v)) {
+        if (assignment.find(arc.head) == assignment.end()) continue;
+        if (hop_dist.find(arc.head) != hop_dist.end()) continue;
+        hop_dist[arc.head] = d + 1;
+        queue.push(arc.head);
+      }
+    }
+    seeds.push_back(farthest);
+  }
+
+  // Balanced growth: round-robin BFS, each part claims one frontier vertex
+  // per turn, so parts stay near-equal even with awkward topologies.
+  std::vector<std::queue<VertexId>> frontiers(num_parts);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    if (assignment[seeds[p]] == UINT32_MAX) {
+      assignment[seeds[p]] = p;
+      frontiers[p].push(seeds[p]);
+    }
+  }
+  std::size_t assigned = 0;
+  for (auto& [v, part] : assignment) {
+    if (part != UINT32_MAX) ++assigned;
+  }
+  bool progress = true;
+  while (assigned < vertices.size() && progress) {
+    progress = false;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      bool claimed = false;
+      while (!frontiers[p].empty() && !claimed) {
+        VertexId v = frontiers[p].front();
+        for (const Arc& arc : graph.Neighbors(v)) {
+          auto it = assignment.find(arc.head);
+          if (it == assignment.end() || it->second != UINT32_MAX) continue;
+          it->second = p;
+          frontiers[p].push(arc.head);
+          ++assigned;
+          claimed = true;
+          progress = true;
+          break;
+        }
+        if (!claimed) frontiers[p].pop();
+      }
+    }
+  }
+  // Disconnected leftovers (subset may not induce a connected subgraph):
+  // assign to the smallest part.
+  std::vector<std::size_t> sizes(num_parts, 0);
+  for (auto& [v, part] : assignment) {
+    if (part != UINT32_MAX) ++sizes[part];
+  }
+  for (auto& [v, part] : assignment) {
+    if (part == UINT32_MAX) {
+      const std::uint32_t smallest = static_cast<std::uint32_t>(
+          std::distance(sizes.begin(),
+                        std::min_element(sizes.begin(), sizes.end())));
+      part = smallest;
+      ++sizes[smallest];
+    }
+  }
+
+  std::vector<std::vector<VertexId>> parts(num_parts);
+  for (VertexId v : vertices) parts[assignment[v]].push_back(v);
+  parts.erase(std::remove_if(parts.begin(), parts.end(),
+                             [](const std::vector<VertexId>& p) {
+                               return p.empty();
+                             }),
+              parts.end());
+  return parts;
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> PartitionVertices(
+    const Graph& graph, const std::vector<VertexId>& vertices,
+    std::uint32_t num_parts, PartitionStrategy strategy, std::uint64_t seed) {
+  if (num_parts == 0) {
+    throw std::invalid_argument("PartitionVertices: num_parts == 0");
+  }
+  if (vertices.empty()) {
+    throw std::invalid_argument("PartitionVertices: empty vertex set");
+  }
+  num_parts = static_cast<std::uint32_t>(
+      std::min<std::size_t>(num_parts, vertices.size()));
+  if (num_parts == 1) return {vertices};
+
+  if (strategy == PartitionStrategy::kKdTree) {
+    if (!graph.HasCoordinates()) {
+      throw std::invalid_argument(
+          "PartitionVertices: kKdTree requires coordinates");
+    }
+    std::vector<VertexId> work = vertices;
+    std::vector<std::vector<VertexId>> out;
+    KdSplit(graph, work, 0, work.size(), num_parts, /*split_x=*/true, &out);
+    return out;
+  }
+  return BfsGrowth(graph, vertices, num_parts, seed);
+}
+
+}  // namespace kspin

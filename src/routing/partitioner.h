@@ -1,0 +1,38 @@
+// Graph partitioning substrate for the hierarchical indexes (G-tree and the
+// ROAD-style overlay baseline).
+//
+// Two strategies:
+//  - kKdTree: alternating-axis median splits over vertex coordinates. Fast,
+//    deterministic, and low-boundary on road networks (which are near
+//    planar). Requires coordinates.
+//  - kBfsGrowth: seeded balanced BFS region growing; works on any graph.
+#ifndef KSPIN_ROUTING_PARTITIONER_H_
+#define KSPIN_ROUTING_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kspin {
+
+/// Partitioning strategy.
+enum class PartitionStrategy {
+  kKdTree,
+  kBfsGrowth,
+};
+
+/// Splits `vertices` (a subset of graph vertices) into up to `num_parts`
+/// non-empty groups of roughly equal size. Returns one vertex list per part;
+/// fewer than `num_parts` lists are returned when |vertices| < num_parts.
+/// Throws std::invalid_argument for num_parts == 0, empty input, or kKdTree
+/// without coordinates.
+std::vector<std::vector<VertexId>> PartitionVertices(
+    const Graph& graph, const std::vector<VertexId>& vertices,
+    std::uint32_t num_parts, PartitionStrategy strategy,
+    std::uint64_t seed = 13);
+
+}  // namespace kspin
+
+#endif  // KSPIN_ROUTING_PARTITIONER_H_

@@ -1,0 +1,80 @@
+#include "service/poi_service.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace kspin {
+namespace {
+
+std::string Lowercase(std::string_view term) {
+  std::string out;
+  out.reserve(term.size());
+  for (char c : term) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+PoiService::PoiService(const Graph& graph, DistanceOracle& oracle,
+                       KSpinOptions options) {
+  engine_ = std::make_unique<KSpin>(graph, DocumentStore{}, oracle, options);
+}
+
+ObjectId PoiService::AddPoi(std::string_view name, VertexId vertex,
+                            std::span<const std::string> keywords) {
+  std::vector<DocEntry> document;
+  document.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    document.push_back({vocabulary_.AddOrGet(Lowercase(keyword)), 1});
+  }
+  const ObjectId id = engine_->InsertObject(vertex, std::move(document));
+  if (names_.size() <= id) names_.resize(id + 1);
+  names_[id] = std::string(name);
+  return id;
+}
+
+void PoiService::ClosePoi(ObjectId id) { engine_->DeleteObject(id); }
+
+void PoiService::TagPoi(ObjectId id, std::string_view keyword) {
+  engine_->AddKeywordToObject(id, vocabulary_.AddOrGet(Lowercase(keyword)));
+}
+
+void PoiService::UntagPoi(ObjectId id, std::string_view keyword) {
+  const KeywordId t = vocabulary_.IdOf(Lowercase(keyword));
+  if (t == kInvalidKeyword) {
+    throw std::invalid_argument("UntagPoi: unknown keyword");
+  }
+  engine_->RemoveKeywordFromObject(id, t);
+}
+
+std::vector<PoiResult> PoiService::Search(std::string_view query,
+                                          VertexId from, std::uint32_t k) {
+  ParseOptions options;
+  options.allow_unknown_keywords = true;  // Unknown term: no matches.
+  const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
+  std::vector<PoiResult> results;
+  for (const BkNNResult& r :
+       engine_->BooleanKnnCnf(from, k, parsed.clauses)) {
+    results.push_back({r.object, names_[r.object], r.distance, 0.0});
+  }
+  return results;
+}
+
+std::vector<PoiResult> PoiService::SearchRanked(std::string_view query,
+                                                VertexId from,
+                                                std::uint32_t k) {
+  ParseOptions options;
+  options.allow_unknown_keywords = true;
+  const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
+  const std::vector<KeywordId> keywords = parsed.AllKeywords();
+  std::vector<PoiResult> results;
+  for (const TopKResult& r : engine_->TopK(from, k, keywords)) {
+    results.push_back({r.object, names_[r.object], r.distance, r.score});
+  }
+  return results;
+}
+
+}  // namespace kspin

@@ -1,0 +1,83 @@
+// PoiService: the batteries-included, string-level facade over the K-SPIN
+// engine — named POIs, free-text boolean queries ("thai and (takeaway or
+// restaurant)"), ranked search, and live updates. This is the layer a map
+// application would link against; everything below it works in dense
+// integer ids.
+#ifndef KSPIN_SERVICE_POI_SERVICE_H_
+#define KSPIN_SERVICE_POI_SERVICE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "kspin/kspin.h"
+#include "service/query_parser.h"
+#include "text/vocabulary.h"
+
+namespace kspin {
+
+/// One search hit, resolved back to human-level identifiers.
+struct PoiResult {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  Distance travel_time = kInfDistance;
+  double score = 0.0;  ///< Spatio-textual score (ranked search only).
+};
+
+/// String-level spatial keyword search service.
+class PoiService {
+ public:
+  /// Starts with an empty POI catalogue. `oracle` (the Network Distance
+  /// Module) must outlive the service.
+  PoiService(const Graph& graph, DistanceOracle& oracle,
+             KSpinOptions options = {});
+
+  /// Registers a POI at `vertex` with keyword tags (interned, lowercase
+  /// recommended). Returns its id.
+  ObjectId AddPoi(std::string_view name, VertexId vertex,
+                  std::span<const std::string> keywords);
+
+  /// Removes a POI from search (the catalogue entry stays for result
+  /// resolution of historical ids).
+  void ClosePoi(ObjectId id);
+
+  /// Adds / removes one keyword tag on an existing POI.
+  void TagPoi(ObjectId id, std::string_view keyword);
+  void UntagPoi(ObjectId id, std::string_view keyword);
+
+  /// Boolean search with full and/or syntax, nearest-first:
+  ///   Search("thai and (takeaway or restaurant)", here, 5).
+  /// Unknown keywords make the query unsatisfiable (empty result) rather
+  /// than erroring. Throws QueryParseError on bad syntax.
+  std::vector<PoiResult> Search(std::string_view query, VertexId from,
+                                std::uint32_t k);
+
+  /// Relevance-ranked search: all keywords in `query` contribute to the
+  /// weighted-distance score (operators are ignored beyond extracting
+  /// keywords).
+  std::vector<PoiResult> SearchRanked(std::string_view query, VertexId from,
+                                      std::uint32_t k);
+
+  /// Periodic maintenance (rebuilds saturated keyword indexes).
+  std::size_t Maintain() { return engine_->MaintainIndexes(); }
+
+  const std::string& NameOf(ObjectId id) const { return names_.at(id); }
+  const Vocabulary& Keywords() const { return vocabulary_; }
+  KSpin& Engine() { return *engine_; }
+  std::size_t NumLivePois() const {
+    return engine_->Store().NumLiveObjects();
+  }
+
+ private:
+  Vocabulary vocabulary_;
+  std::vector<std::string> names_;  // Indexed by ObjectId.
+  std::unique_ptr<KSpin> engine_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_SERVICE_POI_SERVICE_H_

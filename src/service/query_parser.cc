@@ -1,0 +1,209 @@
+#include "service/query_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+
+namespace kspin {
+namespace {
+
+struct Token {
+  enum class Kind { kKeyword, kAnd, kOr, kLParen, kRParen, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  Token Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return {Token::Kind::kEnd, ""};
+    const char c = input_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return {Token::Kind::kLParen, "("};
+    }
+    if (c == ')') {
+      ++pos_;
+      return {Token::Kind::kRParen, ")"};
+    }
+    if (c == '&') {
+      pos_ += input_.substr(pos_).starts_with("&&") ? 2 : 1;
+      return {Token::Kind::kAnd, "&"};
+    }
+    if (c == '|') {
+      pos_ += input_.substr(pos_).starts_with("||") ? 2 : 1;
+      return {Token::Kind::kOr, "|"};
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '-' || c == '\'') {
+      std::string word;
+      while (pos_ < input_.size()) {
+        const char w = input_[pos_];
+        if (!std::isalnum(static_cast<unsigned char>(w)) && w != '_' &&
+            w != '-' && w != '\'') {
+          break;
+        }
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(w))));
+        ++pos_;
+      }
+      if (word == "and") return {Token::Kind::kAnd, word};
+      if (word == "or") return {Token::Kind::kOr, word};
+      return {Token::Kind::kKeyword, word};
+    }
+    throw QueryParseError(std::string("unexpected character '") + c +
+                          "' at position " + std::to_string(pos_));
+  }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+// CNF = conjunction (outer vector) of disjunctive clauses (inner, sorted).
+using Cnf = std::vector<std::vector<KeywordId>>;
+
+void Canonicalize(std::vector<KeywordId>& clause) {
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+}
+
+Cnf AndCnf(Cnf a, Cnf b, std::size_t max_clauses) {
+  a.insert(a.end(), std::make_move_iterator(b.begin()),
+           std::make_move_iterator(b.end()));
+  if (a.size() > max_clauses) {
+    throw QueryParseError("query too complex: clause limit exceeded");
+  }
+  return a;
+}
+
+Cnf OrCnf(const Cnf& a, const Cnf& b, std::size_t max_clauses) {
+  // (A1 & A2 & ...) | (B1 & B2 & ...) distributes into the cross product
+  // of clauses.
+  Cnf result;
+  if (a.size() * b.size() > max_clauses) {
+    throw QueryParseError("query too complex: clause limit exceeded");
+  }
+  for (const auto& ca : a) {
+    for (const auto& cb : b) {
+      std::vector<KeywordId> merged = ca;
+      merged.insert(merged.end(), cb.begin(), cb.end());
+      Canonicalize(merged);
+      result.push_back(std::move(merged));
+    }
+  }
+  return result;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const Vocabulary& vocabulary,
+         const ParseOptions& options)
+      : tokenizer_(input), vocabulary_(vocabulary), options_(options) {
+    Advance();
+  }
+
+  Cnf ParseExpression() {
+    Cnf left = ParseTerm();
+    while (current_.kind == Token::Kind::kOr) {
+      Advance();
+      left = OrCnf(left, ParseTerm(), options_.max_clauses);
+    }
+    return left;
+  }
+
+  void ExpectEnd() const {
+    if (current_.kind != Token::Kind::kEnd) {
+      throw QueryParseError("trailing input after query: '" +
+                            current_.text + "'");
+    }
+  }
+
+ private:
+  void Advance() { current_ = tokenizer_.Next(); }
+
+  Cnf ParseTerm() {
+    Cnf left = ParseFactor();
+    // Explicit AND or juxtaposition ("thai restaurant").
+    while (current_.kind == Token::Kind::kAnd ||
+           current_.kind == Token::Kind::kKeyword ||
+           current_.kind == Token::Kind::kLParen) {
+      if (current_.kind == Token::Kind::kAnd) Advance();
+      left = AndCnf(std::move(left), ParseFactor(), options_.max_clauses);
+    }
+    return left;
+  }
+
+  Cnf ParseFactor() {
+    if (current_.kind == Token::Kind::kLParen) {
+      Advance();
+      Cnf inner = ParseExpression();
+      if (current_.kind != Token::Kind::kRParen) {
+        throw QueryParseError("missing ')'");
+      }
+      Advance();
+      return inner;
+    }
+    if (current_.kind == Token::Kind::kKeyword) {
+      const KeywordId id = vocabulary_.IdOf(current_.text);
+      const std::string word = current_.text;
+      Advance();
+      if (id == kInvalidKeyword) {
+        if (!options_.allow_unknown_keywords) {
+          throw QueryParseError("unknown keyword: '" + word + "'");
+        }
+        return {{}};  // Always-false atom: an empty disjunction.
+      }
+      return {{id}};
+    }
+    throw QueryParseError("expected keyword or '(', got '" +
+                          current_.text + "'");
+  }
+
+  Tokenizer tokenizer_;
+  const Vocabulary& vocabulary_;
+  const ParseOptions& options_;
+  Token current_;
+};
+
+}  // namespace
+
+std::vector<KeywordId> ParsedQuery::AllKeywords() const {
+  std::vector<KeywordId> all;
+  for (const auto& clause : clauses) {
+    all.insert(all.end(), clause.begin(), clause.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+ParsedQuery ParseBooleanQuery(std::string_view text,
+                              const Vocabulary& vocabulary,
+                              ParseOptions options) {
+  Parser parser(text, vocabulary, options);
+  ParsedQuery query;
+  query.clauses = parser.ParseExpression();
+  parser.ExpectEnd();
+  // Deduplicate identical clauses; an empty clause makes the query
+  // unsatisfiable, so collapse to just it.
+  std::sort(query.clauses.begin(), query.clauses.end());
+  query.clauses.erase(
+      std::unique(query.clauses.begin(), query.clauses.end()),
+      query.clauses.end());
+  for (const auto& clause : query.clauses) {
+    if (clause.empty()) {
+      query.clauses = {{}};
+      break;
+    }
+  }
+  return query;
+}
+
+}  // namespace kspin

@@ -1,0 +1,59 @@
+// Boolean keyword-query parser for the service layer.
+//
+// Grammar (case-insensitive operators, '&'/'|' accepted as synonyms):
+//   expr   := term (OR term)*
+//   term   := factor (AND factor)*        -- juxtaposition implies AND
+//   factor := KEYWORD | '(' expr ')'
+//
+// The parse tree is normalized into CNF — a conjunction of disjunctive
+// clauses — which is exactly the shape K-SPIN's mixed-operator
+// BooleanKnnCnf consumes (paper Section 2: "a combination of AND and OR
+// operators, e.g., Thai and (takeaway or restaurant)"). Distribution can
+// blow up exponentially for adversarial inputs, so normalization is
+// capped; see ParseOptions.
+#ifndef KSPIN_SERVICE_QUERY_PARSER_H_
+#define KSPIN_SERVICE_QUERY_PARSER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "text/vocabulary.h"
+
+namespace kspin {
+
+/// Thrown on syntax errors, unknown keywords, or clause-count blowup.
+class QueryParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parser limits.
+struct ParseOptions {
+  /// Maximum CNF clauses produced by distribution before aborting.
+  std::size_t max_clauses = 64;
+  /// Unknown keywords: if true they parse to an always-false atom (an
+  /// empty clause contribution); if false the parser throws.
+  bool allow_unknown_keywords = false;
+};
+
+/// A parsed query: conjunction of disjunctive keyword clauses.
+/// {{thai}, {takeaway, restaurant}} = thai AND (takeaway OR restaurant).
+struct ParsedQuery {
+  std::vector<std::vector<KeywordId>> clauses;
+
+  /// All distinct keywords, e.g. for top-k relevance scoring.
+  std::vector<KeywordId> AllKeywords() const;
+};
+
+/// Parses `text` against `vocabulary`. Throws QueryParseError on invalid
+/// syntax, unknown keywords (unless allowed), or clause blowup.
+ParsedQuery ParseBooleanQuery(std::string_view text,
+                              const Vocabulary& vocabulary,
+                              ParseOptions options = {});
+
+}  // namespace kspin
+
+#endif  // KSPIN_SERVICE_QUERY_PARSER_H_

@@ -1,0 +1,112 @@
+#include "text/category_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kspin {
+
+std::uint32_t CategoryKeywordUniverse(
+    const CategoryDatasetOptions& options) {
+  return options.num_categories +
+         options.num_categories * options.attributes_per_category +
+         options.num_global_keywords;
+}
+
+KeywordId AttributeKeyword(const CategoryDatasetOptions& options,
+                           std::uint32_t c, std::uint32_t a) {
+  return options.num_categories + c * options.attributes_per_category + a;
+}
+
+DocumentStore GenerateCategoryDataset(
+    const Graph& graph, const CategoryDatasetOptions& options) {
+  if (options.num_categories == 0 ||
+      options.attributes_per_category == 0) {
+    throw std::invalid_argument(
+        "GenerateCategoryDataset: need categories with attributes");
+  }
+  if (options.object_fraction <= 0.0 || options.object_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateCategoryDataset: object_fraction outside (0,1]");
+  }
+  if (options.min_attributes > options.max_attributes ||
+      options.max_attributes > options.attributes_per_category) {
+    throw std::invalid_argument(
+        "GenerateCategoryDataset: bad attribute bounds");
+  }
+  if (graph.NumVertices() == 0) {
+    throw std::invalid_argument("GenerateCategoryDataset: empty graph");
+  }
+
+  Rng rng(options.seed);
+  const std::size_t num_objects = std::max<std::size_t>(
+      1, static_cast<std::size_t>(graph.NumVertices() *
+                                  options.object_fraction));
+  if (num_objects > graph.NumVertices()) {
+    throw std::invalid_argument(
+        "GenerateCategoryDataset: more objects than vertices");
+  }
+
+  // Distinct object vertices (uniform; spatial clustering of the plain
+  // Zipf generator applies to where POIs sit, not what they say — reuse
+  // uniform placement here and let the options knob stay for parity).
+  std::unordered_set<VertexId> chosen;
+  while (chosen.size() < num_objects) {
+    chosen.insert(static_cast<VertexId>(
+        rng.UniformInt(0, graph.NumVertices() - 1)));
+  }
+
+  // Zipf over categories.
+  std::vector<double> cumulative(options.num_categories);
+  double total = 0.0;
+  for (std::uint32_t c = 0; c < options.num_categories; ++c) {
+    total += 1.0 / std::pow(static_cast<double>(c + 1),
+                            options.category_zipf_alpha);
+    cumulative[c] = total;
+  }
+  auto draw_category = [&]() -> std::uint32_t {
+    const double u = rng.UniformDouble() * cumulative.back();
+    for (std::uint32_t c = 0; c < options.num_categories; ++c) {
+      if (u <= cumulative[c]) return c;
+    }
+    return options.num_categories - 1;
+  };
+
+  DocumentStore store;
+  for (VertexId vertex : chosen) {
+    const std::uint32_t category = draw_category();
+    std::vector<DocEntry> document;
+    document.push_back({CategoryKeyword(category), 1});
+    // Distinct attributes from the category's pool.
+    const std::uint32_t num_attributes =
+        static_cast<std::uint32_t>(rng.UniformInt(
+            options.min_attributes, options.max_attributes));
+    std::vector<std::uint32_t> pool = rng.SampleWithoutReplacement(
+        options.attributes_per_category, num_attributes);
+    for (std::uint32_t a : pool) {
+      document.push_back({AttributeKeyword(options, category, a), 1});
+    }
+    // Global tail keywords (Zipf-ish by using a squared uniform draw).
+    if (options.num_global_keywords > 0) {
+      const std::uint32_t num_global =
+          static_cast<std::uint32_t>(rng.UniformInt(0, options.max_global));
+      for (std::uint32_t g = 0; g < num_global; ++g) {
+        const double u = rng.UniformDouble();
+        const std::uint32_t pick = static_cast<std::uint32_t>(
+            u * u * options.num_global_keywords);
+        document.push_back(
+            {options.num_categories +
+                 options.num_categories * options.attributes_per_category +
+                 std::min(pick, options.num_global_keywords - 1),
+             1});
+      }
+    }
+    store.AddObject(vertex, std::move(document));
+  }
+  return store;
+}
+
+}  // namespace kspin

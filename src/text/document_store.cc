@@ -1,0 +1,107 @@
+#include "text/document_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace kspin {
+
+void DocumentStore::CheckLive(ObjectId o, const char* op) const {
+  if (o >= objects_.size()) {
+    throw std::out_of_range(std::string(op) + ": bad object id " +
+                            std::to_string(o));
+  }
+  if (objects_[o].deleted) {
+    throw std::invalid_argument(std::string(op) + ": object " +
+                                std::to_string(o) + " is deleted");
+  }
+}
+
+ObjectId DocumentStore::AddObject(VertexId vertex,
+                                  std::vector<DocEntry> document) {
+  for (const DocEntry& e : document) {
+    if (e.frequency == 0) {
+      throw std::invalid_argument(
+          "DocumentStore::AddObject: zero-frequency entry");
+    }
+  }
+  std::sort(document.begin(), document.end(),
+            [](const DocEntry& a, const DocEntry& b) {
+              return a.keyword < b.keyword;
+            });
+  // Merge duplicates.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < document.size(); ++i) {
+    if (out > 0 && document[out - 1].keyword == document[i].keyword) {
+      document[out - 1].frequency += document[i].frequency;
+    } else {
+      document[out++] = document[i];
+    }
+  }
+  document.resize(out);
+
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  total_slots_ += document.size();
+  objects_.push_back({vertex, std::move(document), false});
+  ++num_live_;
+  return id;
+}
+
+void DocumentStore::DeleteObject(ObjectId o) {
+  CheckLive(o, "DocumentStore::DeleteObject");
+  total_slots_ -= objects_[o].document.size();
+  objects_[o].document.clear();
+  objects_[o].document.shrink_to_fit();
+  objects_[o].deleted = true;
+  --num_live_;
+}
+
+void DocumentStore::AddKeyword(ObjectId o, KeywordId keyword,
+                               std::uint32_t frequency) {
+  CheckLive(o, "DocumentStore::AddKeyword");
+  if (frequency == 0) {
+    throw std::invalid_argument("DocumentStore::AddKeyword: zero frequency");
+  }
+  auto& doc = objects_[o].document;
+  auto it = std::lower_bound(doc.begin(), doc.end(), keyword,
+                             [](const DocEntry& e, KeywordId t) {
+                               return e.keyword < t;
+                             });
+  if (it != doc.end() && it->keyword == keyword) {
+    it->frequency += frequency;
+  } else {
+    doc.insert(it, DocEntry{keyword, frequency});
+    ++total_slots_;
+  }
+}
+
+void DocumentStore::RemoveKeyword(ObjectId o, KeywordId keyword) {
+  CheckLive(o, "DocumentStore::RemoveKeyword");
+  auto& doc = objects_[o].document;
+  auto it = std::lower_bound(doc.begin(), doc.end(), keyword,
+                             [](const DocEntry& e, KeywordId t) {
+                               return e.keyword < t;
+                             });
+  if (it == doc.end() || it->keyword != keyword) {
+    throw std::invalid_argument(
+        "DocumentStore::RemoveKeyword: keyword not in document");
+  }
+  doc.erase(it);
+  --total_slots_;
+}
+
+bool DocumentStore::Contains(ObjectId o, KeywordId t) const {
+  return Frequency(o, t) > 0;
+}
+
+std::uint32_t DocumentStore::Frequency(ObjectId o, KeywordId t) const {
+  if (o >= objects_.size() || objects_[o].deleted) return 0;
+  const auto& doc = objects_[o].document;
+  auto it = std::lower_bound(doc.begin(), doc.end(), t,
+                             [](const DocEntry& e, KeywordId kw) {
+                               return e.keyword < kw;
+                             });
+  return (it != doc.end() && it->keyword == t) ? it->frequency : 0;
+}
+
+}  // namespace kspin

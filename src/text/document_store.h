@@ -1,0 +1,89 @@
+// Object (point of interest) store: each object sits on a road-network
+// vertex and carries a document doc(o) of (keyword, frequency) pairs
+// (paper Section 2, "Objects and Textual Information").
+//
+// The store is mutable to support the update workloads of Section 6.2:
+// objects can be inserted, deleted (tombstoned), and have keywords added or
+// removed. ObjectIds are stable across mutations.
+#ifndef KSPIN_TEXT_DOCUMENT_STORE_H_
+#define KSPIN_TEXT_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// One keyword occurrence in a document.
+struct DocEntry {
+  KeywordId keyword;
+  std::uint32_t frequency;  ///< f_{t,o} >= 1.
+};
+
+/// Mutable object/document store.
+class DocumentStore {
+ public:
+  /// Adds an object at `vertex` with the given document; returns its id.
+  /// Entries with duplicate keywords are merged (frequencies summed);
+  /// zero-frequency entries are rejected.
+  ObjectId AddObject(VertexId vertex, std::vector<DocEntry> document);
+
+  /// Tombstones the object (its document is released). Throws on bad ids
+  /// or double deletion.
+  void DeleteObject(ObjectId o);
+
+  /// Adds `frequency` occurrences of `keyword` to doc(o).
+  void AddKeyword(ObjectId o, KeywordId keyword, std::uint32_t frequency = 1);
+
+  /// Removes `keyword` from doc(o) entirely. Throws if absent.
+  void RemoveKeyword(ObjectId o, KeywordId keyword);
+
+  /// True if the object exists and is not deleted.
+  bool IsLive(ObjectId o) const {
+    return o < objects_.size() && !objects_[o].deleted;
+  }
+
+  /// The vertex object o sits on.
+  VertexId ObjectVertex(ObjectId o) const { return objects_[o].vertex; }
+
+  /// The document of object o, sorted by keyword id.
+  std::span<const DocEntry> Document(ObjectId o) const {
+    return objects_[o].document;
+  }
+
+  /// True if keyword t occurs in doc(o).
+  bool Contains(ObjectId o, KeywordId t) const;
+
+  /// Frequency f_{t,o} (0 if absent).
+  std::uint32_t Frequency(ObjectId o, KeywordId t) const;
+
+  /// Total slots ever allocated (including tombstones); valid ids are
+  /// [0, NumSlots()).
+  std::size_t NumSlots() const { return objects_.size(); }
+
+  /// Number of live objects |O|.
+  std::size_t NumLiveObjects() const { return num_live_; }
+
+  /// Total keyword occurrences over live objects: sum of |doc(o)| terms
+  /// (the paper's |doc(V)| statistic counts distinct keyword slots).
+  std::size_t TotalKeywordSlots() const { return total_slots_; }
+
+ private:
+  struct ObjectRecord {
+    VertexId vertex = kInvalidVertex;
+    std::vector<DocEntry> document;  // Sorted by keyword id.
+    bool deleted = false;
+  };
+
+  void CheckLive(ObjectId o, const char* op) const;
+
+  std::vector<ObjectRecord> objects_;
+  std::size_t num_live_ = 0;
+  std::size_t total_slots_ = 0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_TEXT_DOCUMENT_STORE_H_

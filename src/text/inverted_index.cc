@@ -1,0 +1,55 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace kspin {
+
+InvertedIndex::InvertedIndex(const DocumentStore& store,
+                             std::size_t num_keywords)
+    : lists_(num_keywords) {
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    if (!store.IsLive(o)) continue;
+    for (const DocEntry& entry : store.Document(o)) {
+      if (entry.keyword >= num_keywords) {
+        throw std::invalid_argument(
+            "InvertedIndex: keyword id " + std::to_string(entry.keyword) +
+            " outside universe of size " + std::to_string(num_keywords));
+      }
+      lists_[entry.keyword].push_back(o);
+    }
+  }
+  // Documents are visited in ascending object id, so lists are sorted.
+}
+
+void InvertedIndex::Add(KeywordId t, ObjectId o) {
+  if (t >= lists_.size()) {
+    throw std::out_of_range("InvertedIndex::Add: keyword out of universe");
+  }
+  auto& list = lists_[t];
+  auto it = std::lower_bound(list.begin(), list.end(), o);
+  if (it != list.end() && *it == o) return;  // Already present.
+  list.insert(it, o);
+}
+
+void InvertedIndex::Remove(KeywordId t, ObjectId o) {
+  if (t >= lists_.size()) {
+    throw std::out_of_range("InvertedIndex::Remove: keyword out of universe");
+  }
+  auto& list = lists_[t];
+  auto it = std::lower_bound(list.begin(), list.end(), o);
+  if (it == list.end() || *it != o) {
+    throw std::invalid_argument(
+        "InvertedIndex::Remove: object not in inverted list");
+  }
+  list.erase(it);
+}
+
+std::size_t InvertedIndex::MemoryBytes() const {
+  std::size_t total = lists_.size() * sizeof(std::vector<ObjectId>);
+  for (const auto& list : lists_) total += list.size() * sizeof(ObjectId);
+  return total;
+}
+
+}  // namespace kspin

@@ -1,0 +1,53 @@
+// Inverted lists inv(t): for each keyword, the set of live objects whose
+// document contains it. Kept in sync with DocumentStore mutations by the
+// caller (the K-SPIN framework routes every update through both).
+#ifndef KSPIN_TEXT_INVERTED_INDEX_H_
+#define KSPIN_TEXT_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "text/document_store.h"
+
+namespace kspin {
+
+/// Keyword -> object inverted index.
+class InvertedIndex {
+ public:
+  /// Builds inv(t) for every keyword occurring in `store` (live objects
+  /// only). `num_keywords` sizes the keyword universe; keyword ids in
+  /// documents must be < num_keywords.
+  InvertedIndex(const DocumentStore& store, std::size_t num_keywords);
+
+  /// inv(t): object ids containing keyword t, ascending. Empty span for
+  /// out-of-universe keywords.
+  std::span<const ObjectId> Objects(KeywordId t) const {
+    if (t >= lists_.size()) return {};
+    return lists_[t];
+  }
+
+  /// |inv(t)|.
+  std::size_t ListSize(KeywordId t) const {
+    return t >= lists_.size() ? 0 : lists_[t].size();
+  }
+
+  /// Number of keywords in the universe.
+  std::size_t NumKeywords() const { return lists_.size(); }
+
+  /// Registers a (new or updated) object under keyword t.
+  void Add(KeywordId t, ObjectId o);
+
+  /// Removes object o from inv(t). Throws if absent.
+  void Remove(KeywordId t, ObjectId o);
+
+  /// Approximate memory in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<ObjectId>> lists_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_TEXT_INVERTED_INDEX_H_

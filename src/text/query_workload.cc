@@ -1,0 +1,122 @@
+#include "text/query_workload.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace kspin {
+
+QueryWorkload::QueryWorkload(const Graph& graph, const DocumentStore& store,
+                             const InvertedIndex& index,
+                             WorkloadOptions options)
+    : graph_(graph), store_(store), index_(index), seed_(options.seed) {
+  if (index.NumKeywords() == 0 || store.NumLiveObjects() == 0) {
+    throw std::invalid_argument("QueryWorkload: empty keyword dataset");
+  }
+  Rng rng(options.seed);
+  lengths_ = options.vector_lengths;
+  std::sort(lengths_.begin(), lengths_.end());
+  lengths_.erase(std::unique(lengths_.begin(), lengths_.end()),
+                 lengths_.end());
+
+  // Rank keywords by descending inverted-list size; choose seed terms from
+  // the requested rank window.
+  std::vector<KeywordId> by_rank(index.NumKeywords());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&index](KeywordId a, KeywordId b) {
+                     return index.ListSize(a) > index.ListSize(b);
+                   });
+  std::vector<KeywordId> seed_terms;
+  for (std::uint32_t r = options.seed_term_min_rank;
+       r < by_rank.size() && seed_terms.size() < options.num_seed_terms;
+       ++r) {
+    if (index.ListSize(by_rank[r]) > 0) seed_terms.push_back(by_rank[r]);
+  }
+  if (seed_terms.empty()) {
+    throw std::invalid_argument("QueryWorkload: no non-empty keywords");
+  }
+
+  // Build one keyword vector per (seed term, sampled object, length):
+  // the vector starts with the seed term and is extended with other
+  // keywords from the object's document (correlated keywords), falling
+  // back to random keywords if the document is too short.
+  queries_by_length_.resize(lengths_.size());
+  for (KeywordId term : seed_terms) {
+    const std::span<const ObjectId> inv = index_.Objects(term);
+    for (std::uint32_t i = 0; i < options.objects_per_term; ++i) {
+      const ObjectId o = inv[rng.UniformInt(0, inv.size() - 1)];
+      std::vector<KeywordId> co_occurring;
+      for (const DocEntry& e : store_.Document(o)) {
+        if (e.keyword != term) co_occurring.push_back(e.keyword);
+      }
+      std::shuffle(co_occurring.begin(), co_occurring.end(), rng.engine());
+
+      for (std::size_t li = 0; li < lengths_.size(); ++li) {
+        const std::uint32_t length = lengths_[li];
+        std::vector<KeywordId> vec = {term};
+        for (std::size_t j = 0; vec.size() < length && j < co_occurring.size();
+             ++j) {
+          vec.push_back(co_occurring[j]);
+        }
+        while (vec.size() < length) {
+          const KeywordId extra = static_cast<KeywordId>(
+              rng.UniformInt(0, index_.NumKeywords() - 1));
+          if (std::find(vec.begin(), vec.end(), extra) == vec.end() &&
+              index_.ListSize(extra) > 0) {
+            vec.push_back(extra);
+          }
+        }
+        for (std::uint32_t v = 0; v < options.vertices_per_vector; ++v) {
+          SpatialKeywordQuery query;
+          query.vertex = static_cast<VertexId>(
+              rng.UniformInt(0, graph_.NumVertices() - 1));
+          query.keywords = vec;
+          queries_by_length_[li].push_back(std::move(query));
+        }
+      }
+    }
+  }
+}
+
+std::span<const SpatialKeywordQuery> QueryWorkload::QueriesForLength(
+    std::uint32_t length) const {
+  const auto it = std::find(lengths_.begin(), lengths_.end(), length);
+  if (it == lengths_.end()) {
+    throw std::invalid_argument("QueryWorkload: length " +
+                                std::to_string(length) + " not generated");
+  }
+  return queries_by_length_[it - lengths_.begin()];
+}
+
+std::vector<SpatialKeywordQuery> QueryWorkload::SingleKeywordDensityBucket(
+    double lo, double hi, std::uint32_t max_keywords,
+    std::uint32_t count) const {
+  Rng rng(seed_ ^ 0x5eedbeef);
+  const double num_vertices = static_cast<double>(graph_.NumVertices());
+  std::vector<KeywordId> bucket;
+  for (KeywordId t = 0; t < index_.NumKeywords(); ++t) {
+    const double density = index_.ListSize(t) / num_vertices;
+    if (density >= lo && density < hi && index_.ListSize(t) > 0) {
+      bucket.push_back(t);
+    }
+  }
+  std::shuffle(bucket.begin(), bucket.end(), rng.engine());
+  if (bucket.size() > max_keywords) bucket.resize(max_keywords);
+
+  std::vector<SpatialKeywordQuery> queries;
+  for (KeywordId t : bucket) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SpatialKeywordQuery query;
+      query.vertex = static_cast<VertexId>(
+          rng.UniformInt(0, graph_.NumVertices() - 1));
+      query.keywords = {t};
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+}  // namespace kspin

@@ -1,0 +1,72 @@
+// Query workload generator reproducing the paper's methodology (Section
+// 7.1, "Query Parameters"): pick several popular seed terms; for each, pick
+// objects containing the term and extend with keywords co-occurring in the
+// same object's document (so multi-keyword queries are correlated, as in
+// real searches); pair every keyword vector with uniformly chosen query
+// vertices.
+#ifndef KSPIN_TEXT_QUERY_WORKLOAD_H_
+#define KSPIN_TEXT_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "text/document_store.h"
+#include "text/inverted_index.h"
+
+namespace kspin {
+
+/// One spatial keyword query instance.
+struct SpatialKeywordQuery {
+  VertexId vertex = kInvalidVertex;
+  std::vector<KeywordId> keywords;
+};
+
+/// Workload shape parameters.
+struct WorkloadOptions {
+  std::vector<std::uint32_t> vector_lengths = {1, 2, 3, 4, 5, 6};
+  std::uint32_t num_seed_terms = 5;      ///< "hotel", "restaurant", ...
+  std::uint32_t objects_per_term = 10;   ///< Keyword vectors per term.
+  std::uint32_t vertices_per_vector = 20;  ///< Query locations per vector.
+  /// Seed terms are taken from this frequency-rank window (rank by
+  /// descending |inv(t)|); skipping the very top avoids stop-word-like
+  /// terms.
+  std::uint32_t seed_term_min_rank = 1;
+  std::uint64_t seed = 99;
+};
+
+/// Pre-generated query sets, grouped by keyword vector length.
+class QueryWorkload {
+ public:
+  /// Builds the workload. Throws if the dataset has no keywords/objects.
+  QueryWorkload(const Graph& graph, const DocumentStore& store,
+                const InvertedIndex& index, WorkloadOptions options = {});
+
+  /// All queries with `length` keywords. Throws std::invalid_argument when
+  /// `length` was not in vector_lengths.
+  std::span<const SpatialKeywordQuery> QueriesForLength(
+      std::uint32_t length) const;
+
+  /// Lengths available.
+  const std::vector<std::uint32_t>& Lengths() const { return lengths_; }
+
+  /// Queries whose single keyword falls in an inverted-list-density bucket
+  /// (Figure 13): keywords t with lo <= |inv(t)|/|V| < hi, paired with
+  /// `count` random vertices each (up to `max_keywords` distinct keywords).
+  std::vector<SpatialKeywordQuery> SingleKeywordDensityBucket(
+      double lo, double hi, std::uint32_t max_keywords,
+      std::uint32_t count) const;
+
+ private:
+  const Graph& graph_;
+  const DocumentStore& store_;
+  const InvertedIndex& index_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> lengths_;
+  std::vector<std::vector<SpatialKeywordQuery>> queries_by_length_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_TEXT_QUERY_WORKLOAD_H_

@@ -1,0 +1,109 @@
+#include "text/relevance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kspin {
+namespace {
+
+double TermWeight(std::uint32_t frequency) {
+  // w_{t,o} = 1 + ln(f_{t,o}).
+  return 1.0 + std::log(static_cast<double>(frequency));
+}
+
+}  // namespace
+
+RelevanceModel::RelevanceModel(const DocumentStore& store,
+                               const InvertedIndex& index)
+    : store_(store), index_(index) {
+  norms_.assign(store.NumSlots(), 0.0);
+  max_impact_.assign(index.NumKeywords(), 0.0);
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    if (!store.IsLive(o)) continue;
+    double sum_sq = 0.0;
+    for (const DocEntry& entry : store.Document(o)) {
+      const double w = TermWeight(entry.frequency);
+      sum_sq += w * w;
+    }
+    norms_[o] = std::sqrt(sum_sq);
+    if (norms_[o] <= 0.0) continue;
+    for (const DocEntry& entry : store.Document(o)) {
+      const double impact = TermWeight(entry.frequency) / norms_[o];
+      if (impact > max_impact_[entry.keyword]) {
+        max_impact_[entry.keyword] = impact;
+      }
+    }
+  }
+}
+
+double RelevanceModel::ObjectImpact(ObjectId o, KeywordId t) const {
+  const std::uint32_t f = store_.Frequency(o, t);
+  if (f == 0) return 0.0;
+  const double norm = Norm(o);
+  return norm > 0.0 ? TermWeight(f) / norm : 0.0;
+}
+
+PreparedQuery RelevanceModel::PrepareQuery(
+    std::span<const KeywordId> keywords) const {
+  PreparedQuery query;
+  // psi is a keyword *set* (paper Section 2): duplicates must not double
+  // their impact contribution.
+  query.keywords.assign(keywords.begin(), keywords.end());
+  std::sort(query.keywords.begin(), query.keywords.end());
+  query.keywords.erase(
+      std::unique(query.keywords.begin(), query.keywords.end()),
+      query.keywords.end());
+  const double num_objects = static_cast<double>(store_.NumLiveObjects());
+  // w_{t,psi} = ln(1 + |O| / |inv(t)|); keywords with empty lists keep a
+  // harmless weight (they can never contribute to TR anyway).
+  std::vector<double> weights;
+  weights.reserve(query.keywords.size());
+  double sum_sq = 0.0;
+  for (KeywordId t : query.keywords) {
+    const double list = static_cast<double>(index_.ListSize(t));
+    const double w = list > 0.0 ? std::log(1.0 + num_objects / list) : 0.0;
+    weights.push_back(w);
+    sum_sq += w * w;
+  }
+  const double norm = std::sqrt(sum_sq);
+  query.impacts.reserve(query.keywords.size());
+  for (double w : weights) {
+    query.impacts.push_back(norm > 0.0 ? w / norm : 0.0);
+  }
+  return query;
+}
+
+double RelevanceModel::TextualRelevance(const PreparedQuery& query,
+                                        ObjectId o) const {
+  double tr = 0.0;
+  for (std::size_t i = 0; i < query.keywords.size(); ++i) {
+    tr += query.impacts[i] * ObjectImpact(o, query.keywords[i]);
+  }
+  return tr;
+}
+
+void RelevanceModel::RefreshObject(ObjectId o) {
+  if (o >= norms_.size()) norms_.resize(o + 1, 0.0);
+  if (!store_.IsLive(o)) {
+    norms_[o] = 0.0;
+    return;
+  }
+  double sum_sq = 0.0;
+  for (const DocEntry& entry : store_.Document(o)) {
+    const double w = TermWeight(entry.frequency);
+    sum_sq += w * w;
+  }
+  norms_[o] = std::sqrt(sum_sq);
+  if (norms_[o] <= 0.0) return;
+  for (const DocEntry& entry : store_.Document(o)) {
+    if (entry.keyword >= max_impact_.size()) {
+      max_impact_.resize(entry.keyword + 1, 0.0);
+    }
+    const double impact = TermWeight(entry.frequency) / norms_[o];
+    if (impact > max_impact_[entry.keyword]) {
+      max_impact_[entry.keyword] = impact;
+    }
+  }
+}
+
+}  // namespace kspin

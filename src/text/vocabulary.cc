@@ -1,0 +1,29 @@
+#include "text/vocabulary.h"
+
+#include <stdexcept>
+
+namespace kspin {
+
+KeywordId Vocabulary::AddOrGet(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+KeywordId Vocabulary::IdOf(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidKeyword : it->second;
+}
+
+const std::string& Vocabulary::TermOf(KeywordId id) const {
+  if (id >= terms_.size()) {
+    throw std::out_of_range("Vocabulary::TermOf: bad keyword id " +
+                            std::to_string(id));
+  }
+  return terms_[id];
+}
+
+}  // namespace kspin

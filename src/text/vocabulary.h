@@ -1,0 +1,37 @@
+// Keyword corpus W: a bidirectional mapping between keyword strings and
+// dense KeywordIds.
+#ifndef KSPIN_TEXT_VOCABULARY_H_
+#define KSPIN_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin {
+
+/// Dense keyword dictionary.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  KeywordId AddOrGet(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidKeyword if absent.
+  KeywordId IdOf(std::string_view term) const;
+
+  /// The term of a keyword id. Throws std::out_of_range on bad ids.
+  const std::string& TermOf(KeywordId id) const;
+
+  /// Corpus size |W|.
+  std::size_t Size() const { return terms_.size(); }
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, KeywordId> index_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_TEXT_VOCABULARY_H_

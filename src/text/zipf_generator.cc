@@ -1,0 +1,159 @@
+#include "text/zipf_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kspin {
+namespace {
+
+void ValidateOptions(const Graph& graph,
+                     const KeywordDatasetOptions& options) {
+  if (options.num_keywords == 0) {
+    throw std::invalid_argument("GenerateKeywordDataset: no keywords");
+  }
+  if (options.object_fraction <= 0.0 || options.object_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateKeywordDataset: object_fraction outside (0,1]");
+  }
+  if (options.min_doc_keywords == 0 ||
+      options.min_doc_keywords > options.max_doc_keywords) {
+    throw std::invalid_argument(
+        "GenerateKeywordDataset: bad document length bounds");
+  }
+  if (options.clustered_fraction < 0.0 || options.clustered_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateKeywordDataset: clustered_fraction outside [0,1]");
+  }
+  if (graph.NumVertices() == 0) {
+    throw std::invalid_argument("GenerateKeywordDataset: empty graph");
+  }
+}
+
+// Zipf sampler over ranks [0, n): P(r) proportional to 1/(r+1)^alpha.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double alpha) : cumulative_(n) {
+    double total = 0.0;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+      cumulative_[r] = total;
+    }
+  }
+
+  std::uint32_t Draw(Rng& rng) const {
+    const double u = rng.UniformDouble() * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::uint32_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+// Picks object vertices: `clustered` of them around BFS neighbourhoods of
+// random cluster centres, the rest uniform; all distinct.
+std::vector<VertexId> PlaceObjects(const Graph& graph, std::size_t count,
+                                   const KeywordDatasetOptions& options,
+                                   Rng& rng) {
+  const std::size_t n = graph.NumVertices();
+  std::unordered_set<VertexId> chosen;
+  chosen.reserve(count * 2);
+
+  const std::size_t clustered =
+      static_cast<std::size_t>(count * options.clustered_fraction);
+  const std::size_t num_clusters = std::max<std::size_t>(
+      1, clustered / std::max<std::uint32_t>(1, options.cluster_size));
+
+  std::vector<std::uint8_t> visited(n, 0);
+  for (std::size_t c = 0; c < num_clusters && chosen.size() < clustered;
+       ++c) {
+    const VertexId centre =
+        static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    // BFS neighbourhood roughly twice the cluster size; sample from it.
+    std::vector<VertexId> pool;
+    std::queue<VertexId> queue;
+    std::vector<VertexId> touched;
+    queue.push(centre);
+    visited[centre] = 1;
+    touched.push_back(centre);
+    while (!queue.empty() && pool.size() < options.cluster_size * 2) {
+      const VertexId v = queue.front();
+      queue.pop();
+      pool.push_back(v);
+      for (const Arc& arc : graph.Neighbors(v)) {
+        if (!visited[arc.head]) {
+          visited[arc.head] = 1;
+          touched.push_back(arc.head);
+          queue.push(arc.head);
+        }
+      }
+    }
+    for (VertexId v : touched) visited[v] = 0;
+    std::shuffle(pool.begin(), pool.end(), rng.engine());
+    for (VertexId v : pool) {
+      if (chosen.size() >= clustered) break;
+      if (chosen.size() - 0 >= count) break;
+      chosen.insert(v);
+    }
+  }
+  while (chosen.size() < count) {
+    chosen.insert(static_cast<VertexId>(rng.UniformInt(0, n - 1)));
+  }
+  std::vector<VertexId> result(chosen.begin(), chosen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+DocumentStore GenerateKeywordDataset(const Graph& graph,
+                                     const KeywordDatasetOptions& options) {
+  ValidateOptions(graph, options);
+  Rng rng(options.seed);
+
+  const std::size_t num_objects = std::max<std::size_t>(
+      1, static_cast<std::size_t>(graph.NumVertices() *
+                                  options.object_fraction));
+  if (num_objects > graph.NumVertices()) {
+    throw std::invalid_argument(
+        "GenerateKeywordDataset: more objects than vertices");
+  }
+
+  const std::vector<VertexId> vertices =
+      PlaceObjects(graph, num_objects, options, rng);
+  const ZipfSampler sampler(options.num_keywords, options.zipf_alpha);
+
+  DocumentStore store;
+  std::unordered_set<KeywordId> doc_keywords;
+  for (VertexId vertex : vertices) {
+    const std::uint32_t doc_len = static_cast<std::uint32_t>(rng.UniformInt(
+        options.min_doc_keywords, options.max_doc_keywords));
+    doc_keywords.clear();
+    std::vector<DocEntry> document;
+    // Rejection-sample distinct keywords; cap attempts so tiny vocabularies
+    // cannot loop forever.
+    std::uint32_t attempts = 0;
+    while (doc_keywords.size() < doc_len &&
+           attempts < doc_len * 20 + 100) {
+      ++attempts;
+      const KeywordId t = sampler.Draw(rng);
+      if (!doc_keywords.insert(t).second) continue;
+      std::uint32_t frequency = 1;
+      while (rng.Bernoulli(options.repeat_probability) && frequency < 5) {
+        ++frequency;
+      }
+      document.push_back({t, frequency});
+    }
+    store.AddObject(vertex, std::move(document));
+  }
+  return store;
+}
+
+}  // namespace kspin

@@ -1,0 +1,46 @@
+// Zipfian keyword dataset generator.
+//
+// Stand-in for the paper's OpenStreetMap POI extraction (see DESIGN.md §3):
+// object documents are drawn from a Zipf(alpha) keyword distribution —
+// the very property (Observation 1) K-SPIN's pre-processing exploits — and
+// objects are placed on road vertices with spatial clustering (POIs bunch
+// up in towns and commercial strips).
+//
+// Keyword id r is the r-th most frequent keyword (rank order = id order),
+// which keeps tests and density bucketing simple.
+#ifndef KSPIN_TEXT_ZIPF_GENERATOR_H_
+#define KSPIN_TEXT_ZIPF_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "text/document_store.h"
+
+namespace kspin {
+
+/// Parameters of the synthetic keyword dataset.
+struct KeywordDatasetOptions {
+  std::uint32_t num_keywords = 1000;  ///< |W|.
+  double object_fraction = 0.04;      ///< |O| / |V| (Table 2: 0.03-0.05).
+  double zipf_alpha = 1.0;            ///< Zipf exponent (~1 in real data).
+  std::uint32_t min_doc_keywords = 2;
+  std::uint32_t max_doc_keywords = 8;  ///< Mean |doc| ~ 5 like Table 2.
+  /// Probability that a keyword occurrence repeats (geometric tail for
+  /// f_{t,o} > 1).
+  double repeat_probability = 0.25;
+  /// Fraction of objects placed in spatial clusters; the rest uniform.
+  double clustered_fraction = 0.7;
+  /// Mean objects per cluster.
+  std::uint32_t cluster_size = 40;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a document store over `graph`'s vertices. Each object occupies
+/// a distinct vertex. Throws on invalid options (fractions outside [0,1],
+/// min > max, zero keywords, or more objects requested than vertices).
+DocumentStore GenerateKeywordDataset(const Graph& graph,
+                                     const KeywordDatasetOptions& options);
+
+}  // namespace kspin
+
+#endif  // KSPIN_TEXT_ZIPF_GENERATOR_H_

@@ -1,0 +1,121 @@
+// Category-bundle generator tests: keyword layout, co-occurrence structure
+// (attributes imply their category keyword), category popularity skew, and
+// end-to-end conjunctive querying over the correlated corpus.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/network_expansion.h"
+#include "kspin/kspin.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+#include "text/category_generator.h"
+#include "text/inverted_index.h"
+
+namespace kspin {
+namespace {
+
+class CategoryGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::MediumRoadNetwork(55);
+    options_.num_categories = 6;
+    options_.attributes_per_category = 5;
+    options_.num_global_keywords = 40;
+    options_.object_fraction = 0.2;
+    options_.seed = 155;
+    store_ = GenerateCategoryDataset(graph_, options_);
+  }
+
+  Graph graph_;
+  CategoryDatasetOptions options_;
+  DocumentStore store_;
+};
+
+TEST_F(CategoryGeneratorTest, KeywordLayoutIsDense) {
+  const std::uint32_t universe = CategoryKeywordUniverse(options_);
+  EXPECT_EQ(universe, 6u + 30u + 40u);
+  for (ObjectId o = 0; o < store_.NumSlots(); ++o) {
+    for (const DocEntry& e : store_.Document(o)) {
+      EXPECT_LT(e.keyword, universe);
+    }
+  }
+}
+
+TEST_F(CategoryGeneratorTest, EveryObjectHasExactlyOneCategory) {
+  for (ObjectId o = 0; o < store_.NumSlots(); ++o) {
+    int categories = 0;
+    for (const DocEntry& e : store_.Document(o)) {
+      if (e.keyword < options_.num_categories) ++categories;
+    }
+    EXPECT_EQ(categories, 1) << "object " << o;
+  }
+}
+
+TEST_F(CategoryGeneratorTest, AttributesImplyTheirCategory) {
+  // The correlation that makes conjunctive queries realistic: an object
+  // carrying attribute (c, a) always carries category keyword c.
+  for (ObjectId o = 0; o < store_.NumSlots(); ++o) {
+    for (const DocEntry& e : store_.Document(o)) {
+      if (e.keyword < options_.num_categories) continue;
+      const std::uint32_t offset = e.keyword - options_.num_categories;
+      if (offset >= options_.num_categories *
+                        options_.attributes_per_category) {
+        continue;  // Global keyword.
+      }
+      const std::uint32_t category =
+          offset / options_.attributes_per_category;
+      EXPECT_TRUE(store_.Contains(o, CategoryKeyword(category)))
+          << "object " << o << " has attribute of category " << category
+          << " but not its keyword";
+    }
+  }
+}
+
+TEST_F(CategoryGeneratorTest, CategoriesAreZipfSkewed) {
+  InvertedIndex index(store_, CategoryKeywordUniverse(options_));
+  // Category 0 clearly dominates the last category.
+  EXPECT_GT(index.ListSize(CategoryKeyword(0)),
+            index.ListSize(CategoryKeyword(5)) * 2);
+}
+
+TEST_F(CategoryGeneratorTest, ValidatesOptions) {
+  CategoryDatasetOptions bad = options_;
+  bad.num_categories = 0;
+  EXPECT_THROW(GenerateCategoryDataset(graph_, bad), std::invalid_argument);
+  bad = options_;
+  bad.max_attributes = bad.attributes_per_category + 1;
+  EXPECT_THROW(GenerateCategoryDataset(graph_, bad), std::invalid_argument);
+  bad = options_;
+  bad.object_fraction = 0.0;
+  EXPECT_THROW(GenerateCategoryDataset(graph_, bad), std::invalid_argument);
+}
+
+TEST_F(CategoryGeneratorTest, ConjunctiveQueriesStayExactOnBundles) {
+  // Category + attribute conjunctions are the natural workload here;
+  // verify K-SPIN against brute force on a sample.
+  DijkstraOracle oracle(graph_);
+  KSpinOptions ks;
+  ks.num_threads = 2;
+  KSpin engine(graph_, store_, oracle, ks);
+  InvertedIndex inverted(store_, CategoryKeywordUniverse(options_));
+  RelevanceModel relevance(store_, inverted);
+  NetworkExpansionBaseline expansion(graph_, store_, inverted, relevance);
+  for (std::uint32_t c = 0; c < options_.num_categories; c += 2) {
+    const std::vector<KeywordId> keywords = {
+        CategoryKeyword(c), AttributeKeyword(options_, c, 1)};
+    for (VertexId q = 3; q < graph_.NumVertices(); q += 401) {
+      const auto got =
+          engine.BooleanKnn(q, 5, keywords, BooleanOp::kConjunctive);
+      const auto want =
+          expansion.BooleanKnn(q, 5, keywords, BooleanOp::kConjunctive);
+      ASSERT_EQ(got.size(), want.size()) << "c=" << c << " q=" << q;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,94 @@
+// Tests for the common utilities: seeded RNG draws, sampling, timers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace kspin {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+  EXPECT_THROW(rng.UniformInt(6, 5), std::invalid_argument);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(10);
+  // Sparse sample (rejection path).
+  auto sparse = rng.SampleWithoutReplacement(10000, 50);
+  std::set<std::uint32_t> sparse_set(sparse.begin(), sparse.end());
+  EXPECT_EQ(sparse_set.size(), 50u);
+  for (auto v : sparse) EXPECT_LT(v, 10000u);
+  // Dense sample (shuffle path).
+  auto dense = rng.SampleWithoutReplacement(60, 55);
+  std::set<std::uint32_t> dense_set(dense.begin(), dense.end());
+  EXPECT_EQ(dense_set.size(), 55u);
+  // Full population.
+  auto all = rng.SampleWithoutReplacement(20, 20);
+  EXPECT_EQ(std::set<std::uint32_t>(all.begin(), all.end()).size(), 20u);
+  EXPECT_THROW(rng.SampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsedTimeMonotonically) {
+  Timer timer;
+  const double t0 = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double t1 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(timer.ElapsedMillis(), 15.0 * 0.5);  // Generous slack.
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
+TEST(AccumulatingTimer, SumsIntervals) {
+  AccumulatingTimer timer;
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  const double first = timer.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  EXPECT_GT(timer.TotalSeconds(), first);
+  timer.Reset();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace kspin

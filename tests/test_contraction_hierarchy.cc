@@ -1,0 +1,176 @@
+// Contraction Hierarchies correctness: CH queries must equal Dijkstra on
+// every graph we throw at them — the witness search is budget-limited and
+// conservative, so exactness must survive any witness budget.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+void ExpectMatchesDijkstra(const Graph& graph,
+                           const ContractionHierarchy& ch,
+                           int num_sources, std::uint64_t seed) {
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Rng rng(seed);
+  for (int i = 0; i < num_sources; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph, s);
+    for (VertexId t = 0; t < graph.NumVertices(); t += 13) {
+      ASSERT_EQ(ch.Query(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ContractionHierarchy, ExactOnTinyGrid) {
+  Graph graph = testing::TinyGrid();
+  ContractionHierarchy ch(graph);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    const auto& dist = workspace.SingleSource(graph, s);
+    for (VertexId t = 0; t < graph.NumVertices(); ++t) {
+      ASSERT_EQ(ch.Query(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+class ChExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChExactness, MatchesDijkstraOnRandomRoadNetworks) {
+  Graph graph = testing::SmallRoadNetwork(GetParam());
+  ContractionHierarchy ch(graph);
+  ExpectMatchesDijkstra(graph, ch, 10, GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChExactness,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ContractionHierarchy, TinyWitnessBudgetStaysExact) {
+  Graph graph = testing::SmallRoadNetwork(9);
+  ContractionHierarchyOptions options;
+  options.witness_settle_limit = 2;  // Nearly always inconclusive.
+  ContractionHierarchy ch(graph, options);
+  ExpectMatchesDijkstra(graph, ch, 5, 10);
+}
+
+TEST(ContractionHierarchy, SmallerWitnessBudgetAddsMoreShortcuts) {
+  Graph graph = testing::SmallRoadNetwork(9);
+  ContractionHierarchyOptions tight;
+  tight.witness_settle_limit = 2;
+  ContractionHierarchyOptions generous;
+  generous.witness_settle_limit = 256;
+  ContractionHierarchy ch_tight(graph, tight);
+  ContractionHierarchy ch_generous(graph, generous);
+  EXPECT_GE(ch_tight.NumShortcuts(), ch_generous.NumShortcuts());
+}
+
+TEST(ContractionHierarchy, RanksFormPermutation) {
+  Graph graph = testing::SmallRoadNetwork(4);
+  ContractionHierarchy ch(graph);
+  std::vector<bool> seen(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ASSERT_LT(ch.Rank(v), graph.NumVertices());
+    ASSERT_FALSE(seen[ch.Rank(v)]);
+    seen[ch.Rank(v)] = true;
+  }
+  const auto order = ch.VerticesByDescendingRank();
+  EXPECT_EQ(ch.Rank(order.front()),
+            static_cast<std::uint32_t>(graph.NumVertices() - 1));
+  EXPECT_EQ(ch.Rank(order.back()), 0u);
+}
+
+TEST(ContractionHierarchy, UpwardArcsPointUpward) {
+  Graph graph = testing::SmallRoadNetwork(4);
+  ContractionHierarchy ch(graph);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const Arc& arc : ch.UpwardArcs(v)) {
+      EXPECT_GT(ch.Rank(arc.head), ch.Rank(v));
+    }
+  }
+}
+
+TEST(ContractionHierarchy, SelfDistanceIsZeroAndSymmetric) {
+  Graph graph = testing::SmallRoadNetwork(4);
+  ContractionHierarchy ch(graph);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const VertexId t =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    EXPECT_EQ(ch.Query(s, s), 0u);
+    EXPECT_EQ(ch.Query(s, t), ch.Query(t, s));
+  }
+}
+
+void ExpectValidPath(const Graph& graph, const std::vector<VertexId>& path,
+                     VertexId s, VertexId t, Distance expected) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), s);
+  EXPECT_EQ(path.back(), t);
+  Distance total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Distance w = graph.EdgeWeight(path[i - 1], path[i]);
+    ASSERT_NE(w, kInfDistance)
+        << "path uses non-edge " << path[i - 1] << "-" << path[i];
+    total += w;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ContractionHierarchy, PathQueryUnpacksToValidShortestPaths) {
+  Graph graph = testing::SmallRoadNetwork(31);
+  ContractionHierarchy ch(graph);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Rng rng(32);
+  for (int i = 0; i < 8; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph, s);
+    for (VertexId t = 0; t < graph.NumVertices(); t += 47) {
+      const auto path = ch.PathQuery(s, t);
+      if (s == t) {
+        ASSERT_EQ(path, std::vector<VertexId>{s});
+        continue;
+      }
+      ExpectValidPath(graph, path, s, t, dist[t]);
+    }
+  }
+}
+
+TEST(ContractionHierarchy, PathQueryOnTinyGridHandChecked) {
+  Graph graph = testing::TinyGrid();
+  ContractionHierarchy ch(graph);
+  const auto path = ch.PathQuery(0, 8);
+  ExpectValidPath(graph, path, 0, 8, 4);  // 0-1-2-5-8.
+}
+
+TEST(Dijkstra, PathToReconstructsShortestPaths) {
+  Graph graph = testing::TinyGrid();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  workspace.PointToPoint(graph, 0, 8);
+  const auto path = workspace.PathTo(8);
+  ExpectValidPath(graph, path, 0, 8, 4);
+  EXPECT_EQ(DijkstraShortestPath(graph, 0, 8).size(), path.size());
+  // Unreached target: empty path.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1);
+  Graph disconnected = builder.Build();
+  EXPECT_TRUE(DijkstraShortestPath(disconnected, 0, 2).empty());
+}
+
+TEST(ChOracle, ReportsNameAndMemory) {
+  Graph graph = testing::TinyGrid();
+  ContractionHierarchy ch(graph);
+  ChOracle oracle(ch);
+  EXPECT_EQ(oracle.Name(), "ch");
+  EXPECT_GT(oracle.MemoryBytes(), 0u);
+  EXPECT_EQ(oracle.NetworkDistance(0, 8), 4u);
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,99 @@
+// Unit tests for the Dijkstra workspace: the distance oracle every other
+// technique is validated against, so it gets hand-checked cases of its own.
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(Dijkstra, HandCheckedDistancesOnTinyGrid) {
+  Graph graph = testing::TinyGrid();
+  auto dist = DijkstraSingleSource(graph, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[4], 2u);
+  EXPECT_EQ(dist[5], 3u);  // 0-1-2-5, not 0-1-4-5 (weight 3 edge).
+  EXPECT_EQ(dist[6], 2u);
+  EXPECT_EQ(dist[7], 3u);
+  EXPECT_EQ(dist[8], 4u);  // 0-1-2-5-8.
+}
+
+TEST(Dijkstra, PointToPointMatchesSingleSource) {
+  Graph graph = testing::SmallRoadNetwork();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const auto dist = DijkstraSingleSource(graph, 3);
+  for (VertexId t = 0; t < graph.NumVertices(); t += 37) {
+    EXPECT_EQ(workspace.PointToPoint(graph, 3, t), dist[t]) << "t=" << t;
+  }
+}
+
+TEST(Dijkstra, SettlesInAscendingDistanceOrder) {
+  Graph graph = testing::SmallRoadNetwork();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Distance last = 0;
+  workspace.Search(graph, 0, kInfDistance, [&last](VertexId, Distance d) {
+    EXPECT_GE(d, last);
+    last = d;
+    return true;
+  });
+  EXPECT_EQ(workspace.LastSettledCount(), graph.NumVertices());
+}
+
+TEST(Dijkstra, BoundedSearchStopsAtBound) {
+  Graph graph = testing::SmallRoadNetwork();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const Distance bound = 3000;
+  workspace.Search(graph, 0, bound, [bound](VertexId, Distance d) {
+    EXPECT_LE(d, bound);
+    return true;
+  });
+  EXPECT_LT(workspace.LastSettledCount(), graph.NumVertices());
+}
+
+TEST(Dijkstra, CallbackCanTerminateEarly) {
+  Graph graph = testing::SmallRoadNetwork();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  int count = 0;
+  workspace.Search(graph, 0, kInfDistance, [&count](VertexId, Distance) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Dijkstra, WorkspaceReuseIsConsistent) {
+  Graph graph = testing::SmallRoadNetwork();
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const auto first = workspace.SingleSource(graph, 1);
+  const std::vector<Distance> snapshot(first.begin(), first.end());
+  workspace.SingleSource(graph, 2);  // Perturb internal state.
+  const auto again = workspace.SingleSource(graph, 1);
+  EXPECT_EQ(snapshot, again);
+}
+
+TEST(Dijkstra, UnreachableVerticesReportInfinity) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(2, 3, 1);
+  Graph graph = builder.Build();
+  auto dist = DijkstraSingleSource(graph, 0);
+  EXPECT_EQ(dist[2], kInfDistance);
+  EXPECT_EQ(dist[3], kInfDistance);
+  EXPECT_EQ(DijkstraPointToPoint(graph, 0, 3), kInfDistance);
+}
+
+TEST(DijkstraOracle, ImplementsDistanceOracleContract) {
+  Graph graph = testing::TinyGrid();
+  DijkstraOracle oracle(graph);
+  EXPECT_EQ(oracle.NetworkDistance(0, 0), 0u);
+  EXPECT_EQ(oracle.NetworkDistance(0, 8), 4u);
+  EXPECT_EQ(oracle.NetworkDistance(8, 0), 4u);  // Undirected symmetry.
+  EXPECT_EQ(oracle.Name(), "dijkstra");
+}
+
+}  // namespace
+}  // namespace kspin

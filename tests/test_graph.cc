@@ -1,0 +1,183 @@
+// Unit tests for the CSR graph, builder, components, DIMACS I/O and the
+// synthetic road-network generator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/dimacs_io.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/road_network_generator.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(GraphBuilder, BuildsCsrWithBothArcDirections) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 5);
+  builder.AddEdge(1, 2, 7);
+  Graph graph = builder.Build();
+  EXPECT_EQ(graph.NumVertices(), 3u);
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  EXPECT_EQ(graph.NumArcs(), 4u);
+  EXPECT_EQ(graph.EdgeWeight(0, 1), 5u);
+  EXPECT_EQ(graph.EdgeWeight(1, 0), 5u);
+  EXPECT_EQ(graph.EdgeWeight(2, 1), 7u);
+  EXPECT_EQ(graph.EdgeWeight(0, 2), kInfDistance);
+}
+
+TEST(GraphBuilder, CollapsesParallelEdgesToMinimumWeight) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 9);
+  builder.AddEdge(1, 0, 4);
+  builder.AddEdge(0, 1, 6);
+  Graph graph = builder.Build();
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  EXPECT_EQ(graph.EdgeWeight(0, 1), 4u);
+}
+
+TEST(GraphBuilder, RejectsInvalidEdges) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.AddEdge(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(builder.AddEdge(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(builder.AddEdge(0, 1, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsCoordinateSizeMismatch) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.SetCoordinates({{0, 0}, {1, 1}}),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, DegreeAndNeighborsMatch) {
+  Graph graph = testing::TinyGrid();
+  EXPECT_EQ(graph.Degree(4), 4u);
+  std::set<VertexId> heads;
+  for (const Arc& arc : graph.Neighbors(4)) heads.insert(arc.head);
+  EXPECT_EQ(heads, (std::set<VertexId>{1, 3, 5, 7}));
+}
+
+TEST(ConnectedComponents, SingleComponentGraph) {
+  Graph graph = testing::TinyGrid();
+  EXPECT_TRUE(IsConnected(graph));
+  std::size_t count = 0;
+  auto component = ConnectedComponents(graph, &count);
+  EXPECT_EQ(count, 1u);
+  for (auto c : component) EXPECT_EQ(c, 0u);
+}
+
+TEST(ConnectedComponents, DisconnectedPieces) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(2, 3, 1);
+  Graph graph = builder.Build();
+  EXPECT_FALSE(IsConnected(graph));
+  std::size_t count = 0;
+  ConnectedComponents(graph, &count);
+  EXPECT_EQ(count, 3u);  // {0,1}, {2,3}, {4}.
+}
+
+TEST(LargestConnectedComponent, ExtractsAndRemaps) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1, 2);
+  builder.AddEdge(1, 2, 3);
+  builder.AddEdge(4, 5, 1);
+  builder.SetCoordinates(
+      {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}});
+  Graph graph = builder.Build();
+  std::vector<VertexId> mapping;
+  Graph lcc = LargestConnectedComponent(graph, &mapping);
+  EXPECT_EQ(lcc.NumVertices(), 3u);
+  EXPECT_EQ(lcc.NumEdges(), 2u);
+  EXPECT_TRUE(IsConnected(lcc));
+  EXPECT_NE(mapping[0], kInvalidVertex);
+  EXPECT_EQ(mapping[4], kInvalidVertex);
+  // Coordinates follow the mapping.
+  EXPECT_EQ(lcc.VertexCoordinate(mapping[2]).x, 2);
+}
+
+TEST(DimacsIo, RoundTripsGraphAndCoordinates) {
+  Graph original = testing::TinyGrid();
+  std::stringstream gr, co;
+  WriteDimacsGraph(original, gr);
+  WriteDimacsCoordinates(original, co);
+  Graph parsed = ReadDimacsGraph(gr, &co);
+  ASSERT_EQ(parsed.NumVertices(), original.NumVertices());
+  ASSERT_EQ(parsed.NumEdges(), original.NumEdges());
+  for (VertexId v = 0; v < original.NumVertices(); ++v) {
+    EXPECT_EQ(parsed.VertexCoordinate(v), original.VertexCoordinate(v));
+    for (const Arc& arc : original.Neighbors(v)) {
+      EXPECT_EQ(parsed.EdgeWeight(v, arc.head), arc.weight);
+    }
+  }
+}
+
+TEST(DimacsIo, RejectsMalformedInput) {
+  {
+    std::stringstream gr("a 1 2 3\n");
+    EXPECT_THROW(ReadDimacsGraph(gr, nullptr), std::runtime_error);
+  }
+  {
+    std::stringstream gr("p sp 2 1\na 1 5 3\n");
+    EXPECT_THROW(ReadDimacsGraph(gr, nullptr), std::runtime_error);
+  }
+  {
+    std::stringstream gr("p sp 2 2\na 1 2 3\n");  // Declared 2, saw 1.
+    EXPECT_THROW(ReadDimacsGraph(gr, nullptr), std::runtime_error);
+  }
+}
+
+TEST(RoadNetworkGenerator, ProducesConnectedRoadLikeGraph) {
+  Graph graph = testing::MediumRoadNetwork();
+  EXPECT_TRUE(IsConnected(graph));
+  EXPECT_TRUE(graph.HasCoordinates());
+  // Road networks: average degree around 2-3.
+  const double avg_degree =
+      static_cast<double>(graph.NumArcs()) / graph.NumVertices();
+  EXPECT_GT(avg_degree, 1.8);
+  EXPECT_LT(avg_degree, 3.6);
+  // Most of the grid survives the largest-component extraction.
+  EXPECT_GT(graph.NumVertices(), 52u * 52u * 8 / 10);
+}
+
+TEST(RoadNetworkGenerator, DeterministicForSameSeed) {
+  Graph a = testing::SmallRoadNetwork(77);
+  Graph b = testing::SmallRoadNetwork(77);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_EQ(a.VertexCoordinate(v), b.VertexCoordinate(v));
+  }
+}
+
+TEST(RoadNetworkGenerator, ValidatesOptions) {
+  RoadNetworkOptions options;
+  options.grid_width = 1;
+  EXPECT_THROW(GenerateRoadNetwork(options), std::invalid_argument);
+  options = {};
+  options.edge_keep_probability = 1.5;
+  EXPECT_THROW(GenerateRoadNetwork(options), std::invalid_argument);
+  options = {};
+  options.min_speed_factor = -1.0;
+  EXPECT_THROW(GenerateRoadNetwork(options), std::invalid_argument);
+  options = {};
+  options.cell_size = 0;
+  EXPECT_THROW(GenerateRoadNetwork(options), std::invalid_argument);
+}
+
+TEST(RoadNetworkGenerator, LadderScalesUp) {
+  auto ladder = BenchmarkDatasetLadder();
+  ASSERT_EQ(ladder.size(), 5u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].grid_width * ladder[i].grid_height,
+              ladder[i - 1].grid_width * ladder[i - 1].grid_height);
+    EXPECT_GT(ladder[i].num_keywords, ladder[i - 1].num_keywords);
+  }
+  EXPECT_EQ(DatasetSpecByName("FL").name, "FL");
+  EXPECT_THROW(DatasetSpecByName("XX"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,243 @@
+// G-tree correctness: exact distances (including same-leaf), border
+// distance vectors, structural invariants, matrix-operation accounting.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "routing/dijkstra.h"
+#include "routing/gtree.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+struct GTreeCase {
+  std::uint64_t seed;
+  PartitionStrategy strategy;
+  std::uint32_t leaf_size;
+};
+
+class GTreeExactness : public ::testing::TestWithParam<GTreeCase> {};
+
+TEST_P(GTreeExactness, MatchesDijkstra) {
+  const GTreeCase param = GetParam();
+  Graph graph = testing::SmallRoadNetwork(param.seed);
+  GTreeOptions options;
+  options.strategy = param.strategy;
+  options.leaf_size = param.leaf_size;
+  options.num_threads = 2;
+  GTree gtree(graph, options);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Rng rng(param.seed + 50);
+  for (int i = 0; i < 6; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph, s);
+    GTree::SourceCache cache = gtree.MakeSourceCache(s);
+    for (VertexId t = 0; t < graph.NumVertices(); t += 9) {
+      ASSERT_EQ(gtree.Query(cache, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GTreeExactness,
+    ::testing::Values(GTreeCase{1, PartitionStrategy::kKdTree, 32},
+                      GTreeCase{2, PartitionStrategy::kKdTree, 64},
+                      GTreeCase{3, PartitionStrategy::kBfsGrowth, 32},
+                      GTreeCase{4, PartitionStrategy::kKdTree, 16},
+                      GTreeCase{5, PartitionStrategy::kBfsGrowth, 64}));
+
+class GTreeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::SmallRoadNetwork(7);
+    GTreeOptions options;
+    options.leaf_size = 32;
+    options.num_threads = 2;
+    gtree_ = std::make_unique<GTree>(graph_, options);
+  }
+
+  Graph graph_;
+  std::unique_ptr<GTree> gtree_;
+};
+
+TEST_F(GTreeFixture, SameLeafDistancesAreExact) {
+  DijkstraWorkspace workspace(graph_.NumVertices());
+  // Find a leaf and check all pairs inside it.
+  const GTree::NodeId leaf = gtree_->LeafOf(0);
+  const auto& vertices = gtree_->LeafVertices(leaf);
+  for (VertexId s : vertices) {
+    const auto& dist = workspace.SingleSource(graph_, s);
+    GTree::SourceCache cache = gtree_->MakeSourceCache(s);
+    for (VertexId t : vertices) {
+      ASSERT_EQ(gtree_->Query(cache, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_F(GTreeFixture, TreeStructureIsConsistent) {
+  // Every vertex maps to a leaf that transitively reaches the root.
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    GTree::NodeId node = gtree_->LeafOf(v);
+    ASSERT_TRUE(gtree_->IsLeaf(node));
+    std::uint32_t hops = 0;
+    while (node != gtree_->RootNode()) {
+      node = gtree_->Parent(node);
+      ASSERT_LT(++hops, 64u);
+    }
+  }
+  // Children link back to parents.
+  for (GTree::NodeId n = 0; n < gtree_->NumNodes(); ++n) {
+    for (GTree::NodeId c : gtree_->Children(n)) {
+      EXPECT_EQ(gtree_->Parent(c), n);
+    }
+  }
+  EXPECT_TRUE(gtree_->IsInSubtree(gtree_->LeafOf(0), gtree_->RootNode()));
+}
+
+TEST_F(GTreeFixture, BordersHaveOutsideEdges) {
+  for (GTree::NodeId n = 0; n < gtree_->NumNodes(); ++n) {
+    if (n == gtree_->RootNode()) {
+      EXPECT_TRUE(gtree_->Borders(n).empty());
+      continue;
+    }
+    for (VertexId b : gtree_->Borders(n)) {
+      bool leaves = false;
+      for (const Arc& arc : graph_.Neighbors(b)) {
+        if (!gtree_->IsInSubtree(gtree_->LeafOf(arc.head), n)) {
+          leaves = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(leaves) << "border " << b << " of node " << n
+                          << " has no edge leaving the node";
+    }
+  }
+}
+
+TEST_F(GTreeFixture, BorderDistancesAreExact) {
+  DijkstraWorkspace workspace(graph_.NumVertices());
+  Rng rng(8);
+  for (int i = 0; i < 4; ++i) {
+    const VertexId q =
+        static_cast<VertexId>(rng.UniformInt(0, graph_.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph_, q);
+    GTree::SourceCache cache = gtree_->MakeSourceCache(q);
+    for (GTree::NodeId n = 1; n < gtree_->NumNodes(); n += 3) {
+      const auto& borders = gtree_->Borders(n);
+      const auto& vec = gtree_->BorderDistances(cache, n);
+      ASSERT_EQ(vec.size(), borders.size());
+      for (std::size_t b = 0; b < borders.size(); ++b) {
+        EXPECT_EQ(vec[b], dist[borders[b]])
+            << "q=" << q << " node=" << n << " border=" << borders[b];
+      }
+    }
+  }
+}
+
+TEST_F(GTreeFixture, BorderPairDistancesAreExact) {
+  DijkstraWorkspace workspace(graph_.NumVertices());
+  for (GTree::NodeId n = 1; n < gtree_->NumNodes(); n += 5) {
+    const auto& borders = gtree_->Borders(n);
+    if (borders.empty()) continue;
+    const auto& dist = workspace.SingleSource(graph_, borders[0]);
+    for (std::size_t j = 0; j < borders.size(); ++j) {
+      EXPECT_EQ(gtree_->BorderPairDistance(n, 0, j), dist[borders[j]]);
+    }
+  }
+}
+
+TEST_F(GTreeFixture, MatrixOpsAccumulateAndReset) {
+  gtree_->ResetMatrixOps();
+  EXPECT_EQ(gtree_->MatrixOps(), 0u);
+  GTree::SourceCache cache = gtree_->MakeSourceCache(0);
+  gtree_->Query(cache, static_cast<VertexId>(graph_.NumVertices() - 1));
+  EXPECT_GT(gtree_->MatrixOps(), 0u);
+  gtree_->ResetMatrixOps();
+  EXPECT_EQ(gtree_->MatrixOps(), 0u);
+}
+
+TEST_F(GTreeFixture, SourceCacheReusesBorderVectors) {
+  GTree::SourceCache cache = gtree_->MakeSourceCache(1);
+  const VertexId target = static_cast<VertexId>(graph_.NumVertices() - 1);
+  gtree_->Query(cache, target);
+  gtree_->ResetMatrixOps();
+  gtree_->Query(cache, target);  // Second query: vectors cached.
+  const std::uint64_t cached_ops = gtree_->MatrixOps();
+  GTree::SourceCache fresh = gtree_->MakeSourceCache(1);
+  gtree_->ResetMatrixOps();
+  gtree_->Query(fresh, target);
+  EXPECT_LT(cached_ops, gtree_->MatrixOps());
+}
+
+TEST_F(GTreeFixture, MinBorderDistanceBoundsNodeContents) {
+  Rng rng(9);
+  DijkstraWorkspace workspace(graph_.NumVertices());
+  const VertexId q =
+      static_cast<VertexId>(rng.UniformInt(0, graph_.NumVertices() - 1));
+  const auto& dist = workspace.SingleSource(graph_, q);
+  GTree::SourceCache cache = gtree_->MakeSourceCache(q);
+  for (GTree::NodeId n = 0; n < gtree_->NumNodes(); ++n) {
+    if (!gtree_->IsLeaf(n)) continue;
+    if (gtree_->IsInSubtree(gtree_->LeafOf(q), n)) continue;
+    const Distance mind = gtree_->MinBorderDistance(cache, n);
+    for (VertexId v : gtree_->LeafVertices(n)) {
+      EXPECT_LE(mind, dist[v]) << "node " << n << " vertex " << v;
+    }
+  }
+}
+
+TEST(GTree, RejectsGraphsBeyondMatrixRange) {
+  // Matrices are 32-bit; a graph whose paths could overflow must be
+  // rejected at construction, not corrupt silently.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 3000000000u);
+  builder.AddEdge(1, 2, 3000000000u);
+  builder.AddEdge(2, 3, 3000000000u);
+  builder.SetCoordinates({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  Graph graph = builder.Build();
+  EXPECT_THROW(GTree{graph}, std::invalid_argument);
+}
+
+TEST(GTree, ValidatesOptions) {
+  Graph graph = testing::TinyGrid();
+  GTreeOptions bad;
+  bad.fanout = 1;
+  EXPECT_THROW(GTree(graph, bad), std::invalid_argument);
+  bad = {};
+  bad.leaf_size = 0;
+  EXPECT_THROW(GTree(graph, bad), std::invalid_argument);
+}
+
+TEST(GTree, WholeGraphFitsInOneLeaf) {
+  Graph graph = testing::TinyGrid();
+  GTreeOptions options;
+  options.leaf_size = 64;  // Bigger than the graph: root is a leaf.
+  GTree gtree(graph, options);
+  EXPECT_EQ(gtree.NumNodes(), 1u);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    const auto& dist = workspace.SingleSource(graph, s);
+    for (VertexId t = 0; t < graph.NumVertices(); ++t) {
+      EXPECT_EQ(gtree.Query(s, t), dist[t]);
+    }
+  }
+}
+
+TEST(GTreeOracle, MaterializesPerSource) {
+  Graph graph = testing::SmallRoadNetwork(3);
+  GTreeOptions options;
+  options.leaf_size = 32;
+  GTree gtree(graph, options);
+  GTreeOracle oracle(gtree);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const auto& dist = workspace.SingleSource(graph, 5);
+  oracle.BeginSourceBatch(5);
+  for (VertexId t = 0; t < graph.NumVertices(); t += 21) {
+    EXPECT_EQ(oracle.NetworkDistance(5, t), dist[t]);
+  }
+  EXPECT_EQ(oracle.Name(), "gtree");
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,112 @@
+// Hub labeling correctness and structure: exactness against Dijkstra, the
+// pruning pass keeping labels minimal-but-correct, and the 2-hop cover
+// property.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "routing/dijkstra.h"
+#include "routing/hub_labeling.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+class HlExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HlExactness, MatchesDijkstra) {
+  Graph graph = testing::SmallRoadNetwork(GetParam());
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, /*num_threads=*/2);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 8; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph, s);
+    for (VertexId t = 0; t < graph.NumVertices(); t += 11) {
+      ASSERT_EQ(labels.Query(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HlExactness, ::testing::Values(1, 2, 3));
+
+TEST(HubLabeling, LabelsSortedByHub) {
+  Graph graph = testing::SmallRoadNetwork(2);
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, 2);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto label = labels.Label(v);
+    for (std::size_t i = 1; i < label.size(); ++i) {
+      EXPECT_LT(label[i - 1].hub, label[i].hub);
+    }
+  }
+}
+
+TEST(HubLabeling, EveryVertexIsItsOwnHubAtDistanceZero) {
+  Graph graph = testing::SmallRoadNetwork(2);
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, 2);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    bool found = false;
+    for (const LabelEntry& e : labels.Label(v)) {
+      if (e.hub == v) {
+        EXPECT_EQ(e.distance, 0u);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "v=" << v;
+  }
+}
+
+TEST(HubLabeling, PrunedEntriesCarryExactDistances) {
+  Graph graph = testing::SmallRoadNetwork(3);
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, 2);
+  DijkstraWorkspace workspace(graph.NumVertices());
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const auto& dist = workspace.SingleSource(graph, v);
+    for (const LabelEntry& e : labels.Label(v)) {
+      EXPECT_EQ(e.distance, dist[e.hub]) << "v=" << v << " hub=" << e.hub;
+    }
+  }
+}
+
+TEST(HubLabeling, AverageLabelSizeIsModest) {
+  Graph graph = testing::MediumRoadNetwork();
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, 4);
+  EXPECT_GT(labels.AverageLabelSize(), 1.0);
+  // Pruned CH labels on a ~2.5k-vertex road network should stay far below
+  // the vertex count.
+  EXPECT_LT(labels.AverageLabelSize(), graph.NumVertices() / 4.0);
+  EXPECT_GT(labels.MemoryBytes(), 0u);
+}
+
+TEST(HubLabeling, SingleAndMultiThreadBuildsAgree) {
+  Graph graph = testing::SmallRoadNetwork(6);
+  ContractionHierarchy ch(graph);
+  HubLabeling serial(graph, ch, 1);
+  HubLabeling parallel(graph, ch, 4);
+  for (VertexId v = 0; v < graph.NumVertices(); v += 7) {
+    for (VertexId t = 0; t < graph.NumVertices(); t += 29) {
+      EXPECT_EQ(serial.Query(v, t), parallel.Query(v, t));
+    }
+  }
+}
+
+TEST(HubLabelOracle, ImplementsOracleInterface) {
+  Graph graph = testing::TinyGrid();
+  ContractionHierarchy ch(graph);
+  HubLabeling labels(graph, ch, 1);
+  HubLabelOracle oracle(labels);
+  EXPECT_EQ(oracle.Name(), "hl");
+  EXPECT_EQ(oracle.NetworkDistance(0, 8), 4u);
+  EXPECT_GT(oracle.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace kspin

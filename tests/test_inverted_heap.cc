@@ -1,0 +1,153 @@
+// On-demand inverted heap tests: Property 1 (the heap's MINKEY lower-
+// bounds the true distance of every not-yet-extracted object of the
+// keyword), complete enumeration, laziness, and tombstone handling.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "kspin/inverted_heap.h"
+#include "kspin/keyword_index.h"
+#include "routing/alt.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+class InvertedHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::SmallRoadNetwork();
+    store_ = testing::TestDocuments(graph_, 40, 0.25, 71);
+    inverted_ = std::make_unique<InvertedIndex>(store_, 40);
+    alt_ = std::make_unique<AltIndex>(graph_, 8);
+    KeywordIndexOptions options;
+    options.nvd.rho = 4;
+    options.num_threads = 2;
+    keyword_index_ = std::make_unique<KeywordIndex>(graph_, store_,
+                                                    *inverted_, options);
+    generator_ =
+        std::make_unique<HeapGenerator>(*keyword_index_, *alt_);
+  }
+
+  // True network distances from q to every object of keyword t.
+  std::unordered_map<ObjectId, Distance> TrueDistances(KeywordId t,
+                                                       VertexId q) {
+    DijkstraWorkspace workspace(graph_.NumVertices());
+    const auto& dist = workspace.SingleSource(graph_, q);
+    std::unordered_map<ObjectId, Distance> result;
+    for (ObjectId o : inverted_->Objects(t)) {
+      result[o] = dist[store_.ObjectVertex(o)];
+    }
+    return result;
+  }
+
+  // A keyword whose inverted list is at least `min_size` long.
+  KeywordId FrequentKeyword(std::size_t min_size) {
+    for (KeywordId t = 0; t < inverted_->NumKeywords(); ++t) {
+      if (inverted_->ListSize(t) >= min_size) return t;
+    }
+    ADD_FAILURE() << "no keyword with list size >= " << min_size;
+    return 0;
+  }
+
+  Graph graph_;
+  DocumentStore store_;
+  std::unique_ptr<InvertedIndex> inverted_;
+  std::unique_ptr<AltIndex> alt_;
+  std::unique_ptr<KeywordIndex> keyword_index_;
+  std::unique_ptr<HeapGenerator> generator_;
+};
+
+TEST_F(InvertedHeapTest, PropertyOneHoldsThroughoutExtraction) {
+  const KeywordId t = FrequentKeyword(15);
+  Rng rng(81);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VertexId q =
+        static_cast<VertexId>(rng.UniformInt(0, graph_.NumVertices() - 1));
+    auto true_dist = TrueDistances(t, q);
+    InvertedHeap heap = generator_->Make(t, q);
+    std::set<ObjectId> extracted;
+    while (!heap.Empty()) {
+      const Distance min_key = heap.MinKey();
+      // Property 1: every object of inv(t) not yet extracted has true
+      // distance >= MINKEY.
+      for (const auto& [o, d] : true_dist) {
+        if (!extracted.contains(o)) {
+          ASSERT_GE(d, min_key) << "object " << o << " q=" << q;
+        }
+      }
+      extracted.insert(heap.ExtractMin().object);
+    }
+  }
+}
+
+TEST_F(InvertedHeapTest, EnumeratesExactlyTheInvertedList) {
+  const KeywordId t = FrequentKeyword(10);
+  InvertedHeap heap = generator_->Make(t, 7);
+  std::set<ObjectId> extracted;
+  while (!heap.Empty()) {
+    EXPECT_TRUE(extracted.insert(heap.ExtractMin().object).second)
+        << "duplicate extraction";
+  }
+  std::set<ObjectId> expected(inverted_->Objects(t).begin(),
+                              inverted_->Objects(t).end());
+  EXPECT_EQ(extracted, expected);
+}
+
+TEST_F(InvertedHeapTest, LowerBoundsNeverExceedTrueDistance) {
+  const KeywordId t = FrequentKeyword(10);
+  const VertexId q = 42;
+  auto true_dist = TrueDistances(t, q);
+  InvertedHeap heap = generator_->Make(t, q);
+  while (!heap.Empty()) {
+    const InvertedHeap::Candidate c = heap.ExtractMin();
+    EXPECT_LE(c.lower_bound, true_dist.at(c.object));
+    EXPECT_EQ(c.vertex, store_.ObjectVertex(c.object));
+  }
+}
+
+TEST_F(InvertedHeapTest, PopulatesLazily) {
+  // A frequent keyword's heap should not pay lower bounds for the whole
+  // inverted list when only the first candidate is consumed.
+  const KeywordId t = FrequentKeyword(20);
+  InvertedHeap heap = generator_->Make(t, 3);
+  heap.ExtractMin();
+  EXPECT_LT(heap.Stats().lower_bounds_computed, inverted_->ListSize(t))
+      << "heap was populated eagerly";
+}
+
+TEST_F(InvertedHeapTest, EmptyKeywordYieldsEmptyHeap) {
+  // Keyword universe extends beyond used ids.
+  InvertedHeap heap = generator_->Make(39, 0);
+  if (inverted_->ListSize(39) == 0) {
+    EXPECT_TRUE(heap.Empty());
+    EXPECT_EQ(heap.MinKey(), kInfDistance);
+  }
+}
+
+TEST_F(InvertedHeapTest, DeletedObjectsAreFlaggedButStillExpand) {
+  const KeywordId t = FrequentKeyword(8);
+  const ObjectId victim = inverted_->Objects(t)[0];
+  // Tombstone in the keyword's APX-NVD only (as the framework would).
+  const_cast<ApxNvd*>(keyword_index_->Index(t))->Delete(victim);
+  InvertedHeap heap = generator_->Make(t, 5);
+  std::size_t live = 0, dead = 0;
+  while (!heap.Empty()) {
+    const auto c = heap.ExtractMin();
+    if (c.object == victim) {
+      EXPECT_TRUE(c.deleted);
+      ++dead;
+    } else {
+      EXPECT_FALSE(c.deleted);
+      ++live;
+    }
+  }
+  EXPECT_EQ(dead, 1u);
+  EXPECT_EQ(live, inverted_->ListSize(t) - 1);
+}
+
+}  // namespace
+}  // namespace kspin

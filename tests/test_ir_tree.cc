@@ -1,0 +1,152 @@
+// IR-tree Euclidean baseline tests: exact Euclidean kNN/top-k against
+// brute-force scans, pseudo-document aggregation, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/ir_tree.h"
+#include "common/random.h"
+#include "test_util.h"
+#include "text/inverted_index.h"
+
+namespace kspin {
+namespace {
+
+double Euclid(const Coordinate& a, const Coordinate& b) {
+  const double dx = static_cast<double>(a.x) - b.x;
+  const double dy = static_cast<double>(a.y) - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+class IrTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::SmallRoadNetwork(81);
+    store_ = testing::TestDocuments(graph_, 40, 0.25, 181);
+    inverted_ = std::make_unique<InvertedIndex>(store_, 40);
+    relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+    tree_ = std::make_unique<IrTree>(graph_, store_, *relevance_,
+                                     /*node_capacity=*/4);
+  }
+
+  bool Satisfies(ObjectId o, std::span<const KeywordId> keywords,
+                 BooleanOp op) {
+    for (KeywordId t : keywords) {
+      const bool has = store_.Contains(o, t);
+      if (op == BooleanOp::kDisjunctive && has) return true;
+      if (op == BooleanOp::kConjunctive && !has) return false;
+    }
+    return op == BooleanOp::kConjunctive;
+  }
+
+  std::vector<double> BruteForceKnn(const Coordinate& q, std::uint32_t k,
+                                    std::span<const KeywordId> keywords,
+                                    BooleanOp op) {
+    std::vector<double> distances;
+    for (ObjectId o = 0; o < store_.NumSlots(); ++o) {
+      if (!store_.IsLive(o) || !Satisfies(o, keywords, op)) continue;
+      distances.push_back(Euclid(
+          q, graph_.VertexCoordinate(store_.ObjectVertex(o))));
+    }
+    std::sort(distances.begin(), distances.end());
+    if (distances.size() > k) distances.resize(k);
+    return distances;
+  }
+
+  Graph graph_;
+  DocumentStore store_;
+  std::unique_ptr<InvertedIndex> inverted_;
+  std::unique_ptr<RelevanceModel> relevance_;
+  std::unique_ptr<IrTree> tree_;
+};
+
+TEST_F(IrTreeTest, BooleanKnnMatchesBruteForce) {
+  Rng rng(82);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Coordinate q = {
+        static_cast<std::int32_t>(rng.UniformInt(0, 20000)),
+        static_cast<std::int32_t>(rng.UniformInt(0, 20000))};
+    std::vector<KeywordId> keywords = {
+        static_cast<KeywordId>(rng.UniformInt(0, 39)),
+        static_cast<KeywordId>(rng.UniformInt(0, 39))};
+    for (BooleanOp op :
+         {BooleanOp::kDisjunctive, BooleanOp::kConjunctive}) {
+      const auto got = tree_->BooleanKnn(q, 5, keywords, op);
+      const auto want = BruteForceKnn(q, 5, keywords, op);
+      ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i].distance, want[i], 1e-6)
+            << "trial " << trial << " rank " << i;
+        ASSERT_TRUE(Satisfies(got[i].object, keywords, op));
+      }
+    }
+  }
+}
+
+TEST_F(IrTreeTest, TopKMatchesBruteForce) {
+  Rng rng(83);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Coordinate q = {
+        static_cast<std::int32_t>(rng.UniformInt(0, 20000)),
+        static_cast<std::int32_t>(rng.UniformInt(0, 20000))};
+    std::vector<KeywordId> keywords = {
+        static_cast<KeywordId>(rng.UniformInt(0, 20)),
+        static_cast<KeywordId>(rng.UniformInt(0, 20))};
+    const PreparedQuery prepared = relevance_->PrepareQuery(keywords);
+    // Brute force scores.
+    std::vector<double> scores;
+    for (ObjectId o = 0; o < store_.NumSlots(); ++o) {
+      if (!store_.IsLive(o)) continue;
+      const double tr = relevance_->TextualRelevance(prepared, o);
+      if (tr <= 0.0) continue;
+      scores.push_back(
+          Euclid(q, graph_.VertexCoordinate(store_.ObjectVertex(o))) / tr);
+    }
+    std::sort(scores.begin(), scores.end());
+    if (scores.size() > 5) scores.resize(5);
+    const auto got = tree_->TopK(q, 5, keywords);
+    ASSERT_EQ(got.size(), scores.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const double tr =
+          relevance_->TextualRelevance(prepared, got[i].object);
+      ASSERT_NEAR(got[i].distance / tr, scores[i], 1e-6)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST_F(IrTreeTest, EmptyAndDegenerateQueries) {
+  const Coordinate q = {0, 0};
+  const std::vector<KeywordId> keywords = {0};
+  EXPECT_TRUE(tree_->BooleanKnn(q, 0, keywords, BooleanOp::kDisjunctive)
+                  .empty());
+  EXPECT_TRUE(tree_->BooleanKnn(q, 5, {}, BooleanOp::kDisjunctive).empty());
+  EXPECT_TRUE(tree_->TopK(q, 0, keywords).empty());
+}
+
+TEST_F(IrTreeTest, EmptyStoreYieldsEmptyTree) {
+  DocumentStore empty;
+  InvertedIndex inverted(empty, 4);
+  RelevanceModel relevance(empty, inverted);
+  IrTree tree(graph_, empty, relevance);
+  EXPECT_EQ(tree.NumObjects(), 0u);
+  const std::vector<KeywordId> keywords = {0};
+  EXPECT_TRUE(
+      tree.BooleanKnn({0, 0}, 3, keywords, BooleanOp::kDisjunctive)
+          .empty());
+}
+
+TEST_F(IrTreeTest, ValidatesInput) {
+  EXPECT_THROW(IrTree(graph_, store_, *relevance_, 1),
+               std::invalid_argument);
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1);
+  Graph no_coords = builder.Build();
+  EXPECT_THROW(IrTree(no_coords, store_, *relevance_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,126 @@
+// Keyword-free kNN engine tests: exactness against brute force on random
+// object sets, through lazy insertions, deletions, and rebuilds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "kspin/knn_engine.h"
+#include "routing/alt.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+class KnnEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::SmallRoadNetwork(91);
+    ch_ = std::make_unique<ContractionHierarchy>(graph_);
+    oracle_ = std::make_unique<ChOracle>(*ch_);
+    alt_ = std::make_unique<AltIndex>(graph_, 8);
+    Rng rng(191);
+    auto sample = rng.SampleWithoutReplacement(
+        static_cast<std::uint32_t>(graph_.NumVertices()), 40);
+    for (std::uint32_t i = 0; i < sample.size(); ++i) {
+      objects_.push_back({i, sample[i]});
+    }
+    engine_ = std::make_unique<KnnEngine>(graph_, objects_, *alt_, *oracle_);
+  }
+
+  // Brute-force k nearest over the tracked live object list.
+  std::vector<Distance> BruteForce(VertexId q, std::uint32_t k) {
+    DijkstraWorkspace workspace(graph_.NumVertices());
+    const auto& dist = workspace.SingleSource(graph_, q);
+    std::vector<Distance> all;
+    for (const SiteObject& o : objects_) all.push_back(dist[o.vertex]);
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  void ExpectExact(std::uint32_t k) {
+    for (VertexId q = 0; q < graph_.NumVertices(); q += 41) {
+      const auto got = engine_->Knn(q, k);
+      const auto want = BruteForce(q, k);
+      ASSERT_EQ(got.size(), want.size()) << "q=" << q;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].distance, want[i]) << "q=" << q << " rank " << i;
+      }
+    }
+  }
+
+  Graph graph_;
+  std::unique_ptr<ContractionHierarchy> ch_;
+  std::unique_ptr<ChOracle> oracle_;
+  std::unique_ptr<AltIndex> alt_;
+  std::vector<SiteObject> objects_;
+  std::unique_ptr<KnnEngine> engine_;
+};
+
+TEST_F(KnnEngineTest, ExactForVariousK) {
+  for (std::uint32_t k : {1u, 3u, 10u, 25u, 100u}) {
+    ExpectExact(k);
+  }
+}
+
+TEST_F(KnnEngineTest, AscendingDistancesAndLiveObjectsOnly) {
+  const auto results = engine_->Knn(7, 10);
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].distance, results[i - 1].distance);
+  }
+}
+
+TEST_F(KnnEngineTest, StaysExactThroughInsertions) {
+  Rng rng(192);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const VertexId v = static_cast<VertexId>(
+        rng.UniformInt(0, graph_.NumVertices() - 1));
+    const ObjectId id = 1000 + i;
+    engine_->Insert(id, v);
+    objects_.push_back({id, v});
+    ExpectExact(5);
+  }
+}
+
+TEST_F(KnnEngineTest, StaysExactThroughDeletions) {
+  for (int i = 0; i < 10; ++i) {
+    engine_->Delete(objects_.back().object);
+    objects_.pop_back();
+    ExpectExact(5);
+  }
+}
+
+TEST_F(KnnEngineTest, MaintainRebuildsWhenBudgetExhausted) {
+  Rng rng(193);
+  ApxNvdOptions options;
+  options.lazy_insert_threshold = 4;
+  KnnEngine engine(graph_, objects_, *alt_, *oracle_, options);
+  EXPECT_FALSE(engine.MaintainIndex());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    engine.Insert(2000 + i, static_cast<VertexId>(rng.UniformInt(
+                                0, graph_.NumVertices() - 1)));
+  }
+  EXPECT_TRUE(engine.MaintainIndex());
+  EXPECT_FALSE(engine.MaintainIndex());
+  EXPECT_EQ(engine.NumLiveObjects(), objects_.size() + 8);
+}
+
+TEST_F(KnnEngineTest, KnnWorkIsLocalForSmallK) {
+  QueryStats stats;
+  engine_->Knn(3, 1, &stats);
+  // 1NN should touch a handful of candidates, not the whole object set.
+  EXPECT_LT(stats.candidates_extracted, objects_.size() / 2);
+  EXPECT_GT(stats.heaps_created, 0u);
+}
+
+TEST_F(KnnEngineTest, KBeyondPopulationReturnsAll) {
+  const auto results = engine_->Knn(0, 500);
+  EXPECT_EQ(results.size(), objects_.size());
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,137 @@
+// Framework facade tests: construction wiring, component access, memory
+// accounting, and the Table-1-style separation between K-SPIN index cost
+// and the pluggable Network Distance Module.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kspin/kspin.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "routing/hub_labeling.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(KSpin, BuildsAndAnswersWithDefaults) {
+  Graph graph = testing::SmallRoadNetwork(21);
+  DocumentStore store = testing::TestDocuments(graph);
+  DijkstraOracle oracle(graph);
+  KSpin engine(graph, std::move(store), oracle);
+  // Find a keyword with objects and run a smoke query.
+  for (KeywordId t = 0; t < engine.Inverted().NumKeywords(); ++t) {
+    if (engine.Inverted().ListSize(t) >= 3) {
+      const std::vector<KeywordId> keywords = {t};
+      auto results =
+          engine.BooleanKnn(0, 3, keywords, BooleanOp::kDisjunctive);
+      EXPECT_EQ(results.size(), 3u);
+      // Ascending distances.
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_GE(results[i].distance, results[i - 1].distance);
+      }
+      return;
+    }
+  }
+  FAIL() << "no usable keyword";
+}
+
+TEST(KSpin, IndexMemoryExcludesDistanceModule) {
+  Graph graph = testing::SmallRoadNetwork(22);
+  DocumentStore store = testing::TestDocuments(graph);
+  ContractionHierarchy ch(graph);
+  ChOracle ch_oracle(ch);
+  KSpinOptions options;
+  options.num_threads = 2;
+  KSpin engine(graph, std::move(store), ch_oracle, options);
+  EXPECT_GT(engine.IndexMemoryBytes(), 0u);
+  EXPECT_GT(engine.Oracle().MemoryBytes(), 0u);
+  // Swapping the distance module must not change the K-SPIN-side size:
+  // that is the framework's decoupling claim.
+  DocumentStore store2 = testing::TestDocuments(graph);
+  DijkstraOracle dijkstra(graph);
+  KSpin engine2(graph, std::move(store2), dijkstra, options);
+  EXPECT_EQ(engine.IndexMemoryBytes(), engine2.IndexMemoryBytes());
+}
+
+TEST(KSpin, ObservationOneSkipsMostVoronoiIndexes) {
+  Graph graph = testing::MediumRoadNetwork(23);
+  KeywordDatasetOptions kw;
+  kw.num_keywords = 300;
+  kw.object_fraction = 0.2;
+  kw.seed = 123;
+  DocumentStore store = GenerateKeywordDataset(graph, kw);
+  DijkstraOracle oracle(graph);
+  KSpinOptions options;
+  options.rho = 5;
+  options.num_threads = 4;
+  KSpin engine(graph, std::move(store), oracle, options);
+  const std::size_t total = engine.Keywords().NumIndexes();
+  const std::size_t voronoi = engine.Keywords().NumVoronoiIndexes();
+  ASSERT_GT(total, 0u);
+  // Zipf's law: the vast majority of keywords stay under the rho cutoff.
+  EXPECT_LT(voronoi * 3, total)
+      << voronoi << " Voronoi indexes out of " << total;
+}
+
+TEST(KSpin, ParallelAndSerialBuildsAnswerIdentically) {
+  Graph graph = testing::SmallRoadNetwork(24);
+  DijkstraOracle oracle(graph);
+  KSpinOptions serial_options;
+  serial_options.num_threads = 1;
+  KSpinOptions parallel_options;
+  parallel_options.num_threads = 4;
+  KSpin serial(graph, testing::TestDocuments(graph), oracle,
+               serial_options);
+  KSpin parallel(graph, testing::TestDocuments(graph), oracle,
+                 parallel_options);
+  for (KeywordId t = 0; t < serial.Inverted().NumKeywords(); ++t) {
+    if (serial.Inverted().ListSize(t) < 4) continue;
+    const std::vector<KeywordId> keywords = {t};
+    for (VertexId q = 0; q < graph.NumVertices(); q += 101) {
+      auto a = serial.BooleanKnn(q, 4, keywords, BooleanOp::kDisjunctive);
+      auto b = parallel.BooleanKnn(q, 4, keywords, BooleanOp::kDisjunctive);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].distance, b[i].distance);
+      }
+    }
+  }
+}
+
+TEST(KSpin, WorksWithEmptyDocumentStore) {
+  Graph graph = testing::SmallRoadNetwork(25);
+  DijkstraOracle oracle(graph);
+  KSpin engine(graph, DocumentStore{}, oracle);
+  const std::vector<KeywordId> keywords = {0};
+  EXPECT_TRUE(engine.BooleanKnn(0, 5, keywords, BooleanOp::kDisjunctive)
+                  .empty());
+  EXPECT_TRUE(engine.TopK(0, 5, keywords).empty());
+  // Growing from empty via inserts works.
+  const ObjectId o = engine.InsertObject(3, {{0, 1}});
+  auto results =
+      engine.BooleanKnn(3, 1, keywords, BooleanOp::kDisjunctive);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].object, o);
+}
+
+TEST(KSpin, RhoControlsKeywordIndexSize) {
+  Graph graph = testing::MediumRoadNetwork(26);
+  DijkstraOracle oracle(graph);
+  KSpinOptions exact;
+  exact.rho = 1;
+  exact.num_threads = 4;
+  KSpinOptions approximate;
+  approximate.rho = 5;
+  approximate.num_threads = 4;
+  KSpin engine_exact(graph, testing::TestDocuments(graph, 80, 0.2), oracle,
+                     exact);
+  KSpin engine_apx(graph, testing::TestDocuments(graph, 80, 0.2), oracle,
+                   approximate);
+  // Figure 6a's effect: larger rho means a smaller keyword index.
+  EXPECT_GT(engine_exact.Keywords().MemoryBytes(),
+            engine_apx.Keywords().MemoryBytes());
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,98 @@
+// Partitioner tests: coverage, disjointness, rough balance, and input
+// validation for both strategies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "routing/partitioner.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+class PartitionerTest : public ::testing::TestWithParam<PartitionStrategy> {
+ protected:
+  static std::vector<VertexId> AllVertices(const Graph& graph) {
+    std::vector<VertexId> all(graph.NumVertices());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+};
+
+TEST_P(PartitionerTest, CoversAllVerticesDisjointly) {
+  Graph graph = testing::SmallRoadNetwork();
+  auto parts = PartitionVertices(graph, AllVertices(graph), 4, GetParam());
+  ASSERT_EQ(parts.size(), 4u);
+  std::set<VertexId> seen;
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    EXPECT_FALSE(part.empty());
+    total += part.size();
+    for (VertexId v : part) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate vertex " << v;
+    }
+  }
+  EXPECT_EQ(total, graph.NumVertices());
+}
+
+TEST_P(PartitionerTest, PartsAreRoughlyBalanced) {
+  Graph graph = testing::MediumRoadNetwork();
+  auto parts = PartitionVertices(graph, AllVertices(graph), 4, GetParam());
+  const std::size_t ideal = graph.NumVertices() / 4;
+  for (const auto& part : parts) {
+    EXPECT_GT(part.size(), ideal / 4);
+    EXPECT_LT(part.size(), ideal * 4);
+  }
+}
+
+TEST_P(PartitionerTest, HandlesSubsets) {
+  Graph graph = testing::SmallRoadNetwork();
+  std::vector<VertexId> subset;
+  for (VertexId v = 0; v < graph.NumVertices(); v += 3) subset.push_back(v);
+  auto parts = PartitionVertices(graph, subset, 3, GetParam());
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, subset.size());
+}
+
+TEST_P(PartitionerTest, ClampsPartsToInputSize) {
+  Graph graph = testing::SmallRoadNetwork();
+  std::vector<VertexId> three = {0, 1, 2};
+  auto parts = PartitionVertices(graph, three, 10, GetParam());
+  EXPECT_LE(parts.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PartitionerTest,
+                         ::testing::Values(PartitionStrategy::kKdTree,
+                                           PartitionStrategy::kBfsGrowth));
+
+TEST(Partitioner, ValidatesArguments) {
+  Graph graph = testing::SmallRoadNetwork();
+  EXPECT_THROW(
+      PartitionVertices(graph, {0, 1}, 0, PartitionStrategy::kKdTree),
+      std::invalid_argument);
+  EXPECT_THROW(PartitionVertices(graph, {}, 2, PartitionStrategy::kKdTree),
+               std::invalid_argument);
+}
+
+TEST(Partitioner, KdTreeRequiresCoordinates) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(1, 2, 1);
+  builder.AddEdge(2, 3, 1);
+  Graph graph = builder.Build();
+  EXPECT_THROW(PartitionVertices(graph, {0, 1, 2, 3}, 2,
+                                 PartitionStrategy::kKdTree),
+               std::invalid_argument);
+  // BFS growth works without coordinates.
+  auto parts = PartitionVertices(graph, {0, 1, 2, 3}, 2,
+                                 PartitionStrategy::kBfsGrowth);
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kspin

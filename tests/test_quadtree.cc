@@ -1,0 +1,111 @@
+// Colour quadtree tests: Morton codec, the rho colour bound, point
+// location correctness, and space behaviour versus rho (Figure 6a's
+// mechanism).
+#include <gtest/gtest.h>
+
+#include "common/morton.h"
+#include "common/random.h"
+#include "nvd/quadtree.h"
+#include "nvd/nvd.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.UniformInt(0, UINT32_MAX));
+    const auto y = static_cast<std::uint32_t>(rng.UniformInt(0, UINT32_MAX));
+    std::uint32_t dx, dy;
+    MortonDecode(MortonEncode(x, y), &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(Morton, PreservesQuadrantOrder) {
+  // Z-order: (0,0) < (1,0) < (0,1) < (1,1) for the lowest bit.
+  EXPECT_LT(MortonEncode(0, 0), MortonEncode(1, 0));
+  EXPECT_LT(MortonEncode(1, 0), MortonEncode(0, 1));
+  EXPECT_LT(MortonEncode(0, 1), MortonEncode(1, 1));
+}
+
+TEST(ColorQuadtree, LocateReturnsOwnColor) {
+  Graph graph = testing::SmallRoadNetwork();
+  Rng rng(2);
+  std::vector<std::uint32_t> colors(graph.NumVertices());
+  for (auto& c : colors) {
+    c = static_cast<std::uint32_t>(rng.UniformInt(0, 20));
+  }
+  ColorQuadtree tree(graph.Coordinates(), colors, /*max_colors=*/4);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto cell = tree.Locate(graph.VertexCoordinate(v));
+    EXPECT_TRUE(std::find(cell.begin(), cell.end(), colors[v]) != cell.end())
+        << "vertex " << v;
+  }
+}
+
+TEST(ColorQuadtree, RespectsColorBoundAwayFromMaxDepth) {
+  Graph graph = testing::MediumRoadNetwork();
+  // Voronoi colours (spatially coherent) keep leaves under the bound.
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(
+      static_cast<std::uint32_t>(graph.NumVertices()), 40);
+  std::vector<VertexId> sites(sample.begin(), sample.end());
+  NetworkVoronoiDiagram nvd = BuildNvd(graph, sites);
+  const std::uint32_t rho = 5;
+  ColorQuadtree tree(graph.Coordinates(), nvd.owner, rho);
+  for (VertexId v = 0; v < graph.NumVertices(); v += 3) {
+    const auto cell = tree.Locate(graph.VertexCoordinate(v));
+    EXPECT_LE(cell.size(), rho) << "vertex " << v;
+  }
+}
+
+TEST(ColorQuadtree, SmallerRhoMeansMoreLeaves) {
+  Graph graph = testing::MediumRoadNetwork();
+  Rng rng(4);
+  auto sample = rng.SampleWithoutReplacement(
+      static_cast<std::uint32_t>(graph.NumVertices()), 60);
+  std::vector<VertexId> sites(sample.begin(), sample.end());
+  NetworkVoronoiDiagram nvd = BuildNvd(graph, sites);
+  ColorQuadtree exact(graph.Coordinates(), nvd.owner, 1);
+  ColorQuadtree apx(graph.Coordinates(), nvd.owner, 5);
+  // The rho=1 ("exact region quadtree") must be strictly larger — the
+  // space saving of Figure 6a.
+  EXPECT_GT(exact.NumLeaves(), apx.NumLeaves());
+  EXPECT_GT(exact.MemoryBytes(), apx.MemoryBytes());
+  EXPECT_GE(exact.MaxLeafDepth(), apx.MaxLeafDepth());
+}
+
+TEST(ColorQuadtree, SingleColorYieldsOneLeaf) {
+  std::vector<Coordinate> points = {{0, 0}, {100, 0}, {0, 100}, {37, 59}};
+  std::vector<std::uint32_t> colors = {7, 7, 7, 7};
+  ColorQuadtree tree(points, colors, 3);
+  EXPECT_EQ(tree.NumLeaves(), 1u);
+  const auto cell = tree.Locate({50, 50});
+  ASSERT_EQ(cell.size(), 1u);
+  EXPECT_EQ(cell[0], 7u);
+}
+
+TEST(ColorQuadtree, CoincidentPointsOfDifferentColorsStopAtMaxDepth) {
+  std::vector<Coordinate> points = {{5, 5}, {5, 5}, {5, 5}, {90, 90}};
+  std::vector<std::uint32_t> colors = {1, 2, 3, 4};
+  ColorQuadtree tree(points, colors, 1, /*max_depth=*/4);
+  const auto cell = tree.Locate({5, 5});
+  // The coincident cell must still report all colours (> rho is allowed at
+  // max depth; correctness beats the bound).
+  EXPECT_GE(cell.size(), 3u);
+}
+
+TEST(ColorQuadtree, ValidatesInput) {
+  std::vector<Coordinate> points = {{0, 0}};
+  std::vector<std::uint32_t> colors = {1, 2};
+  EXPECT_THROW(ColorQuadtree(points, colors, 2), std::invalid_argument);
+  std::vector<std::uint32_t> one = {1};
+  EXPECT_THROW(ColorQuadtree(points, one, 0), std::invalid_argument);
+  EXPECT_THROW(ColorQuadtree({}, {}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,111 @@
+// ROAD-overlay-specific behaviour: the bypass machinery must actually skip
+// irrelevant regions (fewer settles than plain expansion) while remaining
+// exact — exactness itself is covered by test_baselines and the fuzz
+// suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/gtree_spatial_keyword.h"
+#include "baselines/network_expansion.h"
+#include "baselines/road.h"
+#include "routing/gtree.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+class RoadBypassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = testing::MediumRoadNetwork(77);
+    // A sparse keyword: most Rnets contain no relevant object, so the
+    // bypass machinery gets plenty of opportunities.
+    KeywordDatasetOptions kw;
+    kw.num_keywords = 400;
+    kw.object_fraction = 0.05;
+    kw.seed = 77;
+    store_ = GenerateKeywordDataset(graph_, kw);
+    inverted_ = std::make_unique<InvertedIndex>(store_, 400);
+    relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+    GTreeOptions gt;
+    gt.leaf_size = 64;
+    gtree_ = std::make_unique<GTree>(graph_, gt);
+    aggregates_holder_ = std::make_unique<GTreeSpatialKeyword>(
+        graph_, *gtree_, store_, *inverted_, *relevance_, false);
+    road_ = std::make_unique<RoadBaseline>(
+        graph_, *gtree_, store_, *relevance_,
+        aggregates_holder_->Aggregates());
+    expansion_ = std::make_unique<NetworkExpansionBaseline>(
+        graph_, store_, *inverted_, *relevance_);
+  }
+
+  KeywordId SparseKeyword() {
+    for (KeywordId t = 50; t < inverted_->NumKeywords(); ++t) {
+      if (inverted_->ListSize(t) >= 3 && inverted_->ListSize(t) <= 8) {
+        return t;
+      }
+    }
+    ADD_FAILURE();
+    return 0;
+  }
+
+  Graph graph_;
+  DocumentStore store_;
+  std::unique_ptr<InvertedIndex> inverted_;
+  std::unique_ptr<RelevanceModel> relevance_;
+  std::unique_ptr<GTree> gtree_;
+  std::unique_ptr<GTreeSpatialKeyword> aggregates_holder_;
+  std::unique_ptr<RoadBaseline> road_;
+  std::unique_ptr<NetworkExpansionBaseline> expansion_;
+};
+
+TEST_F(RoadBypassTest, BypassSettlesFewerVerticesThanExpansion) {
+  const std::vector<KeywordId> keywords = {SparseKeyword()};
+  std::uint64_t road_settles = 0, expansion_settles = 0;
+  for (VertexId q = 5; q < graph_.NumVertices(); q += 301) {
+    QueryStats road_stats, expansion_stats;
+    const auto got = road_->BooleanKnn(q, 2, keywords,
+                                       BooleanOp::kDisjunctive,
+                                       &road_stats);
+    const auto want = expansion_->BooleanKnn(
+        q, 2, keywords, BooleanOp::kDisjunctive, &expansion_stats);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].distance, want[i].distance);
+    }
+    road_settles += road_stats.candidates_extracted;
+    expansion_settles += expansion_stats.candidates_extracted;
+  }
+  // The overlay must pay substantially fewer settles on sparse keywords.
+  EXPECT_LT(road_settles * 2, expansion_settles)
+      << "ROAD bypass is not skipping irrelevant Rnets";
+}
+
+TEST_F(RoadBypassTest, DenseKeywordsLimitBypassing) {
+  // With the most frequent keyword nearly every Rnet is relevant, so ROAD
+  // degenerates towards plain expansion (the aggregation weakness).
+  const std::vector<KeywordId> dense = {0};
+  QueryStats road_stats;
+  road_->BooleanKnn(9, 2, dense, BooleanOp::kDisjunctive, &road_stats);
+  const std::vector<KeywordId> sparse = {SparseKeyword()};
+  QueryStats sparse_stats;
+  road_->BooleanKnn(9, 2, sparse, BooleanOp::kDisjunctive, &sparse_stats);
+  // Dense keyword: results found quickly nearby (few settles). Sparse
+  // keyword: found far away, but bypassing keeps settles bounded. Both
+  // should complete without scanning a large fraction of the graph.
+  EXPECT_LT(road_stats.candidates_extracted, graph_.NumVertices() / 2);
+  EXPECT_LT(sparse_stats.candidates_extracted, graph_.NumVertices() / 2);
+}
+
+TEST_F(RoadBypassTest, OverlayMemoryGrowsWithUse) {
+  EXPECT_EQ(road_->MemoryBytes(),
+            road_->MemoryBytes());  // Deterministic accessor.
+  const std::size_t before = road_->MemoryBytes();
+  const std::vector<KeywordId> keywords = {SparseKeyword()};
+  road_->BooleanKnn(3, 2, keywords, BooleanOp::kDisjunctive);
+  EXPECT_GE(road_->MemoryBytes(), before);  // Shortcut cache fills lazily.
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,101 @@
+// R-tree storage tests: stabbing queries must return a superset of the
+// true owner colour, and space must be linear in the number of colours
+// (the Figure 6c guarantee).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "nvd/nvd.h"
+#include "nvd/rtree.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(VoronoiRTree, LocateContainsOwnColor) {
+  Graph graph = testing::SmallRoadNetwork();
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(
+      static_cast<std::uint32_t>(graph.NumVertices()), 25);
+  std::vector<VertexId> sites(sample.begin(), sample.end());
+  NetworkVoronoiDiagram nvd = BuildNvd(graph, sites);
+  VoronoiRTree tree(graph.Coordinates(), nvd.owner);
+  std::vector<std::uint32_t> out;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    tree.Locate(graph.VertexCoordinate(v), &out);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), nvd.owner[v]) != out.end())
+        << "vertex " << v;
+  }
+}
+
+TEST(VoronoiRTree, LocateOnlyReturnsContainingMbrs) {
+  // Three well-separated clusters: stabbing inside one must not return the
+  // others.
+  std::vector<Coordinate> points;
+  std::vector<std::uint32_t> colors;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      points.push_back({c * 1000 + i, c * 1000 + (i * 7) % 10});
+      colors.push_back(c);
+    }
+  }
+  VoronoiRTree tree(points, colors);
+  std::vector<std::uint32_t> out;
+  tree.Locate({5, 5}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+  tree.Locate({2005, 2005}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2u);
+  tree.Locate({-500, -500}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(VoronoiRTree, SpaceLinearInColors) {
+  Graph graph = testing::MediumRoadNetwork();
+  Rng rng(12);
+  auto make_tree = [&graph, &rng](std::uint32_t num_sites) {
+    auto sample = rng.SampleWithoutReplacement(
+        static_cast<std::uint32_t>(graph.NumVertices()), num_sites);
+    std::vector<VertexId> sites(sample.begin(), sample.end());
+    NetworkVoronoiDiagram nvd = BuildNvd(graph, sites);
+    return VoronoiRTree(graph.Coordinates(), nvd.owner).MemoryBytes();
+  };
+  const std::size_t small = make_tree(20);
+  const std::size_t large = make_tree(200);
+  // 10x the colours should cost roughly 10x the memory (within 3x slack),
+  // and definitely not O(|V|).
+  EXPECT_GT(large, small * 3);
+  EXPECT_LT(large, small * 30);
+}
+
+TEST(VoronoiRTree, HandlesManyColorsWithDeepTree) {
+  Rng rng(13);
+  std::vector<Coordinate> points;
+  std::vector<std::uint32_t> colors;
+  for (std::uint32_t c = 0; c < 500; ++c) {
+    points.push_back({static_cast<std::int32_t>(rng.UniformInt(0, 10000)),
+                      static_cast<std::int32_t>(rng.UniformInt(0, 10000))});
+    colors.push_back(c);
+  }
+  VoronoiRTree tree(points, colors, /*node_capacity=*/4);
+  EXPECT_EQ(tree.NumColors(), 500u);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < points.size(); i += 17) {
+    tree.Locate(points[i], &out);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), colors[i]) != out.end());
+  }
+}
+
+TEST(VoronoiRTree, ValidatesInput) {
+  std::vector<Coordinate> points = {{0, 0}};
+  std::vector<std::uint32_t> colors = {1};
+  EXPECT_THROW(VoronoiRTree({}, {}), std::invalid_argument);
+  EXPECT_THROW(VoronoiRTree(points, colors, 1), std::invalid_argument);
+  std::vector<std::uint32_t> two = {1, 2};
+  EXPECT_THROW(VoronoiRTree(points, two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kspin

@@ -1,0 +1,74 @@
+// ScoringFunction unit tests: both combination methods, monotonicity (the
+// property the pseudo lower bound's correctness rests on), and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "text/relevance.h"
+
+namespace kspin {
+namespace {
+
+TEST(ScoringFunction, WeightedDistanceMatchesEquationOne) {
+  ScoringFunction scoring;  // Default: weighted distance.
+  EXPECT_DOUBLE_EQ(scoring.Score(500, 0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(scoring.Score(0, 0.7), 0.0);
+  EXPECT_TRUE(std::isinf(scoring.Score(500, 0.0)));
+  EXPECT_TRUE(std::isinf(scoring.Score(500, -0.1)));
+}
+
+TEST(ScoringFunction, WeightedSumCombinesLinearly) {
+  ScoringFunction scoring;
+  scoring.kind = ScoringFunction::Kind::kWeightedSum;
+  scoring.alpha = 0.25;
+  scoring.max_distance = 1000.0;
+  // 0.25 * (500/1000) + 0.75 * (1 - 0.6) = 0.125 + 0.3.
+  EXPECT_NEAR(scoring.Score(500, 0.6), 0.425, 1e-12);
+  // Relevance clamped to 1.
+  EXPECT_NEAR(scoring.Score(500, 1.5), 0.125, 1e-12);
+  // Irrelevant objects never qualify under either combination.
+  EXPECT_TRUE(std::isinf(scoring.Score(500, 0.0)));
+}
+
+TEST(ScoringFunction, AlphaExtremes) {
+  ScoringFunction scoring;
+  scoring.kind = ScoringFunction::Kind::kWeightedSum;
+  scoring.max_distance = 100.0;
+  scoring.alpha = 1.0;
+  EXPECT_NEAR(scoring.Score(50, 0.2), 0.5, 1e-12);  // Pure distance.
+  scoring.alpha = 0.0;
+  EXPECT_NEAR(scoring.Score(50, 0.2), 0.8, 1e-12);  // Pure text.
+}
+
+class ScoringMonotonicity
+    : public ::testing::TestWithParam<ScoringFunction::Kind> {};
+
+TEST_P(ScoringMonotonicity, MonotoneInDistanceAndRelevance) {
+  ScoringFunction scoring;
+  scoring.kind = GetParam();
+  scoring.alpha = 0.4;
+  scoring.max_distance = 5000.0;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const Distance d1 = rng.UniformInt(0, 100000);
+    const Distance d2 = d1 + rng.UniformInt(0, 100000);
+    const double tr1 = 0.01 + rng.UniformDouble() * 0.99;
+    const double tr2 = tr1 * rng.UniformDouble();
+    if (tr2 <= 0.0) continue;
+    // Increasing in distance.
+    EXPECT_LE(scoring.Score(d1, tr1), scoring.Score(d2, tr1));
+    // Decreasing in relevance.
+    EXPECT_LE(scoring.Score(d1, tr1), scoring.Score(d1, tr2));
+    // LowerBoundScore is a valid lower bound for (d >= d1, tr <= tr1).
+    EXPECT_LE(scoring.LowerBoundScore(d1, tr1), scoring.Score(d2, tr2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ScoringMonotonicity,
+    ::testing::Values(ScoringFunction::Kind::kWeightedDistance,
+                      ScoringFunction::Kind::kWeightedSum));
+
+}  // namespace
+}  // namespace kspin

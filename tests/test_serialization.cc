@@ -1,0 +1,141 @@
+// Round-trip tests for the binary index format: every artifact must load
+// back to something query-identical, and malformed streams must fail with
+// SerializationError rather than yielding a corrupt index.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/binary_format.h"
+#include "io/serialization.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+TEST(Serialization, GraphRoundTrip) {
+  Graph original = testing::SmallRoadNetwork(61);
+  std::stringstream buffer;
+  SaveGraph(original, buffer);
+  Graph loaded = LoadGraph(buffer);
+  ASSERT_EQ(loaded.NumVertices(), original.NumVertices());
+  ASSERT_EQ(loaded.NumArcs(), original.NumArcs());
+  for (VertexId v = 0; v < original.NumVertices(); ++v) {
+    EXPECT_EQ(loaded.VertexCoordinate(v), original.VertexCoordinate(v));
+    const auto a = original.Neighbors(v);
+    const auto b = loaded.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].head, b[i].head);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST(Serialization, DocumentStoreRoundTripWithTombstones) {
+  Graph graph = testing::SmallRoadNetwork(62);
+  DocumentStore original = testing::TestDocuments(graph);
+  original.DeleteObject(3);
+  original.AddKeyword(5, 7, 2);
+  std::stringstream buffer;
+  SaveDocumentStore(original, buffer);
+  DocumentStore loaded = LoadDocumentStore(buffer);
+  ASSERT_EQ(loaded.NumSlots(), original.NumSlots());
+  ASSERT_EQ(loaded.NumLiveObjects(), original.NumLiveObjects());
+  for (ObjectId o = 0; o < original.NumSlots(); ++o) {
+    ASSERT_EQ(loaded.IsLive(o), original.IsLive(o)) << "o=" << o;
+    if (!original.IsLive(o)) continue;
+    EXPECT_EQ(loaded.ObjectVertex(o), original.ObjectVertex(o));
+    const auto a = original.Document(o);
+    const auto b = loaded.Document(o);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].keyword, b[i].keyword);
+      EXPECT_EQ(a[i].frequency, b[i].frequency);
+    }
+  }
+}
+
+TEST(Serialization, AltRoundTripPreservesBounds) {
+  Graph graph = testing::SmallRoadNetwork(63);
+  AltIndex original(graph, 6);
+  std::stringstream buffer;
+  SaveAltIndex(original, buffer);
+  AltIndex loaded = LoadAltIndex(buffer);
+  for (VertexId s = 0; s < graph.NumVertices(); s += 13) {
+    for (VertexId t = 0; t < graph.NumVertices(); t += 29) {
+      EXPECT_EQ(loaded.LowerBound(s, t), original.LowerBound(s, t));
+    }
+  }
+}
+
+TEST(Serialization, ChRoundTripAnswersIdentically) {
+  Graph graph = testing::SmallRoadNetwork(64);
+  ContractionHierarchy original(graph);
+  std::stringstream buffer;
+  SaveContractionHierarchy(original, buffer);
+  ContractionHierarchy loaded = LoadContractionHierarchy(buffer);
+  EXPECT_EQ(loaded.NumShortcuts(), original.NumShortcuts());
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const auto& dist = workspace.SingleSource(graph, 5);
+  for (VertexId t = 0; t < graph.NumVertices(); t += 7) {
+    EXPECT_EQ(loaded.Query(5, t), dist[t]) << "t=" << t;
+  }
+}
+
+TEST(Serialization, HubLabelsRoundTripAnswersIdentically) {
+  Graph graph = testing::SmallRoadNetwork(65);
+  ContractionHierarchy ch(graph);
+  HubLabeling original(graph, ch, 2);
+  std::stringstream buffer;
+  SaveHubLabeling(original, buffer);
+  HubLabeling loaded = LoadHubLabeling(buffer);
+  EXPECT_EQ(loaded.AverageLabelSize(), original.AverageLabelSize());
+  DijkstraWorkspace workspace(graph.NumVertices());
+  const auto& dist = workspace.SingleSource(graph, 9);
+  for (VertexId t = 0; t < graph.NumVertices(); t += 11) {
+    EXPECT_EQ(loaded.Query(9, t), dist[t]) << "t=" << t;
+  }
+}
+
+TEST(Serialization, RejectsWrongMagic) {
+  Graph graph = testing::TinyGrid();
+  std::stringstream buffer;
+  SaveGraph(graph, buffer);
+  EXPECT_THROW(LoadHubLabeling(buffer), io::SerializationError);
+}
+
+TEST(Serialization, RejectsTruncatedStream) {
+  Graph graph = testing::SmallRoadNetwork(66);
+  std::stringstream buffer;
+  SaveGraph(graph, buffer);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(LoadGraph(truncated), io::SerializationError);
+}
+
+TEST(Serialization, RejectsCorruptedArcHeads) {
+  Graph graph = testing::TinyGrid();
+  std::stringstream buffer;
+  SaveGraph(graph, buffer);
+  std::string bytes = buffer.str();
+  // Smash the middle of the arc array with large values (16 bytes covers
+  // at least one full Arc regardless of alignment, so some head corrupts).
+  for (std::size_t i = bytes.size() / 2; i < bytes.size() / 2 + 16; ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(LoadGraph(corrupted), io::SerializationError);
+}
+
+TEST(Serialization, EmptyDocumentStoreRoundTrip) {
+  DocumentStore empty;
+  std::stringstream buffer;
+  SaveDocumentStore(empty, buffer);
+  DocumentStore loaded = LoadDocumentStore(buffer);
+  EXPECT_EQ(loaded.NumSlots(), 0u);
+  EXPECT_EQ(loaded.NumLiveObjects(), 0u);
+}
+
+}  // namespace
+}  // namespace kspin

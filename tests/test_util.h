@@ -1,0 +1,78 @@
+// Shared fixtures and helpers for the K-SPIN test suite.
+#ifndef KSPIN_TESTS_TEST_UTIL_H_
+#define KSPIN_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/road_network_generator.h"
+#include "text/document_store.h"
+#include "text/zipf_generator.h"
+
+namespace kspin::testing {
+
+/// A small deterministic road network for unit tests (~350 vertices).
+inline Graph SmallRoadNetwork(std::uint64_t seed = 11) {
+  RoadNetworkOptions options;
+  options.grid_width = 20;
+  options.grid_height = 20;
+  options.seed = seed;
+  return GenerateRoadNetwork(options);
+}
+
+/// A mid-size network for integration tests (~2.5k vertices).
+inline Graph MediumRoadNetwork(std::uint64_t seed = 12) {
+  RoadNetworkOptions options;
+  options.grid_width = 52;
+  options.grid_height = 52;
+  options.seed = seed;
+  return GenerateRoadNetwork(options);
+}
+
+/// Keyword dataset matched to a test graph.
+inline DocumentStore TestDocuments(const Graph& graph,
+                                   std::uint32_t num_keywords = 60,
+                                   double object_fraction = 0.15,
+                                   std::uint64_t seed = 21) {
+  KeywordDatasetOptions options;
+  options.num_keywords = num_keywords;
+  options.object_fraction = object_fraction;
+  options.seed = seed;
+  return GenerateKeywordDataset(graph, options);
+}
+
+/// The hand-drawn 9-vertex graph used in several algorithm unit tests:
+///
+///   0 - 1 - 2
+///   |   |   |
+///   3 - 4 - 5       All edges weight 1 except (4,5) = 3 and (7,8) = 2.
+///   |   |   |
+///   6 - 7 - 8
+inline Graph TinyGrid() {
+  GraphBuilder builder(9);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(1, 2, 1);
+  builder.AddEdge(0, 3, 1);
+  builder.AddEdge(1, 4, 1);
+  builder.AddEdge(2, 5, 1);
+  builder.AddEdge(3, 4, 1);
+  builder.AddEdge(4, 5, 3);
+  builder.AddEdge(3, 6, 1);
+  builder.AddEdge(4, 7, 1);
+  builder.AddEdge(5, 8, 1);
+  builder.AddEdge(6, 7, 1);
+  builder.AddEdge(7, 8, 2);
+  std::vector<Coordinate> coords;
+  for (std::int32_t row = 0; row < 3; ++row) {
+    for (std::int32_t col = 0; col < 3; ++col) {
+      coords.push_back({col * 10, row * 10});
+    }
+  }
+  builder.SetCoordinates(std::move(coords));
+  return builder.Build();
+}
+
+}  // namespace kspin::testing
+
+#endif  // KSPIN_TESTS_TEST_UTIL_H_
