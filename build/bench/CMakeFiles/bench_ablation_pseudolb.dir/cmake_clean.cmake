@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pseudolb.dir/bench_ablation_pseudolb.cc.o"
+  "CMakeFiles/bench_ablation_pseudolb.dir/bench_ablation_pseudolb.cc.o.d"
+  "bench_ablation_pseudolb"
+  "bench_ablation_pseudolb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pseudolb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

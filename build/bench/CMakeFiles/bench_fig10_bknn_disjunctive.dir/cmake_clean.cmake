@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bknn_disjunctive.dir/bench_fig10_bknn_disjunctive.cc.o"
+  "CMakeFiles/bench_fig10_bknn_disjunctive.dir/bench_fig10_bknn_disjunctive.cc.o.d"
+  "bench_fig10_bknn_disjunctive"
+  "bench_fig10_bknn_disjunctive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bknn_disjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

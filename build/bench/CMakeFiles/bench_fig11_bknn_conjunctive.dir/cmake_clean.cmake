@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bknn_conjunctive.dir/bench_fig11_bknn_conjunctive.cc.o"
+  "CMakeFiles/bench_fig11_bknn_conjunctive.dir/bench_fig11_bknn_conjunctive.cc.o.d"
+  "bench_fig11_bknn_conjunctive"
+  "bench_fig11_bknn_conjunctive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bknn_conjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_index_costs.dir/bench_fig14_index_costs.cc.o"
+  "CMakeFiles/bench_fig14_index_costs.dir/bench_fig14_index_costs.cc.o.d"
+  "bench_fig14_index_costs"
+  "bench_fig14_index_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_index_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

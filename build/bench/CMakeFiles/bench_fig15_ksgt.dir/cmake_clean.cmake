@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ksgt.dir/bench_fig15_ksgt.cc.o"
+  "CMakeFiles/bench_fig15_ksgt.dir/bench_fig15_ksgt.cc.o.d"
+  "bench_fig15_ksgt"
+  "bench_fig15_ksgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ksgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

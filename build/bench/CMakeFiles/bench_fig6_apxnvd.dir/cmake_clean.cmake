@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_apxnvd.dir/bench_fig6_apxnvd.cc.o"
+  "CMakeFiles/bench_fig6_apxnvd.dir/bench_fig6_apxnvd.cc.o.d"
+  "bench_fig6_apxnvd"
+  "bench_fig6_apxnvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_apxnvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_topk.dir/bench_fig9_topk.cc.o"
+  "CMakeFiles/bench_fig9_topk.dir/bench_fig9_topk.cc.o.d"
+  "bench_fig9_topk"
+  "bench_fig9_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_euclidean.dir/bench_motivation_euclidean.cc.o"
+  "CMakeFiles/bench_motivation_euclidean.dir/bench_motivation_euclidean.cc.o.d"
+  "bench_motivation_euclidean"
+  "bench_motivation_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updates_throughput.dir/bench_updates_throughput.cc.o"
+  "CMakeFiles/bench_updates_throughput.dir/bench_updates_throughput.cc.o.d"
+  "bench_updates_throughput"
+  "bench_updates_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updates_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

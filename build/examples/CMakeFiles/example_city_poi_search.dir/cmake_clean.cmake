@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_city_poi_search.dir/city_poi_search.cpp.o"
+  "CMakeFiles/example_city_poi_search.dir/city_poi_search.cpp.o.d"
+  "example_city_poi_search"
+  "example_city_poi_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_city_poi_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_city_poi_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distance_module_tour.dir/distance_module_tour.cpp.o"
+  "CMakeFiles/example_distance_module_tour.dir/distance_module_tour.cpp.o.d"
+  "example_distance_module_tour"
+  "example_distance_module_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distance_module_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_distance_module_tour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_updates.dir/live_updates.cpp.o"
+  "CMakeFiles/example_live_updates.dir/live_updates.cpp.o.d"
+  "example_live_updates"
+  "example_live_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_search_service.dir/search_service.cpp.o"
+  "CMakeFiles/example_search_service.dir/search_service.cpp.o.d"
+  "example_search_service"
+  "example_search_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_search_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
