@@ -221,18 +221,17 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /root/repo/src/baselines/fs_fbs.h /root/repo/src/common/types.h \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
  /root/repo/src/kspin/query_processor.h /usr/include/c++/12/optional \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
  /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
- /root/repo/src/nvd/quadtree.h /root/repo/src/nvd/rtree.h \
- /root/repo/src/routing/distance_oracle.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
+ /root/repo/src/nvd/rtree.h /root/repo/src/routing/distance_oracle.h \
  /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
- /root/repo/src/routing/hub_labeling.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/routing/hub_labeling.h \
  /root/repo/src/routing/contraction_hierarchy.h \
  /root/repo/src/baselines/gtree_spatial_keyword.h \
  /root/repo/src/routing/gtree.h /root/repo/src/routing/partitioner.h \

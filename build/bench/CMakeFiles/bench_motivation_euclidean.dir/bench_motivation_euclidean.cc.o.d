@@ -123,20 +123,15 @@ bench/CMakeFiles/bench_motivation_euclidean.dir/bench_motivation_euclidean.cc.o:
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /root/repo/src/kspin/query_processor.h /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/memory \
+ /root/repo/src/kspin/query_processor.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -217,22 +212,27 @@ bench/CMakeFiles/bench_motivation_euclidean.dir/bench_motivation_euclidean.cc.o:
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
  /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
- /root/repo/src/nvd/quadtree.h /root/repo/src/nvd/rtree.h \
- /root/repo/src/routing/distance_oracle.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
+ /root/repo/src/nvd/rtree.h /root/repo/src/routing/distance_oracle.h \
  /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
- /root/repo/bench/bench_common.h /root/repo/src/baselines/fs_fbs.h \
- /root/repo/src/routing/hub_labeling.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/bench/bench_common.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/baselines/fs_fbs.h /root/repo/src/routing/hub_labeling.h \
  /root/repo/src/routing/contraction_hierarchy.h \
  /root/repo/src/baselines/gtree_spatial_keyword.h \
- /root/repo/src/routing/gtree.h /root/repo/src/routing/partitioner.h \
+ /root/repo/src/routing/gtree.h /usr/include/c++/12/atomic \
+ /root/repo/src/routing/partitioner.h \
  /root/repo/src/baselines/network_expansion.h \
  /root/repo/src/routing/dijkstra.h /root/repo/src/baselines/road.h \
  /root/repo/src/graph/road_network_generator.h \

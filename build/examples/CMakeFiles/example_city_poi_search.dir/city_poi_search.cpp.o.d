@@ -213,19 +213,18 @@ examples/CMakeFiles/example_city_poi_search.dir/city_poi_search.cpp.o: \
  /root/repo/src/nvd/rtree.h /root/repo/src/routing/distance_oracle.h \
  /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
- /root/repo/src/kspin/query_processor.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/kspin/query_processor.h /usr/include/c++/12/optional \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/routing/alt.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/routing/alt.h \
  /root/repo/src/routing/contraction_hierarchy.h \
  /root/repo/src/text/vocabulary.h /root/repo/src/text/zipf_generator.h

@@ -127,9 +127,7 @@ examples/CMakeFiles/example_search_service.dir/search_service.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/common/types.h /usr/include/c++/12/limits \
  /root/repo/src/routing/contraction_hierarchy.h \
- /root/repo/src/routing/distance_oracle.h \
- /root/repo/src/service/poi_service.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -203,7 +201,9 @@ examples/CMakeFiles/example_search_service.dir/search_service.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/kspin/kspin.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/routing/distance_oracle.h \
+ /root/repo/src/service/poi_service.h /root/repo/src/kspin/kspin.h \
  /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -214,18 +214,30 @@ examples/CMakeFiles/example_search_service.dir/search_service.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
  /root/repo/src/nvd/rtree.h /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
- /root/repo/src/kspin/query_processor.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/kspin/query_processor.h /usr/include/c++/12/optional \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/routing/alt.h /root/repo/src/service/query_parser.h \
- /root/repo/src/text/vocabulary.h
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/routing/alt.h \
+ /root/repo/src/service/parallel_executor.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/service/query_parser.h /root/repo/src/text/vocabulary.h

@@ -38,6 +38,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/routing/hub_labeling.cc" "src/CMakeFiles/kspin.dir/routing/hub_labeling.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/hub_labeling.cc.o.d"
   "/root/repo/src/routing/lower_bound.cc" "src/CMakeFiles/kspin.dir/routing/lower_bound.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/lower_bound.cc.o.d"
   "/root/repo/src/routing/partitioner.cc" "src/CMakeFiles/kspin.dir/routing/partitioner.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/partitioner.cc.o.d"
+  "/root/repo/src/service/parallel_executor.cc" "src/CMakeFiles/kspin.dir/service/parallel_executor.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/parallel_executor.cc.o.d"
   "/root/repo/src/service/poi_service.cc" "src/CMakeFiles/kspin.dir/service/poi_service.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/poi_service.cc.o.d"
   "/root/repo/src/service/query_parser.cc" "src/CMakeFiles/kspin.dir/service/query_parser.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/query_parser.cc.o.d"
   "/root/repo/src/text/category_generator.cc" "src/CMakeFiles/kspin.dir/text/category_generator.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/category_generator.cc.o.d"

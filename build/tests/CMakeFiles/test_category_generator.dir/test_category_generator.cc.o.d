@@ -296,23 +296,22 @@ tests/CMakeFiles/test_category_generator.dir/test_category_generator.cc.o: \
  /root/repo/src/baselines/network_expansion.h \
  /root/repo/src/common/types.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/kspin/query_processor.h \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
- /root/repo/src/nvd/quadtree.h /root/repo/src/nvd/rtree.h \
- /root/repo/src/routing/distance_oracle.h \
- /root/repo/src/text/document_store.h \
- /root/repo/src/text/inverted_index.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/routing/dijkstra.h /root/repo/src/kspin/kspin.h \
- /root/repo/src/routing/alt.h /root/repo/tests/test_util.h \
- /root/repo/src/graph/graph_builder.h \
+ /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
+ /root/repo/src/nvd/rtree.h /root/repo/src/routing/distance_oracle.h \
+ /root/repo/src/text/document_store.h \
+ /root/repo/src/text/inverted_index.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/routing/dijkstra.h \
+ /root/repo/src/kspin/kspin.h /root/repo/src/routing/alt.h \
+ /root/repo/tests/test_util.h /root/repo/src/graph/graph_builder.h \
  /root/repo/src/graph/road_network_generator.h \
  /root/repo/src/text/zipf_generator.h \
  /root/repo/src/text/category_generator.h

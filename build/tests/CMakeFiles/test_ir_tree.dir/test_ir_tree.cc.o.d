@@ -320,19 +320,18 @@ tests/CMakeFiles/test_ir_tree.dir/test_ir_tree.cc.o: \
  /root/repo/src/baselines/ir_tree.h /usr/include/c++/12/span \
  /root/repo/src/common/types.h /root/repo/src/graph/graph.h \
  /root/repo/src/kspin/query_processor.h \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
  /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
- /root/repo/src/nvd/quadtree.h /root/repo/src/nvd/rtree.h \
- /root/repo/src/routing/distance_oracle.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
+ /root/repo/src/nvd/rtree.h /root/repo/src/routing/distance_oracle.h \
  /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
- /root/repo/src/common/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/bits/random.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

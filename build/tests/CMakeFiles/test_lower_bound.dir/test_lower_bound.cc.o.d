@@ -330,14 +330,14 @@ tests/CMakeFiles/test_lower_bound.dir/test_lower_bound.cc.o: \
  /root/repo/src/text/document_store.h \
  /root/repo/src/text/inverted_index.h \
  /root/repo/src/kspin/query_processor.h \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/routing/lower_bound.h /root/repo/src/text/relevance.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/routing/alt.h \
+ /root/repo/src/routing/lower_bound.h \
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/routing/alt.h \
  /root/repo/src/routing/contraction_hierarchy.h \
  /root/repo/src/routing/dijkstra.h /root/repo/tests/test_util.h \
  /root/repo/src/graph/graph_builder.h \

@@ -175,9 +175,6 @@ tools/CMakeFiles/kspin_cli.dir/kspin_cli.cc.o: \
  /root/repo/src/io/serialization.h /root/repo/src/routing/alt.h \
  /root/repo/src/routing/lower_bound.h \
  /root/repo/src/routing/contraction_hierarchy.h \
- /root/repo/src/routing/distance_oracle.h \
- /root/repo/src/routing/hub_labeling.h \
- /root/repo/src/text/document_store.h /root/repo/src/kspin/kspin.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -218,6 +215,9 @@ tools/CMakeFiles/kspin_cli.dir/kspin_cli.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/routing/distance_oracle.h \
+ /root/repo/src/routing/hub_labeling.h \
+ /root/repo/src/text/document_store.h /root/repo/src/kspin/kspin.h \
  /root/repo/src/kspin/keyword_index.h /root/repo/src/nvd/apx_nvd.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -226,17 +226,15 @@ tools/CMakeFiles/kspin_cli.dir/kspin_cli.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvd/quadtree.h \
  /root/repo/src/nvd/rtree.h /root/repo/src/text/inverted_index.h \
- /root/repo/src/kspin/query_processor.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/kspin/query_processor.h \
+ /root/repo/src/kspin/inverted_heap.h /root/repo/src/common/stamped_set.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/kspin/inverted_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/text/relevance.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/text/zipf_generator.h
+ /root/repo/src/kspin/query_workspace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/text/relevance.h /root/repo/src/text/zipf_generator.h

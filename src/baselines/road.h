@@ -17,6 +17,7 @@
 #ifndef KSPIN_BASELINES_ROAD_H_
 #define KSPIN_BASELINES_ROAD_H_
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 

@@ -1,0 +1,56 @@
+// A version-stamped flat membership set over dense 32-bit ids.
+//
+// Replaces per-query std::unordered_set dedup sets on the hot query paths:
+// Clear() is O(1) (bump the version), Insert/Contains are a single array
+// access, and the backing array is reused across queries, so steady-state
+// query execution performs no allocation.
+#ifndef KSPIN_COMMON_STAMPED_SET_H_
+#define KSPIN_COMMON_STAMPED_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kspin {
+
+/// Set of uint32 ids with O(1) amortized insert/contains/clear. Grows on
+/// demand to the largest inserted id; memory is proportional to that id,
+/// which is fine for the dense ObjectId/VertexId universes used here.
+class StampedIdSet {
+ public:
+  /// Empties the set. O(1) except on version wrap-around (every 2^32
+  /// clears), where the stamp array is zeroed.
+  void Clear() {
+    ++version_;
+    if (version_ == 0) {  // Wrap-around: hard reset.
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      version_ = 1;
+    }
+  }
+
+  /// Inserts `id`; returns true when it was not yet a member.
+  bool Insert(std::uint32_t id) {
+    if (id >= stamp_.size()) {
+      stamp_.resize(
+          std::max<std::size_t>(static_cast<std::size_t>(id) + 1,
+                                stamp_.size() * 2),
+          0);
+    }
+    if (stamp_[id] == version_) return false;
+    stamp_[id] = version_;
+    return true;
+  }
+
+  bool Contains(std::uint32_t id) const {
+    return id < stamp_.size() && stamp_[id] == version_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t version_ = 1;  // 0 is the never-inserted stamp.
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_COMMON_STAMPED_SET_H_

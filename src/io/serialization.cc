@@ -126,14 +126,6 @@ ContractionHierarchy LoadContractionHierarchy(std::istream& in) {
       ch.up_mids_.size() != ch.up_arcs_.size()) {
     throw io::SerializationError("inconsistent CH arrays");
   }
-  const std::size_t n = ch.rank_.size();
-  ch.fwd_dist_.assign(n, kInfDistance);
-  ch.bwd_dist_.assign(n, kInfDistance);
-  ch.fwd_parent_.assign(n, kInvalidVertex);
-  ch.bwd_parent_.assign(n, kInvalidVertex);
-  ch.fwd_stamp_.assign(n, 0);
-  ch.bwd_stamp_.assign(n, 0);
-  ch.query_version_ = 0;
   return ch;
 }
 

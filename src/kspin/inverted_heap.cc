@@ -1,25 +1,32 @@
 #include "kspin/inverted_heap.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace kspin {
 
 void InvertedHeap::InsertNew(const SiteObject& site) {
-  if (!inserted_.insert(site.object).second) return;  // Already inserted.
+  if (!scratch_->inserted.Insert(site.object)) return;  // Already inserted.
   const Distance lb = lower_bounds_->LowerBound(query_, site.vertex);
   ++stats_.lower_bounds_computed;
   ++stats_.insertions;
-  queue_.push({lb, site.object, site.vertex});
+  scratch_->entries.push_back({lb, site.object, site.vertex});
+  std::push_heap(scratch_->entries.begin(), scratch_->entries.end(),
+                 std::greater<Entry>{});
 }
 
 InvertedHeap::Candidate InvertedHeap::ExtractMin() {
-  const Entry top = queue_.top();
-  queue_.pop();
+  const Entry top = scratch_->entries.front();
+  std::pop_heap(scratch_->entries.begin(), scratch_->entries.end(),
+                std::greater<Entry>{});
+  scratch_->entries.pop_back();
   ++stats_.extractions;
 
   // LazyReheap (Algorithm 4): inject the adjacent objects of the extracted
   // candidate so Property 1 keeps holding for the remaining objects.
-  scratch_.clear();
-  nvd_->ExpandCandidates(top.object, &scratch_);
-  for (const SiteObject& site : scratch_) InsertNew(site);
+  scratch_->expand.clear();
+  nvd_->ExpandCandidates(top.object, &scratch_->expand);
+  for (const SiteObject& site : scratch_->expand) InsertNew(site);
 
   Candidate candidate;
   candidate.object = top.object;
@@ -30,18 +37,24 @@ InvertedHeap::Candidate InvertedHeap::ExtractMin() {
 }
 
 InvertedHeap::InvertedHeap(const ApxNvd* nvd,
-                           const LowerBoundModule* lower_bounds,
-                           VertexId q)
-    : nvd_(nvd), lower_bounds_(lower_bounds), query_(q) {
-  std::vector<SiteObject> initial;
-  nvd_->InitialCandidates(q, &initial);
-  for (const SiteObject& site : initial) InsertNew(site);
+                           const LowerBoundModule* lower_bounds, VertexId q,
+                           Scratch* scratch)
+    : nvd_(nvd), lower_bounds_(lower_bounds), query_(q), scratch_(scratch) {
+  if (scratch_ == nullptr) {
+    owned_ = std::make_unique<Scratch>();
+    scratch_ = owned_.get();
+  } else {
+    scratch_->Reset();
+  }
+  nvd_->InitialCandidates(q, &scratch_->expand);
+  for (const SiteObject& site : scratch_->expand) InsertNew(site);
 }
 
-InvertedHeap HeapGenerator::Make(KeywordId t, VertexId q) const {
+InvertedHeap HeapGenerator::Make(KeywordId t, VertexId q,
+                                 InvertedHeap::Scratch* scratch) const {
   const ApxNvd* nvd = keyword_index_.Index(t);
   if (nvd == nullptr) return {};  // No objects: permanently empty.
-  return InvertedHeap(nvd, &lower_bounds_, q);
+  return InvertedHeap(nvd, &lower_bounds_, q, scratch);
 }
 
 }  // namespace kspin

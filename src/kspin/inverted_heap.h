@@ -6,14 +6,19 @@
 // candidates from the keyword's ApxNvd (one of which is the 1NN of q,
 // Theorem 1), and each extraction triggers LazyReheap (Algorithm 4), which
 // injects the adjacent objects of the extracted one.
+//
+// Storage: every heap operates on an InvertedHeap::Scratch — the heap
+// array, the dedup set and the expansion buffer. A query workspace can
+// lend pooled scratch so repeated queries allocate nothing; without one
+// the heap owns a private scratch (same semantics, one allocation).
 #ifndef KSPIN_KSPIN_INVERTED_HEAP_H_
 #define KSPIN_KSPIN_INVERTED_HEAP_H_
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "common/stamped_set.h"
 #include "common/types.h"
 #include "kspin/keyword_index.h"
 #include "routing/lower_bound.h"
@@ -30,14 +35,45 @@ struct HeapStats {
 /// One keyword's lazily populated candidate heap.
 class InvertedHeap {
  public:
+  /// A heap entry: candidate keyed by its lower-bound distance (ties by
+  /// object id, matching the extraction order of the original
+  /// priority_queue-based implementation).
+  struct Entry {
+    Distance lower_bound;
+    ObjectId object;
+    VertexId vertex;
+    bool operator>(const Entry& o) const {
+      if (lower_bound != o.lower_bound) return lower_bound > o.lower_bound;
+      return object > o.object;
+    }
+  };
+
+  /// Reusable backing storage of one heap. Pool-owned scratch objects are
+  /// handed out by QueryWorkspace so per-query heap construction performs
+  /// no allocation in steady state.
+  struct Scratch {
+    std::vector<Entry> entries;        // Binary min-heap via std::*_heap.
+    StampedIdSet inserted;             // Dedup of injected objects.
+    std::vector<SiteObject> expand;    // LazyReheap expansion buffer.
+
+    void Reset() {
+      entries.clear();
+      inserted.Clear();
+      expand.clear();
+    }
+  };
+
   /// An empty heap (no backing object set).
   InvertedHeap() = default;
 
   /// A heap over `nvd`'s object set for query vertex q, seeded with the
-  /// index's initial candidates (Theorem 1). Both pointers must outlive
-  /// the heap. Used directly by the keyword-free KnnEngine; keyword
-  /// queries go through HeapGenerator.
-  InvertedHeap(const ApxNvd* nvd, const LowerBoundModule* lower_bounds, VertexId q);
+  /// index's initial candidates (Theorem 1). `nvd` and `lower_bounds`
+  /// must outlive the heap. When `scratch` is non-null it provides the
+  /// backing storage (and must outlive the heap); otherwise the heap owns
+  /// a private scratch. Used directly by the keyword-free KnnEngine;
+  /// keyword queries go through HeapGenerator.
+  InvertedHeap(const ApxNvd* nvd, const LowerBoundModule* lower_bounds,
+               VertexId q, Scratch* scratch = nullptr);
 
   /// A candidate delivered by the heap.
   struct Candidate {
@@ -49,13 +85,13 @@ class InvertedHeap {
 
   /// True when no candidates remain (every object of inv(t) was
   /// extracted, or the keyword had none).
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const { return scratch_ == nullptr || scratch_->entries.empty(); }
 
   /// Lower-bound distance of the current top (MINKEY); kInfDistance when
   /// empty. Property 1: every not-yet-extracted object o of the keyword
   /// has d(q, o) >= MinKey().
   Distance MinKey() const {
-    return queue_.empty() ? kInfDistance : queue_.top().lower_bound;
+    return Empty() ? kInfDistance : scratch_->entries.front().lower_bound;
   }
 
   /// Extracts the top candidate and runs LazyReheap to restore Property 1.
@@ -68,24 +104,13 @@ class InvertedHeap {
  private:
   friend class HeapGenerator;
 
-  struct Entry {
-    Distance lower_bound;
-    ObjectId object;
-    VertexId vertex;
-    bool operator>(const Entry& o) const {
-      if (lower_bound != o.lower_bound) return lower_bound > o.lower_bound;
-      return object > o.object;
-    }
-  };
-
   void InsertNew(const SiteObject& site);
 
   const ApxNvd* nvd_ = nullptr;  // Null for keywords without objects.
   const LowerBoundModule* lower_bounds_ = nullptr;
   VertexId query_ = kInvalidVertex;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  std::unordered_set<ObjectId> inserted_;
-  std::vector<SiteObject> scratch_;
+  Scratch* scratch_ = nullptr;       // Null only for the empty heap.
+  std::unique_ptr<Scratch> owned_;   // Set when no pooled scratch was lent.
   HeapStats stats_;
 };
 
@@ -97,8 +122,10 @@ class HeapGenerator {
       : keyword_index_(keyword_index), lower_bounds_(lower_bounds) {}
 
   /// Creates the on-demand inverted heap for keyword t and query vertex q.
-  /// A keyword without objects yields an empty heap.
-  InvertedHeap Make(KeywordId t, VertexId q) const;
+  /// A keyword without objects yields an empty heap. `scratch` (optional)
+  /// provides pooled backing storage, see InvertedHeap.
+  InvertedHeap Make(KeywordId t, VertexId q,
+                    InvertedHeap::Scratch* scratch = nullptr) const;
 
  private:
   const KeywordIndex& keyword_index_;

@@ -10,14 +10,15 @@ KnnEngine::KnnEngine(const Graph& graph, std::vector<SiteObject> objects,
                      ApxNvdOptions options)
     : lower_bounds_(lower_bounds),
       oracle_(oracle),
+      oracle_workspace_(oracle.MakeWorkspace()),
       nvd_(graph, std::move(objects), options) {}
 
 std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
                                        QueryStats* stats) {
   std::vector<BkNNResult> results;
   if (k == 0) return results;
-  oracle_.BeginSourceBatch(q);
-  InvertedHeap heap(&nvd_, &lower_bounds_, q);
+  oracle_.BeginSourceBatch(*oracle_workspace_, q);
+  InvertedHeap heap(&nvd_, &lower_bounds_, q, &heap_scratch_);
 
   // Max-heap of the best k distances for the D_k bound.
   std::priority_queue<std::pair<Distance, ObjectId>> best;
@@ -30,7 +31,8 @@ std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
     const InvertedHeap::Candidate c = heap.ExtractMin();
     ++local.candidates_extracted;
     if (c.deleted) continue;
-    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
+                                               c.vertex);
     ++local.network_distance_computations;
     if (d < dk()) {
       if (best.size() == k) best.pop();

@@ -8,6 +8,7 @@
 #ifndef KSPIN_KSPIN_KNN_ENGINE_H_
 #define KSPIN_KSPIN_KNN_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -46,6 +47,8 @@ class KnnEngine {
  private:
   const LowerBoundModule& lower_bounds_;
   DistanceOracle& oracle_;
+  std::unique_ptr<OracleWorkspace> oracle_workspace_;
+  InvertedHeap::Scratch heap_scratch_;  // Reused across Knn calls.
   ApxNvd nvd_;
 };
 

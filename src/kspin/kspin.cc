@@ -65,6 +65,7 @@ ObjectId KSpin::InsertObject(VertexId vertex,
     processor_ = std::make_unique<QueryProcessor>(
         store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
         oracle_);
+    ++generation_;  // External processors now reference dead components.
   }
   for (KeywordId t : keywords) inverted_->Add(t, o);
   relevance_->RefreshObject(o);
@@ -91,7 +92,8 @@ void KSpin::AddKeywordToObject(ObjectId o, KeywordId keyword,
       relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
       processor_ = std::make_unique<QueryProcessor>(
           store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
-      oracle_);
+          oracle_);
+      ++generation_;  // External processors now reference dead components.
     } else {
       inverted_->Add(keyword, o);
     }

@@ -109,6 +109,25 @@ class KSpin {
   /// (run periodically / in the background); returns #rebuilt.
   std::size_t MaintainIndexes() { return keyword_index_->RebuildPending(); }
 
+  // ----- Concurrent serving ------------------------------------------------
+
+  /// Creates an independent QueryProcessor over the engine's current
+  /// module stack. Each processor owns its oracle workspace and query
+  /// scratch, so distinct processors may serve queries from distinct
+  /// threads concurrently (while no update runs). A processor is
+  /// invalidated when StructureGeneration() changes — certain updates
+  /// rebuild the inverted index / relevance model it references — and
+  /// must then be re-created.
+  std::unique_ptr<QueryProcessor> MakeProcessor() const {
+    return std::make_unique<QueryProcessor>(store_, *inverted_, *relevance_,
+                                            *keyword_index_, *lower_bounds_,
+                                            oracle_);
+  }
+
+  /// Bumped whenever an update rebuilds components that externally held
+  /// processors reference. Compare before reusing a MakeProcessor result.
+  std::uint64_t StructureGeneration() const { return generation_; }
+
   // ----- Component access --------------------------------------------------
 
   const DocumentStore& Store() const { return store_; }
@@ -140,6 +159,7 @@ class KSpin {
   const LowerBoundModule* lower_bounds_ = nullptr;
   std::unique_ptr<KeywordIndex> keyword_index_;
   std::unique_ptr<QueryProcessor> processor_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace kspin

@@ -4,7 +4,6 @@
 #include <functional>
 #include <limits>
 #include <queue>
-#include <unordered_set>
 
 namespace kspin {
 namespace {
@@ -63,35 +62,47 @@ std::vector<KeywordId> Deduplicate(std::span<const KeywordId> keywords) {
 
 }  // namespace
 
+template <typename SatisfiesFn>
 std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
-    VertexId q, std::uint32_t k, std::vector<InvertedHeap> heaps,
-    const std::function<bool(ObjectId)>& satisfies, QueryStats* stats) {
+    VertexId q, std::uint32_t k, std::vector<InvertedHeap>& heaps,
+    const SatisfiesFn& satisfies, QueryStats* stats) {
   QueryStats local;
   BestK<Distance, ObjectId> best(k);
-  oracle_.BeginSourceBatch(q);
+  oracle_.BeginSourceBatch(*oracle_workspace_, q);
 
-  // One priority-queue entry per heap, keyed by its MINKEY (Algorithm 1).
-  using PQEntry = std::pair<Distance, std::size_t>;
-  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
-      pq;
+  // One priority-queue cursor per heap, keyed by its MINKEY (Algorithm 1).
+  // Pooled backing vector + std::*_heap replicate the priority_queue this
+  // used to be, without its per-query allocation.
+  const auto greater = std::greater<QueryWorkspace::DistanceCursor>{};
+  std::vector<QueryWorkspace::DistanceCursor>& pq =
+      workspace_.DistanceQueue();
+  pq.clear();
   for (std::size_t i = 0; i < heaps.size(); ++i) {
     ++local.heaps_created;
-    if (!heaps[i].Empty()) pq.push({heaps[i].MinKey(), i});
+    if (!heaps[i].Empty()) {
+      pq.push_back({heaps[i].MinKey(), static_cast<std::uint32_t>(i)});
+      std::push_heap(pq.begin(), pq.end(), greater);
+    }
   }
 
-  std::unordered_set<ObjectId> evaluated;
-  while (!pq.empty() && pq.top().first < best.Dk()) {
-    const std::size_t i = pq.top().second;
-    pq.pop();
+  StampedIdSet& evaluated = workspace_.Evaluated();
+  evaluated.Clear();
+  while (!pq.empty() && pq.front().key < best.Dk()) {
+    const std::size_t i = pq.front().heap;
+    std::pop_heap(pq.begin(), pq.end(), greater);
+    pq.pop_back();
     InvertedHeap::Candidate c = heaps[i].ExtractMin();
     ++local.candidates_extracted;
-    if (!heaps[i].Empty()) pq.push({heaps[i].MinKey(), i});
+    if (!heaps[i].Empty()) {
+      pq.push_back({heaps[i].MinKey(), static_cast<std::uint32_t>(i)});
+      std::push_heap(pq.begin(), pq.end(), greater);
+    }
 
     if (c.deleted) continue;
-    if (!evaluated.insert(c.object).second) continue;  // Seen via another
-                                                       // heap.
+    if (!evaluated.Insert(c.object)) continue;  // Seen via another heap.
     if (!satisfies(c.object)) continue;
-    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
+                                               c.vertex);
     ++local.network_distance_computations;
     best.Offer(d, c.object);
   }
@@ -120,9 +131,13 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnn(
   if (op == BooleanOp::kConjunctive) {
     return ConjunctiveKnn(q, k, unique, stats);
   }
-  std::vector<InvertedHeap> heaps;
+  workspace_.BeginQuery();
+  std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   heaps.reserve(unique.size());
-  for (KeywordId t : unique) heaps.push_back(heap_generator_.Make(t, q));
+  for (KeywordId t : unique) {
+    heaps.push_back(
+        heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
+  }
   // Membership re-check against the live store keeps results exact even
   // when keyword indexes carry lazy tombstones.
   auto satisfies = [this, &unique](ObjectId o) {
@@ -131,7 +146,7 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnn(
     }
     return false;
   };
-  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
 }
 
 std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
@@ -145,15 +160,17 @@ std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
   }
   if (inverted_.ListSize(rarest) == 0) return {};
 
-  std::vector<InvertedHeap> heaps;
-  heaps.push_back(heap_generator_.Make(rarest, q));
+  workspace_.BeginQuery();
+  std::vector<InvertedHeap>& heaps = workspace_.Heaps();
+  heaps.push_back(
+      heap_generator_.Make(rarest, q, workspace_.AcquireHeapScratch()));
   auto satisfies = [this, &keywords](ObjectId o) {
     for (KeywordId t : keywords) {
       if (!store_.Contains(o, t)) return false;
     }
     return true;
   };
-  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
 }
 
 std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
@@ -173,9 +190,11 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
       driver = i;
     }
   }
-  std::vector<InvertedHeap> heaps;
+  workspace_.BeginQuery();
+  std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   for (KeywordId t : Deduplicate(clauses[driver])) {
-    heaps.push_back(heap_generator_.Make(t, q));
+    heaps.push_back(
+        heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
   }
   auto satisfies = [this, &clauses](ObjectId o) {
     for (const std::vector<KeywordId>& clause : clauses) {
@@ -190,7 +209,7 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
     }
     return true;
   };
-  return DisjunctiveSearch(q, k, std::move(heaps), satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
 }
 
 std::vector<TopKResult> QueryProcessor::TopK(
@@ -201,13 +220,15 @@ std::vector<TopKResult> QueryProcessor::TopK(
   const PreparedQuery prepared = relevance_.PrepareQuery(unique);
 
   QueryStats local;
-  std::vector<InvertedHeap> heaps;
+  workspace_.BeginQuery();
+  std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   heaps.reserve(unique.size());
   for (KeywordId t : unique) {
-    heaps.push_back(heap_generator_.Make(t, q));
+    heaps.push_back(
+        heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
     ++local.heaps_created;
   }
-  oracle_.BeginSourceBatch(q);
+  oracle_.BeginSourceBatch(*oracle_workspace_, q);
 
   // Pseudo lower-bound score of heap i (Algorithm 2): assume every unseen
   // object in H_i contains keyword t_j only if MINKEY(H_i) >= MINKEY(H_j);
@@ -230,42 +251,43 @@ std::vector<TopKResult> QueryProcessor::TopK(
     return scoring.LowerBoundScore(min_i, tr_p);
   };
 
-  struct PQEntry {
-    double score;
-    std::size_t heap;
-    bool operator>(const PQEntry& o) const { return score > o.score; }
-  };
-  std::priority_queue<PQEntry, std::vector<PQEntry>, std::greater<PQEntry>>
-      pq;
+  const auto greater = std::greater<QueryWorkspace::ScoreCursor>{};
+  std::vector<QueryWorkspace::ScoreCursor>& pq = workspace_.ScoreQueue();
+  pq.clear();
   for (std::size_t i = 0; i < heaps.size(); ++i) {
     const double score = pseudo_lb(i);
     if (score != std::numeric_limits<double>::infinity()) {
-      pq.push({score, i});
+      pq.push_back({score, static_cast<std::uint32_t>(i)});
+      std::push_heap(pq.begin(), pq.end(), greater);
     }
   }
 
   BestK<double, std::pair<ObjectId, std::pair<Distance, double>>> best(k);
-  std::unordered_set<ObjectId> processed;
-  while (!pq.empty() && pq.top().score < DoubleDk(best.Dk())) {
-    const std::size_t i = pq.top().heap;
-    pq.pop();
+  StampedIdSet& processed = workspace_.Evaluated();
+  processed.Clear();
+  while (!pq.empty() && pq.front().score < DoubleDk(best.Dk())) {
+    const std::size_t i = pq.front().heap;
+    std::pop_heap(pq.begin(), pq.end(), greater);
+    pq.pop_back();
     if (heaps[i].Empty()) continue;  // Stale entry for a drained heap.
     InvertedHeap::Candidate c = heaps[i].ExtractMin();
     ++local.candidates_extracted;
     const double score = pseudo_lb(i);
     if (score != std::numeric_limits<double>::infinity()) {
-      pq.push({score, i});
+      pq.push_back({score, static_cast<std::uint32_t>(i)});
+      std::push_heap(pq.begin(), pq.end(), greater);
     }
 
     if (c.deleted) continue;
-    if (!processed.insert(c.object).second) continue;
+    if (!processed.Insert(c.object)) continue;
     // Cheap filter: the candidate's *actual* textual relevance with its
     // lower-bound distance (line 10 of Algorithm 3).
     const double tr = relevance_.TextualRelevance(prepared, c.object);
     if (tr <= 0.0) continue;
     const double lb_score = scoring.LowerBoundScore(c.lower_bound, tr);
     if (lb_score > DoubleDk(best.Dk())) continue;
-    const Distance d = oracle_.NetworkDistance(q, c.vertex);
+    const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
+                                               c.vertex);
     ++local.network_distance_computations;
     const double st = scoring.Score(d, tr);
     best.Offer(st, {c.object, {d, tr}});
@@ -300,6 +322,10 @@ std::vector<TopKResult> QueryProcessor::TopK(
 // bound there is no D_k to pre-filter candidates, so every textually
 // relevant extraction pays its network distance; that is the inherent
 // price of "give me more" pagination.
+//
+// A stream can outlive any number of interleaved one-shot queries on the
+// same processor, so it owns its heaps (private scratch, not the pooled
+// workspace) and its own dedup set.
 // ---------------------------------------------------------------------
 
 struct QueryProcessor::TopKStream::State {
@@ -323,7 +349,7 @@ struct QueryProcessor::TopKStream::State {
   };
   std::priority_queue<Scored, std::vector<Scored>, std::greater<Scored>>
       scored;
-  std::unordered_set<ObjectId> processed;
+  StampedIdSet processed;
 
   double PseudoLb(std::size_t i) const {
     const Distance min_i = heaps[i].MinKey();
@@ -367,11 +393,12 @@ std::optional<TopKResult> QueryProcessor::TopKStream::Next() {
       s.pq.push({refreshed, i});
     }
     if (c.deleted) continue;
-    if (!s.processed.insert(c.object).second) continue;
+    if (!s.processed.Insert(c.object)) continue;
     const double tr =
         s.processor->relevance_.TextualRelevance(s.prepared, c.object);
     if (tr <= 0.0) continue;
-    const Distance d = s.processor->oracle_.NetworkDistance(s.q, c.vertex);
+    const Distance d = s.processor->oracle_.NetworkDistance(
+        *s.processor->oracle_workspace_, s.q, c.vertex);
     const double score = s.scoring.Score(d, tr);
     s.scored.push({score, TopKResult{c.object, score, d, tr}});
   }
@@ -386,7 +413,7 @@ QueryProcessor::TopKStream QueryProcessor::OpenTopKStream(
   state->scoring = scoring;
   const std::vector<KeywordId> unique = Deduplicate(keywords);
   state->prepared = relevance_.PrepareQuery(unique);
-  oracle_.BeginSourceBatch(q);
+  oracle_.BeginSourceBatch(*oracle_workspace_, q);
   state->heaps.reserve(unique.size());
   for (KeywordId t : unique) {
     state->heaps.push_back(heap_generator_.Make(t, q));

@@ -10,7 +10,6 @@
 #define KSPIN_KSPIN_QUERY_PROCESSOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -19,6 +18,7 @@
 #include "common/types.h"
 #include "kspin/inverted_heap.h"
 #include "kspin/keyword_index.h"
+#include "kspin/query_workspace.h"
 #include "routing/lower_bound.h"
 #include "routing/distance_oracle.h"
 #include "text/document_store.h"
@@ -58,19 +58,25 @@ struct QueryStats {
 };
 
 /// Query algorithms over the K-SPIN module stack.
+///
+/// A processor owns its oracle workspace and query scratch, so distinct
+/// processors over the same (shared, immutable) module stack may run on
+/// distinct threads concurrently. One processor serves one query at a
+/// time.
 class QueryProcessor {
  public:
   QueryProcessor(const DocumentStore& store, const InvertedIndex& inverted,
                  const RelevanceModel& relevance,
                  const KeywordIndex& keyword_index,
                  const LowerBoundModule& lower_bounds,
-                 DistanceOracle& oracle)
+                 const DistanceOracle& oracle)
       : store_(store),
         inverted_(inverted),
         relevance_(relevance),
         keyword_index_(keyword_index),
         lower_bounds_(lower_bounds),
         oracle_(oracle),
+        oracle_workspace_(oracle.MakeWorkspace()),
         heap_generator_(keyword_index, lower_bounds) {}
 
   /// Boolean kNN query (q, k, psi, op). Results ascend by distance (ties
@@ -143,10 +149,15 @@ class QueryProcessor {
 
  private:
   // Disjunctive search over an explicit heap set with a candidate filter;
-  // shared by BooleanKnn(disjunctive) and BooleanKnnCnf.
-  std::vector<BkNNResult> DisjunctiveSearch(
-      VertexId q, std::uint32_t k, std::vector<InvertedHeap> heaps,
-      const std::function<bool(ObjectId)>& satisfies, QueryStats* stats);
+  // shared by BooleanKnn(disjunctive) and BooleanKnnCnf. The filter is a
+  // template parameter so the per-candidate check inlines instead of going
+  // through a type-erased std::function call. Defined in the .cc (all
+  // instantiations live there).
+  template <typename SatisfiesFn>
+  std::vector<BkNNResult> DisjunctiveSearch(VertexId q, std::uint32_t k,
+                                            std::vector<InvertedHeap>& heaps,
+                                            const SatisfiesFn& satisfies,
+                                            QueryStats* stats);
 
   std::vector<BkNNResult> ConjunctiveKnn(VertexId q, std::uint32_t k,
                                          std::span<const KeywordId> keywords,
@@ -157,7 +168,9 @@ class QueryProcessor {
   const RelevanceModel& relevance_;
   const KeywordIndex& keyword_index_;
   const LowerBoundModule& lower_bounds_;
-  DistanceOracle& oracle_;
+  const DistanceOracle& oracle_;
+  std::unique_ptr<OracleWorkspace> oracle_workspace_;
+  QueryWorkspace workspace_;
   HeapGenerator heap_generator_;
   bool use_pseudo_lower_bounds_ = true;
 };

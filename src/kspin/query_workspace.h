@@ -1,0 +1,87 @@
+// Per-query reusable scratch of one QueryProcessor (and, transitively, of
+// one serving thread): pooled inverted-heap backing storage, the heap
+// vector itself, the stamped dedup set and the priority-queue backing
+// vectors of the query algorithms. One workspace serves one query at a
+// time; a thread reuses its workspace across queries so steady-state query
+// execution performs no heap allocation.
+#ifndef KSPIN_KSPIN_QUERY_WORKSPACE_H_
+#define KSPIN_KSPIN_QUERY_WORKSPACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stamped_set.h"
+#include "common/types.h"
+#include "kspin/inverted_heap.h"
+
+namespace kspin {
+
+/// Pooled per-query scratch. Not thread-safe: one workspace per thread.
+class QueryWorkspace {
+ public:
+  /// Priority-queue cursor over heaps, keyed by MINKEY. The comparator is
+  /// lexicographic on (key, heap index), matching the extraction order of
+  /// the std::pair-based priority_queue it replaces.
+  struct DistanceCursor {
+    Distance key;
+    std::uint32_t heap;
+    bool operator>(const DistanceCursor& o) const {
+      if (key != o.key) return key > o.key;
+      return heap > o.heap;
+    }
+  };
+
+  /// Priority-queue cursor over heaps, keyed by pseudo lower-bound score.
+  /// Score-only comparison, matching the original TopK PQEntry.
+  struct ScoreCursor {
+    double score;
+    std::uint32_t heap;
+    bool operator>(const ScoreCursor& o) const { return score > o.score; }
+  };
+
+  /// Resets the workspace for a new query. Pooled scratch objects and the
+  /// backing vectors keep their capacity.
+  void BeginQuery() {
+    next_scratch_ = 0;
+    heaps_.clear();
+    evaluated_.Clear();
+    distance_queue_.clear();
+    score_queue_.clear();
+  }
+
+  /// Hands out the next pooled heap scratch (reset, capacity retained).
+  /// Valid until the next BeginQuery.
+  InvertedHeap::Scratch* AcquireHeapScratch() {
+    if (next_scratch_ == pool_.size()) pool_.emplace_back();
+    InvertedHeap::Scratch* scratch = &pool_[next_scratch_++];
+    scratch->Reset();
+    return scratch;
+  }
+
+  /// The query's heap set (cleared by BeginQuery, capacity retained).
+  std::vector<InvertedHeap>& Heaps() { return heaps_; }
+
+  /// Stamped dedup set shared by the query algorithms (each query uses at
+  /// most one of BooleanKnn/BooleanKnnCnf/TopK at a time).
+  StampedIdSet& Evaluated() { return evaluated_; }
+
+  /// Backing vector of the per-heap MINKEY priority queue.
+  std::vector<DistanceCursor>& DistanceQueue() { return distance_queue_; }
+
+  /// Backing vector of the per-heap score priority queue.
+  std::vector<ScoreCursor>& ScoreQueue() { return score_queue_; }
+
+ private:
+  // deque: stable addresses while the pool grows mid-query.
+  std::deque<InvertedHeap::Scratch> pool_;
+  std::size_t next_scratch_ = 0;
+  std::vector<InvertedHeap> heaps_;
+  StampedIdSet evaluated_;
+  std::vector<DistanceCursor> distance_queue_;
+  std::vector<ScoreCursor> score_queue_;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_QUERY_WORKSPACE_H_

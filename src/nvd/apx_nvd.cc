@@ -100,8 +100,10 @@ void ApxNvd::InitialCandidates(VertexId q,
   if (quadtree_ != nullptr) {
     for (std::uint32_t color : quadtree_->Locate(coord)) emit_node(color);
   } else {
-    rtree_->Locate(coord, &locate_scratch_);
-    for (std::uint32_t color : locate_scratch_) emit_node(color);
+    // Thread-local so concurrent readers of one ApxNvd don't share scratch.
+    thread_local std::vector<std::uint32_t> locate_scratch;
+    rtree_->Locate(coord, &locate_scratch);
+    for (std::uint32_t color : locate_scratch) emit_node(color);
   }
 }
 

@@ -141,8 +141,6 @@ class ApxNvd {
   std::unordered_set<ObjectId> deleted_;
   std::size_t lazy_inserts_ = 0;
   std::size_t last_affected_size_ = 0;
-
-  mutable std::vector<std::uint32_t> locate_scratch_;
 };
 
 }  // namespace kspin

@@ -227,12 +227,17 @@ ContractionHierarchy::ContractionHierarchy(
     }
   }
 
-  fwd_dist_.assign(n, kInfDistance);
-  bwd_dist_.assign(n, kInfDistance);
-  fwd_parent_.assign(n, kInvalidVertex);
-  bwd_parent_.assign(n, kInvalidVertex);
-  fwd_stamp_.assign(n, 0);
-  bwd_stamp_.assign(n, 0);
+}
+
+void ContractionHierarchy::SearchSpace::EnsureSize(std::size_t num_vertices) {
+  if (fwd_dist_.size() >= num_vertices) return;
+  fwd_dist_.assign(num_vertices, kInfDistance);
+  bwd_dist_.assign(num_vertices, kInfDistance);
+  fwd_parent_.assign(num_vertices, kInvalidVertex);
+  bwd_parent_.assign(num_vertices, kInvalidVertex);
+  fwd_stamp_.assign(num_vertices, 0);
+  bwd_stamp_.assign(num_vertices, 0);
+  version_ = 0;
 }
 
 std::vector<VertexId> ContractionHierarchy::VerticesByDescendingRank() const {
@@ -243,31 +248,33 @@ std::vector<VertexId> ContractionHierarchy::VerticesByDescendingRank() const {
   return order;
 }
 
-Distance ContractionHierarchy::RunBidirectional(VertexId s, VertexId t,
+Distance ContractionHierarchy::RunBidirectional(SearchSpace& space,
+                                                VertexId s, VertexId t,
                                                 VertexId* meeting) const {
   *meeting = kInvalidVertex;
   if (s == t) {
     *meeting = s;
     return 0;
   }
-  ++query_version_;
-  if (query_version_ == 0) {
-    std::fill(fwd_stamp_.begin(), fwd_stamp_.end(), 0);
-    std::fill(bwd_stamp_.begin(), bwd_stamp_.end(), 0);
-    query_version_ = 1;
+  space.EnsureSize(NumVertices());
+  ++space.version_;
+  if (space.version_ == 0) {
+    std::fill(space.fwd_stamp_.begin(), space.fwd_stamp_.end(), 0);
+    std::fill(space.bwd_stamp_.begin(), space.bwd_stamp_.end(), 0);
+    space.version_ = 1;
   }
-  const std::uint32_t version = query_version_;
+  const std::uint32_t version = space.version_;
 
   using Entry = std::pair<Distance, VertexId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> fwd,
       bwd;
-  fwd_dist_[s] = 0;
-  fwd_parent_[s] = kInvalidVertex;
-  fwd_stamp_[s] = version;
+  space.fwd_dist_[s] = 0;
+  space.fwd_parent_[s] = kInvalidVertex;
+  space.fwd_stamp_[s] = version;
   fwd.push({0, s});
-  bwd_dist_[t] = 0;
-  bwd_parent_[t] = kInvalidVertex;
-  bwd_stamp_[t] = version;
+  space.bwd_dist_[t] = 0;
+  space.bwd_parent_[t] = kInvalidVertex;
+  space.bwd_stamp_[t] = version;
   bwd.push({0, t});
 
   Distance best = kInfDistance;
@@ -302,36 +309,43 @@ Distance ContractionHierarchy::RunBidirectional(VertexId s, VertexId t,
     const Distance bwd_top = bwd.empty() ? kInfDistance : bwd.top().first;
     if (std::min(fwd_top, bwd_top) >= best) break;
     if (fwd_top <= bwd_top) {
-      relax(fwd, fwd_dist_, fwd_parent_, fwd_stamp_, bwd_dist_, bwd_stamp_,
-            best);
+      relax(fwd, space.fwd_dist_, space.fwd_parent_, space.fwd_stamp_,
+            space.bwd_dist_, space.bwd_stamp_, best);
     } else {
-      relax(bwd, bwd_dist_, bwd_parent_, bwd_stamp_, fwd_dist_, fwd_stamp_,
-            best);
+      relax(bwd, space.bwd_dist_, space.bwd_parent_, space.bwd_stamp_,
+            space.fwd_dist_, space.fwd_stamp_, best);
     }
   }
   return best;
 }
 
-Distance ContractionHierarchy::Query(VertexId s, VertexId t) const {
+Distance ContractionHierarchy::Query(SearchSpace& space, VertexId s,
+                                     VertexId t) const {
   VertexId meeting;
-  return RunBidirectional(s, t, &meeting);
+  return RunBidirectional(space, s, t, &meeting);
+}
+
+Distance ContractionHierarchy::Query(VertexId s, VertexId t) const {
+  return Query(scratch_, s, t);
 }
 
 std::vector<VertexId> ContractionHierarchy::PathQuery(VertexId s,
                                                       VertexId t) const {
   VertexId meeting;
-  const Distance d = RunBidirectional(s, t, &meeting);
+  const Distance d = RunBidirectional(scratch_, s, t, &meeting);
   if (d == kInfDistance) return {};
   if (s == t) return {s};
 
   // Upward parent chains: s -> ... -> meeting and t -> ... -> meeting.
   std::vector<VertexId> up_chain;  // s side, from s to meeting.
-  for (VertexId v = meeting; v != kInvalidVertex; v = fwd_parent_[v]) {
+  for (VertexId v = meeting; v != kInvalidVertex;
+       v = scratch_.fwd_parent_[v]) {
     up_chain.push_back(v);
   }
   std::reverse(up_chain.begin(), up_chain.end());
   std::vector<VertexId> down_chain;  // t side, from meeting to t.
-  for (VertexId v = meeting; v != kInvalidVertex; v = bwd_parent_[v]) {
+  for (VertexId v = meeting; v != kInvalidVertex;
+       v = scratch_.bwd_parent_[v]) {
     down_chain.push_back(v);
   }
 

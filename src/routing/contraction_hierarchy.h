@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -37,11 +38,35 @@ struct ContractionHierarchyOptions {
 /// An immutable contraction hierarchy over a graph.
 class ContractionHierarchy {
  public:
+  /// Reusable bidirectional-search scratch (version-stamped distance /
+  /// parent arrays). All mutable query state lives here, so one hierarchy
+  /// can serve any number of threads through distinct search spaces.
+  /// Sized lazily on first use.
+  class SearchSpace {
+   public:
+    SearchSpace() = default;
+
+   private:
+    friend class ContractionHierarchy;
+    void EnsureSize(std::size_t num_vertices);
+
+    std::vector<Distance> fwd_dist_, bwd_dist_;
+    std::vector<VertexId> fwd_parent_, bwd_parent_;
+    std::vector<std::uint32_t> fwd_stamp_, bwd_stamp_;
+    std::uint32_t version_ = 0;
+  };
+
   /// Builds the hierarchy. O(|V| log |V|) witness searches in practice.
   explicit ContractionHierarchy(const Graph& graph,
                                 ContractionHierarchyOptions options = {});
 
-  /// Exact network distance via bidirectional upward search.
+  /// Exact network distance via bidirectional upward search, using only
+  /// `space` for mutable state. Thread-safe across distinct spaces.
+  Distance Query(SearchSpace& space, VertexId s, VertexId t) const;
+
+  /// Exact network distance through the hierarchy's own scratch space.
+  /// Not thread-safe; use the SearchSpace overload when sharing the
+  /// hierarchy across threads.
   Distance Query(VertexId s, VertexId t) const;
 
   /// Exact shortest path s -> t as a vertex sequence in the original
@@ -92,7 +117,7 @@ class ContractionHierarchy {
 
   // Bidirectional upward search shared by Query and PathQuery; returns
   // the best meeting vertex via *meeting (kInvalidVertex if disconnected).
-  Distance RunBidirectional(VertexId s, VertexId t,
+  Distance RunBidirectional(SearchSpace& space, VertexId s, VertexId t,
                             VertexId* meeting) const;
   std::vector<std::uint32_t> rank_;
   std::vector<std::size_t> up_offsets_;
@@ -100,29 +125,38 @@ class ContractionHierarchy {
   std::vector<VertexId> up_mids_;  // Aligned with up_arcs_.
   std::size_t num_shortcuts_ = 0;
 
-  // Scratch buffers for Query (version-stamped, mutable so Query is const).
-  mutable std::vector<Distance> fwd_dist_, bwd_dist_;
-  mutable std::vector<VertexId> fwd_parent_, bwd_parent_;
-  mutable std::vector<std::uint32_t> fwd_stamp_, bwd_stamp_;
-  mutable std::uint32_t query_version_ = 0;
+  // Scratch for the single-threaded Query/PathQuery convenience overloads
+  // (mutable so they stay const against the index).
+  mutable SearchSpace scratch_;
 };
 
 void SaveContractionHierarchy(const ContractionHierarchy& ch,
                               std::ostream& out);
 ContractionHierarchy LoadContractionHierarchy(std::istream& in);
 
-/// DistanceOracle adapter over a ContractionHierarchy.
+/// DistanceOracle adapter over a ContractionHierarchy. The hierarchy is
+/// the immutable shared index; each workspace wraps one SearchSpace.
 class ChOracle : public DistanceOracle {
  public:
   explicit ChOracle(const ContractionHierarchy& ch) : ch_(ch) {}
 
-  Distance NetworkDistance(VertexId s, VertexId t) override {
-    return ch_.Query(s, t);
+  using DistanceOracle::NetworkDistance;
+  using DistanceOracle::BeginSourceBatch;
+
+  std::unique_ptr<OracleWorkspace> MakeWorkspace() const override {
+    return std::make_unique<Workspace>();
+  }
+  Distance NetworkDistance(OracleWorkspace& workspace, VertexId s,
+                           VertexId t) const override {
+    return ch_.Query(static_cast<Workspace&>(workspace).space, s, t);
   }
   std::string Name() const override { return "ch"; }
   std::size_t MemoryBytes() const override { return ch_.MemoryBytes(); }
 
  private:
+  struct Workspace final : OracleWorkspace {
+    ContractionHierarchy::SearchSpace space;
+  };
   const ContractionHierarchy& ch_;
 };
 

@@ -107,12 +107,22 @@ std::vector<VertexId> DijkstraShortestPath(const Graph& graph,
   return workspace.PathTo(target);
 }
 
-DijkstraOracle::DijkstraOracle(const Graph& graph)
-    : graph_(graph), workspace_(graph.NumVertices()) {}
+struct DijkstraOracle::Workspace final : OracleWorkspace {
+  explicit Workspace(std::size_t num_vertices) : dijkstra(num_vertices) {}
+  DijkstraWorkspace dijkstra;
+};
 
-Distance DijkstraOracle::NetworkDistance(VertexId s, VertexId t) {
+DijkstraOracle::DijkstraOracle(const Graph& graph) : graph_(graph) {}
+
+std::unique_ptr<OracleWorkspace> DijkstraOracle::MakeWorkspace() const {
+  return std::make_unique<Workspace>(graph_.NumVertices());
+}
+
+Distance DijkstraOracle::NetworkDistance(OracleWorkspace& workspace,
+                                         VertexId s, VertexId t) const {
   if (s == t) return 0;
-  return workspace_.PointToPoint(graph_, s, t);
+  return static_cast<Workspace&>(workspace).dijkstra.PointToPoint(graph_, s,
+                                                                  t);
 }
 
 }  // namespace kspin

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -85,17 +86,23 @@ std::vector<VertexId> DijkstraShortestPath(const Graph& graph,
                                            VertexId source, VertexId target);
 
 /// Index-free Network Distance Module backed by bidirectional-free plain
-/// Dijkstra. Used as the reference implementation and in tests.
+/// Dijkstra. Used as the reference implementation and in tests. The graph
+/// is the whole shared index; each workspace is one DijkstraWorkspace.
 class DijkstraOracle : public DistanceOracle {
  public:
   explicit DijkstraOracle(const Graph& graph);
 
-  Distance NetworkDistance(VertexId s, VertexId t) override;
+  using DistanceOracle::NetworkDistance;
+  using DistanceOracle::BeginSourceBatch;
+
+  std::unique_ptr<OracleWorkspace> MakeWorkspace() const override;
+  Distance NetworkDistance(OracleWorkspace& workspace, VertexId s,
+                           VertexId t) const override;
   std::string Name() const override { return "dijkstra"; }
 
  private:
+  struct Workspace;
   const Graph& graph_;
-  DijkstraWorkspace workspace_;
 };
 
 }  // namespace kspin

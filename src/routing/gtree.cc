@@ -373,7 +373,7 @@ const std::vector<Distance>& GTree::BorderDistances(SourceCache& cache,
     for (std::size_t i = 0; i < node.borders.size(); ++i) {
       const MatrixDist d = node.matrix[i * node.Cols() + col];
       result[i] = d == kUnreachable ? kInfDistance : d;
-      ++matrix_ops_;
+      matrix_ops_.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (ContainsVertex(n, q)) {
     // Ascend: combine the child-containing-q vector with this node's
@@ -388,7 +388,7 @@ const std::vector<Distance>& GTree::BorderDistances(SourceCache& cache,
         if (child_vec[j] == kInfDistance) continue;
         const std::uint32_t bj = node.universe_index.at(child_borders[j]);
         const MatrixDist d = node.matrix[bj * node.Cols() + bi];
-        ++matrix_ops_;
+        matrix_ops_.fetch_add(1, std::memory_order_relaxed);
         if (d == kUnreachable) continue;
         best = std::min(best, child_vec[j] + d);
       }
@@ -418,7 +418,7 @@ const std::vector<Distance>& GTree::BorderDistances(SourceCache& cache,
         const std::uint32_t bj =
             parent.universe_index.at((*through_borders)[j]);
         const MatrixDist d = parent.matrix[bj * parent.Cols() + bi];
-        ++matrix_ops_;
+        matrix_ops_.fetch_add(1, std::memory_order_relaxed);
         if (d == kUnreachable) continue;
         best = std::min(best, (*through_vec)[j] + d);
       }
@@ -445,7 +445,7 @@ Distance GTree::LeafBorderToVertex(NodeId leaf, VertexId border,
                                     border) -
                    node.borders.begin();
   const std::uint32_t col = node.universe_index.at(v);
-  ++matrix_ops_;
+  matrix_ops_.fetch_add(1, std::memory_order_relaxed);
   const MatrixDist d = node.matrix[row * node.Cols() + col];
   return d == kUnreachable ? kInfDistance : d;
 }
@@ -459,7 +459,7 @@ Distance GTree::BorderPairDistance(NodeId n, std::size_t i,
   const Node& parent = nodes_[node.parent];
   const std::uint32_t pi = parent.universe_index.at(node.borders[i]);
   const std::uint32_t pj = parent.universe_index.at(node.borders[j]);
-  ++matrix_ops_;
+  matrix_ops_.fetch_add(1, std::memory_order_relaxed);
   const MatrixDist d = parent.matrix[pi * parent.Cols() + pj];
   return d == kUnreachable ? kInfDistance : d;
 }
@@ -489,7 +489,7 @@ Distance GTree::SameLeafDistance(NodeId leaf, VertexId s, VertexId t) const {
   for (std::size_t i = 0; i < node.borders.size(); ++i) {
     const MatrixDist ds = node.matrix[i * node.Cols() + col_s];
     const MatrixDist dt = node.matrix[i * node.Cols() + col_t];
-    matrix_ops_ += 2;
+    matrix_ops_.fetch_add(2, std::memory_order_relaxed);
     if (ds == kUnreachable || dt == kUnreachable) continue;
     best = std::min(best, static_cast<Distance>(ds) + dt);
   }
@@ -508,7 +508,7 @@ Distance GTree::Query(SourceCache& cache, VertexId t) const {
   for (std::size_t i = 0; i < node.borders.size(); ++i) {
     if (vec[i] == kInfDistance) continue;
     const MatrixDist d = node.matrix[i * node.Cols() + col];
-    ++matrix_ops_;
+    matrix_ops_.fetch_add(1, std::memory_order_relaxed);
     if (d == kUnreachable) continue;
     best = std::min(best, vec[i] + d);
   }

@@ -16,6 +16,7 @@
 #ifndef KSPIN_ROUTING_GTREE_H_
 #define KSPIN_ROUTING_GTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -109,9 +110,13 @@ class GTree {
 
   // ----- Accounting -----------------------------------------------------
 
-  /// Matrix operations (one lookup + add) since the last reset.
-  std::uint64_t MatrixOps() const { return matrix_ops_; }
-  void ResetMatrixOps() { matrix_ops_ = 0; }
+  /// Matrix operations (one lookup + add) since the last reset. The counter
+  /// is a relaxed atomic so concurrent queries stay race-free; it is an
+  /// accounting metric, not a synchronization point.
+  std::uint64_t MatrixOps() const {
+    return matrix_ops_.load(std::memory_order_relaxed);
+  }
+  void ResetMatrixOps() { matrix_ops_.store(0, std::memory_order_relaxed); }
 
   /// Approximate index memory in bytes (matrices + structure).
   std::size_t MemoryBytes() const;
@@ -161,31 +166,41 @@ class GTree {
   std::vector<Node> nodes_;
   std::vector<NodeId> leaf_of_;
   std::vector<std::vector<NodeId>> levels_;  // Node ids grouped by depth.
-  mutable std::uint64_t matrix_ops_ = 0;
+  mutable std::atomic<std::uint64_t> matrix_ops_{0};
 };
 
-/// DistanceOracle adapter with per-source materialization.
+/// DistanceOracle adapter with per-source materialization. The G-tree is
+/// the immutable shared index; each workspace owns one SourceCache that is
+/// rebuilt whenever the query source changes.
 class GTreeOracle : public DistanceOracle {
  public:
   explicit GTreeOracle(const GTree& gtree) : gtree_(gtree) {}
 
-  Distance NetworkDistance(VertexId s, VertexId t) override {
-    if (cache_ == nullptr || cache_->source() != s) {
-      cache_ = std::make_unique<GTree::SourceCache>(
-          gtree_.MakeSourceCache(s));
-    }
-    return gtree_.Query(*cache_, t);
+  using DistanceOracle::NetworkDistance;
+  using DistanceOracle::BeginSourceBatch;
+
+  std::unique_ptr<OracleWorkspace> MakeWorkspace() const override {
+    return std::make_unique<Workspace>();
   }
-  void BeginSourceBatch(VertexId source) override {
-    cache_ =
-        std::make_unique<GTree::SourceCache>(gtree_.MakeSourceCache(source));
+  Distance NetworkDistance(OracleWorkspace& workspace, VertexId s,
+                           VertexId t) const override {
+    auto& w = static_cast<Workspace&>(workspace);
+    if (w.cache.source() != s) w.cache = gtree_.MakeSourceCache(s);
+    return gtree_.Query(w.cache, t);
+  }
+  void BeginSourceBatch(OracleWorkspace& workspace,
+                        VertexId source) const override {
+    static_cast<Workspace&>(workspace).cache =
+        gtree_.MakeSourceCache(source);
   }
   std::string Name() const override { return "gtree"; }
   std::size_t MemoryBytes() const override { return gtree_.MemoryBytes(); }
 
  private:
+  struct Workspace final : OracleWorkspace {
+    GTree::SourceCache cache;
+  };
   const GTree& gtree_;
-  std::unique_ptr<GTree::SourceCache> cache_;
 };
 
 }  // namespace kspin

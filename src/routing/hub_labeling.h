@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -72,12 +73,20 @@ class HubLabeling {
 void SaveHubLabeling(const HubLabeling& labels, std::ostream& out);
 HubLabeling LoadHubLabeling(std::istream& in);
 
-/// DistanceOracle adapter over a HubLabeling.
+/// DistanceOracle adapter over a HubLabeling. Label queries are pure merge
+/// joins with no mutable state, so the workspace is the empty base class.
 class HubLabelOracle : public DistanceOracle {
  public:
   explicit HubLabelOracle(const HubLabeling& labels) : labels_(labels) {}
 
-  Distance NetworkDistance(VertexId s, VertexId t) override {
+  using DistanceOracle::NetworkDistance;
+  using DistanceOracle::BeginSourceBatch;
+
+  std::unique_ptr<OracleWorkspace> MakeWorkspace() const override {
+    return std::make_unique<OracleWorkspace>();
+  }
+  Distance NetworkDistance(OracleWorkspace& /*workspace*/, VertexId s,
+                           VertexId t) const override {
     return labels_.Query(s, t);
   }
   std::string Name() const override { return "hl"; }

@@ -1,0 +1,148 @@
+#include "service/parallel_executor.h"
+
+#include <algorithm>
+
+namespace kspin {
+namespace {
+
+unsigned ResolveThreads(unsigned num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+}  // namespace
+
+ParallelQueryExecutor::ParallelQueryExecutor(ProcessorFactory factory,
+                                             unsigned num_threads)
+    : factory_(std::move(factory)),
+      num_threads_(ResolveThreads(num_threads)),
+      processors_(num_threads_) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t slot = 1; slot < num_threads_; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ParallelQueryExecutor::ParallelQueryExecutor(KSpin& engine,
+                                             unsigned num_threads)
+    : ParallelQueryExecutor(
+          [&engine] { return engine.MakeProcessor(); }, num_threads) {
+  engine_ = &engine;
+  engine_generation_ = engine.StructureGeneration();
+}
+
+ParallelQueryExecutor::~ParallelQueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+QueryProcessor& ParallelQueryExecutor::ProcessorFor(std::size_t slot) {
+  // Lazily built on the slot's own thread; distinct slots never race.
+  if (processors_[slot] == nullptr) processors_[slot] = factory_();
+  return *processors_[slot];
+}
+
+void ParallelQueryExecutor::RefreshIfStale() {
+  if (engine_ == nullptr) return;
+  const std::uint64_t current = engine_->StructureGeneration();
+  if (current == engine_generation_) return;
+  // An update rebuilt components the processors reference: drop them all
+  // (no batch is in flight here, so the slots are quiescent).
+  for (auto& processor : processors_) processor.reset();
+  engine_generation_ = current;
+}
+
+void ParallelQueryExecutor::RunJob(std::size_t slot) {
+  QueryProcessor& processor = ProcessorFor(slot);
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_count_) break;
+    (*job_)(processor, i);
+  }
+}
+
+void ParallelQueryExecutor::WorkerLoop(std::size_t slot) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, seen_epoch] {
+        return shutting_down_ || job_epoch_ != seen_epoch;
+      });
+      if (shutting_down_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunJob(slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_running_;
+      if (workers_running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelQueryExecutor::ForEach(
+    std::size_t count,
+    const std::function<void(QueryProcessor&, std::size_t)>& fn) {
+  RefreshIfStale();
+  if (count == 0) return;
+  if (workers_.empty()) {  // Single-threaded pool: plain loop, no hand-off.
+    QueryProcessor& processor = ProcessorFor(0);
+    for (std::size_t i = 0; i < count; ++i) fn(processor, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    workers_running_ = workers_.size();
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  RunJob(0);  // The driving thread participates as slot 0.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+  job_ = nullptr;
+  job_count_ = 0;
+}
+
+std::vector<std::vector<BkNNResult>> ParallelQueryExecutor::BooleanKnnBatch(
+    std::span<const BooleanKnnQuery> queries) {
+  std::vector<std::vector<BkNNResult>> results(queries.size());
+  ForEach(queries.size(), [&queries, &results](QueryProcessor& processor,
+                                               std::size_t i) {
+    const BooleanKnnQuery& q = queries[i];
+    results[i] = processor.BooleanKnn(q.vertex, q.k, q.keywords, q.op);
+  });
+  return results;
+}
+
+std::vector<std::vector<BkNNResult>>
+ParallelQueryExecutor::BooleanKnnCnfBatch(std::span<const CnfQuery> queries) {
+  std::vector<std::vector<BkNNResult>> results(queries.size());
+  ForEach(queries.size(), [&queries, &results](QueryProcessor& processor,
+                                               std::size_t i) {
+    const CnfQuery& q = queries[i];
+    results[i] = processor.BooleanKnnCnf(q.vertex, q.k, q.clauses);
+  });
+  return results;
+}
+
+std::vector<std::vector<TopKResult>> ParallelQueryExecutor::TopKBatch(
+    std::span<const TopKQuery> queries) {
+  std::vector<std::vector<TopKResult>> results(queries.size());
+  ForEach(queries.size(), [&queries, &results](QueryProcessor& processor,
+                                               std::size_t i) {
+    const TopKQuery& q = queries[i];
+    results[i] = processor.TopK(q.vertex, q.k, q.keywords);
+  });
+  return results;
+}
+
+}  // namespace kspin

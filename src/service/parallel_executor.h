@@ -1,0 +1,128 @@
+// Fixed-thread-pool batch executor over per-thread QueryProcessors.
+//
+// The K-SPIN module stack is immutable during query serving (see
+// docs/architecture.md, "Concurrency model"), so independent queries
+// parallelize trivially: each pool slot owns one QueryProcessor (and,
+// through it, one oracle workspace and one query workspace), queries are
+// distributed by an atomic work-stealing index, and result slots are
+// pre-sized so no two threads touch the same element. Results are
+// identical to serial execution query-by-query — parallelism never
+// changes what a query returns, only when it runs.
+//
+// The calling thread participates as slot 0, so `num_threads == 1` means
+// "no extra threads" and degenerates to a plain serial loop.
+#ifndef KSPIN_SERVICE_PARALLEL_EXECUTOR_H_
+#define KSPIN_SERVICE_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "kspin/kspin.h"
+#include "kspin/query_processor.h"
+
+namespace kspin {
+
+/// Parallel batch execution of independent queries. Not itself
+/// thread-safe: one thread drives the executor, the pool fans out.
+class ParallelQueryExecutor {
+ public:
+  /// Builds one QueryProcessor per pool slot (lazily, on the slot's
+  /// thread). Must be safe to call concurrently from multiple threads —
+  /// KSpin::MakeProcessor and the EngineSet factories qualify.
+  using ProcessorFactory = std::function<std::unique_ptr<QueryProcessor>()>;
+
+  /// One Boolean kNN query of a batch.
+  struct BooleanKnnQuery {
+    VertexId vertex = kInvalidVertex;
+    std::uint32_t k = 0;
+    std::vector<KeywordId> keywords;
+    BooleanOp op = BooleanOp::kDisjunctive;
+  };
+
+  /// One CNF Boolean kNN query of a batch.
+  struct CnfQuery {
+    VertexId vertex = kInvalidVertex;
+    std::uint32_t k = 0;
+    std::vector<std::vector<KeywordId>> clauses;
+  };
+
+  /// One top-k query of a batch.
+  struct TopKQuery {
+    VertexId vertex = kInvalidVertex;
+    std::uint32_t k = 0;
+    std::vector<KeywordId> keywords;
+  };
+
+  /// `num_threads` pool slots (0 = hardware concurrency). Spawns
+  /// `num_threads - 1` workers; the driving thread is slot 0.
+  explicit ParallelQueryExecutor(ProcessorFactory factory,
+                                 unsigned num_threads = 0);
+
+  /// Convenience over a KSpin engine: processors come from
+  /// engine.MakeProcessor() and are transparently re-created whenever
+  /// engine.StructureGeneration() changes between batches. The engine
+  /// must not be updated while a batch is in flight.
+  explicit ParallelQueryExecutor(KSpin& engine, unsigned num_threads = 0);
+
+  ~ParallelQueryExecutor();
+
+  ParallelQueryExecutor(const ParallelQueryExecutor&) = delete;
+  ParallelQueryExecutor& operator=(const ParallelQueryExecutor&) = delete;
+
+  unsigned NumThreads() const { return num_threads_; }
+
+  // ----- Batch queries (result i answers query i) ------------------------
+
+  std::vector<std::vector<BkNNResult>> BooleanKnnBatch(
+      std::span<const BooleanKnnQuery> queries);
+
+  std::vector<std::vector<BkNNResult>> BooleanKnnCnfBatch(
+      std::span<const CnfQuery> queries);
+
+  std::vector<std::vector<TopKResult>> TopKBatch(
+      std::span<const TopKQuery> queries);
+
+  /// Generic parallel loop: fn(processor, i) runs once for every
+  /// i in [0, count), each call on some pool slot's processor. fn must
+  /// only write state owned by index i.
+  void ForEach(std::size_t count,
+               const std::function<void(QueryProcessor&, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(std::size_t slot);
+  void RunJob(std::size_t slot);
+  QueryProcessor& ProcessorFor(std::size_t slot);
+  void RefreshIfStale();
+
+  ProcessorFactory factory_;
+  KSpin* engine_ = nullptr;  // Only set by the KSpin convenience ctor.
+  std::uint64_t engine_generation_ = 0;
+  unsigned num_threads_;
+  std::vector<std::unique_ptr<QueryProcessor>> processors_;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off. `job_` and `job_count_` are published under `mutex_`
+  // before the epoch bump; workers observe the bump under the same mutex,
+  // which establishes the happens-before for the lock-free claiming loop.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t job_epoch_ = 0;
+  bool shutting_down_ = false;
+  const std::function<void(QueryProcessor&, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  std::size_t workers_running_ = 0;
+};
+
+}  // namespace kspin
+
+#endif  // KSPIN_SERVICE_PARALLEL_EXECUTOR_H_

@@ -77,4 +77,58 @@ std::vector<PoiResult> PoiService::SearchRanked(std::string_view query,
   return results;
 }
 
+ParallelQueryExecutor& PoiService::Executor(unsigned num_threads) {
+  if (executor_ == nullptr ||
+      (num_threads != 0 && executor_->NumThreads() != num_threads)) {
+    executor_ =
+        std::make_unique<ParallelQueryExecutor>(*engine_, num_threads);
+  }
+  return *executor_;
+}
+
+std::vector<std::vector<PoiResult>> PoiService::SearchBatch(
+    std::span<const BatchQuery> queries, unsigned num_threads) {
+  // Parse serially so syntax errors surface deterministically up front.
+  std::vector<ParallelQueryExecutor::CnfQuery> batch(queries.size());
+  ParseOptions options;
+  options.allow_unknown_keywords = true;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batch[i].vertex = queries[i].from;
+    batch[i].k = queries[i].k;
+    batch[i].clauses =
+        ParseBooleanQuery(queries[i].query, vocabulary_, options).clauses;
+  }
+  std::vector<std::vector<PoiResult>> results(queries.size());
+  const auto raw = Executor(num_threads).BooleanKnnCnfBatch(batch);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (const BkNNResult& r : raw[i]) {
+      results[i].push_back({r.object, names_[r.object], r.distance, 0.0});
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<PoiResult>> PoiService::SearchRankedBatch(
+    std::span<const BatchQuery> queries, unsigned num_threads) {
+  std::vector<ParallelQueryExecutor::TopKQuery> batch(queries.size());
+  ParseOptions options;
+  options.allow_unknown_keywords = true;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    batch[i].vertex = queries[i].from;
+    batch[i].k = queries[i].k;
+    batch[i].keywords =
+        ParseBooleanQuery(queries[i].query, vocabulary_, options)
+            .AllKeywords();
+  }
+  std::vector<std::vector<PoiResult>> results(queries.size());
+  const auto raw = Executor(num_threads).TopKBatch(batch);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (const TopKResult& r : raw[i]) {
+      results[i].push_back({r.object, names_[r.object], r.distance,
+                            r.score});
+    }
+  }
+  return results;
+}
+
 }  // namespace kspin

@@ -1,0 +1,296 @@
+// Concurrency tests: parallel batch execution must return exactly the
+// results of serial execution, for every query, on every oracle backend —
+// and must do so without data races (this test is part of the TSan CI
+// job). The Dijkstra oracle doubles as the distance ground truth.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kspin/kspin.h"
+#include "kspin/query_processor.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "routing/hub_labeling.h"
+#include "service/parallel_executor.h"
+#include "service/poi_service.h"
+#include "test_util.h"
+
+namespace kspin {
+namespace {
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint32_t kNumKeywords = 60;
+
+// Deterministic mixed workload over the test keyword universe.
+std::vector<ParallelQueryExecutor::BooleanKnnQuery> BknnWorkload(
+    const Graph& graph, std::size_t count) {
+  std::vector<ParallelQueryExecutor::BooleanKnnQuery> queries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queries[i].vertex =
+        static_cast<VertexId>((i * 37 + 5) % graph.NumVertices());
+    queries[i].k = 3 + static_cast<std::uint32_t>(i % 5);
+    queries[i].keywords = {static_cast<KeywordId>(i % kNumKeywords),
+                           static_cast<KeywordId>((i * 7 + 3) % kNumKeywords)};
+    queries[i].op = (i % 3 == 0) ? BooleanOp::kConjunctive
+                                 : BooleanOp::kDisjunctive;
+  }
+  return queries;
+}
+
+std::vector<ParallelQueryExecutor::TopKQuery> TopKWorkload(
+    const Graph& graph, std::size_t count) {
+  std::vector<ParallelQueryExecutor::TopKQuery> queries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queries[i].vertex =
+        static_cast<VertexId>((i * 53 + 11) % graph.NumVertices());
+    queries[i].k = 2 + static_cast<std::uint32_t>(i % 6);
+    queries[i].keywords = {static_cast<KeywordId>((i * 5) % kNumKeywords),
+                           static_cast<KeywordId>((i * 11 + 1) % kNumKeywords),
+                           static_cast<KeywordId>((i * 3 + 7) % kNumKeywords)};
+  }
+  return queries;
+}
+
+void ExpectSameTopK(const std::vector<TopKResult>& a,
+                    const std::vector<TopKResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+    // Scores come from identical arithmetic on identical inputs, so exact
+    // floating-point equality is the assertion, not a tolerance.
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].relevance, b[i].relevance);
+  }
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest()
+      : graph_(testing::SmallRoadNetwork()),
+        store_(testing::TestDocuments(graph_, kNumKeywords)) {}
+
+  Graph graph_;
+  DocumentStore store_;
+};
+
+TEST_F(ConcurrencyTest, ParallelBatchMatchesSerialOnDijkstra) {
+  DijkstraOracle oracle(graph_);
+  KSpin engine(graph_, store_, oracle);
+  const auto bknn = BknnWorkload(graph_, 48);
+  const auto topk = TopKWorkload(graph_, 48);
+
+  ParallelQueryExecutor executor(engine, kThreads);
+  const auto parallel_bknn = executor.BooleanKnnBatch(bknn);
+  const auto parallel_topk = executor.TopKBatch(topk);
+
+  for (std::size_t i = 0; i < bknn.size(); ++i) {
+    const auto serial = engine.BooleanKnn(bknn[i].vertex, bknn[i].k,
+                                          bknn[i].keywords, bknn[i].op);
+    EXPECT_EQ(parallel_bknn[i], serial) << "bknn query " << i;
+  }
+  for (std::size_t i = 0; i < topk.size(); ++i) {
+    const auto serial =
+        engine.TopK(topk[i].vertex, topk[i].k, topk[i].keywords);
+    ExpectSameTopK(parallel_topk[i], serial);
+  }
+}
+
+TEST_F(ConcurrencyTest, ChBackendMatchesSerialAndDijkstraGroundTruth) {
+  DijkstraOracle dijkstra_oracle(graph_);
+  KSpin dijkstra_engine(graph_, store_, dijkstra_oracle);
+  ContractionHierarchy ch(graph_);
+  ChOracle ch_oracle(ch);
+  KSpin ch_engine(graph_, store_, ch_oracle);
+
+  const auto bknn = BknnWorkload(graph_, 40);
+  ParallelQueryExecutor executor(ch_engine, kThreads);
+  const auto parallel = executor.BooleanKnnBatch(bknn);
+  for (std::size_t i = 0; i < bknn.size(); ++i) {
+    const auto serial = ch_engine.BooleanKnn(bknn[i].vertex, bknn[i].k,
+                                             bknn[i].keywords, bknn[i].op);
+    EXPECT_EQ(parallel[i], serial) << "bknn query " << i;
+    // CH distances are exact: ground-truth them against Dijkstra.
+    const auto truth = dijkstra_engine.BooleanKnn(
+        bknn[i].vertex, bknn[i].k, bknn[i].keywords, bknn[i].op);
+    EXPECT_EQ(parallel[i], truth) << "bknn query " << i;
+  }
+}
+
+TEST_F(ConcurrencyTest, HubLabelBackendMatchesSerial) {
+  ContractionHierarchy ch(graph_);
+  HubLabeling labels(graph_, ch);
+  HubLabelOracle oracle(labels);
+  KSpin engine(graph_, store_, oracle);
+
+  const auto topk = TopKWorkload(graph_, 40);
+  ParallelQueryExecutor executor(engine, kThreads);
+  const auto parallel = executor.TopKBatch(topk);
+  for (std::size_t i = 0; i < topk.size(); ++i) {
+    const auto serial =
+        engine.TopK(topk[i].vertex, topk[i].k, topk[i].keywords);
+    ExpectSameTopK(parallel[i], serial);
+  }
+}
+
+// Raw std::thread fan-out over MakeProcessor, no executor involved: the
+// oracle index and every K-SPIN structure are shared, each thread owns its
+// processor, and everyone runs the SAME workload simultaneously — maximum
+// overlap on the shared structures for TSan to chew on.
+TEST_F(ConcurrencyTest, IndependentProcessorsShareOneEngine) {
+  ContractionHierarchy ch(graph_);
+  ChOracle oracle(ch);
+  KSpin engine(graph_, store_, oracle);
+
+  const auto bknn = BknnWorkload(graph_, 24);
+  const auto topk = TopKWorkload(graph_, 24);
+
+  std::vector<std::vector<BkNNResult>> expected_bknn;
+  std::vector<std::vector<TopKResult>> expected_topk;
+  for (const auto& q : bknn) {
+    expected_bknn.push_back(engine.BooleanKnn(q.vertex, q.k, q.keywords,
+                                              q.op));
+  }
+  for (const auto& q : topk) {
+    expected_topk.push_back(engine.TopK(q.vertex, q.k, q.keywords));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto processor = engine.MakeProcessor();
+      for (std::size_t i = 0; i < bknn.size(); ++i) {
+        const auto& q = bknn[i];
+        if (processor->BooleanKnn(q.vertex, q.k, q.keywords, q.op) !=
+            expected_bknn[i]) {
+          ++mismatches[t];
+        }
+      }
+      for (std::size_t i = 0; i < topk.size(); ++i) {
+        const auto& q = topk[i];
+        const auto got = processor->TopK(q.vertex, q.k, q.keywords);
+        if (got.size() != expected_topk[i].size()) {
+          ++mismatches[t];
+          continue;
+        }
+        for (std::size_t j = 0; j < got.size(); ++j) {
+          if (got[j].object != expected_topk[i][j].object ||
+              got[j].distance != expected_topk[i][j].distance ||
+              got[j].score != expected_topk[i][j].score) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST_F(ConcurrencyTest, PoiServiceBatchMatchesSerial) {
+  DijkstraOracle oracle(graph_);
+  PoiService service(graph_, oracle);
+  const std::vector<std::string> tags = {"cafe", "thai",   "bar",
+                                         "museum", "park", "hotel"};
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const std::vector<std::string> keywords = {
+        tags[i % tags.size()], tags[(i * 3 + 1) % tags.size()]};
+    service.AddPoi("poi" + std::to_string(i),
+                   static_cast<VertexId>((i * 17 + 2) % graph_.NumVertices()),
+                   keywords);
+  }
+
+  std::vector<PoiService::BatchQuery> queries;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    queries.push_back(
+        {"thai and (bar or cafe)",
+         static_cast<VertexId>((i * 41 + 3) % graph_.NumVertices()),
+         3 + i % 4});
+    queries.push_back(
+        {"park or museum or hotel",
+         static_cast<VertexId>((i * 29 + 7) % graph_.NumVertices()),
+         2 + i % 5});
+  }
+
+  const auto batch = service.SearchBatch(queries, kThreads);
+  const auto ranked = service.SearchRankedBatch(queries, kThreads);
+  ASSERT_EQ(batch.size(), queries.size());
+  ASSERT_EQ(ranked.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto serial =
+        service.Search(queries[i].query, queries[i].from, queries[i].k);
+    ASSERT_EQ(batch[i].size(), serial.size()) << "query " << i;
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, serial[j].id);
+      EXPECT_EQ(batch[i][j].name, serial[j].name);
+      EXPECT_EQ(batch[i][j].travel_time, serial[j].travel_time);
+    }
+    const auto serial_ranked = service.SearchRanked(queries[i].query,
+                                                    queries[i].from,
+                                                    queries[i].k);
+    ASSERT_EQ(ranked[i].size(), serial_ranked.size()) << "query " << i;
+    for (std::size_t j = 0; j < serial_ranked.size(); ++j) {
+      EXPECT_EQ(ranked[i][j].id, serial_ranked[j].id);
+      EXPECT_EQ(ranked[i][j].travel_time, serial_ranked[j].travel_time);
+      EXPECT_EQ(ranked[i][j].score, serial_ranked[j].score);
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, ExecutorSurvivesEngineRebuild) {
+  DijkstraOracle oracle(graph_);
+  KSpin engine(graph_, store_, oracle);
+  ParallelQueryExecutor executor(engine, kThreads);
+
+  const auto before = BknnWorkload(graph_, 8);
+  const auto first = executor.BooleanKnnBatch(before);
+  ASSERT_EQ(first.size(), before.size());
+
+  // Growing the keyword universe rebuilds the inverted index / relevance
+  // model and bumps StructureGeneration; the executor must re-create its
+  // processors instead of dereferencing the dead components.
+  const std::uint64_t generation = engine.StructureGeneration();
+  engine.InsertObject(3, {{kNumKeywords + 5, 1}});
+  ASSERT_NE(engine.StructureGeneration(), generation);
+
+  std::vector<ParallelQueryExecutor::BooleanKnnQuery> after(4);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    after[i].vertex = static_cast<VertexId>(i * 19 + 1);
+    after[i].k = 4;
+    after[i].keywords = {static_cast<KeywordId>(kNumKeywords + 5)};
+    after[i].op = BooleanOp::kDisjunctive;
+  }
+  const auto results = executor.BooleanKnnBatch(after);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const auto serial = engine.BooleanKnn(after[i].vertex, after[i].k,
+                                          after[i].keywords, after[i].op);
+    EXPECT_EQ(results[i], serial);
+  }
+}
+
+TEST_F(ConcurrencyTest, EmptyAndSingleThreadBatches) {
+  DijkstraOracle oracle(graph_);
+  KSpin engine(graph_, store_, oracle);
+
+  ParallelQueryExecutor single(engine, 1);
+  EXPECT_EQ(single.NumThreads(), 1u);
+  EXPECT_TRUE(
+      single.BooleanKnnBatch(std::vector<ParallelQueryExecutor::BooleanKnnQuery>{})
+          .empty());
+
+  const auto bknn = BknnWorkload(graph_, 12);
+  const auto results = single.BooleanKnnBatch(bknn);
+  for (std::size_t i = 0; i < bknn.size(); ++i) {
+    const auto serial = engine.BooleanKnn(bknn[i].vertex, bknn[i].k,
+                                          bknn[i].keywords, bknn[i].op);
+    EXPECT_EQ(results[i], serial);
+  }
+}
+
+}  // namespace
+}  // namespace kspin
