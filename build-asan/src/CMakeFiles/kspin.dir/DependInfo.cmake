@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fs_fbs.cc" "src/CMakeFiles/kspin.dir/baselines/fs_fbs.cc.o" "gcc" "src/CMakeFiles/kspin.dir/baselines/fs_fbs.cc.o.d"
+  "/root/repo/src/baselines/gtree_spatial_keyword.cc" "src/CMakeFiles/kspin.dir/baselines/gtree_spatial_keyword.cc.o" "gcc" "src/CMakeFiles/kspin.dir/baselines/gtree_spatial_keyword.cc.o.d"
+  "/root/repo/src/baselines/ir_tree.cc" "src/CMakeFiles/kspin.dir/baselines/ir_tree.cc.o" "gcc" "src/CMakeFiles/kspin.dir/baselines/ir_tree.cc.o.d"
+  "/root/repo/src/baselines/network_expansion.cc" "src/CMakeFiles/kspin.dir/baselines/network_expansion.cc.o" "gcc" "src/CMakeFiles/kspin.dir/baselines/network_expansion.cc.o.d"
+  "/root/repo/src/baselines/road.cc" "src/CMakeFiles/kspin.dir/baselines/road.cc.o" "gcc" "src/CMakeFiles/kspin.dir/baselines/road.cc.o.d"
+  "/root/repo/src/common/morton.cc" "src/CMakeFiles/kspin.dir/common/morton.cc.o" "gcc" "src/CMakeFiles/kspin.dir/common/morton.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/kspin.dir/common/random.cc.o" "gcc" "src/CMakeFiles/kspin.dir/common/random.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/kspin.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/kspin.dir/common/timer.cc.o.d"
+  "/root/repo/src/graph/dimacs_io.cc" "src/CMakeFiles/kspin.dir/graph/dimacs_io.cc.o" "gcc" "src/CMakeFiles/kspin.dir/graph/dimacs_io.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/kspin.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/kspin.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/kspin.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/kspin.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/road_network_generator.cc" "src/CMakeFiles/kspin.dir/graph/road_network_generator.cc.o" "gcc" "src/CMakeFiles/kspin.dir/graph/road_network_generator.cc.o.d"
+  "/root/repo/src/io/serialization.cc" "src/CMakeFiles/kspin.dir/io/serialization.cc.o" "gcc" "src/CMakeFiles/kspin.dir/io/serialization.cc.o.d"
+  "/root/repo/src/kspin/inverted_heap.cc" "src/CMakeFiles/kspin.dir/kspin/inverted_heap.cc.o" "gcc" "src/CMakeFiles/kspin.dir/kspin/inverted_heap.cc.o.d"
+  "/root/repo/src/kspin/keyword_index.cc" "src/CMakeFiles/kspin.dir/kspin/keyword_index.cc.o" "gcc" "src/CMakeFiles/kspin.dir/kspin/keyword_index.cc.o.d"
+  "/root/repo/src/kspin/knn_engine.cc" "src/CMakeFiles/kspin.dir/kspin/knn_engine.cc.o" "gcc" "src/CMakeFiles/kspin.dir/kspin/knn_engine.cc.o.d"
+  "/root/repo/src/kspin/kspin.cc" "src/CMakeFiles/kspin.dir/kspin/kspin.cc.o" "gcc" "src/CMakeFiles/kspin.dir/kspin/kspin.cc.o.d"
+  "/root/repo/src/kspin/query_processor.cc" "src/CMakeFiles/kspin.dir/kspin/query_processor.cc.o" "gcc" "src/CMakeFiles/kspin.dir/kspin/query_processor.cc.o.d"
+  "/root/repo/src/nvd/apx_nvd.cc" "src/CMakeFiles/kspin.dir/nvd/apx_nvd.cc.o" "gcc" "src/CMakeFiles/kspin.dir/nvd/apx_nvd.cc.o.d"
+  "/root/repo/src/nvd/nvd.cc" "src/CMakeFiles/kspin.dir/nvd/nvd.cc.o" "gcc" "src/CMakeFiles/kspin.dir/nvd/nvd.cc.o.d"
+  "/root/repo/src/nvd/nvd_updates.cc" "src/CMakeFiles/kspin.dir/nvd/nvd_updates.cc.o" "gcc" "src/CMakeFiles/kspin.dir/nvd/nvd_updates.cc.o.d"
+  "/root/repo/src/nvd/quadtree.cc" "src/CMakeFiles/kspin.dir/nvd/quadtree.cc.o" "gcc" "src/CMakeFiles/kspin.dir/nvd/quadtree.cc.o.d"
+  "/root/repo/src/nvd/rtree.cc" "src/CMakeFiles/kspin.dir/nvd/rtree.cc.o" "gcc" "src/CMakeFiles/kspin.dir/nvd/rtree.cc.o.d"
+  "/root/repo/src/routing/alt.cc" "src/CMakeFiles/kspin.dir/routing/alt.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/alt.cc.o.d"
+  "/root/repo/src/routing/contraction_hierarchy.cc" "src/CMakeFiles/kspin.dir/routing/contraction_hierarchy.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/routing/dijkstra.cc" "src/CMakeFiles/kspin.dir/routing/dijkstra.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/dijkstra.cc.o.d"
+  "/root/repo/src/routing/gtree.cc" "src/CMakeFiles/kspin.dir/routing/gtree.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/gtree.cc.o.d"
+  "/root/repo/src/routing/hub_labeling.cc" "src/CMakeFiles/kspin.dir/routing/hub_labeling.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/hub_labeling.cc.o.d"
+  "/root/repo/src/routing/lower_bound.cc" "src/CMakeFiles/kspin.dir/routing/lower_bound.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/lower_bound.cc.o.d"
+  "/root/repo/src/routing/partitioner.cc" "src/CMakeFiles/kspin.dir/routing/partitioner.cc.o" "gcc" "src/CMakeFiles/kspin.dir/routing/partitioner.cc.o.d"
+  "/root/repo/src/service/parallel_executor.cc" "src/CMakeFiles/kspin.dir/service/parallel_executor.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/parallel_executor.cc.o.d"
+  "/root/repo/src/service/poi_service.cc" "src/CMakeFiles/kspin.dir/service/poi_service.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/poi_service.cc.o.d"
+  "/root/repo/src/service/query_parser.cc" "src/CMakeFiles/kspin.dir/service/query_parser.cc.o" "gcc" "src/CMakeFiles/kspin.dir/service/query_parser.cc.o.d"
+  "/root/repo/src/text/category_generator.cc" "src/CMakeFiles/kspin.dir/text/category_generator.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/category_generator.cc.o.d"
+  "/root/repo/src/text/document_store.cc" "src/CMakeFiles/kspin.dir/text/document_store.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/document_store.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/kspin.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/query_workload.cc" "src/CMakeFiles/kspin.dir/text/query_workload.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/query_workload.cc.o.d"
+  "/root/repo/src/text/relevance.cc" "src/CMakeFiles/kspin.dir/text/relevance.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/relevance.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/kspin.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/text/zipf_generator.cc" "src/CMakeFiles/kspin.dir/text/zipf_generator.cc.o" "gcc" "src/CMakeFiles/kspin.dir/text/zipf_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

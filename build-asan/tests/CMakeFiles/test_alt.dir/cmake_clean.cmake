@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alt.dir/test_alt.cc.o"
+  "CMakeFiles/test_alt.dir/test_alt.cc.o.d"
+  "test_alt"
+  "test_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

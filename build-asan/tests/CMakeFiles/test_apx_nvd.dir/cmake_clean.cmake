@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apx_nvd.dir/test_apx_nvd.cc.o"
+  "CMakeFiles/test_apx_nvd.dir/test_apx_nvd.cc.o.d"
+  "test_apx_nvd"
+  "test_apx_nvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apx_nvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_category_generator.dir/test_category_generator.cc.o"
+  "CMakeFiles/test_category_generator.dir/test_category_generator.cc.o.d"
+  "test_category_generator"
+  "test_category_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_category_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

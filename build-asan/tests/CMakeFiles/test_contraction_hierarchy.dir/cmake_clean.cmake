@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contraction_hierarchy.dir/test_contraction_hierarchy.cc.o"
+  "CMakeFiles/test_contraction_hierarchy.dir/test_contraction_hierarchy.cc.o.d"
+  "test_contraction_hierarchy"
+  "test_contraction_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contraction_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtree.dir/test_gtree.cc.o"
+  "CMakeFiles/test_gtree.dir/test_gtree.cc.o.d"
+  "test_gtree"
+  "test_gtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hub_labeling.dir/test_hub_labeling.cc.o"
+  "CMakeFiles/test_hub_labeling.dir/test_hub_labeling.cc.o.d"
+  "test_hub_labeling"
+  "test_hub_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hub_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

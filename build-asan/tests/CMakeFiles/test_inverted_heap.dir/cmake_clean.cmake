@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverted_heap.dir/test_inverted_heap.cc.o"
+  "CMakeFiles/test_inverted_heap.dir/test_inverted_heap.cc.o.d"
+  "test_inverted_heap"
+  "test_inverted_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverted_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_tree.dir/test_ir_tree.cc.o"
+  "CMakeFiles/test_ir_tree.dir/test_ir_tree.cc.o.d"
+  "test_ir_tree"
+  "test_ir_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

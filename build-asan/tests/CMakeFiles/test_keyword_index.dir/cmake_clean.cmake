@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyword_index.dir/test_keyword_index.cc.o"
+  "CMakeFiles/test_keyword_index.dir/test_keyword_index.cc.o.d"
+  "test_keyword_index"
+  "test_keyword_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyword_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

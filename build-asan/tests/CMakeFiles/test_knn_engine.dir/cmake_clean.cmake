@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn_engine.dir/test_knn_engine.cc.o"
+  "CMakeFiles/test_knn_engine.dir/test_knn_engine.cc.o.d"
+  "test_knn_engine"
+  "test_knn_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kspin.dir/test_kspin.cc.o"
+  "CMakeFiles/test_kspin.dir/test_kspin.cc.o.d"
+  "test_kspin"
+  "test_kspin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kspin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvd.dir/test_nvd.cc.o"
+  "CMakeFiles/test_nvd.dir/test_nvd.cc.o.d"
+  "test_nvd"
+  "test_nvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

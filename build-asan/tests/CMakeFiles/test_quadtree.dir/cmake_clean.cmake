@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quadtree.dir/test_quadtree.cc.o"
+  "CMakeFiles/test_quadtree.dir/test_quadtree.cc.o.d"
+  "test_quadtree"
+  "test_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_processor.dir/test_query_processor.cc.o"
+  "CMakeFiles/test_query_processor.dir/test_query_processor.cc.o.d"
+  "test_query_processor"
+  "test_query_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

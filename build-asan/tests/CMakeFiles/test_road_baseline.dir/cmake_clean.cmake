@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_road_baseline.dir/test_road_baseline.cc.o"
+  "CMakeFiles/test_road_baseline.dir/test_road_baseline.cc.o.d"
+  "test_road_baseline"
+  "test_road_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_road_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text.dir/test_text.cc.o"
+  "CMakeFiles/test_text.dir/test_text.cc.o.d"
+  "test_text"
+  "test_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspin_cli.dir/kspin_cli.cc.o"
+  "CMakeFiles/kspin_cli.dir/kspin_cli.cc.o.d"
+  "kspin_cli"
+  "kspin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
