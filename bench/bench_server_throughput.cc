@@ -1,0 +1,150 @@
+// Serving-layer throughput: closed-loop clients against an in-process
+// kspin_server over loopback TCP, sweeping client concurrency.
+//
+//   bench_server_throughput [--quick]
+//
+// Each client thread owns one connection and issues back-to-back boolean
+// and ranked searches drawn from a fixed query mix. Reported per
+// concurrency level: aggregate QPS, client-observed mean / p50 / p99
+// latency (microseconds), and the server's own p99 from STATS — the gap
+// between the two is queueing + wire overhead.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/road_network_generator.h"
+#include "routing/contraction_hierarchy.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "service/poi_service.h"
+#include "service/synthetic_catalog.h"
+
+namespace kspin::bench {
+namespace {
+
+struct QueryCase {
+  std::string query;
+  VertexId from;
+  std::uint32_t k;
+  bool ranked;
+};
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  RoadNetworkOptions road;
+  road.grid_width = quick ? 30 : 60;
+  road.grid_height = quick ? 30 : 60;
+  road.seed = 5;
+  const Graph graph = GenerateRoadNetwork(road);
+  ContractionHierarchy ch(graph);
+  ChOracle oracle(ch);
+  PoiService service(graph, oracle);
+
+  SyntheticCatalogOptions catalog;
+  catalog.num_pois = quick ? 300 : 2000;
+  catalog.num_keywords = 40;
+  PopulateSyntheticCatalog(service, graph, catalog);
+
+  server::Server server(service);
+  server.Start();
+
+  const std::size_t num_vertices = graph.NumVertices();
+  const std::vector<QueryCase> mix = {
+      {"kw0", static_cast<VertexId>(num_vertices / 7), 10, false},
+      {"kw1 or kw2", static_cast<VertexId>(num_vertices / 3), 10, false},
+      {"kw0 and kw3", static_cast<VertexId>(num_vertices / 2), 10, false},
+      {"(kw1 and kw2) or kw4", static_cast<VertexId>(num_vertices / 5), 10,
+       false},
+      {"kw0 kw1", static_cast<VertexId>(num_vertices / 4), 10, true},
+      {"kw2 kw5 kw9", static_cast<VertexId>(2 * num_vertices / 3), 10,
+       true},
+  };
+
+  std::printf("# bench_server_throughput: loopback TCP, closed-loop "
+              "clients, |V|=%zu, %zu POIs\n",
+              num_vertices, service.NumLivePois());
+  std::printf("clients\tqps\tmean_us\tp50_us\tp99_us\tserver_p99_us\n");
+
+  const double seconds_per_level = quick ? 0.5 : 2.0;
+  for (const int clients : {1, 2, 4, 8}) {
+    std::atomic<std::uint64_t> total_queries{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<std::uint64_t>> latencies(clients);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        server::Client client;
+        client.Connect("127.0.0.1", server.Port());
+        auto& local = latencies[t];
+        std::size_t next = static_cast<std::size_t>(t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const QueryCase& q = mix[next++ % mix.size()];
+          const auto begin = std::chrono::steady_clock::now();
+          const auto reply =
+              client.Search(q.query, q.from, q.k, q.ranked);
+          const auto end = std::chrono::steady_clock::now();
+          if (!reply.ok()) continue;
+          local.push_back(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                    begin)
+                  .count()));
+          total_queries.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds_per_level));
+    stop = true;
+    for (auto& thread : threads) thread.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::vector<std::uint64_t> all;
+    for (auto& local : latencies) {
+      all.insert(all.end(), local.begin(), local.end());
+    }
+    std::sort(all.begin(), all.end());
+    auto percentile = [&all](double p) -> std::uint64_t {
+      if (all.empty()) return 0;
+      const std::size_t index = std::min(
+          all.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(all.size())));
+      return all[index];
+    };
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : all) sum += v;
+
+    server::Client probe;
+    probe.Connect("127.0.0.1", server.Port());
+    const auto stats = probe.Stats();
+
+    std::printf("%d\t%.0f\t%llu\t%llu\t%llu\t%llu\n", clients,
+                static_cast<double>(total_queries.load()) / elapsed,
+                static_cast<unsigned long long>(
+                    all.empty() ? 0 : sum / all.size()),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.99)),
+                static_cast<unsigned long long>(
+                    stats.Value("query_latency_p99_us")));
+  }
+
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::bench
+
+int main(int argc, char** argv) { return kspin::bench::Main(argc, argv); }

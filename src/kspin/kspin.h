@@ -59,27 +59,29 @@ class KSpin {
 
   // ----- Queries ---------------------------------------------------------
 
-  /// Boolean kNN (Section 4.1). Exact.
+  /// Boolean kNN (Section 4.1). Exact. A non-null `control` is polled
+  /// cooperatively; expiry throws QueryCancelledError.
   std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
                                      std::span<const KeywordId> keywords,
-                                     BooleanOp op,
-                                     QueryStats* stats = nullptr) {
-    return processor_->BooleanKnn(q, k, keywords, op, stats);
+                                     BooleanOp op, QueryStats* stats = nullptr,
+                                     const QueryControl* control = nullptr) {
+    return processor_->BooleanKnn(q, k, keywords, op, stats, control);
   }
 
   /// Mixed-operator Boolean kNN over a conjunction of disjunctive clauses.
   std::vector<BkNNResult> BooleanKnnCnf(
       VertexId q, std::uint32_t k,
       std::span<const std::vector<KeywordId>> clauses,
-      QueryStats* stats = nullptr) {
-    return processor_->BooleanKnnCnf(q, k, clauses, stats);
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr) {
+    return processor_->BooleanKnnCnf(q, k, clauses, stats, control);
   }
 
   /// Top-k spatial keyword query (Section 4.2). Exact.
   std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
                                std::span<const KeywordId> keywords,
-                               QueryStats* stats = nullptr) {
-    return processor_->TopK(q, k, keywords, stats);
+                               QueryStats* stats = nullptr,
+                               const QueryControl* control = nullptr) {
+    return processor_->TopK(q, k, keywords, stats, control);
   }
 
   /// Top-k with an explicit scoring function (weighted distance or
@@ -87,8 +89,9 @@ class KSpin {
   std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
                                std::span<const KeywordId> keywords,
                                const ScoringFunction& scoring,
-                               QueryStats* stats = nullptr) {
-    return processor_->TopK(q, k, keywords, scoring, stats);
+                               QueryStats* stats = nullptr,
+                               const QueryControl* control = nullptr) {
+    return processor_->TopK(q, k, keywords, scoring, stats, control);
   }
 
   // ----- Updates (Section 6.2) -------------------------------------------
@@ -130,6 +133,7 @@ class KSpin {
 
   // ----- Component access --------------------------------------------------
 
+  const Graph& NetworkGraph() const { return graph_; }
   const DocumentStore& Store() const { return store_; }
   const InvertedIndex& Inverted() const { return *inverted_; }
   const RelevanceModel& Relevance() const { return *relevance_; }

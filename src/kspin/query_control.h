@@ -1,0 +1,67 @@
+// Cooperative deadline / cancellation for long-running queries.
+//
+// A QueryControl is owned by the caller (a network server enforcing a
+// per-request deadline, a UI thread cancelling a superseded search) and
+// passed by pointer into the query algorithms, which poll Expired() at
+// loop boundaries. Expiry aborts the query by throwing
+// QueryCancelledError — a query either completes exactly or not at all;
+// there are no silently truncated result sets.
+#ifndef KSPIN_KSPIN_QUERY_CONTROL_H_
+#define KSPIN_KSPIN_QUERY_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace kspin {
+
+/// Thrown by query algorithms when their QueryControl expires mid-search.
+class QueryCancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Deadline and/or cancellation flag for one query. Either trigger may be
+/// unset. The control must outlive the query it governs; the cancel flag
+/// may be set from any thread.
+struct QueryControl {
+  /// Absolute deadline; time_point{} (the epoch default) means "none".
+  std::chrono::steady_clock::time_point deadline{};
+  /// Optional external cancel flag (e.g. flipped on connection close).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// True once the deadline has passed or the cancel flag is set.
+  bool Expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// Convenience: a control expiring `ms` milliseconds from now.
+  static QueryControl AfterMillis(std::uint64_t ms) {
+    QueryControl control;
+    control.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return control;
+  }
+};
+
+namespace detail {
+
+/// Polls `control` (if any) every `kCheckInterval` calls; call with
+/// `count == 0` to force an immediate check so already-expired controls
+/// abort before any work. Throws QueryCancelledError on expiry.
+inline void CheckControl(const QueryControl* control, std::uint64_t count) {
+  constexpr std::uint64_t kCheckInterval = 16;
+  if (control == nullptr || count % kCheckInterval != 0) return;
+  if (control->Expired()) {
+    throw QueryCancelledError("query deadline exceeded or cancelled");
+  }
+}
+
+}  // namespace detail
+}  // namespace kspin
+
+#endif  // KSPIN_KSPIN_QUERY_CONTROL_H_

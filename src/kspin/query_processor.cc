@@ -65,7 +65,9 @@ std::vector<KeywordId> Deduplicate(std::span<const KeywordId> keywords) {
 template <typename SatisfiesFn>
 std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
     VertexId q, std::uint32_t k, std::vector<InvertedHeap>& heaps,
-    const SatisfiesFn& satisfies, QueryStats* stats) {
+    const SatisfiesFn& satisfies, QueryStats* stats,
+    const QueryControl* control) {
+  detail::CheckControl(control, 0);  // Abort before any work if expired.
   QueryStats local;
   BestK<Distance, ObjectId> best(k);
   oracle_.BeginSourceBatch(*oracle_workspace_, q);
@@ -92,7 +94,7 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
     std::pop_heap(pq.begin(), pq.end(), greater);
     pq.pop_back();
     InvertedHeap::Candidate c = heaps[i].ExtractMin();
-    ++local.candidates_extracted;
+    detail::CheckControl(control, ++local.candidates_extracted);
     if (!heaps[i].Empty()) {
       pq.push_back({heaps[i].MinKey(), static_cast<std::uint32_t>(i)});
       std::push_heap(pq.begin(), pq.end(), greater);
@@ -125,11 +127,11 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
 
 std::vector<BkNNResult> QueryProcessor::BooleanKnn(
     VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
-    BooleanOp op, QueryStats* stats) {
+    BooleanOp op, QueryStats* stats, const QueryControl* control) {
   if (k == 0 || keywords.empty()) return {};
   const std::vector<KeywordId> unique = Deduplicate(keywords);
   if (op == BooleanOp::kConjunctive) {
-    return ConjunctiveKnn(q, k, unique, stats);
+    return ConjunctiveKnn(q, k, unique, stats, control);
   }
   workspace_.BeginQuery();
   std::vector<InvertedHeap>& heaps = workspace_.Heaps();
@@ -146,12 +148,12 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnn(
     }
     return false;
   };
-  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats, control);
 }
 
 std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
     VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
-    QueryStats* stats) {
+    QueryStats* stats, const QueryControl* control) {
   // Use only the heap of the least frequent keyword (Section 4.1.2): it
   // has the fewest candidates and every result must contain it.
   KeywordId rarest = keywords.front();
@@ -170,12 +172,13 @@ std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
     }
     return true;
   };
-  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats, control);
 }
 
 std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
     VertexId q, std::uint32_t k,
-    std::span<const std::vector<KeywordId>> clauses, QueryStats* stats) {
+    std::span<const std::vector<KeywordId>> clauses, QueryStats* stats,
+    const QueryControl* control) {
   if (k == 0 || clauses.empty()) return {};
   // Drive candidate generation with the clause of smallest total
   // inverted-list size (every result must satisfy it); filter candidates
@@ -209,13 +212,15 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
     }
     return true;
   };
-  return DisjunctiveSearch(q, k, heaps, satisfies, stats);
+  return DisjunctiveSearch(q, k, heaps, satisfies, stats, control);
 }
 
 std::vector<TopKResult> QueryProcessor::TopK(
     VertexId q, std::uint32_t k, std::span<const KeywordId> keywords,
-    const ScoringFunction& scoring, QueryStats* stats) {
+    const ScoringFunction& scoring, QueryStats* stats,
+    const QueryControl* control) {
   if (k == 0 || keywords.empty()) return {};
+  detail::CheckControl(control, 0);  // Abort before any work if expired.
   const std::vector<KeywordId> unique = Deduplicate(keywords);
   const PreparedQuery prepared = relevance_.PrepareQuery(unique);
 
@@ -271,7 +276,7 @@ std::vector<TopKResult> QueryProcessor::TopK(
     pq.pop_back();
     if (heaps[i].Empty()) continue;  // Stale entry for a drained heap.
     InvertedHeap::Candidate c = heaps[i].ExtractMin();
-    ++local.candidates_extracted;
+    detail::CheckControl(control, ++local.candidates_extracted);
     const double score = pseudo_lb(i);
     if (score != std::numeric_limits<double>::infinity()) {
       pq.push_back({score, static_cast<std::uint32_t>(i)});

@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "kspin/inverted_heap.h"
 #include "kspin/keyword_index.h"
+#include "kspin/query_control.h"
 #include "kspin/query_workspace.h"
 #include "routing/lower_bound.h"
 #include "routing/distance_oracle.h"
@@ -81,11 +82,12 @@ class QueryProcessor {
 
   /// Boolean kNN query (q, k, psi, op). Results ascend by distance (ties
   /// by object id). Fewer than k results are returned when fewer objects
-  /// satisfy the criteria.
+  /// satisfy the criteria. A non-null `control` is polled cooperatively;
+  /// expiry throws QueryCancelledError.
   std::vector<BkNNResult> BooleanKnn(VertexId q, std::uint32_t k,
                                      std::span<const KeywordId> keywords,
-                                     BooleanOp op,
-                                     QueryStats* stats = nullptr);
+                                     BooleanOp op, QueryStats* stats = nullptr,
+                                     const QueryControl* control = nullptr);
 
   /// Mixed-operator extension: conjunction of disjunctive clauses, e.g.
   /// {"thai"} AND {"takeaway" OR "restaurant"}. Each clause is a keyword
@@ -93,15 +95,16 @@ class QueryProcessor {
   std::vector<BkNNResult> BooleanKnnCnf(
       VertexId q, std::uint32_t k,
       std::span<const std::vector<KeywordId>> clauses,
-      QueryStats* stats = nullptr);
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr);
 
   /// Top-k spatial keyword query (Algorithm 3 with Algorithm 2's pseudo
   /// lower-bound scores) under the default weighted-distance scoring
   /// (Equation 1). Results ascend by score.
   std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
                                std::span<const KeywordId> keywords,
-                               QueryStats* stats = nullptr) {
-    return TopK(q, k, keywords, ScoringFunction{}, stats);
+                               QueryStats* stats = nullptr,
+                               const QueryControl* control = nullptr) {
+    return TopK(q, k, keywords, ScoringFunction{}, stats, control);
   }
 
   /// Top-k with an explicit scoring function (weighted distance or
@@ -111,7 +114,8 @@ class QueryProcessor {
   std::vector<TopKResult> TopK(VertexId q, std::uint32_t k,
                                std::span<const KeywordId> keywords,
                                const ScoringFunction& scoring,
-                               QueryStats* stats = nullptr);
+                               QueryStats* stats = nullptr,
+                               const QueryControl* control = nullptr);
 
   /// Incremental top-k: results are produced one at a time in ascending
   /// score order, so callers can paginate ("show 10 more") without
@@ -157,11 +161,13 @@ class QueryProcessor {
   std::vector<BkNNResult> DisjunctiveSearch(VertexId q, std::uint32_t k,
                                             std::vector<InvertedHeap>& heaps,
                                             const SatisfiesFn& satisfies,
-                                            QueryStats* stats);
+                                            QueryStats* stats,
+                                            const QueryControl* control);
 
   std::vector<BkNNResult> ConjunctiveKnn(VertexId q, std::uint32_t k,
                                          std::span<const KeywordId> keywords,
-                                         QueryStats* stats);
+                                         QueryStats* stats,
+                                         const QueryControl* control);
 
   const DocumentStore& store_;
   const InvertedIndex& inverted_;

@@ -1,0 +1,72 @@
+// Bounded MPMC admission queue: the server's load-shedding point.
+// Producers (the I/O thread) never block — a full queue is an immediate
+// OVERLOADED rejection. Consumers (workers) block until work arrives or
+// the queue is closed for shutdown.
+#ifndef KSPIN_SERVER_ADMISSION_QUEUE_H_
+#define KSPIN_SERVER_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace kspin::server {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  /// `capacity` 0 means "admit nothing" (every TryPush fails) — useful to
+  /// force the overload path in tests.
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking; false when the queue is full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed. Returns
+  /// nullopt only when closed *and* drained — pending work is always
+  /// delivered, which is what makes shutdown graceful.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all poppers; queued items still
+  /// drain through Pop().
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_ADMISSION_QUEUE_H_

@@ -1,0 +1,246 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kspin::server {
+namespace {
+
+/// Parses the status byte + optional error string off a response payload.
+/// On kOk the reader is left positioned at the result body.
+void ParseReplyEnvelope(PayloadReader& reader, Client::Reply* reply) {
+  reply->status = static_cast<StatusCode>(reader.U8());
+  if (!reader.ok()) {
+    throw ClientError("response payload missing status byte");
+  }
+  if (reply->status != StatusCode::kOk) {
+    reply->error = reader.String();
+    if (!reader.ok()) throw ClientError("malformed error response");
+  }
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ClientError("socket failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad; resolve it.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &found) != 0 ||
+        found == nullptr) {
+      Close();
+      throw ClientError("cannot resolve host " + host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    ::freeaddrinfo(found);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Close();
+    throw ClientError(std::string("connect failed: ") +
+                      std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::WriteAll(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("write failed: ") +
+                        std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::ReadExactly(std::uint8_t* out, std::size_t count) {
+  std::size_t got = 0;
+  while (got < count) {
+    const ssize_t n = ::read(fd_, out + got, count - got);
+    if (n == 0) throw ClientError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("read failed: ") +
+                        std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> Client::RoundTrip(
+    Opcode opcode, std::span<const std::uint8_t> payload,
+    std::uint32_t deadline_ms) {
+  if (fd_ < 0) throw ClientError("not connected");
+
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = next_request_id_++;
+  header.deadline_ms = deadline_ms;
+  WriteAll(EncodeFrame(header, payload));
+
+  std::uint8_t raw_header[kHeaderSize];
+  ReadExactly(raw_header, kHeaderSize);
+  FrameHeader response;
+  std::size_t frame_size = 0;
+  const DecodeResult decoded = TryDecodeFrame(
+      std::span<const std::uint8_t>(raw_header, kHeaderSize), &response,
+      &frame_size);
+  if (decoded != DecodeResult::kFrame &&
+      decoded != DecodeResult::kNeedMore) {
+    throw ClientError("malformed response frame header");
+  }
+  std::vector<std::uint8_t> body(response.payload_size);
+  ReadExactly(body.data(), body.size());
+
+  if (response.opcode == Opcode::kError) {
+    PayloadReader reader(body);
+    Reply reply;
+    ParseReplyEnvelope(reader, &reply);
+    throw ClientError("server closed connection: " + reply.error);
+  }
+  if (response.request_id != header.request_id ||
+      response.opcode != opcode) {
+    throw ClientError("response does not match request");
+  }
+  return body;
+}
+
+Client::Reply Client::Ping() {
+  const auto body = RoundTrip(Opcode::kPing, {});
+  PayloadReader reader(body);
+  Reply reply;
+  ParseReplyEnvelope(reader, &reply);
+  return reply;
+}
+
+std::uint64_t Client::StatsReply::Value(std::string_view key) const {
+  for (const auto& [name, value] : stats) {
+    if (name == key) return value;
+  }
+  return 0;
+}
+
+Client::StatsReply Client::Stats() {
+  const auto body = RoundTrip(Opcode::kStats, {});
+  PayloadReader reader(body);
+  StatsReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeStatsResponse(reader, &reply.stats)) {
+    throw ClientError("malformed stats response");
+  }
+  return reply;
+}
+
+Client::SearchReply Client::Search(std::string_view query, VertexId from,
+                                   std::uint32_t k, bool ranked,
+                                   std::uint32_t deadline_ms) {
+  SearchRequest request;
+  request.vertex = from;
+  request.k = k;
+  request.query = std::string(query);
+  const auto body = RoundTrip(
+      ranked ? Opcode::kSearchRanked : Opcode::kSearchBoolean,
+      EncodeSearchRequest(request), deadline_ms);
+  PayloadReader reader(body);
+  SearchReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeSearchResponse(reader, &reply.results)) {
+    throw ClientError("malformed search response");
+  }
+  return reply;
+}
+
+Client::AddPoiReply Client::AddPoi(std::string_view name, VertexId vertex,
+                                   std::span<const std::string> keywords) {
+  PoiAddRequest request;
+  request.vertex = vertex;
+  request.name = std::string(name);
+  request.keywords.assign(keywords.begin(), keywords.end());
+  const auto body =
+      RoundTrip(Opcode::kPoiAdd, EncodePoiAddRequest(request));
+  PayloadReader reader(body);
+  AddPoiReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok()) {
+    reply.id = reader.U32();
+    if (!reader.Finished()) throw ClientError("malformed add response");
+  }
+  return reply;
+}
+
+Client::Reply Client::ClosePoi(ObjectId id) {
+  PayloadWriter w;
+  w.U32(id);
+  const auto body = RoundTrip(Opcode::kPoiClose, w.Bytes());
+  PayloadReader reader(body);
+  Reply reply;
+  ParseReplyEnvelope(reader, &reply);
+  return reply;
+}
+
+Client::Reply Client::TagPoi(ObjectId id, std::string_view keyword) {
+  PoiTagRequest request{id, std::string(keyword)};
+  const auto body =
+      RoundTrip(Opcode::kPoiTag, EncodePoiTagRequest(request));
+  PayloadReader reader(body);
+  Reply reply;
+  ParseReplyEnvelope(reader, &reply);
+  return reply;
+}
+
+Client::Reply Client::UntagPoi(ObjectId id, std::string_view keyword) {
+  PoiTagRequest request{id, std::string(keyword)};
+  const auto body =
+      RoundTrip(Opcode::kPoiUntag, EncodePoiTagRequest(request));
+  PayloadReader reader(body);
+  Reply reply;
+  ParseReplyEnvelope(reader, &reply);
+  return reply;
+}
+
+}  // namespace kspin::server

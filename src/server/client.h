@@ -1,0 +1,101 @@
+// Blocking client for the kspin wire protocol (server/wire.h).
+//
+// One Client owns one TCP connection and is NOT thread-safe: requests are
+// issued strictly one at a time (send frame, read matching response).
+// Transport problems (connect/read/write failures, protocol violations)
+// throw ClientError; server-side rejections are returned in-band as the
+// StatusCode of each reply so callers can distinguish OVERLOADED from
+// DEADLINE_EXCEEDED from BAD_QUERY without exception plumbing.
+#ifndef KSPIN_SERVER_CLIENT_H_
+#define KSPIN_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "server/wire.h"
+
+namespace kspin::server {
+
+/// Thrown on transport / protocol failures (not server-side rejections).
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to `host:port`. Throws ClientError on failure.
+  void Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  bool Connected() const { return fd_ >= 0; }
+
+  /// Common reply envelope: server status + error message (empty on kOk).
+  struct Reply {
+    StatusCode status = StatusCode::kInternal;
+    std::string error;
+    bool ok() const { return status == StatusCode::kOk; }
+  };
+
+  struct SearchReply : Reply {
+    std::vector<WireResult> results;
+  };
+
+  struct AddPoiReply : Reply {
+    ObjectId id = kInvalidObject;
+  };
+
+  struct StatsReply : Reply {
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+    /// Value of `key`, or 0 if absent.
+    std::uint64_t Value(std::string_view key) const;
+  };
+
+  /// Liveness probe.
+  Reply Ping();
+
+  /// Server metrics snapshot.
+  StatsReply Stats();
+
+  /// Boolean (nearest-first) or ranked search. `deadline_ms` of 0 means
+  /// no deadline; otherwise the server drops or aborts the request once
+  /// the budget expires.
+  SearchReply Search(std::string_view query, VertexId from, std::uint32_t k,
+                     bool ranked = false, std::uint32_t deadline_ms = 0);
+
+  AddPoiReply AddPoi(std::string_view name, VertexId vertex,
+                     std::span<const std::string> keywords);
+  Reply ClosePoi(ObjectId id);
+  Reply TagPoi(ObjectId id, std::string_view keyword);
+  Reply UntagPoi(ObjectId id, std::string_view keyword);
+
+ private:
+  /// Sends one frame and reads the response frame for it. Returns the
+  /// response payload; throws ClientError on transport errors, a
+  /// mismatched request id, or a server kError frame.
+  std::vector<std::uint8_t> RoundTrip(Opcode opcode,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint32_t deadline_ms = 0);
+  void WriteAll(std::span<const std::uint8_t> bytes);
+  void ReadExactly(std::uint8_t* out, std::size_t count);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_CLIENT_H_

@@ -1,0 +1,108 @@
+#include "server/metrics.h"
+
+#include <bit>
+
+namespace kspin::server {
+
+void LatencyHistogram::Record(std::uint64_t micros) {
+  const std::size_t bucket =
+      micros == 0
+          ? 0
+          : std::min<std::size_t>(kBuckets - 1, std::bit_width(micros) - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::MeanMicros() const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  return n == 0 ? 0 : sum_micros_.load(std::memory_order_relaxed) / n;
+}
+
+std::uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  // Rank of the quantile sample, 1-based, clamped into [1, n].
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(
+             1, static_cast<std::uint64_t>(p * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return std::uint64_t{1} << (i + 1);  // Upper bound.
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kError:
+      return kNoSlot;
+    case Opcode::kPing:
+      return 0;
+    case Opcode::kStats:
+      return 1;
+    case Opcode::kSearchBoolean:
+      return 2;
+    case Opcode::kSearchRanked:
+      return 3;
+    case Opcode::kPoiAdd:
+      return 4;
+    case Opcode::kPoiClose:
+      return 5;
+    case Opcode::kPoiTag:
+      return 6;
+    case Opcode::kPoiUntag:
+      return 7;
+  }
+  return kNoSlot;
+}
+
+void ServerMetrics::RecordQueueDepth(std::size_t depth) {
+  std::uint64_t peak = queue_depth_peak.load(std::memory_order_relaxed);
+  while (depth > peak && !queue_depth_peak.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
+    std::size_t current_queue_depth) const {
+  auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> out = {
+      {"connections_opened", load(connections_opened)},
+      {"connections_closed", load(connections_closed)},
+      {"frames_received", load(frames_received)},
+      {"frames_malformed", load(frames_malformed)},
+      {"requests_ok", load(requests_ok)},
+      {"requests_bad_query", load(requests_bad_query)},
+      {"requests_malformed_payload", load(requests_malformed_payload)},
+      {"requests_unsupported", load(requests_unsupported)},
+      {"requests_internal_error", load(requests_internal_error)},
+      {"requests_overloaded", load(requests_overloaded)},
+      {"requests_deadline_dropped", load(requests_deadline_dropped)},
+      {"requests_deadline_cancelled", load(requests_deadline_cancelled)},
+      {"queue_depth", current_queue_depth},
+      {"queue_depth_peak", load(queue_depth_peak)},
+      {"opcode_ping", load(requests_by_opcode[0])},
+      {"opcode_stats", load(requests_by_opcode[1])},
+      {"opcode_search_boolean", load(requests_by_opcode[2])},
+      {"opcode_search_ranked", load(requests_by_opcode[3])},
+      {"opcode_poi_add", load(requests_by_opcode[4])},
+      {"opcode_poi_close", load(requests_by_opcode[5])},
+      {"opcode_poi_tag", load(requests_by_opcode[6])},
+      {"opcode_poi_untag", load(requests_by_opcode[7])},
+      {"query_latency_count", query_latency.Count()},
+      {"query_latency_mean_us", query_latency.MeanMicros()},
+      {"query_latency_p50_us", query_latency.PercentileMicros(0.50)},
+      {"query_latency_p99_us", query_latency.PercentileMicros(0.99)},
+      {"update_latency_count", update_latency.Count()},
+      {"update_latency_mean_us", update_latency.MeanMicros()},
+      {"update_latency_p50_us", update_latency.PercentileMicros(0.50)},
+      {"update_latency_p99_us", update_latency.PercentileMicros(0.99)},
+  };
+  return out;
+}
+
+}  // namespace kspin::server

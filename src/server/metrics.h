@@ -1,0 +1,99 @@
+// Server-side observability: lock-free counters and a latency histogram,
+// snapshotted by the STATS opcode. Everything here is safe to update from
+// the I/O thread and every worker concurrently.
+#ifndef KSPIN_SERVER_METRICS_H_
+#define KSPIN_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace kspin::server {
+
+/// Log2-bucketed latency histogram over microseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)) us (bucket 0 also takes 0). Percentiles are
+/// reported as the upper bound of the containing bucket — at most 2x off,
+/// plenty for load shedding and dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void Record(std::uint64_t micros);
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Mean in microseconds (0 when empty).
+  std::uint64_t MeanMicros() const;
+  /// p in (0, 1]; upper bound of the bucket holding the p-quantile.
+  std::uint64_t PercentileMicros(double p) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// All server counters. Field names match the keys reported by STATS.
+class ServerMetrics {
+ public:
+  // Connection lifecycle.
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+
+  // Frame decoding.
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> frames_malformed{0};
+
+  // Request outcomes.
+  std::atomic<std::uint64_t> requests_ok{0};
+  std::atomic<std::uint64_t> requests_bad_query{0};
+  std::atomic<std::uint64_t> requests_malformed_payload{0};
+  std::atomic<std::uint64_t> requests_unsupported{0};
+  std::atomic<std::uint64_t> requests_internal_error{0};
+  /// Shed at admission (queue full).
+  std::atomic<std::uint64_t> requests_overloaded{0};
+  /// Dropped at dequeue: deadline already passed before work started.
+  std::atomic<std::uint64_t> requests_deadline_dropped{0};
+  /// Aborted mid-query by the cooperative cancellation check.
+  std::atomic<std::uint64_t> requests_deadline_cancelled{0};
+
+  /// Requests by opcode (indexed via OpcodeSlot).
+  std::array<std::atomic<std::uint64_t>, 8> requests_by_opcode{};
+
+  /// Queue depth high-watermark (the live depth is sampled at STATS time).
+  std::atomic<std::uint64_t> queue_depth_peak{0};
+
+  /// End-to-end latency (admission to response encoded) of executed
+  /// requests, by class.
+  LatencyHistogram query_latency;   ///< kSearchBoolean / kSearchRanked.
+  LatencyHistogram update_latency;  ///< kPoi* opcodes.
+
+  /// Dense slot for an opcode, or npos for unknown ones.
+  static std::size_t OpcodeSlot(Opcode opcode);
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  void CountOpcode(Opcode opcode) {
+    const std::size_t slot = OpcodeSlot(opcode);
+    if (slot != kNoSlot) {
+      requests_by_opcode[slot].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordQueueDepth(std::size_t depth);
+
+  /// Flat snapshot for the STATS response, `current_queue_depth` sampled
+  /// by the caller. Keys are stable; tests and dashboards may rely on
+  /// them (see docs/protocol.md).
+  std::vector<std::pair<std::string, std::uint64_t>> Snapshot(
+      std::size_t current_queue_depth) const;
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_METRICS_H_

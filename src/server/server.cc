@@ -1,0 +1,597 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "kspin/query_control.h"
+#include "service/query_parser.h"
+
+namespace kspin::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+// One TCP connection. The I/O thread owns fd / read state / the
+// close_after_flush flag; the write queue is shared with workers under
+// write_mutex. After the I/O thread closes the socket it sets `closed`,
+// turning late worker responses into no-ops.
+struct Server::Connection {
+  int fd = -1;
+  std::vector<std::uint8_t> read_buffer;
+  std::size_t read_offset = 0;
+
+  std::mutex write_mutex;
+  std::deque<std::vector<std::uint8_t>> write_queue;
+  std::size_t write_offset = 0;  // Into write_queue.front().
+  std::atomic<bool> closed{false};
+  bool close_after_flush = false;
+
+  void QueueWrite(std::vector<std::uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (closed.load(std::memory_order_relaxed)) return;
+    write_queue.push_back(std::move(bytes));
+  }
+
+  bool HasPendingWrites() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return !write_queue.empty();
+  }
+};
+
+// One admitted request travelling from the I/O thread to a worker.
+struct Server::Request {
+  std::shared_ptr<Connection> conn;
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  Clock::time_point admitted_at{};
+  /// admitted_at + deadline_ms; time_point{} when the request has none.
+  Clock::time_point deadline{};
+};
+
+Server::Server(PoiService& service, ServerOptions options)
+    : service_(service), options_(options) {
+  queue_ = std::make_unique<AdmissionQueue<Request>>(options_.queue_capacity);
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("Server::Start called twice");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) ThrowErrno("listen");
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  int wake[2];
+  if (::pipe(wake) < 0) ThrowErrno("pipe");
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  unsigned workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // 1. Refuse new work; admitted requests keep draining.
+  queue_->Close();
+  Wake();
+  // 2. Workers finish every admitted request and exit.
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // 3. The I/O thread flushes remaining responses and exits.
+  io_exit_.store(true);
+  Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  // 4. Tear down sockets.
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  for (auto& [fd, conn] : connections_) {
+    conn->closed.store(true);
+    ::close(fd);
+  }
+  connections_.clear();
+}
+
+void Server::Wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+// ----- I/O thread ----------------------------------------------------------
+
+void Server::IoLoop() {
+  while (!io_exit_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    const bool accepting = !stopping_.load(std::memory_order_acquire);
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    std::vector<std::shared_ptr<Connection>> polled;
+    polled.reserve(connections_.size());
+    for (auto& [fd, conn] : connections_) {
+      short events = POLLIN;
+      if (conn->HasPendingWrites()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    if (::poll(fds.data(), fds.size(), 100) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    std::size_t index = 0;
+    if (fds[index].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+      }
+    }
+    ++index;
+    if (accepting) {
+      if (fds[index].revents & POLLIN) AcceptNew();
+      ++index;
+    }
+
+    for (std::size_t c = 0; c < polled.size(); ++c, ++index) {
+      const std::shared_ptr<Connection>& conn = polled[c];
+      const short revents = fds[index].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (revents & (POLLIN | POLLHUP))) {
+        alive = ReadFromConnection(conn);
+      }
+      if (alive) alive = FlushConnection(conn);
+      if (alive && conn->close_after_flush && !conn->HasPendingWrites()) {
+        alive = false;
+      }
+      if (!alive) CloseConnection(conn->fd);
+    }
+  }
+
+  // Final flush: give queued responses a brief window to reach clients
+  // before the sockets close.
+  const Clock::time_point flush_deadline =
+      Clock::now() + std::chrono::seconds(2);
+  for (bool pending = true; pending && Clock::now() < flush_deadline;) {
+    pending = false;
+    for (auto& [fd, conn] : connections_) {
+      if (!FlushConnection(conn)) continue;
+      if (conn->HasPendingWrites()) pending = true;
+    }
+    if (pending) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error; poll again.
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::ReadFromConnection(const std::shared_ptr<Connection>& conn) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+    if (n > 0) {
+      conn->read_buffer.insert(conn->read_buffer.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+      continue;
+    }
+    if (n == 0) return false;  // Peer closed.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  // Decode every complete frame in the buffer.
+  while (conn->read_offset < conn->read_buffer.size()) {
+    const std::span<const std::uint8_t> pending(
+        conn->read_buffer.data() + conn->read_offset,
+        conn->read_buffer.size() - conn->read_offset);
+    FrameHeader header;
+    std::size_t frame_size = 0;
+    const DecodeResult result = TryDecodeFrame(pending, &header, &frame_size);
+    if (result == DecodeResult::kNeedMore) break;
+    if (result != DecodeResult::kFrame) {
+      // Fatal stream error: report, then close once the report flushes.
+      metrics_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+      FrameHeader error_header;
+      error_header.opcode = Opcode::kError;
+      StatusCode status = StatusCode::kMalformedPayload;
+      std::string message = "malformed frame";
+      if (result == DecodeResult::kBadVersion) {
+        error_header.request_id = header.request_id;
+        status = StatusCode::kUnsupported;
+        message = "unsupported protocol version";
+      } else if (result == DecodeResult::kTooLarge) {
+        error_header.request_id = header.request_id;
+        message = "frame exceeds maximum payload size";
+      }
+      conn->QueueWrite(
+          EncodeFrame(error_header, EncodeErrorResponse(status, message)));
+      conn->close_after_flush = true;
+      conn->read_offset = conn->read_buffer.size();
+      break;
+    }
+
+    std::vector<std::uint8_t> payload(
+        pending.begin() + kHeaderSize, pending.begin() + frame_size);
+    conn->read_offset += frame_size;
+    HandleFrame(conn, header, std::move(payload));
+  }
+
+  // Compact the consumed prefix once it dominates the buffer.
+  if (conn->read_offset > 0 &&
+      conn->read_offset * 2 >= conn->read_buffer.size()) {
+    conn->read_buffer.erase(conn->read_buffer.begin(),
+                            conn->read_buffer.begin() + conn->read_offset);
+    conn->read_offset = 0;
+  }
+  return true;
+}
+
+bool Server::FlushConnection(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  while (!conn->write_queue.empty()) {
+    std::vector<std::uint8_t>& front = conn->write_queue.front();
+    const ssize_t n = ::write(conn->fd, front.data() + conn->write_offset,
+                              front.size() - conn->write_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn->write_offset += static_cast<std::size_t>(n);
+    if (conn->write_offset == front.size()) {
+      conn->write_queue.pop_front();
+      conn->write_offset = 0;
+    }
+  }
+  return true;
+}
+
+void Server::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second->closed.store(true, std::memory_order_relaxed);
+  ::close(fd);
+  connections_.erase(it);
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::Respond(const std::shared_ptr<Connection>& conn,
+                     const FrameHeader& request_header,
+                     std::vector<std::uint8_t> response_payload) {
+  FrameHeader header;
+  header.opcode = request_header.opcode;
+  header.request_id = request_header.request_id;
+  conn->QueueWrite(EncodeFrame(header, response_payload));
+  Wake();
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         const FrameHeader& header,
+                         std::vector<std::uint8_t> payload) {
+  metrics_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  metrics_.CountOpcode(header.opcode);
+
+  switch (header.opcode) {
+    case Opcode::kPing:
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, header, EncodeOkResponse());
+      return;
+    case Opcode::kStats: {
+      // Snapshot before counting so a STATS response never includes
+      // itself; it shows up in the next snapshot instead.
+      const auto snapshot = metrics_.Snapshot(queue_->Size());
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, header, EncodeStatsResponse(snapshot));
+      return;
+    }
+    case Opcode::kSearchBoolean:
+    case Opcode::kSearchRanked:
+    case Opcode::kPoiAdd:
+    case Opcode::kPoiClose:
+    case Opcode::kPoiTag:
+    case Opcode::kPoiUntag: {
+      Request request;
+      request.conn = conn;
+      request.header = header;
+      request.payload = std::move(payload);
+      request.admitted_at = Clock::now();
+      if (header.deadline_ms > 0) {
+        request.deadline = request.admitted_at +
+                           std::chrono::milliseconds(header.deadline_ms);
+      }
+      if (!queue_->TryPush(std::move(request))) {
+        metrics_.requests_overloaded.fetch_add(1,
+                                               std::memory_order_relaxed);
+        Respond(conn, header,
+                EncodeErrorResponse(StatusCode::kOverloaded,
+                                    "admission queue full"));
+        return;
+      }
+      metrics_.RecordQueueDepth(queue_->Size());
+      return;
+    }
+    case Opcode::kError:
+      break;
+  }
+  metrics_.requests_unsupported.fetch_add(1, std::memory_order_relaxed);
+  Respond(conn, header,
+          EncodeErrorResponse(StatusCode::kUnsupported, "unknown opcode"));
+}
+
+// ----- Workers -------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  // Per-thread processor, lazily (re)built when the engine's structure
+  // generation moves — the same invalidation rule ParallelQueryExecutor
+  // follows.
+  std::unique_ptr<QueryProcessor> processor;
+  std::uint64_t generation = 0;
+
+  for (;;) {
+    std::optional<Request> request = queue_->Pop();
+    if (!request.has_value()) return;  // Closed and drained.
+
+    if (options_.test_dequeue_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.test_dequeue_delay_ms));
+    }
+    if (options_.enforce_deadline_at_dequeue &&
+        request->deadline != Clock::time_point{} &&
+        Clock::now() >= request->deadline) {
+      metrics_.requests_deadline_dropped.fetch_add(
+          1, std::memory_order_relaxed);
+      Respond(request->conn, request->header,
+              EncodeErrorResponse(StatusCode::kDeadlineExceeded,
+                                  "deadline expired before execution"));
+      continue;
+    }
+
+    const Opcode opcode = request->header.opcode;
+    const bool is_query =
+        opcode == Opcode::kSearchBoolean || opcode == Opcode::kSearchRanked;
+    if (is_query) {
+      std::shared_lock<std::shared_mutex> guard(update_mutex_);
+      const std::uint64_t current =
+          service_.Engine().StructureGeneration();
+      if (processor == nullptr || generation != current) {
+        processor = service_.Engine().MakeProcessor();
+        generation = current;
+      }
+      ProcessRequest(*request, processor.get());
+    } else {
+      std::unique_lock<std::shared_mutex> guard(update_mutex_);
+      ProcessRequest(*request, nullptr);  // Updates never touch it.
+    }
+  }
+}
+
+void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
+  const FrameHeader& header = request.header;
+  const Opcode opcode = header.opcode;
+  const bool is_query =
+      opcode == Opcode::kSearchBoolean || opcode == Opcode::kSearchRanked;
+
+  QueryControl control;
+  control.deadline = request.deadline;
+  const QueryControl* control_ptr =
+      request.deadline != Clock::time_point{} ? &control : nullptr;
+
+  std::vector<std::uint8_t> response;
+  bool ok = false;
+  try {
+    switch (opcode) {
+      case Opcode::kSearchBoolean:
+      case Opcode::kSearchRanked: {
+        SearchRequest search;
+        if (!DecodeSearchRequest(request.payload, &search)) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad search payload");
+          break;
+        }
+        const Graph& graph = service_.Engine().NetworkGraph();
+        if (search.vertex >= graph.NumVertices()) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                         "vertex out of range");
+          break;
+        }
+        if (search.k > options_.max_k) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response =
+              EncodeErrorResponse(StatusCode::kBadQuery, "k too large");
+          break;
+        }
+        const std::vector<PoiResult> hits =
+            opcode == Opcode::kSearchBoolean
+                ? service_.SearchOn(*processor, search.query, search.vertex,
+                                    search.k, control_ptr)
+                : service_.SearchRankedOn(*processor, search.query,
+                                          search.vertex, search.k,
+                                          control_ptr);
+        std::vector<WireResult> results;
+        results.reserve(hits.size());
+        for (const PoiResult& hit : hits) {
+          results.push_back(
+              {hit.id, hit.travel_time, hit.score, hit.name});
+        }
+        response = EncodeSearchResponse(results);
+        ok = true;
+        break;
+      }
+      case Opcode::kPoiAdd: {
+        PoiAddRequest add;
+        if (!DecodePoiAddRequest(request.payload, &add)) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad poi-add payload");
+          break;
+        }
+        if (add.vertex >= service_.Engine().NetworkGraph().NumVertices()) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                         "vertex out of range");
+          break;
+        }
+        const ObjectId id =
+            service_.AddPoi(add.name, add.vertex, add.keywords);
+        response = EncodeObjectIdResponse(id);
+        ok = true;
+        break;
+      }
+      case Opcode::kPoiClose: {
+        PayloadReader reader(request.payload);
+        const ObjectId id = reader.U32();
+        if (!reader.Finished()) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad poi-close payload");
+          break;
+        }
+        if (!service_.Engine().Store().IsLive(id)) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response =
+              EncodeErrorResponse(StatusCode::kBadQuery, "no such poi");
+          break;
+        }
+        service_.ClosePoi(id);
+        response = EncodeOkResponse();
+        ok = true;
+        break;
+      }
+      case Opcode::kPoiTag:
+      case Opcode::kPoiUntag: {
+        PoiTagRequest tag;
+        if (!DecodePoiTagRequest(request.payload, &tag)) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad poi-tag payload");
+          break;
+        }
+        if (!service_.Engine().Store().IsLive(tag.object)) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response =
+              EncodeErrorResponse(StatusCode::kBadQuery, "no such poi");
+          break;
+        }
+        if (opcode == Opcode::kPoiTag) {
+          service_.TagPoi(tag.object, tag.keyword);
+        } else {
+          service_.UntagPoi(tag.object, tag.keyword);
+        }
+        response = EncodeOkResponse();
+        ok = true;
+        break;
+      }
+      default:
+        response = EncodeErrorResponse(StatusCode::kUnsupported,
+                                       "unknown opcode");
+        metrics_.requests_unsupported.fetch_add(1,
+                                                std::memory_order_relaxed);
+        break;
+    }
+  } catch (const QueryParseError& e) {
+    metrics_.requests_bad_query.fetch_add(1, std::memory_order_relaxed);
+    response = EncodeErrorResponse(StatusCode::kBadQuery, e.what());
+  } catch (const QueryCancelledError&) {
+    metrics_.requests_deadline_cancelled.fetch_add(
+        1, std::memory_order_relaxed);
+    response = EncodeErrorResponse(StatusCode::kDeadlineExceeded,
+                                   "deadline exceeded during execution");
+  } catch (const std::invalid_argument& e) {
+    metrics_.requests_bad_query.fetch_add(1, std::memory_order_relaxed);
+    response = EncodeErrorResponse(StatusCode::kBadQuery, e.what());
+  } catch (const std::exception& e) {
+    metrics_.requests_internal_error.fetch_add(1,
+                                               std::memory_order_relaxed);
+    response = EncodeErrorResponse(StatusCode::kInternal, e.what());
+  }
+
+  if (ok) {
+    metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - request.admitted_at)
+            .count();
+    (is_query ? metrics_.query_latency : metrics_.update_latency)
+        .Record(static_cast<std::uint64_t>(micros));
+  }
+  Respond(request.conn, header, std::move(response));
+}
+
+}  // namespace kspin::server

@@ -1,0 +1,135 @@
+// kspin_server core: a poll()-based TCP event loop speaking the framed
+// wire protocol (server/wire.h) in front of a PoiService.
+//
+// Threading model:
+//
+//   - One I/O thread owns every socket: it accepts connections, decodes
+//     frames, answers PING/STATS inline, and flushes response bytes.
+//   - Query and update frames are copied into a bounded AdmissionQueue;
+//     when it is full the I/O thread replies OVERLOADED immediately —
+//     explicit load shedding, never silent drops or unbounded buffering.
+//   - A worker pool drains the queue. Each worker owns one QueryProcessor
+//     (per-thread oracle + query workspaces, PR 1's design) refreshed
+//     whenever KSpin::StructureGeneration() changes. Queries run under a
+//     shared lock; POI updates take the lock exclusively, which is
+//     exactly the "updates quiesce queries" rule of the concurrency model
+//     in docs/architecture.md — here enforced by the server rather than
+//     trusted to callers.
+//   - Deadlines (frame header deadline_ms, relative to admission) are
+//     enforced twice: expired requests are dropped at dequeue with
+//     DEADLINE_EXCEEDED, and running queries poll a QueryControl
+//     cooperatively inside the kNN search loops.
+//
+// Stop() is graceful: stop accepting, close the queue, let workers drain
+// every admitted request, flush responses, then tear sockets down.
+#ifndef KSPIN_SERVER_SERVER_H_
+#define KSPIN_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/admission_queue.h"
+#include "server/metrics.h"
+#include "server/wire.h"
+#include "service/poi_service.h"
+
+namespace kspin::server {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
+  /// Server::Port()).
+  std::uint16_t port = 0;
+  /// Worker pool size; 0 = hardware concurrency.
+  unsigned num_workers = 0;
+  /// Admission queue bound; 0 admits nothing (every request OVERLOADED).
+  std::size_t queue_capacity = 256;
+  /// Requests with k above this are rejected with BAD_QUERY.
+  std::uint32_t max_k = 1000;
+
+  // Test hooks — leave at defaults in production.
+  /// When false, the dequeue-time deadline check is skipped so expiry is
+  /// only caught by the cooperative in-query check.
+  bool enforce_deadline_at_dequeue = true;
+  /// Artificial delay before each worker dequeue check, to make
+  /// deadline expiry deterministic in tests.
+  std::uint32_t test_dequeue_delay_ms = 0;
+};
+
+/// A serving instance. Construct, Start(), connect clients to Port().
+/// The PoiService must outlive the server; while the server runs, all
+/// access to it (including updates) must go through the server.
+class Server {
+ public:
+  explicit Server(PoiService& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the I/O thread + workers. Throws
+  /// std::runtime_error on socket failures.
+  void Start();
+
+  /// Graceful shutdown: stop accepting, drain admitted requests, flush
+  /// responses, join all threads. Idempotent; also run by ~Server.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  std::uint16_t Port() const { return port_; }
+
+  const ServerMetrics& Metrics() const { return metrics_; }
+
+ private:
+  struct Connection;
+  struct Request;
+
+  void IoLoop();
+  void WorkerLoop();
+  void AcceptNew();
+  /// False when the connection hit a fatal error and must close.
+  bool ReadFromConnection(const std::shared_ptr<Connection>& conn);
+  bool FlushConnection(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const FrameHeader& header,
+                   std::vector<std::uint8_t> payload);
+  /// `processor` is non-null for query opcodes, null for updates.
+  void ProcessRequest(Request& request, QueryProcessor* processor);
+  void Respond(const std::shared_ptr<Connection>& conn,
+               const FrameHeader& request_header,
+               std::vector<std::uint8_t> response_payload);
+  void Wake();
+
+  PoiService& service_;
+  const ServerOptions options_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::unique_ptr<AdmissionQueue<Request>> queue_;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Queries hold it shared, POI updates exclusively.
+  std::shared_mutex update_mutex_;
+
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> io_exit_{false};
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_SERVER_H_

@@ -1,0 +1,243 @@
+#include "server/wire.h"
+
+namespace kspin::server {
+namespace {
+
+std::uint32_t ReadU32Le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t ReadU64Le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(ReadU32Le(p)) |
+         static_cast<std::uint64_t>(ReadU32Le(p + 4)) << 32;
+}
+
+void WriteU32Le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void WriteU64Le(std::uint8_t* p, std::uint64_t v) {
+  WriteU32Le(p, static_cast<std::uint32_t>(v));
+  WriteU32Le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+std::string_view StatusName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kMalformedPayload:
+      return "MALFORMED_PAYLOAD";
+    case StatusCode::kBadQuery:
+      return "BAD_QUERY";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+DecodeResult TryDecodeFrame(std::span<const std::uint8_t> buffer,
+                            FrameHeader* header, std::size_t* frame_size) {
+  // Validate the magic on however many of its bytes have arrived, so a
+  // garbage stream is rejected without waiting for a full header.
+  static constexpr std::uint8_t kMagicBytes[4] = {
+      static_cast<std::uint8_t>(kMagic),
+      static_cast<std::uint8_t>(kMagic >> 8),
+      static_cast<std::uint8_t>(kMagic >> 16),
+      static_cast<std::uint8_t>(kMagic >> 24)};
+  for (std::size_t i = 0; i < buffer.size() && i < 4; ++i) {
+    if (buffer[i] != kMagicBytes[i]) return DecodeResult::kBadMagic;
+  }
+  if (buffer.size() < kHeaderSize) return DecodeResult::kNeedMore;
+
+  header->version = buffer[4];
+  header->opcode = static_cast<Opcode>(buffer[5]);
+  header->request_id = ReadU64Le(buffer.data() + 8);
+  header->deadline_ms = ReadU32Le(buffer.data() + 16);
+  header->payload_size = ReadU32Le(buffer.data() + 20);
+  if (header->version != kProtocolVersion) return DecodeResult::kBadVersion;
+  // Reserved bytes must be zero; a nonzero value means a future protocol
+  // revision this server does not understand.
+  if (buffer[6] != 0 || buffer[7] != 0) return DecodeResult::kBadVersion;
+  if (header->payload_size > kMaxPayloadSize) return DecodeResult::kTooLarge;
+  if (buffer.size() < kHeaderSize + header->payload_size) {
+    return DecodeResult::kNeedMore;
+  }
+  *frame_size = kHeaderSize + header->payload_size;
+  return DecodeResult::kFrame;
+}
+
+std::vector<std::uint8_t> EncodeFrame(const FrameHeader& header,
+                                      std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(kHeaderSize + payload.size());
+  WriteU32Le(frame.data(), kMagic);
+  frame[4] = header.version;
+  frame[5] = static_cast<std::uint8_t>(header.opcode);
+  frame[6] = frame[7] = 0;
+  WriteU64Le(frame.data() + 8, header.request_id);
+  WriteU32Le(frame.data() + 16, header.deadline_ms);
+  WriteU32Le(frame.data() + 20,
+             static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+void PayloadWriter::String(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+std::string PayloadReader::String() {
+  const std::uint32_t size = U32();
+  if (!ok_ || data_.size() - pos_ < size) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), size);
+  pos_ += size;
+  return s;
+}
+
+std::vector<std::uint8_t> EncodeSearchRequest(const SearchRequest& request) {
+  PayloadWriter w;
+  w.U32(request.vertex);
+  w.U32(request.k);
+  w.String(request.query);
+  return w.Take();
+}
+
+bool DecodeSearchRequest(std::span<const std::uint8_t> payload,
+                         SearchRequest* request) {
+  PayloadReader r(payload);
+  request->vertex = r.U32();
+  request->k = r.U32();
+  request->query = r.String();
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodePoiAddRequest(const PoiAddRequest& request) {
+  PayloadWriter w;
+  w.U32(request.vertex);
+  w.String(request.name);
+  w.U32(static_cast<std::uint32_t>(request.keywords.size()));
+  for (const std::string& keyword : request.keywords) w.String(keyword);
+  return w.Take();
+}
+
+bool DecodePoiAddRequest(std::span<const std::uint8_t> payload,
+                         PoiAddRequest* request) {
+  PayloadReader r(payload);
+  request->vertex = r.U32();
+  request->name = r.String();
+  const std::uint32_t count = r.U32();
+  request->keywords.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    request->keywords.push_back(r.String());
+  }
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodePoiTagRequest(const PoiTagRequest& request) {
+  PayloadWriter w;
+  w.U32(request.object);
+  w.String(request.keyword);
+  return w.Take();
+}
+
+bool DecodePoiTagRequest(std::span<const std::uint8_t> payload,
+                         PoiTagRequest* request) {
+  PayloadReader r(payload);
+  request->object = r.U32();
+  request->keyword = r.String();
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
+                                              std::string_view message) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(status));
+  w.String(message);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeOkResponse() {
+  return {static_cast<std::uint8_t>(StatusCode::kOk)};
+}
+
+std::vector<std::uint8_t> EncodeSearchResponse(
+    std::span<const WireResult> results) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U32(static_cast<std::uint32_t>(results.size()));
+  for (const WireResult& result : results) {
+    w.U32(result.object);
+    w.U64(result.travel_time);
+    w.F64(result.score);
+    w.String(result.name);
+  }
+  return w.Take();
+}
+
+bool DecodeSearchResponse(PayloadReader& reader,
+                          std::vector<WireResult>* results) {
+  const std::uint32_t count = reader.U32();
+  results->clear();
+  for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+    WireResult result;
+    result.object = reader.U32();
+    result.travel_time = reader.U64();
+    result.score = reader.F64();
+    result.name = reader.String();
+    results->push_back(std::move(result));
+  }
+  return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodeObjectIdResponse(ObjectId id) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U32(id);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatsResponse(
+    std::span<const std::pair<std::string, std::uint64_t>> stats) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U32(static_cast<std::uint32_t>(stats.size()));
+  for (const auto& [name, value] : stats) {
+    w.String(name);
+    w.U64(value);
+  }
+  return w.Take();
+}
+
+bool DecodeStatsResponse(
+    PayloadReader& reader,
+    std::vector<std::pair<std::string, std::uint64_t>>* stats) {
+  const std::uint32_t count = reader.U32();
+  stats->clear();
+  for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+    std::string name = reader.String();
+    const std::uint64_t value = reader.U64();
+    stats->emplace_back(std::move(name), value);
+  }
+  return reader.Finished();
+}
+
+}  // namespace kspin::server

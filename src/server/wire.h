@@ -1,0 +1,233 @@
+// The kspin wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message — request or response — is one frame:
+//
+//   offset size  field
+//   0      4     magic 0x4B53504E ("KSPN" read as big-endian bytes)
+//   4      1     protocol version (currently 1)
+//   5      1     opcode
+//   6      2     reserved (must be 0)
+//   8      8     request id (echoed verbatim in the response)
+//   16     4     deadline_ms (requests: relative time budget; 0 = none)
+//   20     4     payload size N (<= kMaxPayloadSize)
+//   24     N     payload
+//
+// All integers are little-endian. Response payloads always start with one
+// status byte (StatusCode); kOk is followed by the opcode's result body,
+// anything else by a human-readable error string. docs/protocol.md is the
+// normative spec; this header and it must change together.
+#ifndef KSPIN_SERVER_WIRE_H_
+#define KSPIN_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspin::server {
+
+inline constexpr std::uint32_t kMagic = 0x4B53504E;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint32_t kMaxPayloadSize = 1u << 20;
+
+/// Request opcodes. Responses reuse the request's opcode.
+enum class Opcode : std::uint8_t {
+  /// Server-to-client only: final frame before the server closes a
+  /// connection over a fatal stream error (bad magic/version, oversized
+  /// frame). Carries an error status payload.
+  kError = 0x00,
+  kPing = 0x01,           ///< Liveness probe; empty payload both ways.
+  kStats = 0x02,          ///< Server metrics snapshot.
+  kSearchBoolean = 0x10,  ///< Boolean kNN over an and/or query string.
+  kSearchRanked = 0x11,   ///< Relevance-ranked top-k.
+  kPoiAdd = 0x20,         ///< Register a POI.
+  kPoiClose = 0x21,       ///< Remove a POI from search.
+  kPoiTag = 0x22,         ///< Add one keyword tag.
+  kPoiUntag = 0x23,       ///< Remove one keyword tag.
+};
+
+/// First byte of every response payload.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kMalformedPayload = 1,   ///< Payload did not decode against the opcode.
+  kBadQuery = 2,           ///< Query/argument rejected (syntax, bad id...).
+  kOverloaded = 3,         ///< Admission queue full; retry later.
+  kDeadlineExceeded = 4,   ///< Deadline passed before or during execution.
+  kInternal = 5,           ///< Unexpected server-side failure.
+  kUnsupported = 6,        ///< Unknown opcode or protocol version.
+};
+
+/// Human-readable status name (metrics, logs, CLI output).
+std::string_view StatusName(StatusCode status);
+
+/// Decoded frame header (excluding magic, which is validated away).
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// Outcome of TryDecodeFrame. Anything but kNeedMore / kFrame is a fatal
+/// stream error: the connection cannot be resynchronized and must close.
+enum class DecodeResult {
+  kNeedMore,    ///< Buffer holds a frame prefix; read more bytes.
+  kFrame,       ///< A complete frame was decoded.
+  kBadMagic,    ///< Stream does not start with kMagic.
+  kBadVersion,  ///< Unsupported protocol version.
+  kTooLarge,    ///< Declared payload exceeds kMaxPayloadSize.
+};
+
+/// Parses the frame at the start of `buffer` without consuming it. On
+/// kFrame, `*header` is filled and `*frame_size` is the total byte count
+/// (header + payload) to consume. On kBadVersion the header (including
+/// request id) is still filled so an error can be addressed to the sender.
+/// Never reads past `buffer`.
+DecodeResult TryDecodeFrame(std::span<const std::uint8_t> buffer,
+                            FrameHeader* header, std::size_t* frame_size);
+
+/// Serializes a frame: header (with payload_size taken from `payload`)
+/// followed by the payload bytes.
+std::vector<std::uint8_t> EncodeFrame(const FrameHeader& header,
+                                      std::span<const std::uint8_t> payload);
+
+// ----- Payload primitives --------------------------------------------------
+
+/// Append-only little-endian payload builder.
+class PayloadWriter {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(v); }
+  void U16(std::uint16_t v) { AppendLe(v); }
+  void U32(std::uint32_t v) { AppendLe(v); }
+  void U64(std::uint64_t v) { AppendLe(v); }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void String(std::string_view s);
+
+  const std::vector<std::uint8_t>& Bytes() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian payload cursor. A read past the end (or a
+/// string longer than the remaining bytes) latches !ok(); subsequent reads
+/// return zero values. Check ok() once after decoding a payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t U8() { return ReadLe<std::uint8_t>(); }
+  std::uint16_t U16() { return ReadLe<std::uint16_t>(); }
+  std::uint32_t U32() { return ReadLe<std::uint32_t>(); }
+  std::uint64_t U64() { return ReadLe<std::uint64_t>(); }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string String();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// ok() and the whole payload was consumed (trailing garbage rejected).
+  bool Finished() const { return ok_ && AtEnd(); }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    if (!ok_ || data_.size() - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ----- Request / response bodies ------------------------------------------
+
+/// kSearchBoolean / kSearchRanked request body.
+struct SearchRequest {
+  VertexId vertex = kInvalidVertex;
+  std::uint32_t k = 0;
+  std::string query;
+};
+
+/// kPoiAdd request body.
+struct PoiAddRequest {
+  VertexId vertex = kInvalidVertex;
+  std::string name;
+  std::vector<std::string> keywords;
+};
+
+/// kPoiTag / kPoiUntag request body.
+struct PoiTagRequest {
+  ObjectId object = kInvalidObject;
+  std::string keyword;
+};
+
+/// One search hit on the wire (kOk body: u32 count, then count of these).
+struct WireResult {
+  ObjectId object = kInvalidObject;
+  Distance travel_time = kInfDistance;
+  double score = 0.0;
+  std::string name;
+};
+
+std::vector<std::uint8_t> EncodeSearchRequest(const SearchRequest& request);
+bool DecodeSearchRequest(std::span<const std::uint8_t> payload,
+                         SearchRequest* request);
+
+std::vector<std::uint8_t> EncodePoiAddRequest(const PoiAddRequest& request);
+bool DecodePoiAddRequest(std::span<const std::uint8_t> payload,
+                         PoiAddRequest* request);
+
+std::vector<std::uint8_t> EncodePoiTagRequest(const PoiTagRequest& request);
+bool DecodePoiTagRequest(std::span<const std::uint8_t> payload,
+                         PoiTagRequest* request);
+
+/// Response bodies. Encode* produce the full response payload including
+/// the status byte; Decode* expect the status byte already consumed.
+std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
+                                              std::string_view message);
+std::vector<std::uint8_t> EncodeOkResponse();  // Status byte only.
+std::vector<std::uint8_t> EncodeSearchResponse(
+    std::span<const WireResult> results);
+bool DecodeSearchResponse(PayloadReader& reader,
+                          std::vector<WireResult>* results);
+std::vector<std::uint8_t> EncodeObjectIdResponse(ObjectId id);
+std::vector<std::uint8_t> EncodeStatsResponse(
+    std::span<const std::pair<std::string, std::uint64_t>> stats);
+bool DecodeStatsResponse(
+    PayloadReader& reader,
+    std::vector<std::pair<std::string, std::uint64_t>>* stats);
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_WIRE_H_

@@ -51,13 +51,14 @@ void PoiService::UntagPoi(ObjectId id, std::string_view keyword) {
 }
 
 std::vector<PoiResult> PoiService::Search(std::string_view query,
-                                          VertexId from, std::uint32_t k) {
+                                          VertexId from, std::uint32_t k,
+                                          const QueryControl* control) {
   ParseOptions options;
   options.allow_unknown_keywords = true;  // Unknown term: no matches.
   const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
   std::vector<PoiResult> results;
   for (const BkNNResult& r :
-       engine_->BooleanKnnCnf(from, k, parsed.clauses)) {
+       engine_->BooleanKnnCnf(from, k, parsed.clauses, nullptr, control)) {
     results.push_back({r.object, names_[r.object], r.distance, 0.0});
   }
   return results;
@@ -65,13 +66,44 @@ std::vector<PoiResult> PoiService::Search(std::string_view query,
 
 std::vector<PoiResult> PoiService::SearchRanked(std::string_view query,
                                                 VertexId from,
-                                                std::uint32_t k) {
+                                                std::uint32_t k,
+                                                const QueryControl* control) {
   ParseOptions options;
   options.allow_unknown_keywords = true;
   const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
   const std::vector<KeywordId> keywords = parsed.AllKeywords();
   std::vector<PoiResult> results;
-  for (const TopKResult& r : engine_->TopK(from, k, keywords)) {
+  for (const TopKResult& r :
+       engine_->TopK(from, k, keywords, nullptr, control)) {
+    results.push_back({r.object, names_[r.object], r.distance, r.score});
+  }
+  return results;
+}
+
+std::vector<PoiResult> PoiService::SearchOn(
+    QueryProcessor& processor, std::string_view query, VertexId from,
+    std::uint32_t k, const QueryControl* control) const {
+  ParseOptions options;
+  options.allow_unknown_keywords = true;
+  const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
+  std::vector<PoiResult> results;
+  for (const BkNNResult& r :
+       processor.BooleanKnnCnf(from, k, parsed.clauses, nullptr, control)) {
+    results.push_back({r.object, names_[r.object], r.distance, 0.0});
+  }
+  return results;
+}
+
+std::vector<PoiResult> PoiService::SearchRankedOn(
+    QueryProcessor& processor, std::string_view query, VertexId from,
+    std::uint32_t k, const QueryControl* control) const {
+  ParseOptions options;
+  options.allow_unknown_keywords = true;
+  const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
+  const std::vector<KeywordId> keywords = parsed.AllKeywords();
+  std::vector<PoiResult> results;
+  for (const TopKResult& r :
+       processor.TopK(from, k, keywords, nullptr, control)) {
     results.push_back({r.object, names_[r.object], r.distance, r.score});
   }
   return results;

@@ -53,15 +53,32 @@ class PoiService {
   /// Boolean search with full and/or syntax, nearest-first:
   ///   Search("thai and (takeaway or restaurant)", here, 5).
   /// Unknown keywords make the query unsatisfiable (empty result) rather
-  /// than erroring. Throws QueryParseError on bad syntax.
+  /// than erroring. Throws QueryParseError on bad syntax. A non-null
+  /// `control` imposes a deadline / cancellation point on the search;
+  /// expiry throws QueryCancelledError.
   std::vector<PoiResult> Search(std::string_view query, VertexId from,
-                                std::uint32_t k);
+                                std::uint32_t k,
+                                const QueryControl* control = nullptr);
 
   /// Relevance-ranked search: all keywords in `query` contribute to the
   /// weighted-distance score (operators are ignored beyond extracting
   /// keywords).
   std::vector<PoiResult> SearchRanked(std::string_view query, VertexId from,
-                                      std::uint32_t k);
+                                      std::uint32_t k,
+                                      const QueryControl* control = nullptr);
+
+  /// Search / SearchRanked semantics on a caller-owned QueryProcessor
+  /// (from Engine().MakeProcessor()) instead of the engine's internal one.
+  /// This is the concurrent-serving entry point: many threads may call
+  /// SearchOn simultaneously, each with its own processor, while no update
+  /// runs (see docs/architecture.md, "Concurrency model").
+  std::vector<PoiResult> SearchOn(QueryProcessor& processor,
+                                  std::string_view query, VertexId from,
+                                  std::uint32_t k,
+                                  const QueryControl* control = nullptr) const;
+  std::vector<PoiResult> SearchRankedOn(
+      QueryProcessor& processor, std::string_view query, VertexId from,
+      std::uint32_t k, const QueryControl* control = nullptr) const;
 
   /// One query of a batch (Search / SearchRanked semantics per element).
   struct BatchQuery {

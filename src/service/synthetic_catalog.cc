@@ -1,0 +1,47 @@
+#include "service/synthetic_catalog.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kspin {
+
+void PopulateSyntheticCatalog(PoiService& service, const Graph& graph,
+                              const SyntheticCatalogOptions& options) {
+  if (options.num_keywords == 0 || options.min_tags == 0 ||
+      options.min_tags > options.max_tags) {
+    throw std::invalid_argument("PopulateSyntheticCatalog: bad options");
+  }
+  Rng rng(options.seed);
+
+  // Zipf CDF over keyword ranks: keyword r has mass ~ 1 / (r+1)^skew.
+  std::vector<double> cdf(options.num_keywords);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < options.num_keywords; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), options.zipf_skew);
+    cdf[r] = total;
+  }
+  auto draw_keyword = [&]() -> std::uint32_t {
+    const double u = rng.UniformDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint32_t>(it - cdf.begin());
+  };
+
+  for (std::size_t i = 0; i < options.num_pois; ++i) {
+    const VertexId vertex = static_cast<VertexId>(
+        rng.UniformInt(0, graph.NumVertices() - 1));
+    const std::uint32_t tags = static_cast<std::uint32_t>(
+        rng.UniformInt(options.min_tags, options.max_tags));
+    std::vector<std::string> keywords;
+    keywords.reserve(tags);
+    for (std::uint32_t t = 0; t < tags; ++t) {
+      keywords.push_back("kw" + std::to_string(draw_keyword()));
+    }
+    service.AddPoi("poi" + std::to_string(i), vertex, keywords);
+  }
+}
+
+}  // namespace kspin

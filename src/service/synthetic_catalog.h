@@ -1,0 +1,31 @@
+// Populates a PoiService with a synthetic, string-level POI catalogue —
+// the serving-layer counterpart of text/zipf_generator. Names are
+// "poi<N>", keywords "kw<K>" with Zipf-distributed popularity, so tools
+// and benchmarks can issue meaningful queries ("kw0 or kw3") against a
+// generated road network without a real dataset.
+#ifndef KSPIN_SERVICE_SYNTHETIC_CATALOG_H_
+#define KSPIN_SERVICE_SYNTHETIC_CATALOG_H_
+
+#include <cstdint>
+
+#include "service/poi_service.h"
+
+namespace kspin {
+
+struct SyntheticCatalogOptions {
+  std::size_t num_pois = 500;
+  std::uint32_t num_keywords = 40;   ///< Corpus size ("kw0".."kwN-1").
+  std::uint32_t min_tags = 1;        ///< Keywords per POI, inclusive.
+  std::uint32_t max_tags = 4;
+  double zipf_skew = 0.8;            ///< Keyword popularity skew.
+  std::uint64_t seed = 42;
+};
+
+/// Adds `options.num_pois` POIs on uniform-random vertices of `graph`.
+/// Deterministic for a fixed seed and graph.
+void PopulateSyntheticCatalog(PoiService& service, const Graph& graph,
+                              const SyntheticCatalogOptions& options = {});
+
+}  // namespace kspin
+
+#endif  // KSPIN_SERVICE_SYNTHETIC_CATALOG_H_

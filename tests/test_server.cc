@@ -1,0 +1,406 @@
+// Integration tests for the kspin serving subsystem: a real Server bound
+// to a loopback ephemeral port, exercised through the blocking Client
+// (and a raw socket for protocol-violation cases). Concurrent results are
+// checked for exact equality against serial PoiService execution.
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "routing/contraction_hierarchy.h"
+#include "server/client.h"
+#include "service/poi_service.h"
+#include "service/synthetic_catalog.h"
+#include "test_util.h"
+
+namespace kspin::server {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : graph_(testing::SmallRoadNetwork()), ch_(graph_), oracle_(ch_) {}
+
+  /// Builds the service + catalogue and starts a server with `options`.
+  void StartServer(ServerOptions options = {}) {
+    service_ = std::make_unique<PoiService>(graph_, oracle_);
+    SyntheticCatalogOptions catalog;
+    catalog.num_pois = 150;
+    catalog.num_keywords = 20;
+    PopulateSyntheticCatalog(*service_, graph_, catalog);
+    server_ = std::make_unique<Server>(*service_, options);
+    server_->Start();
+  }
+
+  Client Connect() {
+    Client client;
+    client.Connect("127.0.0.1", server_->Port());
+    return client;
+  }
+
+  Graph graph_;
+  ContractionHierarchy ch_;
+  ChOracle oracle_;
+  std::unique_ptr<PoiService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingAndStats) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_TRUE(client.Ping().ok());
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.Value("connections_opened"), 1u);
+  EXPECT_GE(stats.Value("opcode_ping"), 1u);
+  EXPECT_EQ(stats.Value("requests_overloaded"), 0u);
+}
+
+TEST_F(ServerTest, LoopbackMatchesSerialExecution) {
+  StartServer();
+
+  struct Case {
+    std::string query;
+    VertexId from;
+    std::uint32_t k;
+  };
+  const std::vector<Case> cases = {
+      {"kw0", 3, 5},
+      {"kw1 or kw2", 50, 8},
+      {"kw0 and kw3", 120, 5},
+      {"(kw1 and kw2) or kw4", 200, 10},
+      {"kw5 and (kw0 or kw1)", 310, 6},
+      {"nosuchkeyword", 10, 5},  // Unknown keyword: empty result, kOk.
+  };
+
+  // Serial ground truth, computed while the server is idle.
+  std::vector<std::vector<PoiResult>> expected_bool;
+  std::vector<std::vector<PoiResult>> expected_ranked;
+  for (const Case& c : cases) {
+    expected_bool.push_back(service_->Search(c.query, c.from, c.k));
+    expected_ranked.push_back(service_->SearchRanked(c.query, c.from, c.k));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Client client = Connect();
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const Case& c = cases[i];
+          for (const bool ranked : {false, true}) {
+            const auto reply =
+                client.Search(c.query, c.from, c.k, ranked);
+            const auto& expected =
+                ranked ? expected_ranked[i] : expected_bool[i];
+            if (!reply.ok() || reply.results.size() != expected.size()) {
+              ++mismatches;
+              continue;
+            }
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+              if (reply.results[j].object != expected[j].id ||
+                  reply.results[j].travel_time !=
+                      expected[j].travel_time ||
+                  reply.results[j].score != expected[j].score ||
+                  reply.results[j].name != expected[j].name) {
+                ++mismatches;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  Client client = Connect();
+  const auto stats = client.Stats();
+  const std::uint64_t per_mode = kThreads * kRounds * cases.size();
+  EXPECT_EQ(stats.Value("opcode_search_boolean"), per_mode);
+  EXPECT_EQ(stats.Value("opcode_search_ranked"), per_mode);
+  EXPECT_EQ(stats.Value("requests_ok"), 2 * per_mode);
+  EXPECT_EQ(stats.Value("query_latency_count"), 2 * per_mode);
+}
+
+TEST_F(ServerTest, BadQuerySyntaxKeepsConnectionUsable) {
+  StartServer();
+  Client client = Connect();
+
+  const auto bad = client.Search("((kw1", 3, 5);
+  EXPECT_EQ(bad.status, StatusCode::kBadQuery);
+  EXPECT_FALSE(bad.error.empty());
+
+  // Application-level rejection, not a protocol error: the connection
+  // must survive and serve the next request.
+  const auto good = client.Search("kw0", 3, 5);
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(ServerTest, OutOfRangeVertexAndOversizedKRejected) {
+  StartServer();
+  Client client = Connect();
+
+  const auto bad_vertex = client.Search(
+      "kw0", static_cast<VertexId>(graph_.NumVertices()) + 10, 5);
+  EXPECT_EQ(bad_vertex.status, StatusCode::kBadQuery);
+
+  const auto bad_k = client.Search("kw0", 3, 1001);  // max_k default 1000.
+  EXPECT_EQ(bad_k.status, StatusCode::kBadQuery);
+}
+
+TEST_F(ServerTest, ZeroCapacityQueueShedsQueriesButAnswersPing) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // Admit nothing.
+  StartServer(options);
+  Client client = Connect();
+
+  const auto reply = client.Search("kw0", 3, 5);
+  EXPECT_EQ(reply.status, StatusCode::kOverloaded);
+
+  // PING and STATS are answered on the I/O thread, bypassing admission:
+  // the liveness probe must work precisely when the server is drowning.
+  EXPECT_TRUE(client.Ping().ok());
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.Value("requests_overloaded"), 1u);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineDroppedAtDequeue) {
+  ServerOptions options;
+  options.test_dequeue_delay_ms = 30;  // Everything expires in the queue.
+  StartServer(options);
+  Client client = Connect();
+
+  const auto reply = client.Search("kw0", 3, 5, false, /*deadline_ms=*/1);
+  EXPECT_EQ(reply.status, StatusCode::kDeadlineExceeded);
+
+  const auto stats = client.Stats();
+  EXPECT_GE(stats.Value("requests_deadline_dropped"), 1u);
+  EXPECT_EQ(stats.Value("requests_deadline_cancelled"), 0u);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineCancelledCooperatively) {
+  ServerOptions options;
+  options.test_dequeue_delay_ms = 30;
+  options.enforce_deadline_at_dequeue = false;  // Force the in-query path.
+  StartServer(options);
+  Client client = Connect();
+
+  const auto reply = client.Search("kw0", 3, 5, false, /*deadline_ms=*/1);
+  EXPECT_EQ(reply.status, StatusCode::kDeadlineExceeded);
+
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.Value("requests_deadline_dropped"), 0u);
+  EXPECT_GE(stats.Value("requests_deadline_cancelled"), 1u);
+}
+
+TEST_F(ServerTest, NoDeadlineMeansNoExpiry) {
+  ServerOptions options;
+  options.test_dequeue_delay_ms = 10;
+  StartServer(options);
+  Client client = Connect();
+  const auto reply = client.Search("kw0", 3, 5);  // deadline_ms = 0.
+  EXPECT_TRUE(reply.ok());
+}
+
+TEST_F(ServerTest, UpdatesThroughServerVisibleToSearches) {
+  StartServer();
+  Client client = Connect();
+
+  // A keyword no synthetic POI carries.
+  const std::vector<std::string> keywords = {"uniquekw"};
+  const auto added = client.AddPoi("newplace", 7, keywords);
+  ASSERT_TRUE(added.ok());
+
+  auto found = client.Search("uniquekw", 7, 3);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found.results.size(), 1u);
+  EXPECT_EQ(found.results[0].object, added.id);
+  EXPECT_EQ(found.results[0].name, "newplace");
+  EXPECT_EQ(found.results[0].travel_time, 0u);  // Same vertex.
+
+  // Tag with another fresh keyword; searchable immediately.
+  ASSERT_TRUE(client.TagPoi(added.id, "anotherkw").ok());
+  found = client.Search("uniquekw and anotherkw", 7, 3);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found.results.size(), 1u);
+
+  ASSERT_TRUE(client.UntagPoi(added.id, "anotherkw").ok());
+  found = client.Search("uniquekw and anotherkw", 7, 3);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found.results.empty());
+
+  ASSERT_TRUE(client.ClosePoi(added.id).ok());
+  found = client.Search("uniquekw", 7, 3);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found.results.empty());
+
+  // Operating on a closed POI is a BAD_QUERY, not a crash.
+  EXPECT_EQ(client.ClosePoi(added.id).status, StatusCode::kBadQuery);
+  EXPECT_EQ(client.TagPoi(added.id, "x").status, StatusCode::kBadQuery);
+}
+
+TEST_F(ServerTest, ConcurrentSearchesDuringUpdatesStayConsistent) {
+  StartServer();
+
+  // Readers hammer a stable keyword while a writer adds/closes POIs
+  // carrying a different one. Every reply must be kOk and every result
+  // list internally consistent (sorted by travel time).
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      Client client = Connect();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto reply = client.Search("kw0 or kw1", 40, 6);
+        if (!reply.ok()) {
+          ++failures;
+          break;
+        }
+        for (std::size_t i = 1; i < reply.results.size(); ++i) {
+          if (reply.results[i - 1].travel_time >
+              reply.results[i].travel_time) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  Client writer = Connect();
+  const std::vector<std::string> churn_kw = {"churnkw"};
+  for (int round = 0; round < 20; ++round) {
+    const auto added = writer.AddPoi("churn", 11, churn_kw);
+    if (!added.ok() || !writer.ClosePoi(added.id).ok()) {
+      ++failures;
+      break;
+    }
+  }
+  stop = true;
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServerTest, GarbageStreamGetsErrorFrameThenClose) {
+  StartServer();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->Port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::write(fd, garbage, sizeof garbage - 1), 0);
+
+  // The server must answer with one kError frame, then close.
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  FrameHeader header;
+  std::size_t frame_size = 0;
+  ASSERT_EQ(TryDecodeFrame(bytes, &header, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(header.opcode, Opcode::kError);
+  EXPECT_EQ(frame_size, bytes.size());  // Nothing after the error frame.
+
+  PayloadReader reader(std::span<const std::uint8_t>(
+      bytes.data() + kHeaderSize, header.payload_size));
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()),
+            StatusCode::kMalformedPayload);
+}
+
+TEST_F(ServerTest, WrongVersionGetsUnsupportedErrorWithRequestId) {
+  StartServer();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->Port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  FrameHeader ping;
+  ping.opcode = Opcode::kPing;
+  ping.request_id = 424242;
+  auto frame = EncodeFrame(ping, {});
+  frame[4] = kProtocolVersion + 1;
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  FrameHeader header;
+  std::size_t frame_size = 0;
+  ASSERT_EQ(TryDecodeFrame(bytes, &header, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(header.opcode, Opcode::kError);
+  EXPECT_EQ(header.request_id, 424242u);  // Echoed despite the bad version.
+
+  PayloadReader reader(std::span<const std::uint8_t>(
+      bytes.data() + kHeaderSize, header.payload_size));
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kUnsupported);
+}
+
+TEST_F(ServerTest, StopDrainsAdmittedRequests) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  // Queue a burst, then stop the server while replies are in flight.
+  // Graceful shutdown promises every admitted request still gets its
+  // response before the connection closes.
+  Client client = Connect();
+  std::atomic<int> answered{0};
+  std::thread burst([&] {
+    for (int i = 0; i < 30; ++i) {
+      const auto reply = client.Search("kw0 or kw2", 40, 5);
+      if (reply.ok()) ++answered;
+    }
+  });
+  burst.join();
+  server_->Stop();
+  EXPECT_EQ(answered.load(), 30);
+}
+
+TEST_F(ServerTest, StopIsIdempotent) {
+  StartServer();
+  server_->Stop();
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace kspin::server

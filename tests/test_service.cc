@@ -2,8 +2,10 @@
 // normalization, error handling) and the string-level PoiService facade.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
+#include "kspin/query_control.h"
 #include "routing/contraction_hierarchy.h"
 #include "service/poi_service.h"
 #include "service/query_parser.h"
@@ -93,6 +95,56 @@ TEST_F(QueryParserTest, SyntaxErrors) {
   EXPECT_THROW(ParseBooleanQuery("thai ? cafe", vocab_), QueryParseError);
 }
 
+TEST_F(QueryParserTest, MoreSyntaxErrorPaths) {
+  // Whitespace-only input.
+  EXPECT_THROW(ParseBooleanQuery("   \t  ", vocab_), QueryParseError);
+  // Operators with no operands at all.
+  EXPECT_THROW(ParseBooleanQuery("and", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("or", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("and or", vocab_), QueryParseError);
+  // Doubled infix operators.
+  EXPECT_THROW(ParseBooleanQuery("thai and and cafe", vocab_),
+               QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("thai or or cafe", vocab_),
+               QueryParseError);
+  // Leading infix operator.
+  EXPECT_THROW(ParseBooleanQuery("and thai", vocab_), QueryParseError);
+  // Empty and unbalanced groups.
+  EXPECT_THROW(ParseBooleanQuery("()", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("thai ()", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("((thai)", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("((thai", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("thai))", vocab_), QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery(")(", vocab_), QueryParseError);
+  // Dangling operator inside a group.
+  EXPECT_THROW(ParseBooleanQuery("(thai or) cafe", vocab_),
+               QueryParseError);
+  EXPECT_THROW(ParseBooleanQuery("(and thai)", vocab_), QueryParseError);
+}
+
+TEST_F(QueryParserTest, ErrorMessagesAreInformative) {
+  // The serving layer forwards parser messages to clients verbatim, so
+  // they should not be empty.
+  try {
+    ParseBooleanQuery("((thai", vocab_);
+    FAIL() << "expected QueryParseError";
+  } catch (const QueryParseError& e) {
+    EXPECT_STRNE(e.what(), "");
+  }
+  try {
+    ParseBooleanQuery("sushi", vocab_);
+    FAIL() << "expected QueryParseError";
+  } catch (const QueryParseError& e) {
+    EXPECT_STRNE(e.what(), "");
+  }
+}
+
+TEST_F(QueryParserTest, DeeplyNestedGroupsParse) {
+  const ParsedQuery q = ParseBooleanQuery("((((thai))))", vocab_);
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0], std::vector<KeywordId>{thai_});
+}
+
 TEST_F(QueryParserTest, UnknownKeywordPolicy) {
   EXPECT_THROW(ParseBooleanQuery("sushi", vocab_), QueryParseError);
   ParseOptions lenient;
@@ -166,6 +218,50 @@ TEST_F(PoiServiceTest, RankedSearchScoresAndNames) {
     EXPECT_GE(hits[i].score, hits[i - 1].score);
   }
   EXPECT_FALSE(hits[0].name.empty());
+}
+
+TEST_F(PoiServiceTest, ExpiredControlCancelsSearch) {
+  QueryControl control = QueryControl::AfterMillis(0);  // Already expired.
+  EXPECT_THROW(service_->Search("thai", 15, 5, &control),
+               QueryCancelledError);
+  EXPECT_THROW(service_->SearchRanked("thai restaurant", 15, 5, &control),
+               QueryCancelledError);
+}
+
+TEST_F(PoiServiceTest, CancelFlagAbortsSearch) {
+  std::atomic<bool> cancel{true};
+  QueryControl control;
+  control.cancel = &cancel;
+  EXPECT_THROW(service_->Search("thai", 15, 5, &control),
+               QueryCancelledError);
+
+  cancel = false;
+  const auto hits = service_->Search("thai", 15, 5, &control);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(PoiServiceTest, GenerousDeadlineDoesNotPerturbResults) {
+  QueryControl control = QueryControl::AfterMillis(60'000);
+  const auto limited = service_->Search("thai", 15, 5, &control);
+  const auto unlimited = service_->Search("thai", 15, 5);
+  ASSERT_EQ(limited.size(), unlimited.size());
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    EXPECT_EQ(limited[i].id, unlimited[i].id);
+    EXPECT_EQ(limited[i].travel_time, unlimited[i].travel_time);
+  }
+}
+
+TEST_F(PoiServiceTest, SearchOnMatchesSearch) {
+  auto processor = service_->Engine().MakeProcessor();
+  const auto on = service_->SearchOn(*processor, "thai", 15, 5);
+  const auto direct = service_->Search("thai", 15, 5);
+  ASSERT_EQ(on.size(), direct.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].id, direct[i].id);
+    EXPECT_EQ(on[i].travel_time, direct[i].travel_time);
+  }
+  // SearchOn is lenient about unknown keywords (serving path): no throw.
+  EXPECT_TRUE(service_->SearchOn(*processor, "sushi", 15, 5).empty());
 }
 
 TEST_F(PoiServiceTest, LifecycleUpdatesAffectSearch) {

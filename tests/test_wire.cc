@@ -1,0 +1,272 @@
+// Unit tests for the kspin wire protocol: frame encode/decode, the
+// payload primitives, and the request/response body codecs.
+#include "server/wire.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kspin::server {
+namespace {
+
+std::span<const std::uint8_t> Prefix(const std::vector<std::uint8_t>& bytes,
+                                     std::size_t count) {
+  return std::span<const std::uint8_t>(bytes.data(), count);
+}
+
+TEST(WireFrameTest, HeaderRoundTrip) {
+  FrameHeader header;
+  header.opcode = Opcode::kSearchRanked;
+  header.request_id = 0x0123456789ABCDEFull;
+  header.deadline_ms = 250;
+  const std::vector<std::uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  const auto frame = EncodeFrame(header, payload);
+  ASSERT_EQ(frame.size(), kHeaderSize + payload.size());
+
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  ASSERT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(frame_size, frame.size());
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.opcode, Opcode::kSearchRanked);
+  EXPECT_EQ(decoded.request_id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded.payload_size, payload.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(frame.begin() + kHeaderSize,
+                                      frame.end()),
+            payload);
+}
+
+TEST(WireFrameTest, EmptyPayloadFrame) {
+  FrameHeader header;
+  header.opcode = Opcode::kPing;
+  header.request_id = 7;
+  const auto frame = EncodeFrame(header, {});
+  ASSERT_EQ(frame.size(), kHeaderSize);
+
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  ASSERT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(frame_size, kHeaderSize);
+  EXPECT_EQ(decoded.payload_size, 0u);
+}
+
+TEST(WireFrameTest, EveryTruncatedPrefixNeedsMore) {
+  FrameHeader header;
+  header.opcode = Opcode::kSearchBoolean;
+  header.request_id = 42;
+  const std::vector<std::uint8_t> payload(17, 0x5A);
+  const auto frame = EncodeFrame(header, payload);
+
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameHeader decoded;
+    std::size_t frame_size = 0;
+    EXPECT_EQ(TryDecodeFrame(Prefix(frame, len), &decoded, &frame_size),
+              DecodeResult::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireFrameTest, BadMagicDetectedEvenOnShortPrefix) {
+  FrameHeader header;
+  const auto frame = EncodeFrame(header, {});
+  // Corrupt each magic byte in turn; the error must surface as soon as
+  // the corrupted byte is visible, not only after a full header arrives.
+  for (std::size_t corrupt = 0; corrupt < 4; ++corrupt) {
+    auto bad = frame;
+    bad[corrupt] ^= 0xFF;
+    FrameHeader decoded;
+    std::size_t frame_size = 0;
+    EXPECT_EQ(TryDecodeFrame(Prefix(bad, corrupt + 1), &decoded,
+                             &frame_size),
+              DecodeResult::kBadMagic)
+        << "corrupted byte " << corrupt;
+    EXPECT_EQ(TryDecodeFrame(bad, &decoded, &frame_size),
+              DecodeResult::kBadMagic);
+  }
+}
+
+TEST(WireFrameTest, BadVersionStillYieldsRequestId) {
+  FrameHeader header;
+  header.request_id = 99;
+  auto frame = EncodeFrame(header, {});
+  frame[4] = kProtocolVersion + 1;
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kBadVersion);
+  // The header is filled so the server can address the error frame.
+  EXPECT_EQ(decoded.request_id, 99u);
+  EXPECT_EQ(decoded.version, kProtocolVersion + 1);
+}
+
+TEST(WireFrameTest, OversizedPayloadRejected) {
+  FrameHeader header;
+  auto frame = EncodeFrame(header, {});
+  const std::uint32_t huge = kMaxPayloadSize + 1;
+  std::memcpy(frame.data() + 20, &huge, sizeof huge);
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kTooLarge);
+}
+
+TEST(WireFrameTest, NonZeroReservedBytesRejected) {
+  FrameHeader header;
+  auto frame = EncodeFrame(header, {});
+  frame[6] = 1;
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kBadVersion);
+}
+
+TEST(PayloadTest, PrimitivesRoundTrip) {
+  PayloadWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0102030405060708ull);
+  w.F64(-1234.5);
+  w.String("hello");
+  w.String("");
+
+  PayloadReader r(w.Bytes());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0102030405060708ull);
+  EXPECT_EQ(r.F64(), -1234.5);
+  EXPECT_EQ(r.String(), "hello");
+  EXPECT_EQ(r.String(), "");
+  EXPECT_TRUE(r.Finished());
+}
+
+TEST(PayloadTest, UnderrunLatchesNotOk) {
+  PayloadWriter w;
+  w.U16(7);
+  PayloadReader r(w.Bytes());
+  EXPECT_EQ(r.U32(), 0u);  // Only two bytes available.
+  EXPECT_FALSE(r.ok());
+  // Latches: later reads stay zero even though bytes remain.
+  EXPECT_EQ(r.U8(), 0u);
+  EXPECT_FALSE(r.Finished());
+}
+
+TEST(PayloadTest, StringLengthBeyondPayloadLatchesNotOk) {
+  PayloadWriter w;
+  w.U32(1000);  // Length prefix promising far more than is present.
+  w.U8('x');
+  PayloadReader r(w.Bytes());
+  EXPECT_EQ(r.String(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PayloadTest, TrailingGarbageNotFinished) {
+  PayloadWriter w;
+  w.U8(1);
+  w.U8(2);
+  PayloadReader r(w.Bytes());
+  EXPECT_EQ(r.U8(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.Finished());
+}
+
+TEST(BodyCodecTest, SearchRequestRoundTrip) {
+  SearchRequest request;
+  request.vertex = 314;
+  request.k = 10;
+  request.query = "(coffee and wifi) or tea";
+  SearchRequest decoded;
+  ASSERT_TRUE(DecodeSearchRequest(EncodeSearchRequest(request), &decoded));
+  EXPECT_EQ(decoded.vertex, request.vertex);
+  EXPECT_EQ(decoded.k, request.k);
+  EXPECT_EQ(decoded.query, request.query);
+}
+
+TEST(BodyCodecTest, SearchRequestRejectsTruncation) {
+  const auto bytes = EncodeSearchRequest({314, 10, "coffee"});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SearchRequest decoded;
+    EXPECT_FALSE(DecodeSearchRequest(Prefix(bytes, len), &decoded))
+        << "prefix length " << len;
+  }
+}
+
+TEST(BodyCodecTest, SearchRequestRejectsTrailingGarbage) {
+  auto bytes = EncodeSearchRequest({314, 10, "coffee"});
+  bytes.push_back(0);
+  SearchRequest decoded;
+  EXPECT_FALSE(DecodeSearchRequest(bytes, &decoded));
+}
+
+TEST(BodyCodecTest, PoiAddRequestRoundTrip) {
+  PoiAddRequest request;
+  request.vertex = 9;
+  request.name = "cafe";
+  request.keywords = {"coffee", "wifi", "open_late"};
+  PoiAddRequest decoded;
+  ASSERT_TRUE(DecodePoiAddRequest(EncodePoiAddRequest(request), &decoded));
+  EXPECT_EQ(decoded.vertex, request.vertex);
+  EXPECT_EQ(decoded.name, request.name);
+  EXPECT_EQ(decoded.keywords, request.keywords);
+}
+
+TEST(BodyCodecTest, PoiTagRequestRoundTrip) {
+  PoiTagRequest request{77, "sushi"};
+  PoiTagRequest decoded;
+  ASSERT_TRUE(DecodePoiTagRequest(EncodePoiTagRequest(request), &decoded));
+  EXPECT_EQ(decoded.object, 77u);
+  EXPECT_EQ(decoded.keyword, "sushi");
+}
+
+TEST(BodyCodecTest, SearchResponseRoundTrip) {
+  std::vector<WireResult> results(2);
+  results[0] = {5, 120, 0.25, "poi5"};
+  results[1] = {9, 480, 17.5, "poi9"};
+  const auto bytes = EncodeSearchResponse(results);
+
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<WireResult> decoded;
+  ASSERT_TRUE(DecodeSearchResponse(reader, &decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].object, 5u);
+  EXPECT_EQ(decoded[0].travel_time, 120u);
+  EXPECT_EQ(decoded[0].score, 0.25);
+  EXPECT_EQ(decoded[0].name, "poi5");
+  EXPECT_EQ(decoded[1].object, 9u);
+}
+
+TEST(BodyCodecTest, ErrorResponseCarriesStatusAndMessage) {
+  const auto bytes =
+      EncodeErrorResponse(StatusCode::kOverloaded, "queue full");
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOverloaded);
+  EXPECT_EQ(reader.String(), "queue full");
+  EXPECT_TRUE(reader.Finished());
+}
+
+TEST(BodyCodecTest, StatsResponseRoundTrip) {
+  const std::vector<std::pair<std::string, std::uint64_t>> stats = {
+      {"requests_ok", 12}, {"queue_depth", 0}, {"query_latency_p99_us", 512}};
+  const auto bytes = EncodeStatsResponse(stats);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<std::pair<std::string, std::uint64_t>> decoded;
+  ASSERT_TRUE(DecodeStatsResponse(reader, &decoded));
+  EXPECT_EQ(decoded, stats);
+}
+
+TEST(BodyCodecTest, StatusNamesAreStable) {
+  EXPECT_EQ(StatusName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusName(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_EQ(StatusName(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+}
+
+}  // namespace
+}  // namespace kspin::server

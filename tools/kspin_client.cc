@@ -1,0 +1,163 @@
+// kspin_client: command-line client for kspin_server (docs/protocol.md).
+//
+//   kspin_client [--host=H] --port=P <command> [args...]
+//
+// Commands:
+//   ping
+//   stats
+//   search  <vertex> <k> <query...>     boolean kNN
+//   ranked  <vertex> <k> <query...>     ranked top-k
+//   add     <vertex> <name> <kw...>     add a POI, prints its id
+//   close   <id>                        mark a POI closed
+//   tag     <id> <keyword>              add a keyword to a POI
+//   untag   <id> <keyword>              remove a keyword from a POI
+//
+// Options: --deadline-ms=D attaches a deadline to search commands.
+// Exit status: 0 on kOk, 2 when the server rejects the request
+// (OVERLOADED, DEADLINE_EXCEEDED, BAD_QUERY, ...), 1 on usage or
+// transport errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+namespace kspin::clientd {
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kspin_client [--host=H] --port=P [--deadline-ms=D] "
+      "<command> [args...]\n"
+      "commands: ping | stats | search <vertex> <k> <query...> |\n"
+      "          ranked <vertex> <k> <query...> | add <vertex> <name> "
+      "<kw...> |\n"
+      "          close <id> | tag <id> <kw> | untag <id> <kw>\n");
+}
+
+int ReportStatus(const server::Client::Reply& reply) {
+  if (reply.ok()) return 0;
+  std::fprintf(stderr, "error: %s: %s\n",
+               std::string(server::StatusName(reply.status)).c_str(),
+               reply.error.c_str());
+  return 2;
+}
+
+int RunSearch(server::Client& client, bool ranked,
+              const std::vector<std::string>& args,
+              std::uint32_t deadline_ms) {
+  if (args.size() < 3) {
+    Usage();
+    return 1;
+  }
+  const VertexId vertex = static_cast<VertexId>(std::stoul(args[0]));
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(std::stoul(args[1]));
+  std::string query;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (i > 2) query += ' ';
+    query += args[i];
+  }
+  const auto reply = client.Search(query, vertex, k, ranked, deadline_ms);
+  if (const int rc = ReportStatus(reply)) return rc;
+  for (const auto& r : reply.results) {
+    const auto time = static_cast<unsigned long long>(r.travel_time);
+    if (ranked) {
+      std::printf("%u\t%s\ttime=%llu\tscore=%.4f\n", r.object,
+                  r.name.c_str(), time, r.score);
+    } else {
+      std::printf("%u\t%s\ttime=%llu\n", r.object, r.name.c_str(), time);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t deadline_ms = 0;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(14)));
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (port == 0 || rest.empty()) {
+    Usage();
+    return 1;
+  }
+  const std::string command = rest.front();
+  const std::vector<std::string> args(rest.begin() + 1, rest.end());
+
+  try {
+    server::Client client;
+    client.Connect(host, port);
+
+    if (command == "ping") {
+      return ReportStatus(client.Ping());
+    }
+    if (command == "stats") {
+      const auto reply = client.Stats();
+      if (const int rc = ReportStatus(reply)) return rc;
+      for (const auto& [key, value] : reply.stats) {
+        std::printf("%s\t%llu\n", key.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      return 0;
+    }
+    if (command == "search" || command == "ranked") {
+      return RunSearch(client, command == "ranked", args, deadline_ms);
+    }
+    if (command == "add") {
+      if (args.size() < 3) {
+        Usage();
+        return 1;
+      }
+      const VertexId vertex = static_cast<VertexId>(std::stoul(args[0]));
+      const std::vector<std::string> keywords(args.begin() + 2,
+                                              args.end());
+      const auto reply = client.AddPoi(args[1], vertex, keywords);
+      if (const int rc = ReportStatus(reply)) return rc;
+      std::printf("%u\n", reply.id);
+      return 0;
+    }
+    if (command == "close") {
+      if (args.size() != 1) {
+        Usage();
+        return 1;
+      }
+      return ReportStatus(
+          client.ClosePoi(static_cast<ObjectId>(std::stoul(args[0]))));
+    }
+    if (command == "tag" || command == "untag") {
+      if (args.size() != 2) {
+        Usage();
+        return 1;
+      }
+      const ObjectId id = static_cast<ObjectId>(std::stoul(args[0]));
+      return ReportStatus(command == "tag" ? client.TagPoi(id, args[1])
+                                           : client.UntagPoi(id, args[1]));
+    }
+    Usage();
+    return 1;
+  } catch (const server::ClientError& e) {
+    std::fprintf(stderr, "transport error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace kspin::clientd
+
+int main(int argc, char** argv) { return kspin::clientd::Main(argc, argv); }

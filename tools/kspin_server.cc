@@ -1,0 +1,165 @@
+// kspin_server: serves K-SPIN spatial keyword queries over TCP using the
+// framed wire protocol (docs/protocol.md).
+//
+//   kspin_server [--port=P] [--workers=N] [--queue=CAP]
+//                [--grid=WxH] [--pois=N] [--keywords=N] [--seed=S]
+//                [--module=ch|dijkstra]
+//
+// Builds a synthetic road network + POI catalogue (names "poi<N>",
+// keywords "kw<K>"), constructs the distance oracle, binds 127.0.0.1:P
+// (P=0 picks an ephemeral port) and serves until SIGINT/SIGTERM, then
+// shuts down gracefully: stop accepting, drain admitted requests, flush
+// responses. Prints "listening on port <P>" once ready — scripts (e.g.
+// tools/server_smoke_test.sh) key off that line.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include "graph/road_network_generator.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "server/server.h"
+#include "service/poi_service.h"
+#include "service/synthetic_catalog.h"
+
+namespace kspin::serverd {
+namespace {
+
+struct Args {
+  std::uint16_t port = 0;
+  unsigned workers = 0;
+  std::size_t queue = 256;
+  std::uint32_t grid_width = 40;
+  std::uint32_t grid_height = 40;
+  std::size_t pois = 800;
+  std::uint32_t keywords = 40;
+  std::uint64_t seed = 7;
+  std::string module = "ch";
+  bool bad = false;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string("--") + name + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("port")) {
+      args.port = static_cast<std::uint16_t>(std::stoul(*v));
+    } else if (auto v = value("workers")) {
+      args.workers = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("queue")) {
+      args.queue = std::stoul(*v);
+    } else if (auto v = value("grid")) {
+      const std::size_t x = v->find('x');
+      if (x == std::string::npos) {
+        args.bad = true;
+      } else {
+        args.grid_width = std::stoul(v->substr(0, x));
+        args.grid_height = std::stoul(v->substr(x + 1));
+      }
+    } else if (auto v = value("pois")) {
+      args.pois = std::stoul(*v);
+    } else if (auto v = value("keywords")) {
+      args.keywords = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("seed")) {
+      args.seed = std::stoull(*v);
+    } else if (auto v = value("module")) {
+      args.module = *v;
+    } else {
+      args.bad = true;
+    }
+  }
+  return args;
+}
+
+// Self-pipe written by the signal handler; main blocks reading it.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.bad || (args.module != "ch" && args.module != "dijkstra")) {
+    std::fprintf(stderr,
+                 "usage: kspin_server [--port=P] [--workers=N] "
+                 "[--queue=CAP] [--grid=WxH] [--pois=N] [--keywords=N] "
+                 "[--seed=S] [--module=ch|dijkstra]\n");
+    return 1;
+  }
+
+  RoadNetworkOptions road;
+  road.grid_width = args.grid_width;
+  road.grid_height = args.grid_height;
+  road.seed = args.seed;
+  const Graph graph = GenerateRoadNetwork(road);
+  std::printf("network: |V|=%zu |E|=%zu\n", graph.NumVertices(),
+              graph.NumEdges());
+
+  std::optional<ContractionHierarchy> ch;
+  std::optional<ChOracle> ch_oracle;
+  std::optional<DijkstraOracle> dijkstra_oracle;
+  DistanceOracle* oracle;
+  if (args.module == "ch") {
+    ch.emplace(graph);
+    ch_oracle.emplace(*ch);
+    oracle = &*ch_oracle;
+  } else {
+    dijkstra_oracle.emplace(graph);
+    oracle = &*dijkstra_oracle;
+  }
+
+  PoiService service(graph, *oracle);
+  SyntheticCatalogOptions catalog;
+  catalog.num_pois = args.pois;
+  catalog.num_keywords = args.keywords;
+  catalog.seed = args.seed + 1;
+  PopulateSyntheticCatalog(service, graph, catalog);
+  std::printf("catalogue: %zu pois, %u keywords (kw0..kw%u)\n",
+              service.NumLivePois(), args.keywords, args.keywords - 1);
+
+  server::ServerOptions options;
+  options.port = args.port;
+  options.num_workers = args.workers;
+  options.queue_capacity = args.queue;
+  server::Server server(service, options);
+  server.Start();
+  std::printf("listening on port %u (module: %s)\n", server.Port(),
+              oracle->Name().c_str());
+  std::fflush(stdout);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("shutting down\n");
+  server.Stop();
+  const auto& m = server.Metrics();
+  std::printf("served: %llu ok, %llu overloaded, %llu deadline-dropped\n",
+              static_cast<unsigned long long>(m.requests_ok.load()),
+              static_cast<unsigned long long>(m.requests_overloaded.load()),
+              static_cast<unsigned long long>(
+                  m.requests_deadline_dropped.load() +
+                  m.requests_deadline_cancelled.load()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace kspin::serverd
+
+int main(int argc, char** argv) { return kspin::serverd::Main(argc, argv); }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: boots kspin_server on an ephemeral port, drives
+# it with kspin_client (ping, searches, an update, stats), and checks a
+# clean SIGINT shutdown. Exercises the real binaries over real TCP — the
+# piece unit tests cannot cover.
+#
+# Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/tools/kspin_server"
+CLIENT="$BUILD_DIR/tools/kspin_client"
+LOG="$(mktemp)"
+
+for bin in "$SERVER" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "smoke: missing binary $bin" >&2
+    exit 1
+  fi
+done
+
+cleanup() {
+  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "smoke: server never reported its port" >&2; cat "$LOG" >&2; exit 1; }
+echo "smoke: server up on port $PORT"
+
+"$CLIENT" --port="$PORT" ping
+echo "smoke: ping ok"
+
+RESULTS="$("$CLIENT" --port="$PORT" search 5 3 "kw0 or kw1")"
+[[ -n "$RESULTS" ]] || { echo "smoke: empty search results" >&2; exit 1; }
+echo "smoke: search returned $(wc -l <<<"$RESULTS") results"
+
+"$CLIENT" --port="$PORT" ranked 5 3 kw0 kw2 >/dev/null
+echo "smoke: ranked search ok"
+
+POI_ID="$("$CLIENT" --port="$PORT" add 7 smoketestpoi smokekw)"
+FOUND="$("$CLIENT" --port="$PORT" search 7 1 smokekw)"
+grep -q "smoketestpoi" <<<"$FOUND" || { echo "smoke: added POI not found" >&2; exit 1; }
+"$CLIENT" --port="$PORT" close "$POI_ID"
+echo "smoke: update cycle ok (poi id $POI_ID)"
+
+# Bad queries must be rejected without killing the server.
+if "$CLIENT" --port="$PORT" search 5 3 "((kw1" 2>/dev/null; then
+  echo "smoke: malformed query unexpectedly accepted" >&2
+  exit 1
+fi
+"$CLIENT" --port="$PORT" ping
+echo "smoke: bad query rejected, server alive"
+
+STATS="$("$CLIENT" --port="$PORT" stats)"
+grep -q "requests_ok" <<<"$STATS" || { echo "smoke: stats missing requests_ok" >&2; exit 1; }
+OK_COUNT="$(awk -F'\t' '$1 == "requests_ok" { print $2 }' <<<"$STATS")"
+[[ "$OK_COUNT" -ge 6 ]] || { echo "smoke: implausible requests_ok=$OK_COUNT" >&2; exit 1; }
+echo "smoke: stats ok (requests_ok=$OK_COUNT)"
+
+kill -INT "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "smoke: server ignored SIGINT" >&2
+  exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q "shutting down" "$LOG" || { echo "smoke: no graceful shutdown log" >&2; cat "$LOG" >&2; exit 1; }
+echo "smoke: graceful shutdown ok"
+echo "smoke: PASS"
