@@ -4,9 +4,17 @@
 // stale or foreign file fails fast with a clear error instead of producing
 // a corrupt index. All integers are written in the host's native byte
 // order (the format is a cache, not an interchange format).
+//
+// Hardening rules (see docs/persistence.md):
+//  - every write checks the stream afterwards, so ENOSPC / EIO raise
+//    SerializationError instead of silently truncating an artifact;
+//  - every length field read from disk is untrusted: vectors and strings
+//    are materialized incrementally, so a corrupt 2^60 length exhausts the
+//    stream and throws instead of attempting a giant allocation.
 #ifndef KSPIN_IO_BINARY_FORMAT_H_
 #define KSPIN_IO_BINARY_FORMAT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -17,16 +25,30 @@
 
 namespace kspin::io {
 
-/// Thrown on magic/version mismatches and truncated streams.
+/// Thrown on magic/version mismatches, truncated or corrupt streams, and
+/// failed writes (disk full, I/O error).
 class SerializationError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
+/// Bytes materialized per step when reading an untrusted length field.
+/// Small enough that a corrupt length cannot force a giant allocation,
+/// large enough that honest multi-megabyte artifacts read in a few steps.
+inline constexpr std::size_t kReadChunkBytes = std::size_t{1} << 20;
+
+/// Checks `out` after a write; throws so ENOSPC is never swallowed.
+inline void CheckWrite(std::ostream& out) {
+  if (!out) {
+    throw SerializationError("write failed (stream error, disk full?)");
+  }
+}
+
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  CheckWrite(out);
 }
 
 template <typename T>
@@ -44,23 +66,57 @@ void WritePodVector(std::ostream& out, const std::vector<T>& values) {
   WritePod<std::uint64_t>(out, values.size());
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(T)));
+  CheckWrite(out);
 }
 
 template <typename T>
 std::vector<T> ReadPodVector(std::istream& in) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto size = ReadPod<std::uint64_t>(in);
-  std::vector<T> values(size);
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  if (!in) throw SerializationError("truncated stream reading vector");
+  // The length field is untrusted: grow incrementally so a corrupt huge
+  // value runs the stream dry (throwing) long before memory does.
+  const std::size_t chunk_elems =
+      std::max<std::size_t>(1, kReadChunkBytes / sizeof(T));
+  std::vector<T> values;
+  std::uint64_t got = 0;
+  while (got < size) {
+    const std::size_t step = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_elems, size - got));
+    values.resize(static_cast<std::size_t>(got) + step);
+    in.read(reinterpret_cast<char*>(values.data() + got),
+            static_cast<std::streamsize>(step * sizeof(T)));
+    if (!in) throw SerializationError("truncated stream reading vector");
+    got += step;
+  }
   return values;
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WritePod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  CheckWrite(out);
+}
+
+inline std::string ReadString(std::istream& in) {
+  const auto size = ReadPod<std::uint64_t>(in);
+  std::string s;
+  std::uint64_t got = 0;
+  while (got < size) {
+    const std::size_t step = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kReadChunkBytes, size - got));
+    s.resize(static_cast<std::size_t>(got) + step);
+    in.read(s.data() + got, static_cast<std::streamsize>(step));
+    if (!in) throw SerializationError("truncated stream reading string");
+    got += step;
+  }
+  return s;
 }
 
 /// Writes the artifact header.
 inline void WriteHeader(std::ostream& out, const char magic[8],
                         std::uint32_t version) {
   out.write(magic, 8);
+  CheckWrite(out);
   WritePod(out, version);
 }
 

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli polynomial, as used by iSCSI/ext4/leveldb): the
+// integrity check of the snapshot format. Software table-driven
+// implementation — fast enough to checksum multi-megabyte artifacts at
+// load time without dominating restore cost, and portable.
+#ifndef KSPIN_IO_CHECKSUM_H_
+#define KSPIN_IO_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kspin::io {
+
+/// CRC32C of `size` bytes at `data`. `seed` chains partial checksums:
+/// Crc32c(b, Crc32c(a)) == Crc32c(a+b).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  return Crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace kspin::io
+
+#endif  // KSPIN_IO_CHECKSUM_H_

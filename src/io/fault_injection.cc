@@ -1,0 +1,67 @@
+#include "io/fault_injection.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace kspin::io {
+
+bool FaultInjectingStreambuf::Put(char byte) {
+  const std::uint64_t at = offset_;
+  if (at >= plan_.fail_after) return false;
+  ++offset_;
+  if (at >= plan_.silently_drop_after) return true;  // Torn write.
+  if (at == plan_.flip_byte_at) {
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^
+                             plan_.flip_mask);
+  }
+  return sink_->sputc(traits_type::to_char_type(byte)) != traits_type::eof();
+}
+
+FaultInjectingStreambuf::int_type FaultInjectingStreambuf::overflow(
+    int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+  return Put(traits_type::to_char_type(ch)) ? ch : traits_type::eof();
+}
+
+std::streamsize FaultInjectingStreambuf::xsputn(const char* data,
+                                                std::streamsize count) {
+  std::streamsize written = 0;
+  while (written < count) {
+    if (!Put(data[written])) break;
+    ++written;
+  }
+  return written;
+}
+
+void FlipByteInFile(const std::string& path, std::uint64_t offset,
+                    std::uint8_t mask) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file) throw std::runtime_error("FlipByteInFile: cannot open " + path);
+  file.seekg(static_cast<std::streamoff>(offset));
+  const int byte = file.get();
+  if (byte == EOF) {
+    throw std::runtime_error("FlipByteInFile: offset past end of " + path);
+  }
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ mask));
+  if (!file) throw std::runtime_error("FlipByteInFile: write failed");
+}
+
+void TruncateFileTo(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  if (std::filesystem::file_size(path, ec) < size || ec) {
+    throw std::runtime_error("TruncateFileTo: bad size for " + path);
+  }
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) throw std::runtime_error("TruncateFileTo: " + ec.message());
+}
+
+std::uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("FileSize: " + path + ": " + ec.message());
+  return size;
+}
+
+}  // namespace kspin::io

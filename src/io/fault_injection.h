@@ -1,0 +1,118 @@
+// Deterministic fault injection for the persistence layer.
+//
+// Storage fails in boring, repeatable ways — short writes, torn writes,
+// ENOSPC, bit rot, a crash between writing a temp file and renaming it
+// into place. This header gives tests an injectable shim for each class
+// so tests/test_fault_injection.cc can prove that every failure yields a
+// typed io::SerializationError (or a clean fallback), never UB or a
+// silently wrong index:
+//
+//  - StreamFaultPlan + FaultyOStream: wrap any ostream and fail, drop, or
+//    corrupt bytes at an exact offset (ENOSPC/EIO, torn write, bit flip);
+//  - AtomicWriteHooks: stop WriteFileAtomically (io/snapshot.h) at a
+//    chosen phase, simulating a crash before/after the rename;
+//  - FlipByteInFile / TruncateFileTo: post-hoc corruption of files on
+//    disk for property tests over saved snapshots.
+//
+// Everything here is deterministic: faults trigger at byte offsets, not
+// timers or randomness, so a failing test replays exactly.
+#ifndef KSPIN_IO_FAULT_INJECTION_H_
+#define KSPIN_IO_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace kspin::io {
+
+/// What to do to the byte stream, keyed by absolute write offset.
+struct StreamFaultPlan {
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Writes at/after this offset fail (stream badbit): ENOSPC / EIO. The
+  /// bytes before the offset reach the sink — a classic partial write.
+  std::uint64_t fail_after = kNever;
+
+  /// Writes at/after this offset claim success but are discarded: a torn
+  /// write the writer cannot detect without fsync+reread. Loaders must
+  /// still fail cleanly on the resulting truncated artifact.
+  std::uint64_t silently_drop_after = kNever;
+
+  /// XOR `flip_mask` into the byte at exactly this offset: bit rot.
+  std::uint64_t flip_byte_at = kNever;
+  std::uint8_t flip_mask = 0x01;
+};
+
+/// streambuf wrapper applying a StreamFaultPlan; see FaultyOStream.
+class FaultInjectingStreambuf : public std::streambuf {
+ public:
+  FaultInjectingStreambuf(std::streambuf* sink, StreamFaultPlan plan)
+      : sink_(sink), plan_(plan) {}
+
+  std::uint64_t BytesWritten() const { return offset_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* data, std::streamsize count) override;
+  int sync() override { return sink_->pubsync(); }
+
+ private:
+  /// Forwards one byte, applying the plan. False = injected failure.
+  bool Put(char byte);
+
+  std::streambuf* sink_;
+  StreamFaultPlan plan_;
+  std::uint64_t offset_ = 0;
+};
+
+/// An ostream that forwards to `sink` through a StreamFaultPlan. Drop-in
+/// for any Save* function: SaveGraph(graph, faulty) exercises the exact
+/// failure path a full disk would produce.
+class FaultyOStream : public std::ostream {
+ public:
+  FaultyOStream(std::ostream& sink, StreamFaultPlan plan)
+      : std::ostream(&buffer_), buffer_(sink.rdbuf(), plan) {}
+
+  std::uint64_t BytesWritten() const { return buffer_.BytesWritten(); }
+
+ private:
+  FaultInjectingStreambuf buffer_;
+};
+
+/// Phases of WriteFileAtomically where a simulated crash can be injected.
+/// The hook returns false to "crash": the writer stops immediately,
+/// leaving the filesystem exactly as a real kill -9 at that instant would
+/// (temp file present but not renamed, etc.).
+enum class AtomicWritePhase {
+  kBeforeTempWrite,  ///< Nothing written yet.
+  kAfterTempWrite,   ///< Temp file fully written + synced, not renamed.
+  kAfterRename,      ///< Renamed into place, directory not yet synced.
+};
+
+struct AtomicWriteHooks {
+  /// Crash simulation; return false to stop at that phase.
+  std::function<bool(AtomicWritePhase)> on_phase;
+  /// Fault plan applied to the temp file's byte stream (ENOSPC etc.).
+  StreamFaultPlan stream_faults;
+};
+
+// ----- Post-hoc file corruption (for property tests) -----------------------
+
+/// XORs `mask` into the byte at `offset`. Throws std::runtime_error on
+/// I/O errors or out-of-range offsets.
+void FlipByteInFile(const std::string& path, std::uint64_t offset,
+                    std::uint8_t mask = 0x01);
+
+/// Truncates the file to `size` bytes (must not exceed the current size).
+void TruncateFileTo(const std::string& path, std::uint64_t size);
+
+/// Size of a file in bytes; throws std::runtime_error if unreadable.
+std::uint64_t FileSize(const std::string& path);
+
+}  // namespace kspin::io
+
+#endif  // KSPIN_IO_FAULT_INJECTION_H_

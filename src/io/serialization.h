@@ -8,12 +8,15 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
+#include "kspin/keyword_index.h"
 #include "routing/alt.h"
 #include "routing/contraction_hierarchy.h"
 #include "routing/hub_labeling.h"
 #include "text/document_store.h"
+#include "text/vocabulary.h"
 
 namespace kspin {
 
@@ -32,6 +35,20 @@ ContractionHierarchy LoadContractionHierarchy(std::istream& in);
 
 void SaveHubLabeling(const HubLabeling& labels, std::ostream& out);
 HubLabeling LoadHubLabeling(std::istream& in);
+
+// SaveKeywordIndex / LoadKeywordIndex and the ApxNvd / quadtree / R-tree
+// save/load functions they build on are declared next to their classes
+// (kspin/keyword_index.h, nvd/apx_nvd.h, nvd/quadtree.h, nvd/rtree.h).
+
+/// The string-level half of a PoiService: the interned keyword vocabulary
+/// plus the ObjectId -> display-name table.
+struct PoiCatalog {
+  Vocabulary vocabulary;
+  std::vector<std::string> names;
+};
+
+void SavePoiCatalog(const PoiCatalog& catalog, std::ostream& out);
+PoiCatalog LoadPoiCatalog(std::istream& in);
 
 }  // namespace kspin
 

@@ -1,0 +1,345 @@
+#include "io/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/binary_format.h"
+#include "io/checksum.h"
+
+namespace kspin::io {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'K', 'S', 'N', 'A', 'P', 'S', 'H', 'T'};
+constexpr char kFooterMagic[8] = {'K', 'S', 'N', 'A', 'P', 'E', 'N', 'D'};
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".snap";
+constexpr char kTempSuffix[] = ".tmp";
+
+// Fixed byte sizes of the container framing (the structs are never memcpy'd
+// to disk; fields are written individually via WritePod).
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kSectionHeaderBytes = 4 + 4 + 8 + 4;
+constexpr std::size_t kFooterBytes = 8 + 4 + 4;
+
+void FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    throw SerializationError("fsync failed for " + what + ": " +
+                             std::strerror(errno));
+  }
+}
+
+// fsync a directory so a completed rename survives power loss.
+void FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw SerializationError("open for fsync failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw SerializationError("fsync failed for " + path + ": " +
+                             std::strerror(saved));
+  }
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(
+    SnapshotSection type, const std::function<void(std::ostream&)>& save) {
+  const auto raw = static_cast<std::uint32_t>(type);
+  for (const auto& [existing, payload] : sections_) {
+    if (existing == raw) {
+      throw SerializationError("duplicate snapshot section type " +
+                               std::to_string(raw));
+    }
+  }
+  std::ostringstream payload(std::ios::binary);
+  save(payload);
+  CheckWrite(payload);
+  sections_.emplace_back(raw, std::move(payload).str());
+}
+
+void SnapshotWriter::Finish(std::ostream& out) const {
+  // Build the whole image in memory first: the footer CRC covers every
+  // preceding byte, and buffering lets us compute it in one pass.
+  std::ostringstream image(std::ios::binary);
+  image.write(kSnapshotMagic, 8);
+  WritePod(image, kSnapshotVersion);
+  WritePod(image, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [type, payload] : sections_) {
+    WritePod(image, type);
+    WritePod(image, std::uint32_t{0});
+    WritePod(image, static_cast<std::uint64_t>(payload.size()));
+    WritePod(image, Crc32c(payload));
+    image.write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+    CheckWrite(image);
+  }
+  const std::string body = std::move(image).str();
+
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  CheckWrite(out);
+  out.write(kFooterMagic, 8);
+  CheckWrite(out);
+  WritePod(out, Crc32c(body));
+  WritePod(out, std::uint32_t{0});
+  out.flush();
+  CheckWrite(out);
+}
+
+SnapshotReader::SnapshotReader(std::istream& in) {
+  std::ostringstream buffer(std::ios::binary);
+  buffer << in.rdbuf();
+  if (in.bad() || buffer.bad()) {
+    throw SerializationError("failed to read snapshot stream");
+  }
+  bytes_ = std::move(buffer).str();
+  Parse();
+}
+
+SnapshotReader::SnapshotReader(std::string bytes) : bytes_(std::move(bytes)) {
+  Parse();
+}
+
+void SnapshotReader::Parse() {
+  if (bytes_.size() < kHeaderBytes + kFooterBytes) {
+    throw SerializationError("snapshot too small (" +
+                             std::to_string(bytes_.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes_.data(), kSnapshotMagic, 8) != 0) {
+    throw SerializationError("bad snapshot magic");
+  }
+
+  // Validate the footer and whole-file CRC before trusting any field.
+  const std::size_t footer_at = bytes_.size() - kFooterBytes;
+  if (std::memcmp(bytes_.data() + footer_at, kFooterMagic, 8) != 0) {
+    throw SerializationError("bad snapshot footer magic (truncated file?)");
+  }
+  std::uint32_t file_crc = 0;
+  std::memcpy(&file_crc, bytes_.data() + footer_at + 8, sizeof(file_crc));
+  const std::uint32_t actual_crc =
+      Crc32c(bytes_.data(), footer_at);
+  if (file_crc != actual_crc) {
+    throw SerializationError("snapshot file checksum mismatch");
+  }
+  // The footer's reserved field sits outside the CRC-covered region, so
+  // it gets its own check: any flipped bit there must still be rejected.
+  std::uint32_t footer_reserved = 0;
+  std::memcpy(&footer_reserved, bytes_.data() + footer_at + 12,
+              sizeof(footer_reserved));
+  if (footer_reserved != 0) {
+    throw SerializationError("snapshot footer reserved field is nonzero");
+  }
+
+  ViewIStream in(std::string_view(bytes_.data(), footer_at));
+  CheckHeader(in, kSnapshotMagic, kSnapshotVersion);
+  const auto section_count = ReadPod<std::uint32_t>(in);
+
+  std::size_t cursor = kHeaderBytes;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    if (footer_at - cursor < kSectionHeaderBytes) {
+      throw SerializationError("snapshot section header out of bounds");
+    }
+    std::uint32_t type = 0;
+    std::uint64_t payload_size = 0;
+    std::uint32_t payload_crc = 0;
+    std::memcpy(&type, bytes_.data() + cursor, sizeof(type));
+    std::memcpy(&payload_size, bytes_.data() + cursor + 8,
+                sizeof(payload_size));
+    std::memcpy(&payload_crc, bytes_.data() + cursor + 16,
+                sizeof(payload_crc));
+    cursor += kSectionHeaderBytes;
+    if (payload_size > footer_at - cursor) {
+      throw SerializationError("snapshot section payload out of bounds");
+    }
+    const std::size_t size = static_cast<std::size_t>(payload_size);
+    if (Crc32c(bytes_.data() + cursor, size) != payload_crc) {
+      throw SerializationError("snapshot section " + std::to_string(type) +
+                               " checksum mismatch");
+    }
+    for (const auto& [existing, span] : sections_) {
+      if (existing == type) {
+        throw SerializationError("duplicate snapshot section type " +
+                                 std::to_string(type));
+      }
+    }
+    sections_.emplace_back(type, std::make_pair(cursor, size));
+    cursor += size;
+  }
+  if (cursor != footer_at) {
+    throw SerializationError("snapshot has trailing garbage before footer");
+  }
+}
+
+bool SnapshotReader::Has(SnapshotSection type) const {
+  const auto raw = static_cast<std::uint32_t>(type);
+  for (const auto& [existing, span] : sections_) {
+    if (existing == raw) return true;
+  }
+  return false;
+}
+
+std::string_view SnapshotReader::Section(SnapshotSection type) const {
+  const auto raw = static_cast<std::uint32_t>(type);
+  for (const auto& [existing, span] : sections_) {
+    if (existing == raw) {
+      return std::string_view(bytes_.data() + span.first, span.second);
+    }
+  }
+  throw SerializationError("snapshot missing section " + std::to_string(raw));
+}
+
+std::vector<SnapshotSection> SnapshotReader::Sections() const {
+  std::vector<SnapshotSection> types;
+  types.reserve(sections_.size());
+  for (const auto& [type, span] : sections_) {
+    types.push_back(static_cast<SnapshotSection>(type));
+  }
+  return types;
+}
+
+std::vector<std::pair<SnapshotSection, std::uint64_t>>
+SnapshotReader::SectionOffsets() const {
+  std::vector<std::pair<SnapshotSection, std::uint64_t>> offsets;
+  offsets.reserve(sections_.size());
+  for (const auto& [type, span] : sections_) {
+    offsets.emplace_back(static_cast<SnapshotSection>(type), span.first);
+  }
+  return offsets;
+}
+
+bool WriteFileAtomically(const std::string& path,
+                         const std::function<void(std::ostream&)>& write,
+                         const AtomicWriteHooks* hooks) {
+  const std::string temp = path + kTempSuffix;
+  auto crash = [&](AtomicWritePhase phase) {
+    return hooks != nullptr && hooks->on_phase &&
+           !hooks->on_phase(phase);
+  };
+
+  if (crash(AtomicWritePhase::kBeforeTempWrite)) return false;
+
+  try {
+    {
+      std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        throw SerializationError("cannot create temp file " + temp);
+      }
+      if (hooks != nullptr) {
+        FaultyOStream faulty(file, hooks->stream_faults);
+        write(faulty);
+        faulty.flush();
+        CheckWrite(faulty);
+      } else {
+        write(file);
+      }
+      file.flush();
+      CheckWrite(file);
+    }
+    // Re-open by fd to fsync the data before the rename publishes it.
+    {
+      const int fd = ::open(temp.c_str(), O_RDONLY);
+      if (fd < 0) {
+        throw SerializationError("reopen for fsync failed: " + temp + ": " +
+                                 std::strerror(errno));
+      }
+      try {
+        FsyncFd(fd, temp);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      ::close(fd);
+    }
+
+    if (crash(AtomicWritePhase::kAfterTempWrite)) return false;
+
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+      throw SerializationError("rename " + temp + " -> " + path +
+                               " failed: " + std::strerror(errno));
+    }
+
+    if (crash(AtomicWritePhase::kAfterRename)) return false;
+
+    const auto dir = std::filesystem::path(path).parent_path();
+    FsyncPath(dir.empty() ? "." : dir.string());
+    return true;
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(temp, ec);  // Best effort; rethrow the cause.
+    throw;
+  }
+}
+
+std::string SnapshotFileName(std::uint64_t sequence) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%s%06llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(sequence), kSnapshotSuffix);
+  return buffer;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> FindSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return found;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::size_t prefix_len = sizeof(kSnapshotPrefix) - 1;
+    const std::size_t suffix_len = sizeof(kSnapshotSuffix) - 1;
+    if (name.size() <= prefix_len + suffix_len ||
+        name.compare(0, prefix_len, kSnapshotPrefix) != 0 ||
+        name.compare(name.size() - suffix_len, suffix_len,
+                     kSnapshotSuffix) != 0) {
+      continue;
+    }
+    const char* digits = name.data() + prefix_len;
+    const char* digits_end = name.data() + name.size() - suffix_len;
+    std::uint64_t sequence = 0;
+    const auto [ptr, parse_ec] = std::from_chars(digits, digits_end, sequence);
+    if (parse_ec != std::errc{} || ptr != digits_end) continue;
+    found.emplace_back(sequence, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+std::size_t PruneSnapshots(const std::string& dir, std::size_t keep) {
+  std::size_t removed = 0;
+  std::error_code ec;
+
+  const auto snapshots = FindSnapshots(dir);
+  for (std::size_t i = keep; i < snapshots.size(); ++i) {
+    if (std::filesystem::remove(snapshots[i].second, ec) && !ec) ++removed;
+  }
+
+  // Leftover temp files are debris from crashed writers.
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return removed;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t temp_len = sizeof(kTempSuffix) - 1;
+    if (name.size() > temp_len &&
+        name.compare(name.size() - temp_len, temp_len, kTempSuffix) == 0 &&
+        name.compare(0, sizeof(kSnapshotPrefix) - 1, kSnapshotPrefix) == 0) {
+      if (std::filesystem::remove(entry.path(), ec) && !ec) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace kspin::io

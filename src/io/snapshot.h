@@ -1,0 +1,146 @@
+// Crash-safe, checksummed snapshot container (docs/persistence.md).
+//
+// A snapshot is one file holding the entire serving state as a sequence
+// of typed sections. Layout (all integers native-endian, like the rest of
+// the binary format):
+//
+//   header   : magic "KSNAPSHT" (8) | u32 version | u32 section_count
+//   section* : u32 type | u32 reserved(0) | u64 payload_size
+//              | u32 payload_crc32c | payload bytes
+//   footer   : magic "KSNAPEND" (8) | u32 file_crc32c | u32 reserved(0)
+//
+// file_crc32c covers every byte before the footer, so any torn write,
+// truncation, or bit flip anywhere in the file is detected before a
+// single section is parsed. Per-section CRCs localize the damage for
+// diagnostics and defend each section independently.
+//
+// Durability comes from the write path, not the format: snapshots are
+// written to a temp file in the same directory, fsync'd, atomically
+// renamed into place, and the directory fsync'd — a crash at any instant
+// leaves either the old snapshot set or the old set plus a complete new
+// file, never a half-written visible snapshot. On the read side,
+// FindSnapshots + per-file validation give "newest valid wins" recovery.
+#ifndef KSPIN_IO_SNAPSHOT_H_
+#define KSPIN_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <optional>
+#include <streambuf>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "io/fault_injection.h"
+
+namespace kspin::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Section types of the serving-state snapshot. Values are part of the
+/// on-disk format; never renumber, only append.
+enum class SnapshotSection : std::uint32_t {
+  kGraph = 1,         ///< SaveGraph payload.
+  kDocumentStore = 2, ///< SaveDocumentStore payload.
+  kPoiCatalog = 3,    ///< SavePoiCatalog payload (vocabulary + names).
+  kAltIndex = 4,      ///< SaveAltIndex payload.
+  kKeywordIndex = 5,  ///< SaveKeywordIndex payload.
+  kContractionHierarchy = 6,  ///< SaveContractionHierarchy payload.
+  kHubLabeling = 7,   ///< SaveHubLabeling payload.
+};
+
+/// Accumulates sections in memory, then emits the checksummed container.
+/// Sections are written in AddSection order; duplicate types are rejected.
+class SnapshotWriter {
+ public:
+  /// Serializes one section via `save` (typically a Save* lambda).
+  void AddSection(SnapshotSection type,
+                  const std::function<void(std::ostream&)>& save);
+
+  /// Writes the full container. Throws SerializationError on stream
+  /// failure (checked after every write, so ENOSPC surfaces here).
+  void Finish(std::ostream& out) const;
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::string>> sections_;
+};
+
+/// Zero-copy istream over a byte range (a section payload). The viewed
+/// bytes must outlive the stream.
+class ViewIStream : public std::istream {
+ public:
+  explicit ViewIStream(std::string_view bytes)
+      : std::istream(&buffer_), buffer_(bytes) {}
+
+ private:
+  class ViewStreambuf : public std::streambuf {
+   public:
+    explicit ViewStreambuf(std::string_view bytes) {
+      char* begin = const_cast<char*>(bytes.data());
+      setg(begin, begin, begin + bytes.size());
+    }
+  };
+  ViewStreambuf buffer_;
+};
+
+/// Parses and fully validates a snapshot container: header, footer, file
+/// CRC, section bounds, per-section CRCs. The constructor throws
+/// SerializationError on any inconsistency — a reader that constructed
+/// successfully is safe to read sections from.
+class SnapshotReader {
+ public:
+  /// Reads the whole stream into memory and validates it.
+  explicit SnapshotReader(std::istream& in);
+  /// Validates an in-memory snapshot image (it is copied).
+  explicit SnapshotReader(std::string bytes);
+
+  bool Has(SnapshotSection type) const;
+  /// Payload bytes of a section; throws SerializationError if absent.
+  std::string_view Section(SnapshotSection type) const;
+  /// Section types present, in file order.
+  std::vector<SnapshotSection> Sections() const;
+
+  /// Byte offset of each section's payload within the file, in file
+  /// order — used by corruption property tests to target boundaries.
+  std::vector<std::pair<SnapshotSection, std::uint64_t>> SectionOffsets()
+      const;
+
+ private:
+  void Parse();
+
+  std::string bytes_;
+  // type -> (offset, size) into bytes_, plus file order.
+  std::vector<std::pair<std::uint32_t, std::pair<std::size_t, std::size_t>>>
+      sections_;
+};
+
+// ----- Crash-safe file writing and recovery --------------------------------
+
+/// Writes a file crash-safely: temp file in the same directory, fsync,
+/// atomic rename over `path`, directory fsync. Throws SerializationError
+/// when the write fails (the temp file is removed). Returns false without
+/// renaming when `hooks` simulates a crash mid-sequence (the temp file is
+/// left behind, exactly like a real crash); returns true on success.
+bool WriteFileAtomically(const std::string& path,
+                         const std::function<void(std::ostream&)>& write,
+                         const AtomicWriteHooks* hooks = nullptr);
+
+/// Snapshot file name for a sequence number: "snapshot-000042.snap".
+/// Zero-padding makes lexicographic order equal numeric order.
+std::string SnapshotFileName(std::uint64_t sequence);
+
+/// Snapshot files in `dir`, newest (highest sequence) first, with their
+/// parsed sequence numbers. Temp files and foreign names are ignored.
+/// A missing directory yields an empty list.
+std::vector<std::pair<std::uint64_t, std::string>> FindSnapshots(
+    const std::string& dir);
+
+/// Deletes all but the `keep` newest snapshot files plus any leftover
+/// temp files from crashed writers. Returns the number removed.
+std::size_t PruneSnapshots(const std::string& dir, std::size_t keep);
+
+}  // namespace kspin::io
+
+#endif  // KSPIN_IO_SNAPSHOT_H_

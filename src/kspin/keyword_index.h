@@ -5,6 +5,7 @@
 #ifndef KSPIN_KSPIN_KEYWORD_INDEX_H_
 #define KSPIN_KSPIN_KEYWORD_INDEX_H_
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -67,6 +68,11 @@ class KeywordIndex {
   double BuildSeconds() const { return build_seconds_; }
 
  private:
+  friend void SaveKeywordIndex(const KeywordIndex&, std::ostream&);
+  friend KeywordIndex LoadKeywordIndex(const Graph&, std::istream&);
+  /// Shell for deserialization; LoadKeywordIndex fills every field.
+  explicit KeywordIndex(const Graph& graph) : graph_(graph) {}
+
   ApxNvd* EnsureIndex(KeywordId t);
 
   const Graph& graph_;
@@ -74,6 +80,11 @@ class KeywordIndex {
   std::vector<std::unique_ptr<ApxNvd>> indexes_;
   double build_seconds_ = 0.0;
 };
+
+void SaveKeywordIndex(const KeywordIndex& index, std::ostream& out);
+/// Reconstructs a keyword index against the serving `graph` (which must be
+/// the graph the index was built over).
+KeywordIndex LoadKeywordIndex(const Graph& graph, std::istream& in);
 
 }  // namespace kspin
 

@@ -1,6 +1,7 @@
 #include "kspin/kspin.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace kspin {
 namespace {
@@ -42,6 +43,35 @@ KSpin::KSpin(const Graph& graph, DocumentStore store, DistanceOracle& oracle,
   ki_options.num_threads = options.num_threads;
   keyword_index_ =
       std::make_unique<KeywordIndex>(graph_, store_, *inverted_, ki_options);
+  processor_ = std::make_unique<QueryProcessor>(
+      store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
+      oracle_);
+}
+
+KSpin::KSpin(const Graph& graph, DocumentStore store, DistanceOracle& oracle,
+             std::unique_ptr<AltIndex> alt,
+             std::unique_ptr<KeywordIndex> keyword_index,
+             KSpinOptions options, std::uint64_t initial_generation)
+    : graph_(graph),
+      store_(std::move(store)),
+      oracle_(oracle),
+      generation_(initial_generation) {
+  if (alt == nullptr || keyword_index == nullptr) {
+    throw std::invalid_argument("KSpin: restore requires prebuilt indexes");
+  }
+  const std::size_t num_keywords =
+      store_.NumLiveObjects() == 0 ? 0 : MaxKeywordId(store_) + 1;
+  inverted_ = std::make_unique<InvertedIndex>(store_, num_keywords);
+  relevance_ = std::make_unique<RelevanceModel>(store_, *inverted_);
+  alt_ = std::move(alt);
+  lower_bounds_ = alt_.get();
+  if (options.use_euclidean_heuristic) {
+    euclidean_ = std::make_unique<EuclideanLowerBound>(graph_);
+    composite_ = std::make_unique<MaxLowerBound>(
+        std::vector<const LowerBoundModule*>{alt_.get(), euclidean_.get()});
+    lower_bounds_ = composite_.get();
+  }
+  keyword_index_ = std::move(keyword_index);
   processor_ = std::make_unique<QueryProcessor>(
       store_, *inverted_, *relevance_, *keyword_index_, *lower_bounds_,
       oracle_);

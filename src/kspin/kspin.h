@@ -51,6 +51,18 @@ class KSpin {
   KSpin(const Graph& graph, DocumentStore store, DistanceOracle& oracle,
         KSpinOptions options = {});
 
+  /// Restores an engine from snapshot-loaded artifacts instead of
+  /// rebuilding them: `alt` and `keyword_index` must have been built over
+  /// (a graph identical to) `graph` and `store`. The cheap textual
+  /// structures (inverted index, relevance model) are derived from the
+  /// store. `initial_generation` seeds StructureGeneration(): a server
+  /// swapping engines on RELOAD passes old-generation + 1 so processors
+  /// cached against the previous engine can never alias the new one.
+  KSpin(const Graph& graph, DocumentStore store, DistanceOracle& oracle,
+        std::unique_ptr<AltIndex> alt,
+        std::unique_ptr<KeywordIndex> keyword_index, KSpinOptions options,
+        std::uint64_t initial_generation);
+
   // Internal components hold references into the engine; copying or moving
   // would dangle them. Construct in place (guaranteed elision covers
   // factory-style returns).

@@ -23,6 +23,7 @@
 #define KSPIN_NVD_APX_NVD_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -120,6 +121,10 @@ class ApxNvd {
 
  private:
   friend class ApxNvdTestPeer;
+  friend void SaveApxNvd(const ApxNvd&, std::ostream&);
+  friend std::unique_ptr<ApxNvd> LoadApxNvd(const Graph&, std::istream&);
+  /// Shell for deserialization; LoadApxNvd fills every field.
+  explicit ApxNvd(const Graph& graph) : graph_(graph) {}
 
   void Build(std::vector<SiteObject> sites);
   std::vector<SiteObject> LiveObjects() const;
@@ -142,6 +147,9 @@ class ApxNvd {
   std::size_t lazy_inserts_ = 0;
   std::size_t last_affected_size_ = 0;
 };
+
+void SaveApxNvd(const ApxNvd& nvd, std::ostream& out);
+std::unique_ptr<ApxNvd> LoadApxNvd(const Graph& graph, std::istream& in);
 
 }  // namespace kspin
 

@@ -10,6 +10,7 @@
 #define KSPIN_NVD_QUADTREE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,10 @@ class ColorQuadtree {
   }
 
  private:
+  friend void SaveColorQuadtree(const ColorQuadtree&, std::ostream&);
+  friend ColorQuadtree LoadColorQuadtree(std::istream&);
+  ColorQuadtree() = default;  // For deserialization only.
+
   struct Leaf {
     std::uint64_t z_begin;  // Inclusive.
     std::uint64_t z_end;    // Exclusive.
@@ -61,6 +66,9 @@ class ColorQuadtree {
   std::vector<std::uint32_t> color_pool_;  // Leaf colour sets, concatenated.
   std::uint32_t max_leaf_depth_ = 0;
 };
+
+void SaveColorQuadtree(const ColorQuadtree& tree, std::ostream& out);
+ColorQuadtree LoadColorQuadtree(std::istream& in);
 
 }  // namespace kspin
 

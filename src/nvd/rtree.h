@@ -10,6 +10,7 @@
 #define KSPIN_NVD_RTREE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -38,6 +39,10 @@ class VoronoiRTree {
   }
 
  private:
+  friend void SaveVoronoiRTree(const VoronoiRTree&, std::ostream&);
+  friend VoronoiRTree LoadVoronoiRTree(std::istream&);
+  VoronoiRTree() = default;  // For deserialization only.
+
   struct Rect {
     std::int32_t min_x, min_y, max_x, max_y;
     bool Contains(const Coordinate& p) const {
@@ -56,6 +61,9 @@ class VoronoiRTree {
   std::uint32_t root_ = 0;
   std::size_t num_colors_ = 0;
 };
+
+void SaveVoronoiRTree(const VoronoiRTree& tree, std::ostream& out);
+VoronoiRTree LoadVoronoiRTree(std::istream& in);
 
 }  // namespace kspin
 

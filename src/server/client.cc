@@ -87,8 +87,10 @@ void Client::Close() {
 void Client::WriteAll(std::span<const std::uint8_t> bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-request must surface as a
+    // ClientError (retryable), never as a process-killing SIGPIPE.
     const ssize_t n =
-        ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw ClientError(std::string("write failed: ") +
@@ -240,6 +242,30 @@ Client::Reply Client::UntagPoi(ObjectId id, std::string_view keyword) {
   PayloadReader reader(body);
   Reply reply;
   ParseReplyEnvelope(reader, &reply);
+  return reply;
+}
+
+Client::SnapshotReply Client::Snapshot() {
+  const auto body = RoundTrip(Opcode::kSnapshot, {});
+  PayloadReader reader(body);
+  SnapshotReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() &&
+      !DecodeSnapshotResponse(reader, &reply.sequence, &reply.path)) {
+    throw ClientError("malformed snapshot response");
+  }
+  return reply;
+}
+
+Client::SnapshotReply Client::Reload() {
+  const auto body = RoundTrip(Opcode::kReload, {});
+  PayloadReader reader(body);
+  SnapshotReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() &&
+      !DecodeSnapshotResponse(reader, &reply.sequence, &reply.path)) {
+    throw ClientError("malformed reload response");
+  }
   return reply;
 }
 

@@ -64,6 +64,11 @@ class Client {
     std::uint64_t Value(std::string_view key) const;
   };
 
+  struct SnapshotReply : Reply {
+    std::uint64_t sequence = 0;
+    std::string path;
+  };
+
   /// Liveness probe.
   Reply Ping();
 
@@ -81,6 +86,13 @@ class Client {
   Reply ClosePoi(ObjectId id);
   Reply TagPoi(ObjectId id, std::string_view keyword);
   Reply UntagPoi(ObjectId id, std::string_view keyword);
+
+  /// Asks the server to write a snapshot now (SNAPSHOT opcode). On kOk
+  /// the reply carries the new snapshot's sequence number and path.
+  SnapshotReply Snapshot();
+  /// Asks the server to replace its serving state with the newest valid
+  /// snapshot on disk (RELOAD opcode).
+  SnapshotReply Reload();
 
  private:
   /// Sends one frame and reads the response frame for it. Returns the

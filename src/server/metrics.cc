@@ -54,6 +54,10 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 6;
     case Opcode::kPoiUntag:
       return 7;
+    case Opcode::kSnapshot:
+      return 8;
+    case Opcode::kReload:
+      return 9;
   }
   return kNoSlot;
 }
@@ -83,6 +87,14 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"requests_overloaded", load(requests_overloaded)},
       {"requests_deadline_dropped", load(requests_deadline_dropped)},
       {"requests_deadline_cancelled", load(requests_deadline_cancelled)},
+      {"snapshots_written", load(snapshots_written)},
+      {"snapshots_failed", load(snapshots_failed)},
+      {"reloads_ok", load(reloads_ok)},
+      {"reloads_failed", load(reloads_failed)},
+      {"connections_reaped_idle", load(connections_reaped_idle)},
+      {"connections_reaped_slow", load(connections_reaped_slow)},
+      {"connections_reaped_backpressure",
+       load(connections_reaped_backpressure)},
       {"queue_depth", current_queue_depth},
       {"queue_depth_peak", load(queue_depth_peak)},
       {"opcode_ping", load(requests_by_opcode[0])},
@@ -93,6 +105,8 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"opcode_poi_close", load(requests_by_opcode[5])},
       {"opcode_poi_tag", load(requests_by_opcode[6])},
       {"opcode_poi_untag", load(requests_by_opcode[7])},
+      {"opcode_snapshot", load(requests_by_opcode[8])},
+      {"opcode_reload", load(requests_by_opcode[9])},
       {"query_latency_count", query_latency.Count()},
       {"query_latency_mean_us", query_latency.MeanMicros()},
       {"query_latency_p50_us", query_latency.PercentileMicros(0.50)},

@@ -63,8 +63,23 @@ class ServerMetrics {
   /// Aborted mid-query by the cooperative cancellation check.
   std::atomic<std::uint64_t> requests_deadline_cancelled{0};
 
+  // Persistence.
+  std::atomic<std::uint64_t> snapshots_written{0};
+  std::atomic<std::uint64_t> snapshots_failed{0};
+  std::atomic<std::uint64_t> reloads_ok{0};
+  std::atomic<std::uint64_t> reloads_failed{0};
+
+  // Connection hardening (reasons the I/O thread force-closed a peer).
+  /// No bytes in either direction for idle_timeout_ms.
+  std::atomic<std::uint64_t> connections_reaped_idle{0};
+  /// A partial frame sat unfinished past read_deadline_ms (slow-loris).
+  std::atomic<std::uint64_t> connections_reaped_slow{0};
+  /// The response backlog exceeded max_write_queue_bytes (peer not
+  /// reading; unbounded buffering refused).
+  std::atomic<std::uint64_t> connections_reaped_backpressure{0};
+
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 8> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 10> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};

@@ -1,0 +1,85 @@
+#include "server/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace kspin::server {
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      sleep_([](std::uint32_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }),
+      rng_state_(policy.jitter_seed | 1) {}
+
+std::uint64_t RetryingClient::NextRandom() {
+  // xorshift64* — deterministic, seedable, good enough for jitter.
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+std::uint32_t RetryingClient::BackoffMs(std::uint32_t attempt) {
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                std::pow(policy_.multiplier, static_cast<double>(attempt));
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  const auto cap = static_cast<std::uint64_t>(std::max(base, 1.0));
+  // Uniform in [cap/2, cap]: half deterministic floor, half jitter, so
+  // synchronized clients de-correlate without ever sleeping too briefly.
+  const std::uint64_t half = cap / 2;
+  return static_cast<std::uint32_t>(half + NextRandom() % (cap - half + 1));
+}
+
+Client::Reply RetryingClient::Ping() {
+  return Execute(true, [this] { return client_.Ping(); });
+}
+
+Client::StatsReply RetryingClient::Stats() {
+  return Execute(true, [this] { return client_.Stats(); });
+}
+
+Client::SearchReply RetryingClient::Search(std::string_view query,
+                                           VertexId from, std::uint32_t k,
+                                           bool ranked,
+                                           std::uint32_t deadline_ms) {
+  return Execute(true, [&] {
+    return client_.Search(query, from, k, ranked, deadline_ms);
+  });
+}
+
+Client::SnapshotReply RetryingClient::Snapshot() {
+  return Execute(true, [this] { return client_.Snapshot(); });
+}
+
+Client::SnapshotReply RetryingClient::Reload() {
+  return Execute(true, [this] { return client_.Reload(); });
+}
+
+Client::AddPoiReply RetryingClient::AddPoi(
+    std::string_view name, VertexId vertex,
+    std::span<const std::string> keywords) {
+  return Execute(false, [&] { return client_.AddPoi(name, vertex, keywords); });
+}
+
+Client::Reply RetryingClient::ClosePoi(ObjectId id) {
+  return Execute(false, [&] { return client_.ClosePoi(id); });
+}
+
+Client::Reply RetryingClient::TagPoi(ObjectId id, std::string_view keyword) {
+  return Execute(false, [&] { return client_.TagPoi(id, keyword); });
+}
+
+Client::Reply RetryingClient::UntagPoi(ObjectId id,
+                                       std::string_view keyword) {
+  return Execute(false, [&] { return client_.UntagPoi(id, keyword); });
+}
+
+}  // namespace kspin::server

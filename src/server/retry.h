@@ -1,0 +1,132 @@
+// Client-side resilience: RetryingClient wraps Client with reconnect +
+// bounded, jittered exponential backoff.
+//
+// What gets retried:
+//  - connect failures (the server may be restarting);
+//  - in-band kOverloaded rejections (load shedding is an invitation to
+//    back off and come again);
+//  - ClientError mid-request (disconnect / torn response) — but only for
+//    idempotent operations. A torn AddPoi may or may not have been
+//    applied server-side, so re-sending it could double-insert; such
+//    failures surface to the caller instead.
+//
+// Backoff is exponential with deterministic jitter (seeded xorshift, so
+// tests are reproducible): attempt i sleeps a uniform value in
+// [base/2, base] where base = min(max_backoff_ms, initial * mult^i).
+// The sleep function is injectable so tests never actually wait.
+#ifndef KSPIN_SERVER_RETRY_H_
+#define KSPIN_SERVER_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "server/client.h"
+
+namespace kspin::server {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  std::uint32_t max_attempts = 4;
+  std::uint32_t initial_backoff_ms = 50;
+  std::uint32_t max_backoff_ms = 2000;
+  /// Backoff growth factor per attempt.
+  double multiplier = 2.0;
+  /// Seed for the deterministic jitter stream.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// A Client plus retry policy. Like Client, NOT thread-safe. Connection
+/// management is implicit: each operation connects on demand and drops
+/// the connection on transport errors so the next attempt reconnects.
+class RetryingClient {
+ public:
+  using SleepFn = std::function<void(std::uint32_t ms)>;
+
+  RetryingClient(std::string host, std::uint16_t port,
+                 RetryPolicy policy = {});
+
+  /// Replaces the real sleep (used between attempts) — test hook.
+  void SetSleepFunction(SleepFn sleep_fn) { sleep_ = std::move(sleep_fn); }
+
+  /// Attempts consumed by the last operation (1 = no retries needed).
+  std::uint32_t LastAttempts() const { return last_attempts_; }
+
+  // Idempotent operations — retried on every retryable failure.
+  Client::Reply Ping();
+  Client::StatsReply Stats();
+  Client::SearchReply Search(std::string_view query, VertexId from,
+                             std::uint32_t k, bool ranked = false,
+                             std::uint32_t deadline_ms = 0);
+  /// Snapshot is safe to repeat (worst case: an extra snapshot file,
+  /// pruned later); Reload always converges on the newest valid snapshot.
+  Client::SnapshotReply Snapshot();
+  Client::SnapshotReply Reload();
+
+  // Updates — retried on connect failure and kOverloaded only (the
+  // request provably never reached the server); a mid-request disconnect
+  // rethrows because the update may already be applied.
+  Client::AddPoiReply AddPoi(std::string_view name, VertexId vertex,
+                             std::span<const std::string> keywords);
+  Client::Reply ClosePoi(ObjectId id);
+  Client::Reply TagPoi(ObjectId id, std::string_view keyword);
+  Client::Reply UntagPoi(ObjectId id, std::string_view keyword);
+
+ private:
+  /// Runs `op` under the retry loop. `op` must return a type derived
+  /// from Client::Reply.
+  template <typename Op>
+  auto Execute(bool idempotent, Op&& op) -> decltype(op());
+
+  /// Jittered backoff for 0-based attempt index, in milliseconds.
+  std::uint32_t BackoffMs(std::uint32_t attempt);
+  std::uint64_t NextRandom();
+
+  std::string host_;
+  std::uint16_t port_;
+  RetryPolicy policy_;
+  Client client_;
+  SleepFn sleep_;
+  std::uint64_t rng_state_;
+  std::uint32_t last_attempts_ = 0;
+};
+
+template <typename Op>
+auto RetryingClient::Execute(bool idempotent, Op&& op) -> decltype(op()) {
+  last_attempts_ = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    ++last_attempts_;
+    const bool last = attempt + 1 >= policy_.max_attempts;
+
+    // Phase 1: connect. Failures here are always retryable — nothing has
+    // been sent yet.
+    bool connected = client_.Connected();
+    if (!connected) {
+      try {
+        client_.Connect(host_, port_);
+        connected = true;
+      } catch (const ClientError&) {
+        if (last) throw;
+      }
+    }
+
+    // Phase 2: the round trip itself.
+    if (connected) {
+      try {
+        auto reply = op();
+        if (reply.status != StatusCode::kOverloaded || last) return reply;
+        // Shed at admission; definitely not applied, safe to re-send.
+      } catch (const ClientError&) {
+        client_.Close();
+        if (!idempotent || last) throw;
+      }
+    }
+
+    sleep_(BackoffMs(attempt));
+  }
+}
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_RETRY_H_

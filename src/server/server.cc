@@ -11,11 +11,15 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <optional>
 #include <stdexcept>
 
+#include "io/binary_format.h"
+#include "io/snapshot.h"
 #include "kspin/query_control.h"
 #include "service/query_parser.h"
+#include "service/service_snapshot.h"
 
 namespace kspin::server {
 namespace {
@@ -45,14 +49,28 @@ struct Server::Connection {
 
   std::mutex write_mutex;
   std::deque<std::vector<std::uint8_t>> write_queue;
-  std::size_t write_offset = 0;  // Into write_queue.front().
+  std::size_t write_offset = 0;   // Into write_queue.front().
+  std::size_t queued_bytes = 0;   // Un-flushed response backlog.
   std::atomic<bool> closed{false};
   bool close_after_flush = false;
 
-  void QueueWrite(std::vector<std::uint8_t> bytes) {
+  // Hardening state, owned by the I/O thread. `last_activity` tracks
+  // bytes moving in either direction; `partial_frame_since` is set while
+  // the read buffer ends in an incomplete frame (slow-loris detection).
+  std::chrono::steady_clock::time_point last_activity{};
+  std::chrono::steady_clock::time_point partial_frame_since{};
+  /// Latched by QueueWrite when the backlog bound is exceeded; the I/O
+  /// thread closes the connection on its next tick.
+  std::atomic<bool> overflowed{false};
+
+  void QueueWrite(std::vector<std::uint8_t> bytes, std::size_t max_bytes) {
     std::lock_guard<std::mutex> lock(write_mutex);
     if (closed.load(std::memory_order_relaxed)) return;
+    queued_bytes += bytes.size();
     write_queue.push_back(std::move(bytes));
+    if (max_bytes > 0 && queued_bytes > max_bytes) {
+      overflowed.store(true, std::memory_order_relaxed);
+    }
   }
 
   bool HasPendingWrites() {
@@ -118,10 +136,21 @@ void Server::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   io_thread_ = std::thread([this] { IoLoop(); });
+  if (!options_.snapshot.dir.empty() && options_.snapshot.period_ms > 0) {
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+  }
 }
 
 void Server::Stop() {
   if (!started_.load() || stopping_.exchange(true)) return;
+  // 0. Stop the background snapshotter (it grabs the update lock; let it
+  // finish any in-flight write, then exit).
+  {
+    std::lock_guard<std::mutex> lock(snapshot_cv_mutex_);
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
   // 1. Refuse new work; admitted requests keep draining.
   queue_->Close();
   Wake();
@@ -198,6 +227,8 @@ void Server::IoLoop() {
       }
       if (!alive) CloseConnection(conn->fd);
     }
+
+    SweepConnections(Clock::now());
   }
 
   // Final flush: give queued responses a brief window to reach clients
@@ -225,8 +256,31 @@ void Server::AcceptNew() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->last_activity = Clock::now();
     connections_.emplace(fd, std::move(conn));
     metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::SweepConnections(Clock::time_point now) {
+  std::vector<std::pair<int, std::atomic<std::uint64_t>*>> doomed;
+  for (auto& [fd, conn] : connections_) {
+    if (conn->overflowed.load(std::memory_order_relaxed)) {
+      doomed.emplace_back(fd, &metrics_.connections_reaped_backpressure);
+    } else if (options_.read_deadline_ms > 0 &&
+               conn->partial_frame_since != Clock::time_point{} &&
+               now - conn->partial_frame_since >=
+                   std::chrono::milliseconds(options_.read_deadline_ms)) {
+      doomed.emplace_back(fd, &metrics_.connections_reaped_slow);
+    } else if (options_.idle_timeout_ms > 0 &&
+               now - conn->last_activity >=
+                   std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      doomed.emplace_back(fd, &metrics_.connections_reaped_idle);
+    }
+  }
+  for (const auto& [fd, counter] : doomed) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
   }
 }
 
@@ -236,6 +290,7 @@ bool Server::ReadFromConnection(const std::shared_ptr<Connection>& conn) {
     const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
     if (n > 0) {
       conn->read_buffer.insert(conn->read_buffer.end(), chunk, chunk + n);
+      conn->last_activity = Clock::now();
       if (static_cast<std::size_t>(n) < sizeof chunk) break;
       continue;
     }
@@ -270,7 +325,8 @@ bool Server::ReadFromConnection(const std::shared_ptr<Connection>& conn) {
         message = "frame exceeds maximum payload size";
       }
       conn->QueueWrite(
-          EncodeFrame(error_header, EncodeErrorResponse(status, message)));
+          EncodeFrame(error_header, EncodeErrorResponse(status, message)),
+          options_.max_write_queue_bytes);
       conn->close_after_flush = true;
       conn->read_offset = conn->read_buffer.size();
       break;
@@ -289,6 +345,17 @@ bool Server::ReadFromConnection(const std::shared_ptr<Connection>& conn) {
                             conn->read_buffer.begin() + conn->read_offset);
     conn->read_offset = 0;
   }
+
+  // Track how long an unfinished frame has been pending (slow-loris): the
+  // clock starts when a partial frame first appears and resets whenever
+  // the buffer drains to a frame boundary.
+  if (conn->read_offset < conn->read_buffer.size()) {
+    if (conn->partial_frame_since == Clock::time_point{}) {
+      conn->partial_frame_since = Clock::now();
+    }
+  } else {
+    conn->partial_frame_since = Clock::time_point{};
+  }
   return true;
 }
 
@@ -296,14 +363,18 @@ bool Server::FlushConnection(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->write_mutex);
   while (!conn->write_queue.empty()) {
     std::vector<std::uint8_t>& front = conn->write_queue.front();
-    const ssize_t n = ::write(conn->fd, front.data() + conn->write_offset,
-                              front.size() - conn->write_offset);
+    // MSG_NOSIGNAL: a peer that vanished between poll() and this send
+    // must be an ordinary close, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(conn->fd, front.data() + conn->write_offset,
+                             front.size() - conn->write_offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
       return false;
     }
     conn->write_offset += static_cast<std::size_t>(n);
+    conn->queued_bytes -= static_cast<std::size_t>(n);
+    conn->last_activity = Clock::now();
     if (conn->write_offset == front.size()) {
       conn->write_queue.pop_front();
       conn->write_offset = 0;
@@ -327,7 +398,8 @@ void Server::Respond(const std::shared_ptr<Connection>& conn,
   FrameHeader header;
   header.opcode = request_header.opcode;
   header.request_id = request_header.request_id;
-  conn->QueueWrite(EncodeFrame(header, response_payload));
+  conn->QueueWrite(EncodeFrame(header, response_payload),
+                   options_.max_write_queue_bytes);
   Wake();
 }
 
@@ -355,7 +427,9 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kPoiAdd:
     case Opcode::kPoiClose:
     case Opcode::kPoiTag:
-    case Opcode::kPoiUntag: {
+    case Opcode::kPoiUntag:
+    case Opcode::kSnapshot:
+    case Opcode::kReload: {
       Request request;
       request.conn = conn;
       request.header = header;
@@ -558,6 +632,34 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
         ok = true;
         break;
       }
+      case Opcode::kSnapshot: {
+        if (options_.snapshot.dir.empty()) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                         "snapshotting disabled");
+          break;
+        }
+        // The worker already holds the exclusive update lock (SNAPSHOT is
+        // routed as an update), so the state cannot change underneath.
+        const auto [sequence, path] = SnapshotLocked();
+        response = EncodeSnapshotResponse(sequence, path);
+        ok = true;
+        break;
+      }
+      case Opcode::kReload: {
+        if (options_.snapshot.dir.empty()) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                         "snapshotting disabled");
+          break;
+        }
+        response = HandleReloadLocked();
+        ok = response.size() > 0 &&
+             response[0] == static_cast<std::uint8_t>(StatusCode::kOk);
+        break;
+      }
       default:
         response = EncodeErrorResponse(StatusCode::kUnsupported,
                                        "unknown opcode");
@@ -592,6 +694,85 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
         .Record(static_cast<std::uint64_t>(micros));
   }
   Respond(request.conn, header, std::move(response));
+}
+
+// ----- Persistence ---------------------------------------------------------
+
+std::pair<std::uint64_t, std::string> Server::SnapshotNow() {
+  std::unique_lock<std::shared_mutex> guard(update_mutex_);
+  return SnapshotLocked();
+}
+
+std::pair<std::uint64_t, std::string> Server::SnapshotLocked() {
+  const std::string& dir = options_.snapshot.dir;
+  if (dir.empty()) {
+    throw std::logic_error("SnapshotLocked: no snapshot directory");
+  }
+  try {
+    std::filesystem::create_directories(dir);
+    const auto existing = io::FindSnapshots(dir);
+    const std::uint64_t sequence =
+        existing.empty() ? 1 : existing.front().first + 1;
+    const std::string path =
+        (std::filesystem::path(dir) / io::SnapshotFileName(sequence))
+            .string();
+    WriteServiceSnapshotFile(path, service_,
+                             {options_.snapshot.ch, options_.snapshot.hl});
+    io::PruneSnapshots(dir, options_.snapshot.keep);
+    metrics_.snapshots_written.fetch_add(1, std::memory_order_relaxed);
+    return {sequence, path};
+  } catch (...) {
+    metrics_.snapshots_failed.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+std::vector<std::uint8_t> Server::HandleReloadLocked() {
+  std::vector<std::string> errors;
+  std::optional<LoadedServiceSnapshot> loaded = LoadNewestValidServiceSnapshot(
+      options_.snapshot.dir, &service_.Engine().NetworkGraph(), &errors);
+  if (!loaded.has_value()) {
+    metrics_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+    std::string message = "no valid snapshot";
+    for (const std::string& error : errors) {
+      message += "; ";
+      message += error;
+    }
+    return EncodeErrorResponse(StatusCode::kBadQuery, message);
+  }
+  try {
+    service_.RestoreCatalog(std::move(loaded->state.catalog.vocabulary),
+                            std::move(loaded->state.catalog.names),
+                            std::move(loaded->state.store),
+                            std::move(loaded->state.alt),
+                            std::move(loaded->state.keyword_index),
+                            options_.snapshot.engine_options);
+  } catch (...) {
+    metrics_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+  metrics_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  return EncodeSnapshotResponse(loaded->sequence, loaded->path);
+}
+
+void Server::SnapshotLoop() {
+  std::unique_lock<std::mutex> lock(snapshot_cv_mutex_);
+  for (;;) {
+    const bool stop = snapshot_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.snapshot.period_ms),
+        [this] { return snapshot_stop_; });
+    if (stop) return;
+    lock.unlock();
+    {
+      std::unique_lock<std::shared_mutex> guard(update_mutex_);
+      try {
+        SnapshotLocked();
+      } catch (const std::exception&) {
+        // Counted by SnapshotLocked; keep serving, retry next period.
+      }
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace kspin::server

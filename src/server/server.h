@@ -27,12 +27,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "server/admission_queue.h"
@@ -40,7 +43,32 @@
 #include "server/wire.h"
 #include "service/poi_service.h"
 
+namespace kspin {
+class ContractionHierarchy;
+class HubLabeling;
+}  // namespace kspin
+
 namespace kspin::server {
+
+/// Crash-safe persistence configuration (docs/persistence.md). Snapshots
+/// cover the whole serving state and are written under the exclusive
+/// update lock, so every file is a consistent point-in-time image.
+struct SnapshotOptions {
+  /// Directory for snapshot-<seq>.snap files; empty disables the
+  /// SNAPSHOT / RELOAD opcodes and background snapshotting.
+  std::string dir;
+  /// Background snapshot period; 0 = only on explicit SNAPSHOT requests.
+  std::uint32_t period_ms = 0;
+  /// Newest snapshots retained by pruning after each write.
+  std::size_t keep = 4;
+  /// Distance-oracle artifacts to include so a restart can skip their
+  /// (expensive) reconstruction. Optional; must outlive the server.
+  const ContractionHierarchy* ch = nullptr;
+  const HubLabeling* hl = nullptr;
+  /// Engine options applied when RELOAD rebuilds the KSpin engine; must
+  /// match how the serving PoiService was configured.
+  KSpinOptions engine_options{};
+};
 
 struct ServerOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
@@ -52,6 +80,21 @@ struct ServerOptions {
   std::size_t queue_capacity = 256;
   /// Requests with k above this are rejected with BAD_QUERY.
   std::uint32_t max_k = 1000;
+
+  /// Persistence (SNAPSHOT / RELOAD opcodes + periodic snapshots).
+  SnapshotOptions snapshot;
+
+  // Connection hardening — all enforced by the I/O thread each poll tick.
+  /// Close connections with no traffic in either direction for this long.
+  /// 0 disables idle reaping.
+  std::uint32_t idle_timeout_ms = 300000;
+  /// Close connections that leave a frame *partially* sent for this long
+  /// (slow-loris defence: a trickle of header bytes must not pin a socket
+  /// forever). 0 disables.
+  std::uint32_t read_deadline_ms = 30000;
+  /// Close connections whose un-flushed response backlog exceeds this
+  /// (peer stopped reading; refuse unbounded buffering). 0 = unlimited.
+  std::size_t max_write_queue_bytes = 32u << 20;
 
   // Test hooks — leave at defaults in production.
   /// When false, the dequeue-time deadline check is skipped so expiry is
@@ -86,12 +129,26 @@ class Server {
 
   const ServerMetrics& Metrics() const { return metrics_; }
 
+  /// Writes a snapshot now, taking the exclusive update lock itself (the
+  /// boot / test entry point; the SNAPSHOT opcode reaches SnapshotLocked
+  /// through a worker that already holds the lock). Returns the new
+  /// snapshot's (sequence, path). Throws io::SerializationError on
+  /// failure. Requires options.snapshot.dir to be configured.
+  std::pair<std::uint64_t, std::string> SnapshotNow();
+
  private:
   struct Connection;
   struct Request;
 
   void IoLoop();
   void WorkerLoop();
+  void SnapshotLoop();
+  /// Caller must exclude queries (exclusive update lock or pre-Start).
+  std::pair<std::uint64_t, std::string> SnapshotLocked();
+  /// Handles the RELOAD opcode under the exclusive update lock.
+  std::vector<std::uint8_t> HandleReloadLocked();
+  /// Closes connections that tripped a hardening limit.
+  void SweepConnections(std::chrono::steady_clock::time_point now);
   void AcceptNew();
   /// False when the connection hit a fatal error and must close.
   bool ReadFromConnection(const std::shared_ptr<Connection>& conn);
@@ -119,6 +176,12 @@ class Server {
   std::unique_ptr<AdmissionQueue<Request>> queue_;
   std::thread io_thread_;
   std::vector<std::thread> workers_;
+
+  // Background snapshotting (runs only when dir + period are configured).
+  std::thread snapshot_thread_;
+  std::mutex snapshot_cv_mutex_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;  // Guarded by snapshot_cv_mutex_.
 
   /// Queries hold it shared, POI updates exclusively.
   std::shared_mutex update_mutex_;

@@ -215,6 +215,22 @@ std::vector<std::uint8_t> EncodeObjectIdResponse(ObjectId id) {
   return w.Take();
 }
 
+std::vector<std::uint8_t> EncodeSnapshotResponse(std::uint64_t sequence,
+                                                 std::string_view path) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U64(sequence);
+  w.String(path);
+  return w.Take();
+}
+
+bool DecodeSnapshotResponse(PayloadReader& reader, std::uint64_t* sequence,
+                            std::string* path) {
+  *sequence = reader.U64();
+  *path = reader.String();
+  return reader.Finished();
+}
+
 std::vector<std::uint8_t> EncodeStatsResponse(
     std::span<const std::pair<std::string, std::uint64_t>> stats) {
   PayloadWriter w;

@@ -49,6 +49,9 @@ enum class Opcode : std::uint8_t {
   kPoiClose = 0x21,       ///< Remove a POI from search.
   kPoiTag = 0x22,         ///< Add one keyword tag.
   kPoiUntag = 0x23,       ///< Remove one keyword tag.
+  kSnapshot = 0x30,       ///< Write a crash-safe snapshot to disk.
+  kReload = 0x31,         ///< Replace serving state from the newest valid
+                          ///< snapshot on disk.
 };
 
 /// First byte of every response payload.
@@ -222,6 +225,11 @@ std::vector<std::uint8_t> EncodeSearchResponse(
 bool DecodeSearchResponse(PayloadReader& reader,
                           std::vector<WireResult>* results);
 std::vector<std::uint8_t> EncodeObjectIdResponse(ObjectId id);
+/// kSnapshot / kReload kOk body: u64 snapshot sequence + file path.
+std::vector<std::uint8_t> EncodeSnapshotResponse(std::uint64_t sequence,
+                                                 std::string_view path);
+bool DecodeSnapshotResponse(PayloadReader& reader, std::uint64_t* sequence,
+                            std::string* path);
 std::vector<std::uint8_t> EncodeStatsResponse(
     std::span<const std::pair<std::string, std::uint64_t>> stats);
 bool DecodeStatsResponse(

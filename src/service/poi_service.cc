@@ -19,8 +19,41 @@ std::string Lowercase(std::string_view term) {
 }  // namespace
 
 PoiService::PoiService(const Graph& graph, DistanceOracle& oracle,
-                       KSpinOptions options) {
+                       KSpinOptions options)
+    : graph_(&graph), oracle_(&oracle) {
   engine_ = std::make_unique<KSpin>(graph, DocumentStore{}, oracle, options);
+}
+
+PoiService::PoiService(const Graph& graph, DistanceOracle& oracle,
+                       Vocabulary vocabulary, std::vector<std::string> names,
+                       DocumentStore store, std::unique_ptr<AltIndex> alt,
+                       std::unique_ptr<KeywordIndex> keyword_index,
+                       KSpinOptions options)
+    : graph_(&graph),
+      oracle_(&oracle),
+      vocabulary_(std::move(vocabulary)),
+      names_(std::move(names)) {
+  engine_ = std::make_unique<KSpin>(graph, std::move(store), oracle,
+                                    std::move(alt), std::move(keyword_index),
+                                    options, /*initial_generation=*/0);
+}
+
+void PoiService::RestoreCatalog(Vocabulary vocabulary,
+                                std::vector<std::string> names,
+                                DocumentStore store,
+                                std::unique_ptr<AltIndex> alt,
+                                std::unique_ptr<KeywordIndex> keyword_index,
+                                KSpinOptions options) {
+  const std::uint64_t next_generation = engine_->StructureGeneration() + 1;
+  auto engine = std::make_unique<KSpin>(
+      *graph_, std::move(store), *oracle_, std::move(alt),
+      std::move(keyword_index), options, next_generation);
+  // Only swap once the new engine is fully built: an exception above
+  // leaves the service serving the old state.
+  vocabulary_ = std::move(vocabulary);
+  names_ = std::move(names);
+  engine_ = std::move(engine);
+  executor_.reset();  // Held references into the old engine.
 }
 
 ObjectId PoiService::AddPoi(std::string_view name, VertexId vertex,

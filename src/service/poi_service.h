@@ -37,6 +37,26 @@ class PoiService {
   PoiService(const Graph& graph, DistanceOracle& oracle,
              KSpinOptions options = {});
 
+  /// Restore constructor: adopts a snapshot-loaded catalogue (vocabulary +
+  /// names), document store, and prebuilt engine artifacts instead of
+  /// starting empty (see service/service_snapshot.h for the load side).
+  PoiService(const Graph& graph, DistanceOracle& oracle,
+             Vocabulary vocabulary, std::vector<std::string> names,
+             DocumentStore store, std::unique_ptr<AltIndex> alt,
+             std::unique_ptr<KeywordIndex> keyword_index,
+             KSpinOptions options = {});
+
+  /// Replaces the catalogue and engine with snapshot-loaded state (the
+  /// RELOAD opcode). The serving graph and oracle are unchanged. The new
+  /// engine's StructureGeneration() strictly exceeds the old one's, so
+  /// query processors cached against the previous engine are invalidated,
+  /// never aliased. Callers must exclude concurrent queries (the server
+  /// holds its exclusive update lock).
+  void RestoreCatalog(Vocabulary vocabulary, std::vector<std::string> names,
+                      DocumentStore store, std::unique_ptr<AltIndex> alt,
+                      std::unique_ptr<KeywordIndex> keyword_index,
+                      KSpinOptions options = {});
+
   /// Registers a POI at `vertex` with keyword tags (interned, lowercase
   /// recommended). Returns its id.
   ObjectId AddPoi(std::string_view name, VertexId vertex,
@@ -104,8 +124,10 @@ class PoiService {
   std::size_t Maintain() { return engine_->MaintainIndexes(); }
 
   const std::string& NameOf(ObjectId id) const { return names_.at(id); }
+  const std::vector<std::string>& Names() const { return names_; }
   const Vocabulary& Keywords() const { return vocabulary_; }
   KSpin& Engine() { return *engine_; }
+  const KSpin& Engine() const { return *engine_; }
   std::size_t NumLivePois() const {
     return engine_->Store().NumLiveObjects();
   }
@@ -113,6 +135,8 @@ class PoiService {
  private:
   ParallelQueryExecutor& Executor(unsigned num_threads);
 
+  const Graph* graph_ = nullptr;      // For RestoreCatalog.
+  DistanceOracle* oracle_ = nullptr;  // For RestoreCatalog.
   Vocabulary vocabulary_;
   std::vector<std::string> names_;  // Indexed by ObjectId.
   std::unique_ptr<KSpin> engine_;

@@ -1,0 +1,86 @@
+// Whole-service snapshot assembly: glues the per-artifact serializers
+// (io/serialization.h) into the checksummed snapshot container
+// (io/snapshot.h) so the *entire* serving state — graph, document store,
+// POI catalogue, keyword index, ALT, and optionally the CH / hub-label
+// distance artifacts — round-trips through one crash-safe file.
+//
+// Two restore modes share one reader:
+//  - cold boot: the snapshot's own graph is materialized and every index
+//    is bound to it (RestoredServiceState::graph owns it);
+//  - RELOAD into a running server: the caller passes its serving graph,
+//    the snapshot's graph section must be byte-identical to it, and the
+//    loaded indexes are bound to the serving graph instead.
+#ifndef KSPIN_SERVICE_SERVICE_SNAPSHOT_H_
+#define KSPIN_SERVICE_SERVICE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/fault_injection.h"
+#include "io/serialization.h"
+#include "routing/contraction_hierarchy.h"
+#include "routing/hub_labeling.h"
+#include "service/poi_service.h"
+
+namespace kspin {
+
+/// Distance-oracle artifacts snapshotted alongside the service state (the
+/// service borrows its oracle, so the caller supplies what it owns).
+struct ServiceSnapshotArtifacts {
+  const ContractionHierarchy* ch = nullptr;
+  const HubLabeling* hl = nullptr;
+};
+
+/// Serializes the full serving state of `service` as a snapshot container.
+/// Throws io::SerializationError on write failure.
+void WriteServiceSnapshot(const PoiService& service, std::ostream& out,
+                          const ServiceSnapshotArtifacts& extra = {});
+
+/// Everything a snapshot restores. Pointers are null for sections the
+/// snapshot did not carry (ch/hl) or that the restore mode does not
+/// materialize (graph, in RELOAD mode).
+struct RestoredServiceState {
+  std::unique_ptr<Graph> graph;  ///< Cold boot only; indexes point into it.
+  PoiCatalog catalog;
+  DocumentStore store;
+  std::unique_ptr<AltIndex> alt;
+  std::unique_ptr<KeywordIndex> keyword_index;
+  std::unique_ptr<ContractionHierarchy> ch;
+  std::unique_ptr<HubLabeling> hl;
+};
+
+/// Parses + validates a snapshot and loads every section. When
+/// `serving_graph` is non-null (RELOAD), the snapshot's graph section must
+/// be byte-identical to it and the keyword index binds to the serving
+/// graph. Throws io::SerializationError on any corruption or mismatch.
+RestoredServiceState ReadServiceSnapshot(std::istream& in,
+                                         const Graph* serving_graph = nullptr);
+
+/// WriteServiceSnapshot through io::WriteFileAtomically. Returns false
+/// only when `hooks` simulated a crash; throws on real failure.
+bool WriteServiceSnapshotFile(const std::string& path,
+                              const PoiService& service,
+                              const ServiceSnapshotArtifacts& extra = {},
+                              const io::AtomicWriteHooks* hooks = nullptr);
+
+/// A successfully restored snapshot plus where it came from.
+struct LoadedServiceSnapshot {
+  RestoredServiceState state;
+  std::uint64_t sequence = 0;
+  std::string path;
+};
+
+/// Walks `dir` newest-snapshot-first and returns the first one that
+/// validates and loads; corrupt or unreadable snapshots are skipped (their
+/// errors appended to `errors` when non-null). nullopt when no snapshot
+/// in the directory is usable.
+std::optional<LoadedServiceSnapshot> LoadNewestValidServiceSnapshot(
+    const std::string& dir, const Graph* serving_graph = nullptr,
+    std::vector<std::string>* errors = nullptr);
+
+}  // namespace kspin
+
+#endif  // KSPIN_SERVICE_SERVICE_SNAPSHOT_H_

@@ -6,9 +6,12 @@
 #include <sstream>
 
 #include "io/binary_format.h"
+#include "io/fault_injection.h"
 #include "io/serialization.h"
+#include "kspin/keyword_index.h"
 #include "routing/dijkstra.h"
 #include "test_util.h"
+#include "text/inverted_index.h"
 
 namespace kspin {
 namespace {
@@ -135,6 +138,105 @@ TEST(Serialization, EmptyDocumentStoreRoundTrip) {
   DocumentStore loaded = LoadDocumentStore(buffer);
   EXPECT_EQ(loaded.NumSlots(), 0u);
   EXPECT_EQ(loaded.NumLiveObjects(), 0u);
+}
+
+TEST(Serialization, KeywordIndexRoundTripQueryIdentical) {
+  Graph graph = testing::SmallRoadNetwork(67);
+  DocumentStore store = testing::TestDocuments(graph);
+  KeywordId max_keyword = 0;
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    if (!store.IsLive(o)) continue;
+    for (const DocEntry& e : store.Document(o)) {
+      max_keyword = std::max(max_keyword, e.keyword);
+    }
+  }
+  InvertedIndex inverted(store, max_keyword + 1);
+  KeywordIndexOptions options;
+  options.num_threads = 2;
+  KeywordIndex original(graph, store, inverted, options);
+
+  std::stringstream buffer;
+  SaveKeywordIndex(original, buffer);
+  KeywordIndex loaded = LoadKeywordIndex(graph, buffer);
+
+  ASSERT_EQ(loaded.NumIndexes(), original.NumIndexes());
+  EXPECT_EQ(loaded.NumVoronoiIndexes(), original.NumVoronoiIndexes());
+  // Every per-keyword index must supply the same heap candidates.
+  auto candidates = [](const ApxNvd& nvd, VertexId v) {
+    std::vector<SiteObject> raw;
+    nvd.InitialCandidates(v, &raw);
+    std::vector<std::pair<ObjectId, VertexId>> out;
+    for (const SiteObject& s : raw) out.emplace_back(s.object, s.vertex);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (KeywordId t = 0; t <= max_keyword; ++t) {
+    const ApxNvd* a = original.Index(t);
+    const ApxNvd* b = loaded.Index(t);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "t=" << t;
+    if (a == nullptr) continue;
+    ASSERT_EQ(a->NumLiveObjects(), b->NumLiveObjects()) << "t=" << t;
+    ASSERT_EQ(a->HasVoronoi(), b->HasVoronoi()) << "t=" << t;
+    for (VertexId v = 0; v < graph.NumVertices(); v += 7) {
+      ASSERT_EQ(candidates(*a, v), candidates(*b, v))
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(Serialization, PoiCatalogRoundTrip) {
+  PoiCatalog original;
+  original.vocabulary.AddOrGet("cafe");
+  original.vocabulary.AddOrGet("thai");
+  original.vocabulary.AddOrGet("wifi");
+  original.names = {"First Cafe", "", "Thai Palace"};
+
+  std::stringstream buffer;
+  SavePoiCatalog(original, buffer);
+  PoiCatalog loaded = LoadPoiCatalog(buffer);
+
+  ASSERT_EQ(loaded.vocabulary.Size(), original.vocabulary.Size());
+  EXPECT_EQ(loaded.vocabulary.IdOf("cafe"), original.vocabulary.IdOf("cafe"));
+  EXPECT_EQ(loaded.vocabulary.IdOf("thai"), original.vocabulary.IdOf("thai"));
+  EXPECT_EQ(loaded.vocabulary.IdOf("wifi"), original.vocabulary.IdOf("wifi"));
+  EXPECT_EQ(loaded.names, original.names);
+}
+
+TEST(Serialization, HugeLengthFieldRejectedWithoutAllocating) {
+  // A corrupt length field must not make the loader allocate hundreds of
+  // gigabytes: chunked reads hit end-of-stream long before that.
+  PoiCatalog catalog;
+  catalog.vocabulary.AddOrGet("cafe");
+  catalog.names = {"a"};
+  std::stringstream buffer;
+  SavePoiCatalog(catalog, buffer);
+  std::string bytes = buffer.str();
+  // The term count is the first u64 after the 16-byte artifact header.
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(LoadPoiCatalog(corrupt), io::SerializationError);
+}
+
+TEST(Serialization, WriteFailurePropagatesFromEverySaver) {
+  Graph graph = testing::TinyGrid();
+  DocumentStore store = testing::TestDocuments(graph, 10, 0.5, 5);
+  AltIndex alt(graph, 3);
+  std::ostringstream sink;
+  io::StreamFaultPlan plan;
+  plan.fail_after = 10;  // Fail almost immediately: ENOSPC / EIO.
+  {
+    io::FaultyOStream faulty(sink, plan);
+    EXPECT_THROW(SaveGraph(graph, faulty), io::SerializationError);
+  }
+  {
+    io::FaultyOStream faulty(sink, plan);
+    EXPECT_THROW(SaveDocumentStore(store, faulty), io::SerializationError);
+  }
+  {
+    io::FaultyOStream faulty(sink, plan);
+    EXPECT_THROW(SaveAltIndex(alt, faulty), io::SerializationError);
+  }
 }
 
 }  // namespace

@@ -16,8 +16,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <functional>
+
 #include "routing/contraction_hierarchy.h"
 #include "server/client.h"
+#include "server/retry.h"
 #include "service/poi_service.h"
 #include "service/synthetic_catalog.h"
 #include "test_util.h"
@@ -400,6 +405,240 @@ TEST_F(ServerTest, StopIsIdempotent) {
   StartServer();
   server_->Stop();
   server_->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Persistence over the wire (SNAPSHOT / RELOAD) and connection hardening.
+
+/// Fresh scratch directory under the test temp root.
+std::string ScratchDir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("kspin_server_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Polls `predicate` until it holds or ~5 s elapse.
+bool WaitFor(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+std::vector<std::pair<ObjectId, Distance>> Ids(
+    const Client::SearchReply& reply) {
+  std::vector<std::pair<ObjectId, Distance>> out;
+  for (const WireResult& r : reply.results) {
+    out.emplace_back(r.object, r.travel_time);
+  }
+  return out;
+}
+
+TEST_F(ServerTest, SnapshotAndReloadRestoreStateOverWire) {
+  ServerOptions options;
+  options.snapshot.dir = ScratchDir("wire_reload");
+  StartServer(options);
+  Client client = Connect();
+
+  const auto before = client.Search("kw3 or kw5", 40, 6);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before.results.empty());
+
+  const auto snap = client.Snapshot();
+  ASSERT_TRUE(snap.ok()) << snap.error;
+  EXPECT_EQ(snap.sequence, 1u);
+  EXPECT_TRUE(std::filesystem::exists(snap.path)) << snap.path;
+
+  // Mutate the serving state past recognition: close every result.
+  for (const WireResult& r : before.results) {
+    ASSERT_TRUE(client.ClosePoi(r.object).ok());
+  }
+  const auto mutated = client.Search("kw3 or kw5", 40, 6);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_NE(Ids(mutated), Ids(before));
+
+  // RELOAD must serve the snapshot's answers again, byte for byte.
+  const auto reload = client.Reload();
+  ASSERT_TRUE(reload.ok()) << reload.error;
+  EXPECT_EQ(reload.sequence, 1u);
+  const auto after = client.Search("kw3 or kw5", 40, 6);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Ids(after), Ids(before));
+
+  EXPECT_GE(client.Stats().Value("snapshots_written"), 1u);
+  EXPECT_GE(client.Stats().Value("reloads_ok"), 1u);
+}
+
+TEST_F(ServerTest, SnapshotAndReloadRejectedWithoutSnapshotDir) {
+  StartServer();  // No snapshot.dir configured.
+  Client client = Connect();
+
+  const auto snap = client.Snapshot();
+  EXPECT_EQ(snap.status, StatusCode::kBadQuery);
+  const auto reload = client.Reload();
+  EXPECT_EQ(reload.status, StatusCode::kBadQuery);
+
+  // The connection stays usable after both rejections.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, PeriodicSnapshotsWrittenAndPruned) {
+  ServerOptions options;
+  options.snapshot.dir = ScratchDir("periodic");
+  options.snapshot.period_ms = 25;
+  options.snapshot.keep = 2;
+  StartServer(options);
+
+  ASSERT_TRUE(WaitFor([&] {
+    return server_->Metrics().snapshots_written.load() >= 3;
+  }));
+  server_->Stop();  // Quiesce the snapshot thread before counting files.
+
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.snapshot.dir)) {
+    if (entry.path().extension() == ".snap") ++files;
+  }
+  EXPECT_GE(files, 1u);
+  EXPECT_LE(files, options.snapshot.keep);
+}
+
+TEST_F(ServerTest, IdleConnectionsReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+
+  Client client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  // Go silent; the I/O thread must reap us within a few poll ticks.
+  ASSERT_TRUE(WaitFor([&] {
+    return server_->Metrics().connections_reaped_idle.load() >= 1;
+  }));
+  EXPECT_THROW(
+      {
+        client.Ping();
+        client.Ping();  // First call may succeed on buffered bytes.
+      },
+      ClientError);
+}
+
+TEST_F(ServerTest, SlowLorisPartialFrameReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 0;  // Isolate the read-deadline path.
+  options.read_deadline_ms = 100;
+  StartServer(options);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->Port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  // Dribble 4 bytes of a valid frame header, then stall forever.
+  FrameHeader ping;
+  ping.opcode = Opcode::kPing;
+  const auto frame = EncodeFrame(ping, {});
+  ASSERT_EQ(::write(fd, frame.data(), 4), 4);
+
+  ASSERT_TRUE(WaitFor([&] {
+    return server_->Metrics().connections_reaped_slow.load() >= 1;
+  }));
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);  // Server closed on us.
+  ::close(fd);
+}
+
+TEST_F(ServerTest, BackpressureOverflowClosesConnection) {
+  ServerOptions options;
+  options.idle_timeout_ms = 0;
+  options.max_write_queue_bytes = 1;  // Any queued response overflows.
+  StartServer(options);
+
+  Client client = Connect();
+  try {
+    client.Ping();  // The reply may or may not flush before the reap.
+  } catch (const ClientError&) {
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return server_->Metrics().connections_reaped_backpressure.load() >= 1;
+  }));
+}
+
+// ---------------------------------------------------------------------
+// RetryingClient: reconnects, backoff, idempotency.
+
+TEST_F(ServerTest, RetryingClientRetriesOverloadedSearches) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // Every search is shed at admission.
+  StartServer(options);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  std::vector<std::uint32_t> sleeps;
+  client.SetSleepFunction([&](std::uint32_t ms) { sleeps.push_back(ms); });
+
+  const auto reply = client.Search("kw0", 40, 5);
+  EXPECT_EQ(reply.status, StatusCode::kOverloaded);
+  EXPECT_EQ(client.LastAttempts(), 3u);
+  // Jittered exponential backoff: sleep i is uniform in [base/2, base]
+  // with base = initial * multiplier^i.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_GE(sleeps[0], 25u);
+  EXPECT_LE(sleeps[0], 50u);
+  EXPECT_GE(sleeps[1], 50u);
+  EXPECT_LE(sleeps[1], 100u);
+
+  // PING bypasses the admission queue, so it succeeds first try.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.LastAttempts(), 1u);
+}
+
+TEST_F(ServerTest, RetryingClientReconnectsAfterServerRestart) {
+  StartServer();
+  const std::uint16_t port = server_->Port();
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryingClient client("127.0.0.1", port, policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+  ASSERT_TRUE(client.Ping().ok());
+
+  server_->Stop();
+  ServerOptions options;
+  options.port = port;
+  Server second(*service_, options);
+  second.Start();
+
+  // The stale connection fails mid-request; an idempotent search must
+  // transparently reconnect and succeed.
+  const auto reply = client.Search("kw0 or kw1", 40, 5);
+  EXPECT_TRUE(reply.ok()) << reply.error;
+  EXPECT_GE(client.LastAttempts(), 2u);
+  second.Stop();
+}
+
+TEST_F(ServerTest, NonIdempotentUpdateNotRetriedAfterDisconnect) {
+  StartServer();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+  ASSERT_TRUE(client.Ping().ok());
+
+  server_->Stop();  // Connection is now dead; no replacement server.
+
+  // A torn AddPoi may already be applied server-side, so the wrapper
+  // must surface the transport error on the FIRST attempt, not re-send.
+  const std::vector<std::string> keywords = {"kw0"};
+  EXPECT_THROW(client.AddPoi("new poi", 7, keywords), ClientError);
+  EXPECT_EQ(client.LastAttempts(), 1u);
 }
 
 }  // namespace

@@ -14,9 +14,18 @@
 //                   --keywords=3,17,42 [--module=ch|hl] [--ranked]
 //       Loads everything back and answers a Boolean kNN or ranked top-k
 //       query, reporting latency.
+//   kspin_cli snapshot --dir=/tmp/fl [--snapshots=/tmp/fl/snapshots]
+//       Builds the full serving state from the dataset and writes one
+//       crash-safe, checksummed snapshot file (docs/persistence.md).
+//   kspin_cli restore --dir=IGNORED --snapshots=/tmp/fl/snapshots \
+//                     [--vertex=V --k=K --keywords=3,17]
+//       Restores the newest valid snapshot (skipping corrupt ones) and
+//       optionally answers a query against the restored state.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,9 +35,13 @@
 #include "graph/dimacs_io.h"
 #include "graph/road_network_generator.h"
 #include "io/serialization.h"
+#include "io/snapshot.h"
 #include "kspin/kspin.h"
 #include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
 #include "routing/hub_labeling.h"
+#include "service/poi_service.h"
+#include "service/service_snapshot.h"
 #include "text/zipf_generator.h"
 
 namespace kspin::cli {
@@ -37,6 +50,7 @@ namespace {
 struct Args {
   std::string command;
   std::string dir = ".";
+  std::string snapshots;  // Defaults to <dir>/snapshots.
   std::string dataset = "FL";
   std::string op = "or";
   std::string module = "ch";
@@ -58,6 +72,7 @@ Args Parse(int argc, char** argv) {
       return std::nullopt;
     };
     if (auto v = value("dir")) args.dir = *v;
+    if (auto v = value("snapshots")) args.snapshots = *v;
     if (auto v = value("dataset")) args.dataset = *v;
     if (auto v = value("op")) args.op = *v;
     if (auto v = value("module")) args.module = *v;
@@ -72,6 +87,7 @@ Args Parse(int argc, char** argv) {
       }
     }
   }
+  if (args.snapshots.empty()) args.snapshots = args.dir + "/snapshots";
   return args;
 }
 
@@ -233,6 +249,133 @@ int Query(const Args& args) {
   return 0;
 }
 
+// Builds the serving state from the dataset files and writes one
+// crash-safe snapshot (temp file + fsync + atomic rename; see
+// docs/persistence.md) into the snapshot directory.
+int Snapshot(const Args& args) {
+  const Graph graph = LoadFile<Graph>(
+      args.dir + "/graph.bin", [](std::istream& in) { return LoadGraph(in); });
+  const DocumentStore store =
+      LoadFile<DocumentStore>(args.dir + "/docs.bin", [](std::istream& in) {
+        return LoadDocumentStore(in);
+      });
+
+  std::optional<ContractionHierarchy> ch;
+  std::optional<ChOracle> ch_oracle;
+  std::optional<DijkstraOracle> dijkstra_oracle;
+  DistanceOracle* oracle;
+  if (std::filesystem::exists(args.dir + "/ch.bin")) {
+    ch = LoadFile<ContractionHierarchy>(
+        args.dir + "/ch.bin",
+        [](std::istream& in) { return LoadContractionHierarchy(in); });
+    ch_oracle.emplace(*ch);
+    oracle = &*ch_oracle;
+  } else {
+    dijkstra_oracle.emplace(graph);
+    oracle = &*dijkstra_oracle;
+  }
+
+  // Re-express the dataset at the service layer ("poi<slot>" / "kw<id>")
+  // so the snapshot carries the full string-level catalogue.
+  Timer timer;
+  PoiService service(graph, *oracle);
+  std::vector<std::string> keywords;
+  for (ObjectId o = 0; o < store.NumSlots(); ++o) {
+    if (!store.IsLive(o)) continue;
+    keywords.clear();
+    for (const DocEntry& e : store.Document(o)) {
+      keywords.push_back("kw" + std::to_string(e.keyword));
+    }
+    service.AddPoi("poi" + std::to_string(o), store.ObjectVertex(o),
+                   keywords);
+  }
+  std::printf("service state built in %.1fs (%zu pois, module: %s)\n",
+              timer.ElapsedSeconds(), service.NumLivePois(),
+              oracle->Name().c_str());
+
+  std::filesystem::create_directories(args.snapshots);
+  const auto existing = io::FindSnapshots(args.snapshots);
+  const std::uint64_t sequence =
+      existing.empty() ? 1 : existing.front().first + 1;
+  const std::string path =
+      (std::filesystem::path(args.snapshots) / io::SnapshotFileName(sequence))
+          .string();
+  timer.Restart();
+  ServiceSnapshotArtifacts extra;
+  if (ch) extra.ch = &*ch;
+  WriteServiceSnapshotFile(path, service, extra);
+  std::printf("wrote snapshot %llu: %s (%.1f MB, %.2fs)\n",
+              static_cast<unsigned long long>(sequence), path.c_str(),
+              std::filesystem::file_size(path) / 1048576.0,
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+// Restores the newest valid snapshot and optionally answers a query
+// against the restored state — end-to-end proof the file round-trips.
+int Restore(const Args& args) {
+  std::vector<std::string> skipped;
+  Timer timer;
+  std::optional<LoadedServiceSnapshot> loaded =
+      LoadNewestValidServiceSnapshot(args.snapshots, nullptr, &skipped);
+  for (const std::string& reason : skipped) {
+    std::fprintf(stderr, "snapshot skipped: %s\n", reason.c_str());
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "restore: no valid snapshot in %s\n",
+                 args.snapshots.c_str());
+    return 1;
+  }
+  const Graph& graph = *loaded->state.graph;
+
+  std::unique_ptr<ContractionHierarchy> ch = std::move(loaded->state.ch);
+  std::optional<ChOracle> ch_oracle;
+  std::optional<DijkstraOracle> dijkstra_oracle;
+  DistanceOracle* oracle;
+  if (ch != nullptr) {
+    ch_oracle.emplace(*ch);
+    oracle = &*ch_oracle;
+  } else {
+    dijkstra_oracle.emplace(graph);
+    oracle = &*dijkstra_oracle;
+  }
+
+  PoiService service(graph, *oracle,
+                     std::move(loaded->state.catalog.vocabulary),
+                     std::move(loaded->state.catalog.names),
+                     std::move(loaded->state.store),
+                     std::move(loaded->state.alt),
+                     std::move(loaded->state.keyword_index));
+  std::printf(
+      "restored snapshot %llu from %s in %.2fs: |V|=%zu |E|=%zu, %zu pois, "
+      "module: %s\n",
+      static_cast<unsigned long long>(loaded->sequence), loaded->path.c_str(),
+      timer.ElapsedSeconds(), graph.NumVertices(), graph.NumEdges(),
+      service.NumLivePois(), oracle->Name().c_str());
+
+  if (!args.keywords.empty()) {
+    if (args.vertex >= graph.NumVertices()) {
+      std::fprintf(stderr, "restore: vertex out of range\n");
+      return 1;
+    }
+    std::string query;
+    for (std::size_t i = 0; i < args.keywords.size(); ++i) {
+      if (i > 0) query += args.op == "and" ? " and " : " or ";
+      query += "kw" + std::to_string(args.keywords[i]);
+    }
+    Timer query_timer;
+    const auto results = service.Search(query, args.vertex, args.k);
+    const double ms = query_timer.ElapsedMillis();
+    for (const PoiResult& r : results) {
+      std::printf("%u\t%s\ttime=%llu\n", r.id, r.name.c_str(),
+                  static_cast<unsigned long long>(r.travel_time));
+    }
+    std::printf("\"%s\" -> %zu results in %.3f ms\n", query.c_str(),
+                results.size(), ms);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   try {
@@ -240,16 +383,21 @@ int Main(int argc, char** argv) {
     if (args.command == "build") return Build(args);
     if (args.command == "stats") return Stats(args);
     if (args.command == "query") return Query(args);
+    if (args.command == "snapshot") return Snapshot(args);
+    if (args.command == "restore") return Restore(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(
       stderr,
-      "usage: kspin_cli <generate|build|stats|query> [--dir=DIR]\n"
+      "usage: kspin_cli <generate|build|stats|query|snapshot|restore> "
+      "[--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
-      "        [--module=ch|hl] [--ranked]\n");
+      "        [--module=ch|hl] [--ranked]\n"
+      "  snapshot [--snapshots=DIR]   write a crash-safe snapshot\n"
+      "  restore  [--snapshots=DIR] [--vertex=V --k=K --keywords=1,2]\n");
   return args.command.empty() ? 1 : 0;
 }
 

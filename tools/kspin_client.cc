@@ -5,22 +5,33 @@
 // Commands:
 //   ping
 //   stats
-//   search  <vertex> <k> <query...>     boolean kNN
-//   ranked  <vertex> <k> <query...>     ranked top-k
-//   add     <vertex> <name> <kw...>     add a POI, prints its id
-//   close   <id>                        mark a POI closed
-//   tag     <id> <keyword>              add a keyword to a POI
-//   untag   <id> <keyword>              remove a keyword from a POI
+//   search   <vertex> <k> <query...>    boolean kNN
+//   ranked   <vertex> <k> <query...>    ranked top-k
+//   add      <vertex> <name> <kw...>    add a POI, prints its id
+//   close    <id>                       mark a POI closed
+//   tag      <id> <keyword>             add a keyword to a POI
+//   untag    <id> <keyword>             remove a keyword from a POI
+//   snapshot                            write a snapshot now, print its path
+//   reload                              restore the newest valid snapshot
 //
-// Options: --deadline-ms=D attaches a deadline to search commands.
+// Options:
+//   --deadline-ms=D   attach a deadline to search commands
+//   --retries=N       total attempts on retryable failures (default 4;
+//                     1 disables retrying). Connect failures, OVERLOADED
+//                     rejections, and — for idempotent commands — torn
+//                     responses are retried with jittered exponential
+//                     backoff (docs/protocol.md, "Client retry guidance").
+//   --retry-backoff-ms=B  initial backoff (default 50, doubling per try)
+//
 // Exit status: 0 on kOk, 2 when the server rejects the request
 // (OVERLOADED, DEADLINE_EXCEEDED, BAD_QUERY, ...), 1 on usage or
 // transport errors.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "server/client.h"
+#include "server/retry.h"
 
 namespace kspin::clientd {
 namespace {
@@ -29,11 +40,12 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: kspin_client [--host=H] --port=P [--deadline-ms=D] "
-      "<command> [args...]\n"
+      "[--retries=N] [--retry-backoff-ms=B] <command> [args...]\n"
       "commands: ping | stats | search <vertex> <k> <query...> |\n"
       "          ranked <vertex> <k> <query...> | add <vertex> <name> "
       "<kw...> |\n"
-      "          close <id> | tag <id> <kw> | untag <id> <kw>\n");
+      "          close <id> | tag <id> <kw> | untag <id> <kw> |\n"
+      "          snapshot | reload\n");
 }
 
 int ReportStatus(const server::Client::Reply& reply) {
@@ -44,7 +56,7 @@ int ReportStatus(const server::Client::Reply& reply) {
   return 2;
 }
 
-int RunSearch(server::Client& client, bool ranked,
+int RunSearch(server::RetryingClient& client, bool ranked,
               const std::vector<std::string>& args,
               std::uint32_t deadline_ms) {
   if (args.size() < 3) {
@@ -73,10 +85,18 @@ int RunSearch(server::Client& client, bool ranked,
   return 0;
 }
 
+int ReportSnapshot(const server::Client::SnapshotReply& reply) {
+  if (const int rc = ReportStatus(reply)) return rc;
+  std::printf("%llu\t%s\n", static_cast<unsigned long long>(reply.sequence),
+              reply.path.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::uint32_t deadline_ms = 0;
+  server::RetryPolicy policy;
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +106,12 @@ int Main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(14)));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      policy.max_attempts = static_cast<std::uint32_t>(
+          std::max(1ul, std::stoul(arg.substr(10))));
+    } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
+      policy.initial_backoff_ms =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(19)));
     } else {
       rest.push_back(arg);
     }
@@ -98,8 +124,7 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> args(rest.begin() + 1, rest.end());
 
   try {
-    server::Client client;
-    client.Connect(host, port);
+    server::RetryingClient client(host, port, policy);
 
     if (command == "ping") {
       return ReportStatus(client.Ping());
@@ -145,6 +170,12 @@ int Main(int argc, char** argv) {
       const ObjectId id = static_cast<ObjectId>(std::stoul(args[0]));
       return ReportStatus(command == "tag" ? client.TagPoi(id, args[1])
                                            : client.UntagPoi(id, args[1]));
+    }
+    if (command == "snapshot") {
+      return ReportSnapshot(client.Snapshot());
+    }
+    if (command == "reload") {
+      return ReportSnapshot(client.Reload());
     }
     Usage();
     return 1;

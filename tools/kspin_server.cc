@@ -4,6 +4,8 @@
 //   kspin_server [--port=P] [--workers=N] [--queue=CAP]
 //                [--grid=WxH] [--pois=N] [--keywords=N] [--seed=S]
 //                [--module=ch|dijkstra]
+//                [--snapshot-dir=DIR] [--snapshot-period-ms=T]
+//                [--snapshot-keep=N]
 //
 // Builds a synthetic road network + POI catalogue (names "poi<N>",
 // keywords "kw<K>"), constructs the distance oracle, binds 127.0.0.1:P
@@ -11,11 +13,20 @@
 // shuts down gracefully: stop accepting, drain admitted requests, flush
 // responses. Prints "listening on port <P>" once ready — scripts (e.g.
 // tools/server_smoke_test.sh) key off that line.
+//
+// With --snapshot-dir, boot is restore-or-rebuild: the newest valid
+// snapshot in DIR (surviving a kill -9, torn writes, bit rot — every file
+// is checksummed) is restored verbatim, including its graph; only when no
+// usable snapshot exists is the synthetic world built from the flags.
+// The SNAPSHOT / RELOAD opcodes are enabled, and a period > 0 snapshots
+// in the background (docs/persistence.md).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -24,6 +35,7 @@
 #include "routing/dijkstra.h"
 #include "server/server.h"
 #include "service/poi_service.h"
+#include "service/service_snapshot.h"
 #include "service/synthetic_catalog.h"
 
 namespace kspin::serverd {
@@ -39,6 +51,9 @@ struct Args {
   std::uint32_t keywords = 40;
   std::uint64_t seed = 7;
   std::string module = "ch";
+  std::string snapshot_dir;
+  std::uint32_t snapshot_period_ms = 0;
+  std::size_t snapshot_keep = 4;
   bool bad = false;
 };
 
@@ -73,6 +88,12 @@ Args Parse(int argc, char** argv) {
       args.seed = std::stoull(*v);
     } else if (auto v = value("module")) {
       args.module = *v;
+    } else if (auto v = value("snapshot-dir")) {
+      args.snapshot_dir = *v;
+    } else if (auto v = value("snapshot-period-ms")) {
+      args.snapshot_period_ms = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("snapshot-keep")) {
+      args.snapshot_keep = std::stoul(*v);
     } else {
       args.bad = true;
     }
@@ -94,24 +115,46 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kspin_server [--port=P] [--workers=N] "
                  "[--queue=CAP] [--grid=WxH] [--pois=N] [--keywords=N] "
-                 "[--seed=S] [--module=ch|dijkstra]\n");
+                 "[--seed=S] [--module=ch|dijkstra] [--snapshot-dir=DIR] "
+                 "[--snapshot-period-ms=T] [--snapshot-keep=N]\n");
     return 1;
   }
 
-  RoadNetworkOptions road;
-  road.grid_width = args.grid_width;
-  road.grid_height = args.grid_height;
-  road.seed = args.seed;
-  const Graph graph = GenerateRoadNetwork(road);
+  // Restore-or-rebuild: prefer the newest valid snapshot on disk.
+  std::optional<LoadedServiceSnapshot> loaded;
+  if (!args.snapshot_dir.empty()) {
+    std::vector<std::string> skipped;
+    loaded = LoadNewestValidServiceSnapshot(args.snapshot_dir, nullptr,
+                                            &skipped);
+    for (const std::string& reason : skipped) {
+      std::fprintf(stderr, "snapshot skipped: %s\n", reason.c_str());
+    }
+  }
+
+  std::unique_ptr<Graph> owned_graph;
+  if (loaded) {
+    owned_graph = std::move(loaded->state.graph);
+  } else {
+    RoadNetworkOptions road;
+    road.grid_width = args.grid_width;
+    road.grid_height = args.grid_height;
+    road.seed = args.seed;
+    owned_graph = std::make_unique<Graph>(GenerateRoadNetwork(road));
+  }
+  const Graph& graph = *owned_graph;
   std::printf("network: |V|=%zu |E|=%zu\n", graph.NumVertices(),
               graph.NumEdges());
 
-  std::optional<ContractionHierarchy> ch;
+  std::unique_ptr<ContractionHierarchy> ch;
   std::optional<ChOracle> ch_oracle;
   std::optional<DijkstraOracle> dijkstra_oracle;
   DistanceOracle* oracle;
   if (args.module == "ch") {
-    ch.emplace(graph);
+    if (loaded && loaded->state.ch != nullptr) {
+      ch = std::move(loaded->state.ch);  // Snapshot carried the CH.
+    } else {
+      ch = std::make_unique<ContractionHierarchy>(graph);
+    }
     ch_oracle.emplace(*ch);
     oracle = &*ch_oracle;
   } else {
@@ -119,20 +162,37 @@ int Main(int argc, char** argv) {
     oracle = &*dijkstra_oracle;
   }
 
-  PoiService service(graph, *oracle);
-  SyntheticCatalogOptions catalog;
-  catalog.num_pois = args.pois;
-  catalog.num_keywords = args.keywords;
-  catalog.seed = args.seed + 1;
-  PopulateSyntheticCatalog(service, graph, catalog);
-  std::printf("catalogue: %zu pois, %u keywords (kw0..kw%u)\n",
-              service.NumLivePois(), args.keywords, args.keywords - 1);
+  std::optional<PoiService> service;
+  if (loaded) {
+    service.emplace(graph, *oracle,
+                    std::move(loaded->state.catalog.vocabulary),
+                    std::move(loaded->state.catalog.names),
+                    std::move(loaded->state.store),
+                    std::move(loaded->state.alt),
+                    std::move(loaded->state.keyword_index));
+    std::printf("restored snapshot %llu from %s (%zu pois)\n",
+                static_cast<unsigned long long>(loaded->sequence),
+                loaded->path.c_str(), service->NumLivePois());
+  } else {
+    service.emplace(graph, *oracle);
+    SyntheticCatalogOptions catalog;
+    catalog.num_pois = args.pois;
+    catalog.num_keywords = args.keywords;
+    catalog.seed = args.seed + 1;
+    PopulateSyntheticCatalog(*service, graph, catalog);
+    std::printf("catalogue: %zu pois, %u keywords (kw0..kw%u)\n",
+                service->NumLivePois(), args.keywords, args.keywords - 1);
+  }
 
   server::ServerOptions options;
   options.port = args.port;
   options.num_workers = args.workers;
   options.queue_capacity = args.queue;
-  server::Server server(service, options);
+  options.snapshot.dir = args.snapshot_dir;
+  options.snapshot.period_ms = args.snapshot_period_ms;
+  options.snapshot.keep = args.snapshot_keep;
+  options.snapshot.ch = ch.get();
+  server::Server server(*service, options);
   server.Start();
   std::printf("listening on port %u (module: %s)\n", server.Port(),
               oracle->Name().c_str());

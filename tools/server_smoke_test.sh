@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test: boots kspin_server on an ephemeral port, drives
-# it with kspin_client (ping, searches, an update, stats), and checks a
-# clean SIGINT shutdown. Exercises the real binaries over real TCP — the
-# piece unit tests cannot cover.
+# it with kspin_client (ping, searches, an update, stats), checks a clean
+# SIGINT shutdown, then runs a crash/restore cycle: snapshot, kill -9,
+# restart from --snapshot-dir, and verify byte-identical query results.
+# Exercises the real binaries over real TCP — the piece unit tests cannot
+# cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -11,6 +13,7 @@ BUILD_DIR="${1:-build}"
 SERVER="$BUILD_DIR/tools/kspin_server"
 CLIENT="$BUILD_DIR/tools/kspin_client"
 LOG="$(mktemp)"
+SNAPDIR="$(mktemp -d)"
 
 for bin in "$SERVER" "$CLIENT"; do
   if [[ ! -x "$bin" ]]; then
@@ -20,22 +23,29 @@ for bin in "$SERVER" "$CLIENT"; do
 done
 
 cleanup() {
-  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
   rm -f "$LOG"
+  rm -rf "$SNAPDIR"
 }
 trap cleanup EXIT
 
-"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 >"$LOG" 2>&1 &
-SERVER_PID=$!
+# Starts $SERVER with the given extra flags, waits for its port, and sets
+# SERVER_PID + PORT. Truncates and reuses $LOG.
+start_server() {
+  : >"$LOG"
+  "$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 "$@" >"$LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || { echo "smoke: server never reported its port" >&2; cat "$LOG" >&2; exit 1; }
+}
 
-PORT=""
-for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")"
-  [[ -n "$PORT" ]] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
-  sleep 0.1
-done
-[[ -n "$PORT" ]] || { echo "smoke: server never reported its port" >&2; cat "$LOG" >&2; exit 1; }
+start_server
 echo "smoke: server up on port $PORT"
 
 "$CLIENT" --port="$PORT" ping
@@ -81,4 +91,55 @@ wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 grep -q "shutting down" "$LOG" || { echo "smoke: no graceful shutdown log" >&2; cat "$LOG" >&2; exit 1; }
 echo "smoke: graceful shutdown ok"
+
+# ---- crash / restore cycle ------------------------------------------
+# Snapshot the serving state, kill -9 the server (no chance to flush
+# anything), restart from the snapshot directory, and demand the exact
+# same answers — including an update that only ever lived post-boot.
+
+start_server --snapshot-dir="$SNAPDIR"
+echo "smoke: snapshot server up on port $PORT"
+
+CRASH_ID="$("$CLIENT" --port="$PORT" add 9 crashpoi crashkw)"
+BASELINE_A="$("$CLIENT" --port="$PORT" search 5 5 "kw0 or kw1")"
+BASELINE_B="$("$CLIENT" --port="$PORT" search 9 3 crashkw)"
+grep -q "crashpoi" <<<"$BASELINE_B" || { echo "smoke: crashpoi missing pre-crash" >&2; exit 1; }
+
+SNAP_OUT="$("$CLIENT" --port="$PORT" snapshot)"
+SNAP_PATH="$(cut -f2 <<<"$SNAP_OUT")"
+[[ -f "$SNAP_PATH" ]] || { echo "smoke: snapshot file $SNAP_PATH missing" >&2; exit 1; }
+echo "smoke: snapshot written ($SNAP_OUT)"
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "smoke: server killed with SIGKILL"
+
+start_server --snapshot-dir="$SNAPDIR"
+grep -q "restored snapshot" "$LOG" || { echo "smoke: restart did not restore from snapshot" >&2; cat "$LOG" >&2; exit 1; }
+
+AFTER_A="$("$CLIENT" --port="$PORT" search 5 5 "kw0 or kw1")"
+AFTER_B="$("$CLIENT" --port="$PORT" search 9 3 crashkw)"
+[[ "$AFTER_A" == "$BASELINE_A" ]] || { echo "smoke: post-restore results differ (baseline A)" >&2; diff <(echo "$BASELINE_A") <(echo "$AFTER_A") >&2 || true; exit 1; }
+[[ "$AFTER_B" == "$BASELINE_B" ]] || { echo "smoke: post-restore results differ (baseline B)" >&2; diff <(echo "$BASELINE_B") <(echo "$AFTER_B") >&2 || true; exit 1; }
+grep -q "crashpoi" <<<"$AFTER_B" || { echo "smoke: crashpoi lost across crash" >&2; exit 1; }
+echo "smoke: post-crash results byte-identical (poi id $CRASH_ID survived)"
+
+# RELOAD over the wire converges on the same snapshot.
+"$CLIENT" --port="$PORT" reload >/dev/null
+AFTER_RELOAD="$("$CLIENT" --port="$PORT" search 5 5 "kw0 or kw1")"
+[[ "$AFTER_RELOAD" == "$BASELINE_A" ]] || { echo "smoke: RELOAD changed results" >&2; exit 1; }
+echo "smoke: RELOAD opcode ok"
+
+kill -INT "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "smoke: snapshot server ignored SIGINT" >&2
+  exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
 echo "smoke: PASS"
