@@ -342,4 +342,41 @@ std::size_t PruneSnapshots(const std::string& dir, std::size_t keep) {
   return removed;
 }
 
+std::uint64_t ValidateSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open snapshot " + path + ": " +
+                             std::strerror(errno));
+  }
+  SnapshotReader reader(in);
+  return reader.TotalBytes();
+}
+
+std::string ReadFileRange(const std::string& path, std::uint64_t offset,
+                          std::uint32_t count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open snapshot " + path + ": " +
+                             std::strerror(errno));
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) throw SerializationError("cannot size snapshot " + path);
+  const std::uint64_t size = static_cast<std::uint64_t>(end);
+  if (offset > size) {
+    throw SerializationError("offset " + std::to_string(offset) +
+                             " beyond snapshot " + path + " (" +
+                             std::to_string(size) + " bytes)");
+  }
+  const std::uint64_t want =
+      std::min<std::uint64_t>(count, size - offset);
+  std::string bytes(static_cast<std::size_t>(want), '\0');
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  if (want > 0) in.read(bytes.data(), static_cast<std::streamsize>(want));
+  if (!in) {
+    throw SerializationError("short read from snapshot " + path);
+  }
+  return bytes;
+}
+
 }  // namespace kspin::io

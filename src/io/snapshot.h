@@ -101,6 +101,8 @@ class SnapshotReader {
   std::string_view Section(SnapshotSection type) const;
   /// Section types present, in file order.
   std::vector<SnapshotSection> Sections() const;
+  /// Whole-container byte count (header + sections + footer).
+  std::uint64_t TotalBytes() const { return bytes_.size(); }
 
   /// Byte offset of each section's payload within the file, in file
   /// order — used by corruption property tests to target boundaries.
@@ -140,6 +142,23 @@ std::vector<std::pair<std::uint64_t, std::string>> FindSnapshots(
 /// Deletes all but the `keep` newest snapshot files plus any leftover
 /// temp files from crashed writers. Returns the number removed.
 std::size_t PruneSnapshots(const std::string& dir, std::size_t keep);
+
+// ----- Streaming reads (replication) ---------------------------------------
+
+/// Fully validates the snapshot container at `path` (same checks as
+/// SnapshotReader) and returns its byte size. Throws SerializationError
+/// when the file is unreadable or fails any integrity check. Used by the
+/// primary to pick a provably-good snapshot before streaming it.
+std::uint64_t ValidateSnapshotFile(const std::string& path);
+
+/// Reads up to `count` bytes of `path` starting at `offset` (clamped to
+/// the end of the file; `offset` == size yields an empty string). Throws
+/// SerializationError when the file cannot be opened, the read fails, or
+/// `offset` lies beyond the file. Range reads deliberately skip container
+/// validation — the fetching replica verifies the reassembled image
+/// end-to-end before installing it.
+std::string ReadFileRange(const std::string& path, std::uint64_t offset,
+                          std::uint32_t count);
 
 }  // namespace kspin::io
 

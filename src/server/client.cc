@@ -178,6 +178,32 @@ Client::StatsReply Client::Stats() {
   return reply;
 }
 
+Client::HealthReply Client::Health() {
+  const auto body = RoundTrip(Opcode::kHealth, {});
+  PayloadReader reader(body);
+  HealthReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeHealthResponse(reader, &reply.health)) {
+    throw ClientError("malformed health response");
+  }
+  return reply;
+}
+
+Client::FetchSnapshotReply Client::FetchSnapshotChunk(
+    std::uint64_t sequence, std::uint64_t offset, std::uint32_t max_bytes) {
+  FetchSnapshotRequest request{sequence, offset, max_bytes};
+  const auto body = RoundTrip(Opcode::kFetchSnapshot,
+                              EncodeFetchSnapshotRequest(request));
+  PayloadReader reader(body);
+  FetchSnapshotReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeSnapshotChunkResponse(reader, &reply.chunk)) {
+    // Covers both malformed framing and a chunk CRC mismatch.
+    throw ClientError("malformed or corrupt snapshot chunk");
+  }
+  return reply;
+}
+
 Client::SearchReply Client::Search(std::string_view query, VertexId from,
                                    std::uint32_t k, bool ranked,
                                    std::uint32_t deadline_ms) {

@@ -69,11 +69,31 @@ class Client {
     std::string path;
   };
 
+  struct HealthReply : Reply {
+    HealthInfo health;
+  };
+
+  struct FetchSnapshotReply : Reply {
+    SnapshotChunk chunk;
+  };
+
   /// Liveness probe.
   Reply Ping();
 
   /// Server metrics snapshot.
   StatsReply Stats();
+
+  /// Role, newest snapshot sequence, uptime, and queue depth — answered
+  /// inline by the I/O thread, so it works on a saturated server.
+  HealthReply Health();
+
+  /// One chunk of a snapshot file (FETCH_SNAPSHOT opcode). sequence 0
+  /// with offset 0 asks for the newest valid snapshot; the reply pins the
+  /// concrete sequence to echo on subsequent chunks. max_bytes 0 accepts
+  /// the server's default chunk size.
+  FetchSnapshotReply FetchSnapshotChunk(std::uint64_t sequence,
+                                        std::uint64_t offset,
+                                        std::uint32_t max_bytes = 0);
 
   /// Boolean (nearest-first) or ranked search. `deadline_ms` of 0 means
   /// no deadline; otherwise the server drops or aborts the request once

@@ -1,0 +1,121 @@
+#include "server/failover.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace kspin::server {
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               RetryPolicy policy)
+    : endpoints_(std::move(endpoints)), policy_(policy) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("FailoverClient needs at least one endpoint");
+  }
+  clients_.reserve(endpoints_.size());
+  for (const Endpoint& endpoint : endpoints_) {
+    clients_.push_back(std::make_unique<RetryingClient>(
+        endpoint.host, endpoint.port, policy_));
+  }
+}
+
+void FailoverClient::SetSleepFunction(RetryingClient::SleepFn sleep_fn) {
+  sleep_ = sleep_fn;
+  for (const auto& client : clients_) client->SetSleepFunction(sleep_fn);
+}
+
+void FailoverClient::ProbeRoles() {
+  probed_ = true;
+  if (clients_.size() < 2) return;  // Single endpoint: nothing to learn.
+  // One non-retried health probe per endpoint; unreachable ones keep
+  // their defaults and reads simply fail over past them.
+  RetryPolicy probe_policy = policy_;
+  probe_policy.max_attempts = 1;
+  bool found_replica = false;
+  bool found_primary = false;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    RetryingClient probe(endpoints_[i].host, endpoints_[i].port,
+                         probe_policy);
+    if (sleep_) probe.SetSleepFunction(sleep_);
+    try {
+      const auto reply = probe.Health();
+      if (!reply.ok()) continue;
+      if (reply.health.role == 1 && !found_replica) {
+        read_index_ = i;
+        found_replica = true;
+      }
+      if (reply.health.role == 0 && !found_primary) {
+        primary_index_ = i;
+        found_primary = true;
+      }
+    } catch (const ClientError&) {
+      // Down or unreachable; skip.
+    }
+  }
+}
+
+std::size_t FailoverClient::FindOrAddEndpoint(const Endpoint& endpoint) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].host == endpoint.host &&
+        endpoints_[i].port == endpoint.port) {
+      return i;
+    }
+  }
+  endpoints_.push_back(endpoint);
+  clients_.push_back(std::make_unique<RetryingClient>(
+      endpoint.host, endpoint.port, policy_));
+  if (sleep_) clients_.back()->SetSleepFunction(sleep_);
+  return endpoints_.size() - 1;
+}
+
+Client::Reply FailoverClient::Ping() {
+  return ExecuteRead([](RetryingClient& c) { return c.Ping(); });
+}
+
+Client::StatsReply FailoverClient::Stats() {
+  return ExecuteRead([](RetryingClient& c) { return c.Stats(); });
+}
+
+Client::HealthReply FailoverClient::Health() {
+  return ExecuteRead([](RetryingClient& c) { return c.Health(); });
+}
+
+Client::SearchReply FailoverClient::Search(std::string_view query,
+                                           VertexId from, std::uint32_t k,
+                                           bool ranked,
+                                           std::uint32_t deadline_ms) {
+  return ExecuteRead([&](RetryingClient& c) {
+    return c.Search(query, from, k, ranked, deadline_ms);
+  });
+}
+
+Client::AddPoiReply FailoverClient::AddPoi(
+    std::string_view name, VertexId vertex,
+    std::span<const std::string> keywords) {
+  return ExecuteWrite(
+      [&](RetryingClient& c) { return c.AddPoi(name, vertex, keywords); });
+}
+
+Client::Reply FailoverClient::ClosePoi(ObjectId id) {
+  return ExecuteWrite([&](RetryingClient& c) { return c.ClosePoi(id); });
+}
+
+Client::Reply FailoverClient::TagPoi(ObjectId id, std::string_view keyword) {
+  return ExecuteWrite(
+      [&](RetryingClient& c) { return c.TagPoi(id, keyword); });
+}
+
+Client::Reply FailoverClient::UntagPoi(ObjectId id,
+                                       std::string_view keyword) {
+  return ExecuteWrite(
+      [&](RetryingClient& c) { return c.UntagPoi(id, keyword); });
+}
+
+Client::SnapshotReply FailoverClient::Snapshot() {
+  return ExecuteWrite([](RetryingClient& c) { return c.Snapshot(); });
+}
+
+Client::SnapshotReply FailoverClient::Reload() {
+  return ExecuteWrite([](RetryingClient& c) { return c.Reload(); });
+}
+
+}  // namespace kspin::server

@@ -1,0 +1,136 @@
+// Client-side failover across a replicated deployment.
+//
+// FailoverClient wraps one RetryingClient per endpoint and routes by
+// operation class:
+//
+//  - Reads (ping/stats/health/search) prefer a healthy replica — keeping
+//    read traffic off the primary — and fail over to the next endpoint on
+//    any transport failure (connect refused, timeout, torn stream). The
+//    endpoint that last answered is sticky, so steady state costs no
+//    extra probing.
+//  - Writes (poi updates, snapshot/reload) go to the endpoint believed to
+//    be the primary. A NOT_PRIMARY rejection carries the real primary's
+//    "host:port"; the client follows the redirect (adding the endpoint if
+//    it was not configured) a bounded number of times.
+//
+// Like Client/RetryingClient, NOT thread-safe.
+#ifndef KSPIN_SERVER_FAILOVER_H_
+#define KSPIN_SERVER_FAILOVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/replication.h"
+#include "server/retry.h"
+
+namespace kspin::server {
+
+class FailoverClient {
+ public:
+  /// `endpoints` must be non-empty; the first is the initial guess for
+  /// both reads and writes until health probes say otherwise.
+  explicit FailoverClient(std::vector<Endpoint> endpoints,
+                          RetryPolicy policy = {});
+
+  /// Forwards to every per-endpoint RetryingClient — test hook.
+  void SetSleepFunction(RetryingClient::SleepFn sleep_fn);
+
+  /// Endpoints currently known (configured + learned from redirects).
+  const std::vector<Endpoint>& Endpoints() const { return endpoints_; }
+  /// Index (into Endpoints()) that served the last successful operation.
+  std::size_t LastEndpoint() const { return last_endpoint_; }
+
+  // Reads — replica-preferred, endpoint failover on transport errors.
+  // Throws ClientError only when every endpoint failed.
+  Client::Reply Ping();
+  Client::StatsReply Stats();
+  Client::HealthReply Health();
+  Client::SearchReply Search(std::string_view query, VertexId from,
+                             std::uint32_t k, bool ranked = false,
+                             std::uint32_t deadline_ms = 0);
+
+  // Writes — primary-routed, NOT_PRIMARY redirects followed (at most
+  // kMaxRedirects hops). A still-kNotPrimary reply after that surfaces
+  // to the caller.
+  Client::AddPoiReply AddPoi(std::string_view name, VertexId vertex,
+                             std::span<const std::string> keywords);
+  Client::Reply ClosePoi(ObjectId id);
+  Client::Reply TagPoi(ObjectId id, std::string_view keyword);
+  Client::Reply UntagPoi(ObjectId id, std::string_view keyword);
+  Client::SnapshotReply Snapshot();
+  Client::SnapshotReply Reload();
+
+  static constexpr std::size_t kMaxRedirects = 2;
+
+ private:
+  /// Health-probes endpoints once to learn roles: read order starts at a
+  /// healthy replica, writes at the endpoint claiming primary. Best
+  /// effort — unreachable endpoints just keep their defaults.
+  void ProbeRoles();
+  std::size_t FindOrAddEndpoint(const Endpoint& endpoint);
+
+  template <typename Op>
+  auto ExecuteRead(Op&& op) -> decltype(op(std::declval<RetryingClient&>()));
+  template <typename Op>
+  auto ExecuteWrite(Op&& op) -> decltype(op(std::declval<RetryingClient&>()));
+
+  std::vector<Endpoint> endpoints_;
+  // unique_ptr: RetryingClient is not movable (owns a Client with fd).
+  std::vector<std::unique_ptr<RetryingClient>> clients_;
+  RetryPolicy policy_;
+  RetryingClient::SleepFn sleep_;
+  std::size_t read_index_ = 0;     ///< Sticky read endpoint.
+  std::size_t primary_index_ = 0;  ///< Believed primary.
+  std::size_t last_endpoint_ = 0;
+  bool probed_ = false;
+};
+
+template <typename Op>
+auto FailoverClient::ExecuteRead(Op&& op)
+    -> decltype(op(std::declval<RetryingClient&>())) {
+  if (!probed_) ProbeRoles();
+  // Try every endpoint once, starting from the sticky one. Each attempt
+  // already carries the per-endpoint retry policy, so a ClientError here
+  // means "this endpoint is down" — move on.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const std::size_t index = (read_index_ + i) % clients_.size();
+    try {
+      auto reply = op(*clients_[index]);
+      read_index_ = index;
+      last_endpoint_ = index;
+      return reply;
+    } catch (const ClientError&) {
+      if (i + 1 == clients_.size()) throw;
+    }
+  }
+  throw ClientError("no endpoints");  // Unreachable; clients_ non-empty.
+}
+
+template <typename Op>
+auto FailoverClient::ExecuteWrite(Op&& op)
+    -> decltype(op(std::declval<RetryingClient&>())) {
+  if (!probed_) ProbeRoles();
+  for (std::size_t redirects = 0;; ++redirects) {
+    auto reply = op(*clients_[primary_index_]);
+    if (reply.status != StatusCode::kNotPrimary ||
+        redirects >= kMaxRedirects) {
+      last_endpoint_ = primary_index_;
+      return reply;
+    }
+    // The replica told us who the primary is; follow the redirect.
+    const auto redirect = ParseEndpoint(reply.error);
+    if (!redirect) return reply;
+    const std::size_t target = FindOrAddEndpoint(*redirect);
+    if (target == primary_index_) return reply;  // Would loop; give up.
+    primary_index_ = target;
+  }
+}
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_FAILOVER_H_

@@ -1,6 +1,7 @@
 #include "server/metrics.h"
 
 #include <bit>
+#include <chrono>
 
 namespace kspin::server {
 
@@ -58,6 +59,10 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 8;
     case Opcode::kReload:
       return 9;
+    case Opcode::kHealth:
+      return 10;
+    case Opcode::kFetchSnapshot:
+      return 11;
   }
   return kNoSlot;
 }
@@ -77,6 +82,7 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
   std::vector<std::pair<std::string, std::uint64_t>> out = {
       {"connections_opened", load(connections_opened)},
       {"connections_closed", load(connections_closed)},
+      {"accept_errors", load(accept_errors)},
       {"frames_received", load(frames_received)},
       {"frames_malformed", load(frames_malformed)},
       {"requests_ok", load(requests_ok)},
@@ -91,6 +97,16 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"snapshots_failed", load(snapshots_failed)},
       {"reloads_ok", load(reloads_ok)},
       {"reloads_failed", load(reloads_failed)},
+      {"requests_not_primary", load(requests_not_primary)},
+      {"snapshot_chunks_served", load(snapshot_chunks_served)},
+      {"replication_polls", load(replication_polls)},
+      {"replication_poll_errors", load(replication_poll_errors)},
+      {"replication_fetches_ok", load(replication_fetches_ok)},
+      {"replication_fetches_failed", load(replication_fetches_failed)},
+      {"replication_installs_ok", load(replication_installs_ok)},
+      {"replication_installs_rejected", load(replication_installs_rejected)},
+      {"replication_last_sequence", load(replication_last_sequence)},
+      {"replication_sequence_delta", load(replication_sequence_delta)},
       {"connections_reaped_idle", load(connections_reaped_idle)},
       {"connections_reaped_slow", load(connections_reaped_slow)},
       {"connections_reaped_backpressure",
@@ -107,6 +123,8 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"opcode_poi_untag", load(requests_by_opcode[7])},
       {"opcode_snapshot", load(requests_by_opcode[8])},
       {"opcode_reload", load(requests_by_opcode[9])},
+      {"opcode_health", load(requests_by_opcode[10])},
+      {"opcode_fetch_snapshot", load(requests_by_opcode[11])},
       {"query_latency_count", query_latency.Count()},
       {"query_latency_mean_us", query_latency.MeanMicros()},
       {"query_latency_p50_us", query_latency.PercentileMicros(0.50)},
@@ -116,6 +134,20 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"update_latency_p50_us", update_latency.PercentileMicros(0.50)},
       {"update_latency_p99_us", update_latency.PercentileMicros(0.99)},
   };
+  // Replication lag: ms since the last poll that confirmed the replica in
+  // sync with (or installed a snapshot from) its primary. 0 until the
+  // first success — read it together with replication_polls.
+  const std::uint64_t last_success =
+      load(replication_last_success_ms);
+  std::uint64_t lag_ms = 0;
+  if (last_success != 0) {
+    const auto now_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    lag_ms = now_ms > last_success ? now_ms - last_success : 0;
+  }
+  out.emplace_back("replication_lag_ms", lag_ms);
   return out;
 }
 

@@ -45,6 +45,9 @@ class ServerMetrics {
   // Connection lifecycle.
   std::atomic<std::uint64_t> connections_opened{0};
   std::atomic<std::uint64_t> connections_closed{0};
+  /// accept() failures from resource exhaustion (EMFILE/ENFILE/ENOBUFS/
+  /// ENOMEM); each one also pauses accepting briefly.
+  std::atomic<std::uint64_t> accept_errors{0};
 
   // Frame decoding.
   std::atomic<std::uint64_t> frames_received{0};
@@ -69,6 +72,28 @@ class ServerMetrics {
   std::atomic<std::uint64_t> reloads_ok{0};
   std::atomic<std::uint64_t> reloads_failed{0};
 
+  // Replication.
+  /// Writes rejected because this server is a replica.
+  std::atomic<std::uint64_t> requests_not_primary{0};
+  /// FETCH_SNAPSHOT chunks served (primary side).
+  std::atomic<std::uint64_t> snapshot_chunks_served{0};
+  /// Replica-side poll loop (see Replicator): poll cycles started, cycles
+  /// that failed before a verdict (connect/health error), whole-snapshot
+  /// fetches, and install outcomes.
+  std::atomic<std::uint64_t> replication_polls{0};
+  std::atomic<std::uint64_t> replication_poll_errors{0};
+  std::atomic<std::uint64_t> replication_fetches_ok{0};
+  std::atomic<std::uint64_t> replication_fetches_failed{0};
+  std::atomic<std::uint64_t> replication_installs_ok{0};
+  std::atomic<std::uint64_t> replication_installs_rejected{0};
+  /// Gauges: last installed sequence and primary-minus-local sequence gap.
+  std::atomic<std::uint64_t> replication_last_sequence{0};
+  std::atomic<std::uint64_t> replication_sequence_delta{0};
+  /// steady_clock ms timestamp of the last poll that confirmed the replica
+  /// in sync (or installed a snapshot); 0 = never. STATS derives
+  /// replication_lag_ms from it.
+  std::atomic<std::uint64_t> replication_last_success_ms{0};
+
   // Connection hardening (reasons the I/O thread force-closed a peer).
   /// No bytes in either direction for idle_timeout_ms.
   std::atomic<std::uint64_t> connections_reaped_idle{0};
@@ -79,7 +104,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> connections_reaped_backpressure{0};
 
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 10> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 12> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};

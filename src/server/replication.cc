@@ -1,0 +1,201 @@
+#include "server/replication.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+namespace kspin::server {
+namespace {
+
+std::uint64_t SteadyNowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> ParseEndpoint(std::string_view spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  const std::string_view port_str = spec.substr(colon + 1);
+  std::uint32_t port = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_str.data(), port_str.data() + port_str.size(),
+                      port);
+  if (ec != std::errc{} || ptr != port_str.data() + port_str.size() ||
+      port == 0 || port > 65535) {
+    return std::nullopt;
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(spec.substr(0, colon));
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::string_view RoleName(ServerRole role) {
+  return role == ServerRole::kPrimary ? "primary" : "replica";
+}
+
+bool FetchSnapshotBytes(Client& client, std::uint64_t sequence,
+                        std::uint32_t chunk_bytes,
+                        std::uint64_t* out_sequence, std::string* out_bytes,
+                        std::string* error) {
+  std::uint64_t pinned = sequence;
+  std::uint64_t total = 0;
+  std::uint64_t offset = 0;
+  std::string bytes;
+  for (;;) {
+    const auto reply = client.FetchSnapshotChunk(pinned, offset, chunk_bytes);
+    if (!reply.ok()) {
+      *error = std::string(StatusName(reply.status)) + ": " + reply.error;
+      return false;
+    }
+    const SnapshotChunk& chunk = reply.chunk;
+    if (offset == 0) {
+      pinned = chunk.sequence;
+      total = chunk.total_size;
+      bytes.reserve(static_cast<std::size_t>(total));
+    } else if (chunk.sequence != pinned || chunk.total_size != total) {
+      *error = "snapshot changed mid-transfer (sequence " +
+               std::to_string(pinned) + " -> " +
+               std::to_string(chunk.sequence) + ")";
+      return false;
+    }
+    if (chunk.offset != offset) {
+      *error = "chunk offset mismatch: asked " + std::to_string(offset) +
+               ", got " + std::to_string(chunk.offset);
+      return false;
+    }
+    offset += chunk.bytes.size();
+    bytes += chunk.bytes;
+    if (offset >= total) break;
+    if (chunk.bytes.empty()) {
+      *error = "empty chunk before end of snapshot";
+      return false;
+    }
+  }
+  if (bytes.size() != total) {
+    *error = "snapshot size mismatch: expected " + std::to_string(total) +
+             " bytes, assembled " + std::to_string(bytes.size());
+    return false;
+  }
+  *out_sequence = pinned;
+  *out_bytes = std::move(bytes);
+  return true;
+}
+
+Replicator::Replicator(ReplicationOptions options, ServerMetrics& metrics,
+                       Hooks hooks)
+    : options_(std::move(options)),
+      metrics_(metrics),
+      hooks_(std::move(hooks)) {}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Replicator::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Replicator::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> guard(mutex_);
+      cv_.wait_for(guard,
+                   std::chrono::milliseconds(options_.poll_interval_ms),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    PollOnce();
+  }
+}
+
+bool Replicator::PollOnce() {
+  metrics_.replication_polls.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (!client_.Connected()) {
+      client_.Connect(options_.primary.host, options_.primary.port);
+    }
+    const auto health = client_.Health();
+    if (!health.ok()) {
+      metrics_.replication_poll_errors.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return false;
+    }
+    const std::uint64_t remote = health.health.snapshot_sequence;
+    const std::uint64_t local = hooks_.local_sequence();
+    metrics_.replication_sequence_delta.store(
+        remote > local ? remote - local : 0, std::memory_order_relaxed);
+    if (remote == 0 || remote <= local) {
+      // In sync (or the primary has nothing to ship yet).
+      metrics_.replication_last_success_ms.store(SteadyNowMs(),
+                                                 std::memory_order_relaxed);
+      return false;
+    }
+
+    std::uint64_t sequence = 0;
+    std::string bytes;
+    std::string error;
+    // Ask for "newest valid" rather than the health-reported sequence:
+    // the primary may have pruned or advanced it since the health probe.
+    if (!FetchSnapshotBytes(client_, 0, options_.fetch_chunk_bytes,
+                            &sequence, &bytes, &error)) {
+      metrics_.replication_fetches_failed.fetch_add(
+          1, std::memory_order_relaxed);
+      std::fprintf(stderr, "replication: fetch from %s failed: %s\n",
+                   options_.primary.ToString().c_str(), error.c_str());
+      return false;
+    }
+    metrics_.replication_fetches_ok.fetch_add(1, std::memory_order_relaxed);
+    if (options_.test_mutate_fetched) options_.test_mutate_fetched(bytes);
+    if (sequence <= local) return false;  // Raced with a local install.
+
+    if (!hooks_.install(sequence, bytes, &error)) {
+      metrics_.replication_installs_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "replication: rejected snapshot %llu from %s: %s\n",
+                   static_cast<unsigned long long>(sequence),
+                   options_.primary.ToString().c_str(), error.c_str());
+      return false;
+    }
+    metrics_.replication_installs_ok.fetch_add(1, std::memory_order_relaxed);
+    metrics_.replication_last_sequence.store(sequence,
+                                             std::memory_order_relaxed);
+    const std::uint64_t now_local = hooks_.local_sequence();
+    metrics_.replication_sequence_delta.store(
+        remote > now_local ? remote - now_local : 0,
+        std::memory_order_relaxed);
+    metrics_.replication_last_success_ms.store(SteadyNowMs(),
+                                               std::memory_order_relaxed);
+    return true;
+  } catch (const ClientError& e) {
+    client_.Close();
+    metrics_.replication_poll_errors.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "replication: poll of %s failed: %s\n",
+                 options_.primary.ToString().c_str(), e.what());
+    return false;
+  }
+}
+
+}  // namespace kspin::server

@@ -1,0 +1,131 @@
+// Primary–replica replication: snapshot shipping over the wire protocol.
+//
+// The model is deliberately simple — replicas pull whole snapshots:
+//
+//   1. A replica polls its primary's HEALTH on a fixed interval and
+//      compares the primary's newest snapshot sequence to its own.
+//   2. When the primary is ahead, the replica streams the snapshot with
+//      FETCH_SNAPSHOT range requests (chunked under the 1 MiB frame
+//      budget, each chunk CRC-checked at the frame level).
+//   3. The reassembled image is validated end-to-end (full container
+//      checks + load against the serving graph) OFF the serving lock, so
+//      reads keep flowing from the old state the whole time; only the
+//      final catalog swap takes the exclusive update lock.
+//   4. The verified image is persisted into the replica's own snapshot
+//      directory via the crash-safe write path, so a replica restart
+//      recovers locally instead of re-fetching.
+//
+// A corrupt or torn transfer is rejected at step 3: the replica keeps
+// serving its previous state and simply retries on the next poll. Chunk
+// range-reads are idempotent, so every retry starts clean.
+#ifndef KSPIN_SERVER_REPLICATION_H_
+#define KSPIN_SERVER_REPLICATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "server/client.h"
+#include "server/metrics.h"
+
+namespace kspin::server {
+
+/// A server address. Formats as "host:port".
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string ToString() const;
+};
+
+/// Parses "host:port" (port in [1, 65535]). nullopt on any syntax error.
+std::optional<Endpoint> ParseEndpoint(std::string_view spec);
+
+/// What a server is in the replication topology.
+enum class ServerRole : std::uint8_t {
+  kPrimary = 0,  ///< Accepts writes; serves snapshots to replicas.
+  kReplica = 1,  ///< Read-only; tracks a primary's snapshots.
+};
+
+std::string_view RoleName(ServerRole role);
+
+/// Replication half of ServerOptions.
+struct ReplicationOptions {
+  ServerRole role = ServerRole::kPrimary;
+  /// The primary to track. Required (port != 0) when role is kReplica.
+  Endpoint primary;
+  /// How often the replica health-checks its primary.
+  std::uint32_t poll_interval_ms = 1000;
+  /// FETCH_SNAPSHOT chunk size the replica requests (clamped server-side
+  /// to kMaxSnapshotChunkBytes).
+  std::uint32_t fetch_chunk_bytes = 256 * 1024;
+  /// Test hook: mutates each fetched snapshot image before validation —
+  /// simulates mid-transfer corruption deterministically.
+  std::function<void(std::string&)> test_mutate_fetched;
+};
+
+/// Downloads snapshot `sequence` (0 = primary's newest valid) from the
+/// connected `client` in `chunk_bytes` ranges. On success fills the pinned
+/// sequence and the whole image and returns true; in-band rejections and
+/// mid-transfer inconsistencies (sequence changed, bad offsets) return
+/// false with `*error` set. Transport failures propagate as ClientError.
+/// The caller still must validate the image before trusting it.
+bool FetchSnapshotBytes(Client& client, std::uint64_t sequence,
+                        std::uint32_t chunk_bytes,
+                        std::uint64_t* out_sequence, std::string* out_bytes,
+                        std::string* error);
+
+/// The replica-side poll loop. Owns one connection to the primary and a
+/// background thread; the actual install is delegated to the server via
+/// Hooks so this class stays free of serving-state concerns.
+class Replicator {
+ public:
+  struct Hooks {
+    /// Sequence of the replica's newest installed snapshot (0 = none).
+    std::function<std::uint64_t()> local_sequence;
+    /// Validates + installs a fetched snapshot image. Returns false with
+    /// `*error` set when the image is rejected; must leave the serving
+    /// state untouched in that case.
+    std::function<bool(std::uint64_t sequence, const std::string& bytes,
+                       std::string* error)>
+        install;
+  };
+
+  Replicator(ReplicationOptions options, ServerMetrics& metrics, Hooks hooks);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Starts the background poll thread. Idempotent.
+  void Start();
+  /// Stops and joins the poll thread. Idempotent; called by ~Replicator.
+  void Stop();
+
+  /// One poll cycle (also the test entry point): health-check the primary
+  /// and fetch + install if it is ahead. Returns true when a new snapshot
+  /// was installed. Never throws — failures land in metrics and stderr
+  /// and are retried on the next cycle.
+  bool PollOnce();
+
+ private:
+  void Loop();
+
+  ReplicationOptions options_;
+  ServerMetrics& metrics_;
+  Hooks hooks_;
+  Client client_;  // Poll-thread only (PollOnce callers must not overlap).
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_REPLICATION_H_

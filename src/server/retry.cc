@@ -46,12 +46,31 @@ Client::StatsReply RetryingClient::Stats() {
   return Execute(true, [this] { return client_.Stats(); });
 }
 
+Client::HealthReply RetryingClient::Health() {
+  return Execute(true, [this] { return client_.Health(); });
+}
+
+Client::FetchSnapshotReply RetryingClient::FetchSnapshotChunk(
+    std::uint64_t sequence, std::uint64_t offset, std::uint32_t max_bytes) {
+  return Execute(true, [&] {
+    // Chunks are pure range reads — idempotent, safe to re-request.
+    return client_.FetchSnapshotChunk(sequence, offset, max_bytes);
+  });
+}
+
+std::uint32_t RetryingClient::ClampedDeadlineMs(std::uint32_t requested) const {
+  if (remaining_budget_ms_ == 0) return requested;  // No budget configured.
+  if (requested == 0) return remaining_budget_ms_;
+  return std::min(requested, remaining_budget_ms_);
+}
+
 Client::SearchReply RetryingClient::Search(std::string_view query,
                                            VertexId from, std::uint32_t k,
                                            bool ranked,
                                            std::uint32_t deadline_ms) {
   return Execute(true, [&] {
-    return client_.Search(query, from, k, ranked, deadline_ms);
+    return client_.Search(query, from, k, ranked,
+                          ClampedDeadlineMs(deadline_ms));
   });
 }
 

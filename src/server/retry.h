@@ -17,6 +17,8 @@
 #ifndef KSPIN_SERVER_RETRY_H_
 #define KSPIN_SERVER_RETRY_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -35,6 +37,13 @@ struct RetryPolicy {
   double multiplier = 2.0;
   /// Seed for the deterministic jitter stream.
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Overall time budget for one operation across all attempts and
+  /// backoffs, in milliseconds; 0 = unlimited. Once the budget can no
+  /// longer fund another backoff + attempt, the current attempt is the
+  /// last — so attempts x backoff never exceeds the caller's patience.
+  /// Per-request deadlines sent while a budget is active are clamped to
+  /// the remaining budget (see Search).
+  std::uint32_t max_total_ms = 0;
 };
 
 /// A Client plus retry policy. Like Client, NOT thread-safe. Connection
@@ -56,6 +65,14 @@ class RetryingClient {
   // Idempotent operations — retried on every retryable failure.
   Client::Reply Ping();
   Client::StatsReply Stats();
+  Client::HealthReply Health();
+  Client::FetchSnapshotReply FetchSnapshotChunk(std::uint64_t sequence,
+                                                std::uint64_t offset,
+                                                std::uint32_t max_bytes = 0);
+  /// When the policy has a max_total_ms budget, the deadline actually
+  /// sent is min(deadline_ms, remaining budget) — a retried request never
+  /// asks the server for more time than the caller is still willing to
+  /// wait (deadline_ms 0 becomes the remaining budget).
   Client::SearchReply Search(std::string_view query, VertexId from,
                              std::uint32_t k, bool ranked = false,
                              std::uint32_t deadline_ms = 0);
@@ -83,6 +100,10 @@ class RetryingClient {
   std::uint32_t BackoffMs(std::uint32_t attempt);
   std::uint64_t NextRandom();
 
+  /// Deadline to actually send for a caller-requested `deadline_ms`,
+  /// clamped to the remaining max_total_ms budget (no-op without one).
+  std::uint32_t ClampedDeadlineMs(std::uint32_t requested) const;
+
   std::string host_;
   std::uint16_t port_;
   RetryPolicy policy_;
@@ -90,14 +111,43 @@ class RetryingClient {
   SleepFn sleep_;
   std::uint64_t rng_state_;
   std::uint32_t last_attempts_ = 0;
+  /// Budget left before the current attempt; 0 = no budget configured.
+  /// Never 0 while a budget is active (clamped up to 1 ms) so it stays
+  /// distinguishable from "no deadline" on the wire.
+  std::uint32_t remaining_budget_ms_ = 0;
 };
 
 template <typename Op>
 auto RetryingClient::Execute(bool idempotent, Op&& op) -> decltype(op()) {
   last_attempts_ = 0;
+  const auto start = std::chrono::steady_clock::now();
+  // Budget consumed so far: wall time, but at least the backoffs already
+  // "slept" — with an injected no-op sleep (tests) the budget still
+  // drains deterministically.
+  std::uint64_t slept_ms = 0;
+  const auto used_ms = [&] {
+    const auto real = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return std::max<std::uint64_t>(static_cast<std::uint64_t>(real),
+                                   slept_ms);
+  };
   for (std::uint32_t attempt = 0;; ++attempt) {
     ++last_attempts_;
-    const bool last = attempt + 1 >= policy_.max_attempts;
+    const std::uint32_t backoff = BackoffMs(attempt);
+    bool last = attempt + 1 >= policy_.max_attempts;
+    if (policy_.max_total_ms > 0) {
+      const std::uint64_t used = used_ms();
+      // This attempt is the last one the budget can fund if there is no
+      // room left for its backoff plus another attempt.
+      if (used + backoff >= policy_.max_total_ms) last = true;
+      remaining_budget_ms_ = static_cast<std::uint32_t>(
+          used >= policy_.max_total_ms
+              ? 1
+              : std::max<std::uint64_t>(1, policy_.max_total_ms - used));
+    } else {
+      remaining_budget_ms_ = 0;
+    }
 
     // Phase 1: connect. Failures here are always retryable — nothing has
     // been sent yet.
@@ -121,9 +171,14 @@ auto RetryingClient::Execute(bool idempotent, Op&& op) -> decltype(op()) {
         client_.Close();
         if (!idempotent || last) throw;
       }
+    } else if (last) {
+      // Unreachable in practice (a failed last connect threw above), but
+      // keeps the loop provably bounded.
+      throw ClientError("connect failed");
     }
 
-    sleep_(BackoffMs(attempt));
+    sleep_(backoff);
+    slept_ms += backoff;
   }
 }
 

@@ -100,6 +100,14 @@ void Server::Start() {
   if (started_.exchange(true)) {
     throw std::logic_error("Server::Start called twice");
   }
+  start_time_ = Clock::now();
+  if (!options_.snapshot.dir.empty()) {
+    const auto existing = io::FindSnapshots(options_.snapshot.dir);
+    if (!existing.empty()) {
+      snapshot_sequence_.store(existing.front().first,
+                               std::memory_order_relaxed);
+    }
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
@@ -139,11 +147,27 @@ void Server::Start() {
   if (!options_.snapshot.dir.empty() && options_.snapshot.period_ms > 0) {
     snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
   }
+  if (options_.replication.role == ServerRole::kReplica &&
+      options_.replication.primary.port != 0) {
+    Replicator::Hooks hooks;
+    hooks.local_sequence = [this] { return SnapshotSequence(); };
+    hooks.install = [this](std::uint64_t sequence, const std::string& bytes,
+                           std::string* error) {
+      return InstallReplicaSnapshot(sequence, bytes, error);
+    };
+    replicator_ = std::make_unique<Replicator>(options_.replication,
+                                               metrics_, std::move(hooks));
+    replicator_->Start();
+  }
 }
 
 void Server::Stop() {
   if (!started_.load() || stopping_.exchange(true)) return;
-  // 0. Stop the background snapshotter (it grabs the update lock; let it
+  // 0. Stop the replicator first — an in-flight install briefly takes the
+  // exclusive update lock, which needs nothing from the threads torn down
+  // below, but no new fetches should start during shutdown.
+  if (replicator_ != nullptr) replicator_->Stop();
+  // Then the background snapshotter (it grabs the update lock; let it
   // finish any in-flight write, then exit).
   {
     std::lock_guard<std::mutex> lock(snapshot_cv_mutex_);
@@ -185,7 +209,10 @@ void Server::IoLoop() {
   while (!io_exit_.load(std::memory_order_acquire)) {
     std::vector<pollfd> fds;
     fds.push_back({wake_read_fd_, POLLIN, 0});
-    const bool accepting = !stopping_.load(std::memory_order_acquire);
+    // Skip the listen fd while paused after fd exhaustion — otherwise a
+    // perpetually-ready listen socket turns poll() into a hot spin.
+    const bool accepting = !stopping_.load(std::memory_order_acquire) &&
+                           Clock::now() >= accept_pause_until_;
     if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
     std::vector<std::shared_ptr<Connection>> polled;
     polled.reserve(connections_.size());
@@ -250,7 +277,18 @@ void Server::IoLoop() {
 void Server::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error; poll again.
+    if (fd < 0) {
+      // Resource exhaustion (out of fds / kernel memory) is not transient
+      // on the poll timescale: the listen fd stays readable, so returning
+      // silently would spin the I/O thread hot. Count it and back off.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        metrics_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+        accept_pause_until_ =
+            Clock::now() + std::chrono::milliseconds(options_.accept_pause_ms);
+      }
+      return;  // EAGAIN or transient error; poll again.
+    }
     SetNonBlocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -422,14 +460,33 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       Respond(conn, header, EncodeStatsResponse(snapshot));
       return;
     }
-    case Opcode::kSearchBoolean:
-    case Opcode::kSearchRanked:
+    case Opcode::kHealth:
+      // Inline like PING/STATS: health probes must work on a saturated
+      // server — that is when failover needs them most.
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, header, BuildHealthResponse());
+      return;
     case Opcode::kPoiAdd:
     case Opcode::kPoiClose:
     case Opcode::kPoiTag:
     case Opcode::kPoiUntag:
+      if (options_.replication.role == ServerRole::kReplica) {
+        // Replicas are read-only; tell the client where the primary is
+        // (the NOT_PRIMARY message is the redirect address).
+        metrics_.requests_not_primary.fetch_add(1,
+                                                std::memory_order_relaxed);
+        Respond(conn, header,
+                EncodeErrorResponse(
+                    StatusCode::kNotPrimary,
+                    options_.replication.primary.ToString()));
+        return;
+      }
+      [[fallthrough]];
+    case Opcode::kSearchBoolean:
+    case Opcode::kSearchRanked:
     case Opcode::kSnapshot:
-    case Opcode::kReload: {
+    case Opcode::kReload:
+    case Opcode::kFetchSnapshot: {
       Request request;
       request.conn = conn;
       request.header = header;
@@ -487,8 +544,11 @@ void Server::WorkerLoop() {
     }
 
     const Opcode opcode = request->header.opcode;
-    const bool is_query =
-        opcode == Opcode::kSearchBoolean || opcode == Opcode::kSearchRanked;
+    // FETCH_SNAPSHOT is query-class: it only reads immutable snapshot
+    // files, so it must not quiesce queries (or be blocked by them).
+    const bool is_query = opcode == Opcode::kSearchBoolean ||
+                          opcode == Opcode::kSearchRanked ||
+                          opcode == Opcode::kFetchSnapshot;
     if (is_query) {
       std::shared_lock<std::shared_mutex> guard(update_mutex_);
       const std::uint64_t current =
@@ -497,7 +557,9 @@ void Server::WorkerLoop() {
         processor = service_.Engine().MakeProcessor();
         generation = current;
       }
-      ProcessRequest(*request, processor.get());
+      ProcessRequest(*request,
+                     opcode == Opcode::kFetchSnapshot ? nullptr
+                                                      : processor.get());
     } else {
       std::unique_lock<std::shared_mutex> guard(update_mutex_);
       ProcessRequest(*request, nullptr);  // Updates never touch it.
@@ -660,6 +722,31 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
              response[0] == static_cast<std::uint8_t>(StatusCode::kOk);
         break;
       }
+      case Opcode::kFetchSnapshot: {
+        FetchSnapshotRequest fetch;
+        if (!DecodeFetchSnapshotRequest(request.payload, &fetch)) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad fetch-snapshot payload");
+          break;
+        }
+        if (options_.snapshot.dir.empty()) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                         "snapshotting disabled");
+          break;
+        }
+        response = HandleFetchSnapshot(fetch);
+        ok = response.size() > 0 &&
+             response[0] == static_cast<std::uint8_t>(StatusCode::kOk);
+        if (!ok) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+        }
+        break;
+      }
       default:
         response = EncodeErrorResponse(StatusCode::kUnsupported,
                                        "unknown opcode");
@@ -696,6 +783,143 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
   Respond(request.conn, header, std::move(response));
 }
 
+// ----- Replication ---------------------------------------------------------
+
+std::vector<std::uint8_t> Server::BuildHealthResponse() {
+  HealthInfo info;
+  info.role =
+      static_cast<std::uint8_t>(options_.replication.role);
+  info.snapshot_sequence = SnapshotSequence();
+  info.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start_time_)
+          .count());
+  info.queue_depth = queue_->Size();
+  if (options_.replication.role == ServerRole::kReplica) {
+    info.primary_address = options_.replication.primary.ToString();
+  }
+  return EncodeHealthResponse(info);
+}
+
+std::vector<std::uint8_t> Server::HandleFetchSnapshot(
+    const FetchSnapshotRequest& fetch) {
+  const std::string& dir = options_.snapshot.dir;
+  std::uint64_t sequence = fetch.sequence;
+  std::string path;
+  std::uint64_t total = 0;
+  try {
+    if (fetch.offset == 0 && sequence == 0) {
+      // Start of a "newest valid" transfer: walk newest-first and pin the
+      // first snapshot that passes full validation, so a corrupt newest
+      // file is skipped rather than shipped.
+      for (const auto& [seq, candidate] : io::FindSnapshots(dir)) {
+        try {
+          total = io::ValidateSnapshotFile(candidate);
+          sequence = seq;
+          path = candidate;
+          break;
+        } catch (const io::SerializationError&) {
+          // Damaged; try the next-newest.
+        }
+      }
+      if (path.empty()) {
+        return EncodeErrorResponse(StatusCode::kBadQuery,
+                                   "no valid snapshot available");
+      }
+    } else if (sequence == 0) {
+      return EncodeErrorResponse(
+          StatusCode::kBadQuery,
+          "nonzero offset requires an explicit sequence");
+    } else {
+      path = (std::filesystem::path(dir) / io::SnapshotFileName(sequence))
+                 .string();
+      if (fetch.offset == 0) {
+        // Explicit-sequence transfers validate once up front too.
+        total = io::ValidateSnapshotFile(path);
+      } else {
+        // Later chunks are plain range reads; the fetcher verifies the
+        // assembled image end-to-end. A pruned file surfaces here as a
+        // clean BAD_QUERY and the fetcher restarts from the newest.
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        if (ec) {
+          return EncodeErrorResponse(
+              StatusCode::kBadQuery,
+              "snapshot " + std::to_string(sequence) + " no longer exists");
+        }
+        total = size;
+      }
+    }
+    if (fetch.offset > total) {
+      return EncodeErrorResponse(StatusCode::kBadQuery,
+                                 "offset beyond snapshot end");
+    }
+    const std::uint32_t max_bytes =
+        fetch.max_bytes == 0
+            ? kMaxSnapshotChunkBytes
+            : std::min(fetch.max_bytes, kMaxSnapshotChunkBytes);
+    SnapshotChunk chunk;
+    chunk.sequence = sequence;
+    chunk.total_size = total;
+    chunk.offset = fetch.offset;
+    chunk.bytes = io::ReadFileRange(path, fetch.offset, max_bytes);
+    metrics_.snapshot_chunks_served.fetch_add(1, std::memory_order_relaxed);
+    return EncodeSnapshotChunkResponse(chunk);
+  } catch (const io::SerializationError& e) {
+    return EncodeErrorResponse(StatusCode::kBadQuery, e.what());
+  }
+}
+
+bool Server::InstallReplicaSnapshot(std::uint64_t sequence,
+                                    const std::string& bytes,
+                                    std::string* error) {
+  try {
+    // 1. Validate and load the image OFF the serving lock — full container
+    // checks plus the graph-identity check against the serving graph.
+    // Reads keep being served from the old state during all of this.
+    const Graph* serving_graph = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> guard(update_mutex_);
+      serving_graph = &service_.Engine().NetworkGraph();
+    }
+    RestoredServiceState state =
+        ReadServiceSnapshotBytes(bytes, serving_graph);
+
+    // 2. Persist the verified image locally (crash-safe), so a replica
+    // restart restores from disk instead of re-fetching.
+    if (!options_.snapshot.dir.empty()) {
+      std::filesystem::create_directories(options_.snapshot.dir);
+      const std::string path = (std::filesystem::path(options_.snapshot.dir) /
+                                io::SnapshotFileName(sequence))
+                                   .string();
+      io::WriteFileAtomically(path, [&](std::ostream& out) {
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) throw io::SerializationError("short snapshot write");
+      });
+    }
+
+    // 3. Swap the serving catalog under the exclusive update lock — the
+    // same path RELOAD takes: queries drain, the swap is atomic to them.
+    {
+      std::unique_lock<std::shared_mutex> guard(update_mutex_);
+      service_.RestoreCatalog(std::move(state.catalog.vocabulary),
+                              std::move(state.catalog.names),
+                              std::move(state.store), std::move(state.alt),
+                              std::move(state.keyword_index),
+                              options_.snapshot.engine_options);
+    }
+    snapshot_sequence_.store(sequence, std::memory_order_relaxed);
+    if (!options_.snapshot.dir.empty()) {
+      io::PruneSnapshots(options_.snapshot.dir, options_.snapshot.keep);
+    }
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
 // ----- Persistence ---------------------------------------------------------
 
 std::pair<std::uint64_t, std::string> Server::SnapshotNow() {
@@ -720,6 +944,7 @@ std::pair<std::uint64_t, std::string> Server::SnapshotLocked() {
                              {options_.snapshot.ch, options_.snapshot.hl});
     io::PruneSnapshots(dir, options_.snapshot.keep);
     metrics_.snapshots_written.fetch_add(1, std::memory_order_relaxed);
+    snapshot_sequence_.store(sequence, std::memory_order_relaxed);
     return {sequence, path};
   } catch (...) {
     metrics_.snapshots_failed.fetch_add(1, std::memory_order_relaxed);
@@ -752,6 +977,7 @@ std::vector<std::uint8_t> Server::HandleReloadLocked() {
     throw;
   }
   metrics_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  snapshot_sequence_.store(loaded->sequence, std::memory_order_relaxed);
   return EncodeSnapshotResponse(loaded->sequence, loaded->path);
 }
 

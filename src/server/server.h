@@ -40,6 +40,7 @@
 
 #include "server/admission_queue.h"
 #include "server/metrics.h"
+#include "server/replication.h"
 #include "server/wire.h"
 #include "service/poi_service.h"
 
@@ -83,6 +84,18 @@ struct ServerOptions {
 
   /// Persistence (SNAPSHOT / RELOAD opcodes + periodic snapshots).
   SnapshotOptions snapshot;
+
+  /// Replication (docs/protocol.md "Replication"). With role kReplica the
+  /// server rejects POI writes with NOT_PRIMARY and polls
+  /// replication.primary for new snapshots; fetched snapshots are
+  /// persisted into snapshot.dir (when configured) and installed through
+  /// the RELOAD path.
+  ReplicationOptions replication;
+
+  /// How long to stop accepting after an fd-exhaustion accept() failure
+  /// (EMFILE/ENFILE/...), so the poll loop does not spin hot on a
+  /// perpetually-ready listen fd.
+  std::uint32_t accept_pause_ms = 100;
 
   // Connection hardening — all enforced by the I/O thread each poll tick.
   /// Close connections with no traffic in either direction for this long.
@@ -129,6 +142,21 @@ class Server {
 
   const ServerMetrics& Metrics() const { return metrics_; }
 
+  /// Sequence of the newest local snapshot (written, restored, or
+  /// installed from a primary); 0 = none. This is what HEALTH reports.
+  std::uint64_t SnapshotSequence() const {
+    return snapshot_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Replica-side install of a snapshot image fetched from the primary:
+  /// validate + load it off the serving lock (reads keep flowing), write
+  /// it into snapshot.dir crash-safely, then swap the serving catalog
+  /// under the exclusive update lock. Returns false with `*error` set on
+  /// rejection (corrupt image, graph mismatch, ...) — serving state is
+  /// untouched. Public for tests; normally driven by the Replicator.
+  bool InstallReplicaSnapshot(std::uint64_t sequence,
+                              const std::string& bytes, std::string* error);
+
   /// Writes a snapshot now, taking the exclusive update lock itself (the
   /// boot / test entry point; the SNAPSHOT opcode reaches SnapshotLocked
   /// through a worker that already holds the lock). Returns the new
@@ -163,6 +191,12 @@ class Server {
                const FrameHeader& request_header,
                std::vector<std::uint8_t> response_payload);
   void Wake();
+  /// HEALTH response body (answered inline by the I/O thread).
+  std::vector<std::uint8_t> BuildHealthResponse();
+  /// FETCH_SNAPSHOT handler (runs on a worker under the shared lock —
+  /// snapshot files are immutable once renamed into place).
+  std::vector<std::uint8_t> HandleFetchSnapshot(
+      const FetchSnapshotRequest& fetch);
 
   PoiService& service_;
   const ServerOptions options_;
@@ -182,6 +216,16 @@ class Server {
   std::mutex snapshot_cv_mutex_;
   std::condition_variable snapshot_cv_;
   bool snapshot_stop_ = false;  // Guarded by snapshot_cv_mutex_.
+
+  // Replication (replica role only).
+  std::unique_ptr<Replicator> replicator_;
+  /// Newest local snapshot sequence; see SnapshotSequence().
+  std::atomic<std::uint64_t> snapshot_sequence_{0};
+  std::chrono::steady_clock::time_point start_time_{};
+
+  /// I/O-thread only: accepting is suspended until this instant after an
+  /// fd-exhaustion accept() failure.
+  std::chrono::steady_clock::time_point accept_pause_until_{};
 
   /// Queries hold it shared, POI updates exclusively.
   std::shared_mutex update_mutex_;

@@ -1,5 +1,7 @@
 #include "server/wire.h"
 
+#include "io/checksum.h"
+
 namespace kspin::server {
 namespace {
 
@@ -45,6 +47,8 @@ std::string_view StatusName(StatusCode status) {
       return "INTERNAL";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
+    case StatusCode::kNotPrimary:
+      return "NOT_PRIMARY";
   }
   return "UNKNOWN";
 }
@@ -167,6 +171,24 @@ bool DecodePoiTagRequest(std::span<const std::uint8_t> payload,
   return r.Finished();
 }
 
+std::vector<std::uint8_t> EncodeFetchSnapshotRequest(
+    const FetchSnapshotRequest& request) {
+  PayloadWriter w;
+  w.U64(request.sequence);
+  w.U64(request.offset);
+  w.U32(request.max_bytes);
+  return w.Take();
+}
+
+bool DecodeFetchSnapshotRequest(std::span<const std::uint8_t> payload,
+                                FetchSnapshotRequest* request) {
+  PayloadReader r(payload);
+  request->sequence = r.U64();
+  request->offset = r.U64();
+  request->max_bytes = r.U32();
+  return r.Finished();
+}
+
 std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
                                               std::string_view message) {
   PayloadWriter w;
@@ -254,6 +276,48 @@ bool DecodeStatsResponse(
     stats->emplace_back(std::move(name), value);
   }
   return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U8(info.role);
+  w.U64(info.snapshot_sequence);
+  w.U64(info.uptime_ms);
+  w.U64(info.queue_depth);
+  w.String(info.primary_address);
+  return w.Take();
+}
+
+bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info) {
+  info->role = reader.U8();
+  info->snapshot_sequence = reader.U64();
+  info->uptime_ms = reader.U64();
+  info->queue_depth = reader.U64();
+  info->primary_address = reader.String();
+  return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodeSnapshotChunkResponse(
+    const SnapshotChunk& chunk) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U64(chunk.sequence);
+  w.U64(chunk.total_size);
+  w.U64(chunk.offset);
+  w.U32(io::Crc32c(chunk.bytes.data(), chunk.bytes.size()));
+  w.String(chunk.bytes);
+  return w.Take();
+}
+
+bool DecodeSnapshotChunkResponse(PayloadReader& reader, SnapshotChunk* chunk) {
+  chunk->sequence = reader.U64();
+  chunk->total_size = reader.U64();
+  chunk->offset = reader.U64();
+  const std::uint32_t crc = reader.U32();
+  chunk->bytes = reader.String();
+  if (!reader.Finished()) return false;
+  return io::Crc32c(chunk->bytes.data(), chunk->bytes.size()) == crc;
 }
 
 }  // namespace kspin::server

@@ -43,6 +43,7 @@ enum class Opcode : std::uint8_t {
   kError = 0x00,
   kPing = 0x01,           ///< Liveness probe; empty payload both ways.
   kStats = 0x02,          ///< Server metrics snapshot.
+  kHealth = 0x03,         ///< Role, snapshot sequence, uptime, queue depth.
   kSearchBoolean = 0x10,  ///< Boolean kNN over an and/or query string.
   kSearchRanked = 0x11,   ///< Relevance-ranked top-k.
   kPoiAdd = 0x20,         ///< Register a POI.
@@ -52,6 +53,7 @@ enum class Opcode : std::uint8_t {
   kSnapshot = 0x30,       ///< Write a crash-safe snapshot to disk.
   kReload = 0x31,         ///< Replace serving state from the newest valid
                           ///< snapshot on disk.
+  kFetchSnapshot = 0x32,  ///< Stream a snapshot file in chunks (replication).
 };
 
 /// First byte of every response payload.
@@ -63,6 +65,8 @@ enum class StatusCode : std::uint8_t {
   kDeadlineExceeded = 4,   ///< Deadline passed before or during execution.
   kInternal = 5,           ///< Unexpected server-side failure.
   kUnsupported = 6,        ///< Unknown opcode or protocol version.
+  kNotPrimary = 7,         ///< Write sent to a replica; the message is the
+                           ///< primary's "host:port" — redirect there.
 };
 
 /// Human-readable status name (metrics, logs, CLI output).
@@ -203,6 +207,39 @@ struct WireResult {
   std::string name;
 };
 
+/// kHealth kOk response body.
+struct HealthInfo {
+  std::uint8_t role = 0;  ///< 0 = primary, 1 = replica.
+  std::uint64_t snapshot_sequence = 0;  ///< Newest local snapshot (0 = none).
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t queue_depth = 0;
+  std::string primary_address;  ///< "host:port" on replicas, empty on primary.
+};
+
+/// kFetchSnapshot request body. The replica drives the transfer: it asks
+/// for byte ranges, so a retried chunk is idempotent. sequence 0 with
+/// offset 0 means "newest valid snapshot"; the response pins the concrete
+/// sequence, which the replica echoes on subsequent chunks.
+struct FetchSnapshotRequest {
+  std::uint64_t sequence = 0;  ///< 0 = newest valid (offset 0 only).
+  std::uint64_t offset = 0;    ///< Byte offset into the snapshot file.
+  std::uint32_t max_bytes = 0; ///< Chunk size cap; 0 = server default.
+};
+
+/// kFetchSnapshot kOk response body: one chunk of the snapshot file.
+/// `bytes` is empty only when offset == total_size (zero-length tail).
+struct SnapshotChunk {
+  std::uint64_t sequence = 0;    ///< Snapshot being streamed.
+  std::uint64_t total_size = 0;  ///< Whole-file byte count.
+  std::uint64_t offset = 0;      ///< Offset of this chunk.
+  std::string bytes;             ///< Chunk payload.
+};
+
+/// Largest chunk a FETCH_SNAPSHOT response will carry: the frame payload
+/// budget minus the chunk envelope (status + sequence/total/offset/crc +
+/// string length prefix).
+inline constexpr std::uint32_t kMaxSnapshotChunkBytes = kMaxPayloadSize - 64;
+
 std::vector<std::uint8_t> EncodeSearchRequest(const SearchRequest& request);
 bool DecodeSearchRequest(std::span<const std::uint8_t> payload,
                          SearchRequest* request);
@@ -214,6 +251,11 @@ bool DecodePoiAddRequest(std::span<const std::uint8_t> payload,
 std::vector<std::uint8_t> EncodePoiTagRequest(const PoiTagRequest& request);
 bool DecodePoiTagRequest(std::span<const std::uint8_t> payload,
                          PoiTagRequest* request);
+
+std::vector<std::uint8_t> EncodeFetchSnapshotRequest(
+    const FetchSnapshotRequest& request);
+bool DecodeFetchSnapshotRequest(std::span<const std::uint8_t> payload,
+                                FetchSnapshotRequest* request);
 
 /// Response bodies. Encode* produce the full response payload including
 /// the status byte; Decode* expect the status byte already consumed.
@@ -235,6 +277,15 @@ std::vector<std::uint8_t> EncodeStatsResponse(
 bool DecodeStatsResponse(
     PayloadReader& reader,
     std::vector<std::pair<std::string, std::uint64_t>>* stats);
+std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info);
+bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info);
+/// The chunk response carries a CRC32C of the chunk bytes; Decode verifies
+/// it and fails on mismatch, so a flipped bit inside a chunk is caught at
+/// the frame level (the replica additionally validates the reassembled
+/// file end-to-end before installing).
+std::vector<std::uint8_t> EncodeSnapshotChunkResponse(
+    const SnapshotChunk& chunk);
+bool DecodeSnapshotChunkResponse(PayloadReader& reader, SnapshotChunk* chunk);
 
 }  // namespace kspin::server
 

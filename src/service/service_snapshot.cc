@@ -106,6 +106,12 @@ RestoredServiceState ReadServiceSnapshot(std::istream& in,
   return state;
 }
 
+RestoredServiceState ReadServiceSnapshotBytes(std::string_view bytes,
+                                              const Graph* serving_graph) {
+  io::ViewIStream in(bytes);
+  return ReadServiceSnapshot(in, serving_graph);
+}
+
 bool WriteServiceSnapshotFile(const std::string& path,
                               const PoiService& service,
                               const ServiceSnapshotArtifacts& extra,

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/fault_injection.h"
@@ -58,6 +59,12 @@ struct RestoredServiceState {
 /// graph. Throws io::SerializationError on any corruption or mismatch.
 RestoredServiceState ReadServiceSnapshot(std::istream& in,
                                          const Graph* serving_graph = nullptr);
+
+/// ReadServiceSnapshot over an in-memory snapshot image — the replica
+/// install path, where the image arrived over the wire rather than from
+/// disk. The bytes must outlive the call.
+RestoredServiceState ReadServiceSnapshotBytes(
+    std::string_view bytes, const Graph* serving_graph = nullptr);
 
 /// WriteServiceSnapshot through io::WriteFileAtomically. Returns false
 /// only when `hooks` simulated a crash; throws on real failure.

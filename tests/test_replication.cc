@@ -1,0 +1,411 @@
+// Replication integration tests: a real primary + replica pair on
+// loopback, snapshot shipping over FETCH_SNAPSHOT, NOT_PRIMARY write
+// rejection, corrupt-transfer rejection (fault injection), and
+// client-side failover.
+#include "server/replication.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/fault_injection.h"
+#include "io/snapshot.h"
+#include "routing/contraction_hierarchy.h"
+#include "server/client.h"
+#include "server/failover.h"
+#include "server/server.h"
+#include "service/poi_service.h"
+#include "service/synthetic_catalog.h"
+#include "test_util.h"
+
+namespace kspin::server {
+namespace {
+
+std::string ScratchDir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("kspin_repl_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Polls `predicate` until it holds or ~5 s elapse.
+bool WaitFor(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+std::vector<std::pair<ObjectId, Distance>> Ids(
+    const Client::SearchReply& reply) {
+  std::vector<std::pair<ObjectId, Distance>> out;
+  for (const WireResult& r : reply.results) {
+    out.emplace_back(r.object, r.travel_time);
+  }
+  return out;
+}
+
+/// A primary and a replica serving the same road network (replication
+/// requires byte-identical graphs; sharing the Graph object guarantees
+/// it), each with its own PoiService and snapshot directory.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest()
+      : graph_(testing::SmallRoadNetwork()), ch_(graph_), oracle_(ch_) {}
+
+  void StartPrimary(ServerOptions options = {}) {
+    primary_service_ = MakeService();
+    options.snapshot.dir = primary_dir_ = ScratchDir("primary");
+    primary_ = std::make_unique<Server>(*primary_service_, options);
+    primary_->Start();
+  }
+
+  /// `mutate_fetched` simulates mid-transfer corruption (see
+  /// ReplicationOptions::test_mutate_fetched).
+  void StartReplica(std::function<void(std::string&)> mutate_fetched = {},
+                    std::uint32_t poll_interval_ms = 50) {
+    replica_service_ = MakeService();
+    ServerOptions options;
+    options.snapshot.dir = replica_dir_ = ScratchDir("replica");
+    options.replication.role = ServerRole::kReplica;
+    options.replication.primary = {"127.0.0.1", primary_->Port()};
+    options.replication.poll_interval_ms = poll_interval_ms;
+    options.replication.test_mutate_fetched = std::move(mutate_fetched);
+    replica_ = std::make_unique<Server>(*replica_service_, options);
+    replica_->Start();
+  }
+
+  std::unique_ptr<PoiService> MakeService() {
+    auto service = std::make_unique<PoiService>(graph_, oracle_);
+    SyntheticCatalogOptions catalog;
+    catalog.num_pois = 120;
+    catalog.num_keywords = 16;
+    PopulateSyntheticCatalog(*service, graph_, catalog);
+    return service;
+  }
+
+  Client ConnectTo(const Server& server) {
+    Client client;
+    client.Connect("127.0.0.1", server.Port());
+    return client;
+  }
+
+  Graph graph_;
+  ContractionHierarchy ch_;
+  ChOracle oracle_;
+  std::unique_ptr<PoiService> primary_service_;
+  std::unique_ptr<PoiService> replica_service_;
+  std::unique_ptr<Server> primary_;
+  std::unique_ptr<Server> replica_;
+  std::string primary_dir_;
+  std::string replica_dir_;
+};
+
+TEST_F(ReplicationTest, HealthReportsRoleSequenceAndPrimary) {
+  StartPrimary();
+  Client client = ConnectTo(*primary_);
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.health.role, 0u);
+  EXPECT_EQ(health.health.snapshot_sequence, 0u);
+  EXPECT_TRUE(health.health.primary_address.empty());
+
+  ASSERT_TRUE(client.Snapshot().ok());
+  health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.health.snapshot_sequence, 1u);
+
+  StartReplica();
+  Client rclient = ConnectTo(*replica_);
+  const auto rhealth = rclient.Health();
+  ASSERT_TRUE(rhealth.ok());
+  EXPECT_EQ(rhealth.health.role, 1u);
+  EXPECT_EQ(rhealth.health.primary_address,
+            "127.0.0.1:" + std::to_string(primary_->Port()));
+}
+
+TEST_F(ReplicationTest, ReplicaRejectsWritesWithPrimaryAddress) {
+  StartPrimary();
+  StartReplica();
+  Client client = ConnectTo(*replica_);
+
+  const std::vector<std::string> keywords = {"kw0"};
+  const auto add = client.AddPoi("new poi", 1, keywords);
+  EXPECT_EQ(add.status, StatusCode::kNotPrimary);
+  EXPECT_EQ(add.error, "127.0.0.1:" + std::to_string(primary_->Port()));
+
+  EXPECT_EQ(client.ClosePoi(0).status, StatusCode::kNotPrimary);
+  EXPECT_EQ(client.TagPoi(0, "kw1").status, StatusCode::kNotPrimary);
+  EXPECT_EQ(client.UntagPoi(0, "kw1").status, StatusCode::kNotPrimary);
+  // Reads still work.
+  EXPECT_TRUE(client.Search("kw0", 3, 5).ok());
+  EXPECT_GE(replica_->Metrics().requests_not_primary.load(), 4u);
+}
+
+TEST_F(ReplicationTest, FetchSnapshotStreamsByteIdenticalFile) {
+  StartPrimary();
+  Client client = ConnectTo(*primary_);
+  ASSERT_TRUE(client.Snapshot().ok());
+
+  const auto snapshots = io::FindSnapshots(primary_dir_);
+  ASSERT_EQ(snapshots.size(), 1u);
+  std::ifstream file(snapshots.front().second, std::ios::binary);
+  const std::string on_disk((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(on_disk.empty());
+
+  // Tiny chunks force many round trips.
+  std::uint64_t sequence = 0;
+  std::string fetched;
+  std::string error;
+  ASSERT_TRUE(FetchSnapshotBytes(client, 0, 512, &sequence, &fetched,
+                                 &error))
+      << error;
+  EXPECT_EQ(sequence, 1u);
+  EXPECT_EQ(fetched, on_disk);
+  EXPECT_GT(primary_->Metrics().snapshot_chunks_served.load(), 1u);
+
+  // Explicit missing sequence: clean in-band rejection.
+  ASSERT_FALSE(
+      FetchSnapshotBytes(client, 999, 512, &sequence, &fetched, &error));
+  // Nonzero offset without a pinned sequence is rejected too.
+  const auto reply = client.FetchSnapshotChunk(0, 10, 512);
+  EXPECT_EQ(reply.status, StatusCode::kBadQuery);
+}
+
+TEST_F(ReplicationTest, FetchSkipsCorruptNewestSnapshot) {
+  StartPrimary();
+  Client client = ConnectTo(*primary_);
+  ASSERT_TRUE(client.Snapshot().ok());  // sequence 1 (stays valid)
+  ASSERT_TRUE(client.Snapshot().ok());  // sequence 2 (gets corrupted)
+
+  const auto snapshots = io::FindSnapshots(primary_dir_);
+  ASSERT_EQ(snapshots.size(), 2u);
+  ASSERT_EQ(snapshots.front().first, 2u);
+  io::FlipByteInFile(snapshots.front().second, 100);
+
+  std::uint64_t sequence = 0;
+  std::string fetched;
+  std::string error;
+  ASSERT_TRUE(
+      FetchSnapshotBytes(client, 0, 1 << 20, &sequence, &fetched, &error))
+      << error;
+  EXPECT_EQ(sequence, 1u);  // Newest *valid* wins, not newest.
+}
+
+TEST_F(ReplicationTest, ReplicaCatchesUpAndServesIdenticalResults) {
+  StartPrimary();
+  Client pclient = ConnectTo(*primary_);
+
+  // Diverge the primary from the replica's synthetic base state.
+  const std::vector<std::string> keywords = {"kw0", "kw3"};
+  const auto add = pclient.AddPoi("fresh poi", 7, keywords);
+  ASSERT_TRUE(add.ok());
+  ASSERT_TRUE(pclient.Snapshot().ok());
+
+  StartReplica();
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+  EXPECT_EQ(replica_->SnapshotSequence(), 1u);
+
+  Client rclient = ConnectTo(*replica_);
+  for (const VertexId from : {VertexId{3}, VertexId{50}, VertexId{200}}) {
+    for (const bool ranked : {false, true}) {
+      const auto on_primary = pclient.Search("kw0", from, 8, ranked);
+      const auto on_replica = rclient.Search("kw0", from, 8, ranked);
+      ASSERT_TRUE(on_primary.ok());
+      ASSERT_TRUE(on_replica.ok());
+      EXPECT_EQ(Ids(on_primary), Ids(on_replica));
+    }
+  }
+  // The new POI made it across.
+  const auto hits = rclient.Search("kw0 and kw3", 7, 120);
+  ASSERT_TRUE(hits.ok());
+  bool found = false;
+  for (const auto& r : hits.results) found |= r.object == add.id;
+  EXPECT_TRUE(found);
+
+  // The shipped snapshot was persisted locally (crash-safe restart path)
+  // and lag metrics are exported.
+  EXPECT_EQ(io::FindSnapshots(replica_dir_).size(), 1u);
+  const auto stats = rclient.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.Value("replication_last_sequence"), 1u);
+  EXPECT_EQ(stats.Value("replication_sequence_delta"), 0u);
+
+  // A second snapshot on the primary replicates too.
+  ASSERT_TRUE(pclient.TagPoi(add.id, "kw5").ok());
+  ASSERT_TRUE(pclient.Snapshot().ok());
+  ASSERT_TRUE(WaitFor([&] { return replica_->SnapshotSequence() >= 2; }));
+  const auto tagged = rclient.Search("kw5", 7, 120);
+  ASSERT_TRUE(tagged.ok());
+  found = false;
+  for (const auto& r : tagged.results) found |= r.object == add.id;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ReplicationTest, CorruptTransferRejectedThenRetriedCleanly) {
+  StartPrimary();
+  Client pclient = ConnectTo(*primary_);
+  const std::vector<std::string> keywords = {"kw2"};
+  const auto add = pclient.AddPoi("poison test poi", 11, keywords);
+  ASSERT_TRUE(add.ok());
+  ASSERT_TRUE(pclient.Snapshot().ok());
+
+  // First fetched image gets one byte flipped mid-stream (the same
+  // corruption FaultyOStream's flip_byte_at plan applies on write);
+  // subsequent fetches arrive intact.
+  auto corrupt_once = [flipped = false](std::string& bytes) mutable {
+    if (flipped || bytes.size() < 200) return;
+    flipped = true;
+    bytes[137] = static_cast<char>(bytes[137] ^ 0x40);
+  };
+  StartReplica(corrupt_once);
+
+  // The corrupt install is rejected...
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_rejected.load() >= 1;
+  }));
+  // ...without interrupting replica reads of its previous state...
+  Client rclient = ConnectTo(*replica_);
+  EXPECT_TRUE(rclient.Search("kw0", 3, 5).ok());
+  // ...and the next poll ships a clean copy.
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+  EXPECT_EQ(replica_->SnapshotSequence(), 1u);
+  const auto hits = rclient.Search("kw2", 11, 120);
+  ASSERT_TRUE(hits.ok());
+  bool found = false;
+  for (const auto& r : hits.results) found |= r.object == add.id;
+  EXPECT_TRUE(found);
+
+  // The rejected image never reached the replica's snapshot directory:
+  // only the clean install is on disk, and it validates.
+  const auto local = io::FindSnapshots(replica_dir_);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_NO_THROW(io::ValidateSnapshotFile(local.front().second));
+}
+
+TEST_F(ReplicationTest, TruncatedTransferRejected) {
+  StartPrimary();
+  Client pclient = ConnectTo(*primary_);
+  ASSERT_TRUE(pclient.Snapshot().ok());
+
+  // Truncation variant of the fault plan: drop the image's tail once.
+  auto truncate_once = [done = false](std::string& bytes) mutable {
+    if (done) return;
+    done = true;
+    bytes.resize(bytes.size() / 2);
+  };
+  StartReplica(truncate_once);
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_rejected.load() >= 1;
+  }));
+  Client rclient = ConnectTo(*replica_);
+  EXPECT_TRUE(rclient.Search("kw0", 3, 5).ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+}
+
+TEST_F(ReplicationTest, FailoverClientPrefersReplicaAndFollowsRedirects) {
+  StartPrimary();
+  Client pclient = ConnectTo(*primary_);
+  ASSERT_TRUE(pclient.Snapshot().ok());
+  StartReplica();
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  // Endpoint order starts at the primary; probing must still route reads
+  // to the replica and writes to the primary.
+  FailoverClient client({{"127.0.0.1", primary_->Port()},
+                         {"127.0.0.1", replica_->Port()}},
+                        policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.LastEndpoint(), 1u);  // The replica.
+
+  const std::vector<std::string> keywords = {"kw1"};
+  const auto add = client.AddPoi("routed write", 5, keywords);
+  ASSERT_TRUE(add.ok());  // Landed on the primary, not NOT_PRIMARY.
+  EXPECT_EQ(client.LastEndpoint(), 0u);
+}
+
+TEST_F(ReplicationTest, FailoverClientFollowsNotPrimaryRedirect) {
+  StartPrimary();
+  StartReplica();
+
+  // Only the replica is configured; the write must chase the redirect to
+  // the primary learned from the NOT_PRIMARY reply.
+  FailoverClient client({{"127.0.0.1", replica_->Port()}});
+  client.SetSleepFunction([](std::uint32_t) {});
+  const std::vector<std::string> keywords = {"kw1"};
+  const auto add = client.AddPoi("redirected write", 5, keywords);
+  ASSERT_TRUE(add.ok());
+  ASSERT_EQ(client.Endpoints().size(), 2u);
+  EXPECT_EQ(client.Endpoints()[1].port, primary_->Port());
+}
+
+TEST_F(ReplicationTest, FailoverClientSurvivesPrimaryStop) {
+  StartPrimary();
+  Client pclient = ConnectTo(*primary_);
+  const std::vector<std::string> keywords = {"kw0"};
+  ASSERT_TRUE(pclient.AddPoi("pre-crash poi", 9, keywords).ok());
+  ASSERT_TRUE(pclient.Snapshot().ok());
+  StartReplica();
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  FailoverClient client({{"127.0.0.1", primary_->Port()},
+                         {"127.0.0.1", replica_->Port()}},
+                        policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+
+  const auto before = client.Search("kw0", 9, 10);
+  ASSERT_TRUE(before.ok());
+
+  primary_->Stop();
+
+  // Reads keep working through failover, with identical results.
+  const auto after = client.Search("kw0", 9, 10);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Ids(before), Ids(after));
+  EXPECT_EQ(client.LastEndpoint(), 1u);
+}
+
+TEST(ParseEndpointTest, AcceptsValidRejectsInvalid) {
+  const auto ep = ParseEndpoint("10.1.2.3:8080");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "10.1.2.3");
+  EXPECT_EQ(ep->port, 8080);
+  EXPECT_EQ(ep->ToString(), "10.1.2.3:8080");
+
+  EXPECT_FALSE(ParseEndpoint("").has_value());
+  EXPECT_FALSE(ParseEndpoint("host").has_value());
+  EXPECT_FALSE(ParseEndpoint("host:").has_value());
+  EXPECT_FALSE(ParseEndpoint(":123").has_value());
+  EXPECT_FALSE(ParseEndpoint("host:0").has_value());
+  EXPECT_FALSE(ParseEndpoint("host:65536").has_value());
+  EXPECT_FALSE(ParseEndpoint("host:12x").has_value());
+}
+
+}  // namespace
+}  // namespace kspin::server

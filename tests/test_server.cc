@@ -641,5 +641,66 @@ TEST_F(ServerTest, NonIdempotentUpdateNotRetriedAfterDisconnect) {
   EXPECT_EQ(client.LastAttempts(), 1u);
 }
 
+TEST_F(ServerTest, RetryBudgetBoundsTotalBackoff) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // Every search is shed -> retried.
+  StartServer(options);
+
+  RetryPolicy policy;
+  policy.max_attempts = 50;  // Far more than the budget can fund.
+  policy.initial_backoff_ms = 40;
+  policy.multiplier = 1.0;  // Every backoff in [20, 40] ms.
+  policy.max_total_ms = 100;
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  std::uint64_t total_slept = 0;
+  client.SetSleepFunction([&](std::uint32_t ms) { total_slept += ms; });
+
+  const auto reply = client.Search("kw0", 40, 5);
+  EXPECT_EQ(reply.status, StatusCode::kOverloaded);
+  // The budget stops retrying long before max_attempts: with >= 20 ms per
+  // backoff and a 100 ms budget, at most 5 sleeps fit.
+  EXPECT_LT(client.LastAttempts(), 10u);
+  EXPECT_GE(client.LastAttempts(), 2u);
+  EXPECT_LE(total_slept, policy.max_total_ms);
+}
+
+TEST_F(ServerTest, RetryBudgetClampsRequestDeadline) {
+  ServerOptions options;
+  options.test_dequeue_delay_ms = 30;  // Every request waits 30 ms queued.
+  StartServer(options);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.max_total_ms = 5;  // Budget far below the queue delay.
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+
+  // deadline_ms 0 normally means "no deadline", but under a budget the
+  // sent deadline is the remaining budget — so the server expires the
+  // request at dequeue instead of running it past the caller's patience.
+  const auto reply = client.Search("kw0", 40, 5, false, 0);
+  EXPECT_EQ(reply.status, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServerTest, RetryBudgetZeroKeepsUnlimitedDeadline) {
+  ServerOptions options;
+  options.test_dequeue_delay_ms = 30;
+  StartServer(options);
+
+  RetryPolicy policy;  // max_total_ms = 0: no budget.
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+  const auto reply = client.Search("kw0", 40, 5, false, 0);
+  EXPECT_TRUE(reply.ok()) << reply.error;
+}
+
+TEST_F(ServerTest, AcceptErrorMetricStartsAtZero) {
+  StartServer();
+  Client client = Connect();
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.Value("accept_errors"), 0u);
+}
+
 }  // namespace
 }  // namespace kspin::server

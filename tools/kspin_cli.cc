@@ -21,6 +21,11 @@
 //                     [--vertex=V --k=K --keywords=3,17]
 //       Restores the newest valid snapshot (skipping corrupt ones) and
 //       optionally answers a query against the restored state.
+//   kspin_cli fetch --endpoints=H:P[,H:P...] --snapshots=/tmp/fl/snapshots
+//       Pulls the newest valid snapshot from the first reachable server
+//       (FETCH_SNAPSHOT, chunked + CRC-checked), validates it end-to-end,
+//       and writes it crash-safely into the snapshots directory — offline
+//       replica seeding / backup.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,6 +45,8 @@
 #include "routing/contraction_hierarchy.h"
 #include "routing/dijkstra.h"
 #include "routing/hub_labeling.h"
+#include "server/client.h"
+#include "server/replication.h"
 #include "service/poi_service.h"
 #include "service/service_snapshot.h"
 #include "text/zipf_generator.h"
@@ -51,6 +58,7 @@ struct Args {
   std::string command;
   std::string dir = ".";
   std::string snapshots;  // Defaults to <dir>/snapshots.
+  std::string endpoints;  // For `fetch`: comma-separated HOST:PORT list.
   std::string dataset = "FL";
   std::string op = "or";
   std::string module = "ch";
@@ -73,6 +81,7 @@ Args Parse(int argc, char** argv) {
     };
     if (auto v = value("dir")) args.dir = *v;
     if (auto v = value("snapshots")) args.snapshots = *v;
+    if (auto v = value("endpoints")) args.endpoints = *v;
     if (auto v = value("dataset")) args.dataset = *v;
     if (auto v = value("op")) args.op = *v;
     if (auto v = value("module")) args.module = *v;
@@ -376,6 +385,65 @@ int Restore(const Args& args) {
   return 0;
 }
 
+// Pulls the newest valid snapshot from the first reachable endpoint into
+// the snapshots directory (the offline flavour of replica bootstrap).
+int Fetch(const Args& args) {
+  if (args.endpoints.empty()) {
+    std::fprintf(stderr, "fetch: --endpoints=H:P[,H:P...] required\n");
+    return 1;
+  }
+  std::vector<server::Endpoint> endpoints;
+  {
+    std::stringstream in(args.endpoints);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      const auto endpoint = server::ParseEndpoint(token);
+      if (!endpoint) {
+        std::fprintf(stderr, "fetch: bad endpoint (want HOST:PORT): %s\n",
+                     token.c_str());
+        return 1;
+      }
+      endpoints.push_back(*endpoint);
+    }
+  }
+
+  for (const server::Endpoint& endpoint : endpoints) {
+    std::uint64_t sequence = 0;
+    std::string bytes;
+    std::string error;
+    try {
+      server::Client client;
+      client.Connect(endpoint.host, endpoint.port);
+      Timer timer;
+      if (!server::FetchSnapshotBytes(client, 0, 256 * 1024, &sequence,
+                                      &bytes, &error)) {
+        std::fprintf(stderr, "fetch: %s rejected: %s\n",
+                     endpoint.ToString().c_str(), error.c_str());
+        continue;
+      }
+      // Full container validation before the file becomes restorable.
+      io::SnapshotReader validate(bytes);
+      std::filesystem::create_directories(args.snapshots);
+      const std::string path = (std::filesystem::path(args.snapshots) /
+                                io::SnapshotFileName(sequence))
+                                   .string();
+      io::WriteFileAtomically(path, [&](std::ostream& out) {
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      });
+      std::printf("fetched snapshot %llu from %s: %s (%.1f MB, %.2fs)\n",
+                  static_cast<unsigned long long>(sequence),
+                  endpoint.ToString().c_str(), path.c_str(),
+                  bytes.size() / 1048576.0, timer.ElapsedSeconds());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fetch: %s failed: %s\n",
+                   endpoint.ToString().c_str(), e.what());
+    }
+  }
+  std::fprintf(stderr, "fetch: no endpoint yielded a snapshot\n");
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   try {
@@ -385,19 +453,22 @@ int Main(int argc, char** argv) {
     if (args.command == "query") return Query(args);
     if (args.command == "snapshot") return Snapshot(args);
     if (args.command == "restore") return Restore(args);
+    if (args.command == "fetch") return Fetch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(
       stderr,
-      "usage: kspin_cli <generate|build|stats|query|snapshot|restore> "
+      "usage: kspin_cli <generate|build|stats|query|snapshot|restore|fetch> "
       "[--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
       "        [--module=ch|hl] [--ranked]\n"
       "  snapshot [--snapshots=DIR]   write a crash-safe snapshot\n"
-      "  restore  [--snapshots=DIR] [--vertex=V --k=K --keywords=1,2]\n");
+      "  restore  [--snapshots=DIR] [--vertex=V --k=K --keywords=1,2]\n"
+      "  fetch    --endpoints=H:P[,...] [--snapshots=DIR]   pull newest\n"
+      "           snapshot from a running server\n");
   return args.command.empty() ? 1 : 0;
 }
 

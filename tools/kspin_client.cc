@@ -1,10 +1,12 @@
 // kspin_client: command-line client for kspin_server (docs/protocol.md).
 //
 //   kspin_client [--host=H] --port=P <command> [args...]
+//   kspin_client --endpoints=H1:P1,H2:P2,... <command> [args...]
 //
 // Commands:
 //   ping
 //   stats
+//   health                              role, snapshot sequence, uptime
 //   search   <vertex> <k> <query...>    boolean kNN
 //   ranked   <vertex> <k> <query...>    ranked top-k
 //   add      <vertex> <name> <kw...>    add a POI, prints its id
@@ -15,6 +17,11 @@
 //   reload                              restore the newest valid snapshot
 //
 // Options:
+//   --endpoints=LIST  comma-separated HOST:PORT list of a replicated
+//                     deployment. Reads prefer a healthy replica and fail
+//                     over on transport errors; writes follow NOT_PRIMARY
+//                     redirects to the real primary. With a single
+//                     endpoint this degenerates to plain retrying.
 //   --deadline-ms=D   attach a deadline to search commands
 //   --retries=N       total attempts on retryable failures (default 4;
 //                     1 disables retrying). Connect failures, OVERLOADED
@@ -22,15 +29,18 @@
 //                     responses are retried with jittered exponential
 //                     backoff (docs/protocol.md, "Client retry guidance").
 //   --retry-backoff-ms=B  initial backoff (default 50, doubling per try)
+//   --retry-budget-ms=T   overall per-command time budget across attempts
+//                     (0 = unlimited); also clamps search deadlines
 //
 // Exit status: 0 on kOk, 2 when the server rejects the request
-// (OVERLOADED, DEADLINE_EXCEEDED, BAD_QUERY, ...), 1 on usage or
-// transport errors.
+// (OVERLOADED, DEADLINE_EXCEEDED, BAD_QUERY, NOT_PRIMARY, ...), 1 on
+// usage or transport errors.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "server/failover.h"
 #include "server/retry.h"
 
 namespace kspin::clientd {
@@ -39,9 +49,10 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: kspin_client [--host=H] --port=P [--deadline-ms=D] "
-      "[--retries=N] [--retry-backoff-ms=B] <command> [args...]\n"
-      "commands: ping | stats | search <vertex> <k> <query...> |\n"
+      "usage: kspin_client [--host=H] --port=P [--endpoints=H:P,...] "
+      "[--deadline-ms=D] [--retries=N] [--retry-backoff-ms=B] "
+      "[--retry-budget-ms=T] <command> [args...]\n"
+      "commands: ping | stats | health | search <vertex> <k> <query...> |\n"
       "          ranked <vertex> <k> <query...> | add <vertex> <name> "
       "<kw...> |\n"
       "          close <id> | tag <id> <kw> | untag <id> <kw> |\n"
@@ -56,7 +67,7 @@ int ReportStatus(const server::Client::Reply& reply) {
   return 2;
 }
 
-int RunSearch(server::RetryingClient& client, bool ranked,
+int RunSearch(server::FailoverClient& client, bool ranked,
               const std::vector<std::string>& args,
               std::uint32_t deadline_ms) {
   if (args.size() < 3) {
@@ -92,9 +103,43 @@ int ReportSnapshot(const server::Client::SnapshotReply& reply) {
   return 0;
 }
 
+int RunHealth(server::FailoverClient& client) {
+  const auto reply = client.Health();
+  if (const int rc = ReportStatus(reply)) return rc;
+  const auto& h = reply.health;
+  std::printf("role\t%s\n", h.role == 0 ? "primary" : "replica");
+  std::printf("snapshot_sequence\t%llu\n",
+              static_cast<unsigned long long>(h.snapshot_sequence));
+  std::printf("uptime_ms\t%llu\n",
+              static_cast<unsigned long long>(h.uptime_ms));
+  std::printf("queue_depth\t%llu\n",
+              static_cast<unsigned long long>(h.queue_depth));
+  if (!h.primary_address.empty()) {
+    std::printf("primary\t%s\n", h.primary_address.c_str());
+  }
+  return 0;
+}
+
+/// "H1:P1,H2:P2" -> endpoints. Empty result means a parse error.
+std::vector<server::Endpoint> ParseEndpoints(const std::string& list) {
+  std::vector<server::Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const auto endpoint =
+        server::ParseEndpoint(list.substr(start, comma - start));
+    if (!endpoint) return {};
+    endpoints.push_back(*endpoint);
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
 int Main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  std::string endpoints_arg;
   std::uint32_t deadline_ms = 0;
   server::RetryPolicy policy;
   std::vector<std::string> rest;
@@ -104,6 +149,8 @@ int Main(int argc, char** argv) {
       host = arg.substr(7);
     } else if (arg.rfind("--port=", 0) == 0) {
       port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--endpoints=", 0) == 0) {
+      endpoints_arg = arg.substr(12);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(14)));
     } else if (arg.rfind("--retries=", 0) == 0) {
@@ -112,11 +159,26 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
       policy.initial_backoff_ms =
           static_cast<std::uint32_t>(std::stoul(arg.substr(19)));
+    } else if (arg.rfind("--retry-budget-ms=", 0) == 0) {
+      policy.max_total_ms =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(18)));
     } else {
       rest.push_back(arg);
     }
   }
-  if (port == 0 || rest.empty()) {
+
+  std::vector<server::Endpoint> endpoints;
+  if (!endpoints_arg.empty()) {
+    endpoints = ParseEndpoints(endpoints_arg);
+    if (endpoints.empty()) {
+      std::fprintf(stderr, "bad --endpoints (want H:P[,H:P...]): %s\n",
+                   endpoints_arg.c_str());
+      return 1;
+    }
+  } else if (port != 0) {
+    endpoints.push_back({host, port});
+  }
+  if (endpoints.empty() || rest.empty()) {
     Usage();
     return 1;
   }
@@ -124,7 +186,7 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> args(rest.begin() + 1, rest.end());
 
   try {
-    server::RetryingClient client(host, port, policy);
+    server::FailoverClient client(endpoints, policy);
 
     if (command == "ping") {
       return ReportStatus(client.Ping());
@@ -137,6 +199,9 @@ int Main(int argc, char** argv) {
                     static_cast<unsigned long long>(value));
       }
       return 0;
+    }
+    if (command == "health") {
+      return RunHealth(client);
     }
     if (command == "search" || command == "ranked") {
       return RunSearch(client, command == "ranked", args, deadline_ms);

@@ -6,6 +6,8 @@
 //                [--module=ch|dijkstra]
 //                [--snapshot-dir=DIR] [--snapshot-period-ms=T]
 //                [--snapshot-keep=N]
+//                [--role=primary|replica] [--primary=HOST:PORT]
+//                [--replica-poll-ms=T]
 //
 // Builds a synthetic road network + POI catalogue (names "poi<N>",
 // keywords "kw<K>"), constructs the distance oracle, binds 127.0.0.1:P
@@ -20,19 +22,31 @@
 // usable snapshot exists is the synthetic world built from the flags.
 // The SNAPSHOT / RELOAD opcodes are enabled, and a period > 0 snapshots
 // in the background (docs/persistence.md).
+//
+// With --role=replica --primary=HOST:PORT the server rejects POI writes
+// with NOT_PRIMARY and tracks the primary's snapshots: at boot it tries
+// to fetch the primary's newest snapshot into --snapshot-dir (so the
+// replica starts from the primary's state rather than its own synthetic
+// build), then keeps polling every --replica-poll-ms and installing new
+// snapshots without interrupting reads (docs/protocol.md "Replication").
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
 #include "graph/road_network_generator.h"
+#include "io/snapshot.h"
 #include "routing/contraction_hierarchy.h"
 #include "routing/dijkstra.h"
+#include "server/client.h"
+#include "server/replication.h"
 #include "server/server.h"
 #include "service/poi_service.h"
 #include "service/service_snapshot.h"
@@ -54,6 +68,9 @@ struct Args {
   std::string snapshot_dir;
   std::uint32_t snapshot_period_ms = 0;
   std::size_t snapshot_keep = 4;
+  std::string role = "primary";
+  std::string primary;
+  std::uint32_t replica_poll_ms = 1000;
   bool bad = false;
 };
 
@@ -94,6 +111,12 @@ Args Parse(int argc, char** argv) {
       args.snapshot_period_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else if (auto v = value("snapshot-keep")) {
       args.snapshot_keep = std::stoul(*v);
+    } else if (auto v = value("role")) {
+      args.role = *v;
+    } else if (auto v = value("primary")) {
+      args.primary = *v;
+    } else if (auto v = value("replica-poll-ms")) {
+      args.replica_poll_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else {
       args.bad = true;
     }
@@ -109,15 +132,72 @@ void OnSignal(int) {
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
+/// Replica boot: fetch the primary's newest snapshot into `dir` so the
+/// restore-or-rebuild path below starts from the primary's state. Best
+/// effort — an unreachable primary just means "boot from local state and
+/// let the background poll catch up".
+void BootstrapFromPrimary(const server::Endpoint& primary,
+                          const std::string& dir) {
+  try {
+    server::Client client;
+    client.Connect(primary.host, primary.port);
+    std::uint64_t sequence = 0;
+    std::string bytes;
+    std::string error;
+    if (!server::FetchSnapshotBytes(client, 0, 256 * 1024, &sequence, &bytes,
+                                    &error)) {
+      std::fprintf(stderr, "bootstrap: fetch from %s failed: %s\n",
+                   primary.ToString().c_str(), error.c_str());
+      return;
+    }
+    // Reject a corrupt transfer before writing it where the restore path
+    // would trust it.
+    io::SnapshotReader validate(bytes);
+    const std::string path =
+        (std::filesystem::path(dir) / io::SnapshotFileName(sequence))
+            .string();
+    std::filesystem::create_directories(dir);
+    io::WriteFileAtomically(path, [&](std::ostream& out) {
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    });
+    std::printf("bootstrap: fetched snapshot %llu from %s (%zu bytes)\n",
+                static_cast<unsigned long long>(sequence),
+                primary.ToString().c_str(), bytes.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bootstrap: fetch from %s failed: %s\n",
+                 primary.ToString().c_str(), e.what());
+  }
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
-  if (args.bad || (args.module != "ch" && args.module != "dijkstra")) {
+  const bool is_replica = args.role == "replica";
+  std::optional<server::Endpoint> primary;
+  if (!args.primary.empty()) {
+    primary = server::ParseEndpoint(args.primary);
+    if (!primary) {
+      std::fprintf(stderr, "bad --primary (want HOST:PORT): %s\n",
+                   args.primary.c_str());
+      return 1;
+    }
+  }
+  if (args.bad || (args.module != "ch" && args.module != "dijkstra") ||
+      (args.role != "primary" && args.role != "replica") ||
+      (is_replica && !primary)) {
     std::fprintf(stderr,
                  "usage: kspin_server [--port=P] [--workers=N] "
                  "[--queue=CAP] [--grid=WxH] [--pois=N] [--keywords=N] "
                  "[--seed=S] [--module=ch|dijkstra] [--snapshot-dir=DIR] "
-                 "[--snapshot-period-ms=T] [--snapshot-keep=N]\n");
+                 "[--snapshot-period-ms=T] [--snapshot-keep=N] "
+                 "[--role=primary|replica] [--primary=HOST:PORT] "
+                 "[--replica-poll-ms=T]\n");
     return 1;
+  }
+
+  // A replica first pulls the primary's newest snapshot so the restore
+  // below picks it up (byte-identical serving state from the start).
+  if (is_replica && !args.snapshot_dir.empty()) {
+    BootstrapFromPrimary(*primary, args.snapshot_dir);
   }
 
   // Restore-or-rebuild: prefer the newest valid snapshot on disk.
@@ -192,8 +272,16 @@ int Main(int argc, char** argv) {
   options.snapshot.period_ms = args.snapshot_period_ms;
   options.snapshot.keep = args.snapshot_keep;
   options.snapshot.ch = ch.get();
+  if (is_replica) {
+    options.replication.role = server::ServerRole::kReplica;
+    options.replication.primary = *primary;
+    options.replication.poll_interval_ms = args.replica_poll_ms;
+  }
   server::Server server(*service, options);
   server.Start();
+  std::printf("role: %s%s%s\n", args.role.c_str(),
+              is_replica ? ", tracking " : "",
+              is_replica ? primary->ToString().c_str() : "");
   std::printf("listening on port %u (module: %s)\n", server.Port(),
               oracle->Name().c_str());
   std::fflush(stdout);

@@ -3,8 +3,11 @@
 # it with kspin_client (ping, searches, an update, stats), checks a clean
 # SIGINT shutdown, then runs a crash/restore cycle: snapshot, kill -9,
 # restart from --snapshot-dir, and verify byte-identical query results.
-# Exercises the real binaries over real TCP — the piece unit tests cannot
-# cover.
+# Finally boots a primary + replica pair: writes through the primary,
+# demands byte-identical replica reads after catch-up, kills the primary
+# with SIGKILL, and checks that a --endpoints failover client keeps
+# answering. Exercises the real binaries over real TCP — the piece unit
+# tests cannot cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,7 +16,10 @@ BUILD_DIR="${1:-build}"
 SERVER="$BUILD_DIR/tools/kspin_server"
 CLIENT="$BUILD_DIR/tools/kspin_client"
 LOG="$(mktemp)"
+RLOG="$(mktemp)"
 SNAPDIR="$(mktemp -d)"
+PSNAPDIR="$(mktemp -d)"
+RSNAPDIR="$(mktemp -d)"
 
 for bin in "$SERVER" "$CLIENT"; do
   if [[ ! -x "$bin" ]]; then
@@ -24,8 +30,9 @@ done
 
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
-  rm -f "$LOG"
-  rm -rf "$SNAPDIR"
+  [[ -n "${REPLICA_PID:-}" ]] && kill -9 "$REPLICA_PID" 2>/dev/null || true
+  rm -f "$LOG" "$RLOG"
+  rm -rf "$SNAPDIR" "$PSNAPDIR" "$RSNAPDIR"
 }
 trap cleanup EXIT
 
@@ -142,4 +149,104 @@ if kill -0 "$SERVER_PID" 2>/dev/null; then
 fi
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
+
+# ---- replication / failover -----------------------------------------
+# Primary + replica pair: the replica bootstraps from the primary's
+# snapshot, catches up on a poll, serves byte-identical reads, rejects
+# writes (redirecting to the primary), and keeps answering a failover
+# client after the primary dies by SIGKILL.
+
+start_server --snapshot-dir="$PSNAPDIR"
+PRIMARY_PORT="$PORT"
+echo "smoke: primary up on port $PRIMARY_PORT"
+
+REPL_ID="$("$CLIENT" --port="$PRIMARY_PORT" add 11 replpoi replkw)"
+"$CLIENT" --port="$PRIMARY_PORT" snapshot >/dev/null
+echo "smoke: primary snapshot written (poi id $REPL_ID)"
+
+: >"$RLOG"
+"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 \
+  --snapshot-dir="$RSNAPDIR" --role=replica \
+  --primary=127.0.0.1:"$PRIMARY_PORT" --replica-poll-ms=100 >"$RLOG" 2>&1 &
+REPLICA_PID=$!
+REPLICA_PORT=""
+for _ in $(seq 1 100); do
+  REPLICA_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$RLOG")"
+  [[ -n "$REPLICA_PORT" ]] && break
+  kill -0 "$REPLICA_PID" 2>/dev/null || { cat "$RLOG" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$REPLICA_PORT" ]] || { echo "smoke: replica never reported its port" >&2; cat "$RLOG" >&2; exit 1; }
+grep -q "restored snapshot" "$RLOG" || { echo "smoke: replica did not bootstrap from primary snapshot" >&2; cat "$RLOG" >&2; exit 1; }
+echo "smoke: replica up on port $REPLICA_PORT (bootstrapped from primary)"
+
+# Wait until the replica's health reports the primary's sequence.
+SEQ=""
+for _ in $(seq 1 100); do
+  SEQ="$("$CLIENT" --port="$REPLICA_PORT" health | awk -F'\t' '$1 == "snapshot_sequence" { print $2 }')"
+  [[ -n "$SEQ" && "$SEQ" -ge 1 ]] && break
+  sleep 0.1
+done
+[[ -n "$SEQ" && "$SEQ" -ge 1 ]] || { echo "smoke: replica never caught up (sequence=$SEQ)" >&2; cat "$RLOG" >&2; exit 1; }
+ROLE="$("$CLIENT" --port="$REPLICA_PORT" health | awk -F'\t' '$1 == "role" { print $2 }')"
+[[ "$ROLE" == "replica" ]] || { echo "smoke: replica reports role=$ROLE" >&2; exit 1; }
+echo "smoke: replica caught up (snapshot_sequence=$SEQ)"
+
+# Byte-identical reads on both sides, including the replicated POI.
+PRIMARY_READ="$("$CLIENT" --port="$PRIMARY_PORT" search 5 5 "kw0 or kw1")"
+REPLICA_READ="$("$CLIENT" --port="$REPLICA_PORT" search 5 5 "kw0 or kw1")"
+[[ "$PRIMARY_READ" == "$REPLICA_READ" ]] || { echo "smoke: replica reads differ from primary" >&2; diff <(echo "$PRIMARY_READ") <(echo "$REPLICA_READ") >&2 || true; exit 1; }
+REPLICA_POI="$("$CLIENT" --port="$REPLICA_PORT" search 11 1 replkw)"
+grep -q "replpoi" <<<"$REPLICA_POI" || { echo "smoke: replicated POI missing on replica" >&2; exit 1; }
+echo "smoke: replica reads byte-identical to primary"
+
+# A write sent to the replica endpoint follows the NOT_PRIMARY redirect
+# to the live primary and succeeds there.
+REDIR_ID="$("$CLIENT" --port="$REPLICA_PORT" add 13 redirpoi redirkw)"
+FOUND_ON_PRIMARY="$("$CLIENT" --port="$PRIMARY_PORT" search 13 1 redirkw)"
+grep -q "redirpoi" <<<"$FOUND_ON_PRIMARY" || { echo "smoke: redirected write missing on primary" >&2; exit 1; }
+echo "smoke: replica write redirected to primary (poi id $REDIR_ID)"
+
+# Catch up past a second snapshot, then remember the replica's answer.
+"$CLIENT" --port="$PRIMARY_PORT" snapshot >/dev/null
+for _ in $(seq 1 100); do
+  SEQ="$("$CLIENT" --port="$REPLICA_PORT" health | awk -F'\t' '$1 == "snapshot_sequence" { print $2 }')"
+  [[ -n "$SEQ" && "$SEQ" -ge 2 ]] && break
+  sleep 0.1
+done
+[[ -n "$SEQ" && "$SEQ" -ge 2 ]] || { echo "smoke: replica never saw snapshot 2" >&2; exit 1; }
+FAILOVER_BASELINE="$("$CLIENT" --port="$REPLICA_PORT" search 13 1 redirkw)"
+grep -q "redirpoi" <<<"$FAILOVER_BASELINE" || { echo "smoke: second snapshot not applied on replica" >&2; exit 1; }
+
+# Kill the primary with no warning; the failover client (endpoint list
+# includes the dead primary first) must keep answering from the replica.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "smoke: primary killed with SIGKILL"
+
+FAILOVER_READ="$("$CLIENT" --endpoints=127.0.0.1:"$PRIMARY_PORT",127.0.0.1:"$REPLICA_PORT" search 13 1 redirkw)"
+[[ "$FAILOVER_READ" == "$FAILOVER_BASELINE" ]] || { echo "smoke: failover read differs" >&2; diff <(echo "$FAILOVER_BASELINE") <(echo "$FAILOVER_READ") >&2 || true; exit 1; }
+"$CLIENT" --endpoints=127.0.0.1:"$PRIMARY_PORT",127.0.0.1:"$REPLICA_PORT" ping
+echo "smoke: failover client keeps answering after primary death"
+
+# With the primary gone, writes must fail rather than land on the replica.
+if "$CLIENT" --port="$REPLICA_PORT" add 14 orphanpoi orphankw 2>/dev/null; then
+  echo "smoke: write unexpectedly succeeded with primary dead" >&2
+  exit 1
+fi
+"$CLIENT" --port="$REPLICA_PORT" ping
+echo "smoke: writes fail cleanly without a primary, replica still serves"
+
+kill -INT "$REPLICA_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$REPLICA_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$REPLICA_PID" 2>/dev/null; then
+  echo "smoke: replica ignored SIGINT" >&2
+  exit 1
+fi
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
 echo "smoke: PASS"
