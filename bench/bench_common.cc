@@ -260,7 +260,8 @@ void RunParameterSweep(const std::string& figure, const Dataset& dataset,
       for (std::uint32_t k : {1u, 5u, 10u, 25u, 50u}) {
         cells.push_back(MeasureQueries(queries, max_queries, budget,
                                        [&](const SpatialKeywordQuery& q) {
-                                         method.run(q.vertex, k, q.keywords);
+                                         method.run(q.vertex, k, q.keywords,
+                                                    nullptr);
                                        })
                             .avg_ms);
       }
@@ -284,14 +285,63 @@ void RunParameterSweep(const std::string& figure, const Dataset& dataset,
             workload.QueriesForLength(terms).end());
         cells.push_back(MeasureQueries(queries, max_queries, budget,
                                        [&](const SpatialKeywordQuery& q) {
-                                         method.run(q.vertex, 10,
-                                                    q.keywords);
+                                         method.run(q.vertex, 10, q.keywords,
+                                                    nullptr);
                                        })
                             .avg_ms);
       }
       PrintRow(method.name, cells);
     }
   }
+}
+
+void RunCounterComparison(const std::string& figure, const Dataset& dataset,
+                          QueryWorkload& workload,
+                          const std::vector<NamedMethod>& methods,
+                          bool quick) {
+  // A FIXED query set — no time budget — so every method pays for the
+  // exact same queries and the counters compare apples to apples.
+  std::vector<SpatialKeywordQuery> queries(
+      workload.QueriesForLength(2).begin(),
+      workload.QueriesForLength(2).end());
+  if (queries.empty()) return;
+  const std::size_t count = std::min<std::size_t>(quick ? 30 : 200,
+                                                  queries.size() * 8);
+  constexpr std::uint32_t kK = 10;
+
+  std::printf("\n=== %s: engine counters (JSON, %zu identical queries, "
+              "k=%u, 2 terms, dataset %s) ===\n",
+              figure.c_str(), count, kK, dataset.spec.name.c_str());
+  for (const NamedMethod& method : methods) {
+    QueryStats stats;
+    Timer timer;
+    for (std::size_t i = 0; i < count; ++i) {
+      const SpatialKeywordQuery& q = queries[i % queries.size()];
+      method.run(q.vertex, kK, q.keywords, &stats);
+    }
+    const double avg_ms = timer.ElapsedSeconds() * 1e3 /
+                          static_cast<double>(count);
+    std::printf(
+        "{\"method\":\"%s\",\"queries\":%zu,\"avg_ms\":%.4f,"
+        "\"distance_computations\":%llu,"
+        "\"false_positive_distances\":%llu,"
+        "\"candidates_extracted\":%llu,\"lower_bounds_computed\":%llu,"
+        "\"candidates_pruned_lb\":%llu,\"heaps_created\":%llu,"
+        "\"heap_insertions\":%llu,\"results_returned\":%llu,"
+        "\"heap_build_ns\":%llu,\"search_ns\":%llu}\n",
+        method.name.c_str(), count, avg_ms,
+        static_cast<unsigned long long>(stats.network_distance_computations),
+        static_cast<unsigned long long>(stats.false_positive_distances),
+        static_cast<unsigned long long>(stats.candidates_extracted),
+        static_cast<unsigned long long>(stats.lower_bounds_computed),
+        static_cast<unsigned long long>(stats.candidates_pruned_lb),
+        static_cast<unsigned long long>(stats.heaps_created),
+        static_cast<unsigned long long>(stats.heap_insertions),
+        static_cast<unsigned long long>(stats.results_returned),
+        static_cast<unsigned long long>(stats.heap_build_ns),
+        static_cast<unsigned long long>(stats.search_ns));
+  }
+  std::fflush(stdout);
 }
 
 }  // namespace kspin::bench

@@ -163,11 +163,13 @@ void PrintRow(const std::string& label, const std::vector<double>& cells);
 double ToMb(std::size_t bytes);
 
 /// A named query method for the k / #terms parameter sweeps (Figures
-/// 9-11): the callable runs one query.
+/// 9-11): the callable runs one query, folding engine counters into
+/// `stats` when non-null (timing sweeps pass nullptr — the zero-cost
+/// path — and RunCounterComparison passes an accumulator).
 struct NamedMethod {
   std::string name;
-  std::function<void(VertexId, std::uint32_t,
-                     std::span<const KeywordId>)>
+  std::function<void(VertexId, std::uint32_t, std::span<const KeywordId>,
+                     QueryStats*)>
       run;
 };
 
@@ -176,6 +178,16 @@ struct NamedMethod {
 void RunParameterSweep(const std::string& figure, const Dataset& dataset,
                        QueryWorkload& workload,
                        const std::vector<NamedMethod>& methods, bool quick);
+
+/// Runs every method over the SAME fixed query set (2 terms, k=10) with
+/// QueryStats accumulation and prints one JSON object per method: engine
+/// counters plus mean latency. This is the apples-to-apples evidence that
+/// K-SPIN's per-keyword indexes pay fewer false-positive exact distances
+/// than the keyword-aggregated G-tree (docs/observability.md).
+void RunCounterComparison(const std::string& figure, const Dataset& dataset,
+                          QueryWorkload& workload,
+                          const std::vector<NamedMethod>& methods,
+                          bool quick);
 
 }  // namespace kspin::bench
 

@@ -22,29 +22,40 @@ int Run(int argc, char** argv) {
 
   std::vector<NamedMethod> methods = {
       {"KS-CH",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive,
+                                    stats);
        }},
       {"KS-HL",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive,
+                                    stats);
        }},
       {"G-tree",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kDisjunctive,
+                                       stats);
        }},
   };
   if (engines.FsFbsEngine() != nullptr) {
     methods.push_back(
         {"FS-FBS",
-         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+             QueryStats* stats) {
            engines.FsFbsEngine()->BooleanKnn(v, k, kw,
-                                             BooleanOp::kDisjunctive);
+                                             BooleanOp::kDisjunctive, stats);
          }});
   } else {
     std::printf("FS-FBS: %s\n", engines.FsFbsFailure().c_str());
   }
   RunParameterSweep("Figure 10", dataset, workload, methods, args.quick);
+  // The observability cross-check: identical queries, per-method engine
+  // counters. K-SPIN should report strictly fewer false-positive exact
+  // distances than the keyword-aggregated G-tree.
+  RunCounterComparison("Figure 10", dataset, workload, methods, args.quick);
   return 0;
 }
 

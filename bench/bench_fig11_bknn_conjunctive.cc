@@ -22,24 +22,31 @@ int Run(int argc, char** argv) {
 
   std::vector<NamedMethod> methods = {
       {"KS-CH",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsCh()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive,
+                                    stats);
        }},
       {"KS-HL",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsHl()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive,
+                                    stats);
        }},
       {"G-tree",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.GtreeSk()->BooleanKnn(v, k, kw, BooleanOp::kConjunctive,
+                                       stats);
        }},
   };
   if (engines.FsFbsEngine() != nullptr) {
     methods.push_back(
         {"FS-FBS",
-         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
+         [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+             QueryStats* stats) {
            engines.FsFbsEngine()->BooleanKnn(v, k, kw,
-                                             BooleanOp::kConjunctive);
+                                             BooleanOp::kConjunctive, stats);
          }});
   } else {
     std::printf("FS-FBS: %s\n", engines.FsFbsFailure().c_str());

@@ -2,6 +2,7 @@
 // across the dataset ladder. "Input" is the raw graph + keyword dataset.
 // K-SPIN's keyword side (APX-NVDs + ALT + inverted lists) is reported
 // separately from the pluggable distance modules, as in the paper.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -18,6 +19,7 @@ int Run(int argc, char** argv) {
   std::printf("%-8s\t%10s\t%10s\t%10s\t%10s\t%10s\t%10s\n", "region",
               "input", "kspin", "ch", "hl", "gtree", "fsfbs");
   std::vector<std::string> time_rows;
+  std::vector<std::string> json_rows;
   for (const std::string& name : names) {
     Dataset dataset = Dataset::Load(name);
     EngineSelection selection;
@@ -44,11 +46,73 @@ int Run(int argc, char** argv) {
                   engines.KspinBuildSeconds(), engines.ChBuildSeconds(),
                   engines.HlBuildSeconds(), engines.GtreeBuildSeconds());
     time_rows.push_back(row);
+
+    // Machine-readable view: build costs plus engine counters from an
+    // identical probe workload (k=10, 2 terms) per method, so the
+    // K-SPIN-vs-G-tree false-positive comparison is reproducible straight
+    // from this harness's output.
+    QueryWorkload workload = MakeWorkload(dataset, /*quick=*/true);
+    std::vector<SpatialKeywordQuery> probes(
+        workload.QueriesForLength(2).begin(),
+        workload.QueriesForLength(2).end());
+    const std::size_t probe_count = std::min<std::size_t>(
+        probes.size(), args.quick ? 20 : 60);
+    struct ProbeMethod {
+      const char* key;
+      std::function<void(const SpatialKeywordQuery&, QueryStats*)> run;
+    };
+    const std::vector<ProbeMethod> probe_methods = {
+        {"ks_ch",
+         [&](const SpatialKeywordQuery& q, QueryStats* s) {
+           engines.KsCh()->BooleanKnn(q.vertex, 10, q.keywords,
+                                      BooleanOp::kDisjunctive, s);
+         }},
+        {"gtree",
+         [&](const SpatialKeywordQuery& q, QueryStats* s) {
+           engines.GtreeSk()->BooleanKnn(q.vertex, 10, q.keywords,
+                                         BooleanOp::kDisjunctive, s);
+         }},
+    };
+    std::string counters_json;
+    for (const ProbeMethod& pm : probe_methods) {
+      QueryStats stats;
+      for (std::size_t i = 0; i < probe_count; ++i) {
+        pm.run(probes[i], &stats);
+      }
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\"%s\":{\"queries\":%zu,\"distance_computations\":%llu,"
+          "\"false_positive_distances\":%llu,\"candidates_pruned_lb\":%llu}",
+          counters_json.empty() ? "" : ",", pm.key, probe_count,
+          static_cast<unsigned long long>(
+              stats.network_distance_computations),
+          static_cast<unsigned long long>(stats.false_positive_distances),
+          static_cast<unsigned long long>(stats.candidates_pruned_lb));
+      counters_json += buf;
+    }
+    char json[768];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"region\":\"%s\",\"input_mb\":%.2f,\"kspin_mb\":%.2f,"
+        "\"ch_mb\":%.2f,\"hl_mb\":%.2f,\"gtree_mb\":%.2f,"
+        "\"kspin_build_s\":%.2f,\"ch_build_s\":%.2f,\"hl_build_s\":%.2f,"
+        "\"gtree_build_s\":%.2f,\"engine_counters\":{%s}}",
+        name.c_str(), input_mb, ToMb(engines.KspinMemory()),
+        ToMb(engines.ChMemory()), ToMb(engines.HlMemory()),
+        ToMb(engines.GtreeMemory()), engines.KspinBuildSeconds(),
+        engines.ChBuildSeconds(), engines.HlBuildSeconds(),
+        engines.GtreeBuildSeconds(), counters_json.c_str());
+    json_rows.push_back(json);
   }
   std::printf("\n=== Figure 14b: construction time (s) ===\n");
   std::printf("%-8s\t%10s\t%10s\t%10s\t%10s\n", "region", "kspin", "ch",
               "hl", "gtree");
   for (const std::string& row : time_rows) {
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf("\n=== Figure 14 (JSON) ===\n");
+  for (const std::string& row : json_rows) {
     std::printf("%s\n", row.c_str());
   }
   return 0;

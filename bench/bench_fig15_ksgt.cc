@@ -19,16 +19,19 @@ int Run(int argc, char** argv) {
 
   std::vector<NamedMethod> methods = {
       {"KS-GT",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsGt()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsGt()->TopK(v, k, kw, stats);
        }},
       {"Gtree-Opt",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.GtreeOpt()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.GtreeOpt()->TopK(v, k, kw, stats);
        }},
       {"G-tree",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.GtreeSk()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.GtreeSk()->TopK(v, k, kw, stats);
        }},
   };
   RunParameterSweep("Figure 15 (top-k on shared G-tree)", dataset, workload,

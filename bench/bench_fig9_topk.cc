@@ -19,20 +19,24 @@ int Run(int argc, char** argv) {
 
   std::vector<NamedMethod> methods = {
       {"KS-CH",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsCh()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsCh()->TopK(v, k, kw, stats);
        }},
       {"KS-HL",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.KsHl()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.KsHl()->TopK(v, k, kw, stats);
        }},
       {"G-tree",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.GtreeSk()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.GtreeSk()->TopK(v, k, kw, stats);
        }},
       {"ROAD",
-       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw) {
-         engines.Road()->TopK(v, k, kw);
+       [&](VertexId v, std::uint32_t k, std::span<const KeywordId> kw,
+           QueryStats* stats) {
+         engines.Road()->TopK(v, k, kw, stats);
        }},
   };
   RunParameterSweep("Figure 9", dataset, workload, methods, args.quick);

@@ -159,6 +159,39 @@ void BM_BknnDisjunctive(benchmark::State& bench) {
 }
 BENCHMARK(BM_BknnDisjunctive);
 
+// Instrumented twins of the two query benchmarks: identical work plus a
+// live QueryStats accumulator. Comparing against the plain variants
+// bounds the observability overhead (acceptance: <= 5% with tracing off).
+void BM_TopKQueryInstrumented(benchmark::State& bench) {
+  MicroState& s = State();
+  QueryWorkload workload = MakeWorkload(s.dataset, /*quick=*/true);
+  const auto queries = workload.QueriesForLength(2);
+  std::size_t i = 0;
+  QueryStats stats;
+  for (auto _ : bench) {
+    const auto& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(
+        s.processor.TopK(q.vertex, 10, q.keywords, &stats));
+  }
+  benchmark::DoNotOptimize(stats);
+}
+BENCHMARK(BM_TopKQueryInstrumented);
+
+void BM_BknnDisjunctiveInstrumented(benchmark::State& bench) {
+  MicroState& s = State();
+  QueryWorkload workload = MakeWorkload(s.dataset, /*quick=*/true);
+  const auto queries = workload.QueriesForLength(2);
+  std::size_t i = 0;
+  QueryStats stats;
+  for (auto _ : bench) {
+    const auto& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(s.processor.BooleanKnn(
+        q.vertex, 10, q.keywords, BooleanOp::kDisjunctive, &stats));
+  }
+  benchmark::DoNotOptimize(stats);
+}
+BENCHMARK(BM_BknnDisjunctiveInstrumented);
+
 }  // namespace
 }  // namespace kspin::bench
 

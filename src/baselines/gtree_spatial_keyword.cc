@@ -1,12 +1,20 @@
 #include "baselines/gtree_spatial_keyword.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 
 namespace kspin {
 namespace {
+
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Post-order listing of tree nodes (children before parents).
 std::vector<GTree::NodeId> PostOrder(const GTree& gtree) {
@@ -152,7 +160,11 @@ std::vector<TopKResult> GTreeSpatialKeyword::TopK(
   std::vector<TopKResult> results;
   if (k == 0 || keywords.empty()) return results;
   const PreparedQuery prepared = relevance_.PrepareQuery(keywords);
+  QueryStats local;
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   GTree::SourceCache cache = gtree_.MakeSourceCache(q);
+  if (stats != nullptr) local.heap_build_ns = NowNs() - build_start_ns;
+  const std::uint64_t search_start_ns = stats != nullptr ? NowNs() : 0;
 
   // Best possible textual relevance of any object under `node`.
   auto tr_max = [this, &prepared](GTree::NodeId node) {
@@ -177,7 +189,6 @@ std::vector<TopKResult> GTreeSpatialKeyword::TopK(
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
   pq.push({0.0, gtree_.RootNode(), kInvalidObject, 0, 0.0});
 
-  QueryStats local;
   while (!pq.empty() && results.size() < k) {
     const Entry top = pq.top();
     pq.pop();
@@ -216,18 +227,24 @@ std::vector<TopKResult> GTreeSpatialKeyword::TopK(
       if ((mask & (1u << c)) == 0) continue;
       const double bound = tr_max(children[c]);
       if (bound <= 0.0) continue;
-      const Distance mind = gtree_.IsInSubtree(gtree_.LeafOf(q), children[c])
-                                ? 0
-                                : gtree_.MinBorderDistance(cache, children[c]);
+      Distance mind = 0;
+      if (!gtree_.IsInSubtree(gtree_.LeafOf(q), children[c])) {
+        mind = gtree_.MinBorderDistance(cache, children[c]);
+        ++local.lower_bounds_computed;
+      }
       if (mind == kInfDistance) continue;
       pq.push({static_cast<double>(mind) / bound, children[c],
                kInvalidObject, 0, 0.0});
     }
   }
   if (stats != nullptr) {
-    stats->network_distance_computations +=
-        local.network_distance_computations;
-    stats->candidates_extracted += local.candidates_extracted;
+    // Entries never expanded because the k-th result beat their bound.
+    local.candidates_pruned_lb = pq.size();
+    local.false_positive_distances =
+        local.network_distance_computations - results.size();
+    local.results_returned = results.size();
+    local.search_ns = NowNs() - search_start_ns;
+    *stats += local;
   }
   return results;
 }
@@ -237,7 +254,11 @@ std::vector<BkNNResult> GTreeSpatialKeyword::BooleanKnn(
     BooleanOp op, QueryStats* stats) {
   std::vector<BkNNResult> results;
   if (k == 0 || keywords.empty()) return results;
+  QueryStats local;
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   GTree::SourceCache cache = gtree_.MakeSourceCache(q);
+  if (stats != nullptr) local.heap_build_ns = NowNs() - build_start_ns;
+  const std::uint64_t search_start_ns = stats != nullptr ? NowNs() : 0;
 
   auto node_admissible = [this, &keywords, op](GTree::NodeId node) {
     for (KeywordId t : keywords) {
@@ -268,7 +289,6 @@ std::vector<BkNNResult> GTreeSpatialKeyword::BooleanKnn(
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
   pq.push({0, gtree_.RootNode(), kInvalidObject});
 
-  QueryStats local;
   while (!pq.empty() && results.size() < k) {
     const Entry top = pq.top();
     pq.pop();
@@ -307,17 +327,22 @@ std::vector<BkNNResult> GTreeSpatialKeyword::BooleanKnn(
     for (std::size_t c = 0; c < children.size(); ++c) {
       if ((mask & (1u << c)) == 0) continue;
       if (!node_admissible(children[c])) continue;
-      const Distance mind = gtree_.IsInSubtree(gtree_.LeafOf(q), children[c])
-                                ? 0
-                                : gtree_.MinBorderDistance(cache, children[c]);
+      Distance mind = 0;
+      if (!gtree_.IsInSubtree(gtree_.LeafOf(q), children[c])) {
+        mind = gtree_.MinBorderDistance(cache, children[c]);
+        ++local.lower_bounds_computed;
+      }
       if (mind == kInfDistance) continue;
       pq.push({mind, children[c], kInvalidObject});
     }
   }
   if (stats != nullptr) {
-    stats->network_distance_computations +=
-        local.network_distance_computations;
-    stats->candidates_extracted += local.candidates_extracted;
+    local.candidates_pruned_lb = pq.size();
+    local.false_positive_distances =
+        local.network_distance_computations - results.size();
+    local.results_returned = results.size();
+    local.search_ns = NowNs() - search_start_ns;
+    *stats += local;
   }
   return results;
 }

@@ -1,9 +1,20 @@
 #include "kspin/knn_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 
 namespace kspin {
+namespace {
+
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 KnnEngine::KnnEngine(const Graph& graph, std::vector<SiteObject> objects,
                      const LowerBoundModule& lower_bounds, DistanceOracle& oracle,
@@ -17,15 +28,18 @@ std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
                                        QueryStats* stats) {
   std::vector<BkNNResult> results;
   if (k == 0) return results;
+  QueryStats local;
   oracle_.BeginSourceBatch(*oracle_workspace_, q);
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   InvertedHeap heap(&nvd_, &lower_bounds_, q, &heap_scratch_);
+  if (stats != nullptr) local.heap_build_ns = NowNs() - build_start_ns;
+  const std::uint64_t search_start_ns = stats != nullptr ? NowNs() : 0;
 
   // Max-heap of the best k distances for the D_k bound.
   std::priority_queue<std::pair<Distance, ObjectId>> best;
   auto dk = [&best, k] {
     return best.size() < k ? kInfDistance : best.top().first;
   };
-  QueryStats local;
   ++local.heaps_created;
   while (!heap.Empty() && heap.MinKey() < dk()) {
     const InvertedHeap::Candidate c = heap.ExtractMin();
@@ -40,19 +54,20 @@ std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
     }
   }
   local.lower_bounds_computed = heap.Stats().lower_bounds_computed;
-  if (stats != nullptr) {
-    stats->network_distance_computations +=
-        local.network_distance_computations;
-    stats->candidates_extracted += local.candidates_extracted;
-    stats->lower_bounds_computed += local.lower_bounds_computed;
-    stats->heaps_created += local.heaps_created;
-  }
+  local.heap_insertions = heap.Stats().insertions;
   results.reserve(best.size());
   while (!best.empty()) {
     results.push_back({best.top().second, best.top().first});
     best.pop();
   }
   std::reverse(results.begin(), results.end());
+  if (stats != nullptr) {
+    local.false_positive_distances =
+        local.network_distance_computations - results.size();
+    local.results_returned = results.size();
+    local.search_ns = NowNs() - search_start_ns;
+    *stats += local;
+  }
   return results;
 }
 

@@ -1,12 +1,22 @@
 #include "kspin/query_processor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <queue>
 
 namespace kspin {
 namespace {
+
+// Steady-clock nanoseconds for QueryStats stage timings. Two reads per
+// stage; ~20-40ns each, noise next to a single distance computation.
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Keeps the k best (smallest-key) results seen so far and exposes the
 // current D_k (the k-th best key; +infinity while fewer than k are held).
@@ -69,6 +79,7 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
     const QueryControl* control) {
   detail::CheckControl(control, 0);  // Abort before any work if expired.
   QueryStats local;
+  const std::uint64_t search_start_ns = stats != nullptr ? NowNs() : 0;
   BestK<Distance, ObjectId> best(k);
   oracle_.BeginSourceBatch(*oracle_workspace_, q);
 
@@ -111,17 +122,20 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
 
   for (const InvertedHeap& heap : heaps) {
     local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
-  }
-  if (stats != nullptr) {
-    stats->network_distance_computations +=
-        local.network_distance_computations;
-    stats->candidates_extracted += local.candidates_extracted;
-    stats->lower_bounds_computed += local.lower_bounds_computed;
-    stats->heaps_created += local.heaps_created;
+    local.heap_insertions += heap.Stats().insertions;
   }
 
   std::vector<BkNNResult> results;
   for (const auto& [d, o] : best.Sorted()) results.push_back({o, d});
+  if (stats != nullptr) {
+    // Every distance paid for an object that missed the final top-k was a
+    // false positive (including early candidates later evicted by D_k).
+    local.false_positive_distances =
+        local.network_distance_computations - results.size();
+    local.results_returned = results.size();
+    local.search_ns = NowNs() - search_start_ns;
+    *stats += local;
+  }
   return results;
 }
 
@@ -134,12 +148,14 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnn(
     return ConjunctiveKnn(q, k, unique, stats, control);
   }
   workspace_.BeginQuery();
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   heaps.reserve(unique.size());
   for (KeywordId t : unique) {
     heaps.push_back(
         heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
   }
+  if (stats != nullptr) stats->heap_build_ns += NowNs() - build_start_ns;
   // Membership re-check against the live store keeps results exact even
   // when keyword indexes carry lazy tombstones.
   auto satisfies = [this, &unique](ObjectId o) {
@@ -163,9 +179,11 @@ std::vector<BkNNResult> QueryProcessor::ConjunctiveKnn(
   if (inverted_.ListSize(rarest) == 0) return {};
 
   workspace_.BeginQuery();
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   heaps.push_back(
       heap_generator_.Make(rarest, q, workspace_.AcquireHeapScratch()));
+  if (stats != nullptr) stats->heap_build_ns += NowNs() - build_start_ns;
   auto satisfies = [this, &keywords](ObjectId o) {
     for (KeywordId t : keywords) {
       if (!store_.Contains(o, t)) return false;
@@ -194,11 +212,13 @@ std::vector<BkNNResult> QueryProcessor::BooleanKnnCnf(
     }
   }
   workspace_.BeginQuery();
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   for (KeywordId t : Deduplicate(clauses[driver])) {
     heaps.push_back(
         heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
   }
+  if (stats != nullptr) stats->heap_build_ns += NowNs() - build_start_ns;
   auto satisfies = [this, &clauses](ObjectId o) {
     for (const std::vector<KeywordId>& clause : clauses) {
       bool any = false;
@@ -226,6 +246,7 @@ std::vector<TopKResult> QueryProcessor::TopK(
 
   QueryStats local;
   workspace_.BeginQuery();
+  const std::uint64_t build_start_ns = stats != nullptr ? NowNs() : 0;
   std::vector<InvertedHeap>& heaps = workspace_.Heaps();
   heaps.reserve(unique.size());
   for (KeywordId t : unique) {
@@ -233,6 +254,8 @@ std::vector<TopKResult> QueryProcessor::TopK(
         heap_generator_.Make(t, q, workspace_.AcquireHeapScratch()));
     ++local.heaps_created;
   }
+  if (stats != nullptr) local.heap_build_ns = NowNs() - build_start_ns;
+  const std::uint64_t search_start_ns = stats != nullptr ? NowNs() : 0;
   oracle_.BeginSourceBatch(*oracle_workspace_, q);
 
   // Pseudo lower-bound score of heap i (Algorithm 2): assume every unseen
@@ -290,7 +313,10 @@ std::vector<TopKResult> QueryProcessor::TopK(
     const double tr = relevance_.TextualRelevance(prepared, c.object);
     if (tr <= 0.0) continue;
     const double lb_score = scoring.LowerBoundScore(c.lower_bound, tr);
-    if (lb_score > DoubleDk(best.Dk())) continue;
+    if (lb_score > DoubleDk(best.Dk())) {
+      ++local.candidates_pruned_lb;  // LB beat D_k: no distance paid.
+      continue;
+    }
     const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
                                                c.vertex);
     ++local.network_distance_computations;
@@ -300,19 +326,20 @@ std::vector<TopKResult> QueryProcessor::TopK(
 
   for (const InvertedHeap& heap : heaps) {
     local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
-  }
-  if (stats != nullptr) {
-    stats->network_distance_computations +=
-        local.network_distance_computations;
-    stats->candidates_extracted += local.candidates_extracted;
-    stats->lower_bounds_computed += local.lower_bounds_computed;
-    stats->heaps_created += local.heaps_created;
+    local.heap_insertions += heap.Stats().insertions;
   }
 
   std::vector<TopKResult> results;
   for (const auto& [score, payload] : best.Sorted()) {
     results.push_back(
         {payload.first, score, payload.second.first, payload.second.second});
+  }
+  if (stats != nullptr) {
+    local.false_positive_distances =
+        local.network_distance_computations - results.size();
+    local.results_returned = results.size();
+    local.search_ns = NowNs() - search_start_ns;
+    *stats += local;
   }
   return results;
 }

@@ -50,12 +50,41 @@ struct TopKResult {
   double relevance = 0.0;
 };
 
-/// Per-query work counters (benchmarks and ablations).
+/// Per-query work counters (benchmarks, ablations, and the server's
+/// observability layer — docs/observability.md). Plain integers: the hot
+/// path bumps fields of a stack-local instance and the caller folds the
+/// whole struct into aggregates once per query (zero atomics per query).
 struct QueryStats {
   std::uint64_t network_distance_computations = 0;
-  std::uint64_t candidates_extracted = 0;  ///< kappa in Section 5.1.
+  std::uint64_t candidates_extracted = 0;  ///< kappa: inverted-heap pops.
   std::uint64_t lower_bounds_computed = 0;
   std::uint64_t heaps_created = 0;
+  std::uint64_t heap_insertions = 0;
+  /// Distances computed for objects that did not make the final top-k —
+  /// the "aggregation penalty" K-SPIN's per-keyword indexes avoid.
+  /// Invariant: false_positive_distances <= network_distance_computations.
+  std::uint64_t false_positive_distances = 0;
+  /// Candidates discarded by a lower-bound score before paying a network
+  /// distance computation (Algorithm 3 line 10 and G-tree border bounds).
+  std::uint64_t candidates_pruned_lb = 0;
+  std::uint64_t results_returned = 0;
+  /// Per-stage wall-clock timings (steady clock, nanoseconds).
+  std::uint64_t heap_build_ns = 0;  ///< Heap generation / index descent.
+  std::uint64_t search_ns = 0;      ///< Main best-first search loop.
+
+  QueryStats& operator+=(const QueryStats& o) {
+    network_distance_computations += o.network_distance_computations;
+    candidates_extracted += o.candidates_extracted;
+    lower_bounds_computed += o.lower_bounds_computed;
+    heaps_created += o.heaps_created;
+    heap_insertions += o.heap_insertions;
+    false_positive_distances += o.false_positive_distances;
+    candidates_pruned_lb += o.candidates_pruned_lb;
+    results_returned += o.results_returned;
+    heap_build_ns += o.heap_build_ns;
+    search_ns += o.search_ns;
+    return *this;
+  }
 };
 
 /// Query algorithms over the K-SPIN module stack.

@@ -172,8 +172,21 @@ Client::StatsReply Client::Stats() {
   PayloadReader reader(body);
   StatsReply reply;
   ParseReplyEnvelope(reader, &reply);
-  if (reply.ok() && !DecodeStatsResponse(reader, &reply.stats)) {
+  // Backward-compatible: a v1 body simply leaves histograms empty.
+  if (reply.ok() &&
+      !DecodeStatsResponse(reader, &reply.stats, &reply.histograms)) {
     throw ClientError("malformed stats response");
+  }
+  return reply;
+}
+
+Client::MetricsReply Client::Metrics() {
+  const auto body = RoundTrip(Opcode::kMetrics, {});
+  PayloadReader reader(body);
+  MetricsReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeMetricsResponse(reader, &reply.text)) {
+    throw ClientError("malformed metrics response");
   }
   return reply;
 }

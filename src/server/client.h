@@ -60,8 +60,14 @@ class Client {
 
   struct StatsReply : Reply {
     std::vector<std::pair<std::string, std::uint64_t>> stats;
+    /// Raw latency histograms (protocol v2+; empty from a v1 server).
+    std::vector<WireHistogram> histograms;
     /// Value of `key`, or 0 if absent.
     std::uint64_t Value(std::string_view key) const;
+  };
+
+  struct MetricsReply : Reply {
+    std::string text;  ///< Prometheus 0.0.4 exposition.
   };
 
   struct SnapshotReply : Reply {
@@ -82,6 +88,10 @@ class Client {
 
   /// Server metrics snapshot.
   StatsReply Stats();
+
+  /// Prometheus text exposition (METRICS opcode) — answered inline by the
+  /// I/O thread, so scrapes work on a saturated server.
+  MetricsReply Metrics();
 
   /// Role, newest snapshot sequence, uptime, and queue depth — answered
   /// inline by the I/O thread, so it works on a saturated server.

@@ -75,6 +75,10 @@ Client::StatsReply FailoverClient::Stats() {
   return ExecuteRead([](RetryingClient& c) { return c.Stats(); });
 }
 
+Client::MetricsReply FailoverClient::Metrics() {
+  return ExecuteRead([](RetryingClient& c) { return c.Metrics(); });
+}
+
 Client::HealthReply FailoverClient::Health() {
   return ExecuteRead([](RetryingClient& c) { return c.Health(); });
 }

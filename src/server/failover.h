@@ -3,7 +3,7 @@
 // FailoverClient wraps one RetryingClient per endpoint and routes by
 // operation class:
 //
-//  - Reads (ping/stats/health/search) prefer a healthy replica — keeping
+//  - Reads (ping/stats/metrics/health/search) prefer a healthy replica — keeping
 //    read traffic off the primary — and fail over to the next endpoint on
 //    any transport failure (connect refused, timeout, torn stream). The
 //    endpoint that last answered is sticky, so steady state costs no
@@ -49,6 +49,7 @@ class FailoverClient {
   // Throws ClientError only when every endpoint failed.
   Client::Reply Ping();
   Client::StatsReply Stats();
+  Client::MetricsReply Metrics();
   Client::HealthReply Health();
   Client::SearchReply Search(std::string_view query, VertexId from,
                              std::uint32_t k, bool ranked = false,

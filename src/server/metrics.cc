@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 
 namespace kspin::server {
 
@@ -15,24 +17,33 @@ void LatencyHistogram::Record(std::uint64_t micros) {
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
 }
 
-std::uint64_t LatencyHistogram::MeanMicros() const {
-  const std::uint64_t n = count_.load(std::memory_order_relaxed);
-  return n == 0 ? 0 : sum_micros_.load(std::memory_order_relaxed) / n;
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+  return snap;
 }
 
-std::uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  const std::uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0;
-  // Rank of the quantile sample, 1-based, clamped into [1, n].
+std::uint64_t HistogramSnapshot::MeanMicros() const {
+  return count == 0 ? 0 : sum_micros / count;
+}
+
+std::uint64_t HistogramSnapshot::PercentileMicros(double p) const {
+  if (count == 0) return 0;
+  // Rank of the quantile sample, 1-based, clamped into [1, count].
   const std::uint64_t rank = std::min<std::uint64_t>(
-      n, std::max<std::uint64_t>(
-             1, static_cast<std::uint64_t>(p * static_cast<double>(n))));
+      count, std::max<std::uint64_t>(
+                 1, static_cast<std::uint64_t>(p * static_cast<double>(
+                                                       count))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return std::uint64_t{1} << (i + 1);  // Upper bound.
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperMicros(i);
   }
-  return std::uint64_t{1} << kBuckets;
+  return BucketUpperMicros(kBuckets - 1);
 }
 
 std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
@@ -63,6 +74,8 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 10;
     case Opcode::kFetchSnapshot:
       return 11;
+    case Opcode::kMetrics:
+      return 12;
   }
   return kNoSlot;
 }
@@ -74,12 +87,29 @@ void ServerMetrics::RecordQueueDepth(std::size_t depth) {
   }
 }
 
-std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
+void ServerMetrics::AddQueryStats(const QueryStats& stats) {
+  const auto add = [](std::atomic<std::uint64_t>& a, std::uint64_t delta) {
+    if (delta != 0) a.fetch_add(delta, std::memory_order_relaxed);
+  };
+  add(engine_heap_pops, stats.candidates_extracted);
+  add(engine_lower_bounds, stats.lower_bounds_computed);
+  add(engine_distance_computations, stats.network_distance_computations);
+  add(engine_false_positive_distances, stats.false_positive_distances);
+  add(engine_candidates_pruned_lb, stats.candidates_pruned_lb);
+  add(engine_heaps_created, stats.heaps_created);
+  add(engine_heap_insertions, stats.heap_insertions);
+  add(engine_results_returned, stats.results_returned);
+  add(engine_heap_build_ns, stats.heap_build_ns);
+  add(engine_search_ns, stats.search_ns);
+}
+
+MetricsSnapshot ServerMetrics::FullSnapshot(
     std::size_t current_queue_depth) const {
   auto load = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
-  std::vector<std::pair<std::string, std::uint64_t>> out = {
+  MetricsSnapshot snap;
+  snap.counters = {
       {"connections_opened", load(connections_opened)},
       {"connections_closed", load(connections_closed)},
       {"accept_errors", load(accept_errors)},
@@ -111,6 +141,19 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"connections_reaped_slow", load(connections_reaped_slow)},
       {"connections_reaped_backpressure",
        load(connections_reaped_backpressure)},
+      {"engine_heap_pops", load(engine_heap_pops)},
+      {"engine_lower_bounds", load(engine_lower_bounds)},
+      {"engine_distance_computations", load(engine_distance_computations)},
+      {"engine_false_positive_distances",
+       load(engine_false_positive_distances)},
+      {"engine_candidates_pruned_lb", load(engine_candidates_pruned_lb)},
+      {"engine_heaps_created", load(engine_heaps_created)},
+      {"engine_heap_insertions", load(engine_heap_insertions)},
+      {"engine_results_returned", load(engine_results_returned)},
+      {"engine_heap_build_ns", load(engine_heap_build_ns)},
+      {"engine_search_ns", load(engine_search_ns)},
+      {"slow_queries", load(slow_queries)},
+      {"traces_emitted", load(traces_emitted)},
       {"queue_depth", current_queue_depth},
       {"queue_depth_peak", load(queue_depth_peak)},
       {"opcode_ping", load(requests_by_opcode[0])},
@@ -125,20 +168,12 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
       {"opcode_reload", load(requests_by_opcode[9])},
       {"opcode_health", load(requests_by_opcode[10])},
       {"opcode_fetch_snapshot", load(requests_by_opcode[11])},
-      {"query_latency_count", query_latency.Count()},
-      {"query_latency_mean_us", query_latency.MeanMicros()},
-      {"query_latency_p50_us", query_latency.PercentileMicros(0.50)},
-      {"query_latency_p99_us", query_latency.PercentileMicros(0.99)},
-      {"update_latency_count", update_latency.Count()},
-      {"update_latency_mean_us", update_latency.MeanMicros()},
-      {"update_latency_p50_us", update_latency.PercentileMicros(0.50)},
-      {"update_latency_p99_us", update_latency.PercentileMicros(0.99)},
+      {"opcode_metrics", load(requests_by_opcode[12])},
   };
   // Replication lag: ms since the last poll that confirmed the replica in
   // sync with (or installed a snapshot from) its primary. 0 until the
   // first success — read it together with replication_polls.
-  const std::uint64_t last_success =
-      load(replication_last_success_ms);
+  const std::uint64_t last_success = load(replication_last_success_ms);
   std::uint64_t lag_ms = 0;
   if (last_success != 0) {
     const auto now_ms = static_cast<std::uint64_t>(
@@ -147,7 +182,82 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
             .count());
     lag_ms = now_ms > last_success ? now_ms - last_success : 0;
   }
-  out.emplace_back("replication_lag_ms", lag_ms);
+  snap.counters.emplace_back("replication_lag_ms", lag_ms);
+  snap.query_latency = query_latency.Snapshot();
+  snap.update_latency = update_latency.Snapshot();
+  return snap;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
+    std::size_t current_queue_depth) const {
+  MetricsSnapshot snap = FullSnapshot(current_queue_depth);
+  auto out = std::move(snap.counters);
+  // Latency summaries derived from the same histogram snapshot, so count,
+  // mean, and percentiles within one response always agree.
+  const auto append = [&out](const char* prefix,
+                             const HistogramSnapshot& h) {
+    const std::string p(prefix);
+    out.emplace_back(p + "_count", h.count);
+    out.emplace_back(p + "_mean_us", h.MeanMicros());
+    out.emplace_back(p + "_p50_us", h.PercentileMicros(0.50));
+    out.emplace_back(p + "_p99_us", h.PercentileMicros(0.99));
+  };
+  append("query_latency", snap.query_latency);
+  append("update_latency", snap.update_latency);
+  return out;
+}
+
+namespace {
+
+bool IsGaugeMetric(const std::string& key) {
+  return key == "queue_depth" || key == "queue_depth_peak" ||
+         key == "replication_last_sequence" ||
+         key == "replication_sequence_delta" ||
+         key == "replication_lag_ms";
+}
+
+void AppendHistogram(std::string& out, const char* name,
+                     const HistogramSnapshot& h) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", name);
+  out += line;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    cumulative += h.buckets[i];
+    // Empty tail buckets add nothing a dashboard needs; keep the output
+    // small by only emitting buckets up to the last non-empty one...
+    std::snprintf(line, sizeof(line),
+                  "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
+                  HistogramSnapshot::BucketUpperMicros(i), cumulative);
+    out += line;
+    if (cumulative == h.count) break;  // ...which this detects.
+  }
+  std::snprintf(line, sizeof(line),
+                "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name, h.count);
+  out += line;
+  std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n", name,
+                h.sum_micros);
+  out += line;
+  std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n", name,
+                h.count);
+  out += line;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  char line[160];
+  for (const auto& [key, value] : snapshot.counters) {
+    const std::string name = "kspin_" + key;
+    std::snprintf(line, sizeof(line), "# TYPE %s %s\n%s %" PRIu64 "\n",
+                  name.c_str(), IsGaugeMetric(key) ? "gauge" : "counter",
+                  name.c_str(), value);
+    out += line;
+  }
+  AppendHistogram(out, "kspin_query_latency_us", snapshot.query_latency);
+  AppendHistogram(out, "kspin_update_latency_us", snapshot.update_latency);
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Server-side observability: lock-free counters and a latency histogram,
-// snapshotted by the STATS opcode. Everything here is safe to update from
-// the I/O thread and every worker concurrently.
+// snapshotted by the STATS opcode and rendered as Prometheus 0.0.4 text by
+// the METRICS opcode (docs/observability.md). Everything here is safe to
+// update from the I/O thread and every worker concurrently.
 #ifndef KSPIN_SERVER_METRICS_H_
 #define KSPIN_SERVER_METRICS_H_
 
@@ -11,32 +12,70 @@
 #include <utility>
 #include <vector>
 
+#include "kspin/query_processor.h"
 #include "server/wire.h"
 
 namespace kspin::server {
 
+/// A point-in-time copy of one histogram: every bucket, the count, and the
+/// sum loaded exactly once (relaxed), so derived values (mean, percentiles,
+/// cumulative buckets) are all computed from the same self-consistent data
+/// instead of re-reading live atomics per statistic.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 40;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_micros = 0;
+
+  /// Mean in microseconds (0 when empty).
+  std::uint64_t MeanMicros() const;
+  /// p in (0, 1]; upper bound of the bucket holding the p-quantile.
+  std::uint64_t PercentileMicros(double p) const;
+  /// Upper bound of bucket i in microseconds (2^(i+1)).
+  static std::uint64_t BucketUpperMicros(std::size_t i) {
+    return std::uint64_t{1} << (i + 1);
+  }
+};
+
 /// Log2-bucketed latency histogram over microseconds: bucket i counts
-/// samples in [2^i, 2^(i+1)) us (bucket 0 also takes 0). Percentiles are
-/// reported as the upper bound of the containing bucket — at most 2x off,
-/// plenty for load shedding and dashboards.
+/// samples in [2^i, 2^(i+1)) us (bucket 0 also takes 0; values past the
+/// last bucket saturate into it). Percentiles are reported as the upper
+/// bound of the containing bucket — at most 2x off, plenty for load
+/// shedding and dashboards.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 40;
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
 
   void Record(std::uint64_t micros);
 
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
   }
-  /// Mean in microseconds (0 when empty).
-  std::uint64_t MeanMicros() const;
+  /// One consistent relaxed-load pass over all fields.
+  HistogramSnapshot Snapshot() const;
+
+  /// Mean in microseconds (0 when empty). Prefer Snapshot() when reading
+  /// more than one statistic: these convenience readers each take their
+  /// own snapshot, so values from separate calls may disagree.
+  std::uint64_t MeanMicros() const { return Snapshot().MeanMicros(); }
   /// p in (0, 1]; upper bound of the bucket holding the p-quantile.
-  std::uint64_t PercentileMicros(double p) const;
+  std::uint64_t PercentileMicros(double p) const {
+    return Snapshot().PercentileMicros(p);
+  }
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// One consistent view of all server metrics: the flat counter list (the
+/// STATS key/value payload) plus raw histogram buckets, taken in a single
+/// pass so every derived statistic in one response agrees with itself.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  HistogramSnapshot query_latency;
+  HistogramSnapshot update_latency;
 };
 
 /// All server counters. Field names match the keys reported by STATS.
@@ -103,8 +142,26 @@ class ServerMetrics {
   /// reading; unbounded buffering refused).
   std::atomic<std::uint64_t> connections_reaped_backpressure{0};
 
+  // Engine cost drivers (docs/observability.md): per-query QueryStats
+  // folded in once per executed search via AddQueryStats — the query loop
+  // itself only bumps plain integers.
+  std::atomic<std::uint64_t> engine_heap_pops{0};
+  std::atomic<std::uint64_t> engine_lower_bounds{0};
+  std::atomic<std::uint64_t> engine_distance_computations{0};
+  std::atomic<std::uint64_t> engine_false_positive_distances{0};
+  std::atomic<std::uint64_t> engine_candidates_pruned_lb{0};
+  std::atomic<std::uint64_t> engine_heaps_created{0};
+  std::atomic<std::uint64_t> engine_heap_insertions{0};
+  std::atomic<std::uint64_t> engine_results_returned{0};
+  std::atomic<std::uint64_t> engine_heap_build_ns{0};
+  std::atomic<std::uint64_t> engine_search_ns{0};
+
+  // Tracing / slow-query log (kspin_server --trace / --slow-query-ms).
+  std::atomic<std::uint64_t> slow_queries{0};
+  std::atomic<std::uint64_t> traces_emitted{0};
+
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 12> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 13> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};
@@ -127,12 +184,27 @@ class ServerMetrics {
 
   void RecordQueueDepth(std::size_t depth);
 
+  /// Folds one query's engine counters into the aggregates (a handful of
+  /// relaxed fetch_adds, once per query).
+  void AddQueryStats(const QueryStats& stats);
+
+  /// One consistent snapshot of every counter and both histograms, taken
+  /// in a single relaxed-load pass. STATS and METRICS responses are built
+  /// entirely from this, so all derived values in one response agree.
+  MetricsSnapshot FullSnapshot(std::size_t current_queue_depth) const;
+
   /// Flat snapshot for the STATS response, `current_queue_depth` sampled
   /// by the caller. Keys are stable; tests and dashboards may rely on
   /// them (see docs/protocol.md).
   std::vector<std::pair<std::string, std::uint64_t>> Snapshot(
       std::size_t current_queue_depth) const;
 };
+
+/// Renders a snapshot as Prometheus text exposition format 0.0.4: one
+/// `kspin_`-prefixed family per counter, plus native histograms with
+/// cumulative `le` buckets for query/update latency (docs/observability.md
+/// shows a scrape).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
 
 }  // namespace kspin::server
 

@@ -46,6 +46,10 @@ Client::StatsReply RetryingClient::Stats() {
   return Execute(true, [this] { return client_.Stats(); });
 }
 
+Client::MetricsReply RetryingClient::Metrics() {
+  return Execute(true, [this] { return client_.Metrics(); });
+}
+
 Client::HealthReply RetryingClient::Health() {
   return Execute(true, [this] { return client_.Health(); });
 }

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -92,6 +93,14 @@ struct Server::Request {
 Server::Server(PoiService& service, ServerOptions options)
     : service_(service), options_(options) {
   queue_ = std::make_unique<AdmissionQueue<Request>>(options_.queue_capacity);
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceSink>(options_.trace_path);
+    if (!trace_->enabled()) {
+      std::fprintf(stderr, "server: cannot open trace file %s; tracing off\n",
+                   options_.trace_path.c_str());
+      trace_.reset();
+    }
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -434,6 +443,9 @@ void Server::Respond(const std::shared_ptr<Connection>& conn,
                      const FrameHeader& request_header,
                      std::vector<std::uint8_t> response_payload) {
   FrameHeader header;
+  // Echo the request's protocol version: a v1 client gets v1 frames back
+  // even from a v2 server.
+  header.version = request_header.version;
   header.opcode = request_header.opcode;
   header.request_id = request_header.request_id;
   conn->QueueWrite(EncodeFrame(header, response_payload),
@@ -454,10 +466,50 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       return;
     case Opcode::kStats: {
       // Snapshot before counting so a STATS response never includes
-      // itself; it shows up in the next snapshot instead.
-      const auto snapshot = metrics_.Snapshot(queue_->Size());
+      // itself; it shows up in the next snapshot instead. One FullSnapshot
+      // backs the whole response, so counters, histogram buckets, and the
+      // derived summary values all describe the same instant.
+      const MetricsSnapshot snapshot = metrics_.FullSnapshot(queue_->Size());
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
-      Respond(conn, header, EncodeStatsResponse(snapshot));
+      auto pairs = snapshot.counters;
+      const auto append = [&pairs](const char* prefix,
+                                   const HistogramSnapshot& h) {
+        const std::string p(prefix);
+        pairs.emplace_back(p + "_count", h.count);
+        pairs.emplace_back(p + "_mean_us", h.MeanMicros());
+        pairs.emplace_back(p + "_p50_us", h.PercentileMicros(0.50));
+        pairs.emplace_back(p + "_p99_us", h.PercentileMicros(0.99));
+      };
+      append("query_latency", snapshot.query_latency);
+      append("update_latency", snapshot.update_latency);
+      if (header.version < 2) {
+        // v1 clients get the flat pairs only (no trailing histograms —
+        // their decoder rejects trailing bytes).
+        Respond(conn, header, EncodeStatsResponse(pairs));
+        return;
+      }
+      const auto to_wire = [](const char* name, const HistogramSnapshot& h) {
+        WireHistogram wh;
+        wh.name = name;
+        wh.count = h.count;
+        wh.sum_micros = h.sum_micros;
+        wh.buckets.assign(h.buckets.begin(), h.buckets.end());
+        return wh;
+      };
+      const WireHistogram histograms[] = {
+          to_wire("query_latency_us", snapshot.query_latency),
+          to_wire("update_latency_us", snapshot.update_latency),
+      };
+      Respond(conn, header, EncodeStatsResponse(pairs, histograms));
+      return;
+    }
+    case Opcode::kMetrics: {
+      // Prometheus text exposition; inline like STATS so scrapes work on
+      // a saturated server.
+      const MetricsSnapshot snapshot = metrics_.FullSnapshot(queue_->Size());
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, header,
+              EncodeMetricsResponse(RenderPrometheusText(snapshot)));
       return;
     }
     case Opcode::kHealth:
@@ -580,6 +632,12 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
 
   std::vector<std::uint8_t> response;
   bool ok = false;
+  // Engine counters for this query: plain stack integers on the hot path,
+  // folded into the atomic aggregates exactly once below.
+  QueryStats qstats;
+  std::string traced_query;  // Retained for trace / slow-query lines.
+  VertexId traced_vertex = 0;
+  std::uint32_t traced_k = 0;
   try {
     switch (opcode) {
       case Opcode::kSearchBoolean:
@@ -607,13 +665,16 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
               EncodeErrorResponse(StatusCode::kBadQuery, "k too large");
           break;
         }
+        traced_query = search.query;
+        traced_vertex = search.vertex;
+        traced_k = search.k;
         const std::vector<PoiResult> hits =
             opcode == Opcode::kSearchBoolean
                 ? service_.SearchOn(*processor, search.query, search.vertex,
-                                    search.k, control_ptr)
+                                    search.k, control_ptr, &qstats)
                 : service_.SearchRankedOn(*processor, search.query,
                                           search.vertex, search.k,
-                                          control_ptr);
+                                          control_ptr, &qstats);
         std::vector<WireResult> results;
         results.reserve(hits.size());
         for (const PoiResult& hit : hits) {
@@ -771,14 +832,50 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
     response = EncodeErrorResponse(StatusCode::kInternal, e.what());
   }
 
+  const auto micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - request.admitted_at)
+          .count());
   if (ok) {
     metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
-    const auto micros =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            Clock::now() - request.admitted_at)
-            .count();
     (is_query ? metrics_.query_latency : metrics_.update_latency)
-        .Record(static_cast<std::uint64_t>(micros));
+        .Record(micros);
+  }
+  if (is_query) {
+    // Fold this query's engine counters into the aggregates (a handful of
+    // relaxed adds; AddQueryStats skips zero fields, so a failed query
+    // that never reached the engine costs nothing here).
+    metrics_.AddQueryStats(qstats);
+
+    const bool slow = options_.slow_query_threshold_ms > 0 &&
+                      micros >= std::uint64_t{1000} *
+                                    options_.slow_query_threshold_ms;
+    if (trace_ != nullptr || slow) {
+      QueryTraceEvent event;
+      event.fingerprint =
+          QueryFingerprint(traced_query, traced_vertex, traced_k);
+      event.opcode = opcode == Opcode::kSearchBoolean ? "search_boolean"
+                                                      : "search_ranked";
+      event.query = traced_query;
+      event.vertex = traced_vertex;
+      event.k = traced_k;
+      event.status =
+          StatusName(response.empty()
+                         ? StatusCode::kInternal
+                         : static_cast<StatusCode>(response[0]));
+      event.latency_us = micros;
+      event.stats = qstats;
+      const std::string line = FormatQueryTrace(event);
+      if (trace_ != nullptr) {
+        trace_->Write(line);
+        metrics_.traces_emitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (slow) {
+        metrics_.slow_queries.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "slow query (%llu us): %s\n",
+                     static_cast<unsigned long long>(micros), line.c_str());
+      }
+    }
   }
   Respond(request.conn, header, std::move(response));
 }

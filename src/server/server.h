@@ -41,6 +41,7 @@
 #include "server/admission_queue.h"
 #include "server/metrics.h"
 #include "server/replication.h"
+#include "server/trace.h"
 #include "server/wire.h"
 #include "service/poi_service.h"
 
@@ -108,6 +109,16 @@ struct ServerOptions {
   /// Close connections whose un-flushed response backlog exceeds this
   /// (peer stopped reading; refuse unbounded buffering). 0 = unlimited.
   std::size_t max_write_queue_bytes = 32u << 20;
+
+  // Observability (docs/observability.md).
+  /// JSON-lines trace file: one line per executed search query (query
+  /// fingerprint, stage timings, engine counter deltas). Empty disables
+  /// tracing; counters are collected either way.
+  std::string trace_path;
+  /// Searches slower than this (end-to-end, admission to response) are
+  /// logged to stderr with their trace line. 0 disables the slow-query
+  /// log.
+  std::uint32_t slow_query_threshold_ms = 0;
 
   // Test hooks — leave at defaults in production.
   /// When false, the dequeue-time deadline check is skipped so expiry is
@@ -201,6 +212,7 @@ class Server {
   PoiService& service_;
   const ServerOptions options_;
   ServerMetrics metrics_;
+  std::unique_ptr<TraceSink> trace_;  // Null unless options_.trace_path.
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;

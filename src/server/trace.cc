@@ -1,0 +1,110 @@
+#include "server/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace kspin::server {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t FnvMix(std::uint64_t hash, std::uint8_t byte) {
+  return (hash ^ byte) * kFnvPrime;
+}
+
+// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendU64Field(std::string& out, const char* key, std::uint64_t value,
+                    bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, value,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t QueryFingerprint(std::string_view query, std::uint64_t vertex,
+                               std::uint32_t k) {
+  std::uint64_t hash = kFnvOffset;
+  for (const char c : query) {
+    hash = FnvMix(hash, static_cast<std::uint8_t>(c));
+  }
+  for (std::size_t i = 0; i < sizeof(vertex); ++i) {
+    hash = FnvMix(hash, static_cast<std::uint8_t>(vertex >> (8 * i)));
+  }
+  for (std::size_t i = 0; i < sizeof(k); ++i) {
+    hash = FnvMix(hash, static_cast<std::uint8_t>(k >> (8 * i)));
+  }
+  return hash;
+}
+
+std::string FormatQueryTrace(const QueryTraceEvent& event) {
+  std::string out;
+  out.reserve(512);
+  out += '{';
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"fingerprint\":\"%016" PRIx64 "\",",
+                event.fingerprint);
+  out += buf;
+  out += "\"opcode\":\"";
+  AppendJsonEscaped(out, event.opcode);
+  out += "\",\"query\":\"";
+  AppendJsonEscaped(out, event.query);
+  out += "\",";
+  AppendU64Field(out, "vertex", event.vertex);
+  AppendU64Field(out, "k", event.k);
+  out += "\"status\":\"";
+  AppendJsonEscaped(out, event.status);
+  out += "\",";
+  AppendU64Field(out, "latency_us", event.latency_us);
+  const QueryStats& s = event.stats;
+  AppendU64Field(out, "heap_build_ns", s.heap_build_ns);
+  AppendU64Field(out, "search_ns", s.search_ns);
+  AppendU64Field(out, "heap_pops", s.candidates_extracted);
+  AppendU64Field(out, "lower_bounds", s.lower_bounds_computed);
+  AppendU64Field(out, "distance_computations",
+                 s.network_distance_computations);
+  AppendU64Field(out, "false_positive_distances",
+                 s.false_positive_distances);
+  AppendU64Field(out, "candidates_pruned_lb", s.candidates_pruned_lb);
+  AppendU64Field(out, "heaps_created", s.heaps_created);
+  AppendU64Field(out, "heap_insertions", s.heap_insertions);
+  AppendU64Field(out, "results", s.results_returned,
+                 /*trailing_comma=*/false);
+  out += '}';
+  return out;
+}
+
+}  // namespace kspin::server

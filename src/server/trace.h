@@ -1,0 +1,65 @@
+// Opt-in per-query tracing (docs/observability.md): one JSON line per
+// executed search with a stable query fingerprint, stage timings, and the
+// engine's QueryStats counter deltas. Enabled with kspin_server --trace=F;
+// the same formatting backs the slow-query log (--slow-query-ms=T).
+#ifndef KSPIN_SERVER_TRACE_H_
+#define KSPIN_SERVER_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "kspin/query_processor.h"
+
+namespace kspin::server {
+
+/// FNV-1a 64-bit fingerprint over (query text, vertex, k). Stable across
+/// runs and processes, so trace lines of the same logical query correlate
+/// and a dashboard can group by it.
+std::uint64_t QueryFingerprint(std::string_view query, std::uint64_t vertex,
+                               std::uint32_t k);
+
+/// Everything one trace line carries; formatted by FormatQueryTrace.
+struct QueryTraceEvent {
+  std::uint64_t fingerprint = 0;
+  std::string_view opcode;  ///< "search_boolean" / "search_ranked".
+  std::string_view query;
+  std::uint64_t vertex = 0;
+  std::uint32_t k = 0;
+  std::string_view status;  ///< StatusName() of the outcome.
+  std::uint64_t latency_us = 0;  ///< Admission to response encoded.
+  QueryStats stats;
+};
+
+/// Renders one trace event as a single JSON object (no trailing newline).
+std::string FormatQueryTrace(const QueryTraceEvent& event);
+
+/// Thread-safe JSON-lines writer. Append-mode; one mutex-guarded write +
+/// flush per line so concurrent workers never interleave and a killed
+/// server keeps every completed line. An unopenable path disables the
+/// sink (the server logs and keeps serving) rather than failing startup.
+class TraceSink {
+ public:
+  explicit TraceSink(const std::string& path)
+      : out_(path, std::ios::app) {}
+
+  bool enabled() const { return out_.is_open() && out_.good(); }
+
+  /// Appends `json_line` + '\n'. No-op when the sink is disabled.
+  void Write(const std::string& json_line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.good()) return;
+    out_ << json_line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace kspin::server
+
+#endif  // KSPIN_SERVER_TRACE_H_

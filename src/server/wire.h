@@ -4,7 +4,8 @@
 //
 //   offset size  field
 //   0      4     magic 0x4B53504E ("KSPN" read as big-endian bytes)
-//   4      1     protocol version (currently 1)
+//   4      1     protocol version (currently 2; servers accept >= 1 and
+//                echo the request's version in the response)
 //   5      1     opcode
 //   6      2     reserved (must be 0)
 //   8      8     request id (echoed verbatim in the response)
@@ -31,7 +32,12 @@
 namespace kspin::server {
 
 inline constexpr std::uint32_t kMagic = 0x4B53504E;
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Current protocol version. Version 2 added trailing latency-histogram
+/// arrays to the STATS response and the METRICS opcode; version-1 frames
+/// are still accepted and answered with version-1 bodies.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest version a server still speaks.
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
 inline constexpr std::uint32_t kMaxPayloadSize = 1u << 20;
 
@@ -44,6 +50,7 @@ enum class Opcode : std::uint8_t {
   kPing = 0x01,           ///< Liveness probe; empty payload both ways.
   kStats = 0x02,          ///< Server metrics snapshot.
   kHealth = 0x03,         ///< Role, snapshot sequence, uptime, queue depth.
+  kMetrics = 0x04,        ///< Prometheus 0.0.4 text exposition (v2+).
   kSearchBoolean = 0x10,  ///< Boolean kNN over an and/or query string.
   kSearchRanked = 0x11,   ///< Relevance-ranked top-k.
   kPoiAdd = 0x20,         ///< Register a POI.
@@ -272,11 +279,34 @@ std::vector<std::uint8_t> EncodeSnapshotResponse(std::uint64_t sequence,
                                                  std::string_view path);
 bool DecodeSnapshotResponse(PayloadReader& reader, std::uint64_t* sequence,
                             std::string* path);
+/// One raw histogram on the wire (STATS v2 trailing section): name, total
+/// count, sum of recorded microseconds, and the per-bucket counts (bucket
+/// i covers [2^i, 2^(i+1)) us; see LatencyHistogram).
+struct WireHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_micros = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Version-1 STATS body: u32 pair count + (string, u64) pairs.
 std::vector<std::uint8_t> EncodeStatsResponse(
     std::span<const std::pair<std::string, std::uint64_t>> stats);
+/// Version-2 STATS body: the v1 pairs followed by u32 histogram count +
+/// histograms (name, u64 count, u64 sum_micros, u32 buckets, u64 each).
+std::vector<std::uint8_t> EncodeStatsResponse(
+    std::span<const std::pair<std::string, std::uint64_t>> stats,
+    std::span<const WireHistogram> histograms);
+/// Decodes both body versions: a payload ending after the pairs is v1
+/// (histograms, if non-null, is left empty); trailing bytes must be the
+/// v2 histogram section.
 bool DecodeStatsResponse(
     PayloadReader& reader,
-    std::vector<std::pair<std::string, std::uint64_t>>* stats);
+    std::vector<std::pair<std::string, std::uint64_t>>* stats,
+    std::vector<WireHistogram>* histograms = nullptr);
+/// kMetrics kOk body: one string holding the Prometheus text exposition.
+std::vector<std::uint8_t> EncodeMetricsResponse(std::string_view text);
+bool DecodeMetricsResponse(PayloadReader& reader, std::string* text);
 std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info);
 bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info);
 /// The chunk response carries a CRC32C of the chunk bytes; Decode verifies

@@ -115,13 +115,13 @@ std::vector<PoiResult> PoiService::SearchRanked(std::string_view query,
 
 std::vector<PoiResult> PoiService::SearchOn(
     QueryProcessor& processor, std::string_view query, VertexId from,
-    std::uint32_t k, const QueryControl* control) const {
+    std::uint32_t k, const QueryControl* control, QueryStats* stats) const {
   ParseOptions options;
   options.allow_unknown_keywords = true;
   const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
   std::vector<PoiResult> results;
   for (const BkNNResult& r :
-       processor.BooleanKnnCnf(from, k, parsed.clauses, nullptr, control)) {
+       processor.BooleanKnnCnf(from, k, parsed.clauses, stats, control)) {
     results.push_back({r.object, names_[r.object], r.distance, 0.0});
   }
   return results;
@@ -129,14 +129,14 @@ std::vector<PoiResult> PoiService::SearchOn(
 
 std::vector<PoiResult> PoiService::SearchRankedOn(
     QueryProcessor& processor, std::string_view query, VertexId from,
-    std::uint32_t k, const QueryControl* control) const {
+    std::uint32_t k, const QueryControl* control, QueryStats* stats) const {
   ParseOptions options;
   options.allow_unknown_keywords = true;
   const ParsedQuery parsed = ParseBooleanQuery(query, vocabulary_, options);
   const std::vector<KeywordId> keywords = parsed.AllKeywords();
   std::vector<PoiResult> results;
   for (const TopKResult& r :
-       processor.TopK(from, k, keywords, nullptr, control)) {
+       processor.TopK(from, k, keywords, stats, control)) {
     results.push_back({r.object, names_[r.object], r.distance, r.score});
   }
   return results;

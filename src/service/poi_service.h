@@ -92,13 +92,17 @@ class PoiService {
   /// This is the concurrent-serving entry point: many threads may call
   /// SearchOn simultaneously, each with its own processor, while no update
   /// runs (see docs/architecture.md, "Concurrency model").
+  /// A non-null `stats` accumulates the engine's QueryStats counters for
+  /// this query (the server folds them into its metrics).
   std::vector<PoiResult> SearchOn(QueryProcessor& processor,
                                   std::string_view query, VertexId from,
                                   std::uint32_t k,
-                                  const QueryControl* control = nullptr) const;
+                                  const QueryControl* control = nullptr,
+                                  QueryStats* stats = nullptr) const;
   std::vector<PoiResult> SearchRankedOn(
       QueryProcessor& processor, std::string_view query, VertexId from,
-      std::uint32_t k, const QueryControl* control = nullptr) const;
+      std::uint32_t k, const QueryControl* control = nullptr,
+      QueryStats* stats = nullptr) const;
 
   /// One query of a batch (Search / SearchRanked semantics per element).
   struct BatchQuery {

@@ -1,0 +1,283 @@
+// Unit tests for the observability layer: LatencyHistogram bucketing and
+// edge cases, HistogramSnapshot-derived statistics, engine counter
+// aggregation (AddQueryStats), the STATS/METRICS snapshot keys, and the
+// Prometheus text rendering (docs/observability.md).
+#include "server/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/trace.h"
+
+namespace kspin::server {
+namespace {
+
+std::uint64_t BucketTotal(const HistogramSnapshot& snap) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snap.buckets) total += b;
+  return total;
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MeanMicros(), 0u);  // No division by a zero count.
+  EXPECT_EQ(h.PercentileMicros(0.5), 0u);
+  EXPECT_EQ(h.PercentileMicros(1.0), 0u);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_micros, 0u);
+  EXPECT_EQ(BucketTotal(snap), 0u);
+}
+
+TEST(LatencyHistogramTest, ZeroMicrosLandsInFirstBucket) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);  // [1, 2) is also bucket 0.
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum_micros, 1u);
+  EXPECT_EQ(h.MeanMicros(), 0u);  // 1 / 2 truncates.
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesAreLog2) {
+  LatencyHistogram h;
+  h.Record(2);     // [2, 4)  -> bucket 1.
+  h.Record(3);     // [2, 4)  -> bucket 1.
+  h.Record(4);     // [4, 8)  -> bucket 2.
+  h.Record(1023);  // [512, 1024) -> bucket 9.
+  h.Record(1024);  // [1024, 2048) -> bucket 10.
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[9], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);
+  EXPECT_EQ(BucketTotal(snap), snap.count);
+}
+
+TEST(LatencyHistogramTest, HugeValuesSaturateIntoLastBucket) {
+  LatencyHistogram h;
+  h.Record(~std::uint64_t{0});  // Way past 2^40 us.
+  h.Record(std::uint64_t{1} << 60);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.buckets[HistogramSnapshot::kBuckets - 1], 2u);
+  EXPECT_EQ(snap.count, 2u);
+  // The percentile can only report the last bucket's (finite) upper bound.
+  EXPECT_EQ(h.PercentileMicros(1.0),
+            HistogramSnapshot::BucketUpperMicros(
+                HistogramSnapshot::kBuckets - 1));
+}
+
+TEST(LatencyHistogramTest, PercentileIsBucketUpperBound) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(100);   // [64, 128) -> bucket 6.
+  for (int i = 0; i < 10; ++i) h.Record(5000);  // [4096, 8192) -> bucket 12.
+  EXPECT_EQ(h.PercentileMicros(0.5), 128u);
+  EXPECT_EQ(h.PercentileMicros(0.9), 128u);
+  EXPECT_EQ(h.PercentileMicros(0.99), 8192u);
+  EXPECT_EQ(h.PercentileMicros(1.0), 8192u);
+  EXPECT_EQ(h.MeanMicros(), (90u * 100 + 10u * 5000) / 100);
+}
+
+TEST(LatencyHistogramTest, SnapshotIsInternallyConsistentUnderWriters) {
+  // Writers hammer the histogram while a reader snapshots it. Relaxed
+  // loads mean a snapshot may be mid-update, but bucket totals must never
+  // exceed the count *recorded afterwards* — and with writers stopped,
+  // everything must line up exactly.
+  LatencyHistogram h;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < 20000; ++i) {
+        h.Record(static_cast<std::uint64_t>(t * 1000 + i % 997));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    EXPECT_LE(snap.count, 80000u);
+  }
+  for (auto& w : writers) w.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 80000u);
+  EXPECT_EQ(BucketTotal(snap), 80000u);
+  EXPECT_GT(snap.sum_micros, 0u);
+}
+
+TEST(QueryStatsTest, PlusEqualsSumsEveryField) {
+  QueryStats a;
+  a.network_distance_computations = 1;
+  a.candidates_extracted = 2;
+  a.lower_bounds_computed = 3;
+  a.heaps_created = 4;
+  a.heap_insertions = 5;
+  a.false_positive_distances = 6;
+  a.candidates_pruned_lb = 7;
+  a.results_returned = 8;
+  a.heap_build_ns = 9;
+  a.search_ns = 10;
+  QueryStats b = a;
+  b += a;
+  EXPECT_EQ(b.network_distance_computations, 2u);
+  EXPECT_EQ(b.candidates_extracted, 4u);
+  EXPECT_EQ(b.lower_bounds_computed, 6u);
+  EXPECT_EQ(b.heaps_created, 8u);
+  EXPECT_EQ(b.heap_insertions, 10u);
+  EXPECT_EQ(b.false_positive_distances, 12u);
+  EXPECT_EQ(b.candidates_pruned_lb, 14u);
+  EXPECT_EQ(b.results_returned, 16u);
+  EXPECT_EQ(b.heap_build_ns, 18u);
+  EXPECT_EQ(b.search_ns, 20u);
+}
+
+TEST(ServerMetricsTest, AddQueryStatsFoldsIntoEngineCounters) {
+  ServerMetrics metrics;
+  QueryStats stats;
+  stats.network_distance_computations = 10;
+  stats.candidates_extracted = 20;
+  stats.lower_bounds_computed = 30;
+  stats.false_positive_distances = 4;
+  stats.results_returned = 6;
+  stats.heaps_created = 2;
+  stats.heap_insertions = 50;
+  stats.candidates_pruned_lb = 3;
+  stats.heap_build_ns = 1000;
+  stats.search_ns = 2000;
+  metrics.AddQueryStats(stats);
+  metrics.AddQueryStats(stats);
+  EXPECT_EQ(metrics.engine_distance_computations.load(), 20u);
+  EXPECT_EQ(metrics.engine_heap_pops.load(), 40u);
+  EXPECT_EQ(metrics.engine_lower_bounds.load(), 60u);
+  EXPECT_EQ(metrics.engine_false_positive_distances.load(), 8u);
+  EXPECT_EQ(metrics.engine_results_returned.load(), 12u);
+  EXPECT_EQ(metrics.engine_heaps_created.load(), 4u);
+  EXPECT_EQ(metrics.engine_heap_insertions.load(), 100u);
+  EXPECT_EQ(metrics.engine_candidates_pruned_lb.load(), 6u);
+  EXPECT_EQ(metrics.engine_heap_build_ns.load(), 2000u);
+  EXPECT_EQ(metrics.engine_search_ns.load(), 4000u);
+}
+
+TEST(ServerMetricsTest, SnapshotCarriesEngineAndLatencyKeys) {
+  ServerMetrics metrics;
+  metrics.requests_ok.store(5);
+  QueryStats stats;
+  stats.network_distance_computations = 7;
+  stats.false_positive_distances = 2;
+  metrics.AddQueryStats(stats);
+  metrics.query_latency.Record(300);
+
+  const auto pairs = metrics.Snapshot(3);
+  const auto value = [&pairs](const std::string& key) -> std::uint64_t {
+    for (const auto& [k, v] : pairs) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing key " << key;
+    return 0;
+  };
+  EXPECT_EQ(value("requests_ok"), 5u);
+  EXPECT_EQ(value("queue_depth"), 3u);
+  EXPECT_EQ(value("engine_distance_computations"), 7u);
+  EXPECT_EQ(value("engine_false_positive_distances"), 2u);
+  EXPECT_EQ(value("query_latency_count"), 1u);
+  EXPECT_EQ(value("query_latency_mean_us"), 300u);
+  EXPECT_EQ(value("query_latency_p99_us"), 512u);  // [256, 512) upper bound.
+  EXPECT_EQ(value("update_latency_count"), 0u);
+  EXPECT_EQ(value("replication_lag_ms"), 0u);  // Never succeeded: no lag.
+  EXPECT_EQ(value("slow_queries"), 0u);
+  EXPECT_EQ(value("opcode_metrics"), 0u);
+}
+
+TEST(ServerMetricsTest, FullSnapshotHistogramsMatchCounterView) {
+  ServerMetrics metrics;
+  metrics.query_latency.Record(10);
+  metrics.query_latency.Record(20);
+  metrics.update_latency.Record(1);
+  const MetricsSnapshot snap = metrics.FullSnapshot(0);
+  EXPECT_EQ(snap.query_latency.count, 2u);
+  EXPECT_EQ(snap.query_latency.sum_micros, 30u);
+  EXPECT_EQ(snap.update_latency.count, 1u);
+  EXPECT_EQ(BucketTotal(snap.query_latency), 2u);
+}
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndHistograms) {
+  ServerMetrics metrics;
+  metrics.requests_ok.store(17);
+  metrics.RecordQueueDepth(9);
+  QueryStats stats;
+  stats.network_distance_computations = 11;
+  metrics.AddQueryStats(stats);
+  metrics.query_latency.Record(100);  // Bucket [64, 128).
+  metrics.query_latency.Record(100);
+  metrics.query_latency.Record(5000);  // Bucket [4096, 8192).
+
+  const std::string text = RenderPrometheusText(metrics.FullSnapshot(4));
+  // Counters with TYPE lines.
+  EXPECT_NE(text.find("# TYPE kspin_requests_ok counter\n"
+                      "kspin_requests_ok 17\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_engine_distance_computations 11\n"),
+            std::string::npos);
+  // Gauges: live depth from the sampled argument, peak from the counter.
+  EXPECT_NE(text.find("# TYPE kspin_queue_depth gauge\n"
+                      "kspin_queue_depth 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_queue_depth_peak 9\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kspin_replication_lag_ms gauge\n"),
+            std::string::npos);
+  // Histogram: cumulative le buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("# TYPE kspin_query_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_query_latency_us_bucket{le=\"128\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_query_latency_us_bucket{le=\"8192\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_query_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_query_latency_us_sum 5200\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_query_latency_us_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kspin_update_latency_us_count 0\n"),
+            std::string::npos);
+}
+
+TEST(TraceTest, FingerprintIsStableAndQuerySensitive) {
+  const std::uint64_t a = QueryFingerprint("coffee or tea", 10, 5);
+  EXPECT_EQ(a, QueryFingerprint("coffee or tea", 10, 5));
+  EXPECT_NE(a, QueryFingerprint("coffee or tea", 11, 5));
+  EXPECT_NE(a, QueryFingerprint("coffee or tea", 10, 6));
+  EXPECT_NE(a, QueryFingerprint("coffee and tea", 10, 5));
+}
+
+TEST(TraceTest, FormatQueryTraceEscapesAndCarriesCounters) {
+  QueryTraceEvent event;
+  event.fingerprint = 0xABCDEF;
+  event.opcode = "SEARCH_BOOLEAN";
+  event.query = "say \"hi\"\n\tback\\slash";
+  event.vertex = 42;
+  event.k = 3;
+  event.status = "OK";
+  event.latency_us = 1234;
+  event.stats.network_distance_computations = 9;
+  event.stats.false_positive_distances = 4;
+  const std::string line = FormatQueryTrace(event);
+  EXPECT_NE(line.find("\"fingerprint\":\"0000000000abcdef\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"query\":\"say \\\"hi\\\"\\n\\tback\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"latency_us\":1234"), std::string::npos);
+  EXPECT_NE(line.find("\"distance_computations\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"false_positive_distances\":4"), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  // A JSON line must never contain a raw newline.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kspin::server

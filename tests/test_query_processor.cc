@@ -385,6 +385,124 @@ TEST(QueryProcessor, TopKStreamExhaustsToAllRelevantObjects) {
   EXPECT_FALSE(stream.Next().has_value());  // Stays exhausted.
 }
 
+// A hand-built 10-vertex path network with a known object layout, so every
+// QueryStats invariant can be checked against exact expectations:
+//
+//   0 -1- 1 -1- 2 -1- ... -1- 9      (all edge weights 1)
+//
+// keyword 0 on the objects at odd vertices {1,3,5,7,9}; keyword 1 on the
+// objects at {3,6,9}. Union = {1,3,5,6,7,9}, intersection = {3,9}.
+class StatsNetwork {
+ public:
+  StatsNetwork() {
+    GraphBuilder builder(10);
+    std::vector<Coordinate> coords;
+    for (VertexId v = 0; v < 10; ++v) {
+      if (v > 0) builder.AddEdge(v - 1, v, 1);
+      coords.push_back({static_cast<std::int32_t>(v) * 10, 0});
+    }
+    builder.SetCoordinates(std::move(coords));
+    graph_ = builder.Build();
+    for (VertexId v : {1, 3, 5, 7, 9}) {
+      store_.AddObject(v, {{0, 1}});
+    }
+    for (VertexId v : {3, 6, 9}) {
+      if (v == 3 || v == 9) {
+        store_.AddKeyword(v == 3 ? 1u : 4u, 1);  // Objects 1 and 4.
+      } else {
+        store_.AddObject(v, {{1, 1}});
+      }
+    }
+    oracle_ = std::make_unique<DijkstraOracle>(graph_);
+    KSpinOptions options;
+    options.rho = 2;  // Both keywords are above the rho cutoff.
+    options.num_threads = 1;
+    engine_ = std::make_unique<KSpin>(graph_, store_, *oracle_, options);
+  }
+
+  KSpin& engine() { return *engine_; }
+
+ private:
+  Graph graph_;
+  DocumentStore store_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+  std::unique_ptr<KSpin> engine_;
+};
+
+TEST(QueryStatsInvariants, DisjunctiveCountsOnHandBuiltNetwork) {
+  StatsNetwork net;
+  QueryStats stats;
+  const std::vector<KeywordId> keywords = {0, 1};
+  const auto results = net.engine().BooleanKnn(
+      0, 3, keywords, BooleanOp::kDisjunctive, &stats);
+  // Nearest three of the union {1,3,5,6,7,9} from vertex 0.
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].distance, 1u);
+  EXPECT_EQ(results[1].distance, 3u);
+  EXPECT_EQ(results[2].distance, 5u);
+  // Counter invariants.
+  EXPECT_EQ(stats.results_returned, results.size());
+  EXPECT_EQ(stats.heaps_created, 2u);  // One inverted heap per keyword.
+  EXPECT_GE(stats.candidates_extracted, results.size());
+  EXPECT_GE(stats.network_distance_computations, results.size());
+  // Every result paid one exact distance; the rest were false positives.
+  EXPECT_EQ(stats.false_positive_distances,
+            stats.network_distance_computations - results.size());
+  EXPECT_LE(stats.false_positive_distances,
+            stats.network_distance_computations);
+  EXPECT_GT(stats.search_ns, 0u);
+}
+
+TEST(QueryStatsInvariants, ConjunctiveCountsOnHandBuiltNetwork) {
+  StatsNetwork net;
+  QueryStats stats;
+  const std::vector<KeywordId> keywords = {0, 1};
+  const auto results = net.engine().BooleanKnn(
+      0, 3, keywords, BooleanOp::kConjunctive, &stats);
+  // Intersection is {3, 9}: fewer results than k.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].distance, 3u);
+  EXPECT_EQ(results[1].distance, 9u);
+  EXPECT_EQ(stats.results_returned, 2u);
+  EXPECT_EQ(stats.false_positive_distances,
+            stats.network_distance_computations - results.size());
+  EXPECT_GE(stats.network_distance_computations, results.size());
+}
+
+TEST(QueryStatsInvariants, ConjunctiveNeverBeatsDisjunctiveOnResults) {
+  StatsNetwork net;
+  QueryStats dis_stats;
+  QueryStats con_stats;
+  const std::vector<KeywordId> keywords = {0, 1};
+  const auto dis = net.engine().BooleanKnn(0, 10, keywords,
+                                           BooleanOp::kDisjunctive,
+                                           &dis_stats);
+  const auto con = net.engine().BooleanKnn(0, 10, keywords,
+                                           BooleanOp::kConjunctive,
+                                           &con_stats);
+  EXPECT_EQ(dis.size(), 6u);  // |union|.
+  EXPECT_EQ(con.size(), 2u);  // |intersection|.
+  EXPECT_LE(con_stats.results_returned, dis_stats.results_returned);
+  // Exhausting the union with k past the population touches everything:
+  // distance computations equal the live matching objects, so no false
+  // positives remain.
+  EXPECT_EQ(dis_stats.false_positive_distances, 0u);
+}
+
+TEST(QueryStatsInvariants, StatsAccumulateAcrossQueries) {
+  StatsNetwork net;
+  QueryStats stats;  // Deliberately reused: += semantics.
+  const std::vector<KeywordId> keywords = {0};
+  (void)net.engine().BooleanKnn(0, 2, keywords, BooleanOp::kDisjunctive,
+                                &stats);
+  const std::uint64_t after_first = stats.network_distance_computations;
+  EXPECT_GT(after_first, 0u);
+  (void)net.engine().BooleanKnn(0, 2, keywords, BooleanOp::kDisjunctive,
+                                &stats);
+  EXPECT_EQ(stats.network_distance_computations, 2 * after_first);
+  EXPECT_EQ(stats.heaps_created, 2u);
+}
+
 TEST(QueryProcessor, StatsArePopulated) {
   Fixture fixture(8);
   KSpin engine = fixture.MakeEngine(OracleKind::kCh);

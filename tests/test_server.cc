@@ -17,7 +17,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 
 #include "routing/contraction_hierarchy.h"
@@ -700,6 +702,174 @@ TEST_F(ServerTest, AcceptErrorMetricStartsAtZero) {
   const auto stats = client.Stats();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.Value("accept_errors"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Observability: engine counters, v2 STATS histograms, METRICS text,
+// v1 compatibility, and tracing (docs/observability.md).
+
+TEST_F(ServerTest, StatsCarryEngineCountersAndHistograms) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Search("kw0 or kw1", 10, 5).ok());
+  ASSERT_TRUE(client.Search("kw2", 20, 3, /*ranked=*/true).ok());
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  // Engine counters moved: the searches above popped candidates and paid
+  // exact distances.
+  EXPECT_GT(stats.Value("engine_heap_pops"), 0u);
+  EXPECT_GT(stats.Value("engine_distance_computations"), 0u);
+  EXPECT_GT(stats.Value("engine_results_returned"), 0u);
+  // fp = distance computations minus results, so ndc >= both.
+  EXPECT_GE(stats.Value("engine_distance_computations"),
+            stats.Value("engine_false_positive_distances"));
+  EXPECT_GE(stats.Value("engine_distance_computations"),
+            stats.Value("engine_results_returned"));
+
+  // Protocol v2: raw histogram buckets ride along with the pairs.
+  ASSERT_EQ(stats.histograms.size(), 2u);
+  EXPECT_EQ(stats.histograms[0].name, "query_latency_us");
+  EXPECT_EQ(stats.histograms[0].count, 2u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : stats.histograms[0].buckets) total += b;
+  EXPECT_EQ(total, stats.histograms[0].count);
+  EXPECT_EQ(stats.histograms[1].name, "update_latency_us");
+  EXPECT_EQ(stats.histograms[1].count, 0u);
+  // The flat summary keys derive from the same snapshot.
+  EXPECT_EQ(stats.Value("query_latency_count"), 2u);
+}
+
+TEST_F(ServerTest, MetricsReturnsPrometheusTextThatMovesWithTraffic) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Search("kw0 or kw1", 10, 5).ok());
+
+  const auto first = client.Metrics();
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_NE(first.text.find("# TYPE kspin_requests_ok counter\n"),
+            std::string::npos);
+  EXPECT_NE(first.text.find("kspin_engine_distance_computations "),
+            std::string::npos);
+  EXPECT_NE(first.text.find("# TYPE kspin_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(first.text.find("# TYPE kspin_replication_lag_ms gauge\n"),
+            std::string::npos);
+  EXPECT_NE(first.text.find("# TYPE kspin_query_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(first.text.find("kspin_query_latency_us_bucket{le=\"+Inf\"} "),
+            std::string::npos);
+  EXPECT_NE(first.text.find("kspin_query_latency_us_count 1\n"),
+            std::string::npos);
+
+  // A counter parsed out of one scrape must be monotone across scrapes.
+  const auto parse = [](const std::string& text, const std::string& name) {
+    const std::size_t pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << name;
+    return pos == std::string::npos
+               ? std::uint64_t{0}
+               : std::strtoull(text.c_str() + pos + name.size() + 2,
+                               nullptr, 10);
+  };
+  const std::uint64_t before =
+      parse(first.text, "kspin_engine_distance_computations");
+  EXPECT_GT(before, 0u);
+  ASSERT_TRUE(client.Search("kw0 or kw1", 10, 5).ok());
+  const auto second = client.Metrics();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(parse(second.text, "kspin_engine_distance_computations"),
+            before);
+}
+
+TEST_F(ServerTest, V1StatsRequestGetsPairsOnlyBody) {
+  StartServer();
+  Client warm = Connect();
+  ASSERT_TRUE(warm.Search("kw0", 10, 3).ok());  // Counters move first.
+
+  // A protocol-1 client asks for STATS: the response must echo version 1
+  // and carry a body its strict (pairs-only) decoder fully consumes.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->Port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  FrameHeader request;
+  request.opcode = Opcode::kStats;
+  request.request_id = 777;
+  auto frame = EncodeFrame(request, {});
+  frame[4] = 1;  // Downgrade to protocol version 1.
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  FrameHeader header;
+  std::size_t frame_size = 0;
+  while (TryDecodeFrame(bytes, &header, &frame_size) ==
+         DecodeResult::kNeedMore) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    ASSERT_GT(n, 0);
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  ASSERT_EQ(TryDecodeFrame(bytes, &header, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(header.opcode, Opcode::kStats);
+  EXPECT_EQ(header.request_id, 777u);
+  EXPECT_EQ(header.version, 1);  // Echoed, not upgraded.
+
+  PayloadReader reader(std::span<const std::uint8_t>(
+      bytes.data() + kHeaderSize, header.payload_size));
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  ASSERT_TRUE(DecodeStatsResponse(reader, &pairs));
+  EXPECT_TRUE(reader.Finished());  // Pairs only: no v2 histogram section.
+  EXPECT_FALSE(pairs.empty());
+}
+
+TEST_F(ServerTest, TraceFileRecordsExecutedSearches) {
+  ServerOptions options;
+  options.trace_path = ScratchDir("trace") + "/trace.jsonl";
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Search("kw0 or kw1", 10, 5).ok());
+  ASSERT_TRUE(client.Search("kw2", 20, 3, /*ranked=*/true).ok());
+  ASSERT_TRUE(client.Ping().ok());  // Non-queries must not be traced.
+
+  EXPECT_TRUE(WaitFor([&] {
+    return server_->Metrics().traces_emitted.load() >= 2;
+  }));
+  EXPECT_EQ(server_->Metrics().traces_emitted.load(), 2u);
+
+  std::ifstream in(options.trace_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"opcode\":\"search_boolean\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"query\":\"kw0 or kw1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"distance_computations\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"opcode\":\"search_ranked\""),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, SlowQueryThresholdCountsSlowSearches) {
+  ServerOptions options;
+  options.slow_query_threshold_ms = 1;
+  options.test_dequeue_delay_ms = 10;  // Every search waits >= 10 ms.
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Search("kw0", 10, 3).ok());
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.Value("slow_queries"), 1u);
+  // No trace file configured: slow queries log to stderr only.
+  EXPECT_EQ(stats.Value("traces_emitted"), 0u);
 }
 
 }  // namespace

@@ -120,6 +120,30 @@ TEST(WireFrameTest, BadVersionStillYieldsRequestId) {
   EXPECT_EQ(decoded.version, kProtocolVersion + 1);
 }
 
+TEST(WireFrameTest, WholeSupportedVersionRangeAccepted) {
+  // v1 clients must keep working against a v2 server (docs/protocol.md:
+  // responses echo the request's version, so old decoders never see new
+  // trailing fields). Version 0 is below the floor.
+  for (std::uint8_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    FrameHeader header;
+    auto frame = EncodeFrame(header, {});
+    frame[4] = v;
+    FrameHeader decoded;
+    std::size_t frame_size = 0;
+    EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+              DecodeResult::kFrame)
+        << "version " << int(v);
+    EXPECT_EQ(decoded.version, v);
+  }
+  FrameHeader header;
+  auto frame = EncodeFrame(header, {});
+  frame[4] = 0;
+  FrameHeader decoded;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kBadVersion);
+}
+
 TEST(WireFrameTest, OversizedPayloadRejected) {
   FrameHeader header;
   auto frame = EncodeFrame(header, {});
@@ -276,6 +300,78 @@ TEST(BodyCodecTest, StatsResponseRoundTrip) {
   std::vector<std::pair<std::string, std::uint64_t>> decoded;
   ASSERT_TRUE(DecodeStatsResponse(reader, &decoded));
   EXPECT_EQ(decoded, stats);
+}
+
+TEST(BodyCodecTest, StatsResponseV2CarriesHistograms) {
+  const std::vector<std::pair<std::string, std::uint64_t>> stats = {
+      {"requests_ok", 12}, {"queue_depth", 0}};
+  std::vector<WireHistogram> histograms(2);
+  histograms[0].name = "query_latency_us";
+  histograms[0].count = 100;
+  histograms[0].sum_micros = 51200;
+  histograms[0].buckets = {0, 3, 90, 7};
+  histograms[1].name = "update_latency_us";  // Empty: no buckets recorded.
+
+  const auto bytes = EncodeStatsResponse(stats, histograms);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<std::pair<std::string, std::uint64_t>> decoded;
+  std::vector<WireHistogram> decoded_histograms;
+  ASSERT_TRUE(DecodeStatsResponse(reader, &decoded, &decoded_histograms));
+  EXPECT_EQ(decoded, stats);
+  ASSERT_EQ(decoded_histograms.size(), 2u);
+  EXPECT_EQ(decoded_histograms[0].name, "query_latency_us");
+  EXPECT_EQ(decoded_histograms[0].count, 100u);
+  EXPECT_EQ(decoded_histograms[0].sum_micros, 51200u);
+  EXPECT_EQ(decoded_histograms[0].buckets,
+            (std::vector<std::uint64_t>{0, 3, 90, 7}));
+  EXPECT_EQ(decoded_histograms[1].name, "update_latency_us");
+  EXPECT_TRUE(decoded_histograms[1].buckets.empty());
+}
+
+TEST(BodyCodecTest, StatsResponseV1BodyDecodesWithoutHistograms) {
+  // A v1 server's body ends after the pairs; a histogram-aware decoder
+  // must accept it and simply report no histograms.
+  const std::vector<std::pair<std::string, std::uint64_t>> stats = {
+      {"requests_ok", 3}};
+  const auto bytes = EncodeStatsResponse(stats);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<std::pair<std::string, std::uint64_t>> decoded;
+  std::vector<WireHistogram> histograms;
+  ASSERT_TRUE(DecodeStatsResponse(reader, &decoded, &histograms));
+  EXPECT_EQ(decoded, stats);
+  EXPECT_TRUE(histograms.empty());
+}
+
+TEST(BodyCodecTest, StatsResponseV2BodySkipsHistogramsWhenUnwanted) {
+  // The histogram-oblivious decode (histograms == nullptr) still has to
+  // walk the v2 histogram section — discarding it — so a caller that only
+  // wants the pairs keeps working against newer servers.
+  std::vector<WireHistogram> histograms(1);
+  histograms[0].name = "query_latency_us";
+  histograms[0].count = 3;
+  histograms[0].buckets = {1, 2};
+  const std::vector<std::pair<std::string, std::uint64_t>> pairs = {
+      {"requests_ok", 1}};
+  const auto bytes = EncodeStatsResponse(pairs, histograms);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<std::pair<std::string, std::uint64_t>> decoded;
+  ASSERT_TRUE(DecodeStatsResponse(reader, &decoded));
+  EXPECT_EQ(decoded, pairs);
+  EXPECT_TRUE(reader.Finished());
+}
+
+TEST(BodyCodecTest, MetricsResponseRoundTrip) {
+  const std::string text =
+      "# TYPE kspin_requests_ok counter\nkspin_requests_ok 42\n";
+  const auto bytes = EncodeMetricsResponse(text);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::string decoded;
+  ASSERT_TRUE(DecodeMetricsResponse(reader, &decoded));
+  EXPECT_EQ(decoded, text);
 }
 
 TEST(BodyCodecTest, StatusNamesAreStable) {
@@ -441,6 +537,17 @@ TEST(WireFuzzTest, BodyDecodersNeverCrashOnRandomPayloads) {
       PayloadReader reader(payload);
       std::vector<std::pair<std::string, std::uint64_t>> stats;
       DecodeStatsResponse(reader, &stats);
+    }
+    {
+      PayloadReader reader(payload);
+      std::vector<std::pair<std::string, std::uint64_t>> stats;
+      std::vector<WireHistogram> histograms;
+      DecodeStatsResponse(reader, &stats, &histograms);
+    }
+    {
+      PayloadReader reader(payload);
+      std::string text;
+      DecodeMetricsResponse(reader, &text);
     }
     {
       PayloadReader reader(payload);

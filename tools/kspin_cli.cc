@@ -26,6 +26,12 @@
 //       (FETCH_SNAPSHOT, chunked + CRC-checked), validates it end-to-end,
 //       and writes it crash-safely into the snapshots directory — offline
 //       replica seeding / backup.
+//   kspin_cli metrics --endpoints=H:P[,H:P...] [--watch] [--interval-ms=T]
+//       Scrapes the Prometheus text exposition (METRICS opcode,
+//       docs/observability.md) from the first reachable server. --watch
+//       re-scrapes every --interval-ms (default 2000) until interrupted,
+//       so counter movement is visible live.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -34,6 +40,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -66,6 +73,8 @@ struct Args {
   std::uint32_t k = 10;
   std::vector<KeywordId> keywords;
   bool ranked = false;
+  bool watch = false;               // For `metrics`: keep scraping.
+  std::uint32_t interval_ms = 2000; // Delay between --watch scrapes.
 };
 
 Args Parse(int argc, char** argv) {
@@ -88,6 +97,8 @@ Args Parse(int argc, char** argv) {
     if (auto v = value("vertex")) args.vertex = std::stoul(*v);
     if (auto v = value("k")) args.k = std::stoul(*v);
     if (arg == "--ranked") args.ranked = true;
+    if (arg == "--watch") args.watch = true;
+    if (auto v = value("interval-ms")) args.interval_ms = std::stoul(*v);
     if (auto v = value("keywords")) {
       std::stringstream in(*v);
       std::string token;
@@ -385,27 +396,34 @@ int Restore(const Args& args) {
   return 0;
 }
 
+/// "H1:P1,H2:P2" -> endpoints; empty (with stderr diagnostics) on a parse
+/// error or an empty list.
+std::vector<server::Endpoint> ParseEndpointList(const char* command,
+                                                const std::string& list) {
+  if (list.empty()) {
+    std::fprintf(stderr, "%s: --endpoints=H:P[,H:P...] required\n", command);
+    return {};
+  }
+  std::vector<server::Endpoint> endpoints;
+  std::stringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const auto endpoint = server::ParseEndpoint(token);
+    if (!endpoint) {
+      std::fprintf(stderr, "%s: bad endpoint (want HOST:PORT): %s\n",
+                   command, token.c_str());
+      return {};
+    }
+    endpoints.push_back(*endpoint);
+  }
+  return endpoints;
+}
+
 // Pulls the newest valid snapshot from the first reachable endpoint into
 // the snapshots directory (the offline flavour of replica bootstrap).
 int Fetch(const Args& args) {
-  if (args.endpoints.empty()) {
-    std::fprintf(stderr, "fetch: --endpoints=H:P[,H:P...] required\n");
-    return 1;
-  }
-  std::vector<server::Endpoint> endpoints;
-  {
-    std::stringstream in(args.endpoints);
-    std::string token;
-    while (std::getline(in, token, ',')) {
-      const auto endpoint = server::ParseEndpoint(token);
-      if (!endpoint) {
-        std::fprintf(stderr, "fetch: bad endpoint (want HOST:PORT): %s\n",
-                     token.c_str());
-        return 1;
-      }
-      endpoints.push_back(*endpoint);
-    }
-  }
+  const auto endpoints = ParseEndpointList("fetch", args.endpoints);
+  if (endpoints.empty()) return 1;
 
   for (const server::Endpoint& endpoint : endpoints) {
     std::uint64_t sequence = 0;
@@ -444,6 +462,44 @@ int Fetch(const Args& args) {
   return 1;
 }
 
+// Scrapes the Prometheus text exposition from the first reachable
+// endpoint; with --watch, keeps scraping until interrupted.
+int Metrics(const Args& args) {
+  const auto endpoints = ParseEndpointList("metrics", args.endpoints);
+  if (endpoints.empty()) return 1;
+  while (true) {
+    bool scraped = false;
+    for (const server::Endpoint& endpoint : endpoints) {
+      try {
+        server::Client client;
+        client.Connect(endpoint.host, endpoint.port);
+        const auto reply = client.Metrics();
+        if (!reply.ok()) {
+          std::fprintf(stderr, "metrics: %s rejected: %s\n",
+                       endpoint.ToString().c_str(), reply.error.c_str());
+          continue;
+        }
+        if (args.watch) {
+          std::printf("# scrape of %s\n", endpoint.ToString().c_str());
+        }
+        std::fputs(reply.text.c_str(), stdout);
+        std::fflush(stdout);
+        scraped = true;
+        break;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "metrics: %s failed: %s\n",
+                     endpoint.ToString().c_str(), e.what());
+      }
+    }
+    if (!args.watch) return scraped ? 0 : 1;
+    // Watch mode keeps going through scrape failures (the server may be
+    // restarting); each round is separated by a blank line.
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+  }
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   try {
@@ -454,13 +510,15 @@ int Main(int argc, char** argv) {
     if (args.command == "snapshot") return Snapshot(args);
     if (args.command == "restore") return Restore(args);
     if (args.command == "fetch") return Fetch(args);
+    if (args.command == "metrics") return Metrics(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(
       stderr,
-      "usage: kspin_cli <generate|build|stats|query|snapshot|restore|fetch> "
+      "usage: kspin_cli "
+      "<generate|build|stats|query|snapshot|restore|fetch|metrics> "
       "[--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
@@ -468,7 +526,9 @@ int Main(int argc, char** argv) {
       "  snapshot [--snapshots=DIR]   write a crash-safe snapshot\n"
       "  restore  [--snapshots=DIR] [--vertex=V --k=K --keywords=1,2]\n"
       "  fetch    --endpoints=H:P[,...] [--snapshots=DIR]   pull newest\n"
-      "           snapshot from a running server\n");
+      "           snapshot from a running server\n"
+      "  metrics  --endpoints=H:P[,...] [--watch] [--interval-ms=T]\n"
+      "           scrape Prometheus text from a running server\n");
   return args.command.empty() ? 1 : 0;
 }
 

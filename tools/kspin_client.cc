@@ -6,6 +6,7 @@
 // Commands:
 //   ping
 //   stats
+//   metrics                             Prometheus 0.0.4 text exposition
 //   health                              role, snapshot sequence, uptime
 //   search   <vertex> <k> <query...>    boolean kNN
 //   ranked   <vertex> <k> <query...>    ranked top-k
@@ -52,7 +53,8 @@ void Usage() {
       "usage: kspin_client [--host=H] --port=P [--endpoints=H:P,...] "
       "[--deadline-ms=D] [--retries=N] [--retry-backoff-ms=B] "
       "[--retry-budget-ms=T] <command> [args...]\n"
-      "commands: ping | stats | health | search <vertex> <k> <query...> |\n"
+      "commands: ping | stats | metrics | health | "
+      "search <vertex> <k> <query...> |\n"
       "          ranked <vertex> <k> <query...> | add <vertex> <name> "
       "<kw...> |\n"
       "          close <id> | tag <id> <kw> | untag <id> <kw> |\n"
@@ -198,6 +200,12 @@ int Main(int argc, char** argv) {
         std::printf("%s\t%llu\n", key.c_str(),
                     static_cast<unsigned long long>(value));
       }
+      return 0;
+    }
+    if (command == "metrics") {
+      const auto reply = client.Metrics();
+      if (const int rc = ReportStatus(reply)) return rc;
+      std::fputs(reply.text.c_str(), stdout);
       return 0;
     }
     if (command == "health") {

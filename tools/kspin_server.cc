@@ -8,6 +8,13 @@
 //                [--snapshot-keep=N]
 //                [--role=primary|replica] [--primary=HOST:PORT]
 //                [--replica-poll-ms=T]
+//                [--trace=FILE] [--slow-query-ms=T]
+//
+// Observability (docs/observability.md): --trace=FILE appends one JSON
+// line per executed search (query fingerprint, stage timings, engine
+// counter deltas); --slow-query-ms=T logs searches slower than T ms to
+// stderr with the same trace line. The METRICS opcode (kspin_client
+// metrics) exposes Prometheus text either way.
 //
 // Builds a synthetic road network + POI catalogue (names "poi<N>",
 // keywords "kw<K>"), constructs the distance oracle, binds 127.0.0.1:P
@@ -71,6 +78,8 @@ struct Args {
   std::string role = "primary";
   std::string primary;
   std::uint32_t replica_poll_ms = 1000;
+  std::string trace_path;
+  std::uint32_t slow_query_ms = 0;
   bool bad = false;
 };
 
@@ -117,6 +126,10 @@ Args Parse(int argc, char** argv) {
       args.primary = *v;
     } else if (auto v = value("replica-poll-ms")) {
       args.replica_poll_ms = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("trace")) {
+      args.trace_path = *v;
+    } else if (auto v = value("slow-query-ms")) {
+      args.slow_query_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else {
       args.bad = true;
     }
@@ -190,7 +203,8 @@ int Main(int argc, char** argv) {
                  "[--seed=S] [--module=ch|dijkstra] [--snapshot-dir=DIR] "
                  "[--snapshot-period-ms=T] [--snapshot-keep=N] "
                  "[--role=primary|replica] [--primary=HOST:PORT] "
-                 "[--replica-poll-ms=T]\n");
+                 "[--replica-poll-ms=T] [--trace=FILE] "
+                 "[--slow-query-ms=T]\n");
     return 1;
   }
 
@@ -272,6 +286,8 @@ int Main(int argc, char** argv) {
   options.snapshot.period_ms = args.snapshot_period_ms;
   options.snapshot.keep = args.snapshot_keep;
   options.snapshot.ch = ch.get();
+  options.trace_path = args.trace_path;
+  options.slow_query_threshold_ms = args.slow_query_ms;
   if (is_replica) {
     options.replication.role = server::ServerRole::kReplica;
     options.replication.primary = *primary;

@@ -230,6 +230,29 @@ FAILOVER_READ="$("$CLIENT" --endpoints=127.0.0.1:"$PRIMARY_PORT",127.0.0.1:"$REP
 "$CLIENT" --endpoints=127.0.0.1:"$PRIMARY_PORT",127.0.0.1:"$REPLICA_PORT" ping
 echo "smoke: failover client keeps answering after primary death"
 
+# ---- observability ---------------------------------------------------
+# Scrape Prometheus text from the surviving replica: the key series must
+# be present, and engine counters must be monotone across scrapes that
+# bracket more query traffic.
+SCRAPE1="$("$CLIENT" --port="$REPLICA_PORT" metrics)"
+for series in \
+  "# TYPE kspin_requests_ok counter" \
+  "kspin_engine_distance_computations" \
+  "kspin_engine_false_positive_distances" \
+  "kspin_query_latency_us_bucket{le=\"+Inf\"}" \
+  "kspin_query_latency_us_count" \
+  "# TYPE kspin_queue_depth gauge" \
+  "kspin_replication_lag_ms"; do
+  grep -qF "$series" <<<"$SCRAPE1" || { echo "smoke: metrics missing series: $series" >&2; echo "$SCRAPE1" >&2; exit 1; }
+done
+DIST1="$(awk '$1 == "kspin_engine_distance_computations" { print $2 }' <<<"$SCRAPE1")"
+"$CLIENT" --port="$REPLICA_PORT" search 5 5 "kw0 or kw1" >/dev/null
+SCRAPE2="$("$CLIENT" --port="$REPLICA_PORT" metrics)"
+DIST2="$(awk '$1 == "kspin_engine_distance_computations" { print $2 }' <<<"$SCRAPE2")"
+[[ "$DIST1" =~ ^[0-9]+$ && "$DIST2" =~ ^[0-9]+$ ]] || { echo "smoke: non-numeric engine counter ($DIST1 / $DIST2)" >&2; exit 1; }
+[[ "$DIST2" -gt "$DIST1" ]] || { echo "smoke: engine counter not monotone ($DIST1 -> $DIST2)" >&2; exit 1; }
+echo "smoke: metrics scrape ok (engine_distance_computations $DIST1 -> $DIST2)"
+
 # With the primary gone, writes must fail rather than land on the replica.
 if "$CLIENT" --port="$REPLICA_PORT" add 14 orphanpoi orphankw 2>/dev/null; then
   echo "smoke: write unexpectedly succeeded with primary dead" >&2
