@@ -19,6 +19,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -60,8 +61,11 @@ T ReadPod(std::istream& in) {
   return value;
 }
 
+/// Length-prefixed pod array from any contiguous range (vector with any
+/// allocator, FlatLists row span, ...). Byte-identical to the historical
+/// WritePodVector encoding.
 template <typename T>
-void WritePodVector(std::ostream& out, const std::vector<T>& values) {
+void WritePodSpan(std::ostream& out, std::span<const T> values) {
   static_assert(std::is_trivially_copyable_v<T>);
   WritePod<std::uint64_t>(out, values.size());
   out.write(reinterpret_cast<const char*>(values.data()),
@@ -69,15 +73,23 @@ void WritePodVector(std::ostream& out, const std::vector<T>& values) {
   CheckWrite(out);
 }
 
-template <typename T>
-std::vector<T> ReadPodVector(std::istream& in) {
+template <typename T, typename Alloc>
+void WritePodVector(std::ostream& out, const std::vector<T, Alloc>& values) {
+  WritePodSpan<T>(out, values);
+}
+
+/// Reads a length-prefixed pod array into `Container` (any vector
+/// instantiation — used to materialize directly into AlignedVector).
+template <typename Container>
+Container ReadPodVectorAs(std::istream& in) {
+  using T = typename Container::value_type;
   static_assert(std::is_trivially_copyable_v<T>);
   const auto size = ReadPod<std::uint64_t>(in);
   // The length field is untrusted: grow incrementally so a corrupt huge
   // value runs the stream dry (throwing) long before memory does.
   const std::size_t chunk_elems =
       std::max<std::size_t>(1, kReadChunkBytes / sizeof(T));
-  std::vector<T> values;
+  Container values;
   std::uint64_t got = 0;
   while (got < size) {
     const std::size_t step = static_cast<std::size_t>(
@@ -89,6 +101,11 @@ std::vector<T> ReadPodVector(std::istream& in) {
     got += step;
   }
   return values;
+}
+
+template <typename T>
+std::vector<T> ReadPodVector(std::istream& in) {
+  return ReadPodVectorAs<std::vector<T>>(in);
 }
 
 inline void WriteString(std::ostream& out, const std::string& s) {
@@ -118,6 +135,26 @@ inline void WriteHeader(std::ostream& out, const char magic[8],
   out.write(magic, 8);
   CheckWrite(out);
   WritePod(out, version);
+}
+
+/// Validates the magic and returns the version, accepting any version in
+/// [1, max_version]. For artifacts with backward-compatible readers (the
+/// ALT index keeps loading its landmark-major v1 files).
+inline std::uint32_t ReadHeaderVersion(std::istream& in, const char magic[8],
+                                       std::uint32_t max_version) {
+  char read_magic[8] = {};
+  in.read(read_magic, 8);
+  if (!in || std::memcmp(read_magic, magic, 8) != 0) {
+    throw SerializationError(std::string("bad magic; expected '") +
+                             std::string(magic, 8) + "'");
+  }
+  const auto version = ReadPod<std::uint32_t>(in);
+  if (version == 0 || version > max_version) {
+    throw SerializationError("unsupported version " +
+                             std::to_string(version) + " (max supported " +
+                             std::to_string(max_version) + ")");
+  }
+  return version;
 }
 
 /// Validates the artifact header; throws SerializationError on mismatch.

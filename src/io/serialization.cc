@@ -19,6 +19,10 @@ constexpr char kHlMagic[8] = {'K', 'S', 'P', 'H', 'L', 'B', 'L', '1'};
 constexpr char kKwixMagic[8] = {'K', 'S', 'P', 'K', 'W', 'I', 'X', '1'};
 constexpr char kCatalogMagic[8] = {'K', 'S', 'P', 'P', 'C', 'A', 'T', '1'};
 constexpr std::uint32_t kVersion = 1;
+/// ALT format: v1 stored the landmark-major matrix (d[l*n + v]); v2 stores
+/// the vertex-major matrix compactly (d[v*m + l], no row padding). Old v1
+/// files keep loading via a transpose.
+constexpr std::uint32_t kAltVersion = 2;
 
 }  // namespace
 
@@ -90,20 +94,53 @@ DocumentStore LoadDocumentStore(std::istream& in) {
 }
 
 void SaveAltIndex(const AltIndex& alt, std::ostream& out) {
-  io::WriteHeader(out, kAltMagic, kVersion);
+  io::WriteHeader(out, kAltMagic, kAltVersion);
   io::WritePod<std::uint64_t>(out, alt.num_vertices_);
   io::WritePodVector(out, alt.landmarks_);
-  io::WritePodVector(out, alt.distances_);
+  // Compact vertex-major matrix: rows are written without their SIMD
+  // padding, so the on-disk size is independent of the in-memory stride.
+  const std::size_t m = alt.landmarks_.size();
+  io::WritePod<std::uint64_t>(out, alt.num_vertices_ * m);
+  for (std::size_t v = 0; v < alt.num_vertices_; ++v) {
+    out.write(reinterpret_cast<const char*>(
+                  alt.RowData(static_cast<VertexId>(v))),
+              static_cast<std::streamsize>(m * sizeof(Distance)));
+  }
+  io::CheckWrite(out);
 }
 
 AltIndex LoadAltIndex(std::istream& in) {
-  io::CheckHeader(in, kAltMagic, kVersion);
+  const std::uint32_t version =
+      io::ReadHeaderVersion(in, kAltMagic, kAltVersion);
   AltIndex alt;
   alt.num_vertices_ = io::ReadPod<std::uint64_t>(in);
   alt.landmarks_ = io::ReadPodVector<VertexId>(in);
-  alt.distances_ = io::ReadPodVector<Distance>(in);
-  if (alt.distances_.size() != alt.landmarks_.size() * alt.num_vertices_) {
+  const std::size_t m = alt.landmarks_.size();
+  const auto count = io::ReadPod<std::uint64_t>(in);
+  if (count != m * alt.num_vertices_) {
     throw io::SerializationError("inconsistent ALT arrays");
+  }
+  alt.InitLayout(alt.num_vertices_, m);
+  if (version >= 2) {
+    // Vertex-major compact rows: stream each row straight into its padded
+    // in-memory slot.
+    for (std::size_t v = 0; v < alt.num_vertices_; ++v) {
+      in.read(reinterpret_cast<char*>(
+                  alt.MutableRowData(static_cast<VertexId>(v))),
+              static_cast<std::streamsize>(m * sizeof(Distance)));
+      if (!in) throw io::SerializationError("truncated ALT distance rows");
+    }
+    return alt;
+  }
+  // v1: landmark-major d[l*n + v]; transpose into the vertex-major layout.
+  std::vector<Distance> column(alt.num_vertices_);
+  for (std::size_t l = 0; l < m; ++l) {
+    in.read(reinterpret_cast<char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(Distance)));
+    if (!in) throw io::SerializationError("truncated ALT distance rows");
+    for (std::size_t v = 0; v < alt.num_vertices_; ++v) {
+      alt.MutableRowData(static_cast<VertexId>(v))[l] = column[v];
+    }
   }
   return alt;
 }
@@ -176,8 +213,8 @@ ColorQuadtree LoadColorQuadtree(std::istream& in) {
   tree.scale_ = io::ReadPod<double>(in);
   tree.grid_bits_ = io::ReadPod<std::uint32_t>(in);
   tree.max_leaf_depth_ = io::ReadPod<std::uint32_t>(in);
-  tree.leaves_ = io::ReadPodVector<ColorQuadtree::Leaf>(in);
-  tree.color_pool_ = io::ReadPodVector<std::uint32_t>(in);
+  tree.leaves_ = io::ReadPodVectorAs<AlignedVector<ColorQuadtree::Leaf>>(in);
+  tree.color_pool_ = io::ReadPodVectorAs<AlignedVector<std::uint32_t>>(in);
   if (!std::isfinite(tree.scale_) || tree.scale_ <= 0 ||
       tree.grid_bits_ == 0 || tree.grid_bits_ > 32) {
     throw io::SerializationError("quadtree geometry out of range");
@@ -231,8 +268,10 @@ void SaveApxNvd(const ApxNvd& nvd, std::ostream& out) {
   io::WritePod(out, nvd.options_.lazy_insert_threshold);
 
   io::WritePodVector(out, nvd.sites_);
-  io::WritePod<std::uint64_t>(out, nvd.adjacency_.size());
-  for (const auto& list : nvd.adjacency_) io::WritePodVector(out, list);
+  io::WritePod<std::uint64_t>(out, nvd.adjacency_.NumLists());
+  for (std::size_t i = 0; i < nvd.adjacency_.NumLists(); ++i) {
+    io::WritePodSpan<std::uint32_t>(out, nvd.adjacency_[i]);
+  }
   io::WritePodVector(out, nvd.max_radius_);
 
   std::uint8_t storage_tag = 0;
@@ -281,9 +320,8 @@ std::unique_ptr<ApxNvd> LoadApxNvd(const Graph& graph, std::istream& in) {
   if (adjacency_size > nvd->sites_.size()) {
     throw io::SerializationError("ApxNvd adjacency larger than site set");
   }
-  nvd->adjacency_.resize(static_cast<std::size_t>(adjacency_size));
-  for (auto& list : nvd->adjacency_) {
-    list = io::ReadPodVector<std::uint32_t>(in);
+  for (std::uint64_t i = 0; i < adjacency_size; ++i) {
+    nvd->adjacency_.Append(io::ReadPodVector<std::uint32_t>(in));
   }
   nvd->max_radius_ = io::ReadPodVector<Distance>(in);
 
@@ -333,19 +371,17 @@ std::unique_ptr<ApxNvd> LoadApxNvd(const Graph& graph, std::istream& in) {
   const std::size_t num_sites = nvd->sites_.size();
   const bool has_voronoi = storage_tag != 0;
   if (has_voronoi &&
-      (nvd->adjacency_.size() != num_sites ||
+      (nvd->adjacency_.NumLists() != num_sites ||
        nvd->max_radius_.size() != num_sites)) {
     throw io::SerializationError("ApxNvd Voronoi arrays size mismatch");
   }
   if (!has_voronoi &&
-      (!nvd->adjacency_.empty() || !nvd->max_radius_.empty())) {
+      (!nvd->adjacency_.Empty() || !nvd->max_radius_.empty())) {
     throw io::SerializationError("ApxNvd flat index has Voronoi arrays");
   }
-  for (const auto& list : nvd->adjacency_) {
-    for (std::uint32_t node : list) {
-      if (node >= num_sites) {
-        throw io::SerializationError("ApxNvd adjacency node out of range");
-      }
+  for (std::uint32_t node : nvd->adjacency_.Pool()) {
+    if (node >= num_sites) {
+      throw io::SerializationError("ApxNvd adjacency node out of range");
     }
   }
   for (std::uint32_t i = 0; i < num_sites; ++i) {

@@ -5,28 +5,78 @@
 
 namespace kspin {
 
-void InvertedHeap::InsertNew(const SiteObject& site) {
+void InvertedHeap::StageNew(const SiteObject& site) {
   if (!scratch_->inserted.Insert(site.object)) return;  // Already inserted.
-  const Distance lb = lower_bounds_->LowerBound(query_, site.vertex);
-  ++stats_.lower_bounds_computed;
-  ++stats_.insertions;
-  scratch_->entries.push_back({lb, site.object, site.vertex});
-  std::push_heap(scratch_->entries.begin(), scratch_->entries.end(),
-                 std::greater<Entry>{});
+  scratch_->pending.push_back(site);
+}
+
+namespace {
+
+/// Frontier size below which per-pair pricing beats the batch kernel
+/// (dispatch, staging arrays, and the horizontal-max epilogue amortize
+/// over ~one AVX2 row-quad). Both paths are bit-identical, so the
+/// threshold is a pure performance knob.
+constexpr std::size_t kScalarFlushThreshold = 8;
+
+}  // namespace
+
+void InvertedHeap::FlushPending() {
+  std::vector<SiteObject>& pending = scratch_->pending;
+  if (pending.empty()) return;
+
+  // One flush = one batch pricing of the staged frontier. Small frontiers
+  // (the common LazyReheap case) are priced with the per-pair loop; large
+  // ones go through LowerBoundBatch, where the ALT module keeps the query
+  // row hot and runs its SIMD kernel across the block.
+  stats_.lower_bounds_computed += pending.size();
+  stats_.lb_batch_items += pending.size();
+  stats_.insertions += pending.size();
+  ++stats_.lb_batch_calls;
+
+  AlignedVector<Entry>& entries = scratch_->entries;
+  const auto greater = std::greater<Entry>{};
+  // Initial seeding fills an empty heap: one O(n) make_heap beats n
+  // push_heap sifts. Extraction order is unaffected either way — the
+  // comparator is a strict total order on (lower_bound, object).
+  const bool bulk = entries.empty();
+  if (pending.size() < kScalarFlushThreshold) {
+    for (const SiteObject& site : pending) {
+      const Distance lb = lower_bounds_->LowerBound(query_, site.vertex);
+      entries.push_back({lb, site.object, site.vertex});
+      if (!bulk) std::push_heap(entries.begin(), entries.end(), greater);
+    }
+  } else {
+    std::vector<VertexId>& vertices = scratch_->batch_vertices;
+    std::vector<Distance>& bounds = scratch_->batch_bounds;
+    vertices.resize(pending.size());
+    bounds.resize(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      vertices[i] = pending[i].vertex;
+    }
+    lower_bounds_->LowerBoundBatch(query_, vertices, bounds);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      entries.push_back({bounds[i], pending[i].object, pending[i].vertex});
+      if (!bulk) std::push_heap(entries.begin(), entries.end(), greater);
+    }
+  }
+  if (bulk) std::make_heap(entries.begin(), entries.end(), greater);
+  pending.clear();
 }
 
 InvertedHeap::Candidate InvertedHeap::ExtractMin() {
-  const Entry top = scratch_->entries.front();
-  std::pop_heap(scratch_->entries.begin(), scratch_->entries.end(),
-                std::greater<Entry>{});
-  scratch_->entries.pop_back();
+  AlignedVector<Entry>& entries = scratch_->entries;
+  const Entry top = entries.front();
+  std::pop_heap(entries.begin(), entries.end(), std::greater<Entry>{});
+  entries.pop_back();
   ++stats_.extractions;
 
   // LazyReheap (Algorithm 4): inject the adjacent objects of the extracted
-  // candidate so Property 1 keeps holding for the remaining objects.
+  // candidate so Property 1 keeps holding for the remaining objects. The
+  // injected frontier is lower-bounded as one block.
   scratch_->expand.clear();
   nvd_->ExpandCandidates(top.object, &scratch_->expand);
-  for (const SiteObject& site : scratch_->expand) InsertNew(site);
+  for (const SiteObject& site : scratch_->expand) StageNew(site);
+  FlushPending();
 
   Candidate candidate;
   candidate.object = top.object;
@@ -47,7 +97,8 @@ InvertedHeap::InvertedHeap(const ApxNvd* nvd,
     scratch_->Reset();
   }
   nvd_->InitialCandidates(q, &scratch_->expand);
-  for (const SiteObject& site : scratch_->expand) InsertNew(site);
+  for (const SiteObject& site : scratch_->expand) StageNew(site);
+  FlushPending();
 }
 
 InvertedHeap HeapGenerator::Make(KeywordId t, VertexId q,

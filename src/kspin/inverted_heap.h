@@ -7,8 +7,15 @@
 // Theorem 1), and each extraction triggers LazyReheap (Algorithm 4), which
 // injects the adjacent objects of the extracted one.
 //
+// Candidate frontiers are lower-bounded in *blocks*: newly injected sites
+// are staged in a pending buffer and priced with one LowerBoundBatch call
+// (SIMD on the ALT module) instead of one virtual call per candidate —
+// see docs/performance.md. Batching never changes results: the kernels
+// are bit-identical to the scalar loop and extraction order is a strict
+// total order on (lower_bound, object).
+//
 // Storage: every heap operates on an InvertedHeap::Scratch — the heap
-// array, the dedup set and the expansion buffer. A query workspace can
+// array, the dedup set and the expansion buffers. A query workspace can
 // lend pooled scratch so repeated queries allocate nothing; without one
 // the heap owns a private scratch (same semantics, one allocation).
 #ifndef KSPIN_KSPIN_INVERTED_HEAP_H_
@@ -18,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/stamped_set.h"
 #include "common/types.h"
 #include "kspin/keyword_index.h"
@@ -30,6 +38,10 @@ struct HeapStats {
   std::uint64_t lower_bounds_computed = 0;
   std::uint64_t insertions = 0;
   std::uint64_t extractions = 0;
+  /// Batching effectiveness: LowerBoundBatch calls issued and candidates
+  /// priced across them (items / calls = mean frontier block size).
+  std::uint64_t lb_batch_calls = 0;
+  std::uint64_t lb_batch_items = 0;
 };
 
 /// One keyword's lazily populated candidate heap.
@@ -37,7 +49,8 @@ class InvertedHeap {
  public:
   /// A heap entry: candidate keyed by its lower-bound distance (ties by
   /// object id, matching the extraction order of the original
-  /// priority_queue-based implementation).
+  /// priority_queue-based implementation). 16 flat bytes; entries live in
+  /// one cache-line-aligned pod array, four per line.
   struct Entry {
     Distance lower_bound;
     ObjectId object;
@@ -47,19 +60,24 @@ class InvertedHeap {
       return object > o.object;
     }
   };
+  static_assert(sizeof(Entry) == 16, "heap entries must stay flat pods");
 
   /// Reusable backing storage of one heap. Pool-owned scratch objects are
   /// handed out by QueryWorkspace so per-query heap construction performs
   /// no allocation in steady state.
   struct Scratch {
-    std::vector<Entry> entries;        // Binary min-heap via std::*_heap.
+    AlignedVector<Entry> entries;      // Binary min-heap via std::*_heap.
     StampedIdSet inserted;             // Dedup of injected objects.
     std::vector<SiteObject> expand;    // LazyReheap expansion buffer.
+    std::vector<SiteObject> pending;   // Staged sites awaiting batch LB.
+    std::vector<VertexId> batch_vertices;  // LowerBoundBatch inputs...
+    std::vector<Distance> batch_bounds;    // ...and outputs.
 
     void Reset() {
       entries.clear();
       inserted.Clear();
       expand.clear();
+      pending.clear();
     }
   };
 
@@ -104,7 +122,8 @@ class InvertedHeap {
  private:
   friend class HeapGenerator;
 
-  void InsertNew(const SiteObject& site);
+  void StageNew(const SiteObject& site);
+  void FlushPending();
 
   const ApxNvd* nvd_ = nullptr;  // Null for keywords without objects.
   const LowerBoundModule* lower_bounds_ = nullptr;

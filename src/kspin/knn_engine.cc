@@ -55,6 +55,8 @@ std::vector<BkNNResult> KnnEngine::Knn(VertexId q, std::uint32_t k,
   }
   local.lower_bounds_computed = heap.Stats().lower_bounds_computed;
   local.heap_insertions = heap.Stats().insertions;
+  local.lb_batch_calls = heap.Stats().lb_batch_calls;
+  local.lb_batch_items = heap.Stats().lb_batch_items;
   results.reserve(best.size());
   while (!best.empty()) {
     results.push_back({best.top().second, best.top().first});

@@ -123,6 +123,8 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
   for (const InvertedHeap& heap : heaps) {
     local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
     local.heap_insertions += heap.Stats().insertions;
+    local.lb_batch_calls += heap.Stats().lb_batch_calls;
+    local.lb_batch_items += heap.Stats().lb_batch_items;
   }
 
   std::vector<BkNNResult> results;
@@ -327,6 +329,8 @@ std::vector<TopKResult> QueryProcessor::TopK(
   for (const InvertedHeap& heap : heaps) {
     local.lower_bounds_computed += heap.Stats().lower_bounds_computed;
     local.heap_insertions += heap.Stats().insertions;
+    local.lb_batch_calls += heap.Stats().lb_batch_calls;
+    local.lb_batch_items += heap.Stats().lb_batch_items;
   }
 
   std::vector<TopKResult> results;

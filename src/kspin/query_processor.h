@@ -60,6 +60,11 @@ struct QueryStats {
   std::uint64_t lower_bounds_computed = 0;
   std::uint64_t heaps_created = 0;
   std::uint64_t heap_insertions = 0;
+  /// Batched lower-bounding (docs/performance.md): LowerBoundBatch calls
+  /// issued and candidates priced across them. items / calls is the mean
+  /// frontier block size the SIMD kernels amortize over.
+  std::uint64_t lb_batch_calls = 0;
+  std::uint64_t lb_batch_items = 0;
   /// Distances computed for objects that did not make the final top-k —
   /// the "aggregation penalty" K-SPIN's per-keyword indexes avoid.
   /// Invariant: false_positive_distances <= network_distance_computations.
@@ -78,6 +83,8 @@ struct QueryStats {
     lower_bounds_computed += o.lower_bounds_computed;
     heaps_created += o.heaps_created;
     heap_insertions += o.heap_insertions;
+    lb_batch_calls += o.lb_batch_calls;
+    lb_batch_items += o.lb_batch_items;
     false_positive_distances += o.false_positive_distances;
     candidates_pruned_lb += o.candidates_pruned_lb;
     results_returned += o.results_returned;

@@ -18,7 +18,7 @@ ApxNvd::ApxNvd(const Graph& graph, std::vector<SiteObject> sites,
 
 void ApxNvd::Build(std::vector<SiteObject> sites) {
   site_index_.clear();
-  adjacency_.clear();
+  adjacency_.Clear();
   max_radius_.clear();
   quadtree_.reset();
   rtree_.reset();
@@ -68,7 +68,7 @@ void ApxNvd::Build(std::vector<SiteObject> sites) {
     site_vertices[i] = sites_[i].vertex;
   }
   NetworkVoronoiDiagram nvd = BuildNvd(graph_, site_vertices);
-  adjacency_ = std::move(nvd.adjacency);
+  adjacency_ = FlatLists<std::uint32_t>::FromLists(nvd.adjacency);
   max_radius_ = std::move(nvd.max_radius);
 
   // Voronoi storage over every vertex's owner colour; the O(|V|) owner
@@ -163,10 +163,8 @@ std::vector<SiteObject> ApxNvd::LiveObjects() const {
 
 std::size_t ApxNvd::MemoryBytes() const {
   std::size_t total = sites_.size() * sizeof(SiteObject) +
-                      max_radius_.size() * sizeof(Distance);
-  for (const auto& list : adjacency_) {
-    total += list.size() * sizeof(std::uint32_t) + sizeof(list);
-  }
+                      max_radius_.size() * sizeof(Distance) +
+                      adjacency_.MemoryBytes();
   for (const auto& list : attachments_) {
     total += list.size() * sizeof(SiteObject) + sizeof(list);
   }

@@ -29,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "graph/graph.h"
 #include "nvd/quadtree.h"
@@ -135,7 +136,9 @@ class ApxNvd {
   // Objects the Voronoi structures were built over; index == colour.
   std::vector<SiteObject> sites_;
   std::unordered_map<ObjectId, std::uint32_t> site_index_;
-  std::vector<std::vector<std::uint32_t>> adjacency_;
+  // Site adjacency graph, arena-packed (CSR): the LazyReheap hot path
+  // walks a node's neighbour list as one contiguous span.
+  FlatLists<std::uint32_t> adjacency_;
   std::vector<Distance> max_radius_;
   std::unique_ptr<ColorQuadtree> quadtree_;
   std::unique_ptr<VoronoiRTree> rtree_;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 
 namespace kspin {
@@ -62,8 +63,10 @@ class ColorQuadtree {
 
   double origin_x_ = 0, origin_y_ = 0, scale_ = 1;
   std::uint32_t grid_bits_ = 16;
-  std::vector<Leaf> leaves_;               // Sorted by z_begin.
-  std::vector<std::uint32_t> color_pool_;  // Leaf colour sets, concatenated.
+  // Pod arenas, cache-line aligned: Locate's binary search walks leaves_
+  // and its result is one contiguous color_pool_ slice.
+  AlignedVector<Leaf> leaves_;                // Sorted by z_begin.
+  AlignedVector<std::uint32_t> color_pool_;   // Leaf colour sets, concatenated.
   std::uint32_t max_leaf_depth_ = 0;
 };
 

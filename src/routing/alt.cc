@@ -9,43 +9,48 @@
 namespace kspin {
 
 AltIndex::AltIndex(const Graph& graph, std::uint32_t num_landmarks,
-                   LandmarkStrategy strategy, std::uint64_t seed)
-    : num_vertices_(graph.NumVertices()) {
-  if (num_vertices_ == 0) {
+                   LandmarkStrategy strategy, std::uint64_t seed) {
+  const std::size_t num_vertices = graph.NumVertices();
+  if (num_vertices == 0) {
     throw std::invalid_argument("AltIndex: empty graph");
   }
   if (num_landmarks == 0) {
     throw std::invalid_argument("AltIndex: need at least one landmark");
   }
   num_landmarks = static_cast<std::uint32_t>(
-      std::min<std::size_t>(num_landmarks, num_vertices_));
+      std::min<std::size_t>(num_landmarks, num_vertices));
+  InitLayout(num_vertices, num_landmarks);
 
   Rng rng(seed);
-  DijkstraWorkspace workspace(num_vertices_);
-  distances_.reserve(static_cast<std::size_t>(num_landmarks) * num_vertices_);
+  DijkstraWorkspace workspace(num_vertices);
+  const auto scatter_column = [this](std::size_t l,
+                                     const std::vector<Distance>& d) {
+    for (VertexId v = 0; v < d.size(); ++v) {
+      MutableRowData(v)[l] = d[v];
+    }
+  };
 
   if (strategy == LandmarkStrategy::kRandom) {
     std::vector<std::uint32_t> sample = rng.SampleWithoutReplacement(
-        static_cast<std::uint32_t>(num_vertices_), num_landmarks);
+        static_cast<std::uint32_t>(num_vertices), num_landmarks);
     for (std::uint32_t v : sample) landmarks_.push_back(v);
-    for (VertexId l : landmarks_) {
-      const std::vector<Distance>& d = workspace.SingleSource(graph, l);
-      distances_.insert(distances_.end(), d.begin(), d.end());
+    for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+      scatter_column(l, workspace.SingleSource(graph, landmarks_[l]));
     }
     return;
   }
 
   // Farthest-point traversal: start from a random vertex, repeatedly pick
   // the vertex maximizing the minimum distance to chosen landmarks.
-  std::vector<Distance> min_dist(num_vertices_, kInfDistance);
-  VertexId next = static_cast<VertexId>(rng.UniformInt(0, num_vertices_ - 1));
+  std::vector<Distance> min_dist(num_vertices, kInfDistance);
+  VertexId next = static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
   for (std::uint32_t i = 0; i < num_landmarks; ++i) {
     landmarks_.push_back(next);
     const std::vector<Distance>& d = workspace.SingleSource(graph, next);
-    distances_.insert(distances_.end(), d.begin(), d.end());
+    scatter_column(i, d);
     Distance best = 0;
     VertexId best_vertex = next;
-    for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
       min_dist[v] = std::min(min_dist[v], d[v]);
       if (min_dist[v] != kInfDistance && min_dist[v] > best) {
         best = min_dist[v];

@@ -1,7 +1,10 @@
 #include "routing/lower_bound.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "routing/alt.h"
 
 namespace kspin {
 namespace {
@@ -15,7 +18,7 @@ double EuclideanLength(const Coordinate& a, const Coordinate& b) {
 }  // namespace
 
 EuclideanLowerBound::EuclideanLowerBound(const Graph& graph)
-    : graph_(graph) {
+    : coords_(graph.Coordinates().data()) {
   if (!graph.HasCoordinates()) {
     throw std::invalid_argument(
         "EuclideanLowerBound: graph coordinates required");
@@ -26,8 +29,8 @@ EuclideanLowerBound::EuclideanLowerBound(const Graph& graph)
   double ratio = std::numeric_limits<double>::infinity();
   for (VertexId u = 0; u < graph.NumVertices(); ++u) {
     for (const Arc& arc : graph.Neighbors(u)) {
-      const double length = EuclideanLength(graph.VertexCoordinate(u),
-                                            graph.VertexCoordinate(arc.head));
+      const double length =
+          EuclideanLength(coords_[u], coords_[arc.head]);
       if (length <= 0.0) {
         ratio = 0.0;
         break;
@@ -40,8 +43,7 @@ EuclideanLowerBound::EuclideanLowerBound(const Graph& graph)
 
 Distance EuclideanLowerBound::LowerBound(VertexId s, VertexId t) const {
   if (s == t) return 0;
-  const double bound = ratio_ * EuclideanLength(graph_.VertexCoordinate(s),
-                                                graph_.VertexCoordinate(t));
+  const double bound = ratio_ * EuclideanLength(coords_[s], coords_[t]);
   return static_cast<Distance>(std::floor(bound));
 }
 
@@ -49,6 +51,45 @@ MaxLowerBound::MaxLowerBound(std::vector<const LowerBoundModule*> children)
     : children_(std::move(children)) {
   if (children_.empty()) {
     throw std::invalid_argument("MaxLowerBound: no children");
+  }
+  if (children_.size() == 1) {
+    single_ = children_.front();
+    // The overwhelmingly common single child is the ALT index; resolving
+    // it to its concrete type here turns every hot-path call into a
+    // direct (devirtualized) call.
+    alt_only_ = dynamic_cast<const AltIndex*>(single_);
+  }
+}
+
+Distance MaxLowerBound::LowerBound(VertexId s, VertexId t) const {
+  if (alt_only_ != nullptr) return alt_only_->AltIndex::LowerBound(s, t);
+  if (single_ != nullptr) return single_->LowerBound(s, t);
+  Distance best = 0;
+  for (const LowerBoundModule* child : children_) {
+    const Distance lb = child->LowerBound(s, t);
+    if (lb > best) best = lb;
+  }
+  return best;
+}
+
+void MaxLowerBound::LowerBoundBatch(VertexId s,
+                                    std::span<const VertexId> targets,
+                                    std::span<Distance> out) const {
+  if (alt_only_ != nullptr) {
+    alt_only_->AltIndex::LowerBoundBatch(s, targets, out);
+    return;
+  }
+  children_.front()->LowerBoundBatch(s, targets, out);
+  if (children_.size() == 1) return;
+  // Composites are shared across serving threads, so the per-child
+  // scratch must not live in the (const) object.
+  thread_local std::vector<Distance> child_out;
+  child_out.resize(targets.size());
+  for (std::size_t c = 1; c < children_.size(); ++c) {
+    children_[c]->LowerBoundBatch(s, targets, child_out);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out[i] = std::max(out[i], child_out[i]);
+    }
   }
 }
 

@@ -6,10 +6,17 @@
 // lower-bound heuristics." — this header provides the abstraction, an
 // index-free Euclidean heuristic, and a tightest-of composite; the ALT
 // landmark index (alt.h) is the primary implementation.
+//
+// The module exposes two granularities: the classic per-pair LowerBound
+// and LowerBoundBatch over a block of targets. Batching is the hot-path
+// contract (docs/performance.md): the inverted heaps bound whole candidate
+// frontiers per call, letting ALT amortize its row load and run its SIMD
+// kernel instead of paying one virtual call per candidate.
 #ifndef KSPIN_ROUTING_LOWER_BOUND_H_
 #define KSPIN_ROUTING_LOWER_BOUND_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +25,8 @@
 
 namespace kspin {
 
+class AltIndex;
+
 /// Admissible lower-bound estimator: LowerBound(s, t) <= d(s, t) always.
 class LowerBoundModule {
  public:
@@ -25,6 +34,18 @@ class LowerBoundModule {
 
   /// A lower bound on the network distance d(s, t).
   virtual Distance LowerBound(VertexId s, VertexId t) const = 0;
+
+  /// Lower bounds for a block of targets: out[i] = LowerBound(s,
+  /// targets[i]). `out` must have targets.size() slots. Every override
+  /// must be value-identical to this default per-pair loop — callers
+  /// may mix granularities freely (and tests assert bit-equality).
+  virtual void LowerBoundBatch(VertexId s,
+                               std::span<const VertexId> targets,
+                               std::span<Distance> out) const {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out[i] = LowerBound(s, targets[i]);
+    }
+  }
 
   /// Short human-readable name.
   virtual std::string Name() const = 0;
@@ -40,7 +61,10 @@ class LowerBoundModule {
 class EuclideanLowerBound : public LowerBoundModule {
  public:
   /// Derives the cost ratio from the graph. Requires coordinates; throws
-  /// std::invalid_argument otherwise.
+  /// std::invalid_argument otherwise. The coordinate array pointer is
+  /// captured here, so per-call evaluation is two loads off one base —
+  /// the graph's coordinate storage must stay put while this exists
+  /// (graphs are immutable once built).
   explicit EuclideanLowerBound(const Graph& graph);
 
   Distance LowerBound(VertexId s, VertexId t) const override;
@@ -50,24 +74,24 @@ class EuclideanLowerBound : public LowerBoundModule {
   double CostRatio() const { return ratio_; }
 
  private:
-  const Graph& graph_;
+  const Coordinate* coords_ = nullptr;  // Hoisted from the graph.
   double ratio_ = 0.0;
 };
 
 /// Returns the maximum (tightest) of several lower bounds. Does not own
 /// its children; they must outlive the composite.
+///
+/// The common deployments are devirtualized at construction: a lone child
+/// skips the composite loop entirely, and a lone AltIndex child is called
+/// through its concrete type (no virtual dispatch on the hot path).
 class MaxLowerBound : public LowerBoundModule {
  public:
   explicit MaxLowerBound(std::vector<const LowerBoundModule*> children);
 
-  Distance LowerBound(VertexId s, VertexId t) const override {
-    Distance best = 0;
-    for (const LowerBoundModule* child : children_) {
-      const Distance lb = child->LowerBound(s, t);
-      if (lb > best) best = lb;
-    }
-    return best;
-  }
+  Distance LowerBound(VertexId s, VertexId t) const override;
+  void LowerBoundBatch(VertexId s, std::span<const VertexId> targets,
+                       std::span<Distance> out) const override;
+
   std::string Name() const override;
   std::size_t MemoryBytes() const override {
     std::size_t total = 0;
@@ -79,6 +103,8 @@ class MaxLowerBound : public LowerBoundModule {
 
  private:
   std::vector<const LowerBoundModule*> children_;
+  const LowerBoundModule* single_ = nullptr;  // Set when exactly one child.
+  const AltIndex* alt_only_ = nullptr;  // Set when that child is an ALT.
 };
 
 }  // namespace kspin

@@ -93,6 +93,8 @@ void ServerMetrics::AddQueryStats(const QueryStats& stats) {
   };
   add(engine_heap_pops, stats.candidates_extracted);
   add(engine_lower_bounds, stats.lower_bounds_computed);
+  add(engine_lb_batch_calls, stats.lb_batch_calls);
+  add(engine_lb_batch_items, stats.lb_batch_items);
   add(engine_distance_computations, stats.network_distance_computations);
   add(engine_false_positive_distances, stats.false_positive_distances);
   add(engine_candidates_pruned_lb, stats.candidates_pruned_lb);
@@ -143,6 +145,8 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
        load(connections_reaped_backpressure)},
       {"engine_heap_pops", load(engine_heap_pops)},
       {"engine_lower_bounds", load(engine_lower_bounds)},
+      {"engine_lb_batch_calls", load(engine_lb_batch_calls)},
+      {"engine_lb_batch_items", load(engine_lb_batch_items)},
       {"engine_distance_computations", load(engine_distance_computations)},
       {"engine_false_positive_distances",
        load(engine_false_positive_distances)},

@@ -94,6 +94,8 @@ std::string FormatQueryTrace(const QueryTraceEvent& event) {
   AppendU64Field(out, "search_ns", s.search_ns);
   AppendU64Field(out, "heap_pops", s.candidates_extracted);
   AppendU64Field(out, "lower_bounds", s.lower_bounds_computed);
+  AppendU64Field(out, "lb_batch_calls", s.lb_batch_calls);
+  AppendU64Field(out, "lb_batch_items", s.lb_batch_items);
   AppendU64Field(out, "distance_computations",
                  s.network_distance_computations);
   AppendU64Field(out, "false_positive_distances",

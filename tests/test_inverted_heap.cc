@@ -119,6 +119,37 @@ TEST_F(InvertedHeapTest, PopulatesLazily) {
       << "heap was populated eagerly";
 }
 
+TEST_F(InvertedHeapTest, CountsBatchFlushesAndReusesPooledScratch) {
+  const KeywordId t = FrequentKeyword(10);
+  InvertedHeap::Scratch scratch;
+  for (int pass = 0; pass < 2; ++pass) {  // Second pass reuses the pool.
+    InvertedHeap heap = generator_->Make(t, 11, &scratch);
+    while (!heap.Empty()) heap.ExtractMin();
+    const HeapStats& stats = heap.Stats();
+    // Every staged frontier is priced as one flush: items must add up to
+    // the total lower-bound count, and each flush stages at least one.
+    EXPECT_GE(stats.lb_batch_calls, 1u);
+    EXPECT_EQ(stats.lb_batch_items, stats.lower_bounds_computed);
+    EXPECT_GE(stats.lb_batch_items, stats.lb_batch_calls);
+    EXPECT_EQ(stats.insertions, inverted_->ListSize(t));
+  }
+}
+
+TEST_F(InvertedHeapTest, PooledAndOwnedScratchExtractIdentically) {
+  const KeywordId t = FrequentKeyword(10);
+  const VertexId q = 23;
+  InvertedHeap::Scratch scratch;
+  InvertedHeap pooled = generator_->Make(t, q, &scratch);
+  InvertedHeap owned = generator_->Make(t, q);
+  while (!pooled.Empty() && !owned.Empty()) {
+    const auto a = pooled.ExtractMin();
+    const auto b = owned.ExtractMin();
+    ASSERT_EQ(a.object, b.object);
+    ASSERT_EQ(a.lower_bound, b.lower_bound);
+  }
+  EXPECT_EQ(pooled.Empty(), owned.Empty());
+}
+
 TEST_F(InvertedHeapTest, EmptyKeywordYieldsEmptyHeap) {
   // Keyword universe extends beyond used ids.
   InvertedHeap heap = generator_->Make(39, 0);

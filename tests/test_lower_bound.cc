@@ -85,6 +85,36 @@ TEST(MaxLowerBound, RejectsEmptyChildList) {
   EXPECT_THROW(MaxLowerBound{{}}, std::invalid_argument);
 }
 
+// LowerBoundBatch must be value-identical to the per-pair loop for every
+// module: the inverted heaps mix both granularities on the same heap, so
+// any divergence would corrupt extraction order.
+TEST(LowerBoundBatch, MatchesPerPairForEveryModule) {
+  Graph graph = testing::SmallRoadNetwork(78);
+  AltIndex alt(graph, 5);
+  EuclideanLowerBound euclid(graph);
+  const MaxLowerBound alt_only({&alt});          // Devirtualized ALT path.
+  const MaxLowerBound composite({&alt, &euclid});
+  const std::vector<const LowerBoundModule*> modules = {&alt, &euclid,
+                                                        &alt_only, &composite};
+  Rng rng(79);
+  const VertexId src =
+      static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+  std::vector<VertexId> targets(41);
+  for (VertexId& t : targets) {
+    t = static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+  }
+  targets.push_back(src);  // s == t must come back as 0.
+  for (const LowerBoundModule* module : modules) {
+    std::vector<Distance> out(targets.size(), ~Distance{0});
+    module->LowerBoundBatch(src, targets, out);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      ASSERT_EQ(out[i], module->LowerBound(src, targets[i]))
+          << module->Name() << " target=" << targets[i];
+    }
+  }
+  EXPECT_EQ(alt_only.Name(), "max(alt)");
+}
+
 TEST(KSpinEuclideanComposite, QueriesStayExactAndDoNoMoreWork) {
   Graph graph = testing::SmallRoadNetwork(77);
   DocumentStore store = testing::TestDocuments(graph, 40, 0.2, 177);

@@ -121,6 +121,8 @@ TEST(QueryStatsTest, PlusEqualsSumsEveryField) {
   a.results_returned = 8;
   a.heap_build_ns = 9;
   a.search_ns = 10;
+  a.lb_batch_calls = 11;
+  a.lb_batch_items = 12;
   QueryStats b = a;
   b += a;
   EXPECT_EQ(b.network_distance_computations, 2u);
@@ -133,6 +135,8 @@ TEST(QueryStatsTest, PlusEqualsSumsEveryField) {
   EXPECT_EQ(b.results_returned, 16u);
   EXPECT_EQ(b.heap_build_ns, 18u);
   EXPECT_EQ(b.search_ns, 20u);
+  EXPECT_EQ(b.lb_batch_calls, 22u);
+  EXPECT_EQ(b.lb_batch_items, 24u);
 }
 
 TEST(ServerMetricsTest, AddQueryStatsFoldsIntoEngineCounters) {
@@ -148,6 +152,8 @@ TEST(ServerMetricsTest, AddQueryStatsFoldsIntoEngineCounters) {
   stats.candidates_pruned_lb = 3;
   stats.heap_build_ns = 1000;
   stats.search_ns = 2000;
+  stats.lb_batch_calls = 5;
+  stats.lb_batch_items = 25;
   metrics.AddQueryStats(stats);
   metrics.AddQueryStats(stats);
   EXPECT_EQ(metrics.engine_distance_computations.load(), 20u);
@@ -160,6 +166,8 @@ TEST(ServerMetricsTest, AddQueryStatsFoldsIntoEngineCounters) {
   EXPECT_EQ(metrics.engine_candidates_pruned_lb.load(), 6u);
   EXPECT_EQ(metrics.engine_heap_build_ns.load(), 2000u);
   EXPECT_EQ(metrics.engine_search_ns.load(), 4000u);
+  EXPECT_EQ(metrics.engine_lb_batch_calls.load(), 10u);
+  EXPECT_EQ(metrics.engine_lb_batch_items.load(), 50u);
 }
 
 TEST(ServerMetricsTest, SnapshotCarriesEngineAndLatencyKeys) {
@@ -168,6 +176,8 @@ TEST(ServerMetricsTest, SnapshotCarriesEngineAndLatencyKeys) {
   QueryStats stats;
   stats.network_distance_computations = 7;
   stats.false_positive_distances = 2;
+  stats.lb_batch_calls = 3;
+  stats.lb_batch_items = 9;
   metrics.AddQueryStats(stats);
   metrics.query_latency.Record(300);
 
@@ -183,6 +193,8 @@ TEST(ServerMetricsTest, SnapshotCarriesEngineAndLatencyKeys) {
   EXPECT_EQ(value("queue_depth"), 3u);
   EXPECT_EQ(value("engine_distance_computations"), 7u);
   EXPECT_EQ(value("engine_false_positive_distances"), 2u);
+  EXPECT_EQ(value("engine_lb_batch_calls"), 3u);
+  EXPECT_EQ(value("engine_lb_batch_items"), 9u);
   EXPECT_EQ(value("query_latency_count"), 1u);
   EXPECT_EQ(value("query_latency_mean_us"), 300u);
   EXPECT_EQ(value("query_latency_p99_us"), 512u);  // [256, 512) upper bound.

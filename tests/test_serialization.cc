@@ -72,6 +72,59 @@ TEST(Serialization, AltRoundTripPreservesBounds) {
   }
 }
 
+// PR6 changed the ALT matrix from landmark-major (v1) to vertex-major
+// (v2). Old snapshots must keep loading: write a v1-format stream by hand
+// (magic, version 1, then the landmark-major d[l*n + v] array) and check
+// the loaded index answers identically to the source index.
+TEST(Serialization, AltLoadsLegacyLandmarkMajorV1Format) {
+  Graph graph = testing::SmallRoadNetwork(66);
+  AltIndex original(graph, 5);
+  const std::size_t n = graph.NumVertices();
+  const std::size_t m = original.Landmarks().size();
+
+  std::stringstream buffer;
+  buffer.write("KSPALTI1", 8);
+  io::WritePod<std::uint32_t>(buffer, 1);  // Version 1.
+  io::WritePod<std::uint64_t>(buffer, n);
+  io::WritePodVector(buffer, original.Landmarks());
+  std::vector<Distance> landmark_major(m * n);
+  for (std::size_t l = 0; l < m; ++l) {
+    for (VertexId v = 0; v < n; ++v) {
+      landmark_major[l * n + v] = original.LandmarkDistance(l, v);
+    }
+  }
+  io::WritePodVector(buffer, landmark_major);
+
+  AltIndex loaded = LoadAltIndex(buffer);
+  ASSERT_EQ(loaded.Landmarks(), original.Landmarks());
+  for (VertexId s = 0; s < n; s += 7) {
+    for (VertexId t = 0; t < n; t += 11) {
+      ASSERT_EQ(loaded.LowerBound(s, t), original.LowerBound(s, t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+  // And the transposed matrix must feed the batch kernels identically.
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < n; t += 5) targets.push_back(t);
+  std::vector<Distance> out(targets.size());
+  loaded.LowerBoundBatch(3, targets, out);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(out[i], original.LowerBound(3, targets[i]));
+  }
+}
+
+TEST(Serialization, AltRejectsUnknownFutureVersion) {
+  Graph graph = testing::TinyGrid();
+  AltIndex alt(graph, 2);
+  std::stringstream buffer;
+  SaveAltIndex(alt, buffer);
+  std::string bytes = buffer.str();
+  const std::uint32_t bogus = 99;
+  std::memcpy(bytes.data() + 8, &bogus, sizeof(bogus));  // Version field.
+  std::stringstream future(bytes);
+  EXPECT_THROW(LoadAltIndex(future), io::SerializationError);
+}
+
 TEST(Serialization, ChRoundTripAnswersIdentically) {
   Graph graph = testing::SmallRoadNetwork(64);
   ContractionHierarchy original(graph);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Lower-bound throughput regression gate.
+
+Compares a bench_micro --json probe against the committed per-kernel
+baselines in BENCH_lb.json. The gated metric is batch_speedup (batch
+kernel vs. scalar per-pair on the same machine): a pure ratio, so it
+transfers across CPU frequencies. Fails when the current speedup drops
+more than --tolerance (default 10%) below the baseline recorded for
+the same kernel.
+
+Usage:
+  check_bench_lb.py --baseline BENCH_lb.json --current probe.json
+  check_bench_lb.py --update BENCH_lb.json probe1.json [probe2.json ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check(baseline_path, current_path, tolerance):
+    baseline = load(baseline_path)
+    current = load(current_path)
+    kernel = current.get("kernel")
+    speedup = current.get("batch_speedup")
+    if kernel is None or speedup is None:
+        print(f"error: {current_path} is not a bench_micro --json probe")
+        return 2
+
+    kernels = baseline.get("kernels", {})
+    if kernel not in kernels:
+        # Unknown hardware tier: no like-for-like baseline. Sanity-check
+        # only — the batch path must never be slower than per-pair.
+        print(f"warning: no baseline for kernel '{kernel}'; "
+              f"sanity check only (speedup={speedup:.3f})")
+        if speedup < 1.0:
+            print("FAIL: batch path slower than scalar per-pair")
+            return 1
+        print("PASS")
+        return 0
+
+    recorded = kernels[kernel]["batch_speedup"]
+    floor = recorded * (1.0 - tolerance)
+    status = "PASS" if speedup >= floor else "FAIL"
+    print(f"{status}: kernel={kernel} batch_speedup={speedup:.3f} "
+          f"baseline={recorded:.3f} floor={floor:.3f} "
+          f"(tolerance {tolerance:.0%})")
+    return 0 if speedup >= floor else 1
+
+
+def update(baseline_path, probe_paths):
+    try:
+        baseline = load(baseline_path)
+    except FileNotFoundError:
+        baseline = {"schema": 1, "kernels": {}}
+    kernels = baseline.setdefault("kernels", {})
+    for path in probe_paths:
+        probe = load(path)
+        kernel = probe["kernel"]
+        kernels[kernel] = {
+            "batch_speedup": probe["batch_speedup"],
+            "scalar_evals_per_sec": probe["scalar_evals_per_sec"],
+            "batch_evals_per_sec": probe["batch_evals_per_sec"],
+            "dataset": probe.get("dataset"),
+            "landmarks": probe.get("landmarks"),
+            "block_size": probe.get("block_size"),
+        }
+        print(f"recorded {kernel}: speedup={probe['batch_speedup']:.3f}")
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--current", help="fresh bench_micro --json probe")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional speedup drop (default 0.10)")
+    parser.add_argument("--update", metavar="BASELINE",
+                        help="rewrite BASELINE from the given probe files")
+    parser.add_argument("probes", nargs="*", help="probe files for --update")
+    args = parser.parse_args()
+
+    if args.update:
+        if not args.probes:
+            parser.error("--update requires at least one probe file")
+        return update(args.update, args.probes)
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required for checking")
+    return check(args.baseline, args.current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
