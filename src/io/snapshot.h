@@ -49,6 +49,8 @@ enum class SnapshotSection : std::uint32_t {
   kKeywordIndex = 5,  ///< SaveKeywordIndex payload.
   kContractionHierarchy = 6,  ///< SaveContractionHierarchy payload.
   kHubLabeling = 7,   ///< SaveHubLabeling payload.
+  kOplogPosition = 8, ///< u64 applied mutation sequence (op-log replay
+                      ///< starts after it; absent = 0, pre-oplog format).
 };
 
 /// Accumulates sections in memory, then emits the checksummed container.

@@ -284,6 +284,90 @@ Client::Reply Client::UntagPoi(ObjectId id, std::string_view keyword) {
   return reply;
 }
 
+Client::MutateReply Client::InsertDoc(std::uint64_t idempotency_key,
+                                      VertexId vertex, std::string_view name,
+                                      std::span<const std::string> keywords) {
+  InsertDocRequest request;
+  request.idempotency_key = idempotency_key;
+  request.vertex = vertex;
+  request.name = std::string(name);
+  request.keywords.assign(keywords.begin(), keywords.end());
+  const auto body =
+      RoundTrip(Opcode::kInsertDoc, EncodeInsertDocRequest(request));
+  PayloadReader reader(body);
+  MutateReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok()) {
+    MutationReply result;
+    if (!DecodeMutationResponse(reader, &result)) {
+      throw ClientError("malformed mutation response");
+    }
+    reply.sequence = result.sequence;
+    reply.id = result.object;
+  }
+  return reply;
+}
+
+Client::MutateReply Client::DeleteDoc(std::uint64_t idempotency_key,
+                                      ObjectId id) {
+  DeleteDocRequest request{idempotency_key, id};
+  const auto body =
+      RoundTrip(Opcode::kDeleteDoc, EncodeDeleteDocRequest(request));
+  PayloadReader reader(body);
+  MutateReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok()) {
+    MutationReply result;
+    if (!DecodeMutationResponse(reader, &result)) {
+      throw ClientError("malformed mutation response");
+    }
+    reply.sequence = result.sequence;
+    reply.id = result.object;
+  }
+  return reply;
+}
+
+Client::MutateReply Client::UpdateDoc(
+    std::uint64_t idempotency_key, ObjectId id,
+    std::span<const std::string> add_keywords,
+    std::span<const std::string> remove_keywords) {
+  UpdateDocRequest request;
+  request.idempotency_key = idempotency_key;
+  request.object = id;
+  request.add_keywords.assign(add_keywords.begin(), add_keywords.end());
+  request.remove_keywords.assign(remove_keywords.begin(),
+                                 remove_keywords.end());
+  const auto body =
+      RoundTrip(Opcode::kUpdateDoc, EncodeUpdateDocRequest(request));
+  PayloadReader reader(body);
+  MutateReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok()) {
+    MutationReply result;
+    if (!DecodeMutationResponse(reader, &result)) {
+      throw ClientError("malformed mutation response");
+    }
+    reply.sequence = result.sequence;
+    reply.id = result.object;
+  }
+  return reply;
+}
+
+Client::FetchOplogReply Client::FetchOplog(std::uint64_t from_sequence,
+                                           std::uint32_t max_bytes) {
+  FetchOplogRequest request{from_sequence, max_bytes};
+  const auto body =
+      RoundTrip(Opcode::kFetchOplog, EncodeFetchOplogRequest(request));
+  PayloadReader reader(body);
+  FetchOplogReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeOplogChunkResponse(reader, &reply.chunk)) {
+    // Covers malformed framing and a per-record CRC mismatch.
+    throw ClientError("malformed or corrupt op-log chunk");
+  }
+  return reply;
+}
+
 Client::SnapshotReply Client::Snapshot() {
   const auto body = RoundTrip(Opcode::kSnapshot, {});
   PayloadReader reader(body);

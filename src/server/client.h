@@ -83,6 +83,15 @@ class Client {
     SnapshotChunk chunk;
   };
 
+  struct FetchOplogReply : Reply {
+    OplogChunk chunk;
+  };
+
+  struct MutateReply : Reply {
+    std::uint64_t sequence = 0;     ///< Op-log sequence of the mutation.
+    ObjectId id = kInvalidObject;   ///< Affected object (new id on insert).
+  };
+
   /// Liveness probe.
   Reply Ping();
 
@@ -116,6 +125,24 @@ class Client {
   Reply ClosePoi(ObjectId id);
   Reply TagPoi(ObjectId id, std::string_view keyword);
   Reply UntagPoi(ObjectId id, std::string_view keyword);
+
+  /// Durable write path (v3 opcodes). `idempotency_key` is a client-chosen
+  /// retry token: resending with the same key returns the original result
+  /// instead of applying twice, so these are safe to retry (0 = no token,
+  /// every send is a distinct operation).
+  MutateReply InsertDoc(std::uint64_t idempotency_key, VertexId vertex,
+                        std::string_view name,
+                        std::span<const std::string> keywords);
+  MutateReply DeleteDoc(std::uint64_t idempotency_key, ObjectId id);
+  MutateReply UpdateDoc(std::uint64_t idempotency_key, ObjectId id,
+                        std::span<const std::string> add_keywords,
+                        std::span<const std::string> remove_keywords);
+
+  /// One batch of op-log records after `from_sequence` (FETCH_OPLOG
+  /// opcode) — the replica tailing path. max_bytes 0 accepts the server's
+  /// default batch size.
+  FetchOplogReply FetchOplog(std::uint64_t from_sequence,
+                             std::uint32_t max_bytes = 0);
 
   /// Asks the server to write a snapshot now (SNAPSHOT opcode). On kOk
   /// the reply carries the new snapshot's sequence number and path.

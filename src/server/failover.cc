@@ -1,5 +1,6 @@
 #include "server/failover.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,14 @@ FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
   if (endpoints_.empty()) {
     throw std::invalid_argument("FailoverClient needs at least one endpoint");
   }
+  // Seed the idempotency-key stream so two client processes started at
+  // different instants do not collide (keys only need to be unique within
+  // the server's dedup window, not cryptographically random).
+  key_state_ = policy_.jitter_seed ^
+               static_cast<std::uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch()
+                       .count()) ^
+               reinterpret_cast<std::uintptr_t>(this);
   clients_.reserve(endpoints_.size());
   for (const Endpoint& endpoint : endpoints_) {
     clients_.push_back(std::make_unique<RetryingClient>(
@@ -106,6 +115,45 @@ Client::Reply FailoverClient::ClosePoi(ObjectId id) {
 Client::Reply FailoverClient::TagPoi(ObjectId id, std::string_view keyword) {
   return ExecuteWrite(
       [&](RetryingClient& c) { return c.TagPoi(id, keyword); });
+}
+
+std::uint64_t FailoverClient::NextIdempotencyKey() {
+  // xorshift64; skip 0 (0 means "no key" on the wire).
+  do {
+    key_state_ ^= key_state_ << 13;
+    key_state_ ^= key_state_ >> 7;
+    key_state_ ^= key_state_ << 17;
+  } while (key_state_ == 0);
+  return key_state_;
+}
+
+Client::MutateReply FailoverClient::InsertDoc(
+    VertexId vertex, std::string_view name,
+    std::span<const std::string> keywords, std::uint64_t idempotency_key) {
+  const std::uint64_t key =
+      idempotency_key != 0 ? idempotency_key : NextIdempotencyKey();
+  return ExecuteWrite([&](RetryingClient& c) {
+    return c.InsertDoc(key, vertex, name, keywords);
+  });
+}
+
+Client::MutateReply FailoverClient::DeleteDoc(ObjectId id,
+                                              std::uint64_t idempotency_key) {
+  const std::uint64_t key =
+      idempotency_key != 0 ? idempotency_key : NextIdempotencyKey();
+  return ExecuteWrite(
+      [&](RetryingClient& c) { return c.DeleteDoc(key, id); });
+}
+
+Client::MutateReply FailoverClient::UpdateDoc(
+    ObjectId id, std::span<const std::string> add_keywords,
+    std::span<const std::string> remove_keywords,
+    std::uint64_t idempotency_key) {
+  const std::uint64_t key =
+      idempotency_key != 0 ? idempotency_key : NextIdempotencyKey();
+  return ExecuteWrite([&](RetryingClient& c) {
+    return c.UpdateDoc(key, id, add_keywords, remove_keywords);
+  });
 }
 
 Client::Reply FailoverClient::UntagPoi(ObjectId id,

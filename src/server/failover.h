@@ -66,6 +66,19 @@ class FailoverClient {
   Client::SnapshotReply Snapshot();
   Client::SnapshotReply Reload();
 
+  // Keyed mutations (v3). `idempotency_key` 0 means "generate one": the
+  // same key then rides across every retry and redirect of this call, so
+  // the operation applies at most once even through a failover.
+  Client::MutateReply InsertDoc(VertexId vertex, std::string_view name,
+                                std::span<const std::string> keywords,
+                                std::uint64_t idempotency_key = 0);
+  Client::MutateReply DeleteDoc(ObjectId id,
+                                std::uint64_t idempotency_key = 0);
+  Client::MutateReply UpdateDoc(ObjectId id,
+                                std::span<const std::string> add_keywords,
+                                std::span<const std::string> remove_keywords,
+                                std::uint64_t idempotency_key = 0);
+
   static constexpr std::size_t kMaxRedirects = 2;
 
  private:
@@ -74,6 +87,8 @@ class FailoverClient {
   /// effort — unreachable endpoints just keep their defaults.
   void ProbeRoles();
   std::size_t FindOrAddEndpoint(const Endpoint& endpoint);
+  /// Fresh nonzero idempotency key (xorshift stream seeded per client).
+  std::uint64_t NextIdempotencyKey();
 
   template <typename Op>
   auto ExecuteRead(Op&& op) -> decltype(op(std::declval<RetryingClient&>()));
@@ -89,6 +104,7 @@ class FailoverClient {
   std::size_t primary_index_ = 0;  ///< Believed primary.
   std::size_t last_endpoint_ = 0;
   bool probed_ = false;
+  std::uint64_t key_state_ = 0;    ///< Idempotency-key xorshift state.
 };
 
 template <typename Op>

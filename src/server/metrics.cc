@@ -76,6 +76,14 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 11;
     case Opcode::kMetrics:
       return 12;
+    case Opcode::kInsertDoc:
+      return 13;
+    case Opcode::kDeleteDoc:
+      return 14;
+    case Opcode::kUpdateDoc:
+      return 15;
+    case Opcode::kFetchOplog:
+      return 16;
   }
   return kNoSlot;
 }
@@ -129,6 +137,10 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"snapshots_failed", load(snapshots_failed)},
       {"reloads_ok", load(reloads_ok)},
       {"reloads_failed", load(reloads_failed)},
+      {"oplog_appends", load(oplog_appends)},
+      {"oplog_fsync_batches", load(oplog_fsync_batches)},
+      {"oplog_replay_records", load(oplog_replay_records)},
+      {"mutations_applied", load(mutations_applied)},
       {"requests_not_primary", load(requests_not_primary)},
       {"snapshot_chunks_served", load(snapshot_chunks_served)},
       {"replication_polls", load(replication_polls)},
@@ -139,6 +151,8 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"replication_installs_rejected", load(replication_installs_rejected)},
       {"replication_last_sequence", load(replication_last_sequence)},
       {"replication_sequence_delta", load(replication_sequence_delta)},
+      {"replication_source", load(replication_source)},
+      {"replication_oplog_records", load(replication_oplog_records)},
       {"connections_reaped_idle", load(connections_reaped_idle)},
       {"connections_reaped_slow", load(connections_reaped_slow)},
       {"connections_reaped_backpressure",
@@ -173,6 +187,10 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"opcode_health", load(requests_by_opcode[10])},
       {"opcode_fetch_snapshot", load(requests_by_opcode[11])},
       {"opcode_metrics", load(requests_by_opcode[12])},
+      {"opcode_insert_doc", load(requests_by_opcode[13])},
+      {"opcode_delete_doc", load(requests_by_opcode[14])},
+      {"opcode_update_doc", load(requests_by_opcode[15])},
+      {"opcode_fetch_oplog", load(requests_by_opcode[16])},
   };
   // Replication lag: ms since the last poll that confirmed the replica in
   // sync with (or installed a snapshot from) its primary. 0 until the
@@ -217,6 +235,7 @@ bool IsGaugeMetric(const std::string& key) {
   return key == "queue_depth" || key == "queue_depth_peak" ||
          key == "replication_last_sequence" ||
          key == "replication_sequence_delta" ||
+         key == "replication_source" ||
          key == "replication_lag_ms";
 }
 

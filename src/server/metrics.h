@@ -111,6 +111,18 @@ class ServerMetrics {
   std::atomic<std::uint64_t> reloads_ok{0};
   std::atomic<std::uint64_t> reloads_failed{0};
 
+  // Mutation subsystem (docs/persistence.md, "The operation log").
+  /// Records appended to the op log (mirrored from the Oplog writer).
+  std::atomic<std::uint64_t> oplog_appends{0};
+  /// fsync calls issued by group commit; appends / batches is the
+  /// batching ratio.
+  std::atomic<std::uint64_t> oplog_fsync_batches{0};
+  /// Records replayed at boot (restore-snapshot-then-replay-tail).
+  std::atomic<std::uint64_t> oplog_replay_records{0};
+  /// Mutations applied to the serving state (wire, replay, or tailed from
+  /// a primary).
+  std::atomic<std::uint64_t> mutations_applied{0};
+
   // Replication.
   /// Writes rejected because this server is a replica.
   std::atomic<std::uint64_t> requests_not_primary{0};
@@ -129,9 +141,14 @@ class ServerMetrics {
   std::atomic<std::uint64_t> replication_last_sequence{0};
   std::atomic<std::uint64_t> replication_sequence_delta{0};
   /// steady_clock ms timestamp of the last poll that confirmed the replica
-  /// in sync (or installed a snapshot); 0 = never. STATS derives
-  /// replication_lag_ms from it.
+  /// in sync (or installed a snapshot / applied tailed records); 0 =
+  /// never. STATS derives replication_lag_ms from it.
   std::atomic<std::uint64_t> replication_last_success_ms{0};
+  /// Gauge: how the replica last converged — 0 = snapshot transfer,
+  /// 1 = op-log tailing. Stays 0 until the first convergence.
+  std::atomic<std::uint64_t> replication_source{0};
+  /// Op-log records applied via tailing (replica side).
+  std::atomic<std::uint64_t> replication_oplog_records{0};
 
   // Connection hardening (reasons the I/O thread force-closed a peer).
   /// No bytes in either direction for idle_timeout_ms.
@@ -166,7 +183,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> traces_emitted{0};
 
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 13> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 17> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};
@@ -174,7 +191,7 @@ class ServerMetrics {
   /// End-to-end latency (admission to response encoded) of executed
   /// requests, by class.
   LatencyHistogram query_latency;   ///< kSearchBoolean / kSearchRanked.
-  LatencyHistogram update_latency;  ///< kPoi* opcodes.
+  LatencyHistogram update_latency;  ///< kPoi* and mutation opcodes.
 
   /// Dense slot for an opcode, or npos for unknown ones.
   static std::size_t OpcodeSlot(Opcode opcode);

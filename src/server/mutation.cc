@@ -1,0 +1,170 @@
+#include "server/mutation.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "server/wire.h"
+
+namespace kspin::server {
+
+namespace {
+// Structural caps: a mutation names a handful of keywords, never
+// thousands. Decode rejects anything past these so a corrupt length field
+// cannot balloon into a giant allocation.
+constexpr std::uint32_t kMaxMutationKeywords = 256;
+constexpr std::uint32_t kMaxNameBytes = 4096;
+// Keywords are single vocabulary terms. Capping their length (together
+// with the counts above) bounds a maximal record near 140 KiB, so any
+// logged record always fits a FETCH_OPLOG chunk when replicas tail it.
+constexpr std::uint32_t kMaxKeywordBytes = 512;
+
+bool ReadKeywords(PayloadReader& r, std::uint32_t count,
+                  std::vector<std::string>* out) {
+  if (count > kMaxMutationKeywords) return false;
+  out->clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    out->push_back(r.String());
+    if (out->back().size() > kMaxKeywordBytes) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<std::uint8_t> EncodeMutationRecord(const MutationRecord& record) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(record.op));
+  w.U64(record.idempotency_key);
+  switch (record.op) {
+    case MutationOp::kInsert:
+      w.U32(record.vertex);
+      w.String(record.name);
+      w.U32(static_cast<std::uint32_t>(record.add_keywords.size()));
+      for (const std::string& kw : record.add_keywords) w.String(kw);
+      break;
+    case MutationOp::kDelete:
+      w.U32(record.object);
+      break;
+    case MutationOp::kUpdate:
+      w.U32(record.object);
+      w.U32(static_cast<std::uint32_t>(record.add_keywords.size()));
+      for (const std::string& kw : record.add_keywords) w.String(kw);
+      w.U32(static_cast<std::uint32_t>(record.remove_keywords.size()));
+      for (const std::string& kw : record.remove_keywords) w.String(kw);
+      break;
+  }
+  return w.Take();
+}
+
+bool DecodeMutationRecord(std::span<const std::uint8_t> payload,
+                          MutationRecord* record) {
+  PayloadReader r(payload);
+  const std::uint8_t op = r.U8();
+  record->idempotency_key = r.U64();
+  switch (op) {
+    case static_cast<std::uint8_t>(MutationOp::kInsert): {
+      record->op = MutationOp::kInsert;
+      record->vertex = r.U32();
+      record->name = r.String();
+      if (record->name.size() > kMaxNameBytes) return false;
+      if (!ReadKeywords(r, r.U32(), &record->add_keywords)) return false;
+      break;
+    }
+    case static_cast<std::uint8_t>(MutationOp::kDelete):
+      record->op = MutationOp::kDelete;
+      record->object = r.U32();
+      break;
+    case static_cast<std::uint8_t>(MutationOp::kUpdate): {
+      record->op = MutationOp::kUpdate;
+      record->object = r.U32();
+      if (!ReadKeywords(r, r.U32(), &record->add_keywords)) return false;
+      if (!ReadKeywords(r, r.U32(), &record->remove_keywords)) return false;
+      break;
+    }
+    default:
+      return false;
+  }
+  return r.Finished();
+}
+
+ObjectId ApplyMutationRecord(PoiService& service,
+                             const MutationRecord& record) {
+  switch (record.op) {
+    case MutationOp::kInsert:
+      return service.AddPoi(record.name, record.vertex,
+                            record.add_keywords);
+    case MutationOp::kDelete:
+      service.ClosePoi(record.object);
+      return record.object;
+    case MutationOp::kUpdate:
+      for (const std::string& kw : record.add_keywords) {
+        service.TagPoi(record.object, kw);
+      }
+      for (const std::string& kw : record.remove_keywords) {
+        service.UntagPoi(record.object, kw);
+      }
+      return record.object;
+  }
+  throw std::invalid_argument("unknown mutation op");
+}
+
+EpochGate::ReadGuard::~ReadGuard() {
+  if (gate_ != nullptr) {
+    gate_->slots_[slot_].active.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+EpochGate::ReadGuard EpochGate::Reader(std::size_t slot_hint) {
+  const std::size_t slot = slot_hint % kSlots;
+  for (;;) {
+    // Announce, then check for a writer (Dekker ordering: both sides use
+    // seq_cst, so either the reader sees writer_active_ or the writer
+    // sees the slot count — never neither).
+    slots_[slot].active.fetch_add(1, std::memory_order_seq_cst);
+    if (!writer_active_.load(std::memory_order_seq_cst)) {
+      return ReadGuard(this, slot);
+    }
+    // A writer is applying: back out and wait for the window to close.
+    slots_[slot].active.fetch_sub(1, std::memory_order_seq_cst);
+    while (writer_active_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void EpochGate::BeginApply() {
+  writer_active_.store(true, std::memory_order_seq_cst);
+  for (Slot& slot : slots_) {
+    while (slot.active.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void EpochGate::EndApply() {
+  epoch_.fetch_add(1, std::memory_order_release);
+  writer_active_.store(false, std::memory_order_seq_cst);
+}
+
+const IdempotencyCache::Result* IdempotencyCache::Find(
+    std::uint64_t key) const {
+  if (key == 0) return nullptr;
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void IdempotencyCache::Remember(std::uint64_t key, Result result) {
+  if (key == 0 || capacity_ == 0) return;
+  const auto [it, inserted] = map_.insert_or_assign(key, result);
+  if (!inserted) return;  // Refreshed an existing key; FIFO entry stands.
+  if (fifo_.size() < capacity_) {
+    fifo_.push_back(key);
+    return;
+  }
+  // Ring is full: evict the oldest key and reuse its slot.
+  const std::uint64_t evicted = fifo_[fifo_head_];
+  map_.erase(evicted);
+  fifo_[fifo_head_] = key;
+  fifo_head_ = (fifo_head_ + 1) % capacity_;
+}
+
+}  // namespace kspin::server

@@ -130,11 +130,82 @@ void Replicator::Loop() {
   }
 }
 
+Replicator::TailOutcome Replicator::TailOplog() {
+  // Cap the batches per poll so one cycle cannot monopolize the thread
+  // against a faster writer; the next poll simply continues tailing.
+  constexpr int kMaxBatchesPerPoll = 64;
+  std::uint64_t applied_total = 0;
+  std::uint64_t behind = 0;
+  for (int i = 0; i < kMaxBatchesPerPoll; ++i) {
+    const std::uint64_t from = hooks_.local_mutation_sequence();
+    const auto reply = client_.FetchOplog(from, options_.fetch_chunk_bytes);
+    if (!reply.ok()) {
+      // kUnsupported: no op log over there (old server or no --oplog-dir).
+      return TailOutcome::kFallback;
+    }
+    const OplogChunk& chunk = reply.chunk;
+    if (chunk.truncated != 0) {
+      std::fprintf(stderr,
+                   "replication: primary log starts at %llu, need %llu; "
+                   "falling back to snapshot transfer\n",
+                   static_cast<unsigned long long>(chunk.oldest_sequence),
+                   static_cast<unsigned long long>(from + 1));
+      return TailOutcome::kFallback;
+    }
+    if (chunk.records.empty()) {
+      if (chunk.last_sequence < from) {
+        // The primary is BEHIND us (restarted from an older snapshot, or
+        // a different primary entirely): self-heal via snapshot.
+        return TailOutcome::kFallback;
+      }
+      behind = chunk.last_sequence - from;
+      break;  // In sync.
+    }
+    std::string error;
+    if (!hooks_.apply_mutations(chunk.records, &error)) {
+      std::fprintf(stderr,
+                   "replication: applying shipped records failed: %s; "
+                   "falling back to snapshot transfer\n",
+                   error.c_str());
+      return TailOutcome::kFallback;
+    }
+    applied_total += chunk.records.size();
+    metrics_.replication_oplog_records.fetch_add(chunk.records.size(),
+                                                 std::memory_order_relaxed);
+    const std::uint64_t now_at = hooks_.local_mutation_sequence();
+    behind = chunk.last_sequence > now_at ? chunk.last_sequence - now_at : 0;
+    if (behind == 0) break;
+  }
+  metrics_.replication_source.store(1, std::memory_order_relaxed);
+  metrics_.replication_sequence_delta.store(behind,
+                                            std::memory_order_relaxed);
+  metrics_.replication_last_success_ms.store(SteadyNowMs(),
+                                             std::memory_order_relaxed);
+  return applied_total > 0 ? TailOutcome::kApplied : TailOutcome::kInSync;
+}
+
 bool Replicator::PollOnce() {
   metrics_.replication_polls.fetch_add(1, std::memory_order_relaxed);
   try {
     if (!client_.Connected()) {
       client_.Connect(options_.primary.host, options_.primary.port);
+    }
+    // Delta path first: ship only the records we are missing. Snapshots
+    // become the bootstrap / repair mechanism. Tailing only means
+    // anything on top of a baseline shared with the primary — a freshly
+    // booted replica with no installed snapshot may match the primary's
+    // mutation sequence (both 0) while holding entirely different state,
+    // so until a snapshot baseline exists the snapshot path runs.
+    if (hooks_.local_mutation_sequence && hooks_.apply_mutations &&
+        hooks_.local_sequence() > 0) {
+      switch (TailOplog()) {
+        case TailOutcome::kApplied:
+          return true;
+        case TailOutcome::kInSync:
+          return false;
+        case TailOutcome::kFallback:
+          break;  // Snapshot transfer below.
+      }
     }
     const auto health = client_.Health();
     if (!health.ok()) {
@@ -180,6 +251,7 @@ bool Replicator::PollOnce() {
       return false;
     }
     metrics_.replication_installs_ok.fetch_add(1, std::memory_order_relaxed);
+    metrics_.replication_source.store(0, std::memory_order_relaxed);
     metrics_.replication_last_sequence.store(sequence,
                                              std::memory_order_relaxed);
     const std::uint64_t now_local = hooks_.local_sequence();

@@ -1,23 +1,27 @@
-// Primary–replica replication: snapshot shipping over the wire protocol.
+// Primary–replica replication: op-log tailing with snapshot fallback.
 //
-// The model is deliberately simple — replicas pull whole snapshots:
+// Steady state is delta replication. Each poll, the replica asks the
+// primary for op-log records after its own applied mutation sequence
+// (FETCH_OPLOG) and applies them in order — bytes shipped per poll are
+// proportional to the write rate, so replication lag is one poll interval,
+// not one snapshot cycle.
 //
-//   1. A replica polls its primary's HEALTH on a fixed interval and
-//      compares the primary's newest snapshot sequence to its own.
-//   2. When the primary is ahead, the replica streams the snapshot with
-//      FETCH_SNAPSHOT range requests (chunked under the 1 MiB frame
-//      budget, each chunk CRC-checked at the frame level).
-//   3. The reassembled image is validated end-to-end (full container
-//      checks + load against the serving graph) OFF the serving lock, so
-//      reads keep flowing from the old state the whole time; only the
-//      final catalog swap takes the exclusive update lock.
-//   4. The verified image is persisted into the replica's own snapshot
-//      directory via the crash-safe write path, so a replica restart
-//      recovers locally instead of re-fetching.
+// The snapshot path remains the bootstrap and repair mechanism. Tailing
+// only starts once a snapshot baseline has been installed (a mutation
+// sequence is meaningless across unrelated states), and the replica
+// falls back to a full snapshot transfer when:
+//   - the primary does not serve FETCH_OPLOG (no --oplog-dir, old server);
+//   - the primary's log no longer retains the records the replica needs
+//     (truncated after a snapshot — the replica was down too long);
+//   - applying a shipped record fails (divergence; the snapshot resets
+//     the replica to a known-good state).
 //
-// A corrupt or torn transfer is rejected at step 3: the replica keeps
-// serving its previous state and simply retries on the next poll. Chunk
-// range-reads are idempotent, so every retry starts clean.
+// Snapshot transfers work as before: stream with FETCH_SNAPSHOT range
+// requests (chunked under the 1 MiB frame budget), validate the image
+// end-to-end OFF the serving path, persist it locally crash-safe, then
+// swap the catalog in one apply window. A corrupt or torn transfer is
+// rejected at validation: the replica keeps serving its previous state
+// and retries on the next poll.
 #ifndef KSPIN_SERVER_REPLICATION_H_
 #define KSPIN_SERVER_REPLICATION_H_
 
@@ -29,6 +33,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "server/client.h"
 #include "server/metrics.h"
@@ -93,6 +98,15 @@ class Replicator {
     std::function<bool(std::uint64_t sequence, const std::string& bytes,
                        std::string* error)>
         install;
+    /// Highest mutation sequence applied locally — where log tailing
+    /// resumes from. Unset disables tailing (snapshot-only replication).
+    std::function<std::uint64_t()> local_mutation_sequence;
+    /// Applies records shipped from the primary, in order. Returns false
+    /// with `*error` set on a gap / decode / apply failure — the poll
+    /// falls back to a snapshot transfer. Unset disables tailing.
+    std::function<bool(const std::vector<OplogWireRecord>& records,
+                       std::string* error)>
+        apply_mutations;
   };
 
   Replicator(ReplicationOptions options, ServerMetrics& metrics, Hooks hooks);
@@ -106,13 +120,22 @@ class Replicator {
   /// Stops and joins the poll thread. Idempotent; called by ~Replicator.
   void Stop();
 
-  /// One poll cycle (also the test entry point): health-check the primary
-  /// and fetch + install if it is ahead. Returns true when a new snapshot
-  /// was installed. Never throws — failures land in metrics and stderr
-  /// and are retried on the next cycle.
+  /// One poll cycle (also the test entry point): tail the primary's op
+  /// log when possible, otherwise health-check and fetch + install a
+  /// snapshot if the primary is ahead. Returns true when new state
+  /// arrived (records applied or a snapshot installed). Never throws —
+  /// failures land in metrics and stderr and are retried on the next
+  /// cycle.
   bool PollOnce();
 
  private:
+  enum class TailOutcome {
+    kApplied,   ///< One or more records were applied.
+    kInSync,    ///< Nothing to ship; the replica is caught up.
+    kFallback,  ///< Tailing cannot proceed; use a snapshot transfer.
+  };
+
+  TailOutcome TailOplog();
   void Loop();
 
   ReplicationOptions options_;

@@ -105,4 +105,28 @@ Client::Reply RetryingClient::UntagPoi(ObjectId id,
   return Execute(false, [&] { return client_.UntagPoi(id, keyword); });
 }
 
+Client::MutateReply RetryingClient::InsertDoc(
+    std::uint64_t idempotency_key, VertexId vertex, std::string_view name,
+    std::span<const std::string> keywords) {
+  return Execute(idempotency_key != 0, [&] {
+    return client_.InsertDoc(idempotency_key, vertex, name, keywords);
+  });
+}
+
+Client::MutateReply RetryingClient::DeleteDoc(std::uint64_t idempotency_key,
+                                              ObjectId id) {
+  return Execute(idempotency_key != 0,
+                 [&] { return client_.DeleteDoc(idempotency_key, id); });
+}
+
+Client::MutateReply RetryingClient::UpdateDoc(
+    std::uint64_t idempotency_key, ObjectId id,
+    std::span<const std::string> add_keywords,
+    std::span<const std::string> remove_keywords) {
+  return Execute(idempotency_key != 0, [&] {
+    return client_.UpdateDoc(idempotency_key, id, add_keywords,
+                             remove_keywords);
+  });
+}
+
 }  // namespace kspin::server

@@ -91,6 +91,18 @@ class RetryingClient {
   Client::Reply TagPoi(ObjectId id, std::string_view keyword);
   Client::Reply UntagPoi(ObjectId id, std::string_view keyword);
 
+  // Keyed mutations (v3) — with a nonzero idempotency key the server
+  // deduplicates re-sends, so a torn round trip is safe to retry like an
+  // idempotent read; key 0 falls back to the conservative update rules
+  // above.
+  Client::MutateReply InsertDoc(std::uint64_t idempotency_key,
+                                VertexId vertex, std::string_view name,
+                                std::span<const std::string> keywords);
+  Client::MutateReply DeleteDoc(std::uint64_t idempotency_key, ObjectId id);
+  Client::MutateReply UpdateDoc(std::uint64_t idempotency_key, ObjectId id,
+                                std::span<const std::string> add_keywords,
+                                std::span<const std::string> remove_keywords);
+
  private:
   /// Runs `op` under the retry loop. `op` must return a type derived
   /// from Client::Reply.

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,7 @@
 #include <filesystem>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "io/binary_format.h"
 #include "io/snapshot.h"
@@ -91,7 +93,7 @@ struct Server::Request {
 };
 
 Server::Server(PoiService& service, ServerOptions options)
-    : service_(service), options_(options) {
+    : service_(service), options_(options), oplog_(options_.oplog) {
   queue_ = std::make_unique<AdmissionQueue<Request>>(options_.queue_capacity);
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<TraceSink>(options_.trace_path);
@@ -117,6 +119,52 @@ void Server::Start() {
                                std::memory_order_relaxed);
     }
   }
+
+  // Boot = restore-newest-snapshot-then-replay-tail: the caller already
+  // restored the snapshot into `service_` and told us the mutation
+  // sequence it covers; every valid log record past it is applied before
+  // a single request is served (docs/persistence.md).
+  applied_sequence_.store(options_.restored_mutation_sequence,
+                          std::memory_order_relaxed);
+  if (!oplog_.Open(options_.restored_mutation_sequence + 1)) {
+    throw std::runtime_error("cannot open op log in " + options_.oplog.dir);
+  }
+  if (oplog_.Enabled()) {
+    const OplogReplayResult replayed = ReplayOplog(
+        options_.oplog.dir, options_.restored_mutation_sequence,
+        [this](const OplogRecord& rec) {
+          MutationRecord record;
+          if (!DecodeMutationRecord(rec.payload, &record)) {
+            // CRC-valid but undecodable means a format bug, not bit rot;
+            // serving a silently divergent state would be worse than
+            // failing the boot.
+            throw std::runtime_error("op log record " +
+                                     std::to_string(rec.sequence) +
+                                     " does not decode");
+          }
+          ApplyMutationRecord(service_, record);
+        });
+    if (replayed.last_sequence >
+        applied_sequence_.load(std::memory_order_relaxed)) {
+      applied_sequence_.store(replayed.last_sequence,
+                              std::memory_order_relaxed);
+    }
+    metrics_.oplog_replay_records.store(replayed.records_applied,
+                                        std::memory_order_relaxed);
+    metrics_.mutations_applied.fetch_add(replayed.records_applied,
+                                         std::memory_order_relaxed);
+    if (replayed.records_applied > 0 || replayed.stopped_at_corruption) {
+      std::fprintf(
+          stderr,
+          "oplog: replayed %llu record(s) to sequence %llu%s%s\n",
+          static_cast<unsigned long long>(replayed.records_applied),
+          static_cast<unsigned long long>(
+              applied_sequence_.load(std::memory_order_relaxed)),
+          replayed.stopped_at_corruption ? "; stopped at corruption: " : "",
+          replayed.corruption_detail.c_str());
+    }
+  }
+  MirrorOplogMetrics();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
@@ -150,7 +198,7 @@ void Server::Start() {
   }
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   io_thread_ = std::thread([this] { IoLoop(); });
   if (!options_.snapshot.dir.empty() && options_.snapshot.period_ms > 0) {
@@ -163,6 +211,11 @@ void Server::Start() {
     hooks.install = [this](std::uint64_t sequence, const std::string& bytes,
                            std::string* error) {
       return InstallReplicaSnapshot(sequence, bytes, error);
+    };
+    hooks.local_mutation_sequence = [this] { return AppliedSequence(); };
+    hooks.apply_mutations = [this](const std::vector<OplogWireRecord>& records,
+                                   std::string* error) {
+      return ApplyReplicatedMutations(records, error);
     };
     replicator_ = std::make_unique<Replicator>(options_.replication,
                                                metrics_, std::move(hooks));
@@ -187,9 +240,11 @@ void Server::Stop() {
   // 1. Refuse new work; admitted requests keep draining.
   queue_->Close();
   Wake();
-  // 2. Workers finish every admitted request and exit.
+  // 2. Workers finish every admitted request and exit; the op log gets a
+  // final fsync once nothing can append anymore.
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  oplog_.Close();
   // 3. The I/O thread flushes remaining responses and exits.
   io_exit_.store(true);
   Wake();
@@ -469,6 +524,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       // itself; it shows up in the next snapshot instead. One FullSnapshot
       // backs the whole response, so counters, histogram buckets, and the
       // derived summary values all describe the same instant.
+      MirrorOplogMetrics();
       const MetricsSnapshot snapshot = metrics_.FullSnapshot(queue_->Size());
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       auto pairs = snapshot.counters;
@@ -506,6 +562,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kMetrics: {
       // Prometheus text exposition; inline like STATS so scrapes work on
       // a saturated server.
+      MirrorOplogMetrics();
       const MetricsSnapshot snapshot = metrics_.FullSnapshot(queue_->Size());
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       Respond(conn, header,
@@ -522,6 +579,9 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kPoiClose:
     case Opcode::kPoiTag:
     case Opcode::kPoiUntag:
+    case Opcode::kInsertDoc:
+    case Opcode::kDeleteDoc:
+    case Opcode::kUpdateDoc:
       if (options_.replication.role == ServerRole::kReplica) {
         // Replicas are read-only; tell the client where the primary is
         // (the NOT_PRIMARY message is the redirect address).
@@ -538,7 +598,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kSearchRanked:
     case Opcode::kSnapshot:
     case Opcode::kReload:
-    case Opcode::kFetchSnapshot: {
+    case Opcode::kFetchSnapshot:
+    case Opcode::kFetchOplog: {
       Request request;
       request.conn = conn;
       request.header = header;
@@ -569,7 +630,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 
 // ----- Workers -------------------------------------------------------------
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(std::size_t worker_index) {
   // Per-thread processor, lazily (re)built when the engine's structure
   // generation moves — the same invalidation rule ParallelQueryExecutor
   // follows.
@@ -596,25 +657,37 @@ void Server::WorkerLoop() {
     }
 
     const Opcode opcode = request->header.opcode;
-    // FETCH_SNAPSHOT is query-class: it only reads immutable snapshot
-    // files, so it must not quiesce queries (or be blocked by them).
+    // FETCH_SNAPSHOT only reads immutable snapshot files and FETCH_OPLOG
+    // serializes inside the Oplog, so both are query-class: they must not
+    // quiesce queries (or be blocked by them).
     const bool is_query = opcode == Opcode::kSearchBoolean ||
                           opcode == Opcode::kSearchRanked ||
-                          opcode == Opcode::kFetchSnapshot;
+                          opcode == Opcode::kFetchSnapshot ||
+                          opcode == Opcode::kFetchOplog;
+    const bool is_mutation =
+        opcode == Opcode::kPoiAdd || opcode == Opcode::kPoiClose ||
+        opcode == Opcode::kPoiTag || opcode == Opcode::kPoiUntag ||
+        opcode == Opcode::kInsertDoc || opcode == Opcode::kDeleteDoc ||
+        opcode == Opcode::kUpdateDoc;
     if (is_query) {
-      std::shared_lock<std::shared_mutex> guard(update_mutex_);
+      // Wait-free unless a mutation's in-memory apply window is open.
+      const EpochGate::ReadGuard guard = gate_.Reader(worker_index);
       const std::uint64_t current =
           service_.Engine().StructureGeneration();
       if (processor == nullptr || generation != current) {
         processor = service_.Engine().MakeProcessor();
         generation = current;
       }
-      ProcessRequest(*request,
-                     opcode == Opcode::kFetchSnapshot ? nullptr
-                                                      : processor.get());
+      const bool needs_processor = opcode == Opcode::kSearchBoolean ||
+                                   opcode == Opcode::kSearchRanked;
+      ProcessRequest(*request, needs_processor ? processor.get() : nullptr);
+    } else if (is_mutation) {
+      ProcessMutation(*request);  // Takes mutation_mutex_ itself.
     } else {
-      std::unique_lock<std::shared_mutex> guard(update_mutex_);
-      ProcessRequest(*request, nullptr);  // Updates never touch it.
+      // SNAPSHOT / RELOAD: exclude other state-changers; queries keep
+      // flowing (RELOAD additionally opens an apply window for its swap).
+      std::lock_guard<std::mutex> guard(mutation_mutex_);
+      ProcessRequest(*request, nullptr);
     }
   }
 }
@@ -685,76 +758,6 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
         ok = true;
         break;
       }
-      case Opcode::kPoiAdd: {
-        PoiAddRequest add;
-        if (!DecodePoiAddRequest(request.payload, &add)) {
-          metrics_.requests_malformed_payload.fetch_add(
-              1, std::memory_order_relaxed);
-          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
-                                         "bad poi-add payload");
-          break;
-        }
-        if (add.vertex >= service_.Engine().NetworkGraph().NumVertices()) {
-          metrics_.requests_bad_query.fetch_add(1,
-                                                std::memory_order_relaxed);
-          response = EncodeErrorResponse(StatusCode::kBadQuery,
-                                         "vertex out of range");
-          break;
-        }
-        const ObjectId id =
-            service_.AddPoi(add.name, add.vertex, add.keywords);
-        response = EncodeObjectIdResponse(id);
-        ok = true;
-        break;
-      }
-      case Opcode::kPoiClose: {
-        PayloadReader reader(request.payload);
-        const ObjectId id = reader.U32();
-        if (!reader.Finished()) {
-          metrics_.requests_malformed_payload.fetch_add(
-              1, std::memory_order_relaxed);
-          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
-                                         "bad poi-close payload");
-          break;
-        }
-        if (!service_.Engine().Store().IsLive(id)) {
-          metrics_.requests_bad_query.fetch_add(1,
-                                                std::memory_order_relaxed);
-          response =
-              EncodeErrorResponse(StatusCode::kBadQuery, "no such poi");
-          break;
-        }
-        service_.ClosePoi(id);
-        response = EncodeOkResponse();
-        ok = true;
-        break;
-      }
-      case Opcode::kPoiTag:
-      case Opcode::kPoiUntag: {
-        PoiTagRequest tag;
-        if (!DecodePoiTagRequest(request.payload, &tag)) {
-          metrics_.requests_malformed_payload.fetch_add(
-              1, std::memory_order_relaxed);
-          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
-                                         "bad poi-tag payload");
-          break;
-        }
-        if (!service_.Engine().Store().IsLive(tag.object)) {
-          metrics_.requests_bad_query.fetch_add(1,
-                                                std::memory_order_relaxed);
-          response =
-              EncodeErrorResponse(StatusCode::kBadQuery, "no such poi");
-          break;
-        }
-        if (opcode == Opcode::kPoiTag) {
-          service_.TagPoi(tag.object, tag.keyword);
-        } else {
-          service_.UntagPoi(tag.object, tag.keyword);
-        }
-        response = EncodeOkResponse();
-        ok = true;
-        break;
-      }
       case Opcode::kSnapshot: {
         if (options_.snapshot.dir.empty()) {
           metrics_.requests_bad_query.fetch_add(1,
@@ -763,8 +766,8 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
                                          "snapshotting disabled");
           break;
         }
-        // The worker already holds the exclusive update lock (SNAPSHOT is
-        // routed as an update), so the state cannot change underneath.
+        // The worker already holds mutation_mutex_ (SNAPSHOT routes as a
+        // state-changer), so the state cannot change underneath.
         const auto [sequence, path] = SnapshotLocked();
         response = EncodeSnapshotResponse(sequence, path);
         ok = true;
@@ -805,6 +808,24 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
         if (!ok) {
           metrics_.requests_bad_query.fetch_add(1,
                                                 std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Opcode::kFetchOplog: {
+        FetchOplogRequest fetch;
+        if (!DecodeFetchOplogRequest(request.payload, &fetch)) {
+          metrics_.requests_malformed_payload.fetch_add(
+              1, std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                         "bad fetch-oplog payload");
+          break;
+        }
+        response = HandleFetchOplog(fetch);
+        ok = response.size() > 0 &&
+             response[0] == static_cast<std::uint8_t>(StatusCode::kOk);
+        if (!ok) {
+          metrics_.requests_unsupported.fetch_add(1,
+                                                  std::memory_order_relaxed);
         }
         break;
       }
@@ -878,6 +899,359 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
     }
   }
   Respond(request.conn, header, std::move(response));
+}
+
+// ----- Mutations -----------------------------------------------------------
+
+namespace {
+
+// Pre-validates a mutation against the current catalog so nothing invalid
+// is ever appended to the log. Replay applies logged records
+// unconditionally, so the apply of a validated record must succeed — this
+// function must anticipate every way ApplyMutationRecord could throw.
+bool ValidateMutation(const PoiService& service, const MutationRecord& record,
+                      std::string* why) {
+  switch (record.op) {
+    case MutationOp::kInsert:
+      if (record.vertex >= service.Engine().NetworkGraph().NumVertices()) {
+        *why = "vertex out of range";
+        return false;
+      }
+      return true;
+    case MutationOp::kDelete:
+      if (!service.Engine().Store().IsLive(record.object)) {
+        *why = "no such poi";
+        return false;
+      }
+      return true;
+    case MutationOp::kUpdate: {
+      if (!service.Engine().Store().IsLive(record.object)) {
+        *why = "no such poi";
+        return false;
+      }
+      // Adds apply before removes and never fail on a live object; a
+      // remove fails if its keyword is absent at that point. Simulate the
+      // per-keyword presence so "add x, remove x" and "remove x twice"
+      // validate exactly as they would apply.
+      std::unordered_map<std::string, bool> present;
+      const auto state = [&](const std::string& keyword) -> bool& {
+        const std::string canonical = PoiService::CanonicalKeyword(keyword);
+        auto it = present.find(canonical);
+        if (it == present.end()) {
+          it = present.emplace(canonical,
+                               service.HasTag(record.object, canonical))
+                   .first;
+        }
+        return it->second;
+      };
+      for (const std::string& keyword : record.add_keywords) {
+        state(keyword) = true;
+      }
+      for (const std::string& keyword : record.remove_keywords) {
+        bool& tagged = state(keyword);
+        if (!tagged) {
+          *why = "poi does not have keyword: " + keyword;
+          return false;
+        }
+        tagged = false;
+      }
+      return true;
+    }
+  }
+  *why = "unknown mutation op";
+  return false;
+}
+
+}  // namespace
+
+bool Server::DecodeMutationRequest(const Request& request,
+                                   MutationRecord* record,
+                                   std::vector<std::uint8_t>* error_response) {
+  const auto malformed = [&](const char* what) {
+    metrics_.requests_malformed_payload.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    *error_response =
+        EncodeErrorResponse(StatusCode::kMalformedPayload, what);
+    return false;
+  };
+  switch (request.header.opcode) {
+    case Opcode::kInsertDoc: {
+      InsertDocRequest req;
+      if (!DecodeInsertDocRequest(request.payload, &req)) {
+        return malformed("bad insert-doc payload");
+      }
+      record->op = MutationOp::kInsert;
+      record->idempotency_key = req.idempotency_key;
+      record->vertex = req.vertex;
+      record->name = std::move(req.name);
+      record->add_keywords = std::move(req.keywords);
+      return true;
+    }
+    case Opcode::kDeleteDoc: {
+      DeleteDocRequest req;
+      if (!DecodeDeleteDocRequest(request.payload, &req)) {
+        return malformed("bad delete-doc payload");
+      }
+      record->op = MutationOp::kDelete;
+      record->idempotency_key = req.idempotency_key;
+      record->object = req.object;
+      return true;
+    }
+    case Opcode::kUpdateDoc: {
+      UpdateDocRequest req;
+      if (!DecodeUpdateDocRequest(request.payload, &req)) {
+        return malformed("bad update-doc payload");
+      }
+      record->op = MutationOp::kUpdate;
+      record->idempotency_key = req.idempotency_key;
+      record->object = req.object;
+      record->add_keywords = std::move(req.add_keywords);
+      record->remove_keywords = std::move(req.remove_keywords);
+      return true;
+    }
+    // Legacy v1/v2 write opcodes route through the same logged path.
+    // They carry no idempotency key (0 = every call is distinct).
+    case Opcode::kPoiAdd: {
+      PoiAddRequest add;
+      if (!DecodePoiAddRequest(request.payload, &add)) {
+        return malformed("bad poi-add payload");
+      }
+      record->op = MutationOp::kInsert;
+      record->vertex = add.vertex;
+      record->name = std::move(add.name);
+      record->add_keywords = std::move(add.keywords);
+      return true;
+    }
+    case Opcode::kPoiClose: {
+      PayloadReader reader(request.payload);
+      const ObjectId object = reader.U32();
+      if (!reader.Finished()) {
+        return malformed("bad poi-close payload");
+      }
+      record->op = MutationOp::kDelete;
+      record->object = object;
+      return true;
+    }
+    case Opcode::kPoiTag:
+    case Opcode::kPoiUntag: {
+      PoiTagRequest tag;
+      if (!DecodePoiTagRequest(request.payload, &tag)) {
+        return malformed("bad poi-tag payload");
+      }
+      record->op = MutationOp::kUpdate;
+      record->object = tag.object;
+      if (request.header.opcode == Opcode::kPoiTag) {
+        record->add_keywords.push_back(std::move(tag.keyword));
+      } else {
+        record->remove_keywords.push_back(std::move(tag.keyword));
+      }
+      return true;
+    }
+    default:
+      break;
+  }
+  metrics_.requests_unsupported.fetch_add(1, std::memory_order_relaxed);
+  *error_response =
+      EncodeErrorResponse(StatusCode::kUnsupported, "not a mutation opcode");
+  return false;
+}
+
+void Server::ProcessMutation(Request& request) {
+  const FrameHeader& header = request.header;
+  const Opcode opcode = header.opcode;
+  std::vector<std::uint8_t> response;
+  bool ok = false;
+  bool need_sync = false;
+  MutationReply result;
+  MutationRecord record;
+  try {
+    if (DecodeMutationRequest(request, &record, &response)) {
+      // The logged form is canonical: a record the log codec would reject
+      // (oversized name / keyword list) is refused here, so replay never
+      // meets a record it cannot decode.
+      const std::vector<std::uint8_t> payload = EncodeMutationRecord(record);
+      MutationRecord canonical;
+      if (!DecodeMutationRecord(payload, &canonical)) {
+        metrics_.requests_bad_query.fetch_add(1, std::memory_order_relaxed);
+        response = EncodeErrorResponse(StatusCode::kBadQuery,
+                                       "mutation exceeds size limits");
+      } else {
+        std::lock_guard<std::mutex> guard(mutation_mutex_);
+        const IdempotencyCache::Result* seen =
+            idempotency_.Find(record.idempotency_key);
+        std::string why;
+        if (seen != nullptr) {
+          // Retry of an already-applied (and already-durable) mutation:
+          // answer with the original result, apply nothing.
+          result.sequence = seen->sequence;
+          result.object = seen->object;
+          ok = true;
+        } else if (!ValidateMutation(service_, record, &why)) {
+          metrics_.requests_bad_query.fetch_add(1,
+                                                std::memory_order_relaxed);
+          response = EncodeErrorResponse(StatusCode::kBadQuery, why);
+        } else {
+          const std::uint64_t sequence = oplog_.Append(payload);
+          if (sequence == 0) {
+            metrics_.requests_internal_error.fetch_add(
+                1, std::memory_order_relaxed);
+            response = EncodeErrorResponse(StatusCode::kInternal,
+                                           "op log append failed");
+          } else {
+            ObjectId object = kInvalidObject;
+            {
+              // The only instant queries wait on a mutation: the
+              // in-memory apply. The fsync happens outside the window
+              // (and outside mutation_mutex_).
+              const EpochGate::ApplyGuard apply(gate_);
+              object = ApplyMutationRecord(service_, record);
+            }
+            applied_sequence_.store(sequence, std::memory_order_release);
+            idempotency_.Remember(record.idempotency_key,
+                                  {sequence, object});
+            metrics_.mutations_applied.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            result.sequence = sequence;
+            result.object = object;
+            ok = true;
+            need_sync = true;
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // Validation should make the apply infallible; anything that still
+    // escapes (allocation failure) is an internal error.
+    metrics_.requests_internal_error.fetch_add(1, std::memory_order_relaxed);
+    response = EncodeErrorResponse(StatusCode::kInternal, e.what());
+    ok = false;
+    need_sync = false;
+  }
+  // Group-committed durability barrier, outside mutation_mutex_ so
+  // concurrent mutations append while this one fsyncs (one fsync covers
+  // every record appended before it started).
+  if (need_sync && !oplog_.Sync()) {
+    // Applied in memory but not durable: refuse the acknowledgement.
+    metrics_.requests_internal_error.fetch_add(1, std::memory_order_relaxed);
+    response =
+        EncodeErrorResponse(StatusCode::kInternal, "op log sync failed");
+    ok = false;
+  }
+  if (ok) {
+    // Legacy opcodes keep their v1/v2 response bodies; the v3 opcodes
+    // return the log sequence + object id.
+    switch (opcode) {
+      case Opcode::kPoiAdd:
+        response = EncodeObjectIdResponse(result.object);
+        break;
+      case Opcode::kPoiClose:
+      case Opcode::kPoiTag:
+      case Opcode::kPoiUntag:
+        response = EncodeOkResponse();
+        break;
+      default:
+        response = EncodeMutationResponse(result);
+        break;
+    }
+    metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    const auto micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - request.admitted_at)
+            .count());
+    metrics_.update_latency.Record(micros);
+  }
+  MirrorOplogMetrics();
+  Respond(request.conn, header, std::move(response));
+}
+
+std::vector<std::uint8_t> Server::HandleFetchOplog(
+    const FetchOplogRequest& fetch) {
+  if (!oplog_.Enabled()) {
+    // No durable log (no --oplog-dir): replicas must use snapshots.
+    return EncodeErrorResponse(StatusCode::kUnsupported, "op log disabled");
+  }
+  const std::uint32_t max_bytes =
+      fetch.max_bytes == 0
+          ? kMaxSnapshotChunkBytes
+          : std::min(fetch.max_bytes, kMaxSnapshotChunkBytes);
+  std::vector<OplogRecord> records;
+  bool truncated = false;
+  if (!oplog_.ReadRange(fetch.from_sequence, max_bytes, &records,
+                        &truncated)) {
+    return EncodeErrorResponse(StatusCode::kInternal, "op log read failed");
+  }
+  OplogChunk chunk;
+  chunk.truncated = truncated ? 1 : 0;
+  chunk.last_sequence = oplog_.LastSequence();
+  chunk.oldest_sequence = oplog_.OldestSequence();
+  chunk.records.reserve(records.size());
+  for (OplogRecord& record : records) {
+    OplogWireRecord wire;
+    wire.sequence = record.sequence;
+    wire.payload.assign(record.payload.begin(), record.payload.end());
+    chunk.records.push_back(std::move(wire));
+  }
+  return EncodeOplogChunkResponse(chunk);
+}
+
+void Server::MirrorOplogMetrics() {
+  metrics_.oplog_appends.store(oplog_.Appends(), std::memory_order_relaxed);
+  metrics_.oplog_fsync_batches.store(oplog_.FsyncBatches(),
+                                     std::memory_order_relaxed);
+}
+
+bool Server::ApplyReplicatedMutations(
+    const std::vector<OplogWireRecord>& records, std::string* error) {
+  bool appended = false;
+  {
+    std::lock_guard<std::mutex> guard(mutation_mutex_);
+    for (const OplogWireRecord& wire : records) {
+      const std::uint64_t applied =
+          applied_sequence_.load(std::memory_order_relaxed);
+      if (wire.sequence <= applied) continue;  // Duplicate from a retry.
+      if (wire.sequence != applied + 1) {
+        *error = "sequence gap: applied " + std::to_string(applied) +
+                 ", got " + std::to_string(wire.sequence);
+        return false;
+      }
+      const auto* data =
+          reinterpret_cast<const std::uint8_t*>(wire.payload.data());
+      const std::span<const std::uint8_t> payload{data, wire.payload.size()};
+      MutationRecord record;
+      if (!DecodeMutationRecord(payload, &record)) {
+        *error = "undecodable mutation record at sequence " +
+                 std::to_string(wire.sequence);
+        return false;
+      }
+      // Mirror into the local log first (the explicit sequence keeps the
+      // replica's log byte-identical to the primary's), then apply.
+      if (oplog_.Append(payload, wire.sequence) == 0) {
+        *error = "op log append failed at sequence " +
+                 std::to_string(wire.sequence);
+        return false;
+      }
+      appended = true;
+      try {
+        const EpochGate::ApplyGuard apply(gate_);
+        ApplyMutationRecord(service_, record);
+      } catch (const std::exception& e) {
+        // The primary validated this record against the same state, so
+        // this indicates divergence; the replicator falls back to a
+        // snapshot transfer, which resets the log past this record.
+        *error = "apply failed at sequence " +
+                 std::to_string(wire.sequence) + ": " + e.what();
+        return false;
+      }
+      applied_sequence_.store(wire.sequence, std::memory_order_release);
+      metrics_.mutations_applied.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (appended && !oplog_.Sync()) {
+    *error = "op log sync failed";
+    return false;
+  }
+  MirrorOplogMetrics();
+  return true;
 }
 
 // ----- Replication ---------------------------------------------------------
@@ -971,14 +1345,11 @@ bool Server::InstallReplicaSnapshot(std::uint64_t sequence,
                                     const std::string& bytes,
                                     std::string* error) {
   try {
-    // 1. Validate and load the image OFF the serving lock — full container
-    // checks plus the graph-identity check against the serving graph.
-    // Reads keep being served from the old state during all of this.
-    const Graph* serving_graph = nullptr;
-    {
-      std::shared_lock<std::shared_mutex> guard(update_mutex_);
-      serving_graph = &service_.Engine().NetworkGraph();
-    }
+    // 1. Validate and load the image OFF the serving path — full container
+    // checks plus the graph-identity check against the serving graph (the
+    // graph reference never changes across RestoreCatalog, so reading it
+    // needs no lock). Reads keep being served from the old state.
+    const Graph* serving_graph = &service_.Engine().NetworkGraph();
     RestoredServiceState state =
         ReadServiceSnapshotBytes(bytes, serving_graph);
 
@@ -996,17 +1367,29 @@ bool Server::InstallReplicaSnapshot(std::uint64_t sequence,
       });
     }
 
-    // 3. Swap the serving catalog under the exclusive update lock — the
-    // same path RELOAD takes: queries drain, the swap is atomic to them.
+    // 3. Swap the serving catalog inside an apply window — the same path
+    // RELOAD takes: queries drain for the swap itself, nothing else.
     {
-      std::unique_lock<std::shared_mutex> guard(update_mutex_);
-      service_.RestoreCatalog(std::move(state.catalog.vocabulary),
-                              std::move(state.catalog.names),
-                              std::move(state.store), std::move(state.alt),
-                              std::move(state.keyword_index),
-                              options_.snapshot.engine_options);
+      std::lock_guard<std::mutex> guard(mutation_mutex_);
+      {
+        const EpochGate::ApplyGuard apply(gate_);
+        service_.RestoreCatalog(std::move(state.catalog.vocabulary),
+                                std::move(state.catalog.names),
+                                std::move(state.store), std::move(state.alt),
+                                std::move(state.keyword_index),
+                                options_.snapshot.engine_options);
+      }
+      snapshot_sequence_.store(sequence, std::memory_order_relaxed);
+      // The snapshot carries its applied mutation position; jump there and
+      // restart the local log (a dense log cannot represent the gap).
+      applied_sequence_.store(state.applied_mutation_sequence,
+                              std::memory_order_release);
+      if (!oplog_.Reset(state.applied_mutation_sequence + 1)) {
+        std::fprintf(stderr,
+                     "oplog: reset after snapshot install failed; "
+                     "log tailing disabled until restart\n");
+      }
     }
-    snapshot_sequence_.store(sequence, std::memory_order_relaxed);
     if (!options_.snapshot.dir.empty()) {
       io::PruneSnapshots(options_.snapshot.dir, options_.snapshot.keep);
     }
@@ -1020,7 +1403,7 @@ bool Server::InstallReplicaSnapshot(std::uint64_t sequence,
 // ----- Persistence ---------------------------------------------------------
 
 std::pair<std::uint64_t, std::string> Server::SnapshotNow() {
-  std::unique_lock<std::shared_mutex> guard(update_mutex_);
+  std::lock_guard<std::mutex> guard(mutation_mutex_);
   return SnapshotLocked();
 }
 
@@ -1037,11 +1420,20 @@ std::pair<std::uint64_t, std::string> Server::SnapshotLocked() {
     const std::string path =
         (std::filesystem::path(dir) / io::SnapshotFileName(sequence))
             .string();
-    WriteServiceSnapshotFile(path, service_,
-                             {options_.snapshot.ch, options_.snapshot.hl});
+    // mutation_mutex_ (held by the caller) excludes writers, so the state
+    // and its applied position are mutually consistent for the whole
+    // write; queries keep flowing (they never change state).
+    const std::uint64_t applied =
+        applied_sequence_.load(std::memory_order_relaxed);
+    WriteServiceSnapshotFile(
+        path, service_,
+        {options_.snapshot.ch, options_.snapshot.hl, applied});
     io::PruneSnapshots(dir, options_.snapshot.keep);
     metrics_.snapshots_written.fetch_add(1, std::memory_order_relaxed);
     snapshot_sequence_.store(sequence, std::memory_order_relaxed);
+    // Everything up to `applied` is now in the snapshot; sealed log
+    // segments it covers can go (the active segment stays for tailing).
+    oplog_.TruncateThrough(applied);
     return {sequence, path};
   } catch (...) {
     metrics_.snapshots_failed.fetch_add(1, std::memory_order_relaxed);
@@ -1063,6 +1455,7 @@ std::vector<std::uint8_t> Server::HandleReloadLocked() {
     return EncodeErrorResponse(StatusCode::kBadQuery, message);
   }
   try {
+    const EpochGate::ApplyGuard apply(gate_);
     service_.RestoreCatalog(std::move(loaded->state.catalog.vocabulary),
                             std::move(loaded->state.catalog.names),
                             std::move(loaded->state.store),
@@ -1075,6 +1468,14 @@ std::vector<std::uint8_t> Server::HandleReloadLocked() {
   }
   metrics_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
   snapshot_sequence_.store(loaded->sequence, std::memory_order_relaxed);
+  // RELOAD is an explicit rewind to the snapshot's state: the applied
+  // position jumps back with it and the log restarts there — any records
+  // past the snapshot are deliberately discarded.
+  applied_sequence_.store(loaded->state.applied_mutation_sequence,
+                          std::memory_order_release);
+  if (!oplog_.Reset(loaded->state.applied_mutation_sequence + 1)) {
+    std::fprintf(stderr, "oplog: reset after reload failed\n");
+  }
   return EncodeSnapshotResponse(loaded->sequence, loaded->path);
 }
 
@@ -1087,7 +1488,7 @@ void Server::SnapshotLoop() {
     if (stop) return;
     lock.unlock();
     {
-      std::unique_lock<std::shared_mutex> guard(update_mutex_);
+      std::lock_guard<std::mutex> guard(mutation_mutex_);
       try {
         SnapshotLocked();
       } catch (const std::exception&) {

@@ -10,11 +10,18 @@
 //     explicit load shedding, never silent drops or unbounded buffering.
 //   - A worker pool drains the queue. Each worker owns one QueryProcessor
 //     (per-thread oracle + query workspaces, PR 1's design) refreshed
-//     whenever KSpin::StructureGeneration() changes. Queries run under a
-//     shared lock; POI updates take the lock exclusively, which is
-//     exactly the "updates quiesce queries" rule of the concurrency model
-//     in docs/architecture.md — here enforced by the server rather than
-//     trusted to callers.
+//     whenever KSpin::StructureGeneration() changes. Queries enter an
+//     EpochGate read section (wait-free unless a mutation's in-memory
+//     apply window is open); all state-changers — mutations, snapshot,
+//     reload, replica install — serialize on one mutation mutex and wrap
+//     only their in-memory apply in the gate's write window, so readers
+//     never wait on a writer's durability work (op-log append + fsync).
+//     This replaces the earlier coarse shared/exclusive update lock.
+//   - Mutations (INSERT_DOC / DELETE_DOC / UPDATE_DOC, and the legacy
+//     kPoi* opcodes routed through the same path) are appended to a
+//     durable op log before being applied; the acknowledgement is sent
+//     only after a group-committed fsync covers the record
+//     (docs/persistence.md, "The operation log").
 //   - Deadlines (frame header deadline_ms, relative to admission) are
 //     enforced twice: expired requests are dropped at dequeue with
 //     DEADLINE_EXCEEDED, and running queries poll a QueryControl
@@ -31,7 +38,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -40,6 +46,8 @@
 
 #include "server/admission_queue.h"
 #include "server/metrics.h"
+#include "server/mutation.h"
+#include "server/oplog.h"
 #include "server/replication.h"
 #include "server/trace.h"
 #include "server/wire.h"
@@ -85,6 +93,15 @@ struct ServerOptions {
 
   /// Persistence (SNAPSHOT / RELOAD opcodes + periodic snapshots).
   SnapshotOptions snapshot;
+
+  /// Durable op log for live mutations (docs/persistence.md, "The
+  /// operation log"). An empty dir disables durability: mutations still
+  /// apply and get in-memory sequences, but nothing survives a crash.
+  OplogOptions oplog;
+  /// Mutation sequence already reflected in the serving state when
+  /// Start() runs (the restored snapshot's kOplogPosition section);
+  /// op-log replay at boot begins after it.
+  std::uint64_t restored_mutation_sequence = 0;
 
   /// Replication (docs/protocol.md "Replication"). With role kReplica the
   /// server rejects POI writes with NOT_PRIMARY and polls
@@ -159,20 +176,36 @@ class Server {
     return snapshot_sequence_.load(std::memory_order_relaxed);
   }
 
+  /// Highest op-log sequence applied to the serving state (restored +
+  /// replayed at boot, then advanced by every mutation).
+  std::uint64_t AppliedSequence() const {
+    return applied_sequence_.load(std::memory_order_relaxed);
+  }
+
   /// Replica-side install of a snapshot image fetched from the primary:
   /// validate + load it off the serving lock (reads keep flowing), write
   /// it into snapshot.dir crash-safely, then swap the serving catalog
-  /// under the exclusive update lock. Returns false with `*error` set on
-  /// rejection (corrupt image, graph mismatch, ...) — serving state is
-  /// untouched. Public for tests; normally driven by the Replicator.
+  /// under the mutation mutex + epoch gate. Returns false with `*error`
+  /// set on rejection (corrupt image, graph mismatch, ...) — serving
+  /// state is untouched. Public for tests; normally driven by the
+  /// Replicator.
   bool InstallReplicaSnapshot(std::uint64_t sequence,
                               const std::string& bytes, std::string* error);
 
-  /// Writes a snapshot now, taking the exclusive update lock itself (the
-  /// boot / test entry point; the SNAPSHOT opcode reaches SnapshotLocked
-  /// through a worker that already holds the lock). Returns the new
-  /// snapshot's (sequence, path). Throws io::SerializationError on
-  /// failure. Requires options.snapshot.dir to be configured.
+  /// Replica-side apply of op-log records tailed from the primary: each
+  /// record is validated, appended to the local log under its shipped
+  /// sequence, and applied through the epoch gate. Records at or below
+  /// the applied sequence are skipped (idempotent retries). Returns false
+  /// with `*error` set on the first rejected record; everything before it
+  /// stays applied. Public for tests; normally driven by the Replicator.
+  bool ApplyReplicatedMutations(const std::vector<OplogWireRecord>& records,
+                                std::string* error);
+
+  /// Writes a snapshot now, taking the mutation mutex itself (the boot /
+  /// test entry point; the SNAPSHOT opcode reaches SnapshotLocked through
+  /// a worker that already holds it). Returns the new snapshot's
+  /// (sequence, path). Throws io::SerializationError on failure. Requires
+  /// options.snapshot.dir to be configured.
   std::pair<std::uint64_t, std::string> SnapshotNow();
 
  private:
@@ -180,12 +213,24 @@ class Server {
   struct Request;
 
   void IoLoop();
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
   void SnapshotLoop();
-  /// Caller must exclude queries (exclusive update lock or pre-Start).
+  /// Caller must hold mutation_mutex_ (or run pre-Start).
   std::pair<std::uint64_t, std::string> SnapshotLocked();
-  /// Handles the RELOAD opcode under the exclusive update lock.
+  /// Handles the RELOAD opcode; caller holds mutation_mutex_.
   std::vector<std::uint8_t> HandleReloadLocked();
+  /// The durable write path shared by the v3 mutation opcodes and the
+  /// legacy kPoi* opcodes: idempotency check, validate, append to the op
+  /// log, apply through the epoch gate, group-commit fsync, respond.
+  void ProcessMutation(Request& request);
+  /// Decodes any mutation-class request into a MutationRecord. Returns
+  /// false with a ready error response on malformed payloads.
+  bool DecodeMutationRequest(const Request& request, MutationRecord* record,
+                             std::vector<std::uint8_t>* error_response);
+  /// FETCH_OPLOG handler (query-class; the Oplog serializes internally).
+  std::vector<std::uint8_t> HandleFetchOplog(const FetchOplogRequest& fetch);
+  /// Copies the Oplog's internal counters into ServerMetrics.
+  void MirrorOplogMetrics();
   /// Closes connections that tripped a hardening limit.
   void SweepConnections(std::chrono::steady_clock::time_point now);
   void AcceptNew();
@@ -239,8 +284,16 @@ class Server {
   /// fd-exhaustion accept() failure.
   std::chrono::steady_clock::time_point accept_pause_until_{};
 
-  /// Queries hold it shared, POI updates exclusively.
-  std::shared_mutex update_mutex_;
+  // Mutation subsystem (see the threading model above). mutation_mutex_
+  // serializes every state-changer; gate_ excludes queries only during
+  // the in-memory apply window; oplog_ makes acknowledged mutations
+  // durable; idempotency_ absorbs client retries.
+  std::mutex mutation_mutex_;
+  EpochGate gate_;
+  Oplog oplog_;
+  IdempotencyCache idempotency_;
+  /// Highest mutation sequence applied to the serving state.
+  std::atomic<std::uint64_t> applied_sequence_{0};
 
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 

@@ -194,6 +194,95 @@ bool DecodeFetchSnapshotRequest(std::span<const std::uint8_t> payload,
   return r.Finished();
 }
 
+std::vector<std::uint8_t> EncodeInsertDocRequest(
+    const InsertDocRequest& request) {
+  PayloadWriter w;
+  w.U64(request.idempotency_key);
+  w.U32(request.vertex);
+  w.String(request.name);
+  w.U32(static_cast<std::uint32_t>(request.keywords.size()));
+  for (const std::string& keyword : request.keywords) w.String(keyword);
+  return w.Take();
+}
+
+bool DecodeInsertDocRequest(std::span<const std::uint8_t> payload,
+                            InsertDocRequest* request) {
+  PayloadReader r(payload);
+  request->idempotency_key = r.U64();
+  request->vertex = r.U32();
+  request->name = r.String();
+  const std::uint32_t count = r.U32();
+  request->keywords.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    request->keywords.push_back(r.String());
+  }
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodeDeleteDocRequest(
+    const DeleteDocRequest& request) {
+  PayloadWriter w;
+  w.U64(request.idempotency_key);
+  w.U32(request.object);
+  return w.Take();
+}
+
+bool DecodeDeleteDocRequest(std::span<const std::uint8_t> payload,
+                            DeleteDocRequest* request) {
+  PayloadReader r(payload);
+  request->idempotency_key = r.U64();
+  request->object = r.U32();
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodeUpdateDocRequest(
+    const UpdateDocRequest& request) {
+  PayloadWriter w;
+  w.U64(request.idempotency_key);
+  w.U32(request.object);
+  w.U32(static_cast<std::uint32_t>(request.add_keywords.size()));
+  for (const std::string& keyword : request.add_keywords) w.String(keyword);
+  w.U32(static_cast<std::uint32_t>(request.remove_keywords.size()));
+  for (const std::string& keyword : request.remove_keywords) {
+    w.String(keyword);
+  }
+  return w.Take();
+}
+
+bool DecodeUpdateDocRequest(std::span<const std::uint8_t> payload,
+                            UpdateDocRequest* request) {
+  PayloadReader r(payload);
+  request->idempotency_key = r.U64();
+  request->object = r.U32();
+  const std::uint32_t adds = r.U32();
+  request->add_keywords.clear();
+  for (std::uint32_t i = 0; i < adds && r.ok(); ++i) {
+    request->add_keywords.push_back(r.String());
+  }
+  const std::uint32_t removes = r.U32();
+  request->remove_keywords.clear();
+  for (std::uint32_t i = 0; i < removes && r.ok(); ++i) {
+    request->remove_keywords.push_back(r.String());
+  }
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodeFetchOplogRequest(
+    const FetchOplogRequest& request) {
+  PayloadWriter w;
+  w.U64(request.from_sequence);
+  w.U32(request.max_bytes);
+  return w.Take();
+}
+
+bool DecodeFetchOplogRequest(std::span<const std::uint8_t> payload,
+                             FetchOplogRequest* request) {
+  PayloadReader r(payload);
+  request->from_sequence = r.U64();
+  request->max_bytes = r.U32();
+  return r.Finished();
+}
+
 std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
                                               std::string_view message) {
   PayloadWriter w;
@@ -373,6 +462,55 @@ bool DecodeSnapshotChunkResponse(PayloadReader& reader, SnapshotChunk* chunk) {
   chunk->bytes = reader.String();
   if (!reader.Finished()) return false;
   return io::Crc32c(chunk->bytes.data(), chunk->bytes.size()) == crc;
+}
+
+std::vector<std::uint8_t> EncodeMutationResponse(const MutationReply& reply) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U64(reply.sequence);
+  w.U32(reply.object);
+  return w.Take();
+}
+
+bool DecodeMutationResponse(PayloadReader& reader, MutationReply* reply) {
+  reply->sequence = reader.U64();
+  reply->object = reader.U32();
+  return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodeOplogChunkResponse(const OplogChunk& chunk) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U8(chunk.truncated);
+  w.U64(chunk.last_sequence);
+  w.U64(chunk.oldest_sequence);
+  w.U32(static_cast<std::uint32_t>(chunk.records.size()));
+  for (const OplogWireRecord& record : chunk.records) {
+    w.U64(record.sequence);
+    w.U32(io::Crc32c(record.payload.data(), record.payload.size()));
+    w.String(record.payload);
+  }
+  return w.Take();
+}
+
+bool DecodeOplogChunkResponse(PayloadReader& reader, OplogChunk* chunk) {
+  chunk->truncated = reader.U8();
+  chunk->last_sequence = reader.U64();
+  chunk->oldest_sequence = reader.U64();
+  const std::uint32_t count = reader.U32();
+  chunk->records.clear();
+  for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+    OplogWireRecord record;
+    record.sequence = reader.U64();
+    const std::uint32_t crc = reader.U32();
+    record.payload = reader.String();
+    if (!reader.ok()) return false;
+    if (io::Crc32c(record.payload.data(), record.payload.size()) != crc) {
+      return false;
+    }
+    chunk->records.push_back(std::move(record));
+  }
+  return reader.Finished();
 }
 
 }  // namespace kspin::server

@@ -33,9 +33,11 @@ namespace kspin::server {
 
 inline constexpr std::uint32_t kMagic = 0x4B53504E;
 /// Current protocol version. Version 2 added trailing latency-histogram
-/// arrays to the STATS response and the METRICS opcode; version-1 frames
-/// are still accepted and answered with version-1 bodies.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// arrays to the STATS response and the METRICS opcode. Version 3 added
+/// the live-mutation opcodes (INSERT_DOC / DELETE_DOC / UPDATE_DOC) and
+/// FETCH_OPLOG for log-tailing replication. Frames from versions 1 and 2
+/// are still accepted and answered with same-version bodies.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Oldest version a server still speaks.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
@@ -57,10 +59,14 @@ enum class Opcode : std::uint8_t {
   kPoiClose = 0x21,       ///< Remove a POI from search.
   kPoiTag = 0x22,         ///< Add one keyword tag.
   kPoiUntag = 0x23,       ///< Remove one keyword tag.
+  kInsertDoc = 0x24,      ///< Logged insert with idempotency key (v3).
+  kDeleteDoc = 0x25,      ///< Logged delete with idempotency key (v3).
+  kUpdateDoc = 0x26,      ///< Logged tag add/remove batch (v3).
   kSnapshot = 0x30,       ///< Write a crash-safe snapshot to disk.
   kReload = 0x31,         ///< Replace serving state from the newest valid
                           ///< snapshot on disk.
   kFetchSnapshot = 0x32,  ///< Stream a snapshot file in chunks (replication).
+  kFetchOplog = 0x33,     ///< Tail op-log records from a sequence (v3).
 };
 
 /// First byte of every response payload.
@@ -247,6 +253,69 @@ struct SnapshotChunk {
 /// string length prefix).
 inline constexpr std::uint32_t kMaxSnapshotChunkBytes = kMaxPayloadSize - 64;
 
+// ----- Live mutations (v3) -------------------------------------------------
+
+/// kInsertDoc request body (v3): register a POI through the durable write
+/// path. `idempotency_key` is a client-chosen retry token (0 = none); a
+/// resend with the same key returns the original result without applying
+/// twice, so retrying clients may treat the operation as idempotent.
+struct InsertDocRequest {
+  std::uint64_t idempotency_key = 0;
+  VertexId vertex = kInvalidVertex;
+  std::string name;
+  std::vector<std::string> keywords;
+};
+
+/// kDeleteDoc request body (v3).
+struct DeleteDocRequest {
+  std::uint64_t idempotency_key = 0;
+  ObjectId object = kInvalidObject;
+};
+
+/// kUpdateDoc request body (v3): add and/or remove keyword tags on an
+/// existing POI as one logged operation.
+struct UpdateDocRequest {
+  std::uint64_t idempotency_key = 0;
+  ObjectId object = kInvalidObject;
+  std::vector<std::string> add_keywords;
+  std::vector<std::string> remove_keywords;
+};
+
+/// kInsertDoc / kDeleteDoc / kUpdateDoc kOk response body: the op-log
+/// sequence the mutation was logged under and the affected object id
+/// (newly assigned for inserts).
+struct MutationReply {
+  std::uint64_t sequence = 0;
+  ObjectId object = kInvalidObject;
+};
+
+/// kFetchOplog request body (v3): a replica asks for records *after* its
+/// applied sequence. The server caps the batch at max_bytes of payload
+/// (0 = server default).
+struct FetchOplogRequest {
+  std::uint64_t from_sequence = 0;
+  std::uint32_t max_bytes = 0;
+};
+
+/// One op-log record in a FETCH_OPLOG chunk. `payload` is the encoded
+/// MutationRecord exactly as stored in the primary's log.
+struct OplogWireRecord {
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+/// kFetchOplog kOk response body. `truncated` means the requested range
+/// predates the oldest retained record — the replica must fall back to a
+/// snapshot transfer. `last_sequence` is the primary's newest logged
+/// sequence (an empty, non-truncated chunk with from_sequence ==
+/// last_sequence means the replica is in sync).
+struct OplogChunk {
+  std::uint8_t truncated = 0;
+  std::uint64_t last_sequence = 0;
+  std::uint64_t oldest_sequence = 0;
+  std::vector<OplogWireRecord> records;
+};
+
 std::vector<std::uint8_t> EncodeSearchRequest(const SearchRequest& request);
 bool DecodeSearchRequest(std::span<const std::uint8_t> payload,
                          SearchRequest* request);
@@ -263,6 +332,26 @@ std::vector<std::uint8_t> EncodeFetchSnapshotRequest(
     const FetchSnapshotRequest& request);
 bool DecodeFetchSnapshotRequest(std::span<const std::uint8_t> payload,
                                 FetchSnapshotRequest* request);
+
+std::vector<std::uint8_t> EncodeInsertDocRequest(
+    const InsertDocRequest& request);
+bool DecodeInsertDocRequest(std::span<const std::uint8_t> payload,
+                            InsertDocRequest* request);
+
+std::vector<std::uint8_t> EncodeDeleteDocRequest(
+    const DeleteDocRequest& request);
+bool DecodeDeleteDocRequest(std::span<const std::uint8_t> payload,
+                            DeleteDocRequest* request);
+
+std::vector<std::uint8_t> EncodeUpdateDocRequest(
+    const UpdateDocRequest& request);
+bool DecodeUpdateDocRequest(std::span<const std::uint8_t> payload,
+                            UpdateDocRequest* request);
+
+std::vector<std::uint8_t> EncodeFetchOplogRequest(
+    const FetchOplogRequest& request);
+bool DecodeFetchOplogRequest(std::span<const std::uint8_t> payload,
+                             FetchOplogRequest* request);
 
 /// Response bodies. Encode* produce the full response payload including
 /// the status byte; Decode* expect the status byte already consumed.
@@ -316,6 +405,14 @@ bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info);
 std::vector<std::uint8_t> EncodeSnapshotChunkResponse(
     const SnapshotChunk& chunk);
 bool DecodeSnapshotChunkResponse(PayloadReader& reader, SnapshotChunk* chunk);
+std::vector<std::uint8_t> EncodeMutationResponse(const MutationReply& reply);
+bool DecodeMutationResponse(PayloadReader& reader, MutationReply* reply);
+/// Each record in the chunk carries a CRC32C of its payload; Decode
+/// verifies every one and fails on mismatch, so a flipped bit inside a
+/// shipped record is caught at the frame level (the replica additionally
+/// re-validates when appending to its own log).
+std::vector<std::uint8_t> EncodeOplogChunkResponse(const OplogChunk& chunk);
+bool DecodeOplogChunkResponse(PayloadReader& reader, OplogChunk* chunk);
 
 }  // namespace kspin::server
 

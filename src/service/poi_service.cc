@@ -83,6 +83,17 @@ void PoiService::UntagPoi(ObjectId id, std::string_view keyword) {
   engine_->RemoveKeywordFromObject(id, t);
 }
 
+bool PoiService::HasTag(ObjectId id, std::string_view keyword) const {
+  if (!engine_->Store().IsLive(id)) return false;
+  const KeywordId t = vocabulary_.IdOf(Lowercase(keyword));
+  if (t == kInvalidKeyword) return false;
+  return engine_->Store().Contains(id, t);
+}
+
+std::string PoiService::CanonicalKeyword(std::string_view term) {
+  return Lowercase(term);
+}
+
 std::vector<PoiResult> PoiService::Search(std::string_view query,
                                           VertexId from, std::uint32_t k,
                                           const QueryControl* control) {

@@ -70,6 +70,14 @@ class PoiService {
   void TagPoi(ObjectId id, std::string_view keyword);
   void UntagPoi(ObjectId id, std::string_view keyword);
 
+  /// True when `id` is live and currently carries `keyword`
+  /// (case-insensitive, like TagPoi / UntagPoi). Never throws — this is
+  /// the validation-side counterpart of UntagPoi.
+  bool HasTag(ObjectId id, std::string_view keyword) const;
+
+  /// The canonical (lowercased) form a keyword is interned under.
+  static std::string CanonicalKeyword(std::string_view term);
+
   /// Boolean search with full and/or syntax, nearest-first:
   ///   Search("thai and (takeaway or restaurant)", here, 5).
   /// Unknown keywords make the query unsatisfiable (empty result) rather

@@ -36,6 +36,9 @@ void WriteServiceSnapshot(const PoiService& service, std::ostream& out,
       SaveHubLabeling(*extra.hl, s);
     });
   }
+  writer.AddSection(io::SnapshotSection::kOplogPosition, [&](std::ostream& s) {
+    io::WritePod(s, extra.applied_mutation_sequence);
+  });
   writer.Finish(out);
 }
 
@@ -89,6 +92,12 @@ RestoredServiceState ReadServiceSnapshot(std::istream& in,
   if (reader.Has(io::SnapshotSection::kHubLabeling)) {
     io::ViewIStream s(reader.Section(io::SnapshotSection::kHubLabeling));
     state.hl = std::make_unique<HubLabeling>(LoadHubLabeling(s));
+  }
+  if (reader.Has(io::SnapshotSection::kOplogPosition)) {
+    // Snapshots from before the op log simply lack this section; they
+    // restore with sequence 0 (replay everything the log still holds).
+    io::ViewIStream s(reader.Section(io::SnapshotSection::kOplogPosition));
+    state.applied_mutation_sequence = io::ReadPod<std::uint64_t>(s);
   }
 
   // Cross-section sanity: every object vertex must exist in the graph.

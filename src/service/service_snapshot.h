@@ -33,6 +33,10 @@ namespace kspin {
 struct ServiceSnapshotArtifacts {
   const ContractionHierarchy* ch = nullptr;
   const HubLabeling* hl = nullptr;
+  /// Mutation sequence this snapshot covers: every op-log record at or
+  /// below it is reflected in the snapshotted state, so boot replays only
+  /// records after it (docs/persistence.md, "The operation log").
+  std::uint64_t applied_mutation_sequence = 0;
 };
 
 /// Serializes the full serving state of `service` as a snapshot container.
@@ -51,6 +55,9 @@ struct RestoredServiceState {
   std::unique_ptr<KeywordIndex> keyword_index;
   std::unique_ptr<ContractionHierarchy> ch;
   std::unique_ptr<HubLabeling> hl;
+  /// Mutation sequence the snapshot covers (0 for pre-oplog snapshots,
+  /// which carry no kOplogPosition section).
+  std::uint64_t applied_mutation_sequence = 0;
 };
 
 /// Parses + validates a snapshot and loads every section. When

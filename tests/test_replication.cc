@@ -146,9 +146,15 @@ TEST_F(ReplicationTest, ReplicaRejectsWritesWithPrimaryAddress) {
   EXPECT_EQ(client.ClosePoi(0).status, StatusCode::kNotPrimary);
   EXPECT_EQ(client.TagPoi(0, "kw1").status, StatusCode::kNotPrimary);
   EXPECT_EQ(client.UntagPoi(0, "kw1").status, StatusCode::kNotPrimary);
+  // The v3 logged mutations are redirected the same way.
+  EXPECT_EQ(client.InsertDoc(1, 1, "poi", keywords).status,
+            StatusCode::kNotPrimary);
+  EXPECT_EQ(client.DeleteDoc(2, 0).status, StatusCode::kNotPrimary);
+  EXPECT_EQ(client.UpdateDoc(3, 0, keywords, {}).status,
+            StatusCode::kNotPrimary);
   // Reads still work.
   EXPECT_TRUE(client.Search("kw0", 3, 5).ok());
-  EXPECT_GE(replica_->Metrics().requests_not_primary.load(), 4u);
+  EXPECT_GE(replica_->Metrics().requests_not_primary.load(), 7u);
 }
 
 TEST_F(ReplicationTest, FetchSnapshotStreamsByteIdenticalFile) {
@@ -389,6 +395,149 @@ TEST_F(ReplicationTest, FailoverClientSurvivesPrimaryStop) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(Ids(before), Ids(after));
   EXPECT_EQ(client.LastEndpoint(), 1u);
+}
+
+TEST_F(ReplicationTest, ReplicaCatchesUpViaLogTailingWithoutSnapshotTransfer) {
+  ServerOptions options;
+  options.oplog.dir = ScratchDir("tail_oplog");
+  StartPrimary(options);
+  Client pclient = ConnectTo(*primary_);
+  ASSERT_TRUE(pclient.Snapshot().ok());  // Bootstrap image for the replica.
+
+  StartReplica();
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->Metrics().replication_installs_ok.load() >= 1;
+  }));
+  const std::uint64_t installs =
+      replica_->Metrics().replication_installs_ok.load();
+
+  // A durable write on the primary...
+  const std::vector<std::string> tags = {"kw0", "kw9"};
+  const auto insert = pclient.InsertDoc(41, 7, "tailed poi", tags);
+  ASSERT_TRUE(insert.ok());
+  ASSERT_GT(insert.sequence, 0u);
+
+  // ...reaches the replica through FETCH_OPLOG tailing...
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->AppliedSequence() >= insert.sequence;
+  }));
+  EXPECT_EQ(replica_->Metrics().replication_source.load(), 1u);
+  EXPECT_GE(replica_->Metrics().replication_oplog_records.load(), 1u);
+  EXPECT_GE(replica_->Metrics().mutations_applied.load(), 1u);
+  // ...and never via another snapshot install.
+  EXPECT_EQ(replica_->Metrics().replication_installs_ok.load(), installs);
+
+  Client rclient = ConnectTo(*replica_);
+  auto hits = rclient.Search("kw0 and kw9", 7, 200);
+  ASSERT_TRUE(hits.ok());
+  bool found = false;
+  for (const auto& r : hits.results) found |= r.object == insert.id;
+  EXPECT_TRUE(found);
+
+  // Updates and deletes ship through the same log stream.
+  const std::vector<std::string> adds = {"kw5"};
+  const std::vector<std::string> removes;
+  const auto update = pclient.UpdateDoc(42, insert.id, adds, removes);
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->AppliedSequence() >= update.sequence;
+  }));
+  hits = rclient.Search("kw5 and kw9", 7, 200);
+  ASSERT_TRUE(hits.ok());
+  found = false;
+  for (const auto& r : hits.results) found |= r.object == insert.id;
+  EXPECT_TRUE(found);
+
+  const auto del = pclient.DeleteDoc(43, insert.id);
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_->AppliedSequence() >= del.sequence;
+  }));
+  hits = rclient.Search("kw0 and kw9", 7, 200);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& r : hits.results) EXPECT_NE(r.object, insert.id);
+}
+
+TEST_F(ReplicationTest, IdempotentRetryReturnsOriginalResult) {
+  ServerOptions options;
+  options.oplog.dir = ScratchDir("idem_oplog");
+  StartPrimary(options);
+  Client client = ConnectTo(*primary_);
+
+  const std::vector<std::string> tags = {"kw1"};
+  const auto first = client.InsertDoc(12345, 5, "once", tags);
+  ASSERT_TRUE(first.ok());
+  // A re-send with the same key (a client retrying a torn reply) gets the
+  // original sequence and object id without applying twice.
+  const auto retry = client.InsertDoc(12345, 5, "once", tags);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.sequence, first.sequence);
+  EXPECT_EQ(retry.id, first.id);
+  EXPECT_EQ(primary_->AppliedSequence(), first.sequence);
+
+  // A different key is a genuinely new operation.
+  const auto fresh = client.InsertDoc(12346, 5, "twice", tags);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.sequence, first.sequence + 1);
+}
+
+TEST_F(ReplicationTest, FailoverClientRoutesKeyedMutationsToPrimary) {
+  ServerOptions options;
+  options.oplog.dir = ScratchDir("failover_oplog");
+  StartPrimary(options);
+  StartReplica();
+
+  // Only the replica is configured: every keyed mutation must chase the
+  // NOT_PRIMARY redirect to the real primary.
+  FailoverClient client({{"127.0.0.1", replica_->Port()}});
+  client.SetSleepFunction([](std::uint32_t) {});
+  const std::vector<std::string> tags = {"kw4"};
+  const auto insert = client.InsertDoc(9, "redirected insert", tags);
+  ASSERT_TRUE(insert.ok());
+  EXPECT_GT(insert.sequence, 0u);
+  ASSERT_EQ(client.Endpoints().size(), 2u);
+  EXPECT_EQ(client.Endpoints()[1].port, primary_->Port());
+
+  const std::vector<std::string> adds = {"kw6"};
+  const std::vector<std::string> removes;
+  const auto update = client.UpdateDoc(insert.id, adds, removes);
+  ASSERT_TRUE(update.ok());
+  const auto del = client.DeleteDoc(insert.id);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(primary_->AppliedSequence(), del.sequence);
+}
+
+TEST_F(ReplicationTest, BootReplayRestoresAckedWrites) {
+  const std::string oplog_dir = ScratchDir("boot_oplog");
+  ServerOptions options;
+  options.oplog.dir = oplog_dir;
+  StartPrimary(options);
+  Client client = ConnectTo(*primary_);
+  const std::vector<std::string> tags = {"kw3", "kw8"};
+  const auto insert = client.InsertDoc(1, 9, "durable poi", tags);
+  ASSERT_TRUE(insert.ok());
+  primary_->Stop();  // No snapshot was ever taken.
+  primary_.reset();
+
+  // A fresh process over the same base state replays the log tail on
+  // boot and serves the acked write.
+  ServerOptions reopened;
+  reopened.snapshot.dir = primary_dir_;
+  reopened.oplog.dir = oplog_dir;
+  auto base = MakeService();
+  Server second(*base, reopened);
+  second.Start();
+  EXPECT_EQ(second.AppliedSequence(), insert.sequence);
+  EXPECT_GE(second.Metrics().oplog_replay_records.load(), 1u);
+
+  Client c2;
+  c2.Connect("127.0.0.1", second.Port());
+  const auto hits = c2.Search("kw3 and kw8", 9, 200);
+  ASSERT_TRUE(hits.ok());
+  bool found = false;
+  for (const auto& r : hits.results) found |= r.object == insert.id;
+  EXPECT_TRUE(found);
+  second.Stop();
 }
 
 TEST(ParseEndpointTest, AcceptsValidRejectsInvalid) {

@@ -410,6 +410,123 @@ TEST(BodyCodecTest, FetchSnapshotRequestRoundTrip) {
   EXPECT_EQ(decoded.max_bytes, 4096u);
 }
 
+TEST(BodyCodecTest, InsertDocRequestRoundTrip) {
+  InsertDocRequest request;
+  request.idempotency_key = 0x1122334455667788ull;
+  request.vertex = 42;
+  request.name = "Thai Palace";
+  request.keywords = {"thai", "takeaway"};
+  InsertDocRequest decoded;
+  ASSERT_TRUE(
+      DecodeInsertDocRequest(EncodeInsertDocRequest(request), &decoded));
+  EXPECT_EQ(decoded.idempotency_key, request.idempotency_key);
+  EXPECT_EQ(decoded.vertex, request.vertex);
+  EXPECT_EQ(decoded.name, request.name);
+  EXPECT_EQ(decoded.keywords, request.keywords);
+}
+
+TEST(BodyCodecTest, DeleteDocRequestRoundTrip) {
+  DeleteDocRequest request{7, 99};
+  DeleteDocRequest decoded;
+  ASSERT_TRUE(
+      DecodeDeleteDocRequest(EncodeDeleteDocRequest(request), &decoded));
+  EXPECT_EQ(decoded.idempotency_key, 7u);
+  EXPECT_EQ(decoded.object, 99u);
+}
+
+TEST(BodyCodecTest, UpdateDocRequestRoundTrip) {
+  UpdateDocRequest request;
+  request.idempotency_key = 5;
+  request.object = 3;
+  request.add_keywords = {"wifi", "garden"};
+  request.remove_keywords = {"smoking"};
+  UpdateDocRequest decoded;
+  ASSERT_TRUE(
+      DecodeUpdateDocRequest(EncodeUpdateDocRequest(request), &decoded));
+  EXPECT_EQ(decoded.idempotency_key, 5u);
+  EXPECT_EQ(decoded.object, 3u);
+  EXPECT_EQ(decoded.add_keywords, request.add_keywords);
+  EXPECT_EQ(decoded.remove_keywords, request.remove_keywords);
+}
+
+TEST(BodyCodecTest, MutationRequestsRejectTruncationAndTrailingGarbage) {
+  InsertDocRequest insert;
+  insert.vertex = 1;
+  insert.name = "x";
+  insert.keywords = {"a"};
+  for (auto bytes : {EncodeInsertDocRequest(insert),
+                     EncodeDeleteDocRequest({1, 2}),
+                     EncodeUpdateDocRequest({1, 2, {"a"}, {}}),
+                     EncodeFetchOplogRequest({9, 100})}) {
+    InsertDocRequest i;
+    DeleteDocRequest d;
+    UpdateDocRequest u;
+    FetchOplogRequest f;
+    auto truncated = bytes;
+    truncated.pop_back();
+    EXPECT_FALSE(DecodeInsertDocRequest(truncated, &i));
+    EXPECT_FALSE(DecodeDeleteDocRequest(truncated, &d));
+    EXPECT_FALSE(DecodeUpdateDocRequest(truncated, &u));
+    EXPECT_FALSE(DecodeFetchOplogRequest(truncated, &f));
+    auto trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_FALSE(DecodeInsertDocRequest(trailing, &i));
+    EXPECT_FALSE(DecodeDeleteDocRequest(trailing, &d));
+    EXPECT_FALSE(DecodeUpdateDocRequest(trailing, &u));
+    EXPECT_FALSE(DecodeFetchOplogRequest(trailing, &f));
+  }
+}
+
+TEST(BodyCodecTest, MutationResponseRoundTrip) {
+  const auto bytes = EncodeMutationResponse({123456789ull, 77});
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  MutationReply decoded;
+  ASSERT_TRUE(DecodeMutationResponse(reader, &decoded));
+  EXPECT_EQ(decoded.sequence, 123456789u);
+  EXPECT_EQ(decoded.object, 77u);
+}
+
+TEST(BodyCodecTest, FetchOplogRequestRoundTrip) {
+  FetchOplogRequest request{42, 65536};
+  FetchOplogRequest decoded;
+  ASSERT_TRUE(
+      DecodeFetchOplogRequest(EncodeFetchOplogRequest(request), &decoded));
+  EXPECT_EQ(decoded.from_sequence, 42u);
+  EXPECT_EQ(decoded.max_bytes, 65536u);
+}
+
+TEST(BodyCodecTest, OplogChunkCrcDetectsFlippedBit) {
+  OplogChunk chunk;
+  chunk.truncated = 0;
+  chunk.last_sequence = 12;
+  chunk.oldest_sequence = 3;
+  chunk.records.push_back({11, std::string(40, 'a')});
+  chunk.records.push_back({12, std::string(25, 'b')});
+  auto bytes = EncodeOplogChunkResponse(chunk);
+
+  {
+    PayloadReader reader(bytes);
+    EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+    OplogChunk decoded;
+    ASSERT_TRUE(DecodeOplogChunkResponse(reader, &decoded));
+    EXPECT_EQ(decoded.last_sequence, 12u);
+    EXPECT_EQ(decoded.oldest_sequence, 3u);
+    ASSERT_EQ(decoded.records.size(), 2u);
+    EXPECT_EQ(decoded.records[0].sequence, 11u);
+    EXPECT_EQ(decoded.records[0].payload, chunk.records[0].payload);
+    EXPECT_EQ(decoded.records[1].payload, chunk.records[1].payload);
+  }
+
+  // A flipped bit inside a shipped record must fail the per-record CRC —
+  // corruption in transit never reaches a replica's log.
+  bytes[bytes.size() - 5] ^= 0x08;
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  OplogChunk decoded;
+  EXPECT_FALSE(DecodeOplogChunkResponse(reader, &decoded));
+}
+
 TEST(BodyCodecTest, SnapshotChunkCrcDetectsFlippedBit) {
   SnapshotChunk chunk;
   chunk.sequence = 3;
@@ -527,6 +644,14 @@ TEST(WireFuzzTest, BodyDecodersNeverCrashOnRandomPayloads) {
     DecodePoiTagRequest(payload, &tag);
     FetchSnapshotRequest fetch;
     DecodeFetchSnapshotRequest(payload, &fetch);
+    InsertDocRequest insert;
+    DecodeInsertDocRequest(payload, &insert);
+    DeleteDocRequest del;
+    DecodeDeleteDocRequest(payload, &del);
+    UpdateDocRequest update;
+    DecodeUpdateDocRequest(payload, &update);
+    FetchOplogRequest fetch_oplog;
+    DecodeFetchOplogRequest(payload, &fetch_oplog);
     // Response decoders.
     {
       PayloadReader reader(payload);
@@ -564,6 +689,72 @@ TEST(WireFuzzTest, BodyDecodersNeverCrashOnRandomPayloads) {
       std::uint64_t sequence = 0;
       std::string path;
       DecodeSnapshotResponse(reader, &sequence, &path);
+    }
+    {
+      PayloadReader reader(payload);
+      MutationReply mutation;
+      DecodeMutationResponse(reader, &mutation);
+    }
+    {
+      PayloadReader reader(payload);
+      OplogChunk chunk;
+      DecodeOplogChunkResponse(reader, &chunk);
+    }
+  }
+}
+
+TEST(WireFuzzTest, MutationDecodersSurviveMutatedValidBodies) {
+  // Seed the fuzz with structurally valid v3 bodies, then bit-flip and
+  // truncate: the decoders must reject damage without over-reading.
+  Fuzzer fuzz(0x0B10609u);
+  InsertDocRequest insert;
+  insert.idempotency_key = 9;
+  insert.vertex = 4;
+  insert.name = "seed";
+  insert.keywords = {"one", "two", "three"};
+  UpdateDocRequest update;
+  update.idempotency_key = 8;
+  update.object = 2;
+  update.add_keywords = {"plus"};
+  update.remove_keywords = {"minus"};
+  OplogChunk chunk;
+  chunk.last_sequence = 5;
+  chunk.oldest_sequence = 1;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    chunk.records.push_back({seq, std::string(10 + seq, 'r')});
+  }
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      EncodeInsertDocRequest(insert),
+      EncodeDeleteDocRequest({7, 3}),
+      EncodeUpdateDocRequest(update),
+      EncodeFetchOplogRequest({4, 512}),
+      EncodeMutationResponse({42, 17}),
+      EncodeOplogChunkResponse(chunk),
+  };
+  for (int i = 0; i < 4000; ++i) {
+    auto payload = seeds[fuzz.Below(seeds.size())];
+    if (fuzz.Below(2) == 0 && !payload.empty()) {
+      payload[fuzz.Below(payload.size())] ^=
+          static_cast<std::uint8_t>(1u << fuzz.Below(8));
+    }
+    if (fuzz.Below(2) == 0) payload.resize(fuzz.Below(payload.size() + 1));
+    InsertDocRequest in;
+    DecodeInsertDocRequest(payload, &in);
+    DeleteDocRequest del;
+    DecodeDeleteDocRequest(payload, &del);
+    UpdateDocRequest up;
+    DecodeUpdateDocRequest(payload, &up);
+    FetchOplogRequest fetch;
+    DecodeFetchOplogRequest(payload, &fetch);
+    {
+      PayloadReader reader(payload);
+      MutationReply reply;
+      DecodeMutationResponse(reader, &reply);
+    }
+    {
+      PayloadReader reader(payload);
+      OplogChunk decoded;
+      DecodeOplogChunkResponse(reader, &decoded);
     }
   }
 }

@@ -31,11 +31,19 @@
 //       docs/observability.md) from the first reachable server. --watch
 //       re-scrapes every --interval-ms (default 2000) until interrupted,
 //       so counter movement is visible live.
+//   kspin_cli insert --endpoints=H:P[,...] --vertex=V --name=NAME \
+//                    --tags=thai,takeaway
+//   kspin_cli delete --endpoints=H:P[,...] --id=N
+//   kspin_cli update --endpoints=H:P[,...] --id=N [--add=a,b] [--remove=c]
+//       Durable write-path mutations (v3 opcodes, docs/protocol.md):
+//       idempotency-keyed so retries and failover redirects apply at most
+//       once; the reply's op-log sequence is printed.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -53,6 +61,7 @@
 #include "routing/dijkstra.h"
 #include "routing/hub_labeling.h"
 #include "server/client.h"
+#include "server/failover.h"
 #include "server/replication.h"
 #include "service/poi_service.h"
 #include "service/service_snapshot.h"
@@ -75,7 +84,24 @@ struct Args {
   bool ranked = false;
   bool watch = false;               // For `metrics`: keep scraping.
   std::uint32_t interval_ms = 2000; // Delay between --watch scrapes.
+  // For `insert` / `delete` / `update` (the online mutation commands).
+  ObjectId id = kInvalidObject;
+  std::string name;
+  std::vector<std::string> tags;     // insert: keyword strings.
+  std::vector<std::string> adds;     // update: keywords to add.
+  std::vector<std::string> removes;  // update: keywords to remove.
 };
+
+/// "a,b,c" -> {"a","b","c"} (empty string -> empty list).
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
 
 Args Parse(int argc, char** argv) {
   Args args;
@@ -99,6 +125,11 @@ Args Parse(int argc, char** argv) {
     if (arg == "--ranked") args.ranked = true;
     if (arg == "--watch") args.watch = true;
     if (auto v = value("interval-ms")) args.interval_ms = std::stoul(*v);
+    if (auto v = value("id")) args.id = std::stoul(*v);
+    if (auto v = value("name")) args.name = *v;
+    if (auto v = value("tags")) args.tags = SplitCommaList(*v);
+    if (auto v = value("add")) args.adds = SplitCommaList(*v);
+    if (auto v = value("remove")) args.removes = SplitCommaList(*v);
     if (auto v = value("keywords")) {
       std::stringstream in(*v);
       std::string token;
@@ -500,6 +531,65 @@ int Metrics(const Args& args) {
   }
 }
 
+// Shared tail of the three mutation commands: route the write through a
+// FailoverClient (NOT_PRIMARY redirects + idempotent retries) and print
+// the acked object id and op-log sequence.
+int Mutate(const char* command, const Args& args,
+           const std::function<server::Client::MutateReply(
+               server::FailoverClient&)>& op) {
+  const auto endpoints = ParseEndpointList(command, args.endpoints);
+  if (endpoints.empty()) return 1;
+  try {
+    server::FailoverClient client(endpoints);
+    const auto reply = op(client);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "%s: rejected: %s\n", command,
+                   reply.error.c_str());
+      return 1;
+    }
+    std::printf("%u\tseq=%llu\n", reply.id,
+                static_cast<unsigned long long>(reply.sequence));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: failed: %s\n", command, e.what());
+    return 1;
+  }
+}
+
+int Insert(const Args& args) {
+  if (args.name.empty()) {
+    std::fprintf(stderr, "insert: --name=NAME required\n");
+    return 1;
+  }
+  return Mutate("insert", args, [&](server::FailoverClient& client) {
+    return client.InsertDoc(args.vertex, args.name, args.tags);
+  });
+}
+
+int Delete(const Args& args) {
+  if (args.id == kInvalidObject) {
+    std::fprintf(stderr, "delete: --id=N required\n");
+    return 1;
+  }
+  return Mutate("delete", args, [&](server::FailoverClient& client) {
+    return client.DeleteDoc(args.id);
+  });
+}
+
+int Update(const Args& args) {
+  if (args.id == kInvalidObject) {
+    std::fprintf(stderr, "update: --id=N required\n");
+    return 1;
+  }
+  if (args.adds.empty() && args.removes.empty()) {
+    std::fprintf(stderr, "update: need --add=... and/or --remove=...\n");
+    return 1;
+  }
+  return Mutate("update", args, [&](server::FailoverClient& client) {
+    return client.UpdateDoc(args.id, args.adds, args.removes);
+  });
+}
+
 int Main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   try {
@@ -511,6 +601,9 @@ int Main(int argc, char** argv) {
     if (args.command == "restore") return Restore(args);
     if (args.command == "fetch") return Fetch(args);
     if (args.command == "metrics") return Metrics(args);
+    if (args.command == "insert") return Insert(args);
+    if (args.command == "delete") return Delete(args);
+    if (args.command == "update") return Update(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -518,8 +611,8 @@ int Main(int argc, char** argv) {
   std::fprintf(
       stderr,
       "usage: kspin_cli "
-      "<generate|build|stats|query|snapshot|restore|fetch|metrics> "
-      "[--dir=DIR]\n"
+      "<generate|build|stats|query|snapshot|restore|fetch|metrics|"
+      "insert|delete|update> [--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
       "        [--module=ch|hl] [--ranked]\n"
@@ -528,7 +621,12 @@ int Main(int argc, char** argv) {
       "  fetch    --endpoints=H:P[,...] [--snapshots=DIR]   pull newest\n"
       "           snapshot from a running server\n"
       "  metrics  --endpoints=H:P[,...] [--watch] [--interval-ms=T]\n"
-      "           scrape Prometheus text from a running server\n");
+      "           scrape Prometheus text from a running server\n"
+      "  insert   --endpoints=H:P[,...] --vertex=V --name=NAME\n"
+      "           [--tags=a,b,c]   durable insert (prints id + sequence)\n"
+      "  delete   --endpoints=H:P[,...] --id=N   durable delete\n"
+      "  update   --endpoints=H:P[,...] --id=N [--add=a,b] [--remove=c]\n"
+      "           durable keyword update\n");
   return args.command.empty() ? 1 : 0;
 }
 

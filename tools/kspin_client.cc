@@ -14,6 +14,12 @@
 //   close    <id>                       mark a POI closed
 //   tag      <id> <keyword>             add a keyword to a POI
 //   untag    <id> <keyword>             remove a keyword from a POI
+//   insert   <vertex> <name> <kw...>    durable write-path add (v3):
+//                                       idempotency-keyed, safe to retry;
+//                                       prints "<id>\tseq=<sequence>"
+//   delete   <id>                       durable write-path close (v3)
+//   update   <id> <+kw|-kw>...          add (+) / remove (-) keyword tags
+//                                       as one logged operation (v3)
 //   snapshot                            write a snapshot now, print its path
 //   reload                              restore the newest valid snapshot
 //
@@ -58,7 +64,8 @@ void Usage() {
       "          ranked <vertex> <k> <query...> | add <vertex> <name> "
       "<kw...> |\n"
       "          close <id> | tag <id> <kw> | untag <id> <kw> |\n"
-      "          snapshot | reload\n");
+      "          insert <vertex> <name> <kw...> | delete <id> |\n"
+      "          update <id> <+kw|-kw>... | snapshot | reload\n");
 }
 
 int ReportStatus(const server::Client::Reply& reply) {
@@ -243,6 +250,54 @@ int Main(int argc, char** argv) {
       const ObjectId id = static_cast<ObjectId>(std::stoul(args[0]));
       return ReportStatus(command == "tag" ? client.TagPoi(id, args[1])
                                            : client.UntagPoi(id, args[1]));
+    }
+    if (command == "insert") {
+      if (args.size() < 3) {
+        Usage();
+        return 1;
+      }
+      const VertexId vertex = static_cast<VertexId>(std::stoul(args[0]));
+      const std::vector<std::string> keywords(args.begin() + 2,
+                                              args.end());
+      const auto reply = client.InsertDoc(vertex, args[1], keywords);
+      if (const int rc = ReportStatus(reply)) return rc;
+      std::printf("%u\tseq=%llu\n", reply.id,
+                  static_cast<unsigned long long>(reply.sequence));
+      return 0;
+    }
+    if (command == "delete") {
+      if (args.size() != 1) {
+        Usage();
+        return 1;
+      }
+      const auto reply =
+          client.DeleteDoc(static_cast<ObjectId>(std::stoul(args[0])));
+      if (const int rc = ReportStatus(reply)) return rc;
+      std::printf("%u\tseq=%llu\n", reply.id,
+                  static_cast<unsigned long long>(reply.sequence));
+      return 0;
+    }
+    if (command == "update") {
+      if (args.size() < 2) {
+        Usage();
+        return 1;
+      }
+      const ObjectId id = static_cast<ObjectId>(std::stoul(args[0]));
+      std::vector<std::string> adds;
+      std::vector<std::string> removes;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i].size() < 2 ||
+            (args[i][0] != '+' && args[i][0] != '-')) {
+          Usage();
+          return 1;
+        }
+        (args[i][0] == '+' ? adds : removes).push_back(args[i].substr(1));
+      }
+      const auto reply = client.UpdateDoc(id, adds, removes);
+      if (const int rc = ReportStatus(reply)) return rc;
+      std::printf("%u\tseq=%llu\n", reply.id,
+                  static_cast<unsigned long long>(reply.sequence));
+      return 0;
     }
     if (command == "snapshot") {
       return ReportSnapshot(client.Snapshot());

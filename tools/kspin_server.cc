@@ -5,7 +5,7 @@
 //                [--grid=WxH] [--pois=N] [--keywords=N] [--seed=S]
 //                [--module=ch|dijkstra]
 //                [--snapshot-dir=DIR] [--snapshot-period-ms=T]
-//                [--snapshot-keep=N]
+//                [--snapshot-keep=N] [--oplog-dir=DIR]
 //                [--role=primary|replica] [--primary=HOST:PORT]
 //                [--replica-poll-ms=T]
 //                [--trace=FILE] [--slow-query-ms=T]
@@ -30,12 +30,19 @@
 // The SNAPSHOT / RELOAD opcodes are enabled, and a period > 0 snapshots
 // in the background (docs/persistence.md).
 //
+// The durable op log (docs/persistence.md, "The operation log") defaults
+// to the snapshot directory; --oplog-dir=DIR moves it, --oplog-dir= (an
+// empty value) disables it. With the log enabled every acknowledged
+// mutation is fsynced before the reply, boot replays records past the
+// restored snapshot, and background snapshots truncate replayed segments.
+//
 // With --role=replica --primary=HOST:PORT the server rejects POI writes
-// with NOT_PRIMARY and tracks the primary's snapshots: at boot it tries
-// to fetch the primary's newest snapshot into --snapshot-dir (so the
-// replica starts from the primary's state rather than its own synthetic
-// build), then keeps polling every --replica-poll-ms and installing new
-// snapshots without interrupting reads (docs/protocol.md "Replication").
+// with NOT_PRIMARY and tracks the primary: at boot it tries to fetch the
+// primary's newest snapshot into --snapshot-dir (so the replica starts
+// from the primary's state rather than its own synthetic build), then
+// keeps polling every --replica-poll-ms, tailing the primary's op log
+// (FETCH_OPLOG) and falling back to whole-snapshot transfers when the
+// log cannot serve it (docs/protocol.md "Replication").
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -75,6 +82,8 @@ struct Args {
   std::string snapshot_dir;
   std::uint32_t snapshot_period_ms = 0;
   std::size_t snapshot_keep = 4;
+  std::string oplog_dir;
+  bool oplog_dir_set = false;
   std::string role = "primary";
   std::string primary;
   std::uint32_t replica_poll_ms = 1000;
@@ -120,6 +129,9 @@ Args Parse(int argc, char** argv) {
       args.snapshot_period_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else if (auto v = value("snapshot-keep")) {
       args.snapshot_keep = std::stoul(*v);
+    } else if (auto v = value("oplog-dir")) {
+      args.oplog_dir = *v;
+      args.oplog_dir_set = true;
     } else if (auto v = value("role")) {
       args.role = *v;
     } else if (auto v = value("primary")) {
@@ -202,6 +214,7 @@ int Main(int argc, char** argv) {
                  "[--queue=CAP] [--grid=WxH] [--pois=N] [--keywords=N] "
                  "[--seed=S] [--module=ch|dijkstra] [--snapshot-dir=DIR] "
                  "[--snapshot-period-ms=T] [--snapshot-keep=N] "
+                 "[--oplog-dir=DIR] "
                  "[--role=primary|replica] [--primary=HOST:PORT] "
                  "[--replica-poll-ms=T] [--trace=FILE] "
                  "[--slow-query-ms=T]\n");
@@ -286,6 +299,15 @@ int Main(int argc, char** argv) {
   options.snapshot.period_ms = args.snapshot_period_ms;
   options.snapshot.keep = args.snapshot_keep;
   options.snapshot.ch = ch.get();
+  // The op log lives next to the snapshots unless pointed elsewhere
+  // (--oplog-dir= with an empty value disables it). Boot replays records
+  // past the restored snapshot's applied position.
+  options.oplog.dir =
+      args.oplog_dir_set ? args.oplog_dir : args.snapshot_dir;
+  if (loaded) {
+    options.restored_mutation_sequence =
+        loaded->state.applied_mutation_sequence;
+  }
   options.trace_path = args.trace_path;
   options.slow_query_threshold_ms = args.slow_query_ms;
   if (is_replica) {

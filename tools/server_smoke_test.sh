@@ -3,10 +3,14 @@
 # it with kspin_client (ping, searches, an update, stats), checks a clean
 # SIGINT shutdown, then runs a crash/restore cycle: snapshot, kill -9,
 # restart from --snapshot-dir, and verify byte-identical query results.
-# Finally boots a primary + replica pair: writes through the primary,
+# Then boots a primary + replica pair: writes through the primary,
 # demands byte-identical replica reads after catch-up, kills the primary
 # with SIGKILL, and checks that a --endpoints failover client keeps
-# answering. Exercises the real binaries over real TCP — the piece unit
+# answering. Finally drives the durable write path: acked insert/update/
+# delete land in the op log, survive a kill -9 of the primary via boot
+# replay, ship to a replica by log tailing (no extra snapshot transfer),
+# and remain readable through a failover client after the primary dies
+# again. Exercises the real binaries over real TCP — the piece unit
 # tests cannot cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
@@ -20,6 +24,8 @@ RLOG="$(mktemp)"
 SNAPDIR="$(mktemp -d)"
 PSNAPDIR="$(mktemp -d)"
 RSNAPDIR="$(mktemp -d)"
+MPRIDIR="$(mktemp -d)"
+MREPDIR="$(mktemp -d)"
 
 for bin in "$SERVER" "$CLIENT"; do
   if [[ ! -x "$bin" ]]; then
@@ -32,7 +38,7 @@ cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
   [[ -n "${REPLICA_PID:-}" ]] && kill -9 "$REPLICA_PID" 2>/dev/null || true
   rm -f "$LOG" "$RLOG"
-  rm -rf "$SNAPDIR" "$PSNAPDIR" "$RSNAPDIR"
+  rm -rf "$SNAPDIR" "$PSNAPDIR" "$RSNAPDIR" "$MPRIDIR" "$MREPDIR"
 }
 trap cleanup EXIT
 
@@ -207,16 +213,27 @@ FOUND_ON_PRIMARY="$("$CLIENT" --port="$PRIMARY_PORT" search 13 1 redirkw)"
 grep -q "redirpoi" <<<"$FOUND_ON_PRIMARY" || { echo "smoke: redirected write missing on primary" >&2; exit 1; }
 echo "smoke: replica write redirected to primary (poi id $REDIR_ID)"
 
-# Catch up past a second snapshot, then remember the replica's answer.
+# The redirected write reaches the replica by op-log tailing — the
+# primary's log ships just that record, so no second snapshot install
+# happens even after the primary writes snapshot 2.
 "$CLIENT" --port="$PRIMARY_PORT" snapshot >/dev/null
+FAILOVER_BASELINE=""
 for _ in $(seq 1 100); do
-  SEQ="$("$CLIENT" --port="$REPLICA_PORT" health | awk -F'\t' '$1 == "snapshot_sequence" { print $2 }')"
-  [[ -n "$SEQ" && "$SEQ" -ge 2 ]] && break
+  FAILOVER_BASELINE="$("$CLIENT" --port="$REPLICA_PORT" search 13 1 redirkw)"
+  grep -q "redirpoi" <<<"$FAILOVER_BASELINE" && break
   sleep 0.1
 done
-[[ -n "$SEQ" && "$SEQ" -ge 2 ]] || { echo "smoke: replica never saw snapshot 2" >&2; exit 1; }
-FAILOVER_BASELINE="$("$CLIENT" --port="$REPLICA_PORT" search 13 1 redirkw)"
-grep -q "redirpoi" <<<"$FAILOVER_BASELINE" || { echo "smoke: second snapshot not applied on replica" >&2; exit 1; }
+grep -q "redirpoi" <<<"$FAILOVER_BASELINE" || { echo "smoke: redirected write never reached replica" >&2; cat "$RLOG" >&2; exit 1; }
+RSTATS="$("$CLIENT" --port="$REPLICA_PORT" stats)"
+RSOURCE="$(awk -F'\t' '$1 == "replication_source" { print $2 }' <<<"$RSTATS")"
+RRECORDS="$(awk -F'\t' '$1 == "replication_oplog_records" { print $2 }' <<<"$RSTATS")"
+RINSTALLS="$(awk -F'\t' '$1 == "replication_installs_ok" { print $2 }' <<<"$RSTATS")"
+[[ "$RSOURCE" == "1" ]] || { echo "smoke: replica not tailing the op log (replication_source=$RSOURCE)" >&2; echo "$RSTATS" >&2; exit 1; }
+[[ -n "$RRECORDS" && "$RRECORDS" -ge 1 ]] || { echo "smoke: no op-log records shipped (replication_oplog_records=$RRECORDS)" >&2; exit 1; }
+# The boot-time bootstrap fetch is not a replicator install, so the
+# install counter stays at zero while tailing does all the work.
+[[ "$RINSTALLS" == "0" ]] || { echo "smoke: tailing replica took snapshot installs (replication_installs_ok=$RINSTALLS)" >&2; exit 1; }
+echo "smoke: replica caught up by log tailing (records=$RRECORDS, snapshot installs=$RINSTALLS)"
 
 # Kill the primary with no warning; the failover client (endpoint list
 # includes the dead primary first) must keep answering from the replica.
@@ -268,6 +285,128 @@ for _ in $(seq 1 100); do
 done
 if kill -0 "$REPLICA_PID" 2>/dev/null; then
   echo "smoke: replica ignored SIGINT" >&2
+  exit 1
+fi
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+
+# ---- durable mutations: op log, kill -9 replay, tailing, failover ----
+# The v3 write path: acked insert/update/delete land in the op log before
+# the reply goes out, so they must survive a kill -9 with no snapshot
+# covering them, ship to a replica as log records (not a snapshot
+# transfer), and stay readable through a failover client.
+
+start_server --snapshot-dir="$MPRIDIR"
+MPRI_PORT="$PORT"
+echo "smoke: oplog primary up on port $MPRI_PORT"
+
+# Baseline snapshot BEFORE the writes: everything after it lives only in
+# the op log until replay proves it durable.
+"$CLIENT" --port="$MPRI_PORT" snapshot >/dev/null
+
+INS_OUT="$("$CLIENT" --port="$MPRI_PORT" insert 7 durablepoi durkw)"
+DUR_ID="${INS_OUT%%$'\t'*}"
+grep -q "seq=" <<<"$INS_OUT" || { echo "smoke: insert reply missing sequence: $INS_OUT" >&2; exit 1; }
+"$CLIENT" --port="$MPRI_PORT" update "$DUR_ID" +durkw2 >/dev/null
+DISP_OUT="$("$CLIENT" --port="$MPRI_PORT" insert 9 disposablepoi durkw)"
+DISP_ID="${DISP_OUT%%$'\t'*}"
+"$CLIENT" --port="$MPRI_PORT" delete "$DISP_ID" >/dev/null
+echo "smoke: durable writes acked (insert id $DUR_ID, $INS_OUT)"
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "smoke: oplog primary killed with SIGKILL"
+
+start_server --snapshot-dir="$MPRIDIR"
+MPRI_PORT="$PORT"
+grep -q "restored snapshot" "$LOG" || { echo "smoke: oplog restart did not restore snapshot" >&2; cat "$LOG" >&2; exit 1; }
+MSTATS="$("$CLIENT" --port="$MPRI_PORT" stats)"
+REPLAYED="$(awk -F'\t' '$1 == "oplog_replay_records" { print $2 }' <<<"$MSTATS")"
+[[ -n "$REPLAYED" && "$REPLAYED" -ge 4 ]] || { echo "smoke: expected >=4 replayed op-log records, got $REPLAYED" >&2; cat "$LOG" >&2; exit 1; }
+REPLAY_READ="$("$CLIENT" --port="$MPRI_PORT" search 7 3 durkw2)"
+grep -q "durablepoi" <<<"$REPLAY_READ" || { echo "smoke: acked insert+update lost across kill -9" >&2; exit 1; }
+POST_DELETE="$("$CLIENT" --port="$MPRI_PORT" search 9 5 durkw)"
+if grep -q "disposablepoi" <<<"$POST_DELETE"; then
+  echo "smoke: deleted POI resurrected by replay" >&2
+  exit 1
+fi
+echo "smoke: kill -9 replay ok (oplog_replay_records=$REPLAYED, durablepoi survived, delete held)"
+
+# Replica bootstraps from the pre-write snapshot, then must receive the
+# writes by tailing the op log — no further snapshot transfer.
+: >"$RLOG"
+"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 \
+  --snapshot-dir="$MREPDIR" --role=replica \
+  --primary=127.0.0.1:"$MPRI_PORT" --replica-poll-ms=50 >"$RLOG" 2>&1 &
+REPLICA_PID=$!
+MREP_PORT=""
+for _ in $(seq 1 100); do
+  MREP_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$RLOG")"
+  [[ -n "$MREP_PORT" ]] && break
+  kill -0 "$REPLICA_PID" 2>/dev/null || { cat "$RLOG" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$MREP_PORT" ]] || { echo "smoke: oplog replica never reported its port" >&2; cat "$RLOG" >&2; exit 1; }
+
+TAILED=""
+for _ in $(seq 1 100); do
+  TAILED="$("$CLIENT" --port="$MREP_PORT" search 7 3 durkw2 2>/dev/null || true)"
+  grep -q "durablepoi" <<<"$TAILED" && break
+  sleep 0.1
+done
+grep -q "durablepoi" <<<"$TAILED" || { echo "smoke: durable write never reached replica by tailing" >&2; cat "$RLOG" >&2; exit 1; }
+MRSTATS="$("$CLIENT" --port="$MREP_PORT" stats)"
+MRSOURCE="$(awk -F'\t' '$1 == "replication_source" { print $2 }' <<<"$MRSTATS")"
+MRRECORDS="$(awk -F'\t' '$1 == "replication_oplog_records" { print $2 }' <<<"$MRSTATS")"
+MRINSTALLS="$(awk -F'\t' '$1 == "replication_installs_ok" { print $2 }' <<<"$MRSTATS")"
+MRAPPLIED="$(awk -F'\t' '$1 == "mutations_applied" { print $2 }' <<<"$MRSTATS")"
+[[ "$MRSOURCE" == "1" ]] || { echo "smoke: oplog replica not tailing (replication_source=$MRSOURCE)" >&2; echo "$MRSTATS" >&2; exit 1; }
+[[ "$MRINSTALLS" == "0" ]] || { echo "smoke: oplog replica took $MRINSTALLS snapshot installs; tailing should need none" >&2; exit 1; }
+[[ -n "$MRRECORDS" && "$MRRECORDS" -ge 4 ]] || { echo "smoke: oplog replica shipped too few records ($MRRECORDS)" >&2; exit 1; }
+[[ -n "$MRAPPLIED" && "$MRAPPLIED" -ge 4 ]] || { echo "smoke: oplog replica applied too few mutations ($MRAPPLIED)" >&2; exit 1; }
+echo "smoke: replica received writes by tailing (records=$MRRECORDS, applied=$MRAPPLIED, installs=$MRINSTALLS)"
+
+# Replication lag while tailing is bounded by the poll interval, not a
+# snapshot cycle: with --replica-poll-ms=50 the gauge must stay small.
+LAG="$("$CLIENT" --port="$MREP_PORT" metrics | awk '$1 == "kspin_replication_lag_ms" { print $2 }')"
+[[ "$LAG" =~ ^[0-9]+$ && "$LAG" -lt 1000 ]] || { echo "smoke: implausible replication_lag_ms=$LAG while tailing" >&2; exit 1; }
+echo "smoke: replication lag while tailing: ${LAG}ms"
+
+# One more acked write, then kill the primary: a failover read against
+# the dead-primary-first endpoint list must still see every write.
+LIVE_OUT="$("$CLIENT" --port="$MPRI_PORT" insert 11 livepoi durkw2)"
+LIVE_READ=""
+for _ in $(seq 1 100); do
+  LIVE_READ="$("$CLIENT" --port="$MREP_PORT" search 11 3 durkw2 2>/dev/null || true)"
+  grep -q "livepoi" <<<"$LIVE_READ" && break
+  sleep 0.1
+done
+grep -q "livepoi" <<<"$LIVE_READ" || { echo "smoke: final write never reached replica" >&2; cat "$RLOG" >&2; exit 1; }
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+FAILOVER_MUT="$("$CLIENT" --endpoints=127.0.0.1:"$MPRI_PORT",127.0.0.1:"$MREP_PORT" search 7 3 durkw2)"
+grep -q "durablepoi" <<<"$FAILOVER_MUT" || { echo "smoke: failover read lost the durable write" >&2; exit 1; }
+echo "smoke: failover read sees durable writes after primary death ($LIVE_OUT acked)"
+
+# With no live primary, keyed mutations must fail cleanly, not land on
+# the replica.
+if "$CLIENT" --port="$MREP_PORT" insert 13 orphanpoi durkw 2>/dev/null; then
+  echo "smoke: insert unexpectedly succeeded with primary dead" >&2
+  exit 1
+fi
+"$CLIENT" --port="$MREP_PORT" ping
+echo "smoke: keyed writes fail cleanly without a primary"
+
+kill -INT "$REPLICA_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$REPLICA_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$REPLICA_PID" 2>/dev/null; then
+  echo "smoke: oplog replica ignored SIGINT" >&2
   exit 1
 fi
 wait "$REPLICA_PID" 2>/dev/null || true
