@@ -31,7 +31,9 @@ void ParseReplyEnvelope(PayloadReader& reader, Client::Reply* reply) {
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      fence_epoch_(other.fence_epoch_) {
   other.fd_ = -1;
 }
 
@@ -40,6 +42,7 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     next_request_id_ = other.next_request_id_;
+    fence_epoch_ = other.fence_epoch_;
     other.fd_ = -1;
   }
   return *this;
@@ -292,6 +295,7 @@ Client::MutateReply Client::InsertDoc(std::uint64_t idempotency_key,
   request.vertex = vertex;
   request.name = std::string(name);
   request.keywords.assign(keywords.begin(), keywords.end());
+  request.fence_epoch = fence_epoch_;
   const auto body =
       RoundTrip(Opcode::kInsertDoc, EncodeInsertDocRequest(request));
   PayloadReader reader(body);
@@ -304,13 +308,14 @@ Client::MutateReply Client::InsertDoc(std::uint64_t idempotency_key,
     }
     reply.sequence = result.sequence;
     reply.id = result.object;
+    reply.primary_epoch = result.primary_epoch;
   }
   return reply;
 }
 
 Client::MutateReply Client::DeleteDoc(std::uint64_t idempotency_key,
                                       ObjectId id) {
-  DeleteDocRequest request{idempotency_key, id};
+  DeleteDocRequest request{idempotency_key, id, fence_epoch_};
   const auto body =
       RoundTrip(Opcode::kDeleteDoc, EncodeDeleteDocRequest(request));
   PayloadReader reader(body);
@@ -323,6 +328,7 @@ Client::MutateReply Client::DeleteDoc(std::uint64_t idempotency_key,
     }
     reply.sequence = result.sequence;
     reply.id = result.object;
+    reply.primary_epoch = result.primary_epoch;
   }
   return reply;
 }
@@ -337,6 +343,7 @@ Client::MutateReply Client::UpdateDoc(
   request.add_keywords.assign(add_keywords.begin(), add_keywords.end());
   request.remove_keywords.assign(remove_keywords.begin(),
                                  remove_keywords.end());
+  request.fence_epoch = fence_epoch_;
   const auto body =
       RoundTrip(Opcode::kUpdateDoc, EncodeUpdateDocRequest(request));
   PayloadReader reader(body);
@@ -349,13 +356,15 @@ Client::MutateReply Client::UpdateDoc(
     }
     reply.sequence = result.sequence;
     reply.id = result.object;
+    reply.primary_epoch = result.primary_epoch;
   }
   return reply;
 }
 
 Client::FetchOplogReply Client::FetchOplog(std::uint64_t from_sequence,
-                                           std::uint32_t max_bytes) {
-  FetchOplogRequest request{from_sequence, max_bytes};
+                                           std::uint32_t max_bytes,
+                                           std::uint64_t requester_epoch) {
+  FetchOplogRequest request{from_sequence, max_bytes, requester_epoch};
   const auto body =
       RoundTrip(Opcode::kFetchOplog, EncodeFetchOplogRequest(request));
   PayloadReader reader(body);
@@ -364,6 +373,25 @@ Client::FetchOplogReply Client::FetchOplog(std::uint64_t from_sequence,
   if (reply.ok() && !DecodeOplogChunkResponse(reader, &reply.chunk)) {
     // Covers malformed framing and a per-record CRC mismatch.
     throw ClientError("malformed or corrupt op-log chunk");
+  }
+  return reply;
+}
+
+Client::PromoteAck Client::Promote(std::uint64_t min_applied_sequence) {
+  PromoteRequest request{min_applied_sequence};
+  const auto body =
+      RoundTrip(Opcode::kPromote, EncodePromoteRequest(request));
+  PayloadReader reader(body);
+  PromoteAck reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok()) {
+    PromoteReply result;
+    if (!DecodePromoteResponse(reader, &result)) {
+      throw ClientError("malformed promote response");
+    }
+    reply.epoch = result.epoch;
+    reply.applied_sequence = result.applied_sequence;
+    reply.role = result.role;
   }
   return reply;
 }

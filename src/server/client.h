@@ -90,6 +90,16 @@ class Client {
   struct MutateReply : Reply {
     std::uint64_t sequence = 0;     ///< Op-log sequence of the mutation.
     ObjectId id = kInvalidObject;   ///< Affected object (new id on insert).
+    /// The acking primary's epoch (0 from pre-epoch servers). Failover
+    /// clients track the max they have seen and fence stale primaries
+    /// with it.
+    std::uint64_t primary_epoch = 0;
+  };
+
+  struct PromoteAck : Reply {
+    std::uint64_t epoch = 0;             ///< Primary epoch after the flip.
+    std::uint64_t applied_sequence = 0;  ///< Applied sequence at the flip.
+    std::uint8_t role = 0;               ///< Role after the call.
   };
 
   /// Liveness probe.
@@ -140,9 +150,25 @@ class Client {
 
   /// One batch of op-log records after `from_sequence` (FETCH_OPLOG
   /// opcode) — the replica tailing path. max_bytes 0 accepts the server's
-  /// default batch size.
+  /// default batch size. `requester_epoch` is the caller's primary epoch:
+  /// a primary seeing a higher one knows it has been superseded and
+  /// fences itself.
   FetchOplogReply FetchOplog(std::uint64_t from_sequence,
-                             std::uint32_t max_bytes = 0);
+                             std::uint32_t max_bytes = 0,
+                             std::uint64_t requester_epoch = 0);
+
+  /// Admin: flip a replica to primary (PROMOTE opcode), bumping the
+  /// primary epoch. Rejected with kBadQuery when the replica's applied
+  /// sequence is below `min_applied_sequence` (0 = no guard). Idempotent
+  /// on an already-primary server (reports the standing epoch).
+  PromoteAck Promote(std::uint64_t min_applied_sequence = 0);
+
+  /// Epoch stamped into every v3 mutation request (InsertDoc/DeleteDoc/
+  /// UpdateDoc). A primary that sees a fence epoch above its own rejects
+  /// the write with STALE_EPOCH and stays fenced. 0 = no fencing (the
+  /// field still encodes; pre-epoch servers ignore it).
+  void SetFenceEpoch(std::uint64_t epoch) { fence_epoch_ = epoch; }
+  std::uint64_t FenceEpoch() const { return fence_epoch_; }
 
   /// Asks the server to write a snapshot now (SNAPSHOT opcode). On kOk
   /// the reply carries the new snapshot's sequence number and path.
@@ -163,6 +189,7 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t fence_epoch_ = 0;
 };
 
 }  // namespace kspin::server

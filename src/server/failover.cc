@@ -32,8 +32,17 @@ void FailoverClient::SetSleepFunction(RetryingClient::SleepFn sleep_fn) {
   for (const auto& client : clients_) client->SetSleepFunction(sleep_fn);
 }
 
+void FailoverClient::RefreshRoles() { ProbeRoles(); }
+
+void FailoverClient::ObserveEpoch(std::uint64_t epoch) {
+  if (epoch <= fence_epoch_) return;
+  fence_epoch_ = epoch;
+  for (const auto& client : clients_) client->SetFenceEpoch(epoch);
+}
+
 void FailoverClient::ProbeRoles() {
   probed_ = true;
+  last_probe_ = std::chrono::steady_clock::now();
   if (clients_.size() < 2) return;  // Single endpoint: nothing to learn.
   // One non-retried health probe per endpoint; unreachable ones keep
   // their defaults and reads simply fail over past them.
@@ -41,6 +50,7 @@ void FailoverClient::ProbeRoles() {
   probe_policy.max_attempts = 1;
   bool found_replica = false;
   bool found_primary = false;
+  std::uint64_t best_primary_epoch = 0;
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     RetryingClient probe(endpoints_[i].host, endpoints_[i].port,
                          probe_policy);
@@ -48,13 +58,21 @@ void FailoverClient::ProbeRoles() {
     try {
       const auto reply = probe.Health();
       if (!reply.ok()) continue;
+      ObserveEpoch(reply.health.primary_epoch);
       if (reply.health.role == 1 && !found_replica) {
         read_index_ = i;
         found_replica = true;
       }
-      if (reply.health.role == 0 && !found_primary) {
-        primary_index_ = i;
-        found_primary = true;
+      if (reply.health.role == 0) {
+        // During a failover two endpoints may both claim primary (the
+        // fenced ex-primary and the freshly promoted replica); the
+        // highest epoch is the live reign.
+        if (!found_primary ||
+            reply.health.primary_epoch > best_primary_epoch) {
+          primary_index_ = i;
+          best_primary_epoch = reply.health.primary_epoch;
+          found_primary = true;
+        }
       }
     } catch (const ClientError&) {
       // Down or unreachable; skip.
@@ -73,6 +91,7 @@ std::size_t FailoverClient::FindOrAddEndpoint(const Endpoint& endpoint) {
   clients_.push_back(std::make_unique<RetryingClient>(
       endpoint.host, endpoint.port, policy_));
   if (sleep_) clients_.back()->SetSleepFunction(sleep_);
+  clients_.back()->SetFenceEpoch(fence_epoch_);
   return endpoints_.size() - 1;
 }
 
@@ -89,7 +108,9 @@ Client::MetricsReply FailoverClient::Metrics() {
 }
 
 Client::HealthReply FailoverClient::Health() {
-  return ExecuteRead([](RetryingClient& c) { return c.Health(); });
+  auto reply = ExecuteRead([](RetryingClient& c) { return c.Health(); });
+  if (reply.ok()) ObserveEpoch(reply.health.primary_epoch);
+  return reply;
 }
 
 Client::SearchReply FailoverClient::Search(std::string_view query,

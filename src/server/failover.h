@@ -17,6 +17,7 @@
 #ifndef KSPIN_SERVER_FAILOVER_H_
 #define KSPIN_SERVER_FAILOVER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -44,6 +45,21 @@ class FailoverClient {
   const std::vector<Endpoint>& Endpoints() const { return endpoints_; }
   /// Index (into Endpoints()) that served the last successful operation.
   std::size_t LastEndpoint() const { return last_endpoint_; }
+
+  /// Re-learns roles and epochs from a fresh health-probe round now.
+  /// Writes also re-probe automatically when the last round is older than
+  /// the probe interval, or after a STALE_EPOCH / redirect-exhausted
+  /// rejection — so a promotion re-routes writes within one interval even
+  /// when the old primary never answers NOT_PRIMARY.
+  void RefreshRoles();
+  /// Probe staleness bound for write routing (default 1000 ms).
+  void SetProbeIntervalMs(std::uint32_t ms) { probe_interval_ms_ = ms; }
+  /// Highest primary epoch observed across health probes and write acks;
+  /// stamped into every mutation as its fence epoch.
+  std::uint64_t ObservedEpoch() const { return fence_epoch_; }
+  /// Seeds the fence epoch from outside (e.g. a CLI flag or a value
+  /// persisted by a previous process); only ever raises it.
+  void SetFenceEpoch(std::uint64_t epoch) { ObserveEpoch(epoch); }
 
   // Reads — replica-preferred, endpoint failover on transport errors.
   // Throws ClientError only when every endpoint failed.
@@ -83,12 +99,16 @@ class FailoverClient {
 
  private:
   /// Health-probes endpoints once to learn roles: read order starts at a
-  /// healthy replica, writes at the endpoint claiming primary. Best
-  /// effort — unreachable endpoints just keep their defaults.
+  /// healthy replica, writes at the endpoint claiming primary — among
+  /// concurrent primary claimants the highest epoch wins. Best effort —
+  /// unreachable endpoints just keep their defaults.
   void ProbeRoles();
   std::size_t FindOrAddEndpoint(const Endpoint& endpoint);
   /// Fresh nonzero idempotency key (xorshift stream seeded per client).
   std::uint64_t NextIdempotencyKey();
+  /// Latches the max epoch seen and fences every per-endpoint client
+  /// with it.
+  void ObserveEpoch(std::uint64_t epoch);
 
   template <typename Op>
   auto ExecuteRead(Op&& op) -> decltype(op(std::declval<RetryingClient&>()));
@@ -105,6 +125,9 @@ class FailoverClient {
   std::size_t last_endpoint_ = 0;
   bool probed_ = false;
   std::uint64_t key_state_ = 0;    ///< Idempotency-key xorshift state.
+  std::uint64_t fence_epoch_ = 0;  ///< Max primary epoch ever observed.
+  std::uint32_t probe_interval_ms_ = 1000;
+  std::chrono::steady_clock::time_point last_probe_{};
 };
 
 template <typename Op>
@@ -131,11 +154,38 @@ auto FailoverClient::ExecuteRead(Op&& op)
 template <typename Op>
 auto FailoverClient::ExecuteWrite(Op&& op)
     -> decltype(op(std::declval<RetryingClient&>())) {
-  if (!probed_) ProbeRoles();
+  // Routing intel goes stale the moment a replica is promoted; re-probe
+  // when the last round is old so writes re-route within one interval.
+  if (!probed_ ||
+      std::chrono::steady_clock::now() - last_probe_ >
+          std::chrono::milliseconds(probe_interval_ms_)) {
+    ProbeRoles();
+  }
+  bool reprobed = false;
   for (std::size_t redirects = 0;; ++redirects) {
     auto reply = op(*clients_[primary_index_]);
-    if (reply.status != StatusCode::kNotPrimary ||
-        redirects >= kMaxRedirects) {
+    const bool stale = reply.status == StatusCode::kStaleEpoch;
+    const bool exhausted =
+        reply.status == StatusCode::kNotPrimary && redirects >= kMaxRedirects;
+    if (stale || exhausted) {
+      // Redirects cannot resolve these (a fenced ex-primary redirects
+      // nowhere useful); a fresh probe round can — the newly promoted
+      // primary claims the highest epoch in HEALTH.
+      if (!reprobed) {
+        reprobed = true;
+        const std::size_t before = primary_index_;
+        ProbeRoles();
+        if (primary_index_ != before) continue;
+      }
+      last_endpoint_ = primary_index_;
+      return reply;
+    }
+    if (reply.status != StatusCode::kNotPrimary) {
+      if constexpr (requires { reply.primary_epoch; }) {
+        // Acks carry the primary's epoch; remember the newest so future
+        // writes fence anything older.
+        if (reply.ok()) ObserveEpoch(reply.primary_epoch);
+      }
       last_endpoint_ = primary_index_;
       return reply;
     }

@@ -84,6 +84,8 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 15;
     case Opcode::kFetchOplog:
       return 16;
+    case Opcode::kPromote:
+      return 17;
   }
   return kNoSlot;
 }
@@ -141,7 +143,13 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"oplog_fsync_batches", load(oplog_fsync_batches)},
       {"oplog_replay_records", load(oplog_replay_records)},
       {"mutations_applied", load(mutations_applied)},
+      {"idempotency_cache_hits", load(idempotency_cache_hits)},
+      {"idempotency_cache_misses", load(idempotency_cache_misses)},
       {"requests_not_primary", load(requests_not_primary)},
+      {"requests_stale_epoch", load(requests_stale_epoch)},
+      {"promotions", load(promotions)},
+      {"primary_epoch", load(primary_epoch)},
+      {"oplog_quarantined_records", load(oplog_quarantined_records)},
       {"snapshot_chunks_served", load(snapshot_chunks_served)},
       {"replication_polls", load(replication_polls)},
       {"replication_poll_errors", load(replication_poll_errors)},
@@ -191,6 +199,7 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"opcode_delete_doc", load(requests_by_opcode[14])},
       {"opcode_update_doc", load(requests_by_opcode[15])},
       {"opcode_fetch_oplog", load(requests_by_opcode[16])},
+      {"opcode_promote", load(requests_by_opcode[17])},
   };
   // Replication lag: ms since the last poll that confirmed the replica in
   // sync with (or installed a snapshot from) its primary. 0 until the
@@ -236,7 +245,8 @@ bool IsGaugeMetric(const std::string& key) {
          key == "replication_last_sequence" ||
          key == "replication_sequence_delta" ||
          key == "replication_source" ||
-         key == "replication_lag_ms";
+         key == "replication_lag_ms" ||
+         key == "primary_epoch";
 }
 
 void AppendHistogram(std::string& out, const char* name,

@@ -122,10 +122,23 @@ class ServerMetrics {
   /// Mutations applied to the serving state (wire, replay, or tailed from
   /// a primary).
   std::atomic<std::uint64_t> mutations_applied{0};
+  /// Keyed-mutation retries answered from the idempotency cache vs fresh
+  /// keyed mutations that missed it (key 0 counts neither).
+  std::atomic<std::uint64_t> idempotency_cache_hits{0};
+  std::atomic<std::uint64_t> idempotency_cache_misses{0};
 
-  // Replication.
+  // Replication / failover.
   /// Writes rejected because this server is a replica.
   std::atomic<std::uint64_t> requests_not_primary{0};
+  /// Writes rejected because this server is fenced (a higher primary
+  /// epoch was observed).
+  std::atomic<std::uint64_t> requests_stale_epoch{0};
+  /// PROMOTE calls that flipped this server to primary.
+  std::atomic<std::uint64_t> promotions{0};
+  /// Gauge: this server's current primary epoch.
+  std::atomic<std::uint64_t> primary_epoch{0};
+  /// Divergent op-log records preserved to quarantine/ on rejoin.
+  std::atomic<std::uint64_t> oplog_quarantined_records{0};
   /// FETCH_SNAPSHOT chunks served (primary side).
   std::atomic<std::uint64_t> snapshot_chunks_served{0};
   /// Replica-side poll loop (see Replicator): poll cycles started, cycles
@@ -183,7 +196,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> traces_emitted{0};
 
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 17> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 18> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};

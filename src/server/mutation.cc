@@ -51,6 +51,9 @@ std::vector<std::uint8_t> EncodeMutationRecord(const MutationRecord& record) {
       w.U32(static_cast<std::uint32_t>(record.remove_keywords.size()));
       for (const std::string& kw : record.remove_keywords) w.String(kw);
       break;
+    case MutationOp::kEpochTransition:
+      w.U64(record.epoch);
+      break;
   }
   return w.Take();
 }
@@ -80,6 +83,11 @@ bool DecodeMutationRecord(std::span<const std::uint8_t> payload,
       if (!ReadKeywords(r, r.U32(), &record->remove_keywords)) return false;
       break;
     }
+    case static_cast<std::uint8_t>(MutationOp::kEpochTransition):
+      record->op = MutationOp::kEpochTransition;
+      record->epoch = r.U64();
+      if (record->epoch == 0) return false;
+      break;
     default:
       return false;
   }
@@ -103,6 +111,10 @@ ObjectId ApplyMutationRecord(PoiService& service,
         service.UntagPoi(record.object, kw);
       }
       return record.object;
+    case MutationOp::kEpochTransition:
+      // Epoch bumps change no service state; the caller reads
+      // record.epoch and advances its own primary epoch.
+      return kInvalidObject;
   }
   throw std::invalid_argument("unknown mutation op");
 }

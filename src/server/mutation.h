@@ -30,6 +30,10 @@ enum class MutationOp : std::uint8_t {
   kInsert = 1,  ///< Register a new POI (name + vertex + keywords).
   kDelete = 2,  ///< Remove a POI from search.
   kUpdate = 3,  ///< Add / remove keyword tags on an existing POI.
+  /// Marks a primary-epoch bump (failover promotion). Carries no service
+  /// change — applying it is a no-op — but its op-log sequence is the
+  /// epoch boundary: every earlier record belongs to the old epoch.
+  kEpochTransition = 4,
 };
 
 /// One logged mutation. Exactly one of the op-specific field groups is
@@ -45,6 +49,7 @@ struct MutationRecord {
   std::string name;                   ///< kInsert.
   std::vector<std::string> add_keywords;     ///< kInsert / kUpdate.
   std::vector<std::string> remove_keywords;  ///< kUpdate.
+  std::uint64_t epoch = 0;            ///< kEpochTransition: the new epoch.
 };
 
 /// Record payload codec (the bytes stored in the oplog and shipped in

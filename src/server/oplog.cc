@@ -500,6 +500,62 @@ std::size_t Oplog::TruncateThrough(std::uint64_t sequence) {
   return removed;
 }
 
+std::size_t Oplog::QuarantineTail(std::uint64_t first_quarantined,
+                                  std::string* out_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!Enabled() || first_quarantined == 0) return 0;
+  if (last_sequence_ < first_quarantined) return 0;
+  // Collect the divergent records. ScanSegment collects strictly-greater
+  // sequences, so ask from the boundary's predecessor.
+  std::vector<OplogRecord> records;
+  for (const auto& [first_seq, path] : FindOplogSegments(options_.dir)) {
+    SegmentScan scan;
+    ScanSegment(path, 0, /*collect=*/true, first_quarantined - 1, &scan);
+    for (OplogRecord& record : scan.records) {
+      records.push_back(std::move(record));
+    }
+    if (scan.corrupt_tail) break;
+  }
+  if (records.empty()) return 0;
+  const std::string qdir = options_.dir + "/quarantine";
+  std::error_code ec;
+  std::filesystem::create_directories(qdir, ec);
+  if (ec) return static_cast<std::size_t>(-1);
+  char name[64];
+  std::snprintf(name, sizeof name, "divergent-%06llu.log",
+                static_cast<unsigned long long>(first_quarantined));
+  const std::string path = qdir + "/" + name;
+  if (out_path != nullptr) *out_path = path;
+  if (std::filesystem::exists(path, ec)) return records.size();
+  // Same temp/fsync/rename/dir-fsync discipline as segment rotation, so a
+  // crash mid-quarantine leaves either no file or a complete one.
+  const std::string tmp = path + kTempSuffix;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return static_cast<std::size_t>(-1);
+  std::uint8_t header[kSegmentHeaderBytes];
+  std::memcpy(header, kOplogMagic, 8);
+  PutLe64(header + 8, records.front().sequence);
+  bool ok = WriteAllFd(fd, header, sizeof header);
+  for (const OplogRecord& record : records) {
+    if (!ok) break;
+    std::uint8_t record_header[kRecordHeaderBytes];
+    PutLe32(record_header,
+            static_cast<std::uint32_t>(record.payload.size()));
+    PutLe32(record_header + 4, RecordCrc(record.sequence, record.payload));
+    PutLe64(record_header + 8, record.sequence);
+    ok = WriteAllFd(fd, record_header, sizeof record_header) &&
+         WriteAllFd(fd, record.payload.data(), record.payload.size());
+  }
+  ok = ok && FsyncFdQuiet(fd);
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return static_cast<std::size_t>(-1);
+  }
+  if (!FsyncDirQuiet(qdir)) return static_cast<std::size_t>(-1);
+  return records.size();
+}
+
 bool Oplog::ReadRange(std::uint64_t from_sequence, std::uint64_t max_bytes,
                       std::vector<OplogRecord>* out, bool* truncated) const {
   *truncated = false;

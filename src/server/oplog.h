@@ -144,6 +144,19 @@ class Oplog {
   /// The active segment always survives. Returns segments deleted.
   std::size_t TruncateThrough(std::uint64_t sequence);
 
+  /// Copies every record with sequence >= first_quarantined into
+  /// `<dir>/quarantine/divergent-<first_quarantined>.log` (standard
+  /// segment format, readable by ReplayOplog / any oplog tooling) so a
+  /// demoted ex-primary's divergent tail survives for operators after the
+  /// snapshot-install Reset() discards the live log. Idempotent: an
+  /// existing quarantine file for the same boundary is left untouched.
+  /// Returns the number of records preserved (0 when none exist past the
+  /// boundary or the log is disabled); sets `*out_path` (if non-null) to
+  /// the quarantine file when records were preserved. Returns
+  /// std::size_t(-1) on I/O failure.
+  std::size_t QuarantineTail(std::uint64_t first_quarantined,
+                             std::string* out_path = nullptr);
+
   /// Reads records with sequence > from_sequence into `out` (appended).
   /// `max_bytes` budgets payload bytes plus a fixed per-record overhead
   /// matching the FETCH_OPLOG wire envelope, so a caller that passes a

@@ -138,12 +138,50 @@ Replicator::TailOutcome Replicator::TailOplog() {
   std::uint64_t behind = 0;
   for (int i = 0; i < kMaxBatchesPerPoll; ++i) {
     const std::uint64_t from = hooks_.local_mutation_sequence();
-    const auto reply = client_.FetchOplog(from, options_.fetch_chunk_bytes);
+    const std::uint64_t local_epoch =
+        hooks_.local_epoch ? hooks_.local_epoch() : 0;
+    const auto reply =
+        client_.FetchOplog(from, options_.fetch_chunk_bytes, local_epoch);
     if (!reply.ok()) {
       // kUnsupported: no op log over there (old server or no --oplog-dir).
       return TailOutcome::kFallback;
     }
     const OplogChunk& chunk = reply.chunk;
+    if (chunk.primary_epoch < local_epoch) {
+      // A fenced ex-primary still running its old reign. Nothing it
+      // serves — records or snapshots — may be trusted anymore.
+      std::fprintf(stderr,
+                   "replication: primary %s is stale (epoch %llu < local "
+                   "%llu); refusing to tail it\n",
+                   options_.primary.ToString().c_str(),
+                   static_cast<unsigned long long>(chunk.primary_epoch),
+                   static_cast<unsigned long long>(local_epoch));
+      return TailOutcome::kStalePrimary;
+    }
+    if (chunk.primary_epoch > local_epoch &&
+        chunk.epoch_boundary_sequence != 0 &&
+        from >= chunk.epoch_boundary_sequence) {
+      // Divergence on rejoin: our applied position reaches past the new
+      // primary's epoch boundary, so our records from the boundary on
+      // were never part of the new reign. Preserve them for operators,
+      // then resync via the snapshot path (whose install resets the log).
+      std::fprintf(stderr,
+                   "replication: applied %llu reaches past epoch %llu "
+                   "boundary %llu; quarantining the divergent tail and "
+                   "resyncing via snapshot\n",
+                   static_cast<unsigned long long>(from),
+                   static_cast<unsigned long long>(chunk.primary_epoch),
+                   static_cast<unsigned long long>(
+                       chunk.epoch_boundary_sequence));
+      if (hooks_.quarantine_divergent) {
+        hooks_.quarantine_divergent(chunk.epoch_boundary_sequence);
+      }
+      if (hooks_.observe_epoch) {
+        hooks_.observe_epoch(chunk.primary_epoch,
+                             chunk.epoch_boundary_sequence);
+      }
+      return TailOutcome::kFallback;
+    }
     if (chunk.truncated != 0) {
       std::fprintf(stderr,
                    "replication: primary log starts at %llu, need %llu; "
@@ -203,6 +241,10 @@ bool Replicator::PollOnce() {
           return true;
         case TailOutcome::kInSync:
           return false;
+        case TailOutcome::kStalePrimary:
+          metrics_.replication_poll_errors.fetch_add(
+              1, std::memory_order_relaxed);
+          return false;  // No snapshot fallback from a stale primary.
         case TailOutcome::kFallback:
           break;  // Snapshot transfer below.
       }
@@ -212,6 +254,27 @@ bool Replicator::PollOnce() {
       metrics_.replication_poll_errors.fetch_add(1,
                                                  std::memory_order_relaxed);
       return false;
+    }
+    const std::uint64_t local_epoch =
+        hooks_.local_epoch ? hooks_.local_epoch() : 0;
+    if (health.health.primary_epoch < local_epoch) {
+      // Stale primary (see TailOplog): its snapshots are from a dead
+      // reign; wait for it to be repointed or restarted instead.
+      metrics_.replication_poll_errors.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "replication: primary %s is stale (epoch %llu < local "
+                   "%llu); refusing its snapshots\n",
+                   options_.primary.ToString().c_str(),
+                   static_cast<unsigned long long>(
+                       health.health.primary_epoch),
+                   static_cast<unsigned long long>(local_epoch));
+      return false;
+    }
+    if (health.health.primary_epoch > local_epoch && hooks_.observe_epoch) {
+      // Snapshot-only replicas never see the in-stream epoch record;
+      // health is how they learn the reign changed.
+      hooks_.observe_epoch(health.health.primary_epoch, 0);
     }
     const std::uint64_t remote = health.health.snapshot_sequence;
     const std::uint64_t local = hooks_.local_sequence();

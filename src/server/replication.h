@@ -107,6 +107,20 @@ class Replicator {
     std::function<bool(const std::vector<OplogWireRecord>& records,
                        std::string* error)>
         apply_mutations;
+    /// Highest primary epoch known locally. Unset = epoch-unaware (0);
+    /// the replicator then accepts any primary, as before epochs existed.
+    std::function<std::uint64_t()> local_epoch;
+    /// A newer primary epoch was observed (health poll or a tailed
+    /// chunk). `boundary` is the epoch-transition record's sequence when
+    /// known, 0 when only the epoch itself is (health reports no
+    /// boundary).
+    std::function<void(std::uint64_t epoch, std::uint64_t boundary)>
+        observe_epoch;
+    /// The local applied position reaches past the new primary's epoch
+    /// boundary: the records from `boundary` on are this ex-primary's
+    /// divergent tail. Preserve them for operators before the snapshot
+    /// fallback's log reset discards them. Returns records preserved.
+    std::function<std::size_t(std::uint64_t boundary)> quarantine_divergent;
   };
 
   Replicator(ReplicationOptions options, ServerMetrics& metrics, Hooks hooks);
@@ -130,9 +144,11 @@ class Replicator {
 
  private:
   enum class TailOutcome {
-    kApplied,   ///< One or more records were applied.
-    kInSync,    ///< Nothing to ship; the replica is caught up.
-    kFallback,  ///< Tailing cannot proceed; use a snapshot transfer.
+    kApplied,       ///< One or more records were applied.
+    kInSync,        ///< Nothing to ship; the replica is caught up.
+    kFallback,      ///< Tailing cannot proceed; use a snapshot transfer.
+    kStalePrimary,  ///< The primary's epoch is older than ours: refuse to
+                    ///< tail it AND to install its snapshots.
   };
 
   TailOutcome TailOplog();

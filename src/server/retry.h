@@ -62,6 +62,11 @@ class RetryingClient {
   /// Attempts consumed by the last operation (1 = no retries needed).
   std::uint32_t LastAttempts() const { return last_attempts_; }
 
+  /// Epoch stamped into every v3 mutation (see Client::SetFenceEpoch);
+  /// survives the reconnects this wrapper performs between attempts.
+  void SetFenceEpoch(std::uint64_t epoch) { client_.SetFenceEpoch(epoch); }
+  std::uint64_t FenceEpoch() const { return client_.FenceEpoch(); }
+
   // Idempotent operations — retried on every retryable failure.
   Client::Reply Ping();
   Client::StatsReply Stats();

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -93,7 +94,11 @@ struct Server::Request {
 };
 
 Server::Server(PoiService& service, ServerOptions options)
-    : service_(service), options_(options), oplog_(options_.oplog) {
+    : service_(service),
+      options_(options),
+      oplog_(options_.oplog),
+      idempotency_(options_.idempotency_cache_size) {
+  role_.store(options_.replication.role, std::memory_order_relaxed);
   queue_ = std::make_unique<AdmissionQueue<Request>>(options_.queue_capacity);
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<TraceSink>(options_.trace_path);
@@ -126,6 +131,9 @@ void Server::Start() {
   // a single request is served (docs/persistence.md).
   applied_sequence_.store(options_.restored_mutation_sequence,
                           std::memory_order_relaxed);
+  // The epoch sidecar outlives truncated log segments; replayed epoch
+  // records below can only move the epoch forward from here.
+  LoadEpochState();
   if (!oplog_.Open(options_.restored_mutation_sequence + 1)) {
     throw std::runtime_error("cannot open op log in " + options_.oplog.dir);
   }
@@ -141,6 +149,15 @@ void Server::Start() {
             throw std::runtime_error("op log record " +
                                      std::to_string(rec.sequence) +
                                      " does not decode");
+          }
+          if (record.op == MutationOp::kEpochTransition) {
+            // Epoch records move replication state, not the catalog.
+            if (record.epoch >=
+                primary_epoch_.load(std::memory_order_relaxed)) {
+              primary_epoch_.store(record.epoch, std::memory_order_relaxed);
+              epoch_boundary_.store(rec.sequence, std::memory_order_relaxed);
+            }
+            return;
           }
           ApplyMutationRecord(service_, record);
         });
@@ -165,6 +182,7 @@ void Server::Start() {
     }
   }
   MirrorOplogMetrics();
+  metrics_.primary_epoch.store(PrimaryEpoch(), std::memory_order_relaxed);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
@@ -216,6 +234,14 @@ void Server::Start() {
     hooks.apply_mutations = [this](const std::vector<OplogWireRecord>& records,
                                    std::string* error) {
       return ApplyReplicatedMutations(records, error);
+    };
+    hooks.local_epoch = [this] { return PrimaryEpoch(); };
+    hooks.observe_epoch = [this](std::uint64_t epoch,
+                                 std::uint64_t boundary) {
+      AdoptEpoch(epoch, boundary);
+    };
+    hooks.quarantine_divergent = [this](std::uint64_t boundary) {
+      return QuarantineDivergentOplog(boundary);
     };
     replicator_ = std::make_unique<Replicator>(options_.replication,
                                                metrics_, std::move(hooks));
@@ -581,8 +607,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kPoiUntag:
     case Opcode::kInsertDoc:
     case Opcode::kDeleteDoc:
-    case Opcode::kUpdateDoc:
-      if (options_.replication.role == ServerRole::kReplica) {
+    case Opcode::kUpdateDoc: {
+      if (role_.load(std::memory_order_acquire) == ServerRole::kReplica) {
         // Replicas are read-only; tell the client where the primary is
         // (the NOT_PRIMARY message is the redirect address).
         metrics_.requests_not_primary.fetch_add(1,
@@ -593,13 +619,30 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                     options_.replication.primary.ToString()));
         return;
       }
+      // Once any request carried a higher epoch this primary is fenced:
+      // every write — even keyless/legacy ones — is refused until it
+      // rejoins as a replica of the new primary.
+      const std::uint64_t fenced =
+          fenced_epoch_.load(std::memory_order_acquire);
+      if (fenced > primary_epoch_.load(std::memory_order_acquire)) {
+        metrics_.requests_stale_epoch.fetch_add(1,
+                                                std::memory_order_relaxed);
+        Respond(conn, header,
+                EncodeErrorResponse(
+                    StatusCode::kStaleEpoch,
+                    "fenced: a newer primary epoch " +
+                        std::to_string(fenced) + " has been observed"));
+        return;
+      }
       [[fallthrough]];
+    }
     case Opcode::kSearchBoolean:
     case Opcode::kSearchRanked:
     case Opcode::kSnapshot:
     case Opcode::kReload:
     case Opcode::kFetchSnapshot:
-    case Opcode::kFetchOplog: {
+    case Opcode::kFetchOplog:
+    case Opcode::kPromote: {
       Request request;
       request.conn = conn;
       request.header = header;
@@ -683,6 +726,11 @@ void Server::WorkerLoop(std::size_t worker_index) {
       ProcessRequest(*request, needs_processor ? processor.get() : nullptr);
     } else if (is_mutation) {
       ProcessMutation(*request);  // Takes mutation_mutex_ itself.
+    } else if (opcode == Opcode::kPromote) {
+      // PROMOTE stops the replicator before locking; it must NOT run
+      // under mutation_mutex_ like the branch below (the replicator's
+      // poll thread takes that mutex, so Stop-under-lock would deadlock).
+      ProcessPromote(*request);
     } else {
       // SNAPSHOT / RELOAD: exclude other state-changers; queries keep
       // flowing (RELOAD additionally opens an apply window for its swap).
@@ -924,6 +972,10 @@ bool ValidateMutation(const PoiService& service, const MutationRecord& record,
         return false;
       }
       return true;
+    case MutationOp::kEpochTransition:
+      // Minted by PROMOTE only; never accepted from the client path.
+      *why = "not a client mutation";
+      return false;
     case MutationOp::kUpdate: {
       if (!service.Engine().Store().IsLive(record.object)) {
         *why = "no such poi";
@@ -966,6 +1018,7 @@ bool ValidateMutation(const PoiService& service, const MutationRecord& record,
 
 bool Server::DecodeMutationRequest(const Request& request,
                                    MutationRecord* record,
+                                   std::uint64_t* fence_epoch,
                                    std::vector<std::uint8_t>* error_response) {
   const auto malformed = [&](const char* what) {
     metrics_.requests_malformed_payload.fetch_add(1,
@@ -974,6 +1027,7 @@ bool Server::DecodeMutationRequest(const Request& request,
         EncodeErrorResponse(StatusCode::kMalformedPayload, what);
     return false;
   };
+  *fence_epoch = 0;
   switch (request.header.opcode) {
     case Opcode::kInsertDoc: {
       InsertDocRequest req;
@@ -985,6 +1039,7 @@ bool Server::DecodeMutationRequest(const Request& request,
       record->vertex = req.vertex;
       record->name = std::move(req.name);
       record->add_keywords = std::move(req.keywords);
+      *fence_epoch = req.fence_epoch;
       return true;
     }
     case Opcode::kDeleteDoc: {
@@ -995,6 +1050,7 @@ bool Server::DecodeMutationRequest(const Request& request,
       record->op = MutationOp::kDelete;
       record->idempotency_key = req.idempotency_key;
       record->object = req.object;
+      *fence_epoch = req.fence_epoch;
       return true;
     }
     case Opcode::kUpdateDoc: {
@@ -1007,6 +1063,7 @@ bool Server::DecodeMutationRequest(const Request& request,
       record->object = req.object;
       record->add_keywords = std::move(req.add_keywords);
       record->remove_keywords = std::move(req.remove_keywords);
+      *fence_epoch = req.fence_epoch;
       return true;
     }
     // Legacy v1/v2 write opcodes route through the same logged path.
@@ -1064,14 +1121,26 @@ void Server::ProcessMutation(Request& request) {
   bool need_sync = false;
   MutationReply result;
   MutationRecord record;
+  std::uint64_t fence_epoch = 0;
   try {
-    if (DecodeMutationRequest(request, &record, &response)) {
+    if (DecodeMutationRequest(request, &record, &fence_epoch, &response)) {
       // The logged form is canonical: a record the log codec would reject
       // (oversized name / keyword list) is refused here, so replay never
       // meets a record it cannot decode.
       const std::vector<std::uint8_t> payload = EncodeMutationRecord(record);
       MutationRecord canonical;
-      if (!DecodeMutationRecord(payload, &canonical)) {
+      if (fence_epoch > primary_epoch_.load(std::memory_order_acquire)) {
+        // The client has seen a newer primary: this server was promoted
+        // away from. Latch the fence so every later write (keyed or not)
+        // is rejected inline before reaching here.
+        ObserveFencedEpoch(fence_epoch);
+        metrics_.requests_stale_epoch.fetch_add(1,
+                                                std::memory_order_relaxed);
+        response = EncodeErrorResponse(
+            StatusCode::kStaleEpoch,
+            "fenced: a newer primary epoch " +
+                std::to_string(fence_epoch) + " has been observed");
+      } else if (!DecodeMutationRecord(payload, &canonical)) {
         metrics_.requests_bad_query.fetch_add(1, std::memory_order_relaxed);
         response = EncodeErrorResponse(StatusCode::kBadQuery,
                                        "mutation exceeds size limits");
@@ -1079,6 +1148,11 @@ void Server::ProcessMutation(Request& request) {
         std::lock_guard<std::mutex> guard(mutation_mutex_);
         const IdempotencyCache::Result* seen =
             idempotency_.Find(record.idempotency_key);
+        if (record.idempotency_key != 0) {
+          (seen != nullptr ? metrics_.idempotency_cache_hits
+                           : metrics_.idempotency_cache_misses)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
         std::string why;
         if (seen != nullptr) {
           // Retry of an already-applied (and already-durable) mutation:
@@ -1139,7 +1213,9 @@ void Server::ProcessMutation(Request& request) {
   }
   if (ok) {
     // Legacy opcodes keep their v1/v2 response bodies; the v3 opcodes
-    // return the log sequence + object id.
+    // return the log sequence + object id (+ the acking primary's epoch,
+    // so failover clients learn the newest epoch from every ack).
+    result.primary_epoch = PrimaryEpoch();
     switch (opcode) {
       case Opcode::kPoiAdd:
         response = EncodeObjectIdResponse(result.object);
@@ -1164,8 +1240,201 @@ void Server::ProcessMutation(Request& request) {
   Respond(request.conn, header, std::move(response));
 }
 
+void Server::ProcessPromote(Request& request) {
+  const FrameHeader& header = request.header;
+  PromoteRequest promote;
+  if (!DecodePromoteRequest(request.payload, &promote)) {
+    metrics_.requests_malformed_payload.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    Respond(request.conn, header,
+            EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                "bad promote payload"));
+    return;
+  }
+  if (Role() == ServerRole::kPrimary) {
+    // Idempotent: a retried (or misdirected) PROMOTE on a primary reports
+    // the standing epoch instead of minting a new one.
+    PromoteReply reply;
+    reply.epoch = PrimaryEpoch();
+    reply.applied_sequence = AppliedSequence();
+    reply.role = static_cast<std::uint8_t>(ServerRole::kPrimary);
+    metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    Respond(request.conn, header, EncodePromoteResponse(reply));
+    return;
+  }
+  if (promote.min_applied_sequence > 0 &&
+      AppliedSequence() < promote.min_applied_sequence) {
+    metrics_.requests_bad_query.fetch_add(1, std::memory_order_relaxed);
+    Respond(request.conn, header,
+            EncodeErrorResponse(
+                StatusCode::kBadQuery,
+                "applied sequence " + std::to_string(AppliedSequence()) +
+                    " is below required " +
+                    std::to_string(promote.min_applied_sequence)));
+    return;
+  }
+  // Stop tailing the old primary BEFORE taking mutation_mutex_: the
+  // replicator's poll thread takes that mutex inside
+  // ApplyReplicatedMutations, so stopping it under the lock would
+  // deadlock. After this point nothing else advances the applied state.
+  if (replicator_ != nullptr) replicator_->Stop();
+
+  std::vector<std::uint8_t> response;
+  bool need_sync = false;
+  PromoteReply reply;
+  {
+    std::lock_guard<std::mutex> guard(mutation_mutex_);
+    // Jump past any epoch ever observed, so the new reign is strictly
+    // newer than both our old primary's and any concurrent claimant a
+    // client has fenced us with.
+    const std::uint64_t new_epoch =
+        std::max(primary_epoch_.load(std::memory_order_relaxed),
+                 fenced_epoch_.load(std::memory_order_relaxed)) +
+        1;
+    MutationRecord record;
+    record.op = MutationOp::kEpochTransition;
+    record.epoch = new_epoch;
+    const std::uint64_t sequence = oplog_.Append(EncodeMutationRecord(record));
+    if (sequence == 0) {
+      metrics_.requests_internal_error.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      response =
+          EncodeErrorResponse(StatusCode::kInternal, "op log append failed");
+    } else {
+      // The epoch record's sequence IS the boundary: the first sequence
+      // of the new reign. A demoted ex-primary whose applied position
+      // reaches it has diverged and must truncate (docs/persistence.md).
+      applied_sequence_.store(sequence, std::memory_order_release);
+      epoch_boundary_.store(sequence, std::memory_order_release);
+      primary_epoch_.store(new_epoch, std::memory_order_release);
+      role_.store(ServerRole::kPrimary, std::memory_order_release);
+      metrics_.promotions.fetch_add(1, std::memory_order_relaxed);
+      metrics_.primary_epoch.store(new_epoch, std::memory_order_relaxed);
+      PersistEpochStateLocked();
+      reply.epoch = new_epoch;
+      reply.applied_sequence = sequence;
+      reply.role = static_cast<std::uint8_t>(ServerRole::kPrimary);
+      need_sync = true;
+    }
+  }
+  if (need_sync) {
+    if (!oplog_.Sync()) {
+      // The flip happened but the epoch record is not durable; refuse the
+      // acknowledgement. A retry lands in the already-primary path and
+      // reports the standing epoch.
+      metrics_.requests_internal_error.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      response =
+          EncodeErrorResponse(StatusCode::kInternal, "op log sync failed");
+    } else {
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      response = EncodePromoteResponse(reply);
+    }
+  }
+  MirrorOplogMetrics();
+  Respond(request.conn, header, std::move(response));
+}
+
+// ----- Epoch fencing --------------------------------------------------------
+
+void Server::ObserveFencedEpoch(std::uint64_t epoch) {
+  std::uint64_t current = fenced_epoch_.load(std::memory_order_relaxed);
+  while (epoch > current &&
+         !fenced_epoch_.compare_exchange_weak(current, epoch,
+                                              std::memory_order_acq_rel)) {
+  }
+}
+
+void Server::AdoptEpoch(std::uint64_t epoch, std::uint64_t boundary) {
+  std::lock_guard<std::mutex> guard(mutation_mutex_);
+  AdoptEpochLocked(epoch, boundary);
+}
+
+void Server::AdoptEpochLocked(std::uint64_t epoch, std::uint64_t boundary) {
+  if (epoch <= primary_epoch_.load(std::memory_order_relaxed)) return;
+  primary_epoch_.store(epoch, std::memory_order_release);
+  if (boundary != 0) {
+    epoch_boundary_.store(boundary, std::memory_order_release);
+  }
+  metrics_.primary_epoch.store(epoch, std::memory_order_relaxed);
+  PersistEpochStateLocked();
+}
+
+std::size_t Server::QuarantineDivergentOplog(std::uint64_t boundary) {
+  std::string path;
+  const std::size_t preserved = oplog_.QuarantineTail(boundary, &path);
+  if (preserved == static_cast<std::size_t>(-1)) {
+    std::fprintf(stderr,
+                 "oplog: quarantine of records >= %llu failed; the "
+                 "divergent tail will be lost to the snapshot install\n",
+                 static_cast<unsigned long long>(boundary));
+    return 0;
+  }
+  if (preserved > 0) {
+    metrics_.oplog_quarantined_records.fetch_add(preserved,
+                                                 std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "oplog: preserved %zu divergent record(s) at sequence >= "
+                 "%llu to %s\n",
+                 preserved, static_cast<unsigned long long>(boundary),
+                 path.c_str());
+  }
+  // The catalog already has the divergent records applied and there is no
+  // in-memory undo, so the positions it advertises are lies. Zero them:
+  // the next poll then fetches the new primary's snapshot and the install
+  // replaces the catalog wholesale (and Reset()s the log), which is the
+  // actual repair.
+  {
+    std::lock_guard<std::mutex> guard(mutation_mutex_);
+    applied_sequence_.store(0, std::memory_order_release);
+    snapshot_sequence_.store(0, std::memory_order_relaxed);
+  }
+  return preserved;
+}
+
+std::string Server::EpochStateDir() const {
+  if (oplog_.Enabled()) return oplog_.Dir();
+  return options_.snapshot.dir;
+}
+
+void Server::PersistEpochStateLocked() {
+  const std::string dir = EpochStateDir();
+  if (dir.empty()) return;
+  const std::string path =
+      (std::filesystem::path(dir) / "primary-epoch").string();
+  try {
+    std::filesystem::create_directories(dir);
+    io::WriteFileAtomically(path, [&](std::ostream& out) {
+      out << primary_epoch_.load(std::memory_order_relaxed) << ' '
+          << epoch_boundary_.load(std::memory_order_relaxed) << '\n';
+      if (!out) throw io::SerializationError("short epoch sidecar write");
+    });
+  } catch (const std::exception& e) {
+    // Non-fatal: the epoch also lives in the log until truncation.
+    std::fprintf(stderr, "epoch: cannot persist %s: %s\n", path.c_str(),
+                 e.what());
+  }
+}
+
+void Server::LoadEpochState() {
+  const std::string dir = EpochStateDir();
+  if (dir.empty()) return;
+  std::ifstream in(std::filesystem::path(dir) / "primary-epoch");
+  std::uint64_t epoch = 0;
+  std::uint64_t boundary = 0;
+  if (!(in >> epoch)) return;  // Missing or unreadable: epoch 0.
+  in >> boundary;
+  primary_epoch_.store(epoch, std::memory_order_relaxed);
+  epoch_boundary_.store(boundary, std::memory_order_relaxed);
+}
+
 std::vector<std::uint8_t> Server::HandleFetchOplog(
     const FetchOplogRequest& fetch) {
+  // A fetcher that has seen a newer epoch fences us exactly like a
+  // write-path client would.
+  if (fetch.requester_epoch > primary_epoch_.load(std::memory_order_acquire)) {
+    ObserveFencedEpoch(fetch.requester_epoch);
+  }
   if (!oplog_.Enabled()) {
     // No durable log (no --oplog-dir): replicas must use snapshots.
     return EncodeErrorResponse(StatusCode::kUnsupported, "op log disabled");
@@ -1184,6 +1453,9 @@ std::vector<std::uint8_t> Server::HandleFetchOplog(
   chunk.truncated = truncated ? 1 : 0;
   chunk.last_sequence = oplog_.LastSequence();
   chunk.oldest_sequence = oplog_.OldestSequence();
+  chunk.primary_epoch = PrimaryEpoch();
+  chunk.epoch_boundary_sequence =
+      epoch_boundary_.load(std::memory_order_acquire);
   chunk.records.reserve(records.size());
   for (OplogRecord& record : records) {
     OplogWireRecord wire;
@@ -1231,6 +1503,14 @@ bool Server::ApplyReplicatedMutations(
         return false;
       }
       appended = true;
+      if (record.op == MutationOp::kEpochTransition) {
+        // The primary's reign change, streamed in-band: adopt the epoch
+        // (and its boundary — this very sequence) without touching the
+        // catalog.
+        applied_sequence_.store(wire.sequence, std::memory_order_release);
+        AdoptEpochLocked(record.epoch, wire.sequence);
+        continue;
+      }
       try {
         const EpochGate::ApplyGuard apply(gate_);
         ApplyMutationRecord(service_, record);
@@ -1258,15 +1538,17 @@ bool Server::ApplyReplicatedMutations(
 
 std::vector<std::uint8_t> Server::BuildHealthResponse() {
   HealthInfo info;
-  info.role =
-      static_cast<std::uint8_t>(options_.replication.role);
+  const ServerRole role = Role();  // Dynamic: PROMOTE flips it at runtime.
+  info.role = static_cast<std::uint8_t>(role);
   info.snapshot_sequence = SnapshotSequence();
   info.uptime_ms = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                             start_time_)
           .count());
   info.queue_depth = queue_->Size();
-  if (options_.replication.role == ServerRole::kReplica) {
+  info.applied_sequence = AppliedSequence();
+  info.primary_epoch = PrimaryEpoch();
+  if (role == ServerRole::kReplica) {
     info.primary_address = options_.replication.primary.ToString();
   }
   return EncodeHealthResponse(info);

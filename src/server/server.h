@@ -103,6 +103,12 @@ struct ServerOptions {
   /// op-log replay at boot begins after it.
   std::uint64_t restored_mutation_sequence = 0;
 
+  /// Capacity of the idempotency cache (recently applied mutation keys
+  /// answered from memory on retry). Sized for the retry window — a key
+  /// only needs to survive seconds, not the log's lifetime. 0 disables
+  /// retry deduplication entirely.
+  std::size_t idempotency_cache_size = 4096;
+
   /// Replication (docs/protocol.md "Replication"). With role kReplica the
   /// server rejects POI writes with NOT_PRIMARY and polls
   /// replication.primary for new snapshots; fetched snapshots are
@@ -182,6 +188,26 @@ class Server {
     return applied_sequence_.load(std::memory_order_relaxed);
   }
 
+  /// Current role. Boots from options.replication.role; PROMOTE flips a
+  /// replica to primary at runtime.
+  ServerRole Role() const {
+    return role_.load(std::memory_order_acquire);
+  }
+
+  /// Highest primary epoch this server knows of (its own when primary;
+  /// its primary's when a replica that has observed one). Epochs are
+  /// bumped by PROMOTE and persisted in a `primary-epoch` sidecar plus an
+  /// epoch-transition op-log record.
+  std::uint64_t PrimaryEpoch() const {
+    return primary_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Op-log sequence of the newest epoch-transition record (the first
+  /// sequence of the current epoch); 0 = the epoch never changed.
+  std::uint64_t EpochBoundarySequence() const {
+    return epoch_boundary_.load(std::memory_order_acquire);
+  }
+
   /// Replica-side install of a snapshot image fetched from the primary:
   /// validate + load it off the serving lock (reads keep flowing), write
   /// it into snapshot.dir crash-safely, then swap the serving catalog
@@ -223,10 +249,40 @@ class Server {
   /// legacy kPoi* opcodes: idempotency check, validate, append to the op
   /// log, apply through the epoch gate, group-commit fsync, respond.
   void ProcessMutation(Request& request);
+  /// PROMOTE: flip this replica to primary, bump the epoch, log the
+  /// transition. Runs on a worker WITHOUT mutation_mutex_ pre-taken — it
+  /// must stop the replicator (whose poll thread takes that mutex) before
+  /// locking, or the two would deadlock.
+  void ProcessPromote(Request& request);
   /// Decodes any mutation-class request into a MutationRecord. Returns
-  /// false with a ready error response on malformed payloads.
+  /// false with a ready error response on malformed payloads. For the v3
+  /// opcodes `*fence_epoch` receives the request's fence epoch (0 for
+  /// legacy opcodes).
   bool DecodeMutationRequest(const Request& request, MutationRecord* record,
+                             std::uint64_t* fence_epoch,
                              std::vector<std::uint8_t>* error_response);
+  /// Latches the highest epoch ever observed in a request; once it
+  /// exceeds our own primary epoch this server is fenced and rejects all
+  /// writes with STALE_EPOCH.
+  void ObserveFencedEpoch(std::uint64_t epoch);
+  /// Adopts a higher primary epoch learned from this replica's primary
+  /// (health poll or in-stream epoch record). boundary 0 = unknown, keep
+  /// the current one. The *Locked variant requires mutation_mutex_.
+  void AdoptEpoch(std::uint64_t epoch, std::uint64_t boundary);
+  void AdoptEpochLocked(std::uint64_t epoch, std::uint64_t boundary);
+  /// Preserves op-log records at/past `boundary` into quarantine/ (a
+  /// demoted ex-primary's divergent tail) before a snapshot install
+  /// discards them. Returns records preserved.
+  std::size_t QuarantineDivergentOplog(std::uint64_t boundary);
+  /// Writes the `primary-epoch` sidecar (epoch + boundary) so the epoch
+  /// survives restarts even after log truncation. Caller must hold
+  /// mutation_mutex_ (or run pre-Start).
+  void PersistEpochStateLocked();
+  /// Reads the sidecar at boot; missing file = epoch 0.
+  void LoadEpochState();
+  /// Directory holding the sidecar: the op-log dir when enabled, else the
+  /// snapshot dir, else empty (epoch not persisted).
+  std::string EpochStateDir() const;
   /// FETCH_OPLOG handler (query-class; the Oplog serializes internally).
   std::vector<std::uint8_t> HandleFetchOplog(const FetchOplogRequest& fetch);
   /// Copies the Oplog's internal counters into ServerMetrics.
@@ -280,6 +336,18 @@ class Server {
   std::atomic<std::uint64_t> snapshot_sequence_{0};
   std::chrono::steady_clock::time_point start_time_{};
 
+  // Epoch-fenced failover state (docs/protocol.md "Replication").
+  /// Runtime role; seeded from options, flipped by PROMOTE.
+  std::atomic<ServerRole> role_{ServerRole::kPrimary};
+  /// Highest primary epoch this server knows of (see PrimaryEpoch()).
+  std::atomic<std::uint64_t> primary_epoch_{0};
+  /// Highest epoch ever observed in any request (fence latch): when it
+  /// exceeds primary_epoch_ on a primary, every write is rejected with
+  /// STALE_EPOCH until the server rejoins as a replica.
+  std::atomic<std::uint64_t> fenced_epoch_{0};
+  /// Sequence of the newest epoch-transition record; 0 = none.
+  std::atomic<std::uint64_t> epoch_boundary_{0};
+
   /// I/O-thread only: accepting is suspended until this instant after an
   /// fd-exhaustion accept() failure.
   std::chrono::steady_clock::time_point accept_pause_until_{};
@@ -291,7 +359,7 @@ class Server {
   std::mutex mutation_mutex_;
   EpochGate gate_;
   Oplog oplog_;
-  IdempotencyCache idempotency_;
+  IdempotencyCache idempotency_;  // Capacity set from options_ in the ctor.
   /// Highest mutation sequence applied to the serving state.
   std::atomic<std::uint64_t> applied_sequence_{0};
 

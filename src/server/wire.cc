@@ -51,6 +51,8 @@ std::string_view StatusName(StatusCode status) {
       return "UNSUPPORTED";
     case StatusCode::kNotPrimary:
       return "NOT_PRIMARY";
+    case StatusCode::kStaleEpoch:
+      return "STALE_EPOCH";
   }
   return "UNKNOWN";
 }
@@ -202,6 +204,7 @@ std::vector<std::uint8_t> EncodeInsertDocRequest(
   w.String(request.name);
   w.U32(static_cast<std::uint32_t>(request.keywords.size()));
   for (const std::string& keyword : request.keywords) w.String(keyword);
+  w.U64(request.fence_epoch);
   return w.Take();
 }
 
@@ -216,6 +219,10 @@ bool DecodeInsertDocRequest(std::span<const std::uint8_t> payload,
   for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
     request->keywords.push_back(r.String());
   }
+  // Pre-epoch senders end here; the epoch revision appends fence_epoch.
+  request->fence_epoch = 0;
+  if (r.Finished()) return true;
+  request->fence_epoch = r.U64();
   return r.Finished();
 }
 
@@ -224,6 +231,7 @@ std::vector<std::uint8_t> EncodeDeleteDocRequest(
   PayloadWriter w;
   w.U64(request.idempotency_key);
   w.U32(request.object);
+  w.U64(request.fence_epoch);
   return w.Take();
 }
 
@@ -232,6 +240,9 @@ bool DecodeDeleteDocRequest(std::span<const std::uint8_t> payload,
   PayloadReader r(payload);
   request->idempotency_key = r.U64();
   request->object = r.U32();
+  request->fence_epoch = 0;
+  if (r.Finished()) return true;
+  request->fence_epoch = r.U64();
   return r.Finished();
 }
 
@@ -246,6 +257,7 @@ std::vector<std::uint8_t> EncodeUpdateDocRequest(
   for (const std::string& keyword : request.remove_keywords) {
     w.String(keyword);
   }
+  w.U64(request.fence_epoch);
   return w.Take();
 }
 
@@ -264,6 +276,9 @@ bool DecodeUpdateDocRequest(std::span<const std::uint8_t> payload,
   for (std::uint32_t i = 0; i < removes && r.ok(); ++i) {
     request->remove_keywords.push_back(r.String());
   }
+  request->fence_epoch = 0;
+  if (r.Finished()) return true;
+  request->fence_epoch = r.U64();
   return r.Finished();
 }
 
@@ -272,6 +287,7 @@ std::vector<std::uint8_t> EncodeFetchOplogRequest(
   PayloadWriter w;
   w.U64(request.from_sequence);
   w.U32(request.max_bytes);
+  w.U64(request.requester_epoch);
   return w.Take();
 }
 
@@ -280,6 +296,25 @@ bool DecodeFetchOplogRequest(std::span<const std::uint8_t> payload,
   PayloadReader r(payload);
   request->from_sequence = r.U64();
   request->max_bytes = r.U32();
+  request->requester_epoch = 0;
+  if (r.Finished()) return true;
+  request->requester_epoch = r.U64();
+  return r.Finished();
+}
+
+std::vector<std::uint8_t> EncodePromoteRequest(const PromoteRequest& request) {
+  PayloadWriter w;
+  w.U64(request.min_applied_sequence);
+  return w.Take();
+}
+
+bool DecodePromoteRequest(std::span<const std::uint8_t> payload,
+                          PromoteRequest* request) {
+  PayloadReader r(payload);
+  // An empty body is a valid "no applied-sequence guard" promote.
+  request->min_applied_sequence = 0;
+  if (r.Finished()) return true;
+  request->min_applied_sequence = r.U64();
   return r.Finished();
 }
 
@@ -430,6 +465,8 @@ std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info) {
   w.U64(info.uptime_ms);
   w.U64(info.queue_depth);
   w.String(info.primary_address);
+  w.U64(info.applied_sequence);
+  w.U64(info.primary_epoch);
   return w.Take();
 }
 
@@ -439,6 +476,12 @@ bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info) {
   info->uptime_ms = reader.U64();
   info->queue_depth = reader.U64();
   info->primary_address = reader.String();
+  // Pre-epoch servers end here; the epoch revision appends two fields.
+  info->applied_sequence = 0;
+  info->primary_epoch = 0;
+  if (reader.Finished()) return true;
+  info->applied_sequence = reader.U64();
+  info->primary_epoch = reader.U64();
   return reader.Finished();
 }
 
@@ -469,12 +512,16 @@ std::vector<std::uint8_t> EncodeMutationResponse(const MutationReply& reply) {
   w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
   w.U64(reply.sequence);
   w.U32(reply.object);
+  w.U64(reply.primary_epoch);
   return w.Take();
 }
 
 bool DecodeMutationResponse(PayloadReader& reader, MutationReply* reply) {
   reply->sequence = reader.U64();
   reply->object = reader.U32();
+  reply->primary_epoch = 0;
+  if (reader.Finished()) return true;
+  reply->primary_epoch = reader.U64();
   return reader.Finished();
 }
 
@@ -490,6 +537,8 @@ std::vector<std::uint8_t> EncodeOplogChunkResponse(const OplogChunk& chunk) {
     w.U32(io::Crc32c(record.payload.data(), record.payload.size()));
     w.String(record.payload);
   }
+  w.U64(chunk.primary_epoch);
+  w.U64(chunk.epoch_boundary_sequence);
   return w.Take();
 }
 
@@ -510,6 +559,27 @@ bool DecodeOplogChunkResponse(PayloadReader& reader, OplogChunk* chunk) {
     }
     chunk->records.push_back(std::move(record));
   }
+  chunk->primary_epoch = 0;
+  chunk->epoch_boundary_sequence = 0;
+  if (reader.Finished()) return true;
+  chunk->primary_epoch = reader.U64();
+  chunk->epoch_boundary_sequence = reader.U64();
+  return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodePromoteResponse(const PromoteReply& reply) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.U64(reply.epoch);
+  w.U64(reply.applied_sequence);
+  w.U8(reply.role);
+  return w.Take();
+}
+
+bool DecodePromoteResponse(PayloadReader& reader, PromoteReply* reply) {
+  reply->epoch = reader.U64();
+  reply->applied_sequence = reader.U64();
+  reply->role = reader.U8();
   return reader.Finished();
 }
 

@@ -35,8 +35,11 @@ inline constexpr std::uint32_t kMagic = 0x4B53504E;
 /// Current protocol version. Version 2 added trailing latency-histogram
 /// arrays to the STATS response and the METRICS opcode. Version 3 added
 /// the live-mutation opcodes (INSERT_DOC / DELETE_DOC / UPDATE_DOC) and
-/// FETCH_OPLOG for log-tailing replication. Frames from versions 1 and 2
-/// are still accepted and answered with same-version bodies.
+/// FETCH_OPLOG for log-tailing replication; a later additive v3 revision
+/// appended epoch fields to HEALTH / FETCH_OPLOG / mutation bodies and
+/// the PROMOTE opcode + STALE_EPOCH status (decoders tolerate the short
+/// pre-epoch bodies). Frames from versions 1 and 2 are still accepted
+/// and answered with same-version bodies.
 inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Oldest version a server still speaks.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
@@ -67,6 +70,8 @@ enum class Opcode : std::uint8_t {
                           ///< snapshot on disk.
   kFetchSnapshot = 0x32,  ///< Stream a snapshot file in chunks (replication).
   kFetchOplog = 0x33,     ///< Tail op-log records from a sequence (v3).
+  kPromote = 0x40,        ///< Admin: flip a replica to primary, bump the
+                          ///< primary epoch (epoch-fenced failover).
 };
 
 /// First byte of every response payload.
@@ -80,6 +85,9 @@ enum class StatusCode : std::uint8_t {
   kUnsupported = 6,        ///< Unknown opcode or protocol version.
   kNotPrimary = 7,         ///< Write sent to a replica; the message is the
                            ///< primary's "host:port" — redirect there.
+  kStaleEpoch = 8,         ///< Write sent to a fenced ex-primary: a higher
+                           ///< primary epoch exists. Re-discover the
+                           ///< primary (HEALTH) and retry there.
 };
 
 /// Human-readable status name (metrics, logs, CLI output).
@@ -220,13 +228,17 @@ struct WireResult {
   std::string name;
 };
 
-/// kHealth kOk response body.
+/// kHealth kOk response body. The epoch section (applied_sequence +
+/// primary_epoch) is appended by epoch-aware servers; the decoder
+/// tolerates its absence (older peers), leaving both fields 0.
 struct HealthInfo {
   std::uint8_t role = 0;  ///< 0 = primary, 1 = replica.
   std::uint64_t snapshot_sequence = 0;  ///< Newest local snapshot (0 = none).
   std::uint64_t uptime_ms = 0;
   std::uint64_t queue_depth = 0;
   std::string primary_address;  ///< "host:port" on replicas, empty on primary.
+  std::uint64_t applied_sequence = 0;  ///< Highest applied op-log sequence.
+  std::uint64_t primary_epoch = 0;     ///< Highest primary epoch known here.
 };
 
 /// kFetchSnapshot request body. The replica drives the transfer: it asks
@@ -264,12 +276,18 @@ struct InsertDocRequest {
   VertexId vertex = kInvalidVertex;
   std::string name;
   std::vector<std::string> keywords;
+  /// Highest primary epoch the client has observed (0 = unknown). A
+  /// primary seeing a higher epoch than its own is fenced: it rejects
+  /// this and all later writes with kStaleEpoch. Trailing/optional on
+  /// the wire.
+  std::uint64_t fence_epoch = 0;
 };
 
 /// kDeleteDoc request body (v3).
 struct DeleteDocRequest {
   std::uint64_t idempotency_key = 0;
   ObjectId object = kInvalidObject;
+  std::uint64_t fence_epoch = 0;  ///< See InsertDocRequest::fence_epoch.
 };
 
 /// kUpdateDoc request body (v3): add and/or remove keyword tags on an
@@ -279,22 +297,28 @@ struct UpdateDocRequest {
   ObjectId object = kInvalidObject;
   std::vector<std::string> add_keywords;
   std::vector<std::string> remove_keywords;
+  std::uint64_t fence_epoch = 0;  ///< See InsertDocRequest::fence_epoch.
 };
 
 /// kInsertDoc / kDeleteDoc / kUpdateDoc kOk response body: the op-log
 /// sequence the mutation was logged under and the affected object id
-/// (newly assigned for inserts).
+/// (newly assigned for inserts). `primary_epoch` (trailing/optional) lets
+/// clients learn promotions from acks.
 struct MutationReply {
   std::uint64_t sequence = 0;
   ObjectId object = kInvalidObject;
+  std::uint64_t primary_epoch = 0;
 };
 
 /// kFetchOplog request body (v3): a replica asks for records *after* its
 /// applied sequence. The server caps the batch at max_bytes of payload
-/// (0 = server default).
+/// (0 = server default). `requester_epoch` (trailing/optional) is the
+/// highest epoch the requester knows; a primary seeing a higher epoch
+/// than its own latches itself fenced.
 struct FetchOplogRequest {
   std::uint64_t from_sequence = 0;
   std::uint32_t max_bytes = 0;
+  std::uint64_t requester_epoch = 0;
 };
 
 /// One op-log record in a FETCH_OPLOG chunk. `payload` is the encoded
@@ -314,6 +338,28 @@ struct OplogChunk {
   std::uint64_t last_sequence = 0;
   std::uint64_t oldest_sequence = 0;
   std::vector<OplogWireRecord> records;
+  /// Serving side's primary epoch and the op-log sequence of the record
+  /// that opened it (0 = epoch never changed / pre-epoch peer). A replica
+  /// whose applied sequence reaches past `epoch_boundary_sequence` of a
+  /// higher-epoch primary has divergent records to quarantine. Trailing/
+  /// optional on the wire.
+  std::uint64_t primary_epoch = 0;
+  std::uint64_t epoch_boundary_sequence = 0;
+};
+
+/// kPromote request body: admin-gated replica→primary flip. The promotion
+/// is rejected with kBadQuery when the replica's applied sequence is below
+/// `min_applied_sequence` (operator guard against promoting a lagging
+/// replica; 0 = no guard).
+struct PromoteRequest {
+  std::uint64_t min_applied_sequence = 0;
+};
+
+/// kPromote kOk response body.
+struct PromoteReply {
+  std::uint64_t epoch = 0;             ///< Primary epoch after the flip.
+  std::uint64_t applied_sequence = 0;  ///< Applied op-log sequence at flip.
+  std::uint8_t role = 0;               ///< Role after the call (0 = primary).
 };
 
 std::vector<std::uint8_t> EncodeSearchRequest(const SearchRequest& request);
@@ -352,6 +398,10 @@ std::vector<std::uint8_t> EncodeFetchOplogRequest(
     const FetchOplogRequest& request);
 bool DecodeFetchOplogRequest(std::span<const std::uint8_t> payload,
                              FetchOplogRequest* request);
+
+std::vector<std::uint8_t> EncodePromoteRequest(const PromoteRequest& request);
+bool DecodePromoteRequest(std::span<const std::uint8_t> payload,
+                          PromoteRequest* request);
 
 /// Response bodies. Encode* produce the full response payload including
 /// the status byte; Decode* expect the status byte already consumed.
@@ -413,6 +463,8 @@ bool DecodeMutationResponse(PayloadReader& reader, MutationReply* reply);
 /// re-validates when appending to its own log).
 std::vector<std::uint8_t> EncodeOplogChunkResponse(const OplogChunk& chunk);
 bool DecodeOplogChunkResponse(PayloadReader& reader, OplogChunk* chunk);
+std::vector<std::uint8_t> EncodePromoteResponse(const PromoteReply& reply);
+bool DecodePromoteResponse(PayloadReader& reader, PromoteReply* reply);
 
 }  // namespace kspin::server
 

@@ -370,6 +370,59 @@ TEST_F(OplogTest, ResetDiscardsHistoryAndJumpsSequence) {
   EXPECT_EQ(records.front().sequence, 11u);
 }
 
+// ----- Divergence quarantine -----------------------------------------------
+
+TEST_F(OplogTest, QuarantineTailPreservesDivergentRecords) {
+  const std::string dir = ScratchDir();
+  Oplog log(DirOptions(dir));
+  ASSERT_TRUE(log.Open());
+  for (std::uint8_t i = 1; i <= 5; ++i) log.Append(Payload(i, 8 + i));
+  ASSERT_TRUE(log.Sync());
+
+  // Records 4..5 belong to a dead reign: preserve them aside.
+  std::string path;
+  EXPECT_EQ(log.QuarantineTail(4, &path), 2u);
+  ASSERT_FALSE(path.empty());
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // The quarantine file uses the segment format, so renaming it into a
+  // fresh directory makes the preserved records fully replayable — the
+  // inspection story the failover runbook promises.
+  const std::string inspect = dir + "_inspect";
+  std::filesystem::remove_all(inspect);
+  std::filesystem::create_directories(inspect);
+  std::filesystem::copy_file(
+      path, std::filesystem::path(inspect) / OplogSegmentFileName(4));
+  const auto [result, records] = Replay(inspect);
+  EXPECT_FALSE(result.stopped_at_corruption);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, 4u);
+  EXPECT_EQ(records[0].payload, Payload(4, 12));
+  EXPECT_EQ(records[1].sequence, 5u);
+
+  // Idempotent: a retry after a crash-before-truncate finds the file
+  // already written and reports the same count without duplicating it.
+  EXPECT_EQ(log.QuarantineTail(4, nullptr), 2u);
+}
+
+TEST_F(OplogTest, QuarantineTailEdgeCases) {
+  const std::string dir = ScratchDir();
+  Oplog log(DirOptions(dir));
+  ASSERT_TRUE(log.Open());
+  log.Append(Payload(1));
+  ASSERT_TRUE(log.Sync());
+
+  EXPECT_EQ(log.QuarantineTail(0, nullptr), 0u);  // No boundary: no-op.
+  EXPECT_EQ(log.QuarantineTail(2, nullptr), 0u);  // Nothing past the end.
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(dir) / "quarantine"));
+
+  Oplog disabled{OplogOptions{}};
+  ASSERT_TRUE(disabled.Open());
+  disabled.Append(Payload(1));
+  EXPECT_EQ(disabled.QuarantineTail(1, nullptr), 0u);  // Nothing on disk.
+}
+
 // ----- Group commit (runs under TSan in CI) --------------------------------
 
 TEST_F(OplogTest, ConcurrentAppendSyncGroupCommits) {
@@ -459,6 +512,39 @@ TEST(MutationRecordTest, DecodeRejectsDamage) {
   EXPECT_FALSE(DecodeMutationRecord(bad_op, &decoded));
 
   EXPECT_FALSE(DecodeMutationRecord({}, &decoded));
+}
+
+TEST(MutationRecordTest, EpochTransitionRecordRoundTripsAndAppliesAsNoop) {
+  MutationRecord record;
+  record.op = MutationOp::kEpochTransition;
+  record.idempotency_key = 0;
+  record.epoch = 7;
+  const auto bytes = EncodeMutationRecord(record);
+  MutationRecord decoded;
+  ASSERT_TRUE(DecodeMutationRecord(bytes, &decoded));
+  EXPECT_EQ(decoded.op, MutationOp::kEpochTransition);
+  EXPECT_EQ(decoded.epoch, 7u);
+
+  // Epoch 0 never marks a transition; a record claiming it is damage.
+  MutationRecord zero = record;
+  zero.epoch = 0;
+  EXPECT_FALSE(DecodeMutationRecord(EncodeMutationRecord(zero), &decoded));
+
+  // Applying the record must not disturb the catalog: it moves
+  // replication state only.
+  const Graph graph = testing::SmallRoadNetwork(31);
+  DijkstraOracle oracle(graph);
+  PoiService service(graph, oracle);
+  MutationRecord insert;
+  insert.op = MutationOp::kInsert;
+  insert.vertex = 3;
+  insert.name = "anchor";
+  insert.add_keywords = {"cafe"};
+  const ObjectId anchor = ApplyMutationRecord(service, insert);
+  EXPECT_EQ(ApplyMutationRecord(service, record), kInvalidObject);
+  const auto hits = service.Search("cafe", 0, 4);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits.front().id, anchor);
 }
 
 TEST(MutationRecordTest, ApplyIsDeterministicAcrossServices) {

@@ -1,0 +1,133 @@
+// Unit tests for the RetryPolicy backoff math in RetryingClient: jitter
+// bounds, determinism of the seeded stream, max_total_ms budget clamping,
+// and the zero-retry edge cases. All tests run against a port with no
+// listener (connect fails instantly), so the retry loop is exercised
+// without a server and the injected sleep function records exactly the
+// backoffs the policy computed.
+#include "server/retry.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+
+namespace kspin::server {
+namespace {
+
+/// A loopback port that (almost certainly) refuses connections: bind an
+/// ephemeral port, learn its number, close it again. Nothing re-listens
+/// within a test's lifetime, so connects fail with ECONNREFUSED.
+std::uint16_t ClosedPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+/// Runs one Ping against a dead endpoint under `policy`, returning the
+/// backoffs the client slept between attempts.
+std::vector<std::uint32_t> CollectBackoffs(const RetryPolicy& policy,
+                                           std::uint32_t* attempts = nullptr) {
+  RetryingClient client("127.0.0.1", ClosedPort(), policy);
+  std::vector<std::uint32_t> sleeps;
+  client.SetSleepFunction(
+      [&sleeps](std::uint32_t ms) { sleeps.push_back(ms); });
+  EXPECT_THROW(client.Ping(), ClientError);
+  if (attempts != nullptr) *attempts = client.LastAttempts();
+  return sleeps;
+}
+
+TEST(RetryPolicyTest, BackoffsStayWithinJitterBounds) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 100;
+  policy.max_backoff_ms = 1000;
+  policy.multiplier = 2.0;
+  std::uint32_t attempts = 0;
+  const auto sleeps = CollectBackoffs(policy, &attempts);
+  EXPECT_EQ(attempts, 6u);
+  // The final attempt throws without sleeping, so N attempts produce N-1
+  // backoffs.
+  ASSERT_EQ(sleeps.size(), 5u);
+  for (std::size_t i = 0; i < sleeps.size(); ++i) {
+    const std::uint32_t base = static_cast<std::uint32_t>(std::min<double>(
+        policy.max_backoff_ms,
+        policy.initial_backoff_ms * std::pow(policy.multiplier, i)));
+    EXPECT_GE(sleeps[i], base / 2) << "attempt " << i;
+    EXPECT_LE(sleeps[i], base) << "attempt " << i;
+  }
+  // The cap must actually engage: attempts 4 and 5 have uncapped bases of
+  // 1600/3200 ms but may never sleep past max_backoff_ms.
+  EXPECT_LE(sleeps[4], policy.max_backoff_ms);
+}
+
+TEST(RetryPolicyTest, SameSeedSameBackoffs) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.jitter_seed = 12345;
+  const auto first = CollectBackoffs(policy);
+  const auto second = CollectBackoffs(policy);
+  EXPECT_EQ(first, second);
+
+  policy.jitter_seed = 54321;
+  const auto other = CollectBackoffs(policy);
+  // Different stream. (Equality would need every one of four uniform
+  // draws to collide — deterministically false for these two seeds.)
+  EXPECT_NE(first, other);
+}
+
+TEST(RetryPolicyTest, BudgetClampsFinalAttempt) {
+  // With injected no-op sleeps, budget consumption is exactly the sum of
+  // computed backoffs: 25..50, 50..100, 100..200, ... ms. A 60 ms budget
+  // funds attempt 1 always (<= 50 used) and is exhausted at latest after
+  // attempt 2 — far below the 8 attempts the count limit would allow.
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 50;
+  policy.max_total_ms = 60;
+  std::uint32_t attempts = 0;
+  CollectBackoffs(policy, &attempts);
+  EXPECT_GE(attempts, 2u);
+  EXPECT_LE(attempts, 3u);
+}
+
+TEST(RetryPolicyTest, TinyBudgetStillMakesOneAttempt) {
+  // Even a budget smaller than the first backoff must not prevent the
+  // first attempt — budgets bound retries, not the operation itself.
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 50;
+  policy.max_total_ms = 1;
+  std::uint32_t attempts = 0;
+  const auto sleeps = CollectBackoffs(policy, &attempts);
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryPolicyTest, SingleAttemptNeverSleeps) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  std::uint32_t attempts = 0;
+  const auto sleeps = CollectBackoffs(policy, &attempts);
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+}  // namespace
+}  // namespace kspin::server

@@ -261,6 +261,47 @@ TEST_F(ServerTest, UpdatesThroughServerVisibleToSearches) {
   EXPECT_EQ(client.TagPoi(added.id, "x").status, StatusCode::kBadQuery);
 }
 
+TEST_F(ServerTest, IdempotencyCacheSizeOptionAndCountersWork) {
+  // A deliberately tiny cache so eviction is observable through STATS.
+  ServerOptions options;
+  options.idempotency_cache_size = 2;
+  StartServer(options);
+  Client client = Connect();
+  const std::vector<std::string> tags = {"idemkw"};
+
+  // First keyed write misses; its retry hits and replays the original
+  // result without applying twice.
+  const auto first = client.InsertDoc(101, 3, "poi a", tags);
+  ASSERT_TRUE(first.ok());
+  const auto retry = client.InsertDoc(101, 3, "poi a", tags);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.sequence, first.sequence);
+  EXPECT_EQ(retry.id, first.id);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.Value("idempotency_cache_hits"), 1u);
+  EXPECT_EQ(stats.Value("idempotency_cache_misses"), 1u);
+
+  // Two more keys push 101 out of the size-2 cache: the next retry of it
+  // re-applies as a fresh operation (a miss, a new object).
+  ASSERT_TRUE(client.InsertDoc(102, 4, "poi b", tags).ok());
+  ASSERT_TRUE(client.InsertDoc(103, 5, "poi c", tags).ok());
+  const auto evicted = client.InsertDoc(101, 3, "poi a", tags);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_NE(evicted.id, first.id);
+
+  stats = client.Stats();
+  EXPECT_EQ(stats.Value("idempotency_cache_hits"), 1u);
+  EXPECT_EQ(stats.Value("idempotency_cache_misses"), 4u);
+
+  // Key 0 means "no token": it never touches the cache or its counters.
+  ASSERT_TRUE(client.InsertDoc(0, 6, "poi d", tags).ok());
+  stats = client.Stats();
+  EXPECT_EQ(stats.Value("idempotency_cache_hits"), 1u);
+  EXPECT_EQ(stats.Value("idempotency_cache_misses"), 4u);
+}
+
 TEST_F(ServerTest, ConcurrentSearchesDuringUpdatesStayConsistent) {
   StartServer();
 

@@ -496,6 +496,155 @@ TEST(BodyCodecTest, FetchOplogRequestRoundTrip) {
   EXPECT_EQ(decoded.max_bytes, 65536u);
 }
 
+TEST(BodyCodecTest, MutationRequestsCarryFenceEpoch) {
+  InsertDocRequest insert;
+  insert.idempotency_key = 1;
+  insert.vertex = 2;
+  insert.name = "x";
+  insert.fence_epoch = 9;
+  InsertDocRequest insert_decoded;
+  ASSERT_TRUE(DecodeInsertDocRequest(EncodeInsertDocRequest(insert),
+                                     &insert_decoded));
+  EXPECT_EQ(insert_decoded.fence_epoch, 9u);
+
+  DeleteDocRequest del{7, 99, 11};
+  DeleteDocRequest del_decoded;
+  ASSERT_TRUE(DecodeDeleteDocRequest(EncodeDeleteDocRequest(del),
+                                     &del_decoded));
+  EXPECT_EQ(del_decoded.fence_epoch, 11u);
+
+  UpdateDocRequest update;
+  update.idempotency_key = 5;
+  update.object = 3;
+  update.add_keywords = {"wifi"};
+  update.fence_epoch = 13;
+  UpdateDocRequest update_decoded;
+  ASSERT_TRUE(DecodeUpdateDocRequest(EncodeUpdateDocRequest(update),
+                                     &update_decoded));
+  EXPECT_EQ(update_decoded.fence_epoch, 13u);
+}
+
+TEST(BodyCodecTest, LegacyBodiesWithoutEpochTrailerStillDecode) {
+  // A pre-epoch peer encodes the same bodies minus the trailing epoch
+  // section; stripping the trailer from our own encoding reproduces that
+  // byte stream exactly. Decoding must succeed with the epoch zeroed —
+  // this is the compatibility contract that makes the fields additive.
+  InsertDocRequest insert;
+  insert.vertex = 1;
+  insert.name = "x";
+  insert.fence_epoch = 42;
+  auto bytes = EncodeInsertDocRequest(insert);
+  bytes.resize(bytes.size() - 8);
+  InsertDocRequest insert_decoded;
+  ASSERT_TRUE(DecodeInsertDocRequest(bytes, &insert_decoded));
+  EXPECT_EQ(insert_decoded.fence_epoch, 0u);
+  EXPECT_EQ(insert_decoded.name, "x");
+
+  auto fetch_bytes = EncodeFetchOplogRequest({42, 65536, 5});
+  fetch_bytes.resize(fetch_bytes.size() - 8);
+  FetchOplogRequest fetch_decoded;
+  ASSERT_TRUE(DecodeFetchOplogRequest(fetch_bytes, &fetch_decoded));
+  EXPECT_EQ(fetch_decoded.from_sequence, 42u);
+  EXPECT_EQ(fetch_decoded.requester_epoch, 0u);
+
+  HealthInfo info;
+  info.role = 1;
+  info.applied_sequence = 17;
+  info.primary_epoch = 3;
+  auto health_bytes = EncodeHealthResponse(info);
+  health_bytes.resize(health_bytes.size() - 16);
+  PayloadReader health_reader(health_bytes);
+  EXPECT_EQ(static_cast<StatusCode>(health_reader.U8()), StatusCode::kOk);
+  HealthInfo health_decoded;
+  ASSERT_TRUE(DecodeHealthResponse(health_reader, &health_decoded));
+  EXPECT_EQ(health_decoded.role, 1);
+  EXPECT_EQ(health_decoded.applied_sequence, 0u);
+  EXPECT_EQ(health_decoded.primary_epoch, 0u);
+
+  auto mut_bytes = EncodeMutationResponse({9, 8, 7});
+  mut_bytes.resize(mut_bytes.size() - 8);
+  PayloadReader mut_reader(mut_bytes);
+  EXPECT_EQ(static_cast<StatusCode>(mut_reader.U8()), StatusCode::kOk);
+  MutationReply mut_decoded;
+  ASSERT_TRUE(DecodeMutationResponse(mut_reader, &mut_decoded));
+  EXPECT_EQ(mut_decoded.sequence, 9u);
+  EXPECT_EQ(mut_decoded.primary_epoch, 0u);
+}
+
+TEST(BodyCodecTest, HealthResponseCarriesEpochAndAppliedSequence) {
+  HealthInfo info;
+  info.role = 0;
+  info.applied_sequence = 12345;
+  info.primary_epoch = 6;
+  const auto bytes = EncodeHealthResponse(info);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  HealthInfo decoded;
+  ASSERT_TRUE(DecodeHealthResponse(reader, &decoded));
+  EXPECT_EQ(decoded.applied_sequence, 12345u);
+  EXPECT_EQ(decoded.primary_epoch, 6u);
+}
+
+TEST(BodyCodecTest, MutationResponseCarriesPrimaryEpoch) {
+  const auto bytes = EncodeMutationResponse({1, 2, 4});
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  MutationReply decoded;
+  ASSERT_TRUE(DecodeMutationResponse(reader, &decoded));
+  EXPECT_EQ(decoded.primary_epoch, 4u);
+}
+
+TEST(BodyCodecTest, PromoteRequestRoundTrip) {
+  PromoteRequest request{77};
+  PromoteRequest decoded;
+  ASSERT_TRUE(
+      DecodePromoteRequest(EncodePromoteRequest(request), &decoded));
+  EXPECT_EQ(decoded.min_applied_sequence, 77u);
+  // An empty body means "no applied-sequence guard" so a bare frame works.
+  PromoteRequest empty;
+  ASSERT_TRUE(DecodePromoteRequest({}, &empty));
+  EXPECT_EQ(empty.min_applied_sequence, 0u);
+}
+
+TEST(BodyCodecTest, PromoteResponseRoundTrip) {
+  PromoteReply reply;
+  reply.epoch = 3;
+  reply.applied_sequence = 456;
+  reply.role = 0;
+  const auto bytes = EncodePromoteResponse(reply);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  PromoteReply decoded;
+  ASSERT_TRUE(DecodePromoteResponse(reader, &decoded));
+  EXPECT_EQ(decoded.epoch, 3u);
+  EXPECT_EQ(decoded.applied_sequence, 456u);
+  EXPECT_EQ(decoded.role, 0);
+}
+
+TEST(BodyCodecTest, OplogChunkCarriesEpochTrailer) {
+  OplogChunk chunk;
+  chunk.last_sequence = 5;
+  chunk.primary_epoch = 2;
+  chunk.epoch_boundary_sequence = 4;
+  auto bytes = EncodeOplogChunkResponse(chunk);
+  {
+    PayloadReader reader(bytes);
+    EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+    OplogChunk decoded;
+    ASSERT_TRUE(DecodeOplogChunkResponse(reader, &decoded));
+    EXPECT_EQ(decoded.primary_epoch, 2u);
+    EXPECT_EQ(decoded.epoch_boundary_sequence, 4u);
+  }
+  // Pre-epoch peers stop after the records; the trailer must be optional.
+  bytes.resize(bytes.size() - 16);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  OplogChunk decoded;
+  ASSERT_TRUE(DecodeOplogChunkResponse(reader, &decoded));
+  EXPECT_EQ(decoded.primary_epoch, 0u);
+  EXPECT_EQ(decoded.epoch_boundary_sequence, 0u);
+}
+
 TEST(BodyCodecTest, OplogChunkCrcDetectsFlippedBit) {
   OplogChunk chunk;
   chunk.truncated = 0;
@@ -519,8 +668,9 @@ TEST(BodyCodecTest, OplogChunkCrcDetectsFlippedBit) {
   }
 
   // A flipped bit inside a shipped record must fail the per-record CRC —
-  // corruption in transit never reaches a replica's log.
-  bytes[bytes.size() - 5] ^= 0x08;
+  // corruption in transit never reaches a replica's log. The last 16
+  // payload bytes are the epoch trailer, so aim before it.
+  bytes[bytes.size() - 16 - 5] ^= 0x08;
   PayloadReader reader(bytes);
   EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
   OplogChunk decoded;

@@ -38,6 +38,12 @@
 //       Durable write-path mutations (v3 opcodes, docs/protocol.md):
 //       idempotency-keyed so retries and failover redirects apply at most
 //       once; the reply's op-log sequence is printed.
+//   kspin_cli health --endpoints=H:P[,H:P...]
+//       One row per endpoint: role, primary epoch, applied op-log
+//       sequence, snapshot sequence, queue depth — the failover dashboard.
+//   kspin_cli promote --endpoints=H:P[,...] [--min-applied=N]
+//       Flips the FIRST endpoint to primary (PROMOTE opcode), bumping the
+//       primary epoch; refused when its applied sequence is below N.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -84,6 +90,8 @@ struct Args {
   bool ranked = false;
   bool watch = false;               // For `metrics`: keep scraping.
   std::uint32_t interval_ms = 2000; // Delay between --watch scrapes.
+  // For `promote`: refuse when the target's applied sequence is lower.
+  std::uint64_t min_applied = 0;
   // For `insert` / `delete` / `update` (the online mutation commands).
   ObjectId id = kInvalidObject;
   std::string name;
@@ -125,6 +133,7 @@ Args Parse(int argc, char** argv) {
     if (arg == "--ranked") args.ranked = true;
     if (arg == "--watch") args.watch = true;
     if (auto v = value("interval-ms")) args.interval_ms = std::stoul(*v);
+    if (auto v = value("min-applied")) args.min_applied = std::stoull(*v);
     if (auto v = value("id")) args.id = std::stoul(*v);
     if (auto v = value("name")) args.name = *v;
     if (auto v = value("tags")) args.tags = SplitCommaList(*v);
@@ -531,6 +540,67 @@ int Metrics(const Args& args) {
   }
 }
 
+// One health row per endpoint: who is primary, at which epoch, and how
+// far each has applied — the operator's failover dashboard. Unreachable
+// endpoints are reported but do not fail the command (that is the whole
+// point of asking during an outage).
+int Health(const Args& args) {
+  const auto endpoints = ParseEndpointList("health", args.endpoints);
+  if (endpoints.empty()) return 1;
+  bool any = false;
+  std::printf("endpoint\trole\tepoch\tapplied\tsnapshot\tqueue\n");
+  for (const server::Endpoint& endpoint : endpoints) {
+    try {
+      server::Client client;
+      client.Connect(endpoint.host, endpoint.port);
+      const auto reply = client.Health();
+      if (!reply.ok()) {
+        std::printf("%s\trejected: %s\n", endpoint.ToString().c_str(),
+                    reply.error.c_str());
+        continue;
+      }
+      const auto& h = reply.health;
+      std::printf("%s\t%s\t%llu\t%llu\t%llu\t%llu\n",
+                  endpoint.ToString().c_str(),
+                  h.role == 0 ? "primary" : "replica",
+                  static_cast<unsigned long long>(h.primary_epoch),
+                  static_cast<unsigned long long>(h.applied_sequence),
+                  static_cast<unsigned long long>(h.snapshot_sequence),
+                  static_cast<unsigned long long>(h.queue_depth));
+      any = true;
+    } catch (const std::exception& e) {
+      std::printf("%s\tunreachable: %s\n", endpoint.ToString().c_str(),
+                  e.what());
+    }
+  }
+  return any ? 0 : 1;
+}
+
+// Flips the FIRST endpoint of --endpoints to primary (PROMOTE opcode).
+// Deliberately not failover-routed: the operator names the server to
+// promote, and that is where the request goes.
+int Promote(const Args& args) {
+  const auto endpoints = ParseEndpointList("promote", args.endpoints);
+  if (endpoints.empty()) return 1;
+  try {
+    server::Client client;
+    client.Connect(endpoints.front().host, endpoints.front().port);
+    const auto reply = client.Promote(args.min_applied);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "promote: rejected: %s\n", reply.error.c_str());
+      return 1;
+    }
+    std::printf("promoted %s: epoch=%llu applied=%llu\n",
+                endpoints.front().ToString().c_str(),
+                static_cast<unsigned long long>(reply.epoch),
+                static_cast<unsigned long long>(reply.applied_sequence));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "promote: failed: %s\n", e.what());
+    return 1;
+  }
+}
+
 // Shared tail of the three mutation commands: route the write through a
 // FailoverClient (NOT_PRIMARY redirects + idempotent retries) and print
 // the acked object id and op-log sequence.
@@ -601,6 +671,8 @@ int Main(int argc, char** argv) {
     if (args.command == "restore") return Restore(args);
     if (args.command == "fetch") return Fetch(args);
     if (args.command == "metrics") return Metrics(args);
+    if (args.command == "health") return Health(args);
+    if (args.command == "promote") return Promote(args);
     if (args.command == "insert") return Insert(args);
     if (args.command == "delete") return Delete(args);
     if (args.command == "update") return Update(args);
@@ -612,7 +684,7 @@ int Main(int argc, char** argv) {
       stderr,
       "usage: kspin_cli "
       "<generate|build|stats|query|snapshot|restore|fetch|metrics|"
-      "insert|delete|update> [--dir=DIR]\n"
+      "health|promote|insert|delete|update> [--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
       "        [--module=ch|hl] [--ranked]\n"
@@ -622,6 +694,10 @@ int Main(int argc, char** argv) {
       "           snapshot from a running server\n"
       "  metrics  --endpoints=H:P[,...] [--watch] [--interval-ms=T]\n"
       "           scrape Prometheus text from a running server\n"
+      "  health   --endpoints=H:P[,...]   one row per endpoint: role,\n"
+      "           primary epoch, applied op-log sequence\n"
+      "  promote  --endpoints=H:P[,...] [--min-applied=N]   flip the\n"
+      "           FIRST endpoint to primary, bumping the epoch\n"
       "  insert   --endpoints=H:P[,...] --vertex=V --name=NAME\n"
       "           [--tags=a,b,c]   durable insert (prints id + sequence)\n"
       "  delete   --endpoints=H:P[,...] --id=N   durable delete\n"

@@ -22,6 +22,11 @@
 //                                       as one logged operation (v3)
 //   snapshot                            write a snapshot now, print its path
 //   reload                              restore the newest valid snapshot
+//   promote  [min_applied_seq]          flip the addressed endpoint (the
+//                                       FIRST of --endpoints) to primary,
+//                                       bumping the primary epoch; refused
+//                                       when its applied sequence is below
+//                                       min_applied_seq
 //
 // Options:
 //   --endpoints=LIST  comma-separated HOST:PORT list of a replicated
@@ -38,6 +43,10 @@
 //   --retry-backoff-ms=B  initial backoff (default 50, doubling per try)
 //   --retry-budget-ms=T   overall per-command time budget across attempts
 //                     (0 = unlimited); also clamps search deadlines
+//   --fence-epoch=N   stamp epoch N into keyed mutations (insert/delete/
+//                     update): a primary whose epoch is older rejects the
+//                     write with STALE_EPOCH and fences itself — use after
+//                     a promotion to prove the old primary is fenced
 //
 // Exit status: 0 on kOk, 2 when the server rejects the request
 // (OVERLOADED, DEADLINE_EXCEEDED, BAD_QUERY, NOT_PRIMARY, ...), 1 on
@@ -58,14 +67,15 @@ void Usage() {
       stderr,
       "usage: kspin_client [--host=H] --port=P [--endpoints=H:P,...] "
       "[--deadline-ms=D] [--retries=N] [--retry-backoff-ms=B] "
-      "[--retry-budget-ms=T] <command> [args...]\n"
+      "[--retry-budget-ms=T] [--fence-epoch=N] <command> [args...]\n"
       "commands: ping | stats | metrics | health | "
       "search <vertex> <k> <query...> |\n"
       "          ranked <vertex> <k> <query...> | add <vertex> <name> "
       "<kw...> |\n"
       "          close <id> | tag <id> <kw> | untag <id> <kw> |\n"
       "          insert <vertex> <name> <kw...> | delete <id> |\n"
-      "          update <id> <+kw|-kw>... | snapshot | reload\n");
+      "          update <id> <+kw|-kw>... | snapshot | reload |\n"
+      "          promote [min_applied_seq]\n");
 }
 
 int ReportStatus(const server::Client::Reply& reply) {
@@ -123,9 +133,35 @@ int RunHealth(server::FailoverClient& client) {
               static_cast<unsigned long long>(h.uptime_ms));
   std::printf("queue_depth\t%llu\n",
               static_cast<unsigned long long>(h.queue_depth));
+  std::printf("applied_sequence\t%llu\n",
+              static_cast<unsigned long long>(h.applied_sequence));
+  std::printf("primary_epoch\t%llu\n",
+              static_cast<unsigned long long>(h.primary_epoch));
   if (!h.primary_address.empty()) {
     std::printf("primary\t%s\n", h.primary_address.c_str());
   }
+  return 0;
+}
+
+/// Promote goes straight at the addressed endpoint (first of the list):
+/// routing it like a write would send it to the current primary, which is
+/// exactly the server a failover wants to abandon.
+int RunPromote(const server::Endpoint& endpoint,
+               const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    Usage();
+    return 1;
+  }
+  const std::uint64_t min_applied =
+      args.empty() ? 0 : std::stoull(args[0]);
+  server::Client client;
+  client.Connect(endpoint.host, endpoint.port);
+  const auto reply = client.Promote(min_applied);
+  if (const int rc = ReportStatus(reply)) return rc;
+  std::printf("epoch\t%llu\n", static_cast<unsigned long long>(reply.epoch));
+  std::printf("applied_sequence\t%llu\n",
+              static_cast<unsigned long long>(reply.applied_sequence));
+  std::printf("role\t%s\n", reply.role == 0 ? "primary" : "replica");
   return 0;
 }
 
@@ -150,6 +186,7 @@ int Main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string endpoints_arg;
   std::uint32_t deadline_ms = 0;
+  std::uint64_t fence_epoch = 0;
   server::RetryPolicy policy;
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
@@ -162,6 +199,8 @@ int Main(int argc, char** argv) {
       endpoints_arg = arg.substr(12);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(14)));
+    } else if (arg.rfind("--fence-epoch=", 0) == 0) {
+      fence_epoch = std::stoull(arg.substr(14));
     } else if (arg.rfind("--retries=", 0) == 0) {
       policy.max_attempts = static_cast<std::uint32_t>(
           std::max(1ul, std::stoul(arg.substr(10))));
@@ -195,7 +234,12 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> args(rest.begin() + 1, rest.end());
 
   try {
+    if (command == "promote") {
+      return RunPromote(endpoints.front(), args);
+    }
+
     server::FailoverClient client(endpoints, policy);
+    if (fence_epoch != 0) client.SetFenceEpoch(fence_epoch);
 
     if (command == "ping") {
       return ReportStatus(client.Ping());

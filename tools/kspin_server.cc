@@ -6,6 +6,7 @@
 //                [--module=ch|dijkstra]
 //                [--snapshot-dir=DIR] [--snapshot-period-ms=T]
 //                [--snapshot-keep=N] [--oplog-dir=DIR]
+//                [--idempotency-cache-size=N]
 //                [--role=primary|replica] [--primary=HOST:PORT]
 //                [--replica-poll-ms=T]
 //                [--trace=FILE] [--slow-query-ms=T]
@@ -84,6 +85,7 @@ struct Args {
   std::size_t snapshot_keep = 4;
   std::string oplog_dir;
   bool oplog_dir_set = false;
+  std::size_t idempotency_cache = 4096;
   std::string role = "primary";
   std::string primary;
   std::uint32_t replica_poll_ms = 1000;
@@ -132,6 +134,8 @@ Args Parse(int argc, char** argv) {
     } else if (auto v = value("oplog-dir")) {
       args.oplog_dir = *v;
       args.oplog_dir_set = true;
+    } else if (auto v = value("idempotency-cache-size")) {
+      args.idempotency_cache = std::stoul(*v);
     } else if (auto v = value("role")) {
       args.role = *v;
     } else if (auto v = value("primary")) {
@@ -214,7 +218,7 @@ int Main(int argc, char** argv) {
                  "[--queue=CAP] [--grid=WxH] [--pois=N] [--keywords=N] "
                  "[--seed=S] [--module=ch|dijkstra] [--snapshot-dir=DIR] "
                  "[--snapshot-period-ms=T] [--snapshot-keep=N] "
-                 "[--oplog-dir=DIR] "
+                 "[--oplog-dir=DIR] [--idempotency-cache-size=N] "
                  "[--role=primary|replica] [--primary=HOST:PORT] "
                  "[--replica-poll-ms=T] [--trace=FILE] "
                  "[--slow-query-ms=T]\n");
@@ -308,6 +312,7 @@ int Main(int argc, char** argv) {
     options.restored_mutation_sequence =
         loaded->state.applied_mutation_sequence;
   }
+  options.idempotency_cache_size = args.idempotency_cache;
   options.trace_path = args.trace_path;
   options.slow_query_threshold_ms = args.slow_query_ms;
   if (is_replica) {

@@ -10,8 +10,12 @@
 # delete land in the op log, survive a kill -9 of the primary via boot
 # replay, ship to a replica by log tailing (no extra snapshot transfer),
 # and remain readable through a failover client after the primary dies
-# again. Exercises the real binaries over real TCP — the piece unit
-# tests cannot cover.
+# again. Closes with the epoch-fenced failover drill: a chaos proxy with
+# a seeded fault plan partitions the primary, the replica is promoted
+# behind the cut, the stale primary is fenced (STALE_EPOCH), a failover
+# client re-routes on its own, and the ex-primary rejoins by
+# quarantining its divergent op-log tail. Exercises the real binaries
+# over real TCP — the piece unit tests cannot cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -19,15 +23,23 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 SERVER="$BUILD_DIR/tools/kspin_server"
 CLIENT="$BUILD_DIR/tools/kspin_client"
+KCLI="$BUILD_DIR/tools/kspin_cli"
+PROXY="$BUILD_DIR/tools/chaos_proxy"
 LOG="$(mktemp)"
 RLOG="$(mktemp)"
+PXLOG="$(mktemp)"
+PXERR="$(mktemp)"
 SNAPDIR="$(mktemp -d)"
 PSNAPDIR="$(mktemp -d)"
 RSNAPDIR="$(mktemp -d)"
 MPRIDIR="$(mktemp -d)"
 MREPDIR="$(mktemp -d)"
+FOPRI_SNAP="$(mktemp -d)"
+FOPRI_OPLOG="$(mktemp -d)"
+FOREP_SNAP="$(mktemp -d)"
+FOREP_OPLOG="$(mktemp -d)"
 
-for bin in "$SERVER" "$CLIENT"; do
+for bin in "$SERVER" "$CLIENT" "$KCLI" "$PROXY"; do
   if [[ ! -x "$bin" ]]; then
     echo "smoke: missing binary $bin" >&2
     exit 1
@@ -37,10 +49,22 @@ done
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
   [[ -n "${REPLICA_PID:-}" ]] && kill -9 "$REPLICA_PID" 2>/dev/null || true
-  rm -f "$LOG" "$RLOG"
-  rm -rf "$SNAPDIR" "$PSNAPDIR" "$RSNAPDIR" "$MPRIDIR" "$MREPDIR"
+  [[ -n "${PROXY_PID:-}" ]] && kill -9 "$PROXY_PID" 2>/dev/null || true
+  rm -f "$LOG" "$RLOG" "$PXLOG" "$PXERR"
+  rm -rf "$SNAPDIR" "$PSNAPDIR" "$RSNAPDIR" "$MPRIDIR" "$MREPDIR" \
+    "$FOPRI_SNAP" "$FOPRI_OPLOG" "$FOREP_SNAP" "$FOREP_OPLOG"
 }
 trap cleanup EXIT
+
+# Loud failure for the failover drill: dump every involved log so a CI
+# timeout never hides which side wedged.
+fo_die() {
+  echo "smoke: $*" >&2
+  echo "--- primary log ---" >&2; cat "$LOG" >&2 || true
+  echo "--- replica log ---" >&2; cat "$RLOG" >&2 || true
+  echo "--- proxy log ---" >&2; cat "$PXLOG" "$PXERR" >&2 || true
+  exit 1
+}
 
 # Starts $SERVER with the given extra flags, waits for its port, and sets
 # SERVER_PID + PORT. Truncates and reuses $LOG.
@@ -411,4 +435,181 @@ if kill -0 "$REPLICA_PID" 2>/dev/null; then
 fi
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=""
+
+# ---- epoch-fenced failover drill under the chaos proxy ---------------
+# The failure-drill scenario from docs/persistence.md, driven end to end
+# through tools/chaos_proxy with a deterministic seeded fault plan:
+# writers reach the primary only through the proxy; the link is cut
+# mid-reign, the replica is promoted behind the partition, the stale
+# primary absorbs one divergent write and is then fenced (STALE_EPOCH);
+# the failover client re-routes to the new primary; finally the
+# ex-primary rejoins as a replica, quarantines its divergent tail, and
+# converges on the new reign.
+
+start_server --snapshot-dir="$FOPRI_SNAP" --oplog-dir="$FOPRI_OPLOG"
+FOPRI_PORT="$PORT"
+echo "smoke: failover primary up on port $FOPRI_PORT"
+
+"$PROXY" --target=127.0.0.1:"$FOPRI_PORT" --seed=11 --delay-ms=2 \
+  >"$PXLOG" 2>"$PXERR" &
+PROXY_PID=$!
+PXPORT=""
+for _ in $(seq 1 100); do
+  PXPORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$PXLOG")"
+  [[ -n "$PXPORT" ]] && break
+  kill -0 "$PROXY_PID" 2>/dev/null || fo_die "chaos proxy died at startup"
+  sleep 0.1
+done
+[[ -n "$PXPORT" ]] || fo_die "chaos proxy never reported its port"
+echo "smoke: chaos proxy on port $PXPORT (seed=11, delay-ms=2)"
+
+# Shared history lands through the proxy, then a snapshot seeds the
+# replica's bootstrap.
+SHARED_OUT="$("$CLIENT" --port="$PXPORT" insert 5 sharedpoi fokw)" \
+  || fo_die "shared insert through proxy failed"
+"$CLIENT" --port="$FOPRI_PORT" snapshot >/dev/null
+echo "smoke: shared write through proxy acked ($SHARED_OUT)"
+
+: >"$RLOG"
+"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 \
+  --snapshot-dir="$FOREP_SNAP" --oplog-dir="$FOREP_OPLOG" --role=replica \
+  --primary=127.0.0.1:"$FOPRI_PORT" --replica-poll-ms=50 >"$RLOG" 2>&1 &
+REPLICA_PID=$!
+FOREP_PORT=""
+for _ in $(seq 1 100); do
+  FOREP_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$RLOG")"
+  [[ -n "$FOREP_PORT" ]] && break
+  kill -0 "$REPLICA_PID" 2>/dev/null || fo_die "failover replica died at startup"
+  sleep 0.1
+done
+[[ -n "$FOREP_PORT" ]] || fo_die "failover replica never reported its port"
+CAUGHT=""
+for _ in $(seq 1 100); do
+  CAUGHT="$("$CLIENT" --port="$FOREP_PORT" search 5 1 fokw 2>/dev/null || true)"
+  grep -q "sharedpoi" <<<"$CAUGHT" && break
+  sleep 0.1
+done
+grep -q "sharedpoi" <<<"$CAUGHT" || fo_die "replica never caught up on shared write"
+echo "smoke: failover replica up on port $FOREP_PORT and caught up"
+
+# Cut the link. Writes through the proxy must now fail fast, not hang.
+kill -USR1 "$PROXY_PID"
+for _ in $(seq 1 50); do
+  grep -q "partition: on" "$PXERR" && break
+  sleep 0.1
+done
+grep -q "partition: on" "$PXERR" || fo_die "proxy never acknowledged partition"
+if "$CLIENT" --port="$PXPORT" --retries=1 insert 6 lostpoi fokw 2>/dev/null; then
+  fo_die "write through a partitioned proxy unexpectedly succeeded"
+fi
+echo "smoke: partition on, writes through proxy fail fast"
+
+# Promote the replica behind the partition: epoch 1, role primary.
+PROMOTE_OUT="$("$CLIENT" --port="$FOREP_PORT" promote)" \
+  || fo_die "promote failed"
+NEW_EPOCH="$(awk -F'\t' '$1 == "epoch" { print $2 }' <<<"$PROMOTE_OUT")"
+[[ "$NEW_EPOCH" == "1" ]] || fo_die "promote reported epoch=$NEW_EPOCH, expected 1"
+PROMOTED_ROLE="$("$CLIENT" --port="$FOREP_PORT" health | awk -F'\t' '$1 == "role" { print $2 }')"
+[[ "$PROMOTED_ROLE" == "primary" ]] || fo_die "promoted replica reports role=$PROMOTED_ROLE"
+echo "smoke: replica promoted under partition (epoch=$NEW_EPOCH)"
+
+# The fleet health view shows the split brain: both sides claim primary,
+# but only one holds the newer epoch.
+HEALTH_TABLE="$("$KCLI" health --endpoints=127.0.0.1:"$FOPRI_PORT",127.0.0.1:"$FOREP_PORT")" \
+  || fo_die "kspin_cli health failed"
+grep -q "epoch" <<<"$HEALTH_TABLE" || fo_die "kspin_cli health missing epoch column"
+echo "smoke: fleet health table ok"
+echo "$HEALTH_TABLE" | sed 's/^/smoke:   /'
+
+# The stale primary still takes one divergent write from its side of the
+# partition, then the first epoch-aware writer fences it: every write
+# after that dies with STALE_EPOCH while reads keep working.
+"$CLIENT" --port="$FOPRI_PORT" insert 7 doomedpoi doomkw >/dev/null \
+  || fo_die "divergent write on stale primary failed"
+if FENCE_OUT="$("$CLIENT" --port="$FOPRI_PORT" --fence-epoch=1 --retries=1 insert 7 fencedpoi fokw 2>&1)"; then
+  fo_die "fenced write unexpectedly succeeded: $FENCE_OUT"
+fi
+grep -q "STALE_EPOCH" <<<"$FENCE_OUT" || fo_die "fencing did not report STALE_EPOCH: $FENCE_OUT"
+if "$CLIENT" --port="$FOPRI_PORT" --retries=1 insert 8 latepoi fokw 2>/dev/null; then
+  fo_die "stale primary accepted a write after being fenced"
+fi
+STALE_COUNT="$("$CLIENT" --port="$FOPRI_PORT" stats | awk -F'\t' '$1 == "requests_stale_epoch" { print $2 }')"
+[[ -n "$STALE_COUNT" && "$STALE_COUNT" -ge 2 ]] || fo_die "requests_stale_epoch=$STALE_COUNT, expected >=2"
+"$CLIENT" --port="$FOPRI_PORT" ping >/dev/null || fo_die "fenced primary stopped serving reads"
+echo "smoke: stale primary fenced (requests_stale_epoch=$STALE_COUNT), reads still served"
+
+# Heal the partition; a failover client listing the fenced ex-primary
+# first must re-route the write to the new primary on its own.
+kill -USR1 "$PROXY_PID"
+for _ in $(seq 1 50); do
+  grep -q "partition: off" "$PXERR" && break
+  sleep 0.1
+done
+grep -q "partition: off" "$PXERR" || fo_die "proxy never healed the partition"
+REROUTE_OUT="$("$CLIENT" --endpoints=127.0.0.1:"$PXPORT",127.0.0.1:"$FOREP_PORT" insert 9 reroutepoi fokw2)" \
+  || fo_die "failover client write failed after heal"
+REROUTED="$("$CLIENT" --port="$FOREP_PORT" search 9 1 fokw2)"
+grep -q "reroutepoi" <<<"$REROUTED" || fo_die "re-routed write missing on new primary"
+echo "smoke: failover client re-routed write to new primary ($REROUTE_OUT)"
+
+# The ex-primary dies and rejoins as a replica of the new primary. Boot
+# replay resurrects its divergent write; tailing detects the divergence,
+# quarantines the tail on disk, resyncs via snapshot, and converges.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+"$CLIENT" --port="$FOREP_PORT" snapshot >/dev/null
+: >"$LOG"
+"$SERVER" --port=0 --grid=20x20 --pois=200 --seed=3 \
+  --snapshot-dir="$FOPRI_SNAP" --oplog-dir="$FOPRI_OPLOG" --role=replica \
+  --primary=127.0.0.1:"$FOREP_PORT" --replica-poll-ms=50 >"$LOG" 2>&1 &
+SERVER_PID=$!
+REJOIN_PORT=""
+for _ in $(seq 1 100); do
+  REJOIN_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")"
+  [[ -n "$REJOIN_PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fo_die "rejoining ex-primary died at startup"
+  sleep 0.1
+done
+[[ -n "$REJOIN_PORT" ]] || fo_die "rejoining ex-primary never reported its port"
+
+CONVERGED=""
+for _ in $(seq 1 100); do
+  CONVERGED="$("$CLIENT" --port="$REJOIN_PORT" search 9 1 fokw2 2>/dev/null || true)"
+  grep -q "reroutepoi" <<<"$CONVERGED" && break
+  sleep 0.1
+done
+grep -q "reroutepoi" <<<"$CONVERGED" || fo_die "rejoined ex-primary never converged on new reign"
+DOOMED_READ="$("$CLIENT" --port="$REJOIN_PORT" search 7 5 doomkw)"
+if grep -q "doomedpoi" <<<"$DOOMED_READ"; then
+  fo_die "divergent write survived the rejoin repair"
+fi
+QUARANTINED="$("$CLIENT" --port="$REJOIN_PORT" stats | awk -F'\t' '$1 == "oplog_quarantined_records" { print $2 }')"
+[[ -n "$QUARANTINED" && "$QUARANTINED" -ge 1 ]] || fo_die "oplog_quarantined_records=$QUARANTINED, expected >=1"
+ls "$FOPRI_OPLOG"/quarantine/divergent-*.log >/dev/null 2>&1 \
+  || fo_die "no quarantine file preserved in $FOPRI_OPLOG/quarantine"
+REJOIN_EPOCH="$("$CLIENT" --port="$REJOIN_PORT" health | awk -F'\t' '$1 == "primary_epoch" { print $2 }')"
+[[ "$REJOIN_EPOCH" == "1" ]] || fo_die "rejoined ex-primary reports epoch=$REJOIN_EPOCH, expected 1"
+echo "smoke: ex-primary rejoined, quarantined $QUARANTINED divergent record(s), converged at epoch $REJOIN_EPOCH"
+
+kill -INT "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fo_die "rejoined ex-primary ignored SIGINT"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+kill -INT "$REPLICA_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$REPLICA_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$REPLICA_PID" 2>/dev/null && fo_die "promoted primary ignored SIGINT"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+kill -TERM "$PROXY_PID" 2>/dev/null || true
+wait "$PROXY_PID" 2>/dev/null || true
+PROXY_PID=""
+echo "smoke: failover drill complete"
 echo "smoke: PASS"
