@@ -114,6 +114,13 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
     if (c.deleted) continue;
     if (!evaluated.Insert(c.object)) continue;  // Seen via another heap.
     if (!satisfies(c.object)) continue;
+    if (approximate_mode_) {
+      // Brownout: rank by the (monotone) lower bound instead of paying
+      // for the exact distance. Candidates pop in LB order, so the
+      // D_k termination test stays sound against LB-valued entries.
+      best.Offer(c.lower_bound, c.object);
+      continue;
+    }
     const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
                                                c.vertex);
     ++local.network_distance_computations;
@@ -132,8 +139,11 @@ std::vector<BkNNResult> QueryProcessor::DisjunctiveSearch(
   if (stats != nullptr) {
     // Every distance paid for an object that missed the final top-k was a
     // false positive (including early candidates later evicted by D_k).
+    // Saturating: in approximate mode results arrive without distances.
     local.false_positive_distances =
-        local.network_distance_computations - results.size();
+        local.network_distance_computations > results.size()
+            ? local.network_distance_computations - results.size()
+            : 0;
     local.results_returned = results.size();
     local.search_ns = NowNs() - search_start_ns;
     *stats += local;
@@ -319,6 +329,12 @@ std::vector<TopKResult> QueryProcessor::TopK(
       ++local.candidates_pruned_lb;  // LB beat D_k: no distance paid.
       continue;
     }
+    if (approximate_mode_) {
+      // Brownout: admit on the lower-bound score alone; the reported
+      // distance is the LB distance, not the exact network distance.
+      best.Offer(lb_score, {c.object, {c.lower_bound, tr}});
+      continue;
+    }
     const Distance d = oracle_.NetworkDistance(*oracle_workspace_, q,
                                                c.vertex);
     ++local.network_distance_computations;
@@ -339,8 +355,11 @@ std::vector<TopKResult> QueryProcessor::TopK(
         {payload.first, score, payload.second.first, payload.second.second});
   }
   if (stats != nullptr) {
+    // Saturating: in approximate mode results arrive without distances.
     local.false_positive_distances =
-        local.network_distance_computations - results.size();
+        local.network_distance_computations > results.size()
+            ? local.network_distance_computations - results.size()
+            : 0;
     local.results_returned = results.size();
     local.search_ns = NowNs() - search_start_ns;
     *stats += local;

@@ -187,6 +187,16 @@ class QueryProcessor {
     use_pseudo_lower_bounds_ = enabled;
   }
 
+  /// Brownout switch (docs/protocol.md "Overload control & degradation"):
+  /// when enabled, disjunctive and ranked searches skip the exact
+  /// NetworkDistance refinement and rank candidates by their lower-bound
+  /// distance / lower-bound score alone — the cheap index-only answer the
+  /// paper's pruning machinery makes viable. Results are approximate
+  /// (ranked by LB, distances reported as LBs); conjunctive queries stay
+  /// exact. Per-processor, so one worker can degrade per-request.
+  void SetApproximateMode(bool enabled) { approximate_mode_ = enabled; }
+  bool ApproximateMode() const { return approximate_mode_; }
+
  private:
   // Disjunctive search over an explicit heap set with a candidate filter;
   // shared by BooleanKnn(disjunctive) and BooleanKnnCnf. The filter is a
@@ -215,6 +225,7 @@ class QueryProcessor {
   QueryWorkspace workspace_;
   HeapGenerator heap_generator_;
   bool use_pseudo_lower_bounds_ = true;
+  bool approximate_mode_ = false;
 };
 
 }  // namespace kspin

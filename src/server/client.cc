@@ -23,6 +23,12 @@ void ParseReplyEnvelope(PayloadReader& reader, Client::Reply* reply) {
   if (reply->status != StatusCode::kOk) {
     reply->error = reader.String();
     if (!reader.ok()) throw ClientError("malformed error response");
+    // Tolerant trailer (v4): OVERLOADED bodies may carry a u32
+    // retry-after hint; older servers simply end after the message.
+    if (reply->status == StatusCode::kOverloaded && !reader.AtEnd()) {
+      const std::uint32_t hint = reader.U32();
+      if (reader.ok()) reply->retry_after_ms = hint;
+    }
   }
 }
 
@@ -233,9 +239,11 @@ Client::SearchReply Client::Search(std::string_view query, VertexId from,
   PayloadReader reader(body);
   SearchReply reply;
   ParseReplyEnvelope(reader, &reply);
-  if (reply.ok() && !DecodeSearchResponse(reader, &reply.results)) {
+  std::uint8_t flags = 0;
+  if (reply.ok() && !DecodeSearchResponse(reader, &reply.results, &flags)) {
     throw ClientError("malformed search response");
   }
+  reply.degraded = (flags & kSearchFlagDegraded) != 0;
   return reply;
 }
 

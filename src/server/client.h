@@ -47,11 +47,18 @@ class Client {
   struct Reply {
     StatusCode status = StatusCode::kInternal;
     std::string error;
+    /// RETRY_AFTER hint from an OVERLOADED reply's tolerant trailer
+    /// (docs/protocol.md "Overload control & degradation"); 0 when the
+    /// server sent none. RetryingClient honors it for backoff.
+    std::uint32_t retry_after_ms = 0;
     bool ok() const { return status == StatusCode::kOk; }
   };
 
   struct SearchReply : Reply {
     std::vector<WireResult> results;
+    /// True when the server answered in brownout mode: k may have been
+    /// clamped and ranking is by lower bound, not exact distance.
+    bool degraded = false;
   };
 
   struct AddPoiReply : Reply {

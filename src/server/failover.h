@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -136,18 +137,30 @@ auto FailoverClient::ExecuteRead(Op&& op)
   if (!probed_) ProbeRoles();
   // Try every endpoint once, starting from the sticky one. Each attempt
   // already carries the per-endpoint retry policy, so a ClientError here
-  // means "this endpoint is down" — move on.
+  // means "this endpoint is down" — move on. An in-band OVERLOADED reply
+  // means "up but shedding": try the next replica too, but keep the
+  // sticky index where it was — a shedding node is healthy and will
+  // take reads again once its queue drains.
+  using ReplyT = decltype(op(std::declval<RetryingClient&>()));
+  std::optional<ReplyT> overloaded;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const std::size_t index = (read_index_ + i) % clients_.size();
     try {
       auto reply = op(*clients_[index]);
+      if (reply.status == StatusCode::kOverloaded) {
+        if (!overloaded) overloaded = std::move(reply);
+        continue;
+      }
       read_index_ = index;
       last_endpoint_ = index;
       return reply;
     } catch (const ClientError&) {
-      if (i + 1 == clients_.size()) throw;
+      if (i + 1 == clients_.size() && !overloaded) throw;
     }
   }
+  // Every endpoint was down or shedding; surface the first shed reply
+  // (it carries the strongest retry-after signal for the caller).
+  if (overloaded) return std::move(*overloaded);
   throw ClientError("no endpoints");  // Unreachable; clients_ non-empty.
 }
 

@@ -135,6 +135,15 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"requests_overloaded", load(requests_overloaded)},
       {"requests_deadline_dropped", load(requests_deadline_dropped)},
       {"requests_deadline_cancelled", load(requests_deadline_cancelled)},
+      {"requests_deadline_rejected", load(requests_deadline_rejected)},
+      {"requests_admission_limited", load(requests_admission_limited)},
+      {"requests_codel_shed", load(requests_codel_shed)},
+      {"requests_rate_limited", load(requests_rate_limited)},
+      {"requests_degraded", load(requests_degraded)},
+      {"brownout_entries", load(brownout_entries)},
+      {"brownout_seconds", load(brownout_seconds)},
+      {"overload_state", load(overload_state)},
+      {"admission_limit", load(admission_limit)},
       {"snapshots_written", load(snapshots_written)},
       {"snapshots_failed", load(snapshots_failed)},
       {"reloads_ok", load(reloads_ok)},
@@ -216,6 +225,7 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
   snap.counters.emplace_back("replication_lag_ms", lag_ms);
   snap.query_latency = query_latency.Snapshot();
   snap.update_latency = update_latency.Snapshot();
+  snap.admission_sojourn = admission_sojourn.Snapshot();
   return snap;
 }
 
@@ -235,6 +245,7 @@ std::vector<std::pair<std::string, std::uint64_t>> ServerMetrics::Snapshot(
   };
   append("query_latency", snap.query_latency);
   append("update_latency", snap.update_latency);
+  append("admission_sojourn", snap.admission_sojourn);
   return out;
 }
 
@@ -246,7 +257,9 @@ bool IsGaugeMetric(const std::string& key) {
          key == "replication_sequence_delta" ||
          key == "replication_source" ||
          key == "replication_lag_ms" ||
-         key == "primary_epoch";
+         key == "primary_epoch" ||
+         key == "overload_state" ||
+         key == "admission_limit";
 }
 
 void AppendHistogram(std::string& out, const char* name,
@@ -291,6 +304,8 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
   }
   AppendHistogram(out, "kspin_query_latency_us", snapshot.query_latency);
   AppendHistogram(out, "kspin_update_latency_us", snapshot.update_latency);
+  AppendHistogram(out, "kspin_admission_queue_sojourn_us",
+                  snapshot.admission_sojourn);
   return out;
 }
 

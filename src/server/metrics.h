@@ -76,6 +76,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   HistogramSnapshot query_latency;
   HistogramSnapshot update_latency;
+  HistogramSnapshot admission_sojourn;
 };
 
 /// All server counters. Field names match the keys reported by STATS.
@@ -104,6 +105,31 @@ class ServerMetrics {
   std::atomic<std::uint64_t> requests_deadline_dropped{0};
   /// Aborted mid-query by the cooperative cancellation check.
   std::atomic<std::uint64_t> requests_deadline_cancelled{0};
+
+  // Overload control (docs/protocol.md "Overload control & degradation").
+  /// Rejected at admission: the deadline had already elapsed on arrival
+  /// (never queued; distinct from requests_deadline_dropped).
+  std::atomic<std::uint64_t> requests_deadline_rejected{0};
+  /// Rejected by the adaptive (AIMD) admission limit — the soft bound
+  /// below the hard queue capacity; requests_overloaded counts only the
+  /// hard-capacity sheds.
+  std::atomic<std::uint64_t> requests_admission_limited{0};
+  /// Shed at dequeue by the CoDel sojourn check (queued too long while
+  /// the queue stayed congested; failed fast instead of served stale).
+  std::atomic<std::uint64_t> requests_codel_shed{0};
+  /// Rejected by the per-connection token bucket.
+  std::atomic<std::uint64_t> requests_rate_limited{0};
+  /// Searches answered in brownout (degraded) mode.
+  std::atomic<std::uint64_t> requests_degraded{0};
+  /// Times brownout engaged.
+  std::atomic<std::uint64_t> brownout_entries{0};
+  /// Cumulative whole seconds spent browned out (counter).
+  std::atomic<std::uint64_t> brownout_seconds{0};
+  /// Gauge: 0 = normal, 1 = limited (AIMD limit below capacity),
+  /// 2 = brownout.
+  std::atomic<std::uint64_t> overload_state{0};
+  /// Gauge: the admission queue's current adaptive limit.
+  std::atomic<std::uint64_t> admission_limit{0};
 
   // Persistence.
   std::atomic<std::uint64_t> snapshots_written{0};
@@ -205,6 +231,8 @@ class ServerMetrics {
   /// requests, by class.
   LatencyHistogram query_latency;   ///< kSearchBoolean / kSearchRanked.
   LatencyHistogram update_latency;  ///< kPoi* and mutation opcodes.
+  /// Time requests spent queued (push to pop), microseconds.
+  LatencyHistogram admission_sojourn;
 
   /// Dense slot for an opcode, or npos for unknown ones.
   static std::size_t OpcodeSlot(Opcode opcode);

@@ -1,0 +1,63 @@
+#include "server/overload.h"
+
+namespace kspin::server {
+namespace {
+
+double MeanMicros(const HistogramSnapshot& h) {
+  if (h.count == 0) return 0.0;
+  return static_cast<double>(h.sum_micros) / static_cast<double>(h.count);
+}
+
+}  // namespace
+
+OverloadDecision OverloadController::Tick(
+    const HistogramSnapshot& query_latency,
+    const HistogramSnapshot& queue_sojourn, std::size_t queue_depth) {
+  OverloadDecision decision;
+  const HistogramSnapshot delta = Delta(query_latency, previous_latency_);
+  const HistogramSnapshot sojourn_delta =
+      Delta(queue_sojourn, previous_sojourn_);
+  const std::uint64_t query_p99 =
+      delta.count > 0 ? delta.PercentileMicros(0.99) : 0;
+  const std::uint64_t sojourn_p99 =
+      sojourn_delta.count > 0 ? sojourn_delta.PercentileMicros(0.99) : 0;
+  decision.p99_us = std::max(query_p99, sojourn_p99);
+  previous_latency_ = query_latency;
+  previous_sojourn_ = queue_sojourn;
+  const std::uint64_t slo_us =
+      static_cast<std::uint64_t>(options_.latency_slo_ms) * 1000;
+  decision.slo_violated = limiter_.Observe(decision.p99_us, slo_us);
+  decision.admission_limit = limiter_.limit();
+  const bool was_active = brownout_.active();
+  decision.brownout = brownout_.Update(decision.slo_violated);
+  decision.brownout_entered = decision.brownout && !was_active;
+  decision.retry_after_ms =
+      RetryAfterMs(queue_depth, MeanMicros(delta), decision.brownout);
+  return decision;
+}
+
+std::uint32_t OverloadController::RetryAfterMs(std::size_t queue_depth,
+                                               double mean_us,
+                                               bool brownout) const {
+  if (options_.retry_after_ms > 0) return options_.retry_after_ms;
+  if (mean_us <= 0.0) mean_us = 1000.0;  // No samples yet: assume 1 ms.
+  double drain_ms =
+      static_cast<double>(queue_depth) * mean_us / 1000.0 / workers_;
+  if (brownout) drain_ms *= 2.0;
+  const double floor_ms =
+      static_cast<double>(std::max<std::uint32_t>(options_.tick_interval_ms, 1));
+  return static_cast<std::uint32_t>(std::clamp(drain_ms, floor_ms, 5000.0));
+}
+
+HistogramSnapshot OverloadController::Delta(
+    const HistogramSnapshot& current, const HistogramSnapshot& previous) {
+  HistogramSnapshot delta;
+  delta.count = current.count - previous.count;
+  delta.sum_micros = current.sum_micros - previous.sum_micros;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    delta.buckets[i] = current.buckets[i] - previous.buckets[i];
+  }
+  return delta;
+}
+
+}  // namespace kspin::server

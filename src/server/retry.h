@@ -180,11 +180,20 @@ auto RetryingClient::Execute(bool idempotent, Op&& op) -> decltype(op()) {
     }
 
     // Phase 2: the round trip itself.
+    std::uint32_t sleep_ms = backoff;
     if (connected) {
       try {
         auto reply = op();
         if (reply.status != StatusCode::kOverloaded || last) return reply;
         // Shed at admission; definitely not applied, safe to re-send.
+        // The server's RETRY_AFTER hint extends (never shortens) the
+        // jittered backoff so clients stay away at least as long as the
+        // shedding server asked, still capped by max_backoff_ms.
+        if (reply.retry_after_ms > 0) {
+          sleep_ms = std::max(
+              sleep_ms, std::min(reply.retry_after_ms,
+                                 policy_.max_backoff_ms));
+        }
       } catch (const ClientError&) {
         client_.Close();
         if (!idempotent || last) throw;
@@ -195,8 +204,8 @@ auto RetryingClient::Execute(bool idempotent, Op&& op) -> decltype(op()) {
       throw ClientError("connect failed");
     }
 
-    sleep_(backoff);
-    slept_ms += backoff;
+    sleep_(sleep_ms);
+    slept_ms += sleep_ms;
   }
 }
 

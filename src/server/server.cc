@@ -67,6 +67,10 @@ struct Server::Connection {
   /// thread closes the connection on its next tick.
   std::atomic<bool> overflowed{false};
 
+  /// Per-connection rate limiter (overload.per_client_qps); touched only
+  /// by the I/O thread in HandleFrame.
+  TokenBucket bucket;
+
   void QueueWrite(std::vector<std::uint8_t> bytes, std::size_t max_bytes) {
     std::lock_guard<std::mutex> lock(write_mutex);
     if (closed.load(std::memory_order_relaxed)) return;
@@ -99,7 +103,22 @@ Server::Server(PoiService& service, ServerOptions options)
       oplog_(options_.oplog),
       idempotency_(options_.idempotency_cache_size) {
   role_.store(options_.replication.role, std::memory_order_relaxed);
-  queue_ = std::make_unique<AdmissionQueue<Request>>(options_.queue_capacity);
+  queue_ = std::make_unique<AdmissionQueue<Request>>(
+      options_.queue_capacity,
+      std::chrono::milliseconds(options_.overload.codel_target_ms),
+      std::chrono::milliseconds(
+          std::max<std::uint32_t>(options_.overload.tick_interval_ms, 1)));
+  metrics_.admission_limit.store(options_.queue_capacity,
+                                 std::memory_order_relaxed);
+  if (options_.overload.latency_slo_ms > 0) {
+    const unsigned workers = options_.num_workers > 0
+                                 ? options_.num_workers
+                                 : std::thread::hardware_concurrency();
+    overload_ = std::make_unique<OverloadController>(
+        options_.overload, options_.queue_capacity, workers);
+  }
+  retry_after_hint_ms_.store(options_.overload.retry_after_ms,
+                             std::memory_order_relaxed);
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<TraceSink>(options_.trace_path);
     if (!trace_->enabled()) {
@@ -345,7 +364,9 @@ void Server::IoLoop() {
       if (!alive) CloseConnection(conn->fd);
     }
 
-    SweepConnections(Clock::now());
+    const Clock::time_point now = Clock::now();
+    SweepConnections(now);
+    OverloadTick(now);
   }
 
   // Final flush: give queued responses a brief window to reach clients
@@ -362,6 +383,51 @@ void Server::IoLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+}
+
+void Server::OverloadTick(Clock::time_point now) {
+  if (!overload_) return;
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::uint32_t>(options_.overload.tick_interval_ms, 1));
+  if (last_overload_tick_ != Clock::time_point{} &&
+      now - last_overload_tick_ < interval) {
+    return;
+  }
+  last_overload_tick_ = now;
+
+  const OverloadDecision decision =
+      overload_->Tick(metrics_.query_latency.Snapshot(),
+                      metrics_.admission_sojourn.Snapshot(), queue_->Size());
+  queue_->SetLimit(decision.admission_limit);
+  metrics_.admission_limit.store(decision.admission_limit,
+                                 std::memory_order_relaxed);
+  retry_after_hint_ms_.store(decision.retry_after_ms,
+                             std::memory_order_relaxed);
+
+  if (decision.brownout_entered) {
+    metrics_.brownout_entries.fetch_add(1, std::memory_order_relaxed);
+    brownout_since_ = now;
+    brownout_seconds_credited_ = 0;
+  }
+  brownout_active_.store(decision.brownout, std::memory_order_relaxed);
+  if (decision.brownout) {
+    // Credit whole seconds of the running episode as they accrue, so the
+    // counter moves while the episode is still open.
+    const auto active_s = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(now -
+                                                         brownout_since_)
+            .count());
+    if (active_s > brownout_seconds_credited_) {
+      metrics_.brownout_seconds.fetch_add(
+          active_s - brownout_seconds_credited_, std::memory_order_relaxed);
+      brownout_seconds_credited_ = active_s;
+    }
+  }
+  metrics_.overload_state.store(
+      decision.brownout
+          ? 2
+          : (decision.admission_limit < options_.queue_capacity ? 1 : 0),
+      std::memory_order_relaxed);
 }
 
 void Server::AcceptNew() {
@@ -564,6 +630,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       };
       append("query_latency", snapshot.query_latency);
       append("update_latency", snapshot.update_latency);
+      append("admission_sojourn", snapshot.admission_sojourn);
       if (header.version < 2) {
         // v1 clients get the flat pairs only (no trailing histograms —
         // their decoder rejects trailing bytes).
@@ -581,6 +648,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       const WireHistogram histograms[] = {
           to_wire("query_latency_us", snapshot.query_latency),
           to_wire("update_latency_us", snapshot.update_latency),
+          to_wire("admission_sojourn_us", snapshot.admission_sojourn),
       };
       Respond(conn, header, EncodeStatsResponse(pairs, histograms));
       return;
@@ -643,24 +711,69 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kFetchSnapshot:
     case Opcode::kFetchOplog:
     case Opcode::kPromote: {
+      const Clock::time_point now = Clock::now();
+      const std::uint32_t retry_after =
+          retry_after_hint_ms_.load(std::memory_order_relaxed);
+      // Per-connection token bucket (overload.per_client_qps): one noisy
+      // client must not starve the rest of the fleet's admission slots.
+      if (options_.overload.per_client_qps > 0 &&
+          !conn->bucket.TryAcquire(now, options_.overload.per_client_qps,
+                                   options_.overload.per_client_burst)) {
+        metrics_.requests_rate_limited.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        Respond(conn, header,
+                EncodeErrorResponse(StatusCode::kOverloaded,
+                                    "rate limited", retry_after));
+        return;
+      }
       Request request;
       request.conn = conn;
       request.header = header;
       request.payload = std::move(payload);
-      request.admitted_at = Clock::now();
+      request.admitted_at = now;
       if (header.deadline_ms > 0) {
         request.deadline = request.admitted_at +
                            std::chrono::milliseconds(header.deadline_ms);
       }
-      if (!queue_->TryPush(std::move(request))) {
-        metrics_.requests_overloaded.fetch_add(1,
-                                               std::memory_order_relaxed);
-        Respond(conn, header,
-                EncodeErrorResponse(StatusCode::kOverloaded,
-                                    "admission queue full"));
-        return;
+      const Clock::time_point deadline = request.deadline;
+      // Admission uses a fresh clock when the test hook widens the gap
+      // between receipt and enqueue; in production the two coincide.
+      Clock::time_point admit_now = now;
+      if (options_.test_admission_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.test_admission_delay_ms));
+        admit_now = Clock::now();
       }
-      metrics_.RecordQueueDepth(queue_->Size());
+      switch (queue_->TryPush(std::move(request), deadline, admit_now)) {
+        case AdmissionResult::kAdmitted:
+          metrics_.RecordQueueDepth(queue_->Size());
+          return;
+        case AdmissionResult::kExpired:
+          // Doomed on arrival: refuse at the door instead of queueing
+          // work whose deadline already passed. Counted separately from
+          // the overload sheds.
+          metrics_.requests_deadline_rejected.fetch_add(
+              1, std::memory_order_relaxed);
+          Respond(conn, header,
+                  EncodeErrorResponse(StatusCode::kDeadlineExceeded,
+                                      "deadline expired before admission"));
+          return;
+        case AdmissionResult::kLimited:
+          metrics_.requests_admission_limited.fetch_add(
+              1, std::memory_order_relaxed);
+          Respond(conn, header,
+                  EncodeErrorResponse(StatusCode::kOverloaded,
+                                      "admission limited", retry_after));
+          return;
+        case AdmissionResult::kQueueFull:
+        case AdmissionResult::kClosed:
+          metrics_.requests_overloaded.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          Respond(conn, header,
+                  EncodeErrorResponse(StatusCode::kOverloaded,
+                                      "admission queue full", retry_after));
+          return;
+      }
       return;
     }
     case Opcode::kError:
@@ -681,8 +794,11 @@ void Server::WorkerLoop(std::size_t worker_index) {
   std::uint64_t generation = 0;
 
   for (;;) {
-    std::optional<Request> request = queue_->Pop();
-    if (!request.has_value()) return;  // Closed and drained.
+    std::optional<AdmissionQueue<Request>::Popped> popped = queue_->Pop();
+    if (!popped.has_value()) return;  // Closed and drained.
+    metrics_.admission_sojourn.Record(
+        static_cast<std::uint64_t>(popped->sojourn.count()));
+    Request* const request = &popped->item;
 
     if (options_.test_dequeue_delay_ms > 0) {
       std::this_thread::sleep_for(
@@ -696,6 +812,17 @@ void Server::WorkerLoop(std::size_t worker_index) {
       Respond(request->conn, request->header,
               EncodeErrorResponse(StatusCode::kDeadlineExceeded,
                                   "deadline expired before execution"));
+      continue;
+    }
+    if (popped->shed) {
+      // CoDel verdict: the queue stayed congested and this request
+      // overstayed the sojourn target — fail fast rather than serve
+      // stale work the client has likely given up on.
+      metrics_.requests_codel_shed.fetch_add(1, std::memory_order_relaxed);
+      Respond(request->conn, request->header,
+              EncodeErrorResponse(
+                  StatusCode::kOverloaded, "shed: queue sojourn over target",
+                  retry_after_hint_ms_.load(std::memory_order_relaxed)));
       continue;
     }
 
@@ -789,20 +916,42 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
         traced_query = search.query;
         traced_vertex = search.vertex;
         traced_k = search.k;
-        const std::vector<PoiResult> hits =
-            opcode == Opcode::kSearchBoolean
-                ? service_.SearchOn(*processor, search.query, search.vertex,
-                                    search.k, control_ptr, &qstats)
-                : service_.SearchRankedOn(*processor, search.query,
-                                          search.vertex, search.k,
-                                          control_ptr, &qstats);
+        // Brownout (docs/protocol.md "Overload control & degradation"):
+        // clamp k and answer from lower bounds only — cheap index work
+        // instead of exact distance refinement — and stamp the reply
+        // DEGRADED so clients can tell.
+        const bool degraded =
+            brownout_active_.load(std::memory_order_relaxed);
+        if (degraded && options_.overload.brownout_max_k > 0) {
+          search.k = std::min(search.k, options_.overload.brownout_max_k);
+        }
+        if (degraded) processor->SetApproximateMode(true);
+        std::vector<PoiResult> hits;
+        try {
+          hits = opcode == Opcode::kSearchBoolean
+                     ? service_.SearchOn(*processor, search.query,
+                                         search.vertex, search.k,
+                                         control_ptr, &qstats)
+                     : service_.SearchRankedOn(*processor, search.query,
+                                               search.vertex, search.k,
+                                               control_ptr, &qstats);
+        } catch (...) {
+          if (degraded) processor->SetApproximateMode(false);
+          throw;
+        }
+        if (degraded) {
+          processor->SetApproximateMode(false);
+          metrics_.requests_degraded.fetch_add(1, std::memory_order_relaxed);
+        }
         std::vector<WireResult> results;
         results.reserve(hits.size());
         for (const PoiResult& hit : hits) {
           results.push_back(
               {hit.id, hit.travel_time, hit.score, hit.name});
         }
-        response = EncodeSearchResponse(results);
+        response = EncodeSearchResponse(
+            results, degraded ? kSearchFlagDegraded : std::uint8_t{0},
+            header.version);
         ok = true;
         break;
       }

@@ -48,6 +48,7 @@
 #include "server/metrics.h"
 #include "server/mutation.h"
 #include "server/oplog.h"
+#include "server/overload.h"
 #include "server/replication.h"
 #include "server/trace.h"
 #include "server/wire.h"
@@ -143,6 +144,12 @@ struct ServerOptions {
   /// log.
   std::uint32_t slow_query_threshold_ms = 0;
 
+  /// Overload resilience (docs/protocol.md "Overload control &
+  /// degradation"): deadline-aware EDF admission, AIMD concurrency
+  /// limiting, CoDel sojourn shedding, per-connection rate limits, and
+  /// brownout. Defaults disable every mechanism.
+  OverloadOptions overload;
+
   // Test hooks — leave at defaults in production.
   /// When false, the dequeue-time deadline check is skipped so expiry is
   /// only caught by the cooperative in-query check.
@@ -150,6 +157,9 @@ struct ServerOptions {
   /// Artificial delay before each worker dequeue check, to make
   /// deadline expiry deterministic in tests.
   std::uint32_t test_dequeue_delay_ms = 0;
+  /// Artificial delay between frame receipt and admission, to make the
+  /// enqueue-time expiry rejection deterministic in tests.
+  std::uint32_t test_admission_delay_ms = 0;
 };
 
 /// A serving instance. Construct, Start(), connect clients to Port().
@@ -239,6 +249,11 @@ class Server {
   struct Request;
 
   void IoLoop();
+  /// One overload-controller tick (I/O thread, every
+  /// overload.tick_interval_ms): diffs the query-latency histogram,
+  /// moves the AIMD admission limit, updates brownout state and the
+  /// overload gauges, and refreshes the RETRY_AFTER hint.
+  void OverloadTick(std::chrono::steady_clock::time_point now);
   void WorkerLoop(std::size_t worker_index);
   void SnapshotLoop();
   /// Caller must hold mutation_mutex_ (or run pre-Start).
@@ -323,6 +338,20 @@ class Server {
   std::unique_ptr<AdmissionQueue<Request>> queue_;
   std::thread io_thread_;
   std::vector<std::thread> workers_;
+
+  // Overload control (owned by the I/O thread except the atomics).
+  std::unique_ptr<OverloadController> overload_;  ///< Null when disabled.
+  /// Brownout state, read by workers per search request.
+  std::atomic<bool> brownout_active_{false};
+  /// Current RETRY_AFTER hint for OVERLOADED replies (ms; 0 = none).
+  std::atomic<std::uint32_t> retry_after_hint_ms_{0};
+  /// I/O-thread only: last controller tick and brownout entry instant
+  /// (for the brownout_seconds counter).
+  std::chrono::steady_clock::time_point last_overload_tick_{};
+  std::chrono::steady_clock::time_point brownout_since_{};
+  /// Whole seconds of the current brownout episode already counted into
+  /// metrics_.brownout_seconds.
+  std::uint64_t brownout_seconds_credited_ = 0;
 
   // Background snapshotting (runs only when dir + period are configured).
   std::thread snapshot_thread_;

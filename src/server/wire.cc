@@ -326,6 +326,16 @@ std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
   return w.Take();
 }
 
+std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
+                                              std::string_view message,
+                                              std::uint32_t retry_after_ms) {
+  PayloadWriter w;
+  w.U8(static_cast<std::uint8_t>(status));
+  w.String(message);
+  if (retry_after_ms > 0) w.U32(retry_after_ms);
+  return w.Take();
+}
+
 std::vector<std::uint8_t> EncodeOkResponse() {
   return {static_cast<std::uint8_t>(StatusCode::kOk)};
 }
@@ -344,8 +354,25 @@ std::vector<std::uint8_t> EncodeSearchResponse(
   return w.Take();
 }
 
+std::vector<std::uint8_t> EncodeSearchResponse(
+    std::span<const WireResult> results, std::uint8_t flags,
+    std::uint8_t version) {
+  std::vector<std::uint8_t> body = EncodeSearchResponse(results);
+  // Pre-v4 decoders reject trailing bytes; only v4+ requests may see the
+  // flags trailer (the server echoes the request's version).
+  if (version >= 4) body.push_back(flags);
+  return body;
+}
+
 bool DecodeSearchResponse(PayloadReader& reader,
                           std::vector<WireResult>* results) {
+  std::uint8_t flags = 0;
+  return DecodeSearchResponse(reader, results, &flags);
+}
+
+bool DecodeSearchResponse(PayloadReader& reader,
+                          std::vector<WireResult>* results,
+                          std::uint8_t* flags) {
   const std::uint32_t count = reader.U32();
   results->clear();
   for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
@@ -356,6 +383,8 @@ bool DecodeSearchResponse(PayloadReader& reader,
     result.name = reader.String();
     results->push_back(std::move(result));
   }
+  *flags = 0;
+  if (reader.ok() && !reader.AtEnd()) *flags = reader.U8();
   return reader.Finished();
 }
 

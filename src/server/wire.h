@@ -39,8 +39,12 @@ inline constexpr std::uint32_t kMagic = 0x4B53504E;
 /// appended epoch fields to HEALTH / FETCH_OPLOG / mutation bodies and
 /// the PROMOTE opcode + STALE_EPOCH status (decoders tolerate the short
 /// pre-epoch bodies). Frames from versions 1 and 2 are still accepted
-/// and answered with same-version bodies.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// and answered with same-version bodies. Version 4 added the overload
+/// signals: OVERLOADED error bodies may carry a trailing u32
+/// retry-after hint (tolerant trailer, any version), and v4+ search
+/// responses append a trailing flags byte (kSearchFlagDegraded) that
+/// pre-v4 decoders would reject — hence the bump.
+inline constexpr std::uint8_t kProtocolVersion = 4;
 /// Oldest version a server still speaks.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
@@ -407,11 +411,34 @@ bool DecodePromoteRequest(std::span<const std::uint8_t> payload,
 /// the status byte; Decode* expect the status byte already consumed.
 std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
                                               std::string_view message);
+/// Error body with a trailing u32 retry-after hint in milliseconds (v4,
+/// "Overload control & degradation"). The trailer is tolerant: decoders
+/// that stop after the message string keep working, and
+/// ParseReplyEnvelope-style decoders read it when present. Carried on
+/// OVERLOADED replies; 0 suppresses the trailer.
+std::vector<std::uint8_t> EncodeErrorResponse(StatusCode status,
+                                              std::string_view message,
+                                              std::uint32_t retry_after_ms);
 std::vector<std::uint8_t> EncodeOkResponse();  // Status byte only.
+
+/// Search-response flags byte (v4+ trailing field).
+inline constexpr std::uint8_t kSearchFlagDegraded = 0x01;
+
 std::vector<std::uint8_t> EncodeSearchResponse(
     std::span<const WireResult> results);
+/// v4-aware encoder: appends the flags byte only when the request's
+/// `version` is >= 4 — pre-v4 decoders reject trailing bytes, so the
+/// trailer must be version-gated (unlike the error-body hint above).
+std::vector<std::uint8_t> EncodeSearchResponse(
+    std::span<const WireResult> results, std::uint8_t flags,
+    std::uint8_t version);
 bool DecodeSearchResponse(PayloadReader& reader,
                           std::vector<WireResult>* results);
+/// Tolerant v4 decoder: `*flags` receives the trailing flags byte when
+/// present, 0 on a pre-v4 body.
+bool DecodeSearchResponse(PayloadReader& reader,
+                          std::vector<WireResult>* results,
+                          std::uint8_t* flags);
 std::vector<std::uint8_t> EncodeObjectIdResponse(ObjectId id);
 /// kSnapshot / kReload kOk body: u64 snapshot sequence + file path.
 std::vector<std::uint8_t> EncodeSnapshotResponse(std::uint64_t sequence,

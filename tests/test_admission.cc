@@ -1,0 +1,229 @@
+// Unit tests for the deadline-aware admission scheduler
+// (server/admission_queue.h): capacity + adaptive-limit bounds, EDF
+// dequeue ordering, enqueue-time expiry rejection, the CoDel sojourn
+// verdict, close/drain semantics, and concurrent producers/consumers.
+// The queue takes `now` and deadlines as parameters, so every scheduling
+// decision here is deterministic — no sleeps except where a real
+// sojourn must accrue.
+#include "server/admission_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kspin::server {
+namespace {
+
+using Clock = AdmissionQueue<int>::Clock;
+using std::chrono::milliseconds;
+
+TEST(AdmissionQueueTest, CapacityBoundIsHard) {
+  AdmissionQueue<int> queue(2);
+  const Clock::time_point now = Clock::now();
+  EXPECT_EQ(queue.TryPush(1, {}, now), AdmissionResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(2, {}, now), AdmissionResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(3, {}, now), AdmissionResult::kQueueFull);
+  EXPECT_EQ(queue.Size(), 2u);
+}
+
+TEST(AdmissionQueueTest, ZeroCapacityAdmitsNothing) {
+  AdmissionQueue<int> queue(0);
+  EXPECT_EQ(queue.TryPush(1, {}, Clock::now()),
+            AdmissionResult::kQueueFull);
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(AdmissionQueueTest, ExpiredDeadlineRejectedAtEnqueue) {
+  AdmissionQueue<int> queue(8);
+  const Clock::time_point now = Clock::now();
+  // Already past and exactly-now deadlines are both doomed work.
+  EXPECT_EQ(queue.TryPush(1, now - milliseconds(1), now),
+            AdmissionResult::kExpired);
+  EXPECT_EQ(queue.TryPush(2, now, now), AdmissionResult::kExpired);
+  EXPECT_EQ(queue.Size(), 0u);
+  // A future deadline is admitted.
+  EXPECT_EQ(queue.TryPush(3, now + milliseconds(50), now),
+            AdmissionResult::kAdmitted);
+  EXPECT_EQ(queue.Size(), 1u);
+}
+
+TEST(AdmissionQueueTest, DequeueIsEarliestDeadlineFirst) {
+  AdmissionQueue<int> queue(8);
+  const Clock::time_point now = Clock::now();
+  // Admit out of deadline order; no-deadline items (0ms) sort last.
+  ASSERT_EQ(queue.TryPush(30, now + milliseconds(30), now),
+            AdmissionResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(99, {}, now), AdmissionResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(10, now + milliseconds(10), now),
+            AdmissionResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(20, now + milliseconds(20), now),
+            AdmissionResult::kAdmitted);
+  EXPECT_EQ(queue.Pop()->item, 10);
+  EXPECT_EQ(queue.Pop()->item, 20);
+  EXPECT_EQ(queue.Pop()->item, 30);
+  EXPECT_EQ(queue.Pop()->item, 99);
+}
+
+TEST(AdmissionQueueTest, EqualDeadlinesAndNoDeadlinesStayFifo) {
+  AdmissionQueue<int> queue(8);
+  const Clock::time_point now = Clock::now();
+  const Clock::time_point deadline = now + milliseconds(10);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.TryPush(int(i), deadline, now),
+              AdmissionResult::kAdmitted);
+  }
+  for (int i = 10; i < 13; ++i) {
+    ASSERT_EQ(queue.TryPush(int(i), {}, now), AdmissionResult::kAdmitted);
+  }
+  // Same deadline: admission order. Then the no-deadline FIFO tail.
+  for (int expected : {0, 1, 2, 10, 11, 12}) {
+    EXPECT_EQ(queue.Pop()->item, expected);
+  }
+}
+
+TEST(AdmissionQueueTest, AdaptiveLimitRejectsBeforeCapacity) {
+  AdmissionQueue<int> queue(8);
+  const Clock::time_point now = Clock::now();
+  queue.SetLimit(2);
+  EXPECT_EQ(queue.Limit(), 2u);
+  EXPECT_EQ(queue.TryPush(1, {}, now), AdmissionResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(2, {}, now), AdmissionResult::kAdmitted);
+  // Below capacity (8) but over the soft limit: kLimited, not kQueueFull.
+  EXPECT_EQ(queue.TryPush(3, {}, now), AdmissionResult::kLimited);
+  // Raising the limit re-opens admission without touching queued items.
+  queue.SetLimit(3);
+  EXPECT_EQ(queue.TryPush(3, {}, now), AdmissionResult::kAdmitted);
+  // The limit clamps into [1, capacity].
+  queue.SetLimit(0);
+  EXPECT_EQ(queue.Limit(), 1u);
+  queue.SetLimit(100);
+  EXPECT_EQ(queue.Limit(), 8u);
+}
+
+TEST(AdmissionQueueTest, CodelShedsOverstayedItemsWhenCongested) {
+  // Target 1 ms, congestion interval 10 ms: after the queue has stayed
+  // non-empty for 10 ms, any item that waited > 1 ms pops shed.
+  AdmissionQueue<int> queue(8, milliseconds(1), milliseconds(10));
+  ASSERT_EQ(queue.TryPush(1, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(2, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  std::this_thread::sleep_for(milliseconds(20));
+  const auto first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->shed);
+  EXPECT_GE(first->sojourn, std::chrono::microseconds(10000));
+  const auto second = queue.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->shed);
+}
+
+TEST(AdmissionQueueTest, CodelToleratesSojournWhileUncongested) {
+  // Same target, but the queue empties between pushes: the tolerated
+  // sojourn stays at the (long) interval, so nothing sheds.
+  AdmissionQueue<int> queue(8, milliseconds(1), milliseconds(1000));
+  ASSERT_EQ(queue.TryPush(1, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  std::this_thread::sleep_for(milliseconds(20));
+  const auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_FALSE(popped->shed);
+}
+
+TEST(AdmissionQueueTest, CodelOffByDefault) {
+  AdmissionQueue<int> queue(8);
+  ASSERT_EQ(queue.TryPush(1, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_FALSE(queue.Pop()->shed);
+}
+
+TEST(AdmissionQueueTest, SojournIsMeasured) {
+  AdmissionQueue<int> queue(4);
+  ASSERT_EQ(queue.TryPush(1, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  std::this_thread::sleep_for(milliseconds(5));
+  const auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_GE(popped->sojourn, std::chrono::microseconds(4000));
+}
+
+TEST(AdmissionQueueTest, CloseDrainsPendingThenReturnsNullopt) {
+  AdmissionQueue<int> queue(4);
+  const Clock::time_point now = Clock::now();
+  ASSERT_EQ(queue.TryPush(1, {}, now), AdmissionResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(2, {}, now), AdmissionResult::kAdmitted);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(3, {}, now), AdmissionResult::kClosed);
+  EXPECT_EQ(queue.Pop()->item, 1);
+  EXPECT_EQ(queue.Pop()->item, 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, PopBlocksUntilPush) {
+  AdmissionQueue<int> queue(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto popped = queue.Pop();
+    if (popped.has_value() && popped->item == 42) got = true;
+  });
+  std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_FALSE(got.load());
+  EXPECT_EQ(queue.TryPush(42, {}, Clock::now()),
+            AdmissionResult::kAdmitted);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(AdmissionQueueTest, ConcurrentProducersConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  AdmissionQueue<int> queue(64);
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto popped = queue.Pop()) {
+        popped_sum += popped->item;
+        ++popped_count;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<long long> admitted_sum{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        if (queue.TryPush(int(item), {}, Clock::now()) ==
+            AdmissionResult::kAdmitted) {
+          ++admitted;
+          admitted_sum += item;
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  // Every admitted item was delivered exactly once, rejects were never
+  // queued, and nothing was invented.
+  EXPECT_EQ(popped_count.load(), admitted.load());
+  EXPECT_EQ(popped_sum.load(), admitted_sum.load());
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace kspin::server

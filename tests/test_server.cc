@@ -24,6 +24,7 @@
 
 #include "routing/contraction_hierarchy.h"
 #include "server/client.h"
+#include "server/failover.h"
 #include "server/retry.h"
 #include "service/poi_service.h"
 #include "service/synthetic_catalog.h"
@@ -769,7 +770,7 @@ TEST_F(ServerTest, StatsCarryEngineCountersAndHistograms) {
             stats.Value("engine_results_returned"));
 
   // Protocol v2: raw histogram buckets ride along with the pairs.
-  ASSERT_EQ(stats.histograms.size(), 2u);
+  ASSERT_EQ(stats.histograms.size(), 3u);
   EXPECT_EQ(stats.histograms[0].name, "query_latency_us");
   EXPECT_EQ(stats.histograms[0].count, 2u);
   std::uint64_t total = 0;
@@ -777,6 +778,9 @@ TEST_F(ServerTest, StatsCarryEngineCountersAndHistograms) {
   EXPECT_EQ(total, stats.histograms[0].count);
   EXPECT_EQ(stats.histograms[1].name, "update_latency_us");
   EXPECT_EQ(stats.histograms[1].count, 0u);
+  // Queue sojourn histogram: one entry per admitted request.
+  EXPECT_EQ(stats.histograms[2].name, "admission_sojourn_us");
+  EXPECT_EQ(stats.histograms[2].count, 2u);
   // The flat summary keys derive from the same snapshot.
   EXPECT_EQ(stats.Value("query_latency_count"), 2u);
 }
@@ -897,6 +901,186 @@ TEST_F(ServerTest, TraceFileRecordsExecutedSearches) {
   EXPECT_NE(lines[0].find("\"distance_computations\":"), std::string::npos);
   EXPECT_NE(lines[1].find("\"opcode\":\"search_ranked\""),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Overload control and graceful degradation (docs/protocol.md "Overload
+// control & degradation"): admission-time expiry, per-client rate limits,
+// the RETRY_AFTER hint, brownout, and failover around shedding nodes.
+
+TEST_F(ServerTest, ExpiredDeadlineRejectedAtAdmission) {
+  ServerOptions options;
+  options.test_admission_delay_ms = 30;  // Deadline passes pre-admission.
+  StartServer(options);
+  Client client = Connect();
+
+  const auto reply = client.Search("kw0", 3, 5, false, /*deadline_ms=*/1);
+  EXPECT_EQ(reply.status, StatusCode::kDeadlineExceeded);
+
+  // Refused at the door: counted as a deadline rejection, not an
+  // overload shed, and never as a dequeue-time drop.
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.Value("requests_deadline_rejected"), 1u);
+  EXPECT_EQ(stats.Value("requests_deadline_dropped"), 0u);
+  EXPECT_EQ(stats.Value("requests_overloaded"), 0u);
+}
+
+TEST_F(ServerTest, PerClientRateLimitShedsOnlyTheNoisyConnection) {
+  ServerOptions options;
+  options.overload.per_client_qps = 1.0;
+  options.overload.per_client_burst = 2.0;
+  options.overload.retry_after_ms = 321;
+  StartServer(options);
+  Client noisy = Connect();
+
+  // The bucket starts with `burst` tokens; the burst beyond that is
+  // shed inline with the configured RETRY_AFTER hint.
+  int ok = 0, limited = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto reply = noisy.Search("kw0", 3, 5);
+    if (reply.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply.status, StatusCode::kOverloaded);
+      EXPECT_EQ(reply.error, "rate limited");
+      EXPECT_EQ(reply.retry_after_ms, 321u);
+      ++limited;
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(limited, 6);
+
+  // The limit is per connection: a fresh client has its own bucket.
+  Client quiet = Connect();
+  EXPECT_TRUE(quiet.Search("kw0", 3, 5).ok());
+
+  const auto stats = quiet.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.Value("requests_rate_limited"), 6u);
+  EXPECT_EQ(stats.Value("requests_overloaded"), 0u);
+}
+
+TEST_F(ServerTest, RetryingClientHonorsRetryAfterHint) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // Every search shed at admission.
+  options.overload.retry_after_ms = 777;
+  StartServer(options);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingClient client("127.0.0.1", server_->Port(), policy);
+  std::vector<std::uint32_t> sleeps;
+  client.SetSleepFunction([&](std::uint32_t ms) { sleeps.push_back(ms); });
+
+  const auto reply = client.Search("kw0", 40, 5);
+  EXPECT_EQ(reply.status, StatusCode::kOverloaded);
+  EXPECT_EQ(reply.retry_after_ms, 777u);
+  // The hint (777 ms) dominates the jittered backoff (<= 100 ms here),
+  // so every inter-attempt sleep is exactly the server's ask.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 777u);
+  EXPECT_EQ(sleeps[1], 777u);
+}
+
+TEST_F(ServerTest, BrownoutDegradesSearchesAndRecordsEpisode) {
+  ServerOptions options;
+  options.overload.latency_slo_ms = 1;     // Violated by every query:
+  options.test_dequeue_delay_ms = 5;       // end-to-end latency >= 5 ms.
+  options.overload.tick_interval_ms = 10;
+  options.overload.brownout_enter_ticks = 1;
+  options.overload.brownout_exit_ticks = 1000;  // Stay browned out.
+  options.overload.brownout_max_k = 2;
+  StartServer(options);
+  Client client = Connect();
+
+  // Keep slow queries flowing until a controller tick observes the SLO
+  // violation and flips brownout on; replies then carry DEGRADED.
+  Client::SearchReply degraded;
+  ASSERT_TRUE(WaitFor([&] {
+    degraded = client.Search("kw0 or kw1", 10, 5);
+    return degraded.ok() && degraded.degraded;
+  }));
+  // Brownout clamps k to brownout_max_k.
+  EXPECT_LE(degraded.results.size(), 2u);
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.Value("brownout_entries"), 1u);
+  EXPECT_GE(stats.Value("requests_degraded"), 1u);
+  EXPECT_EQ(stats.Value("overload_state"), 2u);  // 2 = brownout.
+  // The AIMD limiter has been decreasing through the violating ticks.
+  EXPECT_LT(stats.Value("admission_limit"), options.queue_capacity);
+}
+
+TEST_F(ServerTest, HealthySearchesAreNotDegraded) {
+  ServerOptions options;
+  options.overload.latency_slo_ms = 1000;  // Never violated.
+  StartServer(options);
+  Client client = Connect();
+  const auto reply = client.Search("kw0", 10, 5);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.degraded);
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.Value("overload_state"), 0u);
+  EXPECT_EQ(stats.Value("brownout_entries"), 0u);
+}
+
+TEST_F(ServerTest, FailoverClientRoutesReadsAroundSheddingNode) {
+  // Endpoint 0 sheds every search at admission; endpoint 1 is healthy.
+  ServerOptions shedding;
+  shedding.queue_capacity = 0;
+  shedding.overload.retry_after_ms = 99;
+  StartServer(shedding);
+
+  PoiService healthy_service(graph_, oracle_);
+  SyntheticCatalogOptions catalog;
+  catalog.num_pois = 150;
+  catalog.num_keywords = 20;
+  PopulateSyntheticCatalog(healthy_service, graph_, catalog);
+  Server healthy(healthy_service);
+  healthy.Start();
+
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // Isolate failover from per-endpoint retries.
+  FailoverClient client({{"127.0.0.1", server_->Port()},
+                         {"127.0.0.1", healthy.Port()}},
+                        policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+
+  // Reads re-route around the shed to the healthy endpoint; the shed
+  // itself reached endpoint 0 (its counter moved).
+  const auto first = client.Search("kw0", 10, 5);
+  EXPECT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(client.LastEndpoint(), 1u);
+  EXPECT_GE(server_->Metrics().requests_overloaded.load(), 1u);
+
+  // Reads now stick to the endpoint that served (no shed round-trip per
+  // read) — but the shedding node was never marked unhealthy: when the
+  // sticky endpoint dies, endpoint 0 is tried again and its in-band shed
+  // reply surfaces instead of a transport error.
+  healthy.Stop();
+  const auto after = client.Search("kw0", 10, 5);
+  EXPECT_EQ(after.status, StatusCode::kOverloaded);
+  EXPECT_EQ(after.retry_after_ms, 99u);
+}
+
+TEST_F(ServerTest, FailoverClientSurfacesOverloadWhenAllEndpointsShed) {
+  ServerOptions options;
+  options.queue_capacity = 0;
+  options.overload.retry_after_ms = 444;
+  StartServer(options);
+
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  FailoverClient client({{"127.0.0.1", server_->Port()}}, policy);
+  client.SetSleepFunction([](std::uint32_t) {});
+
+  // No endpoint could serve: the shed reply (with its RETRY_AFTER hint)
+  // surfaces instead of a transport error.
+  const auto reply = client.Search("kw0", 10, 5);
+  EXPECT_EQ(reply.status, StatusCode::kOverloaded);
+  EXPECT_EQ(reply.retry_after_ms, 444u);
 }
 
 TEST_F(ServerTest, SlowQueryThresholdCountsSlowSearches) {

@@ -291,6 +291,59 @@ TEST(BodyCodecTest, ErrorResponseCarriesStatusAndMessage) {
   EXPECT_TRUE(reader.Finished());
 }
 
+TEST(BodyCodecTest, ErrorResponseAppendsRetryAfterTrailerOnlyWhenSet) {
+  // retry_after 0 must encode byte-identically to the 2-arg form so old
+  // decoders (which read status + message and stop) see nothing new.
+  EXPECT_EQ(EncodeErrorResponse(StatusCode::kOverloaded, "shed", 0),
+            EncodeErrorResponse(StatusCode::kOverloaded, "shed"));
+
+  const auto bytes =
+      EncodeErrorResponse(StatusCode::kOverloaded, "shed", 250);
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOverloaded);
+  EXPECT_EQ(reader.String(), "shed");
+  EXPECT_EQ(reader.U32(), 250u);
+  EXPECT_TRUE(reader.Finished());
+}
+
+TEST(BodyCodecTest, SearchResponseFlagsAreVersionGated) {
+  std::vector<WireResult> results(1);
+  results[0] = {5, 120, 0.25, "poi5"};
+
+  // v3 request: no flags byte, even when degraded — a v3 decoder would
+  // reject the trailing byte.
+  const auto v3 = EncodeSearchResponse(results, kSearchFlagDegraded, 3);
+  EXPECT_EQ(v3, EncodeSearchResponse(results));
+
+  // v4 request: one flags byte trails the result list.
+  const auto v4 = EncodeSearchResponse(results, kSearchFlagDegraded, 4);
+  ASSERT_EQ(v4.size(), v3.size() + 1);
+  EXPECT_EQ(v4.back(), kSearchFlagDegraded);
+}
+
+TEST(BodyCodecTest, SearchResponseFlagsRoundTrip) {
+  std::vector<WireResult> results(1);
+  results[0] = {9, 480, 17.5, "poi9"};
+  const auto bytes = EncodeSearchResponse(results, kSearchFlagDegraded, 4);
+
+  PayloadReader reader(bytes);
+  EXPECT_EQ(static_cast<StatusCode>(reader.U8()), StatusCode::kOk);
+  std::vector<WireResult> decoded;
+  std::uint8_t flags = 0xff;
+  ASSERT_TRUE(DecodeSearchResponse(reader, &decoded, &flags));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].object, 9u);
+  EXPECT_EQ(flags, kSearchFlagDegraded);
+
+  // A flag-less (pre-v4) body decodes with flags 0.
+  const auto legacy = EncodeSearchResponse(results);
+  PayloadReader legacy_reader(legacy);
+  EXPECT_EQ(static_cast<StatusCode>(legacy_reader.U8()), StatusCode::kOk);
+  flags = 0xff;
+  ASSERT_TRUE(DecodeSearchResponse(legacy_reader, &decoded, &flags));
+  EXPECT_EQ(flags, 0u);
+}
+
 TEST(BodyCodecTest, StatsResponseRoundTrip) {
   const std::vector<std::pair<std::string, std::uint64_t>> stats = {
       {"requests_ok", 12}, {"queue_depth", 0}, {"query_latency_p99_us", 512}};

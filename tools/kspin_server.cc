@@ -10,6 +10,21 @@
 //                [--role=primary|replica] [--primary=HOST:PORT]
 //                [--replica-poll-ms=T]
 //                [--trace=FILE] [--slow-query-ms=T]
+//                [--slo-ms=T] [--overload-tick-ms=T] [--min-limit=N]
+//                [--codel-target-ms=T] [--brownout-enter-ticks=N]
+//                [--brownout-exit-ticks=N] [--brownout-max-k=K]
+//                [--per-client-qps=Q] [--retry-after-ms=T]
+//                [--service-floor-ms=T]
+//
+// Overload control (docs/protocol.md "Overload control & degradation"):
+// --slo-ms engages the AIMD admission limiter and brownout against the
+// given query p99 objective; --codel-target-ms sheds requests that
+// overstayed the sojourn target in a congested queue; --per-client-qps
+// rate-limits each connection; --retry-after-ms pins the RETRY_AFTER
+// hint carried on OVERLOADED replies (0 = adaptive). --service-floor-ms
+// pins a minimum per-request service time so drills and smoke tests can
+// saturate a toy world with a handful of clients — do not set it in
+// production.
 //
 // Observability (docs/observability.md): --trace=FILE appends one JSON
 // line per executed search (query fingerprint, stage timings, engine
@@ -91,6 +106,8 @@ struct Args {
   std::uint32_t replica_poll_ms = 1000;
   std::string trace_path;
   std::uint32_t slow_query_ms = 0;
+  std::uint32_t service_floor_ms = 0;
+  server::OverloadOptions overload;
   bool bad = false;
 };
 
@@ -146,6 +163,33 @@ Args Parse(int argc, char** argv) {
       args.trace_path = *v;
     } else if (auto v = value("slow-query-ms")) {
       args.slow_query_ms = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("slo-ms")) {
+      args.overload.latency_slo_ms = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("overload-tick-ms")) {
+      args.overload.tick_interval_ms = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("min-limit")) {
+      args.overload.min_limit = std::stoul(*v);
+    } else if (auto v = value("codel-target-ms")) {
+      args.overload.codel_target_ms = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("brownout-enter-ticks")) {
+      args.overload.brownout_enter_ticks = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("brownout-exit-ticks")) {
+      args.overload.brownout_exit_ticks = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("brownout-max-k")) {
+      args.overload.brownout_max_k = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("per-client-qps")) {
+      args.overload.per_client_qps = std::stod(*v);
+    } else if (auto v = value("retry-after-ms")) {
+      args.overload.retry_after_ms = static_cast<std::uint32_t>(
+          std::stoul(*v));
+    } else if (auto v = value("service-floor-ms")) {
+      args.service_floor_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else {
       args.bad = true;
     }
@@ -315,6 +359,8 @@ int Main(int argc, char** argv) {
   options.idempotency_cache_size = args.idempotency_cache;
   options.trace_path = args.trace_path;
   options.slow_query_threshold_ms = args.slow_query_ms;
+  options.test_dequeue_delay_ms = args.service_floor_ms;
+  options.overload = args.overload;
   if (is_replica) {
     options.replication.role = server::ServerRole::kReplica;
     options.replication.primary = *primary;

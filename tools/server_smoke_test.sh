@@ -14,8 +14,12 @@
 # a seeded fault plan partitions the primary, the replica is promoted
 # behind the cut, the stale primary is fenced (STALE_EPOCH), a failover
 # client re-routes on its own, and the ex-primary rejoins by
-# quarantining its divergent op-log tail. Exercises the real binaries
-# over real TCP — the piece unit tests cannot cover.
+# quarantining its divergent op-log tail. The last drill is overload:
+# a deliberately under-provisioned server is saturated by the load
+# harness until it sheds with OVERLOADED and browns out, then must
+# stand down (overload_state back to 0) on its own once the load stops.
+# Exercises the real binaries over real TCP — the piece unit tests
+# cannot cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -25,6 +29,7 @@ SERVER="$BUILD_DIR/tools/kspin_server"
 CLIENT="$BUILD_DIR/tools/kspin_client"
 KCLI="$BUILD_DIR/tools/kspin_cli"
 PROXY="$BUILD_DIR/tools/chaos_proxy"
+LOADGEN="$BUILD_DIR/tools/load_harness"
 LOG="$(mktemp)"
 RLOG="$(mktemp)"
 PXLOG="$(mktemp)"
@@ -39,7 +44,7 @@ FOPRI_OPLOG="$(mktemp -d)"
 FOREP_SNAP="$(mktemp -d)"
 FOREP_OPLOG="$(mktemp -d)"
 
-for bin in "$SERVER" "$CLIENT" "$KCLI" "$PROXY"; do
+for bin in "$SERVER" "$CLIENT" "$KCLI" "$PROXY" "$LOADGEN"; do
   if [[ ! -x "$bin" ]]; then
     echo "smoke: missing binary $bin" >&2
     exit 1
@@ -612,4 +617,78 @@ kill -TERM "$PROXY_PID" 2>/dev/null || true
 wait "$PROXY_PID" 2>/dev/null || true
 PROXY_PID=""
 echo "smoke: failover drill complete"
+
+# ---- overload / brownout drill --------------------------------------
+# Saturate a deliberately tiny server: 2 workers with a 2 ms service
+# floor cap capacity at ~1000 qps, and a full 32-slot queue means ~32 ms
+# of sojourn — well past the 15 ms SLO. 48 closed-loop connections keep
+# it pinned there, so the AIMD limiter must clamp, the excess must shed
+# with OVERLOADED, and brownout must engage. Once the load stops, the
+# controller has to stand down without intervention.
+
+start_server --workers=2 --queue=32 --service-floor-ms=2 \
+  --slo-ms=15 --overload-tick-ms=20 --codel-target-ms=5 \
+  --brownout-enter-ticks=2 --brownout-exit-ticks=3 --retry-after-ms=120
+echo "smoke: overload server up on port $PORT"
+
+# The burst goes through chaos_proxy (transparent but for a 1 ms relay
+# delay), so shed-fast replies prove themselves over a real extra hop;
+# stats polling talks to the server directly, the way a dashboard would.
+: >"$PXLOG"; : >"$PXERR"
+"$PROXY" --target=127.0.0.1:"$PORT" --seed=13 --delay-ms=1 \
+  >"$PXLOG" 2>"$PXERR" &
+PROXY_PID=$!
+PXPORT=""
+for _ in $(seq 1 100); do
+  PXPORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$PXLOG")"
+  [[ -n "$PXPORT" ]] && break
+  kill -0 "$PROXY_PID" 2>/dev/null || { echo "smoke: overload proxy died at startup" >&2; cat "$PXERR" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PXPORT" ]] || { echo "smoke: overload proxy never reported its port" >&2; exit 1; }
+
+"$LOADGEN" --port="$PXPORT" --threads=48 --seconds=2 --vertices=400 \
+  --deadline-ms=500 \
+  || { echo "smoke: load harness failed" >&2; cat "$LOG" >&2; exit 1; }
+
+OSTATS="$("$CLIENT" --port="$PORT" stats)"
+OVL_OK="$(awk -F'\t' '$1 == "requests_ok" { print $2 }' <<<"$OSTATS")"
+# Any shed cause counts: hard queue-full, AIMD limit, CoDel sojourn, or
+# rate limit — which one fires first depends on arrival timing.
+OVL_SHED="$(awk -F'\t' '$1 == "requests_overloaded" || $1 == "requests_admission_limited" || $1 == "requests_codel_shed" || $1 == "requests_rate_limited" { total += $2 } END { print total + 0 }' <<<"$OSTATS")"
+OVL_ENTRIES="$(awk -F'\t' '$1 == "brownout_entries" { print $2 }' <<<"$OSTATS")"
+[[ -n "$OVL_OK" && "$OVL_OK" -ge 1 ]] \
+  || { echo "smoke: nothing served under overload (requests_ok=$OVL_OK)" >&2; exit 1; }
+[[ -n "$OVL_SHED" && "$OVL_SHED" -ge 1 ]] \
+  || { echo "smoke: nothing shed under overload (requests_overloaded=$OVL_SHED)" >&2; cat "$LOG" >&2; exit 1; }
+[[ -n "$OVL_ENTRIES" && "$OVL_ENTRIES" -ge 1 ]] \
+  || { echo "smoke: brownout never engaged (brownout_entries=$OVL_ENTRIES)" >&2; cat "$LOG" >&2; exit 1; }
+echo "smoke: overload served $OVL_OK, shed $OVL_SHED, brownout_entries=$OVL_ENTRIES"
+
+# Recovery: with the load gone the limiter re-opens and brownout exits.
+# Each stats poll wakes the I/O loop, so ticks keep firing while idle.
+OVL_STATE=""
+for _ in $(seq 1 100); do
+  OVL_STATE="$("$CLIENT" --port="$PORT" stats | awk -F'\t' '$1 == "overload_state" { print $2 }')"
+  [[ "$OVL_STATE" == "0" ]] && break
+  sleep 0.1
+done
+[[ "$OVL_STATE" == "0" ]] \
+  || { echo "smoke: overload_state=$OVL_STATE never recovered to 0" >&2; cat "$LOG" >&2; exit 1; }
+"$CLIENT" --port="$PORT" search 5 3 "kw0 or kw1" >/dev/null
+OVL_SECS="$("$CLIENT" --port="$PORT" stats | awk -F'\t' '$1 == "brownout_seconds" { print $2 }')"
+echo "smoke: overload recovered (overload_state=0, brownout_seconds=${OVL_SECS:-0})"
+
+kill -TERM "$PROXY_PID" 2>/dev/null || true
+wait "$PROXY_PID" 2>/dev/null || true
+PROXY_PID=""
+kill -INT "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && { echo "smoke: overload server ignored SIGINT" >&2; exit 1; }
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "smoke: overload drill complete"
 echo "smoke: PASS"
