@@ -39,7 +39,8 @@ Client::~Client() { Close(); }
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       next_request_id_(other.next_request_id_),
-      fence_epoch_(other.fence_epoch_) {
+      fence_epoch_(other.fence_epoch_),
+      trace_(other.trace_) {
   other.fd_ = -1;
 }
 
@@ -49,6 +50,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = other.fd_;
     next_request_id_ = other.next_request_id_;
     fence_epoch_ = other.fence_epoch_;
+    trace_ = other.trace_;
     other.fd_ = -1;
   }
   return *this;
@@ -132,7 +134,16 @@ std::vector<std::uint8_t> Client::RoundTrip(
   header.opcode = opcode;
   header.request_id = next_request_id_++;
   header.deadline_ms = deadline_ms;
-  WriteAll(EncodeFrame(header, payload));
+  if (trace_.valid()) {
+    // v5 trace trailer: appended after the body, flagged in the header;
+    // the server strips it before the opcode decoder runs.
+    header.flags |= kFrameFlagTraceContext;
+    std::vector<std::uint8_t> traced(payload.begin(), payload.end());
+    AppendTraceTrailer(&traced, trace_);
+    WriteAll(EncodeFrame(header, traced));
+  } else {
+    WriteAll(EncodeFrame(header, payload));
+  }
 
   std::uint8_t raw_header[kHeaderSize];
   ReadExactly(raw_header, kHeaderSize);
@@ -196,6 +207,17 @@ Client::MetricsReply Client::Metrics() {
   ParseReplyEnvelope(reader, &reply);
   if (reply.ok() && !DecodeMetricsResponse(reader, &reply.text)) {
     throw ClientError("malformed metrics response");
+  }
+  return reply;
+}
+
+Client::MetricsReply Client::DumpDiag() {
+  const auto body = RoundTrip(Opcode::kDumpDiag, {});
+  PayloadReader reader(body);
+  MetricsReply reply;
+  ParseReplyEnvelope(reader, &reply);
+  if (reply.ok() && !DecodeDiagResponse(reader, &reply.text)) {
+    throw ClientError("malformed diag response");
   }
   return reply;
 }

@@ -177,6 +177,17 @@ class Client {
   void SetFenceEpoch(std::uint64_t epoch) { fence_epoch_ = epoch; }
   std::uint64_t FenceEpoch() const { return fence_epoch_; }
 
+  /// Trace context stamped onto every subsequent request (v5 trace
+  /// trailer + kFrameFlagTraceContext). A default (trace_id 0) context
+  /// clears stamping. RetryingClient reuses this Client across attempts,
+  /// so one SetTraceContext covers every retry of an operation.
+  void SetTraceContext(const TraceContext& context) { trace_ = context; }
+  const TraceContext& GetTraceContext() const { return trace_; }
+
+  /// Flight-recorder dump (DUMP_DIAG opcode, v5+) — answered inline by
+  /// the I/O thread, so it works on a saturated server.
+  MetricsReply DumpDiag();
+
   /// Asks the server to write a snapshot now (SNAPSHOT opcode). On kOk
   /// the reply carries the new snapshot's sequence number and path.
   SnapshotReply Snapshot();
@@ -197,6 +208,7 @@ class Client {
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t fence_epoch_ = 0;
+  TraceContext trace_;
 };
 
 }  // namespace kspin::server

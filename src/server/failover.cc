@@ -20,6 +20,9 @@ FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
                    std::chrono::steady_clock::now().time_since_epoch()
                        .count()) ^
                reinterpret_cast<std::uintptr_t>(this);
+  // Independent stream for trace ids (same uniqueness bar: distinct
+  // within the window an operator would grep diag dumps over).
+  trace_state_ = key_state_ * 0x9e3779b97f4a7c15ull + 1;
   clients_.reserve(endpoints_.size());
   for (const Endpoint& endpoint : endpoints_) {
     clients_.push_back(std::make_unique<RetryingClient>(
@@ -38,6 +41,19 @@ void FailoverClient::ObserveEpoch(std::uint64_t epoch) {
   if (epoch <= fence_epoch_) return;
   fence_epoch_ = epoch;
   for (const auto& client : clients_) client->SetFenceEpoch(epoch);
+}
+
+void FailoverClient::BeginTrace() {
+  // xorshift64; skip 0 (0 means "no trace" on the wire).
+  do {
+    trace_state_ ^= trace_state_ << 13;
+    trace_state_ ^= trace_state_ >> 7;
+    trace_state_ ^= trace_state_ << 17;
+  } while (trace_state_ == 0);
+  trace_.trace_id = trace_state_;
+  trace_.parent_span_id = 0;
+  trace_.flags = kTraceFlagSampled;
+  for (const auto& client : clients_) client->SetTraceContext(trace_);
 }
 
 void FailoverClient::ProbeRoles() {
@@ -92,6 +108,9 @@ std::size_t FailoverClient::FindOrAddEndpoint(const Endpoint& endpoint) {
       endpoint.host, endpoint.port, policy_));
   if (sleep_) clients_.back()->SetSleepFunction(sleep_);
   clients_.back()->SetFenceEpoch(fence_epoch_);
+  // Redirect targets inherit the in-flight operation's trace context so
+  // the hop shows up under the same trace_id on the new primary.
+  clients_.back()->SetTraceContext(trace_);
   return endpoints_.size() - 1;
 }
 

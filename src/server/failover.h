@@ -62,6 +62,12 @@ class FailoverClient {
   /// persisted by a previous process); only ever raises it.
   void SetFenceEpoch(std::uint64_t epoch) { ObserveEpoch(epoch); }
 
+  /// Trace id stamped on the most recent logical operation (0 before the
+  /// first one). Every retry, endpoint failover, NOT_PRIMARY redirect,
+  /// and RETRY_AFTER hop of that operation carried this same id, so one
+  /// grep over server diag dumps reconstructs the whole journey.
+  std::uint64_t LastTraceId() const { return trace_.trace_id; }
+
   // Reads — replica-preferred, endpoint failover on transport errors.
   // Throws ClientError only when every endpoint failed.
   Client::Reply Ping();
@@ -110,6 +116,9 @@ class FailoverClient {
   /// Latches the max epoch seen and fences every per-endpoint client
   /// with it.
   void ObserveEpoch(std::uint64_t epoch);
+  /// Mints a fresh trace context for one logical operation and stamps it
+  /// onto every per-endpoint client, so the id survives failover hops.
+  void BeginTrace();
 
   template <typename Op>
   auto ExecuteRead(Op&& op) -> decltype(op(std::declval<RetryingClient&>()));
@@ -126,6 +135,8 @@ class FailoverClient {
   std::size_t last_endpoint_ = 0;
   bool probed_ = false;
   std::uint64_t key_state_ = 0;    ///< Idempotency-key xorshift state.
+  std::uint64_t trace_state_ = 0;  ///< Trace-id xorshift state.
+  TraceContext trace_;             ///< Context of the current operation.
   std::uint64_t fence_epoch_ = 0;  ///< Max primary epoch ever observed.
   std::uint32_t probe_interval_ms_ = 1000;
   std::chrono::steady_clock::time_point last_probe_{};
@@ -135,6 +146,9 @@ template <typename Op>
 auto FailoverClient::ExecuteRead(Op&& op)
     -> decltype(op(std::declval<RetryingClient&>())) {
   if (!probed_) ProbeRoles();
+  // One trace id per logical read: every endpoint tried below (and every
+  // retry inside each RetryingClient) carries the same id.
+  BeginTrace();
   // Try every endpoint once, starting from the sticky one. Each attempt
   // already carries the per-endpoint retry policy, so a ClientError here
   // means "this endpoint is down" — move on. An in-band OVERLOADED reply
@@ -174,6 +188,9 @@ auto FailoverClient::ExecuteWrite(Op&& op)
           std::chrono::milliseconds(probe_interval_ms_)) {
     ProbeRoles();
   }
+  // One trace id per logical write: NOT_PRIMARY redirects and the
+  // post-STALE_EPOCH re-probe below all ride under the same id.
+  BeginTrace();
   bool reprobed = false;
   for (std::size_t redirects = 0;; ++redirects) {
     auto reply = op(*clients_[primary_index_]);

@@ -1,13 +1,20 @@
 #include "server/metrics.h"
 
+#include <unistd.h>
+
 #include <bit>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
 
 namespace kspin::server {
 
-void LatencyHistogram::Record(std::uint64_t micros) {
+void LatencyHistogram::Record(std::uint64_t micros,
+                              std::uint64_t trace_id) {
   const std::size_t bucket =
       micros == 0
           ? 0
@@ -15,12 +22,20 @@ void LatencyHistogram::Record(std::uint64_t micros) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplar_trace_[bucket].store(trace_id, std::memory_order_relaxed);
+    exemplar_value_[bucket].store(micros, std::memory_order_relaxed);
+  }
 }
 
 HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot snap;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.exemplar_trace[i] =
+        exemplar_trace_[i].load(std::memory_order_relaxed);
+    snap.exemplar_value[i] =
+        exemplar_value_[i].load(std::memory_order_relaxed);
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum_micros = sum_micros_.load(std::memory_order_relaxed);
@@ -86,6 +101,8 @@ std::size_t ServerMetrics::OpcodeSlot(Opcode opcode) {
       return 16;
     case Opcode::kPromote:
       return 17;
+    case Opcode::kDumpDiag:
+      return 18;
   }
   return kNoSlot;
 }
@@ -189,6 +206,7 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"engine_search_ns", load(engine_search_ns)},
       {"slow_queries", load(slow_queries)},
       {"traces_emitted", load(traces_emitted)},
+      {"trace_rotations", load(trace_rotations)},
       {"queue_depth", current_queue_depth},
       {"queue_depth_peak", load(queue_depth_peak)},
       {"opcode_ping", load(requests_by_opcode[0])},
@@ -209,6 +227,7 @@ MetricsSnapshot ServerMetrics::FullSnapshot(
       {"opcode_update_doc", load(requests_by_opcode[15])},
       {"opcode_fetch_oplog", load(requests_by_opcode[16])},
       {"opcode_promote", load(requests_by_opcode[17])},
+      {"opcode_dump_diag", load(requests_by_opcode[18])},
   };
   // Replication lag: ms since the last poll that confirmed the replica in
   // sync with (or installed a snapshot from) its primary. 0 until the
@@ -263,8 +282,9 @@ bool IsGaugeMetric(const std::string& key) {
 }
 
 void AppendHistogram(std::string& out, const char* name,
-                     const HistogramSnapshot& h) {
-  char line[160];
+                     const HistogramSnapshot& h,
+                     bool with_exemplars = false) {
+  char line[240];
   std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", name);
   out += line;
   std::uint64_t cumulative = 0;
@@ -272,9 +292,19 @@ void AppendHistogram(std::string& out, const char* name,
     cumulative += h.buckets[i];
     // Empty tail buckets add nothing a dashboard needs; keep the output
     // small by only emitting buckets up to the last non-empty one...
-    std::snprintf(line, sizeof(line),
-                  "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
-                  HistogramSnapshot::BucketUpperMicros(i), cumulative);
+    if (with_exemplars && h.buckets[i] > 0 && h.exemplar_trace[i] != 0) {
+      // OpenMetrics-style exemplar: a recent sample's trace id, linking
+      // the bucket to its flight-recorder span (docs/observability.md).
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+                    " # {trace_id=\"%016" PRIx64 "\"} %" PRIu64 "\n",
+                    name, HistogramSnapshot::BucketUpperMicros(i),
+                    cumulative, h.exemplar_trace[i], h.exemplar_value[i]);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
+                    HistogramSnapshot::BucketUpperMicros(i), cumulative);
+    }
     out += line;
     if (cumulative == h.count) break;  // ...which this detects.
   }
@@ -289,12 +319,98 @@ void AppendHistogram(std::string& out, const char* name,
   out += line;
 }
 
+// Build identity, stamped by CMake (-DKSPIN_GIT_SHA=...); the fallbacks
+// keep out-of-tree builds compiling.
+#ifndef KSPIN_VERSION_STRING
+#define KSPIN_VERSION_STRING "dev"
+#endif
+#ifndef KSPIN_GIT_SHA
+#define KSPIN_GIT_SHA "unknown"
+#endif
+
+/// Resident set size in bytes from /proc/self/statm, 0 when unreadable.
+std::uint64_t ProcessRssBytes() {
+  std::ifstream in("/proc/self/statm");
+  std::uint64_t total_pages = 0, rss_pages = 0;
+  if (!(in >> total_pages >> rss_pages)) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+/// Open file descriptors counted via /proc/self/fd, 0 when unreadable.
+std::uint64_t ProcessOpenFds() {
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/fd", ec);
+  if (ec) return 0;
+  std::uint64_t count = 0;
+  for (const auto& entry : it) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+/// Seconds since this process started: system uptime (/proc/uptime)
+/// minus the process start time (/proc/self/stat field 22, in clock
+/// ticks since boot). 0 when either file is unreadable.
+std::uint64_t ProcessUptimeSeconds() {
+  double sys_uptime = 0.0;
+  {
+    std::ifstream in("/proc/uptime");
+    if (!(in >> sys_uptime)) return 0;
+  }
+  std::ifstream in("/proc/self/stat");
+  std::string stat;
+  if (!std::getline(in, stat)) return 0;
+  // The comm field (2) is parenthesized and may contain spaces; field 3
+  // starts after the LAST ')'. starttime is field 22, i.e. 20 fields on.
+  const std::size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return 0;
+  std::uint64_t starttime_ticks = 0;
+  {
+    std::istringstream rest(stat.substr(paren + 1));
+    std::string field;
+    for (int i = 3; i <= 21 && rest >> field; ++i) {
+    }
+    if (!(rest >> starttime_ticks)) return 0;
+  }
+  const long ticks = sysconf(_SC_CLK_TCK);
+  const double start_seconds =
+      static_cast<double>(starttime_ticks) /
+      static_cast<double>(ticks > 0 ? ticks : 100);
+  return sys_uptime > start_seconds
+             ? static_cast<std::uint64_t>(sys_uptime - start_seconds)
+             : 0;
+}
+
 }  // namespace
 
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   out.reserve(4096);
-  char line[160];
+  char line[240];
+  // Build identity first: dashboards join on it to correlate counter
+  // resets with restarts and deploys.
+  std::snprintf(line, sizeof(line),
+                "# TYPE kspin_build_info gauge\n"
+                "kspin_build_info{version=\"%s\",git_sha=\"%s\","
+                "protocol=\"%u\"} 1\n",
+                KSPIN_VERSION_STRING, KSPIN_GIT_SHA,
+                static_cast<unsigned>(kProtocolVersion));
+  out += line;
+  const struct {
+    const char* name;
+    std::uint64_t value;
+  } process_gauges[] = {
+      {"kspin_process_resident_memory_bytes", ProcessRssBytes()},
+      {"kspin_process_open_fds", ProcessOpenFds()},
+      {"kspin_process_uptime_seconds", ProcessUptimeSeconds()},
+  };
+  for (const auto& gauge : process_gauges) {
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %" PRIu64 "\n",
+                  gauge.name, gauge.name, gauge.value);
+    out += line;
+  }
   for (const auto& [key, value] : snapshot.counters) {
     const std::string name = "kspin_" + key;
     std::snprintf(line, sizeof(line), "# TYPE %s %s\n%s %" PRIu64 "\n",
@@ -302,7 +418,8 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
                   name.c_str(), value);
     out += line;
   }
-  AppendHistogram(out, "kspin_query_latency_us", snapshot.query_latency);
+  AppendHistogram(out, "kspin_query_latency_us", snapshot.query_latency,
+                  /*with_exemplars=*/true);
   AppendHistogram(out, "kspin_update_latency_us", snapshot.update_latency);
   AppendHistogram(out, "kspin_admission_queue_sojourn_us",
                   snapshot.admission_sojourn);

@@ -26,6 +26,13 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, kBuckets> buckets{};
   std::uint64_t count = 0;
   std::uint64_t sum_micros = 0;
+  /// Per-bucket exemplars: the trace id (0 = none) and recorded value of
+  /// a recent sample that landed in the bucket, so a p999 spike on a
+  /// dashboard links straight to a flight-recorder span. Best-effort:
+  /// the pair is written with two relaxed stores, so a torn read may mix
+  /// two samples' fields — both still name real recent samples.
+  std::array<std::uint64_t, kBuckets> exemplar_trace{};
+  std::array<std::uint64_t, kBuckets> exemplar_value{};
 
   /// Mean in microseconds (0 when empty).
   std::uint64_t MeanMicros() const;
@@ -46,7 +53,10 @@ class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
 
-  void Record(std::uint64_t micros);
+  void Record(std::uint64_t micros) { Record(micros, 0); }
+  /// Records the sample and, when `trace_id` != 0, stamps it as the
+  /// bucket's exemplar (last-writer-wins).
+  void Record(std::uint64_t micros, std::uint64_t trace_id);
 
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
@@ -67,6 +77,8 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_micros_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_trace_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_value_{};
 };
 
 /// One consistent view of all server metrics: the flat counter list (the
@@ -220,9 +232,10 @@ class ServerMetrics {
   // Tracing / slow-query log (kspin_server --trace / --slow-query-ms).
   std::atomic<std::uint64_t> slow_queries{0};
   std::atomic<std::uint64_t> traces_emitted{0};
+  std::atomic<std::uint64_t> trace_rotations{0};
 
   /// Requests by opcode (indexed via OpcodeSlot).
-  std::array<std::atomic<std::uint64_t>, 18> requests_by_opcode{};
+  std::array<std::atomic<std::uint64_t>, 19> requests_by_opcode{};
 
   /// Queue depth high-watermark (the live depth is sampled at STATS time).
   std::atomic<std::uint64_t> queue_depth_peak{0};
@@ -266,7 +279,10 @@ class ServerMetrics {
 /// Renders a snapshot as Prometheus text exposition format 0.0.4: one
 /// `kspin_`-prefixed family per counter, plus native histograms with
 /// cumulative `le` buckets for query/update latency (docs/observability.md
-/// shows a scrape).
+/// shows a scrape). Also emits `kspin_build_info` (version / git sha /
+/// protocol labels) and process gauges (RSS bytes, open fds, uptime
+/// seconds) read from /proc, and OpenMetrics-style `# {trace_id="..."}`
+/// exemplars on query-latency buckets that have one.
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
 
 }  // namespace kspin::server

@@ -97,7 +97,19 @@ Replicator::Replicator(ReplicationOptions options, ServerMetrics& metrics,
                        Hooks hooks)
     : options_(std::move(options)),
       metrics_(metrics),
-      hooks_(std::move(hooks)) {}
+      hooks_(std::move(hooks)) {
+  trace_state_ = static_cast<std::uint64_t>(
+                     std::chrono::steady_clock::now().time_since_epoch()
+                         .count()) ^
+                 reinterpret_cast<std::uintptr_t>(this) ^
+                 0x9e3779b97f4a7c15ull;
+}
+
+void Replicator::NoteSource(int source) {
+  if (last_source_ == source) return;
+  last_source_ = source;
+  if (hooks_.source_switched) hooks_.source_switched(source == 1);
+}
 
 Replicator::~Replicator() { Stop(); }
 
@@ -215,6 +227,7 @@ Replicator::TailOutcome Replicator::TailOplog() {
     if (behind == 0) break;
   }
   metrics_.replication_source.store(1, std::memory_order_relaxed);
+  NoteSource(1);
   metrics_.replication_sequence_delta.store(behind,
                                             std::memory_order_relaxed);
   metrics_.replication_last_success_ms.store(SteadyNowMs(),
@@ -224,6 +237,15 @@ Replicator::TailOutcome Replicator::TailOplog() {
 
 bool Replicator::PollOnce() {
   metrics_.replication_polls.fetch_add(1, std::memory_order_relaxed);
+  // One fresh trace id per poll cycle: every FETCH_OPLOG / HEALTH /
+  // FETCH_SNAPSHOT request this cycle issues carries it, so the primary's
+  // flight recorder groups a replica's whole catch-up pass under one id.
+  do {
+    trace_state_ ^= trace_state_ << 13;
+    trace_state_ ^= trace_state_ >> 7;
+    trace_state_ ^= trace_state_ << 17;
+  } while (trace_state_ == 0);
+  client_.SetTraceContext(TraceContext{trace_state_, 0, kTraceFlagSampled});
   try {
     if (!client_.Connected()) {
       client_.Connect(options_.primary.host, options_.primary.port);
@@ -315,6 +337,7 @@ bool Replicator::PollOnce() {
     }
     metrics_.replication_installs_ok.fetch_add(1, std::memory_order_relaxed);
     metrics_.replication_source.store(0, std::memory_order_relaxed);
+    NoteSource(0);
     metrics_.replication_last_sequence.store(sequence,
                                              std::memory_order_relaxed);
     const std::uint64_t now_local = hooks_.local_sequence();

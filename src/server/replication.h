@@ -121,6 +121,10 @@ class Replicator {
     /// divergent tail. Preserve them for operators before the snapshot
     /// fallback's log reset discards them. Returns records preserved.
     std::function<std::size_t(std::uint64_t boundary)> quarantine_divergent;
+    /// The replication source changed (true = op-log tailing, false =
+    /// snapshot transfer). Fired on transitions only, not every poll —
+    /// the server journals these into its flight recorder.
+    std::function<void(bool oplog)> source_switched;
   };
 
   Replicator(ReplicationOptions options, ServerMetrics& metrics, Hooks hooks);
@@ -153,11 +157,16 @@ class Replicator {
 
   TailOutcome TailOplog();
   void Loop();
+  /// Notes the current source (1 = op log, 0 = snapshot) and fires the
+  /// source_switched hook on transitions.
+  void NoteSource(int source);
 
   ReplicationOptions options_;
   ServerMetrics& metrics_;
   Hooks hooks_;
   Client client_;  // Poll-thread only (PollOnce callers must not overlap).
+  std::uint64_t trace_state_ = 0;  ///< Per-poll trace-id xorshift state.
+  int last_source_ = -1;           ///< -1 until the first sync completes.
 
   std::mutex mutex_;
   std::condition_variable cv_;

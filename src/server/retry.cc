@@ -54,6 +54,10 @@ Client::HealthReply RetryingClient::Health() {
   return Execute(true, [this] { return client_.Health(); });
 }
 
+Client::MetricsReply RetryingClient::DumpDiag() {
+  return Execute(true, [this] { return client_.DumpDiag(); });
+}
+
 Client::FetchSnapshotReply RetryingClient::FetchSnapshotChunk(
     std::uint64_t sequence, std::uint64_t offset, std::uint32_t max_bytes) {
   return Execute(true, [&] {

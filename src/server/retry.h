@@ -67,6 +67,19 @@ class RetryingClient {
   void SetFenceEpoch(std::uint64_t epoch) { client_.SetFenceEpoch(epoch); }
   std::uint64_t FenceEpoch() const { return client_.FenceEpoch(); }
 
+  /// Trace context stamped onto every request (v5 trace trailer). The
+  /// wrapped Client is reused across attempts and reconnects, so one
+  /// trace_id survives every retry of an operation.
+  void SetTraceContext(const TraceContext& context) {
+    client_.SetTraceContext(context);
+  }
+  const TraceContext& GetTraceContext() const {
+    return client_.GetTraceContext();
+  }
+
+  /// Flight-recorder dump (DUMP_DIAG, v5+) — an idempotent read.
+  Client::MetricsReply DumpDiag();
+
   // Idempotent operations — retried on every retryable failure.
   Client::Reply Ping();
   Client::StatsReply Stats();

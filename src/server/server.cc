@@ -95,11 +95,16 @@ struct Server::Request {
   Clock::time_point admitted_at{};
   /// admitted_at + deadline_ms; time_point{} when the request has none.
   Clock::time_point deadline{};
+  /// Trace trailer stripped off the frame (trace_id 0 = none carried).
+  TraceContext trace;
+  /// Admission sojourn (EDF queue wait), filled at dequeue.
+  std::uint32_t queue_us = 0;
 };
 
 Server::Server(PoiService& service, ServerOptions options)
     : service_(service),
       options_(options),
+      recorder_(options_.flight_recorder_capacity),
       oplog_(options_.oplog),
       idempotency_(options_.idempotency_cache_size) {
   role_.store(options_.replication.role, std::memory_order_relaxed);
@@ -120,7 +125,9 @@ Server::Server(PoiService& service, ServerOptions options)
   retry_after_hint_ms_.store(options_.overload.retry_after_ms,
                              std::memory_order_relaxed);
   if (!options_.trace_path.empty()) {
-    trace_ = std::make_unique<TraceSink>(options_.trace_path);
+    trace_ = std::make_unique<TraceSink>(options_.trace_path,
+                                         options_.trace_max_bytes,
+                                         options_.trace_keep);
     if (!trace_->enabled()) {
       std::fprintf(stderr, "server: cannot open trace file %s; tracing off\n",
                    options_.trace_path.c_str());
@@ -262,6 +269,10 @@ void Server::Start() {
     hooks.quarantine_divergent = [this](std::uint64_t boundary) {
       return QuarantineDivergentOplog(boundary);
     };
+    hooks.source_switched = [this](bool oplog) {
+      recorder_.RecordEvent(oplog ? DiagEvent::kReplicationSourceOplog
+                                  : DiagEvent::kReplicationSourceSnapshot);
+    };
     replicator_ = std::make_unique<Replicator>(options_.replication,
                                                metrics_, std::move(hooks));
     replicator_->Start();
@@ -367,6 +378,7 @@ void Server::IoLoop() {
     const Clock::time_point now = Clock::now();
     SweepConnections(now);
     OverloadTick(now);
+    FlushShedBursts(now);
   }
 
   // Final flush: give queued responses a brief window to reach clients
@@ -404,10 +416,16 @@ void Server::OverloadTick(Clock::time_point now) {
   retry_after_hint_ms_.store(decision.retry_after_ms,
                              std::memory_order_relaxed);
 
+  const bool was_brownout = brownout_active_.load(std::memory_order_relaxed);
   if (decision.brownout_entered) {
     metrics_.brownout_entries.fetch_add(1, std::memory_order_relaxed);
     brownout_since_ = now;
     brownout_seconds_credited_ = 0;
+    recorder_.RecordEvent(DiagEvent::kBrownoutEnter,
+                          decision.admission_limit);
+  }
+  if (was_brownout && !decision.brownout) {
+    recorder_.RecordEvent(DiagEvent::kBrownoutExit, decision.admission_limit);
   }
   brownout_active_.store(decision.brownout, std::memory_order_relaxed);
   if (decision.brownout) {
@@ -428,6 +446,39 @@ void Server::OverloadTick(Clock::time_point now) {
           ? 2
           : (decision.admission_limit < options_.queue_capacity ? 1 : 0),
       std::memory_order_relaxed);
+}
+
+void Server::RecordShed(DiagShedCause cause) {
+  const auto index = static_cast<std::size_t>(cause);
+  if (index >= std::size(shed_counts_)) return;
+  shed_counts_[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::FlushShedBursts(Clock::time_point now) {
+  if (shed_window_start_ == Clock::time_point{}) {
+    shed_window_start_ = now;
+    return;
+  }
+  if (now - shed_window_start_ < std::chrono::seconds(1)) return;
+  shed_window_start_ = now;
+  for (std::size_t i = 1; i < std::size(shed_counts_); ++i) {
+    const std::uint64_t count =
+        shed_counts_[i].exchange(0, std::memory_order_relaxed);
+    if (count == 0) continue;
+    recorder_.RecordEvent(DiagEvent::kShedBurst, i, count);
+  }
+}
+
+void Server::RecordEnvelopeSpan(const TraceContext& trace, Opcode opcode,
+                                StatusCode status, std::uint32_t queue_us) {
+  SpanRecord span;
+  span.trace_id = trace.trace_id;
+  span.parent_span_id = trace.parent_span_id;
+  span.span_id = recorder_.NextSpanId();
+  span.opcode = static_cast<std::uint8_t>(opcode);
+  span.status = static_cast<std::uint8_t>(status);
+  span.queue_us = queue_us;
+  recorder_.RecordSpan(span);
 }
 
 void Server::AcceptNew() {
@@ -606,6 +657,22 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   metrics_.frames_received.fetch_add(1, std::memory_order_relaxed);
   metrics_.CountOpcode(header.opcode);
 
+  // v5 trace trailer: strip it off the payload before any opcode body
+  // decode, so every body codec sees exactly the v<=4 bytes.
+  TraceContext trace;
+  if ((header.flags & kFrameFlagTraceContext) != 0) {
+    std::span<const std::uint8_t> body;
+    if (!SplitTraceTrailer(payload, header.flags, &body, &trace)) {
+      metrics_.requests_malformed_payload.fetch_add(
+          1, std::memory_order_relaxed);
+      Respond(conn, header,
+              EncodeErrorResponse(StatusCode::kMalformedPayload,
+                                  "truncated trace trailer"));
+      return;
+    }
+    payload.resize(body.size());
+  }
+
   switch (header.opcode) {
     case Opcode::kPing:
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
@@ -669,6 +736,14 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       Respond(conn, header, BuildHealthResponse());
       return;
+    case Opcode::kDumpDiag:
+      // Inline for the same reason: the flight recorder exists for
+      // post-incident forensics, which is exactly when workers may be
+      // wedged. Dump() is lock-free against concurrent writers.
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, header,
+              EncodeDiagResponse(recorder_.Dump(kMaxPayloadSize - 256)));
+      return;
     case Opcode::kPoiAdd:
     case Opcode::kPoiClose:
     case Opcode::kPoiTag:
@@ -681,6 +756,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         // (the NOT_PRIMARY message is the redirect address).
         metrics_.requests_not_primary.fetch_add(1,
                                                 std::memory_order_relaxed);
+        RecordEnvelopeSpan(trace, header.opcode, StatusCode::kNotPrimary);
         Respond(conn, header,
                 EncodeErrorResponse(
                     StatusCode::kNotPrimary,
@@ -695,6 +771,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       if (fenced > primary_epoch_.load(std::memory_order_acquire)) {
         metrics_.requests_stale_epoch.fetch_add(1,
                                                 std::memory_order_relaxed);
+        RecordEnvelopeSpan(trace, header.opcode, StatusCode::kStaleEpoch);
         Respond(conn, header,
                 EncodeErrorResponse(
                     StatusCode::kStaleEpoch,
@@ -721,6 +798,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                                    options_.overload.per_client_burst)) {
         metrics_.requests_rate_limited.fetch_add(1,
                                                  std::memory_order_relaxed);
+        RecordShed(DiagShedCause::kRateLimited);
+        RecordEnvelopeSpan(trace, header.opcode, StatusCode::kOverloaded);
         Respond(conn, header,
                 EncodeErrorResponse(StatusCode::kOverloaded,
                                     "rate limited", retry_after));
@@ -731,6 +810,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       request.header = header;
       request.payload = std::move(payload);
       request.admitted_at = now;
+      request.trace = trace;
       if (header.deadline_ms > 0) {
         request.deadline = request.admitted_at +
                            std::chrono::milliseconds(header.deadline_ms);
@@ -754,6 +834,9 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
           // the overload sheds.
           metrics_.requests_deadline_rejected.fetch_add(
               1, std::memory_order_relaxed);
+          RecordShed(DiagShedCause::kDeadline);
+          RecordEnvelopeSpan(trace, header.opcode,
+                             StatusCode::kDeadlineExceeded);
           Respond(conn, header,
                   EncodeErrorResponse(StatusCode::kDeadlineExceeded,
                                       "deadline expired before admission"));
@@ -761,6 +844,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         case AdmissionResult::kLimited:
           metrics_.requests_admission_limited.fetch_add(
               1, std::memory_order_relaxed);
+          RecordShed(DiagShedCause::kLimited);
+          RecordEnvelopeSpan(trace, header.opcode, StatusCode::kOverloaded);
           Respond(conn, header,
                   EncodeErrorResponse(StatusCode::kOverloaded,
                                       "admission limited", retry_after));
@@ -769,6 +854,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         case AdmissionResult::kClosed:
           metrics_.requests_overloaded.fetch_add(1,
                                                  std::memory_order_relaxed);
+          RecordShed(DiagShedCause::kQueueFull);
+          RecordEnvelopeSpan(trace, header.opcode, StatusCode::kOverloaded);
           Respond(conn, header,
                   EncodeErrorResponse(StatusCode::kOverloaded,
                                       "admission queue full", retry_after));
@@ -799,6 +886,8 @@ void Server::WorkerLoop(std::size_t worker_index) {
     metrics_.admission_sojourn.Record(
         static_cast<std::uint64_t>(popped->sojourn.count()));
     Request* const request = &popped->item;
+    request->queue_us = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(popped->sojourn.count(), UINT32_MAX));
 
     if (options_.test_dequeue_delay_ms > 0) {
       std::this_thread::sleep_for(
@@ -809,6 +898,9 @@ void Server::WorkerLoop(std::size_t worker_index) {
         Clock::now() >= request->deadline) {
       metrics_.requests_deadline_dropped.fetch_add(
           1, std::memory_order_relaxed);
+      RecordShed(DiagShedCause::kDeadline);
+      RecordEnvelopeSpan(request->trace, request->header.opcode,
+                         StatusCode::kDeadlineExceeded, request->queue_us);
       Respond(request->conn, request->header,
               EncodeErrorResponse(StatusCode::kDeadlineExceeded,
                                   "deadline expired before execution"));
@@ -819,6 +911,9 @@ void Server::WorkerLoop(std::size_t worker_index) {
       // overstayed the sojourn target — fail fast rather than serve
       // stale work the client has likely given up on.
       metrics_.requests_codel_shed.fetch_add(1, std::memory_order_relaxed);
+      RecordShed(DiagShedCause::kCodel);
+      RecordEnvelopeSpan(request->trace, request->header.opcode,
+                         StatusCode::kOverloaded, request->queue_us);
       Respond(request->conn, request->header,
               EncodeErrorResponse(
                   StatusCode::kOverloaded, "shed: queue sojourn over target",
@@ -872,6 +967,7 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
   const Opcode opcode = header.opcode;
   const bool is_query =
       opcode == Opcode::kSearchBoolean || opcode == Opcode::kSearchRanked;
+  const Clock::time_point exec_start = Clock::now();
 
   QueryControl control;
   control.deadline = request.deadline;
@@ -886,6 +982,8 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
   std::string traced_query;  // Retained for trace / slow-query lines.
   VertexId traced_vertex = 0;
   std::uint32_t traced_k = 0;
+  bool traced_degraded = false;
+  std::uint32_t traced_results = 0;
   try {
     switch (opcode) {
       case Opcode::kSearchBoolean:
@@ -943,6 +1041,8 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
           processor->SetApproximateMode(false);
           metrics_.requests_degraded.fetch_add(1, std::memory_order_relaxed);
         }
+        traced_degraded = degraded;
+        traced_results = static_cast<std::uint32_t>(hits.size());
         std::vector<WireResult> results;
         results.reserve(hits.size());
         for (const PoiResult& hit : hits) {
@@ -1054,10 +1154,17 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           Clock::now() - request.admitted_at)
           .count());
+  const StatusCode final_status =
+      response.empty() ? StatusCode::kInternal
+                       : static_cast<StatusCode>(response[0]);
+  // One span id shared by the flight-recorder record and the trace-file
+  // line, so the two can be joined post hoc.
+  const std::uint64_t span_id = recorder_.NextSpanId();
   if (ok) {
     metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    // The trace id (when present) becomes the histogram bucket's exemplar.
     (is_query ? metrics_.query_latency : metrics_.update_latency)
-        .Record(micros);
+        .Record(micros, request.trace.trace_id);
   }
   if (is_query) {
     // Fold this query's engine counters into the aggregates (a handful of
@@ -1072,21 +1179,25 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
       QueryTraceEvent event;
       event.fingerprint =
           QueryFingerprint(traced_query, traced_vertex, traced_k);
+      event.trace_id = request.trace.trace_id;
+      event.parent_span_id = request.trace.parent_span_id;
+      event.span_id = span_id;
       event.opcode = opcode == Opcode::kSearchBoolean ? "search_boolean"
                                                       : "search_ranked";
       event.query = traced_query;
       event.vertex = traced_vertex;
       event.k = traced_k;
-      event.status =
-          StatusName(response.empty()
-                         ? StatusCode::kInternal
-                         : static_cast<StatusCode>(response[0]));
+      event.status = StatusName(final_status);
       event.latency_us = micros;
+      event.queue_us = request.queue_us;
+      event.degraded = traced_degraded;
       event.stats = qstats;
       const std::string line = FormatQueryTrace(event);
       if (trace_ != nullptr) {
         trace_->Write(line);
         metrics_.traces_emitted.fetch_add(1, std::memory_order_relaxed);
+        metrics_.trace_rotations.store(trace_->rotations(),
+                                       std::memory_order_relaxed);
       }
       if (slow) {
         metrics_.slow_queries.fetch_add(1, std::memory_order_relaxed);
@@ -1095,7 +1206,44 @@ void Server::ProcessRequest(Request& request, QueryProcessor* processor) {
       }
     }
   }
+  const Clock::time_point respond_start = Clock::now();
   Respond(request.conn, header, std::move(response));
+  // Always record the span into the flight recorder — this is what a
+  // post-incident DUMP_DIAG reconstructs when no trace file was on.
+  const auto clamp_us = [](std::int64_t us) {
+    return static_cast<std::uint32_t>(
+        std::min<std::int64_t>(std::max<std::int64_t>(us, 0), UINT32_MAX));
+  };
+  const auto clamp_u32 = [](std::uint64_t v) {
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(v, UINT32_MAX));
+  };
+  SpanRecord span;
+  span.trace_id = request.trace.trace_id;
+  span.parent_span_id = request.trace.parent_span_id;
+  span.span_id = span_id;
+  span.opcode = static_cast<std::uint8_t>(opcode);
+  span.status = static_cast<std::uint8_t>(final_status);
+  span.degraded = traced_degraded ? 1 : 0;
+  span.queue_us = request.queue_us;
+  span.execute_us =
+      clamp_us(std::chrono::duration_cast<std::chrono::microseconds>(
+                   respond_start - exec_start)
+                   .count());
+  span.reply_us =
+      clamp_us(std::chrono::duration_cast<std::chrono::microseconds>(
+                   Clock::now() - respond_start)
+                   .count());
+  span.heap_build_ns = qstats.heap_build_ns;
+  span.search_ns = qstats.search_ns;
+  span.heap_pops = clamp_u32(qstats.candidates_extracted);
+  span.lower_bounds = clamp_u32(qstats.lower_bounds_computed);
+  span.distance_computations =
+      clamp_u32(qstats.network_distance_computations);
+  span.false_positive_distances =
+      clamp_u32(qstats.false_positive_distances);
+  span.results = traced_results;
+  recorder_.RecordSpan(span);
 }
 
 // ----- Mutations -----------------------------------------------------------
@@ -1265,6 +1413,7 @@ bool Server::DecodeMutationRequest(const Request& request,
 void Server::ProcessMutation(Request& request) {
   const FrameHeader& header = request.header;
   const Opcode opcode = header.opcode;
+  const Clock::time_point exec_start = Clock::now();
   std::vector<std::uint8_t> response;
   bool ok = false;
   bool need_sync = false;
@@ -1383,10 +1532,32 @@ void Server::ProcessMutation(Request& request) {
         std::chrono::duration_cast<std::chrono::microseconds>(
             Clock::now() - request.admitted_at)
             .count());
-    metrics_.update_latency.Record(micros);
+    metrics_.update_latency.Record(micros, request.trace.trace_id);
   }
   MirrorOplogMetrics();
+  const StatusCode final_status =
+      response.empty() ? StatusCode::kInternal
+                       : static_cast<StatusCode>(response[0]);
+  const Clock::time_point respond_start = Clock::now();
   Respond(request.conn, header, std::move(response));
+  SpanRecord span;
+  span.trace_id = request.trace.trace_id;
+  span.parent_span_id = request.trace.parent_span_id;
+  span.span_id = recorder_.NextSpanId();
+  span.opcode = static_cast<std::uint8_t>(opcode);
+  span.status = static_cast<std::uint8_t>(final_status);
+  span.queue_us = request.queue_us;
+  span.execute_us = static_cast<std::uint32_t>(std::min<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(respond_start -
+                                                            exec_start)
+          .count(),
+      UINT32_MAX));
+  span.reply_us = static_cast<std::uint32_t>(std::min<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            respond_start)
+          .count(),
+      UINT32_MAX));
+  recorder_.RecordSpan(span);
 }
 
 void Server::ProcessPromote(Request& request) {
@@ -1459,6 +1630,7 @@ void Server::ProcessPromote(Request& request) {
       role_.store(ServerRole::kPrimary, std::memory_order_release);
       metrics_.promotions.fetch_add(1, std::memory_order_relaxed);
       metrics_.primary_epoch.store(new_epoch, std::memory_order_relaxed);
+      recorder_.RecordEvent(DiagEvent::kPromote, new_epoch, sequence);
       PersistEpochStateLocked();
       reply.epoch = new_epoch;
       reply.applied_sequence = sequence;
@@ -1488,9 +1660,19 @@ void Server::ProcessPromote(Request& request) {
 
 void Server::ObserveFencedEpoch(std::uint64_t epoch) {
   std::uint64_t current = fenced_epoch_.load(std::memory_order_relaxed);
-  while (epoch > current &&
-         !fenced_epoch_.compare_exchange_weak(current, epoch,
-                                              std::memory_order_acq_rel)) {
+  bool raised = false;
+  while (epoch > current) {
+    if (fenced_epoch_.compare_exchange_weak(current, epoch,
+                                            std::memory_order_acq_rel)) {
+      raised = true;
+      break;
+    }
+  }
+  if (raised) {
+    // Journal the fencing: the one-line answer to "why did this primary
+    // start rejecting writes?" in a post-incident DUMP_DIAG.
+    recorder_.RecordEvent(DiagEvent::kStaleEpochFence, epoch,
+                          primary_epoch_.load(std::memory_order_acquire));
   }
 }
 
@@ -1824,6 +2006,7 @@ bool Server::InstallReplicaSnapshot(std::uint64_t sequence,
     if (!options_.snapshot.dir.empty()) {
       io::PruneSnapshots(options_.snapshot.dir, options_.snapshot.keep);
     }
+    recorder_.RecordEvent(DiagEvent::kSnapshotRestored, sequence);
     return true;
   } catch (const std::exception& e) {
     *error = e.what();
@@ -1862,9 +2045,13 @@ std::pair<std::uint64_t, std::string> Server::SnapshotLocked() {
     io::PruneSnapshots(dir, options_.snapshot.keep);
     metrics_.snapshots_written.fetch_add(1, std::memory_order_relaxed);
     snapshot_sequence_.store(sequence, std::memory_order_relaxed);
+    recorder_.RecordEvent(DiagEvent::kSnapshotWritten, sequence, applied);
     // Everything up to `applied` is now in the snapshot; sealed log
     // segments it covers can go (the active segment stays for tailing).
     oplog_.TruncateThrough(applied);
+    if (oplog_.Enabled()) {
+      recorder_.RecordEvent(DiagEvent::kOplogRotated, applied);
+    }
     return {sequence, path};
   } catch (...) {
     metrics_.snapshots_failed.fetch_add(1, std::memory_order_relaxed);
@@ -1899,6 +2086,7 @@ std::vector<std::uint8_t> Server::HandleReloadLocked() {
   }
   metrics_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
   snapshot_sequence_.store(loaded->sequence, std::memory_order_relaxed);
+  recorder_.RecordEvent(DiagEvent::kSnapshotRestored, loaded->sequence);
   // RELOAD is an explicit rewind to the snapshot's state: the applied
   // position jumps back with it and the log restarts there — any records
   // past the snapshot are deliberately discarded.

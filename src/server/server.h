@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "server/admission_queue.h"
+#include "server/flight_recorder.h"
 #include "server/metrics.h"
 #include "server/mutation.h"
 #include "server/oplog.h"
@@ -139,10 +140,21 @@ struct ServerOptions {
   /// fingerprint, stage timings, engine counter deltas). Empty disables
   /// tracing; counters are collected either way.
   std::string trace_path;
+  /// Size-based rotation for the trace file: once it exceeds this many
+  /// bytes it is shifted to trace.log.1 (keeping trace_keep old files)
+  /// and a fresh file is started. 0 = never rotate.
+  std::uint64_t trace_max_bytes = 0;
+  /// Rotated trace files kept (trace.log.1 .. trace.log.N).
+  std::uint32_t trace_keep = 3;
   /// Searches slower than this (end-to-end, admission to response) are
   /// logged to stderr with their trace line. 0 disables the slow-query
   /// log.
   std::uint32_t slow_query_threshold_ms = 0;
+  /// Spans + control-plane events retained by the always-on flight
+  /// recorder (DUMP_DIAG); clamped up to a small minimum. The recorder
+  /// cannot be disabled — it is the post-hoc record that exists when no
+  /// trace file was configured.
+  std::size_t flight_recorder_capacity = 2048;
 
   /// Overload resilience (docs/protocol.md "Overload control &
   /// degradation"): deadline-aware EDF admission, AIMD concurrency
@@ -185,6 +197,10 @@ class Server {
   std::uint16_t Port() const { return port_; }
 
   const ServerMetrics& Metrics() const { return metrics_; }
+
+  /// The always-on flight recorder (spans + control-plane events). Public
+  /// for tests; clients read it via DUMP_DIAG.
+  FlightRecorder& Recorder() { return recorder_; }
 
   /// Sequence of the newest local snapshot (written, restored, or
   /// installed from a primary); 0 = none. This is what HEALTH reports.
@@ -302,6 +318,16 @@ class Server {
   std::vector<std::uint8_t> HandleFetchOplog(const FetchOplogRequest& fetch);
   /// Copies the Oplog's internal counters into ServerMetrics.
   void MirrorOplogMetrics();
+  /// Counts one shed of `cause` toward the next kShedBurst event.
+  void RecordShed(DiagShedCause cause);
+  /// Flushes accumulated shed counts into kShedBurst recorder events once
+  /// per window (I/O thread, called from IoLoop).
+  void FlushShedBursts(std::chrono::steady_clock::time_point now);
+  /// Records a minimal span for a request answered straight from the
+  /// envelope (sheds, redirects, fence rejections) so the trace_id is
+  /// visible in DUMP_DIAG even on the node that refused the work.
+  void RecordEnvelopeSpan(const TraceContext& trace, Opcode opcode,
+                          StatusCode status, std::uint32_t queue_us = 0);
   /// Closes connections that tripped a hardening limit.
   void SweepConnections(std::chrono::steady_clock::time_point now);
   void AcceptNew();
@@ -329,6 +355,7 @@ class Server {
   const ServerOptions options_;
   ServerMetrics metrics_;
   std::unique_ptr<TraceSink> trace_;  // Null unless options_.trace_path.
+  FlightRecorder recorder_;  // Always on; sized in the ctor.
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
@@ -352,6 +379,13 @@ class Server {
   /// Whole seconds of the current brownout episode already counted into
   /// metrics_.brownout_seconds.
   std::uint64_t brownout_seconds_credited_ = 0;
+  /// Per-cause shed counts (indexed by DiagShedCause) accumulated since
+  /// the last kShedBurst flush; bumped by the I/O thread and workers,
+  /// flushed once per second by FlushShedBursts so a shed storm becomes
+  /// a handful of journal events instead of thousands.
+  std::atomic<std::uint64_t> shed_counts_[6] = {};
+  /// I/O-thread only: start of the current shed-burst window.
+  std::chrono::steady_clock::time_point shed_window_start_{};
 
   // Background snapshotting (runs only when dir + period are configured).
   std::thread snapshot_thread_;

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 namespace kspin::server {
 namespace {
@@ -74,9 +76,14 @@ std::string FormatQueryTrace(const QueryTraceEvent& event) {
   std::string out;
   out.reserve(512);
   out += '{';
-  char buf[96];
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "\"fingerprint\":\"%016" PRIx64 "\",",
                 event.fingerprint);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"trace_id\":\"%016" PRIx64 "\",\"parent_span_id\":\"%016"
+                PRIx64 "\",\"span_id\":\"%016" PRIx64 "\",",
+                event.trace_id, event.parent_span_id, event.span_id);
   out += buf;
   out += "\"opcode\":\"";
   AppendJsonEscaped(out, event.opcode);
@@ -89,6 +96,8 @@ std::string FormatQueryTrace(const QueryTraceEvent& event) {
   AppendJsonEscaped(out, event.status);
   out += "\",";
   AppendU64Field(out, "latency_us", event.latency_us);
+  AppendU64Field(out, "queue_us", event.queue_us);
+  AppendU64Field(out, "degraded", event.degraded ? 1 : 0);
   const QueryStats& s = event.stats;
   AppendU64Field(out, "heap_build_ns", s.heap_build_ns);
   AppendU64Field(out, "search_ns", s.search_ns);
@@ -107,6 +116,46 @@ std::string FormatQueryTrace(const QueryTraceEvent& event) {
                  /*trailing_comma=*/false);
   out += '}';
   return out;
+}
+
+TraceSink::TraceSink(const std::string& path, std::uint64_t max_bytes,
+                     std::uint32_t keep)
+    : out_(path, std::ios::app),
+      path_(path),
+      max_bytes_(max_bytes),
+      keep_(keep == 0 ? 1 : keep) {
+  enabled_ = out_.is_open() && out_.good();
+  if (enabled_) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    bytes_ = ec ? 0 : static_cast<std::uint64_t>(size);
+  }
+}
+
+void TraceSink::Write(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_ || !out_.good()) return;
+  out_ << json_line << '\n';
+  out_.flush();
+  bytes_ += json_line.size() + 1;
+  if (max_bytes_ > 0 && bytes_ >= max_bytes_) RotateLocked();
+}
+
+void TraceSink::RotateLocked() {
+  out_.close();
+  // Shift <path>.1 → <path>.2 ... then <path> → <path>.1; the file that
+  // would become <path>.<keep_+1> is simply overwritten by the rename.
+  for (std::uint32_t i = keep_; i >= 1; --i) {
+    const std::string from =
+        i == 1 ? path_ : path_ + "." + std::to_string(i - 1);
+    const std::string to = path_ + "." + std::to_string(i);
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);  // Missing `from` is fine.
+  }
+  out_.open(path_, std::ios::trunc);
+  bytes_ = 0;
+  ++rotations_;
+  if (!out_.is_open() || !out_.good()) enabled_ = false;
 }
 
 }  // namespace kspin::server

@@ -73,6 +73,7 @@ DecodeResult TryDecodeFrame(std::span<const std::uint8_t> buffer,
 
   header->version = buffer[4];
   header->opcode = static_cast<Opcode>(buffer[5]);
+  header->flags = 0;
   header->request_id = ReadU64Le(buffer.data() + 8);
   header->deadline_ms = ReadU32Le(buffer.data() + 16);
   header->payload_size = ReadU32Le(buffer.data() + 20);
@@ -80,9 +81,16 @@ DecodeResult TryDecodeFrame(std::span<const std::uint8_t> buffer,
       header->version > kProtocolVersion) {
     return DecodeResult::kBadVersion;
   }
-  // Reserved bytes must be zero; a nonzero value means a future protocol
-  // revision this server does not understand.
-  if (buffer[6] != 0 || buffer[7] != 0) return DecodeResult::kBadVersion;
+  if (header->version >= 5) {
+    // v5 turned the reserved u16 into a flags field.
+    header->flags = static_cast<std::uint16_t>(
+        buffer[6] | static_cast<std::uint16_t>(buffer[7]) << 8);
+  } else if (buffer[6] != 0 || buffer[7] != 0) {
+    // On pre-v5 frames the bytes are reserved and must be zero; a nonzero
+    // value means a future protocol revision this server does not
+    // understand.
+    return DecodeResult::kBadVersion;
+  }
   if (header->payload_size > kMaxPayloadSize) return DecodeResult::kTooLarge;
   if (buffer.size() < kHeaderSize + header->payload_size) {
     return DecodeResult::kNeedMore;
@@ -97,7 +105,12 @@ std::vector<std::uint8_t> EncodeFrame(const FrameHeader& header,
   WriteU32Le(frame.data(), kMagic);
   frame[4] = header.version;
   frame[5] = static_cast<std::uint8_t>(header.opcode);
-  frame[6] = frame[7] = 0;
+  if (header.version >= 5) {
+    frame[6] = static_cast<std::uint8_t>(header.flags);
+    frame[7] = static_cast<std::uint8_t>(header.flags >> 8);
+  } else {
+    frame[6] = frame[7] = 0;  // Reserved before v5.
+  }
   WriteU64Le(frame.data() + 8, header.request_id);
   WriteU32Le(frame.data() + 16, header.deadline_ms);
   WriteU32Le(frame.data() + 20,
@@ -106,6 +119,34 @@ std::vector<std::uint8_t> EncodeFrame(const FrameHeader& header,
     std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
   }
   return frame;
+}
+
+void AppendTraceTrailer(std::vector<std::uint8_t>* payload,
+                        const TraceContext& context) {
+  const std::size_t base = payload->size();
+  payload->resize(base + kTraceTrailerSize);
+  WriteU64Le(payload->data() + base, context.trace_id);
+  WriteU64Le(payload->data() + base + 8, context.parent_span_id);
+  (*payload)[base + 16] = context.flags;
+}
+
+bool SplitTraceTrailer(std::span<const std::uint8_t> payload,
+                       std::uint16_t frame_flags,
+                       std::span<const std::uint8_t>* body,
+                       TraceContext* context) {
+  if ((frame_flags & kFrameFlagTraceContext) == 0) {
+    *body = payload;
+    *context = TraceContext{};
+    return true;
+  }
+  if (payload.size() < kTraceTrailerSize) return false;
+  const std::size_t body_size = payload.size() - kTraceTrailerSize;
+  const std::uint8_t* trailer = payload.data() + body_size;
+  context->trace_id = ReadU64Le(trailer);
+  context->parent_span_id = ReadU64Le(trailer + 8);
+  context->flags = trailer[16];
+  *body = payload.first(body_size);
+  return true;
 }
 
 void PayloadWriter::String(std::string_view s) {
@@ -484,6 +525,14 @@ std::vector<std::uint8_t> EncodeMetricsResponse(std::string_view text) {
 bool DecodeMetricsResponse(PayloadReader& reader, std::string* text) {
   *text = reader.String();
   return reader.Finished();
+}
+
+std::vector<std::uint8_t> EncodeDiagResponse(std::string_view text) {
+  return EncodeMetricsResponse(text);
+}
+
+bool DecodeDiagResponse(PayloadReader& reader, std::string* text) {
+  return DecodeMetricsResponse(reader, text);
 }
 
 std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info) {

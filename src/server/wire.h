@@ -17,6 +17,14 @@
 // status byte (StatusCode); kOk is followed by the opcode's result body,
 // anything else by a human-readable error string. docs/protocol.md is the
 // normative spec; this header and it must change together.
+//
+// Version 5 repurposes the reserved u16 at offset 6 as a flags field on
+// v5+ frames (it stays must-be-zero on v1-4 frames). The only defined
+// flag, kFrameFlagTraceContext, marks a 17-byte trace trailer (u64
+// trace_id, u64 parent_span_id, u8 trace flags) appended AFTER the
+// request payload. The trailer is stripped before the opcode body is
+// decoded, so v<=4 bodies are byte-identical and body codecs never see
+// it.
 #ifndef KSPIN_SERVER_WIRE_H_
 #define KSPIN_SERVER_WIRE_H_
 
@@ -43,12 +51,48 @@ inline constexpr std::uint32_t kMagic = 0x4B53504E;
 /// signals: OVERLOADED error bodies may carry a trailing u32
 /// retry-after hint (tolerant trailer, any version), and v4+ search
 /// responses append a trailing flags byte (kSearchFlagDegraded) that
-/// pre-v4 decoders would reject — hence the bump.
-inline constexpr std::uint8_t kProtocolVersion = 4;
+/// pre-v4 decoders would reject — hence the bump. Version 5 turns the
+/// reserved header u16 into a flags field and defines
+/// kFrameFlagTraceContext: a 17-byte trace trailer after the request
+/// payload carrying (trace_id, parent_span_id, trace flags), plus the
+/// DUMP_DIAG opcode for flight-recorder scrapes.
+inline constexpr std::uint8_t kProtocolVersion = 5;
 /// Oldest version a server still speaks.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
 inline constexpr std::uint32_t kMaxPayloadSize = 1u << 20;
+
+/// Frame-header flags (offset 6, u16 LE). Valid on v5+ frames only;
+/// v1-4 senders must leave the field zero and v1-4 receivers reject
+/// nonzero values (it was reserved).
+inline constexpr std::uint16_t kFrameFlagTraceContext = 0x0001;
+
+/// The optional per-request trace trailer (v5+, kFrameFlagTraceContext).
+/// `trace_id` names the end-to-end request; `parent_span_id` is the
+/// caller's span (0 = root); `flags` bit 0 = sampled-for-file-sink hint.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint8_t flags = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+inline constexpr std::uint8_t kTraceFlagSampled = 0x01;
+inline constexpr std::size_t kTraceTrailerSize = 17;
+
+/// Appends the 17-byte trailer to an already-encoded request payload.
+void AppendTraceTrailer(std::vector<std::uint8_t>* payload,
+                        const TraceContext& context);
+
+/// Splits a request payload into body and trace trailer according to the
+/// frame flags: with kFrameFlagTraceContext set the last 17 bytes are the
+/// trailer (false when the payload is shorter than that); without it the
+/// whole payload is body and `*context` is cleared.
+bool SplitTraceTrailer(std::span<const std::uint8_t> payload,
+                       std::uint16_t frame_flags,
+                       std::span<const std::uint8_t>* body,
+                       TraceContext* context);
 
 /// Request opcodes. Responses reuse the request's opcode.
 enum class Opcode : std::uint8_t {
@@ -60,6 +104,8 @@ enum class Opcode : std::uint8_t {
   kStats = 0x02,          ///< Server metrics snapshot.
   kHealth = 0x03,         ///< Role, snapshot sequence, uptime, queue depth.
   kMetrics = 0x04,        ///< Prometheus 0.0.4 text exposition (v2+).
+  kDumpDiag = 0x05,       ///< Flight-recorder dump: spans + control-plane
+                          ///< events as JSON lines (v5+).
   kSearchBoolean = 0x10,  ///< Boolean kNN over an and/or query string.
   kSearchRanked = 0x11,   ///< Relevance-ranked top-k.
   kPoiAdd = 0x20,         ///< Register a POI.
@@ -101,6 +147,9 @@ std::string_view StatusName(StatusCode status);
 struct FrameHeader {
   std::uint8_t version = kProtocolVersion;
   Opcode opcode = Opcode::kPing;
+  /// v5+ frame flags (kFrameFlag*). Always 0 on decoded v1-4 frames and
+  /// ignored by EncodeFrame when version < 5 (the field was reserved).
+  std::uint16_t flags = 0;
   std::uint64_t request_id = 0;
   std::uint32_t deadline_ms = 0;
   std::uint32_t payload_size = 0;
@@ -473,6 +522,10 @@ bool DecodeStatsResponse(
 /// kMetrics kOk body: one string holding the Prometheus text exposition.
 std::vector<std::uint8_t> EncodeMetricsResponse(std::string_view text);
 bool DecodeMetricsResponse(PayloadReader& reader, std::string* text);
+/// kDumpDiag kOk body: one string of flight-recorder JSON lines (same
+/// single-string shape as kMetrics; see docs/observability.md).
+std::vector<std::uint8_t> EncodeDiagResponse(std::string_view text);
+bool DecodeDiagResponse(PayloadReader& reader, std::string* text);
 std::vector<std::uint8_t> EncodeHealthResponse(const HealthInfo& info);
 bool DecodeHealthResponse(PayloadReader& reader, HealthInfo* info);
 /// The chunk response carries a CRC32C of the chunk bytes; Decode verifies

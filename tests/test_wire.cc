@@ -155,14 +155,72 @@ TEST(WireFrameTest, OversizedPayloadRejected) {
             DecodeResult::kTooLarge);
 }
 
-TEST(WireFrameTest, NonZeroReservedBytesRejected) {
+TEST(WireFrameTest, NonZeroReservedBytesRejectedPreV5) {
+  // v5 turned the reserved u16 at offset 6 into a flags field; on older
+  // versions nonzero bytes there must still be rejected so a v5 client
+  // accidentally talking down-level fails loudly instead of silently
+  // having its flags ignored.
+  for (std::uint8_t v = kMinProtocolVersion; v < 5; ++v) {
+    FrameHeader header;
+    auto frame = EncodeFrame(header, {});
+    frame[4] = v;
+    frame[6] = 1;
+    FrameHeader decoded;
+    std::size_t frame_size = 0;
+    EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+              DecodeResult::kBadVersion)
+        << "version " << int(v);
+  }
+}
+
+TEST(WireFrameTest, V5FlagsFieldRoundTrips) {
   FrameHeader header;
-  auto frame = EncodeFrame(header, {});
-  frame[6] = 1;
+  header.flags = kFrameFlagTraceContext;
+  const auto frame = EncodeFrame(header, {});
   FrameHeader decoded;
   std::size_t frame_size = 0;
-  EXPECT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
-            DecodeResult::kBadVersion);
+  ASSERT_EQ(TryDecodeFrame(frame, &decoded, &frame_size),
+            DecodeResult::kFrame);
+  EXPECT_EQ(decoded.flags, kFrameFlagTraceContext);
+  // Encoding at a pre-v5 version must not emit the flags (the bytes were
+  // reserved-zero there), so v4 bodies stay byte-identical.
+  FrameHeader old = header;
+  old.version = 4;
+  const auto old_frame = EncodeFrame(old, {});
+  EXPECT_EQ(old_frame[6], 0);
+  EXPECT_EQ(old_frame[7], 0);
+}
+
+TEST(WireFrameTest, TraceTrailerSplitAndRoundTrip) {
+  PayloadWriter w;
+  w.U32(1234);
+  std::vector<std::uint8_t> payload(w.Bytes().begin(), w.Bytes().end());
+  const std::size_t body_size = payload.size();
+  TraceContext context;
+  context.trace_id = 0x1122334455667788ull;
+  context.parent_span_id = 0x99AABBCCDDEEFF00ull;
+  context.flags = kTraceFlagSampled;
+  AppendTraceTrailer(&payload, context);
+  ASSERT_EQ(payload.size(), body_size + kTraceTrailerSize);
+
+  std::span<const std::uint8_t> body;
+  TraceContext decoded;
+  ASSERT_TRUE(SplitTraceTrailer(payload, kFrameFlagTraceContext, &body,
+                                &decoded));
+  EXPECT_EQ(body.size(), body_size);
+  EXPECT_EQ(decoded.trace_id, context.trace_id);
+  EXPECT_EQ(decoded.parent_span_id, context.parent_span_id);
+  EXPECT_EQ(decoded.flags, context.flags);
+
+  // Without the frame flag the whole payload is body and no context.
+  ASSERT_TRUE(SplitTraceTrailer(payload, 0, &body, &decoded));
+  EXPECT_EQ(body.size(), payload.size());
+  EXPECT_FALSE(decoded.valid());
+
+  // Flag set but payload shorter than a trailer: malformed.
+  const std::vector<std::uint8_t> tiny(kTraceTrailerSize - 1, 0);
+  EXPECT_FALSE(SplitTraceTrailer(tiny, kFrameFlagTraceContext, &body,
+                                 &decoded));
 }
 
 TEST(PayloadTest, PrimitivesRoundTrip) {

@@ -10,14 +10,14 @@
 //       labels, and persists them (ch.bin, hl.bin).
 //   kspin_cli stats --dir=/tmp/fl
 //       Prints dataset and index statistics.
-//   kspin_cli query --dir=/tmp/fl --vertex=123 --k=5 --op=or \
+//   kspin_cli query --dir=/tmp/fl --vertex=123 --k=5 --op=or
 //                   --keywords=3,17,42 [--module=ch|hl] [--ranked]
 //       Loads everything back and answers a Boolean kNN or ranked top-k
 //       query, reporting latency.
 //   kspin_cli snapshot --dir=/tmp/fl [--snapshots=/tmp/fl/snapshots]
 //       Builds the full serving state from the dataset and writes one
 //       crash-safe, checksummed snapshot file (docs/persistence.md).
-//   kspin_cli restore --dir=IGNORED --snapshots=/tmp/fl/snapshots \
+//   kspin_cli restore --dir=IGNORED --snapshots=/tmp/fl/snapshots
 //                     [--vertex=V --k=K --keywords=3,17]
 //       Restores the newest valid snapshot (skipping corrupt ones) and
 //       optionally answers a query against the restored state.
@@ -29,9 +29,17 @@
 //   kspin_cli metrics --endpoints=H:P[,H:P...] [--watch] [--interval-ms=T]
 //       Scrapes the Prometheus text exposition (METRICS opcode,
 //       docs/observability.md) from the first reachable server. --watch
-//       re-scrapes every --interval-ms (default 2000) until interrupted,
-//       so counter movement is visible live.
-//   kspin_cli insert --endpoints=H:P[,...] --vertex=V --name=NAME \
+//       re-scrapes every --interval-ms (default 2000) until interrupted
+//       and prints counter/histogram series as DELTAS per interval
+//       (gauges stay raw), so rates are readable without a Prometheus
+//       server doing the rate() for you.
+//   kspin_cli diag --endpoints=H:P[,H:P...]
+//       Dumps the server's in-memory flight recorder (DUMP_DIAG opcode):
+//       the last few thousand request spans and control-plane events
+//       (promotions, fencing, brownout transitions, replication source
+//       switches), one JSON line each, oldest first. Served inline by
+//       the I/O thread, so it works even on a saturated server.
+//   kspin_cli insert --endpoints=H:P[,...] --vertex=V --name=NAME
 //                    --tags=thai,takeaway
 //   kspin_cli delete --endpoints=H:P[,...] --id=N
 //   kspin_cli update --endpoints=H:P[,...] --id=N [--add=a,b] [--remove=c]
@@ -50,6 +58,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -502,11 +511,71 @@ int Fetch(const Args& args) {
   return 1;
 }
 
+// One parsed Prometheus exposition: series in file order plus each
+// metric's declared # TYPE, so watch mode can tell counters from gauges.
+struct ParsedScrape {
+  std::vector<std::pair<std::string, double>> series;  // "name{labels}" -> v
+  std::map<std::string, std::string> types;            // metric -> type
+};
+
+ParsedScrape ParseExposition(const std::string& text) {
+  ParsedScrape scrape;
+  std::stringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::stringstream meta(line);
+      std::string hash, kind, name, type;
+      if (meta >> hash >> kind >> name >> type && kind == "TYPE") {
+        scrape.types[name] = type;
+      }
+      continue;
+    }
+    // Exemplar lines put "# {trace_id=...} value" after the sample; the
+    // sample itself ends before the '#'.
+    std::string sample = line;
+    if (const std::size_t hash = sample.find(" # "); hash != std::string::npos) {
+      sample.resize(hash);
+    }
+    const std::size_t space = sample.rfind(' ');
+    if (space == std::string::npos || space + 1 >= sample.size()) continue;
+    try {
+      scrape.series.emplace_back(sample.substr(0, space),
+                                 std::stod(sample.substr(space + 1)));
+    } catch (const std::exception&) {
+      // Unparsable value (e.g. NaN spelled oddly): skip the series.
+    }
+  }
+  return scrape;
+}
+
+/// The declared type of the metric a series key belongs to. Histogram
+/// series are named <metric>_bucket/_sum/_count, so strip labels and
+/// those suffixes before the TYPE lookup.
+std::string SeriesType(const ParsedScrape& scrape, const std::string& key) {
+  std::string name = key.substr(0, key.find('{'));
+  auto it = scrape.types.find(name);
+  if (it != scrape.types.end()) return it->second;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::strlen(suffix);
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+      it = scrape.types.find(name.substr(0, name.size() - n));
+      if (it != scrape.types.end()) return it->second;
+    }
+  }
+  return "untyped";
+}
+
 // Scrapes the Prometheus text exposition from the first reachable
-// endpoint; with --watch, keeps scraping until interrupted.
+// endpoint; with --watch, keeps scraping until interrupted, printing
+// counter and histogram series as deltas per interval (rates an operator
+// can read directly) and gauges raw.
 int Metrics(const Args& args) {
   const auto endpoints = ParseEndpointList("metrics", args.endpoints);
   if (endpoints.empty()) return 1;
+  std::map<std::string, double> previous;
+  bool have_previous = false;
   while (true) {
     bool scraped = false;
     for (const server::Endpoint& endpoint : endpoints) {
@@ -519,10 +588,38 @@ int Metrics(const Args& args) {
                        endpoint.ToString().c_str(), reply.error.c_str());
           continue;
         }
-        if (args.watch) {
-          std::printf("# scrape of %s\n", endpoint.ToString().c_str());
+        if (!args.watch) {
+          std::fputs(reply.text.c_str(), stdout);
+        } else {
+          const ParsedScrape scrape = ParseExposition(reply.text);
+          std::printf("# scrape of %s (%s per %ums; gauges raw)\n",
+                      endpoint.ToString().c_str(),
+                      have_previous ? "counter deltas" : "raw first scrape",
+                      args.interval_ms);
+          std::map<std::string, double> current;
+          for (const auto& [key, value] : scrape.series) {
+            current[key] = value;
+            const std::string type = SeriesType(scrape, key);
+            const bool cumulative =
+                type == "counter" || type == "histogram";
+            double shown = value;
+            if (cumulative && have_previous) {
+              const auto prev = previous.find(key);
+              // A counter below its previous value means the server
+              // restarted; show the raw count rather than a bogus
+              // negative delta.
+              shown = (prev != previous.end() && value >= prev->second)
+                          ? value - prev->second
+                          : value;
+            }
+            // Quiet cumulative series add nothing between scrapes.
+            if (cumulative && have_previous && shown == 0) continue;
+            std::printf("%s %.17g%s\n", key.c_str(), shown,
+                        cumulative && have_previous ? " (delta)" : "");
+          }
+          previous = std::move(current);
+          have_previous = true;
         }
-        std::fputs(reply.text.c_str(), stdout);
         std::fflush(stdout);
         scraped = true;
         break;
@@ -538,6 +635,34 @@ int Metrics(const Args& args) {
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
   }
+}
+
+// Dumps the flight recorder (DUMP_DIAG) of the first reachable endpoint:
+// recent request spans and control-plane events as JSON lines, oldest
+// first. Answered inline by the server's I/O thread, so this works even
+// when the admission queue is rejecting everything else.
+int Diag(const Args& args) {
+  const auto endpoints = ParseEndpointList("diag", args.endpoints);
+  if (endpoints.empty()) return 1;
+  for (const server::Endpoint& endpoint : endpoints) {
+    try {
+      server::Client client;
+      client.Connect(endpoint.host, endpoint.port);
+      const auto reply = client.DumpDiag();
+      if (!reply.ok()) {
+        std::fprintf(stderr, "diag: %s rejected: %s\n",
+                     endpoint.ToString().c_str(), reply.error.c_str());
+        continue;
+      }
+      std::fputs(reply.text.c_str(), stdout);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "diag: %s failed: %s\n",
+                   endpoint.ToString().c_str(), e.what());
+    }
+  }
+  std::fprintf(stderr, "diag: no endpoint answered\n");
+  return 1;
 }
 
 // One health row per endpoint: who is primary, at which epoch, and how
@@ -671,6 +796,7 @@ int Main(int argc, char** argv) {
     if (args.command == "restore") return Restore(args);
     if (args.command == "fetch") return Fetch(args);
     if (args.command == "metrics") return Metrics(args);
+    if (args.command == "diag") return Diag(args);
     if (args.command == "health") return Health(args);
     if (args.command == "promote") return Promote(args);
     if (args.command == "insert") return Insert(args);
@@ -683,7 +809,7 @@ int Main(int argc, char** argv) {
   std::fprintf(
       stderr,
       "usage: kspin_cli "
-      "<generate|build|stats|query|snapshot|restore|fetch|metrics|"
+      "<generate|build|stats|query|snapshot|restore|fetch|metrics|diag|"
       "health|promote|insert|delete|update> [--dir=DIR]\n"
       "  generate --dataset=DE|ME|FL|E|US\n"
       "  query --vertex=V --k=K --keywords=1,2,3 [--op=and|or]\n"
@@ -693,7 +819,10 @@ int Main(int argc, char** argv) {
       "  fetch    --endpoints=H:P[,...] [--snapshots=DIR]   pull newest\n"
       "           snapshot from a running server\n"
       "  metrics  --endpoints=H:P[,...] [--watch] [--interval-ms=T]\n"
-      "           scrape Prometheus text from a running server\n"
+      "           scrape Prometheus text; --watch prints counter deltas\n"
+      "           per interval (gauges raw)\n"
+      "  diag     --endpoints=H:P[,...]   dump the flight recorder:\n"
+      "           recent spans + control-plane events as JSON lines\n"
       "  health   --endpoints=H:P[,...]   one row per endpoint: role,\n"
       "           primary epoch, applied op-log sequence\n"
       "  promote  --endpoints=H:P[,...] [--min-applied=N]   flip the\n"

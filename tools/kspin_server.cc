@@ -9,7 +9,8 @@
 //                [--idempotency-cache-size=N]
 //                [--role=primary|replica] [--primary=HOST:PORT]
 //                [--replica-poll-ms=T]
-//                [--trace=FILE] [--slow-query-ms=T]
+//                [--trace=FILE] [--trace-max-bytes=N] [--trace-keep=N]
+//                [--recorder-capacity=N] [--slow-query-ms=T]
 //                [--slo-ms=T] [--overload-tick-ms=T] [--min-limit=N]
 //                [--codel-target-ms=T] [--brownout-enter-ticks=N]
 //                [--brownout-exit-ticks=N] [--brownout-max-k=K]
@@ -28,9 +29,12 @@
 //
 // Observability (docs/observability.md): --trace=FILE appends one JSON
 // line per executed search (query fingerprint, stage timings, engine
-// counter deltas); --slow-query-ms=T logs searches slower than T ms to
-// stderr with the same trace line. The METRICS opcode (kspin_client
-// metrics) exposes Prometheus text either way.
+// counter deltas); --trace-max-bytes=N rotates the file at N bytes
+// keeping --trace-keep old generations; --slow-query-ms=T logs searches
+// slower than T ms to stderr with the same trace line. The METRICS
+// opcode (kspin_cli metrics) exposes Prometheus text either way, and
+// --recorder-capacity sizes the in-memory flight recorder dumped by the
+// DUMP_DIAG opcode (kspin_cli diag).
 //
 // Builds a synthetic road network + POI catalogue (names "poi<N>",
 // keywords "kw<K>"), constructs the distance oracle, binds 127.0.0.1:P
@@ -105,6 +109,9 @@ struct Args {
   std::string primary;
   std::uint32_t replica_poll_ms = 1000;
   std::string trace_path;
+  std::uint64_t trace_max_bytes = 0;
+  std::uint32_t trace_keep = 3;
+  std::size_t recorder_capacity = 2048;
   std::uint32_t slow_query_ms = 0;
   std::uint32_t service_floor_ms = 0;
   server::OverloadOptions overload;
@@ -161,6 +168,12 @@ Args Parse(int argc, char** argv) {
       args.replica_poll_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else if (auto v = value("trace")) {
       args.trace_path = *v;
+    } else if (auto v = value("trace-max-bytes")) {
+      args.trace_max_bytes = std::stoull(*v);
+    } else if (auto v = value("trace-keep")) {
+      args.trace_keep = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("recorder-capacity")) {
+      args.recorder_capacity = std::stoul(*v);
     } else if (auto v = value("slow-query-ms")) {
       args.slow_query_ms = static_cast<std::uint32_t>(std::stoul(*v));
     } else if (auto v = value("slo-ms")) {
@@ -265,7 +278,8 @@ int Main(int argc, char** argv) {
                  "[--oplog-dir=DIR] [--idempotency-cache-size=N] "
                  "[--role=primary|replica] [--primary=HOST:PORT] "
                  "[--replica-poll-ms=T] [--trace=FILE] "
-                 "[--slow-query-ms=T]\n");
+                 "[--trace-max-bytes=N] [--trace-keep=N] "
+                 "[--recorder-capacity=N] [--slow-query-ms=T]\n");
     return 1;
   }
 
@@ -358,6 +372,9 @@ int Main(int argc, char** argv) {
   }
   options.idempotency_cache_size = args.idempotency_cache;
   options.trace_path = args.trace_path;
+  options.trace_max_bytes = args.trace_max_bytes;
+  options.trace_keep = args.trace_keep;
+  options.flight_recorder_capacity = args.recorder_capacity;
   options.slow_query_threshold_ms = args.slow_query_ms;
   options.test_dequeue_delay_ms = args.service_floor_ms;
   options.overload = args.overload;

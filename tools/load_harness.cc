@@ -6,7 +6,7 @@
 //   load_harness --port=P [--host=H] [--threads=N] [--seconds=S]
 //                [--burst-qps=Q] [--burst-seconds=S] [--cycles=N]
 //                [--keywords=N] [--vertices=N] [--zipf=S] [--seed=S]
-//                [--k=K] [--deadline-ms=D]
+//                [--k=K] [--deadline-ms=D] [--json]
 //
 // Each cycle is two phases:
 //
@@ -30,6 +30,10 @@
 // degraded), and the server-side query-latency p50/p99/p999 computed
 // from the STATS histogram delta for that phase — log2 buckets, so each
 // percentile is the upper bound of its bucket (at most 2x off).
+//
+// --json swaps the text rows for a single machine-readable JSON document
+// (config, per-phase results, final server counters) — the format
+// committed as BENCH_server.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +69,7 @@ struct Args {
   std::uint64_t seed = 42;
   std::uint32_t k = 10;
   std::uint32_t deadline_ms = 0;
+  bool json = false;  ///< Emit one JSON document instead of the text rows.
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -103,6 +108,8 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.k = static_cast<std::uint32_t>(std::stoul(*v));
     } else if (auto v = value("deadline-ms")) {
       args.deadline_ms = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (arg == "--json") {
+      args.json = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -272,7 +279,7 @@ int Main(int argc, char** argv) {
         "usage: load_harness --port=P [--host=H] [--threads=N] "
         "[--seconds=S] [--burst-qps=Q] [--burst-seconds=S] [--cycles=N] "
         "[--keywords=N] [--vertices=N] [--zipf=S] [--seed=S] [--k=K] "
-        "[--deadline-ms=D]\n");
+        "[--deadline-ms=D] [--json]\n");
     return 2;
   }
 
@@ -285,13 +292,27 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf(
-      "# load_harness: %s:%u, %d threads, zipf(%.2f) over %u keywords\n",
-      args->host.c_str(), args->port, args->threads, args->zipf,
-      args->keywords);
-  std::printf(
-      "phase\toffered_qps\tdone_qps\tok\tovld\tdead\tdeg\terr\t"
-      "p50_us\tp99_us\tp999_us\n");
+  if (!args->json) {
+    std::printf(
+        "# load_harness: %s:%u, %d threads, zipf(%.2f) over %u keywords\n",
+        args->host.c_str(), args->port, args->threads, args->zipf,
+        args->keywords);
+    std::printf(
+        "phase\toffered_qps\tdone_qps\tok\tovld\tdead\tdeg\terr\t"
+        "p50_us\tp99_us\tp999_us\n");
+  }
+
+  // Per-phase results kept for the --json document (machine-readable
+  // output committed as BENCH_server.json and diffed across PRs).
+  struct PhaseResult {
+    const char* name;
+    int cycle;
+    double offered_qps;
+    double done_qps;
+    Tally tally;
+    std::uint64_t p50, p99, p999;
+  };
+  std::vector<PhaseResult> results;
 
   int failures = 0;
   for (int cycle = 0; cycle < args->cycles; ++cycle) {
@@ -335,25 +356,77 @@ int Main(int argc, char** argv) {
                      "(protocol < 2?); tail latency unavailable\n");
       }
       if (tally.ok == 0) ++failures;
-      std::printf(
-          "%s\t%.0f\t%.0f\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t"
-          "%llu\n",
-          phase.name, phase.qps,
-          static_cast<double>(tally.sent) / std::max(elapsed, 1e-9),
-          static_cast<unsigned long long>(tally.ok),
-          static_cast<unsigned long long>(tally.overloaded),
-          static_cast<unsigned long long>(tally.deadline),
-          static_cast<unsigned long long>(tally.degraded),
-          static_cast<unsigned long long>(tally.errors),
-          static_cast<unsigned long long>(p50),
-          static_cast<unsigned long long>(p99),
-          static_cast<unsigned long long>(p999));
+      const double done_qps =
+          static_cast<double>(tally.sent) / std::max(elapsed, 1e-9);
+      results.push_back(
+          {phase.name, cycle, phase.qps, done_qps, tally, p50, p99, p999});
+      if (!args->json) {
+        std::printf(
+            "%s\t%.0f\t%.0f\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t%llu\t"
+            "%llu\n",
+            phase.name, phase.qps, done_qps,
+            static_cast<unsigned long long>(tally.ok),
+            static_cast<unsigned long long>(tally.overloaded),
+            static_cast<unsigned long long>(tally.deadline),
+            static_cast<unsigned long long>(tally.degraded),
+            static_cast<unsigned long long>(tally.errors),
+            static_cast<unsigned long long>(p50),
+            static_cast<unsigned long long>(p99),
+            static_cast<unsigned long long>(p999));
+      }
     }
   }
 
   // Final server-side counters an operator would look at after a drill.
   const auto stats = probe.Stats();
-  if (stats.ok()) {
+  if (args->json) {
+    std::printf("{\n  \"config\": {\"host\": \"%s\", \"port\": %u, "
+                "\"threads\": %d, \"cycles\": %d, \"zipf\": %.2f, "
+                "\"keywords\": %u, \"vertices\": %u, \"k\": %u, "
+                "\"burst_qps\": %.0f, \"deadline_ms\": %u},\n",
+                args->host.c_str(), args->port, args->threads, args->cycles,
+                args->zipf, args->keywords, args->vertices, args->k,
+                args->burst_qps, args->deadline_ms);
+    std::printf("  \"phases\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const PhaseResult& r = results[i];
+      std::printf(
+          "    {\"phase\": \"%s\", \"cycle\": %d, \"offered_qps\": %.0f, "
+          "\"done_qps\": %.1f, \"ok\": %llu, \"overloaded\": %llu, "
+          "\"deadline\": %llu, \"degraded\": %llu, \"errors\": %llu, "
+          "\"p50_us\": %llu, \"p99_us\": %llu, \"p999_us\": %llu}%s\n",
+          r.name, r.cycle, r.offered_qps, r.done_qps,
+          static_cast<unsigned long long>(r.tally.ok),
+          static_cast<unsigned long long>(r.tally.overloaded),
+          static_cast<unsigned long long>(r.tally.deadline),
+          static_cast<unsigned long long>(r.tally.degraded),
+          static_cast<unsigned long long>(r.tally.errors),
+          static_cast<unsigned long long>(r.p50),
+          static_cast<unsigned long long>(r.p99),
+          static_cast<unsigned long long>(r.p999),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf(
+        "  \"server\": {\"requests_ok\": %llu, \"requests_overloaded\": "
+        "%llu, \"requests_rate_limited\": %llu, \"requests_codel_shed\": "
+        "%llu, \"requests_degraded\": %llu, \"brownout_entries\": %llu, "
+        "\"admission_limit\": %llu}\n}\n",
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("requests_ok") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("requests_overloaded") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("requests_rate_limited") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("requests_codel_shed") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("requests_degraded") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("brownout_entries") : 0),
+        static_cast<unsigned long long>(
+            stats.ok() ? stats.Value("admission_limit") : 0));
+  } else if (stats.ok()) {
     std::printf(
         "# server: ok=%llu overloaded=%llu rate_limited=%llu "
         "codel_shed=%llu deadline_rejected=%llu degraded=%llu "

@@ -18,8 +18,11 @@
 # a deliberately under-provisioned server is saturated by the load
 # harness until it sheds with OVERLOADED and browns out, then must
 # stand down (overload_state back to 0) on its own once the load stops.
-# Exercises the real binaries over real TCP — the piece unit tests
-# cannot cover.
+# After both drills `kspin_cli diag` dumps the always-on flight
+# recorder and must reconstruct the story — promotion, replication
+# source switch, brownout entry/exit, shed bursts — from the ring
+# alone, long after the fact. Exercises the real binaries over real
+# TCP — the piece unit tests cannot cover.
 #
 # Usage: tools/server_smoke_test.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -597,6 +600,21 @@ REJOIN_EPOCH="$("$CLIENT" --port="$REJOIN_PORT" health | awk -F'\t' '$1 == "prim
 [[ "$REJOIN_EPOCH" == "1" ]] || fo_die "rejoined ex-primary reports epoch=$REJOIN_EPOCH, expected 1"
 echo "smoke: ex-primary rejoined, quarantined $QUARANTINED divergent record(s), converged at epoch $REJOIN_EPOCH"
 
+# ---- diag: the flight recorder reconstructs the drill ----------------
+# With the dust settled and no traffic running, `kspin_cli diag` against
+# each survivor must replay the control-plane story from the always-on
+# flight recorder alone: the promotion (with its epoch) on the new
+# primary, and the replication source switch on the rejoined ex-primary.
+DIAG_NEWPRI="$("$KCLI" diag --endpoints=127.0.0.1:"$FOREP_PORT")" \
+  || fo_die "kspin_cli diag against the new primary failed"
+grep -q '"type":"PROMOTE","a":1' <<<"$DIAG_NEWPRI" \
+  || fo_die "diag on new primary missing the epoch-1 PROMOTE event"
+DIAG_REJOIN="$("$KCLI" diag --endpoints=127.0.0.1:"$REJOIN_PORT")" \
+  || fo_die "kspin_cli diag against the rejoined ex-primary failed"
+grep -q '"type":"REPLICATION_SOURCE_' <<<"$DIAG_REJOIN" \
+  || fo_die "diag on rejoined ex-primary missing the replication source switch"
+echo "smoke: diag reconstructs the promotion + source switch from the recorder"
+
 kill -INT "$SERVER_PID"
 for _ in $(seq 1 100); do
   kill -0 "$SERVER_PID" 2>/dev/null || break
@@ -678,6 +696,18 @@ done
 "$CLIENT" --port="$PORT" search 5 3 "kw0 or kw1" >/dev/null
 OVL_SECS="$("$CLIENT" --port="$PORT" stats | awk -F'\t' '$1 == "brownout_seconds" { print $2 }')"
 echo "smoke: overload recovered (overload_state=0, brownout_seconds=${OVL_SECS:-0})"
+
+# The whole brownout episode must be reconstructible from the recorder
+# on the now-idle server: entry, exit, and at least one shed burst.
+DIAG_OVL="$("$KCLI" diag --endpoints=127.0.0.1:"$PORT")" \
+  || { echo "smoke: kspin_cli diag against overload server failed" >&2; exit 1; }
+grep -q '"type":"BROWNOUT_ENTER"' <<<"$DIAG_OVL" \
+  || { echo "smoke: diag missing BROWNOUT_ENTER" >&2; echo "$DIAG_OVL" >&2; exit 1; }
+grep -q '"type":"BROWNOUT_EXIT"' <<<"$DIAG_OVL" \
+  || { echo "smoke: diag missing BROWNOUT_EXIT" >&2; echo "$DIAG_OVL" >&2; exit 1; }
+grep -q '"type":"SHED_BURST"' <<<"$DIAG_OVL" \
+  || { echo "smoke: diag missing SHED_BURST" >&2; echo "$DIAG_OVL" >&2; exit 1; }
+echo "smoke: diag reconstructs the brownout episode from the recorder"
 
 kill -TERM "$PROXY_PID" 2>/dev/null || true
 wait "$PROXY_PID" 2>/dev/null || true
